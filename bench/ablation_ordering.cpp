@@ -1,0 +1,99 @@
+// Ablation B: the object visit order in Algorithm 1. The paper sorts by
+// ascending coverage-set size (least flexible first, ties toward larger
+// sizes). Compares that order against descending and input order on random
+// instances, including the gap to the exhaustive optimum on small instances.
+
+#include <cstdio>
+
+#include "core/baselines.hpp"
+#include "core/central_balb.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+mvs::core::MvsProblem random_instance(mvs::util::Rng& rng, int n) {
+  using namespace mvs;
+  core::MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2(), gpu::jetson_nano()};
+  for (int j = 0; j < n; ++j) {
+    core::ObjectSpec obj;
+    obj.key = static_cast<std::uint64_t>(j);
+    for (int c = 0; c < 3; ++c)
+      if (rng.bernoulli(0.55)) obj.coverage.push_back(c);
+    if (obj.coverage.empty()) obj.coverage.push_back(rng.uniform_int(0, 2));
+    obj.size_class.assign(3, rng.uniform_int(0, 3));
+    p.objects.push_back(std::move(obj));
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mvs;
+
+  std::printf("== Ablation: object ordering in Algorithm 1 ==\n\n");
+
+  // Part 1: against the exhaustive optimum (small instances).
+  {
+    util::Rng rng(3);
+    util::RunningStats asc, desc, input;
+    for (int trial = 0; trial < 60; ++trial) {
+      const core::MvsProblem p = random_instance(rng, 7);
+      const double best =
+          core::recomputed_system_latency(p, core::optimal_bruteforce(p));
+      auto ratio = [&](core::CentralBalbOptions::Order order) {
+        core::CentralBalbOptions options;
+        options.order = order;
+        return core::recomputed_system_latency(p,
+                                               core::central_balb(p, options)) /
+               best;
+      };
+      asc.add(ratio(core::CentralBalbOptions::Order::kCoverageAscending));
+      desc.add(ratio(core::CentralBalbOptions::Order::kCoverageDescending));
+      input.add(ratio(core::CentralBalbOptions::Order::kInputOrder));
+    }
+    util::Table table({"order", "mean ratio to optimum", "worst ratio"});
+    table.add_row({"coverage ascending (paper)", util::Table::fmt(asc.mean(), 4),
+                   util::Table::fmt(asc.max(), 3)});
+    table.add_row({"coverage descending", util::Table::fmt(desc.mean(), 4),
+                   util::Table::fmt(desc.max(), 3)});
+    table.add_row({"input order", util::Table::fmt(input.mean(), 4),
+                   util::Table::fmt(input.max(), 3)});
+    std::printf("Small instances (7 objects, vs brute force):\n%s\n",
+                table.to_string().c_str());
+  }
+
+  // Part 2: relative comparison on larger instances.
+  {
+    util::Rng rng(4);
+    util::Table table({"objects", "ascending (ms)", "descending (ms)",
+                       "input (ms)"});
+    for (const int n : {20, 50, 100}) {
+      util::RunningStats asc, desc, input;
+      for (int trial = 0; trial < 30; ++trial) {
+        const core::MvsProblem p = random_instance(rng, n);
+        auto value = [&](core::CentralBalbOptions::Order order) {
+          core::CentralBalbOptions options;
+          options.order = order;
+          return core::recomputed_system_latency(
+              p, core::central_balb(p, options));
+        };
+        asc.add(value(core::CentralBalbOptions::Order::kCoverageAscending));
+        desc.add(value(core::CentralBalbOptions::Order::kCoverageDescending));
+        input.add(value(core::CentralBalbOptions::Order::kInputOrder));
+      }
+      table.add_row({std::to_string(n), util::Table::fmt(asc.mean(), 1),
+                     util::Table::fmt(desc.mean(), 1),
+                     util::Table::fmt(input.mean(), 1)});
+    }
+    std::printf("Larger instances (mean over 30 random instances):\n%s\n",
+                table.to_string().c_str());
+  }
+  std::printf("Assigning the least-flexible objects first avoids painting the "
+              "scheduler\ninto a corner, as the paper's single-pass design "
+              "assumes.\n");
+  return 0;
+}

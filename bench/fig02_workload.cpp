@@ -1,0 +1,53 @@
+// Figure 2 reproduction: temporal variation of object workload across
+// cameras. Samples the number of visible objects per camera once every
+// 2 seconds over the S1 intersection scenario, as the paper does for its
+// five AIC21 cameras. Expect: strong fluctuation with the traffic-light
+// period, and different cameras peaking at different times.
+
+#include <cstdio>
+
+#include "sim/dataset.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mvs;
+
+  sim::ScenarioPlayer player(sim::make_s1(1), 90.0);
+  const std::size_t cameras = player.camera_count();
+
+  std::printf("== Figure 2: object workload per camera over time (S1) ==\n\n");
+  std::vector<std::string> header{"t (s)"};
+  for (std::size_t c = 0; c < cameras; ++c)
+    header.push_back("cam" + std::to_string(c + 1));
+  util::Table table(header);
+
+  std::vector<util::RunningStats> stats(cameras);
+  // 120 seconds at 10 FPS, sampled every 2 s (every 20th frame).
+  for (int sample = 0; sample < 60; ++sample) {
+    sim::MultiFrame frame;
+    for (int skip = 0; skip < 20; ++skip) frame = player.next();
+    std::vector<std::string> row{util::Table::fmt(2.0 * (sample + 1), 0)};
+    for (std::size_t c = 0; c < cameras; ++c) {
+      row.push_back(std::to_string(frame.per_camera[c].size()));
+      stats[c].add(static_cast<double>(frame.per_camera[c].size()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  util::Table summary({"camera", "mean", "min", "max", "stddev"});
+  for (std::size_t c = 0; c < cameras; ++c) {
+    summary.add_row({"cam" + std::to_string(c + 1),
+                     util::Table::fmt(stats[c].mean(), 2),
+                     util::Table::fmt(stats[c].min(), 0),
+                     util::Table::fmt(stats[c].max(), 0),
+                     util::Table::fmt(stats[c].stddev(), 2)});
+  }
+  std::printf("%s\nBoth absolute and relative workload vary substantially "
+              "over time,\nmotivating dynamic (not static) object-to-camera "
+              "assignment.\n",
+              summary.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12 reproduction: object recall of Full / BALB-Ind / BALB-Cen /
+// BALB / SP on scenarios S1-S3.
+// Expected shape (paper): Full is the recall upper bound; BALB-Ind nearly
+// matches it (tracking-based slicing costs almost nothing); complete BALB
+// stays close; BALB-Cen degrades on busy S3 (no distributed stage to adopt
+// mid-horizon arrivals); SP trails BALB.
+
+#include <cstdio>
+
+#include "runtime/pipeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mvs;
+  constexpr int kFrames = 200;
+
+  const runtime::Policy policies[] = {
+      runtime::Policy::kFull, runtime::Policy::kBalbInd,
+      runtime::Policy::kBalbCen, runtime::Policy::kBalb,
+      runtime::Policy::kStaticPartition};
+
+  std::printf("== Figure 12: object recall by scheduling policy ==\n");
+  std::printf("(hardware per Table I -- S1: 2x Xavier + 2x TX2 + 1x Nano, "
+              "S2: Xavier + Nano, S3: Xavier + TX2 + Nano)\n\n");
+  util::Table table({"scenario", "Full", "BALB-Ind", "BALB-Cen", "BALB", "SP"});
+
+  for (const char* scenario : {"S1", "S2", "S3"}) {
+    std::vector<std::string> row{scenario};
+    for (runtime::Policy policy : policies) {
+      runtime::PipelineConfig cfg;
+      cfg.policy = policy;
+      cfg.horizon_frames = 10;
+      cfg.training_frames = 200;
+      cfg.seed = 101;
+      runtime::Pipeline pipeline(scenario, cfg);
+      const auto result = pipeline.run(kFrames);
+      row.push_back(util::Table::fmt(result.object_recall, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\nFull-frame inspection is the recall upper bound; the "
+              "complete BALB stays\nclose while BALB-Cen drops on busy S3 "
+              "(mid-horizon arrivals are only\npicked up at the next key "
+              "frame without the distributed stage).\n",
+              table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the kernels on the per-frame
+// critical path: Hungarian matching, KNN queries, optical flow, the central
+// BALB stage, greedy batch planning, and message serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "core/central_balb.hpp"
+#include "gpu/batch_planner.hpp"
+#include "matching/hungarian.hpp"
+#include "ml/kdtree.hpp"
+#include "ml/knn.hpp"
+#include "net/messages.hpp"
+#include "util/rng.hpp"
+#include "vision/optical_flow.hpp"
+#include "vision/renderer.hpp"
+
+namespace {
+
+using namespace mvs;
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<double> cost(n * n);
+  for (double& v : cost) v = rng.uniform(0, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matching::solve_assignment(cost, n, n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_KnnQuery(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<ml::Feature> xs;
+  std::vector<int> ys;
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back({rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()});
+    ys.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  ml::KnnClassifier knn(5);
+  knn.fit(xs, ys);
+  const ml::Feature q = {0.5, 0.5, 0.1, 0.1};
+  for (auto _ : state) benchmark::DoNotOptimize(knn.predict(q));
+}
+BENCHMARK(BM_KnnQuery)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_KdTreeVsBrute(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool use_tree = state.range(1) != 0;
+  util::Rng rng(6);
+  std::vector<ml::Feature> xs;
+  for (std::size_t i = 0; i < n; ++i)
+    xs.push_back({rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()});
+  const ml::KdTree tree(xs);
+  const ml::Feature q = {0.5, 0.5, 0.1, 0.1};
+  for (auto _ : state) {
+    if (use_tree)
+      benchmark::DoNotOptimize(tree.nearest(q, 5));
+    else
+      benchmark::DoNotOptimize(ml::k_nearest(xs, q, 5));
+  }
+}
+BENCHMARK(BM_KdTreeVsBrute)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({16000, 0})
+    ->Args({16000, 1});
+
+void BM_OpticalFlow(benchmark::State& state) {
+  vision::Renderer::Config rc;
+  rc.width = static_cast<int>(state.range(0));
+  rc.height = rc.width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const geom::BBox box{rc.width / 3.0, rc.height / 3.0, 30, 20};
+  const vision::Image a = renderer.render({{1, box}}, 0, 7);
+  const vision::Image b = renderer.render({{1, box.shifted({3, 1})}}, 1, 7);
+  const vision::OpticalFlow flow;
+  for (auto _ : state) benchmark::DoNotOptimize(flow.compute(a, b));
+}
+BENCHMARK(BM_OpticalFlow)->Arg(160)->Arg(320)->Arg(640)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CentralBalb(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  core::MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_xavier(), gpu::jetson_tx2(),
+               gpu::jetson_tx2(), gpu::jetson_nano()};
+  for (int j = 0; j < n; ++j) {
+    core::ObjectSpec obj;
+    obj.key = static_cast<std::uint64_t>(j);
+    for (int c = 0; c < 5; ++c)
+      if (rng.bernoulli(0.4)) obj.coverage.push_back(c);
+    if (obj.coverage.empty()) obj.coverage.push_back(rng.uniform_int(0, 4));
+    obj.size_class.assign(5, rng.uniform_int(0, 3));
+    p.objects.push_back(std::move(obj));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(core::central_balb(p));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CentralBalb)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)->Complexity();
+
+void BM_BatchPlanner(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<geom::SizeClassId> tasks(static_cast<std::size_t>(state.range(0)));
+  for (auto& t : tasks) t = rng.uniform_int(0, 3);
+  const gpu::DeviceProfile device = gpu::jetson_tx2();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gpu::plan_batches(tasks, device));
+}
+BENCHMARK(BM_BatchPlanner)->Arg(16)->Arg(128);
+
+void BM_DetectionListEncode(benchmark::State& state) {
+  util::Rng rng(5);
+  net::DetectionListMsg msg;
+  msg.camera_id = 1;
+  for (int i = 0; i < state.range(0); ++i) {
+    detect::Detection d;
+    d.box = {rng.uniform(0, 1000), rng.uniform(0, 600), 40, 30};
+    d.score = 0.9;
+    msg.detections.push_back(d);
+  }
+  for (auto _ : state) {
+    const auto bytes = msg.encode();
+    benchmark::DoNotOptimize(net::DetectionListMsg::decode(bytes));
+  }
+}
+BENCHMARK(BM_DetectionListEncode)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

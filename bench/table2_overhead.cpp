@@ -1,0 +1,46 @@
+// Table II reproduction: per-frame scheduling-framework overhead breakdown
+// (measured wall-clock): central stage (association + central BALB,
+// amortized over the horizon), tracking (optical flow + projection +
+// slicing, max across cameras), distributed BALB, and batching (batch
+// planning + input-tensor assembly). Network transfer is modeled from
+// serialized bytes and reported separately.
+// Expected shape (paper): tracking and batching dominate; distributed BALB
+// is negligible (<0.25 ms); central stage small because it is amortized.
+
+#include <cstdio>
+
+#include "runtime/pipeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mvs;
+
+  std::printf("== Table II: per-frame overhead breakdown (ms, wall-clock) ==\n\n");
+  util::Table table({"scenario", "central stage", "tracking",
+                     "distributed BALB", "batching", "total", "comm (model)"});
+
+  for (const char* scenario : {"S1", "S2", "S3"}) {
+    runtime::PipelineConfig cfg;
+    cfg.policy = runtime::Policy::kBalb;
+    cfg.horizon_frames = 10;
+    cfg.training_frames = 200;
+    cfg.seed = 101;
+    runtime::Pipeline pipeline(scenario, cfg);
+    const auto result = pipeline.run(200);
+    const double central = result.mean_central_ms();
+    const double tracking = result.mean_tracking_ms();
+    const double distributed = result.mean_distributed_ms();
+    const double batching = result.mean_batching_ms();
+    table.add_row({scenario, util::Table::fmt(central, 2),
+                   util::Table::fmt(tracking, 2),
+                   util::Table::fmt(distributed, 3),
+                   util::Table::fmt(batching, 2),
+                   util::Table::fmt(central + tracking + distributed + batching, 2),
+                   util::Table::fmt(result.mean_comm_ms(), 2)});
+  }
+  std::printf("%s\nPaper reference (their Jetson testbed): central 1.1-2.6 ms,"
+              " tracking 11.6-21.4 ms,\ndistributed 0.08-0.22 ms, batching "
+              "7.5-19.9 ms, total 29.1-35.8 ms per frame.\n",
+              table.to_string().c_str());
+  return 0;
+}

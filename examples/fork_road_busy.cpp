@@ -1,0 +1,47 @@
+// Busy fork road (scenario S3): heavy traffic with frequent new-object
+// arrivals between key frames.
+//
+// Demonstrates the value of the BALB *distributed* stage: with the central
+// stage alone (BALB-Cen), objects arriving mid-horizon are not picked up
+// until the next key frame and recall drops; the distributed stage adopts
+// them at first appearance with zero communication.
+//
+//   ./examples/fork_road_busy
+
+#include <cstdio>
+
+#include "runtime/pipeline.hpp"
+#include "runtime/trace.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mvs;
+
+  constexpr int kFrames = 150;
+  std::printf("== S3: busy fork road, Xavier + TX2 + Nano ==\n\n");
+
+  util::Table table({"policy", "object recall", "slowest cam (ms/frame)",
+                     "adoptions", "takeovers"});
+  for (runtime::Policy policy :
+       {runtime::Policy::kBalbCen, runtime::Policy::kBalb}) {
+    runtime::PipelineConfig cfg;
+    cfg.policy = policy;
+    cfg.horizon_frames = 10;
+    cfg.training_frames = 250;
+    cfg.seed = 33;
+    runtime::Pipeline pipeline("S3", cfg);
+    runtime::TraceRecorder trace;
+    pipeline.attach_trace(&trace);
+    const auto result = pipeline.run(kFrames);
+    table.add_row(
+        {runtime::to_string(policy), util::Table::fmt(result.object_recall, 3),
+         util::Table::fmt(result.mean_slowest_infer_ms(), 1),
+         std::to_string(trace.count(runtime::TraceEventType::kAdoptNew)),
+         std::to_string(trace.count(runtime::TraceEventType::kTakeover))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nThe distributed stage recovers the recall lost to "
+              "mid-horizon arrivals\nwhile keeping the latency-balanced "
+              "assignment of the central stage.\n");
+  return 0;
+}

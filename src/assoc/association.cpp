@@ -1,0 +1,177 @@
+#include "assoc/association.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "matching/hungarian.hpp"
+
+namespace mvs::assoc {
+
+ml::Feature box_feature(const geom::BBox& box, double frame_w,
+                        double frame_h) {
+  const geom::Vec2 c = box.center();
+  return {c.x / frame_w, c.y / frame_h, box.w / frame_w, box.h / frame_h};
+}
+
+geom::BBox feature_box(const ml::Feature& f, double frame_w, double frame_h) {
+  assert(f.size() == 4);
+  return geom::BBox::from_center({f[0] * frame_w, f[1] * frame_h},
+                                 f[2] * frame_w, f[3] * frame_h);
+}
+
+PairDataset build_pair_dataset(const std::vector<sim::MultiFrame>& frames,
+                               std::size_t src_cam, std::size_t dst_cam,
+                               double src_w, double src_h, double dst_w,
+                               double dst_h) {
+  PairDataset ds;
+  for (const sim::MultiFrame& frame : frames) {
+    const auto& src = frame.per_camera[src_cam];
+    const auto& dst = frame.per_camera[dst_cam];
+    for (const detect::GroundTruthObject& obj : src) {
+      ds.x.push_back(box_feature(obj.box, src_w, src_h));
+      const detect::GroundTruthObject* match = nullptr;
+      for (const detect::GroundTruthObject& cand : dst) {
+        if (cand.id == obj.id) {
+          match = &cand;
+          break;
+        }
+      }
+      ds.present.push_back(match ? 1 : 0);
+      if (match) {
+        ds.x_pos.push_back(ds.x.back());
+        ds.y_pos.push_back(box_feature(match->box, dst_w, dst_h));
+      }
+    }
+  }
+  return ds;
+}
+
+CrossCameraAssociator::CrossCameraAssociator(
+    std::vector<std::pair<double, double>> frame_sizes)
+    : CrossCameraAssociator(std::move(frame_sizes), Config{}) {}
+
+CrossCameraAssociator::CrossCameraAssociator(
+    std::vector<std::pair<double, double>> frame_sizes, Config cfg)
+    : cfg_(cfg), sizes_(std::move(frame_sizes)) {
+  assert(!sizes_.empty());
+  pairs_.resize(sizes_.size() * sizes_.size());
+}
+
+void CrossCameraAssociator::train(const std::vector<sim::MultiFrame>& frames) {
+  const std::size_t m = sizes_.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      const PairDataset ds =
+          build_pair_dataset(frames, i, j, sizes_[i].first, sizes_[i].second,
+                             sizes_[j].first, sizes_[j].second);
+      PairModels& models = pairs_[pair_index(i, j)];
+      if (ds.x.empty()) continue;
+      models.cls = std::make_unique<ml::KnnClassifier>(cfg_.knn_k);
+      models.cls->fit(ds.x, ds.present);
+      if (ds.x_pos.size() >= 3) {
+        models.reg = std::make_unique<ml::KnnRegressor>(cfg_.knn_k);
+        models.reg->fit(ds.x_pos, ds.y_pos);
+        models.has_positives = true;
+      }
+    }
+  }
+  trained_ = true;
+}
+
+bool CrossCameraAssociator::predict_present(std::size_t src, std::size_t dst,
+                                            const geom::BBox& box) const {
+  const PairModels& models = pairs_[pair_index(src, dst)];
+  if (!models.cls || !models.has_positives) return false;
+  return models.cls->predict(
+      box_feature(box, sizes_[src].first, sizes_[src].second));
+}
+
+geom::BBox CrossCameraAssociator::predict_box(std::size_t src, std::size_t dst,
+                                              const geom::BBox& box) const {
+  const PairModels& models = pairs_[pair_index(src, dst)];
+  assert(models.reg);
+  const ml::Feature pred = models.reg->predict(
+      box_feature(box, sizes_[src].first, sizes_[src].second));
+  return feature_box(pred, sizes_[dst].first, sizes_[dst].second);
+}
+
+std::vector<AssociatedObject> CrossCameraAssociator::associate(
+    const std::vector<std::vector<detect::Detection>>& detections) const {
+  const std::size_t m = sizes_.size();
+  assert(detections.size() == m);
+
+  // Union-find over all (camera, detection) nodes.
+  std::vector<std::size_t> offset(m + 1, 0);
+  for (std::size_t i = 0; i < m; ++i)
+    offset[i + 1] = offset[i] + detections[i].size();
+  std::vector<std::size_t> parent(offset[m]);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[b] = a;
+  };
+
+  // Pairwise matching, camera i against every camera behind it in the list.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const PairModels& models = pairs_[pair_index(i, j)];
+      if (!models.cls || !models.has_positives || !trained_) continue;
+      const auto& src = detections[i];
+      const auto& dst = detections[j];
+      if (src.empty() || dst.empty()) continue;
+
+      std::vector<double> cost(src.size() * dst.size(),
+                               matching::kForbiddenCost);
+      for (std::size_t a = 0; a < src.size(); ++a) {
+        if (!predict_present(i, j, src[a].box)) continue;
+        const geom::BBox predicted = predict_box(i, j, src[a].box);
+        for (std::size_t b = 0; b < dst.size(); ++b) {
+          const double v = geom::iou(predicted, dst[b].box);
+          if (v >= cfg_.min_match_iou) cost[a * dst.size() + b] = 1.0 - v;
+        }
+      }
+      const matching::AssignmentResult res =
+          matching::solve_assignment(cost, src.size(), dst.size());
+      for (std::size_t a = 0; a < src.size(); ++a) {
+        if (res.row_to_col[a] >= 0)
+          unite(offset[i] + a,
+                offset[j] + static_cast<std::size_t>(res.row_to_col[a]));
+      }
+    }
+  }
+
+  // Collect components. A component may legitimately contain at most one
+  // detection per camera; if matching merged two (rare model error), keep
+  // the first and leave the other as its own object.
+  std::vector<AssociatedObject> objects;
+  std::vector<int> component_of(offset[m], -1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t d = 0; d < detections[i].size(); ++d) {
+      const std::size_t node = offset[i] + d;
+      const std::size_t root = find(node);
+      int comp = component_of[root];
+      if (comp < 0 ||
+          objects[static_cast<std::size_t>(comp)].det_index[i] >= 0) {
+        comp = static_cast<int>(objects.size());
+        if (component_of[root] < 0) component_of[root] = comp;
+        objects.push_back(AssociatedObject{
+            std::vector<int>(m, -1), std::vector<geom::BBox>(m)});
+      }
+      AssociatedObject& obj = objects[static_cast<std::size_t>(comp)];
+      obj.det_index[i] = static_cast<int>(d);
+      obj.boxes[i] = detections[i][d].box;
+    }
+  }
+  return objects;
+}
+
+}  // namespace mvs::assoc

@@ -1,0 +1,105 @@
+#pragma once
+// Cross-camera object association (paper Sec. II-C).
+//
+// For every ordered camera pair (i, i') a KNN *classification* model decides
+// whether an object detected on camera i also appears on camera i', and a
+// KNN *regression* model predicts where. Predicted locations are matched to
+// the actual detections on i' with the Hungarian algorithm on IoU
+// proximity; matches above a threshold merge into one physical object.
+// Both models are trained offline from labelled synchronized frames — in
+// this reproduction, ground truth from the world simulator plays the role
+// of the human association labels.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "geometry/bbox.hpp"
+#include "ml/knn.hpp"
+#include "sim/dataset.hpp"
+
+namespace mvs::assoc {
+
+/// Training/evaluation dataset for one ordered camera pair.
+struct PairDataset {
+  std::vector<ml::Feature> x;       ///< source box features (all samples)
+  std::vector<int> present;         ///< 1 iff the object appears on dst
+  std::vector<ml::Feature> x_pos;   ///< subset of x where present == 1
+  std::vector<ml::Feature> y_pos;   ///< dst box features for that subset
+};
+
+/// Normalized box feature [cx/W, cy/H, w/W, h/H].
+ml::Feature box_feature(const geom::BBox& box, double frame_w, double frame_h);
+
+/// Invert box_feature.
+geom::BBox feature_box(const ml::Feature& f, double frame_w, double frame_h);
+
+/// Extract the (src -> dst) supervision pairs from synchronized ground-truth
+/// frames.
+PairDataset build_pair_dataset(const std::vector<sim::MultiFrame>& frames,
+                               std::size_t src_cam, std::size_t dst_cam,
+                               double src_w, double src_h, double dst_w,
+                               double dst_h);
+
+/// One physical object as seen by the camera set.
+struct AssociatedObject {
+  /// det_index[i] = index into camera i's detection list, or -1 when the
+  /// object is not detected there. Cameras with det_index >= 0 form the
+  /// observed coverage set.
+  std::vector<int> det_index;
+  std::vector<geom::BBox> boxes;  ///< valid where det_index[i] >= 0
+};
+
+class CrossCameraAssociator {
+ public:
+  struct Config {
+    int knn_k = 5;
+    double min_match_iou = 0.15;  ///< proximity threshold for Hungarian match
+  };
+
+  /// frame_sizes[i] = {width, height} of camera i.
+  explicit CrossCameraAssociator(
+      std::vector<std::pair<double, double>> frame_sizes);
+  CrossCameraAssociator(std::vector<std::pair<double, double>> frame_sizes,
+                        Config cfg);
+
+  /// Train all ordered-pair models from labelled frames.
+  void train(const std::vector<sim::MultiFrame>& frames);
+  bool trained() const { return trained_; }
+
+  std::size_t camera_count() const { return sizes_.size(); }
+
+  /// Does an object at `box` on camera src (probably) appear on camera dst?
+  bool predict_present(std::size_t src, std::size_t dst,
+                       const geom::BBox& box) const;
+
+  /// Predicted box of the object on camera dst.
+  geom::BBox predict_box(std::size_t src, std::size_t dst,
+                         const geom::BBox& box) const;
+
+  /// Associate per-camera detection lists into physical objects
+  /// (union-find over pairwise Hungarian matches).
+  std::vector<AssociatedObject> associate(
+      const std::vector<std::vector<detect::Detection>>& detections) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct PairModels {
+    std::unique_ptr<ml::KnnClassifier> cls;
+    std::unique_ptr<ml::KnnRegressor> reg;
+    bool has_positives = false;
+  };
+
+  std::size_t pair_index(std::size_t src, std::size_t dst) const {
+    return src * sizes_.size() + dst;
+  }
+
+  Config cfg_{};
+  std::vector<std::pair<double, double>> sizes_;
+  std::vector<PairModels> pairs_;  ///< dense M x M (diagonal unused)
+  bool trained_ = false;
+};
+
+}  // namespace mvs::assoc

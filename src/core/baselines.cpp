@@ -1,0 +1,122 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mvs::core {
+
+namespace {
+
+/// SplitMix64, for derandomized weighted choices.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Assignment finalize(const MvsProblem& problem, Assignment a) {
+  // Recompute scheduler latencies (t_full + planned batches) so all
+  // baselines report comparable numbers.
+  const std::vector<double> regular = regular_frame_latencies(problem, a);
+  a.camera_latency.resize(problem.camera_count());
+  for (std::size_t i = 0; i < problem.camera_count(); ++i)
+    a.camera_latency[i] = problem.cameras[i].full_frame_ms() + regular[i];
+  return a;
+}
+
+}  // namespace
+
+Assignment independent_assignment(const MvsProblem& problem) {
+  Assignment a;
+  a.x.assign(problem.camera_count(),
+             std::vector<char>(problem.object_count(), 0));
+  for (std::size_t j = 0; j < problem.object_count(); ++j)
+    for (int cam : problem.objects[j].coverage)
+      a.x[static_cast<std::size_t>(cam)][j] = 1;
+  return finalize(problem, std::move(a));
+}
+
+Assignment static_partition_assignment(const MvsProblem& problem,
+                                       const std::vector<int>& owner) {
+  assert(owner.size() == problem.object_count());
+  Assignment a;
+  a.x.assign(problem.camera_count(),
+             std::vector<char>(problem.object_count(), 0));
+  for (std::size_t j = 0; j < problem.object_count(); ++j) {
+    const ObjectSpec& obj = problem.objects[j];
+    int cam = owner[j];
+    const bool valid = std::find(obj.coverage.begin(), obj.coverage.end(),
+                                 cam) != obj.coverage.end();
+    if (!valid) {
+      cam = obj.coverage.front();
+      for (int c : obj.coverage)
+        if (problem.cameras[static_cast<std::size_t>(c)].relative_power() >
+            problem.cameras[static_cast<std::size_t>(cam)].relative_power())
+          cam = c;
+    }
+    a.x[static_cast<std::size_t>(cam)][j] = 1;
+  }
+  return finalize(problem, std::move(a));
+}
+
+int power_weighted_owner(const std::vector<int>& coverage,
+                         const std::vector<gpu::DeviceProfile>& cameras,
+                         std::uint64_t region_key) {
+  assert(!coverage.empty());
+  double total = 0.0;
+  for (int cam : coverage)
+    total += cameras[static_cast<std::size_t>(cam)].relative_power();
+  // Deterministic uniform draw in [0, 1) from the region key.
+  const double u = static_cast<double>(mix(region_key) >> 11) /
+                   static_cast<double>(1ULL << 53);
+  double acc = 0.0;
+  for (int cam : coverage) {
+    acc += cameras[static_cast<std::size_t>(cam)].relative_power() / total;
+    if (u < acc) return cam;
+  }
+  return coverage.back();
+}
+
+Assignment optimal_bruteforce(const MvsProblem& problem) {
+  const std::size_t n = problem.object_count();
+  std::vector<std::size_t> choice(n, 0);  // index into each coverage set
+  std::vector<int> best_owner(n, 0);
+  double best = std::numeric_limits<double>::infinity();
+
+  auto evaluate = [&]() {
+    Assignment a;
+    a.x.assign(problem.camera_count(), std::vector<char>(n, 0));
+    for (std::size_t j = 0; j < n; ++j)
+      a.x[static_cast<std::size_t>(
+          problem.objects[j].coverage[choice[j]])][j] = 1;
+    return recomputed_system_latency(problem, a);
+  };
+
+  // Odometer enumeration over the product of coverage sets.
+  while (true) {
+    const double value = evaluate();
+    if (value < best) {
+      best = value;
+      for (std::size_t j = 0; j < n; ++j)
+        best_owner[j] = problem.objects[j].coverage[choice[j]];
+    }
+    std::size_t j = 0;
+    while (j < n) {
+      if (++choice[j] < problem.objects[j].coverage.size()) break;
+      choice[j] = 0;
+      ++j;
+    }
+    if (j == n) break;
+    if (n == 0) break;
+  }
+
+  Assignment a;
+  a.x.assign(problem.camera_count(), std::vector<char>(n, 0));
+  for (std::size_t j = 0; j < n; ++j)
+    a.x[static_cast<std::size_t>(best_owner[j])][j] = 1;
+  return finalize(problem, std::move(a));
+}
+
+}  // namespace mvs::core

@@ -1,0 +1,37 @@
+#pragma once
+// Scheduling baselines compared against BALB in the paper's evaluation
+// (Sec. IV-C/D), plus an exact brute-force solver used to measure BALB's
+// optimality gap on small instances (tests and the ordering ablation).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace mvs::core {
+
+/// BALB-Ind: every camera independently tracks every object it can see.
+/// No cross-camera coordination; redundant work on overlaps.
+Assignment independent_assignment(const MvsProblem& problem);
+
+/// Static Partitioning (SP): objects are assigned by a fixed offline
+/// region-to-camera map; `owner[j]` is the camera that owns object j's
+/// region. When owner[j] is not in the coverage set (region map error),
+/// falls back to the covering camera with the highest processing power.
+Assignment static_partition_assignment(const MvsProblem& problem,
+                                       const std::vector<int>& owner);
+
+/// Deterministic power-weighted owner choice for a shared region: picks a
+/// camera from `coverage` with probability proportional to its processing
+/// power, derandomized by `region_key` so that every camera computes the
+/// same owner for the same world region.
+int power_weighted_owner(const std::vector<int>& coverage,
+                         const std::vector<gpu::DeviceProfile>& cameras,
+                         std::uint64_t region_key);
+
+/// Exact minimizer of the MVS objective by exhaustive enumeration (one
+/// tracker per object; adding trackers never reduces the max latency).
+/// Cost grows as prod |C_j| — use only for small instances.
+Assignment optimal_bruteforce(const MvsProblem& problem);
+
+}  // namespace mvs::core

@@ -1,0 +1,112 @@
+#include "core/central_balb.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mvs::core {
+
+Assignment central_balb(const MvsProblem& problem,
+                        const CentralBalbOptions& options) {
+  const std::size_t m = problem.camera_count();
+  const std::size_t n = problem.object_count();
+
+  Assignment result;
+  result.x.assign(m, std::vector<char>(n, 0));
+  result.camera_latency.resize(m);
+  // Line 1: L_i := t_i^full.
+  for (std::size_t i = 0; i < m; ++i)
+    result.camera_latency[i] = problem.cameras[i].full_frame_ms();
+
+  // Per camera, per size class: number of already-batched images.
+  std::vector<std::vector<int>> counts(m);
+  for (std::size_t i = 0; i < m; ++i)
+    counts[i].assign(problem.cameras[i].size_class_count(), 0);
+
+  // Line 2: reindex objects by non-decreasing |C_j|, ties toward larger
+  // target size (the largest class across the object's coverage set).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  auto max_class = [&](std::size_t j) {
+    geom::SizeClassId best = 0;
+    for (int cam : problem.objects[j].coverage)
+      best = std::max(best,
+                      problem.objects[j].size_class[static_cast<std::size_t>(cam)]);
+    return best;
+  };
+  switch (options.order) {
+    case CentralBalbOptions::Order::kCoverageAscending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         const std::size_t ca = problem.objects[a].coverage.size();
+                         const std::size_t cb = problem.objects[b].coverage.size();
+                         if (ca != cb) return ca < cb;
+                         return max_class(a) > max_class(b);
+                       });
+      break;
+    case CentralBalbOptions::Order::kCoverageDescending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return problem.objects[a].coverage.size() >
+                                problem.objects[b].coverage.size();
+                       });
+      break;
+    case CentralBalbOptions::Order::kInputOrder:
+      break;
+  }
+
+  // Line 3-13: single assignment pass.
+  for (std::size_t j : order) {
+    const ObjectSpec& obj = problem.objects[j];
+    assert(!obj.coverage.empty());
+
+    int chosen = -1;
+    if (options.batch_aware) {
+      // Line 4: cameras in C_j with an incomplete batch for this object's
+      // target size; pick the largest relative batch capacity.
+      double best_capacity = 0.0;
+      for (int cam : obj.coverage) {
+        const auto i = static_cast<std::size_t>(cam);
+        const geom::SizeClassId s = obj.size_class[i];
+        const int limit = problem.cameras[i].batch_limit(s);
+        const int fill = counts[i][static_cast<std::size_t>(s)] % limit;
+        if (counts[i][static_cast<std::size_t>(s)] == 0 || fill == 0)
+          continue;  // no open batch
+        const double relative =
+            static_cast<double>(limit - fill) / static_cast<double>(limit);
+        if (relative > best_capacity) {
+          best_capacity = relative;
+          chosen = cam;
+        }
+      }
+    }
+
+    if (chosen >= 0) {
+      // Line 6-7: ride the open batch; latency does not grow.
+      const auto i = static_cast<std::size_t>(chosen);
+      result.x[i][j] = 1;
+      ++counts[i][static_cast<std::size_t>(obj.size_class[i])];
+    } else {
+      // Line 10-11: open a new batch on the camera minimizing L_i + t_i^s.
+      double best = 0.0;
+      for (int cam : obj.coverage) {
+        const auto i = static_cast<std::size_t>(cam);
+        const geom::SizeClassId s = obj.size_class[i];
+        const double updated =
+            result.camera_latency[i] + problem.cameras[i].batch_latency_ms(s);
+        if (chosen < 0 || updated < best) {
+          best = updated;
+          chosen = cam;
+        }
+      }
+      const auto i = static_cast<std::size_t>(chosen);
+      const geom::SizeClassId s = obj.size_class[i];
+      result.x[i][j] = 1;
+      result.camera_latency[i] += problem.cameras[i].batch_latency_ms(s);
+      ++counts[i][static_cast<std::size_t>(s)];
+    }
+  }
+  return result;
+}
+
+}  // namespace mvs::core

@@ -1,0 +1,32 @@
+#pragma once
+// Central stage of the Batch-Aware Latency-Balanced scheduler
+// (paper Algorithm 1).
+//
+// Single pass over objects in ascending coverage-set size (least scheduling
+// flexibility first, ties broken toward larger target sizes): reuse an
+// incomplete same-size batch when one exists on a covering camera (choosing
+// the largest relative batch capacity), otherwise open a new batch on the
+// camera whose latency-after-inclusion is minimal. Complexity
+// max(O(N log N), O(M N)).
+
+#include "core/problem.hpp"
+
+namespace mvs::core {
+
+struct CentralBalbOptions {
+  /// Consider batch reuse (line 4-8 of Algorithm 1). Disabling this yields
+  /// the latency-balancing-only ablation ("no batch awareness").
+  bool batch_aware = true;
+
+  /// Object visit order. Algorithm 1 uses kCoverageAscending; the others
+  /// exist for the ordering ablation bench.
+  enum class Order { kCoverageAscending, kCoverageDescending, kInputOrder };
+  Order order = Order::kCoverageAscending;
+};
+
+/// Run the central BALB stage. Preconditions: every object has a non-empty
+/// coverage set of valid camera indices with valid size classes.
+Assignment central_balb(const MvsProblem& problem,
+                        const CentralBalbOptions& options = {});
+
+}  // namespace mvs::core

@@ -1,0 +1,33 @@
+#include "core/distributed.hpp"
+
+#include <cassert>
+
+namespace mvs::core {
+
+DistributedStage::DistributedStage(CameraMasks masks,
+                                   std::vector<int> priority_order)
+    : masks_(std::move(masks)) {
+  rank_.assign(priority_order.size(), 0);
+  for (std::size_t pos = 0; pos < priority_order.size(); ++pos)
+    rank_[static_cast<std::size_t>(priority_order[pos])] =
+        static_cast<int>(pos);
+}
+
+bool DistributedStage::should_adopt_new(int cam, const geom::BBox& box) const {
+  assert(valid());
+  return masks_.owns(cam, box.center());
+}
+
+int DistributedStage::takeover_camera(
+    const std::vector<int>& visible_cams) const {
+  assert(valid());
+  int best = -1;
+  for (int cam : visible_cams) {
+    if (best < 0 || rank_[static_cast<std::size_t>(cam)] <
+                        rank_[static_cast<std::size_t>(best)])
+      best = cam;
+  }
+  return best;
+}
+
+}  // namespace mvs::core

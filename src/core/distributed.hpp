@@ -1,0 +1,52 @@
+#pragma once
+// Distributed stage of BALB (paper Sec. III-C2).
+//
+// Runs independently on every camera at every regular frame, with no
+// cross-camera communication, handling the two object-dynamics cases:
+//   (1) a NEW object appears -> the highest-priority camera whose mask owns
+//       the object's cell starts tracking it;
+//   (2) an object LEAVES its assigned camera's view -> the highest-priority
+//       camera in its remaining coverage set takes over.
+// Consistency across cameras comes from the shared, centrally computed
+// masks and priority order, both fixed for the scheduling horizon.
+// Complexity O(N) per camera per frame.
+
+#include <vector>
+
+#include "core/masks.hpp"
+#include "geometry/bbox.hpp"
+
+namespace mvs::core {
+
+class DistributedStage {
+ public:
+  DistributedStage() = default;
+
+  /// `priority_order` from Assignment::priority_order(); `masks` from
+  /// build_priority_masks with the same order.
+  DistributedStage(CameraMasks masks, std::vector<int> priority_order);
+
+  /// Case 1: should camera `cam` start tracking a new object detected at
+  /// `box` in its own frame? True iff cam's mask owns the box center — i.e.
+  /// no higher-priority camera covers that region.
+  bool should_adopt_new(int cam, const geom::BBox& box) const;
+
+  /// Case 2: an existing object was assigned to `assigned_cam` but has left
+  /// its view; `visible_cams` is the object's current coverage set as
+  /// inferred from the shared cross-camera models. Returns the camera that
+  /// must take over (highest priority among visible), or -1 if none can.
+  int takeover_camera(const std::vector<int>& visible_cams) const;
+
+  int priority_rank(int cam) const {
+    return rank_[static_cast<std::size_t>(cam)];
+  }
+
+  const CameraMasks& masks() const { return masks_; }
+  bool valid() const { return !rank_.empty(); }
+
+ private:
+  CameraMasks masks_;
+  std::vector<int> rank_;  ///< rank_[cam] = position in priority order
+};
+
+}  // namespace mvs::core

@@ -1,0 +1,48 @@
+#pragma once
+// Scheduler extensions prototyping the paper's Sec. V future-work items.
+//
+//  - Redundant (K-coverage) BALB: "we may allocate multiple cameras to track
+//    the same object" to survive association errors and dynamic occlusion.
+//    Each object is assigned to up to K distinct covering cameras; the
+//    batch-aware single pass of Algorithm 1 is repeated K rounds over the
+//    shared latency/batch state, so redundant copies still batch well.
+//
+//  - Quality-aware BALB: "introduce a tracking quality metric ... the
+//    scheduling objective is extended to optimizing the quality-efficiency
+//    tradeoff". Among cameras whose latency-after-inclusion is within a
+//    slack factor of the best, the highest-quality view (e.g. the closer
+//    camera) wins.
+
+#include "core/problem.hpp"
+
+namespace mvs::core {
+
+struct RedundancyOptions {
+  int coverage_k = 2;  ///< target trackers per object (capped by |C_j|)
+};
+
+/// K-coverage variant of the central BALB stage. With coverage_k == 1 this
+/// is exactly central_balb().
+Assignment redundant_balb(const MvsProblem& problem,
+                          const RedundancyOptions& options);
+
+struct QualityOptions {
+  /// A camera qualifies if its latency-after-inclusion is within
+  /// (1 + latency_slack) of the minimum across the coverage set.
+  double latency_slack = 0.15;
+};
+
+/// quality[j][i] = tracking quality of object j on camera i (higher is
+/// better; e.g. projected pixel size or inverse distance). Only entries for
+/// covering cameras are read.
+Assignment quality_aware_balb(const MvsProblem& problem,
+                              const std::vector<std::vector<double>>& quality,
+                              const QualityOptions& options);
+
+/// Mean achieved quality of an assignment under the same quality matrix
+/// (averaged over tracked (object, camera) pairs).
+double mean_assignment_quality(
+    const MvsProblem& problem, const Assignment& assignment,
+    const std::vector<std::vector<double>>& quality);
+
+}  // namespace mvs::core

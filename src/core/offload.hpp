@@ -1,0 +1,41 @@
+#pragma once
+// Centralized-processing extension (paper Sec. V, "Extension to centralized
+// processing"): when cameras cannot run the DNN onboard, frames are uploaded
+// to an edge server and the bottleneck becomes uplink bandwidth. The
+// multi-view idea carries over as VIEW SELECTION: upload the minimum-cost
+// subset of camera views that still covers every observed object.
+//
+// This is weighted set cover (NP-hard); we implement the classical greedy
+// ln(n)-approximation plus an exact brute force for small camera counts
+// (used by tests to bound the greedy gap).
+
+#include <cstdint>
+#include <vector>
+
+namespace mvs::core {
+
+struct ViewSelectionProblem {
+  /// objects_per_camera[i] = ids of objects visible from camera i.
+  std::vector<std::vector<std::uint64_t>> objects_per_camera;
+  /// upload_cost[i] = cost of uploading camera i's frame (e.g. encoded
+  /// bytes / uplink bandwidth, in ms).
+  std::vector<double> upload_cost;
+};
+
+struct ViewSelection {
+  std::vector<int> cameras;   ///< selected views, ascending
+  double total_cost = 0.0;
+  std::size_t covered = 0;    ///< objects covered by the selection
+  std::size_t total_objects = 0;
+};
+
+/// Greedy weighted set cover: repeatedly pick the view minimizing
+/// cost / newly-covered-objects. Objects visible from no camera are ignored
+/// (they cannot be covered).
+ViewSelection select_views_greedy(const ViewSelectionProblem& problem);
+
+/// Exact minimum-cost cover by exhaustive subset enumeration. Use only for
+/// small camera counts (<= ~16).
+ViewSelection select_views_optimal(const ViewSelectionProblem& problem);
+
+}  // namespace mvs::core

@@ -1,0 +1,68 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mvs::core {
+
+double Assignment::system_latency() const {
+  double worst = 0.0;
+  for (double l : camera_latency) worst = std::max(worst, l);
+  return worst;
+}
+
+std::vector<int> Assignment::priority_order() const {
+  std::vector<int> order(camera_latency.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return camera_latency[static_cast<std::size_t>(a)] <
+           camera_latency[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+bool is_feasible(const MvsProblem& p, const Assignment& a) {
+  if (a.x.size() != p.camera_count()) return false;
+  for (const auto& row : a.x)
+    if (row.size() != p.object_count()) return false;
+
+  for (std::size_t j = 0; j < p.object_count(); ++j) {
+    const ObjectSpec& obj = p.objects[j];
+    int covered_trackers = 0;
+    for (std::size_t i = 0; i < p.camera_count(); ++i) {
+      if (!a.x[i][j]) continue;
+      const bool can_see =
+          std::find(obj.coverage.begin(), obj.coverage.end(),
+                    static_cast<int>(i)) != obj.coverage.end();
+      if (!can_see) return false;  // condition (2)
+      ++covered_trackers;
+    }
+    if (covered_trackers < 1) return false;  // condition (1)
+  }
+  return true;
+}
+
+std::vector<double> regular_frame_latencies(const MvsProblem& p,
+                                            const Assignment& a) {
+  std::vector<double> out(p.camera_count(), 0.0);
+  for (std::size_t i = 0; i < p.camera_count(); ++i) {
+    std::vector<geom::SizeClassId> tasks;
+    for (std::size_t j = 0; j < p.object_count(); ++j) {
+      if (a.x[i][j])
+        tasks.push_back(p.objects[j].size_class[i]);
+    }
+    out[i] = gpu::plan_batches(tasks, p.cameras[i]).planned_latency_ms;
+  }
+  return out;
+}
+
+double recomputed_system_latency(const MvsProblem& p, const Assignment& a) {
+  const std::vector<double> regular = regular_frame_latencies(p, a);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < p.camera_count(); ++i)
+    worst = std::max(worst, p.cameras[i].full_frame_ms() + regular[i]);
+  return worst;
+}
+
+}  // namespace mvs::core

@@ -1,0 +1,70 @@
+#pragma once
+// The Multi-View Scheduling (MVS) problem (paper Sec. III).
+//
+// Given M cameras with heterogeneous batch-latency profiles and N objects,
+// each visible from a coverage set of cameras with a per-camera target size,
+// find a feasible object-to-camera assignment minimizing the maximum camera
+// latency, where a camera's latency is the summed execution time of its
+// greedily-packed same-size batches. The problem is strongly NP-hard
+// (reduction from bin packing, Claim 1); BALB approximates it.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/size_class.hpp"
+#include "gpu/batch_planner.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace mvs::core {
+
+/// One object to be tracked during the upcoming scheduling horizon.
+struct ObjectSpec {
+  std::uint64_t key = 0;  ///< caller-defined identity (association output)
+  /// Cameras that can see the object (the coverage set C_j), as indices into
+  /// the problem's camera list. Must be non-empty and duplicate-free.
+  std::vector<int> coverage;
+  /// size_class[i] is the target size of this object on camera i; only
+  /// entries for cameras in `coverage` are meaningful.
+  std::vector<geom::SizeClassId> size_class;
+};
+
+struct MvsProblem {
+  std::vector<gpu::DeviceProfile> cameras;
+  std::vector<ObjectSpec> objects;
+
+  std::size_t camera_count() const { return cameras.size(); }
+  std::size_t object_count() const { return objects.size(); }
+};
+
+/// An object-to-camera assignment (the matrix X of Definition 2).
+struct Assignment {
+  /// x[i][j] = 1 iff camera i tracks object j.
+  std::vector<std::vector<char>> x;
+  /// Camera latencies as accounted by the scheduler (initialized to
+  /// t_i^full per Algorithm 1, then incremented per new batch).
+  std::vector<double> camera_latency;
+
+  double system_latency() const;
+
+  /// Cameras ordered by ascending camera_latency — the fixed priority used
+  /// by the BALB distributed stage (lowest-latency camera = highest
+  /// priority for adopting new objects).
+  std::vector<int> priority_order() const;
+};
+
+/// Does `a` satisfy Definition 2 against `p` (every object tracked by >= 1
+/// covering camera, never by a non-covering one)?
+bool is_feasible(const MvsProblem& p, const Assignment& a);
+
+/// Per-camera regular-frame inspection latency of an assignment: greedy
+/// batching of the assigned objects' size classes on each camera
+/// (planned = batches x t_i^s). Does NOT include full-frame time.
+std::vector<double> regular_frame_latencies(const MvsProblem& p,
+                                            const Assignment& a);
+
+/// The objective the MVS problem minimizes: max over cameras of
+/// (t_i^full-initialized) scheduler latency. Recomputed from scratch, for
+/// validating incremental accounting.
+double recomputed_system_latency(const MvsProblem& p, const Assignment& a);
+
+}  // namespace mvs::core

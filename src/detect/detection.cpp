@@ -1,0 +1,3 @@
+#include "detect/detection.hpp"
+
+// Currently header-only types; this TU anchors the library target.

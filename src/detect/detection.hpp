@@ -1,0 +1,37 @@
+#pragma once
+// Detection data types shared by the detector, tracker, association module
+// and scheduler.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bbox.hpp"
+
+namespace mvs::detect {
+
+/// Object category ids mirroring the traffic classes the paper's scenarios
+/// contain (COCO-style subset).
+enum class ObjectClass : int { kCar = 0, kTruck = 1, kBus = 2, kPerson = 3 };
+
+/// Ground-truth object instance visible in one camera frame. Produced by the
+/// world simulator; consumed by the simulated detector and the recall metric.
+struct GroundTruthObject {
+  std::uint64_t id = 0;  ///< globally unique physical-object identity
+  geom::BBox box;        ///< pixel box in this camera's frame
+  ObjectClass cls = ObjectClass::kCar;
+  double distance_m = 0.0;  ///< camera-to-object distance (quality proxy)
+};
+
+/// One detector output box.
+struct Detection {
+  geom::BBox box;
+  ObjectClass cls = ObjectClass::kCar;
+  double score = 0.0;
+  /// Ground-truth identity behind this detection, or kFalsePositive.
+  /// Used ONLY by evaluation metrics, never by the scheduler or tracker.
+  std::uint64_t truth_id = kFalsePositive;
+
+  static constexpr std::uint64_t kFalsePositive = ~0ULL;
+};
+
+}  // namespace mvs::detect

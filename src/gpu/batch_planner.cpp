@@ -1,0 +1,40 @@
+#include "gpu/batch_planner.hpp"
+
+#include <cassert>
+
+namespace mvs::gpu {
+
+BatchPlan plan_batches(const std::vector<geom::SizeClassId>& tasks,
+                       const DeviceProfile& device) {
+  BatchPlan plan;
+  std::vector<int> counts(device.size_class_count(), 0);
+  for (geom::SizeClassId s : tasks) {
+    assert(s >= 0 && static_cast<std::size_t>(s) < counts.size());
+    ++counts[static_cast<std::size_t>(s)];
+  }
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    int remaining = counts[s];
+    const auto cls = static_cast<geom::SizeClassId>(s);
+    const int limit = device.batch_limit(cls);
+    while (remaining > 0) {
+      const int take = remaining < limit ? remaining : limit;
+      plan.batches.push_back({cls, take});
+      plan.planned_latency_ms += device.batch_latency_ms(cls);
+      plan.actual_latency_ms += device.actual_batch_latency_ms(cls, take);
+      remaining -= take;
+    }
+  }
+  return plan;
+}
+
+double marginal_latency_ms(const std::vector<int>& per_size_counts,
+                           geom::SizeClassId s, const DeviceProfile& device) {
+  assert(s >= 0 && static_cast<std::size_t>(s) < per_size_counts.size());
+  const int count = per_size_counts[static_cast<std::size_t>(s)];
+  const int limit = device.batch_limit(s);
+  // An incomplete batch exists iff count is not a multiple of the limit.
+  if (count % limit != 0) return 0.0;
+  return device.batch_latency_ms(s);
+}
+
+}  // namespace mvs::gpu

@@ -1,0 +1,39 @@
+#pragma once
+// Greedy per-size batching (paper Sec. III-B): given the set of partial-frame
+// inspection tasks assigned to one camera for one frame, group same-size
+// tasks into batches up to the device's batch limit. Greedy filling per size
+// class minimizes the number of batches, so a feasible assignment uniquely
+// determines the optimal camera latency.
+
+#include <vector>
+
+#include "geometry/size_class.hpp"
+#include "gpu/device_profile.hpp"
+
+namespace mvs::gpu {
+
+struct Batch {
+  geom::SizeClassId size_class = 0;
+  int count = 0;  ///< images in this batch (1 <= count <= batch limit)
+};
+
+struct BatchPlan {
+  std::vector<Batch> batches;
+  /// Scheduler-facing latency: number of batches x t_i^s per size class.
+  double planned_latency_ms = 0.0;
+  /// Simulated execution latency with the sub-linear fill model.
+  double actual_latency_ms = 0.0;
+};
+
+/// Plan batches for `tasks` (one entry per partial region, value = size
+/// class) on the given device.
+BatchPlan plan_batches(const std::vector<geom::SizeClassId>& tasks,
+                       const DeviceProfile& device);
+
+/// Latency of adding one more task of size class `s` given `existing` counts
+/// per size class (the marginal cost used in BALB central stage): zero if an
+/// incomplete batch exists, else one more t_i^s.
+double marginal_latency_ms(const std::vector<int>& per_size_counts,
+                           geom::SizeClassId s, const DeviceProfile& device);
+
+}  // namespace mvs::gpu

@@ -1,0 +1,58 @@
+#include "gpu/device_profile.hpp"
+
+#include <cassert>
+
+namespace mvs::gpu {
+
+DeviceProfile::DeviceProfile(std::string name, double full_frame_ms,
+                             std::vector<SizeProfile> per_size)
+    : name_(std::move(name)),
+      full_frame_ms_(full_frame_ms),
+      per_size_(std::move(per_size)) {
+  assert(full_frame_ms_ > 0.0);
+  for (const SizeProfile& p : per_size_) {
+    assert(p.batch_limit >= 1);
+    assert(p.latency_ms > 0.0);
+    (void)p;
+  }
+}
+
+int DeviceProfile::batch_limit(geom::SizeClassId s) const {
+  return per_size_.at(static_cast<std::size_t>(s)).batch_limit;
+}
+
+double DeviceProfile::batch_latency_ms(geom::SizeClassId s) const {
+  return per_size_.at(static_cast<std::size_t>(s)).latency_ms;
+}
+
+double DeviceProfile::actual_batch_latency_ms(geom::SizeClassId s,
+                                              int count) const {
+  const SizeProfile& p = per_size_.at(static_cast<std::size_t>(s));
+  assert(count >= 1 && count <= p.batch_limit);
+  // Sub-linear fill model: a 60% fixed kernel-launch/readback floor plus a
+  // per-image component, reaching exactly t_i^s at the batch limit.
+  constexpr double kFloor = 0.6;
+  const double fill =
+      static_cast<double>(count) / static_cast<double>(p.batch_limit);
+  return p.latency_ms * (kFloor + (1.0 - kFloor) * fill);
+}
+
+// Profiles follow the shape of public YOLOv5s measurements on the three
+// boards: Xavier : TX2 : Nano full-frame ratios of roughly 1 : 2.7 : 6.2,
+// batch limits shrinking with input size and with device memory.
+DeviceProfile jetson_xavier() {
+  return DeviceProfile("xavier", 45.0,
+                       {{32, 6.0}, {16, 8.0}, {8, 12.0}, {4, 20.0}});
+}
+
+DeviceProfile jetson_tx2() {
+  return DeviceProfile("tx2", 120.0,
+                       {{16, 12.0}, {8, 16.0}, {4, 25.0}, {2, 45.0}});
+}
+
+DeviceProfile jetson_nano() {
+  return DeviceProfile("nano", 280.0,
+                       {{8, 25.0}, {4, 35.0}, {2, 55.0}, {1, 95.0}});
+}
+
+}  // namespace mvs::gpu

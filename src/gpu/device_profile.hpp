@@ -1,0 +1,61 @@
+#pragma once
+// GPU execution model (paper Sec. III-A).
+//
+// The scheduler treats the detection DNN as a black box characterized by an
+// offline latency profile: for each quantized input size s, a batch limit
+// B_i^s (how many same-size regions can run in one batch) and a batch
+// execution latency t_i^s (the time of a batch at the limit; the paper
+// operates in the regime where latency varies only slightly with batch fill,
+// before the inflection point). Full-frame inspection has its own latency
+// t_i^full. Profiles for Jetson Nano / TX2 / Xavier are calibrated to public
+// YOLOv5 numbers; see DESIGN.md for the substitution note.
+
+#include <string>
+#include <vector>
+
+#include "geometry/size_class.hpp"
+
+namespace mvs::gpu {
+
+struct SizeProfile {
+  int batch_limit = 1;      ///< B_i^s, >= 1
+  double latency_ms = 0.0;  ///< t_i^s: batch execution time at the limit
+};
+
+class DeviceProfile {
+ public:
+  DeviceProfile() = default;
+  DeviceProfile(std::string name, double full_frame_ms,
+                std::vector<SizeProfile> per_size);
+
+  const std::string& name() const { return name_; }
+  double full_frame_ms() const { return full_frame_ms_; }
+  std::size_t size_class_count() const { return per_size_.size(); }
+
+  int batch_limit(geom::SizeClassId s) const;
+  /// t_i^s — the scheduler's (conservative) per-batch cost.
+  double batch_latency_ms(geom::SizeClassId s) const;
+
+  /// Simulated actual latency of a batch with `count` images
+  /// (1 <= count <= batch_limit): sub-linear in fill, equal to t_i^s at the
+  /// limit. This is what the runtime charges; the scheduler plans with the
+  /// conservative t_i^s, exactly as the paper does.
+  double actual_batch_latency_ms(geom::SizeClassId s, int count) const;
+
+  /// Processing power proxy used by the Static Partitioning baseline:
+  /// reciprocal of full-frame latency.
+  double relative_power() const { return 1.0 / full_frame_ms_; }
+
+ private:
+  std::string name_;
+  double full_frame_ms_ = 1.0;
+  std::vector<SizeProfile> per_size_;
+};
+
+/// Calibrated profiles for the paper's testbed boards, indexed by the default
+/// SizeClassSet {64, 128, 256, 512}.
+DeviceProfile jetson_xavier();
+DeviceProfile jetson_tx2();
+DeviceProfile jetson_nano();
+
+}  // namespace mvs::gpu

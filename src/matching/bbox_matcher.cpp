@@ -1,0 +1,32 @@
+#include "matching/bbox_matcher.hpp"
+
+namespace mvs::matching {
+
+BoxMatchResult match_boxes(const std::vector<geom::BBox>& a,
+                           const std::vector<geom::BBox>& b, double min_iou) {
+  BoxMatchResult out;
+  const std::size_t rows = a.size();
+  const std::size_t cols = b.size();
+  std::vector<double> cost(rows * cols, kForbiddenCost);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = geom::iou(a[r], b[c]);
+      if (v >= min_iou) cost[r * cols + c] = 1.0 - v;  // maximize IoU
+    }
+  }
+  const AssignmentResult res = solve_assignment(cost, rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (res.row_to_col[r] >= 0) {
+      const int c = res.row_to_col[r];
+      out.matches.push_back(
+          {static_cast<int>(r), c, geom::iou(a[r], b[static_cast<std::size_t>(c)])});
+    } else {
+      out.unmatched_a.push_back(static_cast<int>(r));
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c)
+    if (res.col_to_row[c] < 0) out.unmatched_b.push_back(static_cast<int>(c));
+  return out;
+}
+
+}  // namespace mvs::matching

@@ -1,0 +1,29 @@
+#pragma once
+// IoU-based bipartite box matching built on the Hungarian solver.
+// Maximizes total IoU subject to a minimum-IoU threshold per pair.
+
+#include <vector>
+
+#include "geometry/bbox.hpp"
+#include "matching/hungarian.hpp"
+
+namespace mvs::matching {
+
+struct BoxMatch {
+  int a = -1;        ///< index into the first box list
+  int b = -1;        ///< index into the second box list
+  double iou = 0.0;  ///< IoU of the matched pair
+};
+
+struct BoxMatchResult {
+  std::vector<BoxMatch> matches;
+  std::vector<int> unmatched_a;
+  std::vector<int> unmatched_b;
+};
+
+/// Optimal (max total IoU) matching; pairs with IoU < min_iou are forbidden.
+BoxMatchResult match_boxes(const std::vector<geom::BBox>& a,
+                           const std::vector<geom::BBox>& b,
+                           double min_iou = 0.1);
+
+}  // namespace mvs::matching

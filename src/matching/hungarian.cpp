@@ -1,0 +1,117 @@
+#include "matching/hungarian.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mvs::matching {
+
+namespace {
+
+/// Classic potentials-based Kuhn-Munkres on a square n x n matrix.
+/// Returns col_match: for each column (1-based internally), the matched row.
+std::vector<int> kuhn_munkres_square(const std::vector<double>& a,
+                                     std::size_t n) {
+  // 1-based implementation (standard competitive-programming formulation).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = static_cast<int>(i);
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = static_cast<std::size_t>(p[j0]);
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = a[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[static_cast<std::size_t>(p[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = static_cast<std::size_t>(way[j0]);
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0);
+  }
+  return p;  // p[j] = row matched to column j (1-based), p[0] unused
+}
+
+}  // namespace
+
+AssignmentResult solve_assignment(const std::vector<double>& cost,
+                                  std::size_t rows, std::size_t cols) {
+  assert(cost.size() == rows * cols);
+  AssignmentResult out;
+  out.row_to_col.assign(rows, -1);
+  out.col_to_row.assign(cols, -1);
+  if (rows == 0 || cols == 0) return out;
+
+  const std::size_t n = std::max(rows, cols);
+  // Pad to square with forbidden cost; padded cells never yield real matches.
+  std::vector<double> sq(n * n, kForbiddenCost);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) sq[r * n + c] = cost[r * cols + c];
+
+  const std::vector<int> p = kuhn_munkres_square(sq, n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    const std::size_t r = static_cast<std::size_t>(p[j]) - 1;
+    const std::size_t c = j - 1;
+    if (r >= rows || c >= cols) continue;
+    const double cell = cost[r * cols + c];
+    if (cell >= kForbiddenCost) continue;
+    out.row_to_col[r] = static_cast<int>(c);
+    out.col_to_row[c] = static_cast<int>(r);
+    out.total_cost += cell;
+  }
+  return out;
+}
+
+AssignmentResult solve_assignment_greedy(const std::vector<double>& cost,
+                                         std::size_t rows, std::size_t cols) {
+  assert(cost.size() == rows * cols);
+  AssignmentResult out;
+  out.row_to_col.assign(rows, -1);
+  out.col_to_row.assign(cols, -1);
+
+  struct Entry {
+    double c;
+    std::size_t r, col;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (cost[r * cols + c] < kForbiddenCost)
+        entries.push_back({cost[r * cols + c], r, c});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.c < b.c; });
+  for (const Entry& e : entries) {
+    if (out.row_to_col[e.r] != -1 || out.col_to_row[e.col] != -1) continue;
+    out.row_to_col[e.r] = static_cast<int>(e.col);
+    out.col_to_row[e.col] = static_cast<int>(e.r);
+    out.total_cost += e.c;
+  }
+  return out;
+}
+
+}  // namespace mvs::matching

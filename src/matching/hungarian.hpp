@@ -1,0 +1,39 @@
+#pragma once
+// Kuhn-Munkres (Hungarian) algorithm, O(n^3), for minimum-cost assignment.
+//
+// Used by (a) the optical-flow tracker to associate detections with track
+// predictions and (b) the cross-camera association module to match predicted
+// box locations against detections on the target camera (paper Sec. II-C).
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mvs::matching {
+
+/// A large-but-finite cost used to mark forbidden pairs; pairs assigned at
+/// this cost are reported as unmatched.
+inline constexpr double kForbiddenCost = 1e9;
+
+struct AssignmentResult {
+  /// row_to_col[r] = matched column for row r, or -1 if unmatched.
+  std::vector<int> row_to_col;
+  /// col_to_row[c] = matched row for column c, or -1 if unmatched.
+  std::vector<int> col_to_row;
+  /// Total cost of the real (non-forbidden) matches.
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost assignment over a (possibly rectangular) cost matrix given
+/// row-major as cost[r * cols + c]. Rows/columns beyond the square part are
+/// padded internally. Pairs whose cost is >= kForbiddenCost are never
+/// reported as matched.
+AssignmentResult solve_assignment(const std::vector<double>& cost,
+                                  std::size_t rows, std::size_t cols);
+
+/// Greedy baseline: repeatedly pick the globally cheapest remaining pair.
+/// Used in tests/benches to sanity-check Hungarian optimality.
+AssignmentResult solve_assignment_greedy(const std::vector<double>& cost,
+                                         std::size_t rows, std::size_t cols);
+
+}  // namespace mvs::matching

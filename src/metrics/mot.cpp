@@ -1,0 +1,53 @@
+#include "metrics/mot.hpp"
+
+#include <algorithm>
+
+namespace mvs::metrics {
+
+void MotAccumulator::add_frame(const std::vector<TrackObservation>& matches,
+                               std::size_t missed_truths,
+                               std::size_t false_tracks) {
+  matches_ += matches.size();
+  misses_ += missed_truths;
+  false_positives_ += false_tracks;
+  for (const TrackObservation& obs : matches) {
+    const auto it = last_track_.find(obs.truth_id);
+    if (it != last_track_.end() && it->second != obs.track_id)
+      ++id_switches_;
+    last_track_[obs.truth_id] = obs.track_id;
+    ++pairings_[obs.truth_id][obs.track_id];
+  }
+}
+
+std::size_t MotAccumulator::fragmentations() const {
+  std::size_t extra = 0;
+  for (const auto& [truth, histogram] : pairings_)
+    extra += histogram.size() - 1;
+  return extra;
+}
+
+double MotAccumulator::mota() const {
+  const std::size_t gt = matches_ + misses_;
+  if (gt == 0) return 1.0;
+  const double errors =
+      static_cast<double>(misses_ + false_positives_ + id_switches_);
+  return 1.0 - errors / static_cast<double>(gt);
+}
+
+double MotAccumulator::identity_consistency() const {
+  std::size_t consistent = 0;
+  std::size_t total = 0;
+  for (const auto& [truth, histogram] : pairings_) {
+    std::size_t best = 0, sum = 0;
+    for (const auto& [track, count] : histogram) {
+      best = std::max(best, count);
+      sum += count;
+    }
+    consistent += best;
+    total += sum;
+  }
+  return total ? static_cast<double>(consistent) / static_cast<double>(total)
+               : 1.0;
+}
+
+}  // namespace mvs::metrics

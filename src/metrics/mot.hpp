@@ -1,0 +1,57 @@
+#pragma once
+// Multi-object-tracking quality metrics (CLEAR-MOT style), computed per
+// camera from (track id -> ground-truth id) correspondences. Complements
+// the paper's object-recall metric with identity-level quality: a scheduler
+// that bounces objects between cameras or trackers shows up here as ID
+// switches and fragmentation even when recall stays high.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mvs::metrics {
+
+/// One matched (track, truth) pair observed in a frame.
+struct TrackObservation {
+  long track_id = -1;
+  std::uint64_t truth_id = 0;
+};
+
+class MotAccumulator {
+ public:
+  /// One camera-frame: matched pairs, plus counts of unmatched ground-truth
+  /// objects (misses) and unmatched tracks (false positives).
+  void add_frame(const std::vector<TrackObservation>& matches,
+                 std::size_t missed_truths, std::size_t false_tracks);
+
+  std::size_t matches() const { return matches_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t false_positives() const { return false_positives_; }
+
+  /// Times a ground-truth object's matched track id changed between
+  /// consecutive observations of that object.
+  std::size_t id_switches() const { return id_switches_; }
+
+  /// Distinct (truth, track) pairings beyond the first per truth — how
+  /// fragmented each object's trajectory is.
+  std::size_t fragmentations() const;
+
+  /// MOTA = 1 - (misses + false positives + id switches) / ground truth.
+  /// Can be negative; 1.0 is perfect.
+  double mota() const;
+
+  /// Fraction of ground-truth observations whose matched track id is the
+  /// object's most frequent one (IDF1-flavoured identity consistency).
+  double identity_consistency() const;
+
+ private:
+  std::size_t matches_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t false_positives_ = 0;
+  std::size_t id_switches_ = 0;
+  std::map<std::uint64_t, long> last_track_;  ///< per truth: last matched id
+  /// per truth: histogram of matched track ids.
+  std::map<std::uint64_t, std::map<long, std::size_t>> pairings_;
+};
+
+}  // namespace mvs::metrics

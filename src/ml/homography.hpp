@@ -1,0 +1,51 @@
+#pragma once
+// Homography baseline for cross-camera box mapping (Fig. 11).
+//
+// Estimates a 3x3 projective transform H between the two image planes with
+// the normalized DLT algorithm from point correspondences (we use the
+// bottom-center "footprint" of each box, the point most nearly on the ground
+// plane), then maps a query box by transforming its four corners and taking
+// the axis-aligned hull. As the paper observes, a plane-induced homography
+// cannot capture 3-D object extent, so its MAE is intrinsically higher than
+// the data-driven KNN mapping.
+
+#include <array>
+
+#include "ml/model.hpp"
+
+namespace mvs::ml {
+
+/// 3x3 homography in row-major order.
+class Homography {
+ public:
+  Homography();  ///< identity
+
+  /// Estimate from >= 4 point pairs via normalized DLT. Returns false if the
+  /// configuration is degenerate.
+  bool estimate(const std::vector<std::array<double, 2>>& src,
+                const std::vector<std::array<double, 2>>& dst);
+
+  /// Apply to a point; returns {inf, inf} if the point maps to infinity.
+  std::array<double, 2> apply(std::array<double, 2> p) const;
+
+  const std::array<double, 9>& coefficients() const { return h_; }
+
+ private:
+  std::array<double, 9> h_;
+};
+
+/// VectorRegressor adapter over Homography with the association feature
+/// convention: inputs/outputs are [cx, cy, w, h] box vectors.
+class HomographyRegressor final : public VectorRegressor {
+ public:
+  void fit(const std::vector<Feature>& xs,
+           const std::vector<Feature>& ys) override;
+  Feature predict(const Feature& x) const override;
+
+  const Homography& homography() const { return h_; }
+
+ private:
+  Homography h_;
+};
+
+}  // namespace mvs::ml

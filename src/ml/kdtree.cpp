@@ -1,0 +1,103 @@
+#include "ml/kdtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mvs::ml {
+
+namespace {
+double sq_dist(const Feature& a, const Feature& b) {
+  double s = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double delta = a[d] - b[d];
+    s += delta * delta;
+  }
+  return s;
+}
+}  // namespace
+
+KdTree::KdTree(std::vector<Feature> points) : points_(std::move(points)) {
+  order_.resize(points_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (!points_.empty()) root_ = build(0, points_.size(), 0);
+}
+
+int KdTree::build(std::size_t begin, std::size_t end, int depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  if (end - begin <= kLeafSize) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  const int dim = static_cast<int>(points_.front().size());
+  const int axis = depth % dim;
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<long>(begin),
+                   order_.begin() + static_cast<long>(mid),
+                   order_.begin() + static_cast<long>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_[a][static_cast<std::size_t>(axis)] <
+                            points_[b][static_cast<std::size_t>(axis)];
+                   });
+  node.axis = axis;
+  node.threshold = points_[order_[mid]][static_cast<std::size_t>(axis)];
+
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  const int left = build(begin, mid, depth + 1);
+  const int right = build(mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+void KdTree::search(int node_index, const Feature& query,
+                    std::vector<std::pair<double, std::size_t>>& heap,
+                    std::size_t k) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  if (node.axis < 0) {
+    // Leaf: scan the range; maintain a max-heap of the best k.
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      const std::size_t p = order_[i];
+      const double dist = sq_dist(points_[p], query);
+      if (heap.size() < k) {
+        heap.emplace_back(dist, p);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (dist < heap.front().first) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {dist, p};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    return;
+  }
+
+  const double delta =
+      query[static_cast<std::size_t>(node.axis)] - node.threshold;
+  const int near = delta <= 0.0 ? node.left : node.right;
+  const int far = delta <= 0.0 ? node.right : node.left;
+  search(near, query, heap, k);
+  // Prune the far side unless the splitting plane is closer than the
+  // current k-th best.
+  if (heap.size() < k || delta * delta < heap.front().first)
+    search(far, query, heap, k);
+}
+
+std::vector<std::size_t> KdTree::nearest(const Feature& query, int k) const {
+  assert(!points_.empty());
+  const std::size_t kk =
+      std::min<std::size_t>(static_cast<std::size_t>(k), points_.size());
+  std::vector<std::pair<double, std::size_t>> heap;
+  heap.reserve(kk + 1);
+  search(root_, query, heap, kk);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<std::size_t> out;
+  out.reserve(heap.size());
+  for (const auto& [dist, index] : heap) out.push_back(index);
+  return out;
+}
+
+}  // namespace mvs::ml

@@ -1,0 +1,56 @@
+#pragma once
+// Exact k-nearest-neighbor search over a static point set via a kd-tree.
+//
+// The association models issue thousands of KNN queries per key frame
+// (every detection x every camera pair, plus the one-off cell-coverage
+// cache); brute force is O(n) per query, the kd-tree is ~O(log n) for the
+// low-dimensional (4-D box feature) points used here. Results are exact and
+// identical to brute force — verified by tests — so KnnClassifier /
+// KnnRegressor can use it transparently.
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace mvs::ml {
+
+class KdTree {
+ public:
+  KdTree() = default;
+
+  /// Build over `points` (copied). All points must share one dimension.
+  explicit KdTree(std::vector<Feature> points);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Feature& point(std::size_t index) const { return points_[index]; }
+
+  /// Indices of the k nearest points to `query` under squared L2,
+  /// ordered nearest-first. k is capped at size().
+  std::vector<std::size_t> nearest(const Feature& query, int k) const;
+
+ private:
+  struct Node {
+    int axis = -1;          ///< split dimension; -1 for leaves
+    double threshold = 0.0;
+    std::size_t begin = 0;  ///< leaf: range into order_
+    std::size_t end = 0;
+    int left = -1;          ///< child node indices
+    int right = -1;
+  };
+
+  static constexpr std::size_t kLeafSize = 8;
+
+  int build(std::size_t begin, std::size_t end, int depth);
+  void search(int node, const Feature& query,
+              std::vector<std::pair<double, std::size_t>>& heap,
+              std::size_t k) const;
+
+  std::vector<Feature> points_;
+  std::vector<std::size_t> order_;  ///< permutation partitioned by the tree
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace mvs::ml

@@ -1,0 +1,99 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mvs::ml {
+
+namespace {
+double sq_dist(const Feature& a, const Feature& b) {
+  double s = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double delta = a[d] - b[d];
+    s += delta * delta;
+  }
+  return s;
+}
+}  // namespace
+
+std::vector<std::size_t> k_nearest(const std::vector<Feature>& xs,
+                                   const Feature& q, int k) {
+  assert(!xs.empty());
+  const std::size_t kk = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                               xs.size());
+  std::vector<std::size_t> idx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(kk),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return sq_dist(xs[a], q) < sq_dist(xs[b], q);
+                    });
+  idx.resize(kk);
+  return idx;
+}
+
+void KnnClassifier::fit(const std::vector<Feature>& xs,
+                        const std::vector<int>& labels) {
+  assert(xs.size() == labels.size() && !xs.empty());
+  scaler_.fit(xs);
+  tree_ = KdTree(scaler_.transform_all(xs));
+  labels_ = labels;
+}
+
+double KnnClassifier::decision(const Feature& x) const {
+  assert(!tree_.empty());
+  const Feature q = scaler_.transform(x);
+  const auto nn = tree_.nearest(q, k_);
+  double pos = 0.0, neg = 0.0;
+  for (std::size_t i : nn) {
+    const double w = 1.0 / (1e-6 + std::sqrt(sq_dist(tree_.point(i), q)));
+    (labels_[i] ? pos : neg) += w;
+  }
+  return pos - neg;
+}
+
+bool KnnClassifier::predict(const Feature& x) const {
+  return decision(x) > 0.0;
+}
+
+void KnnRegressor::fit(const std::vector<Feature>& xs,
+                       const std::vector<Feature>& ys) {
+  assert(xs.size() == ys.size() && !xs.empty());
+  scaler_.fit(xs);
+  tree_ = KdTree(scaler_.transform_all(xs));
+  ys_ = ys;
+}
+
+Feature KnnRegressor::predict(const Feature& x) const {
+  assert(!tree_.empty());
+  const Feature q = scaler_.transform(x);
+  const auto nn = tree_.nearest(q, k_);
+  Feature out(ys_.front().size(), 0.0);
+  double wsum = 0.0;
+  for (std::size_t i : nn) {
+    const double w = 1.0 / (1e-6 + std::sqrt(sq_dist(tree_.point(i), q)));
+    wsum += w;
+    for (std::size_t d = 0; d < out.size(); ++d) out[d] += w * ys_[i][d];
+  }
+  for (double& v : out) v /= wsum;
+  return out;
+}
+
+double mean_absolute_error(const VectorRegressor& model,
+                           const std::vector<Feature>& xs,
+                           const std::vector<Feature>& ys) {
+  assert(xs.size() == ys.size());
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const Feature pred = model.predict(xs[i]);
+    for (std::size_t d = 0; d < ys[i].size(); ++d) {
+      acc += std::abs(pred[d] - ys[i][d]);
+      ++terms;
+    }
+  }
+  return acc / static_cast<double>(terms);
+}
+
+}  // namespace mvs::ml

@@ -1,0 +1,50 @@
+#pragma once
+// K-nearest-neighbors classifier and regressor — the paper's data-driven
+// cross-camera location mapping ("a special lookup table which uses the
+// nearest case(s) in the memory to generate the prediction", Sec. II-C).
+
+#include "ml/kdtree.hpp"
+#include "ml/model.hpp"
+#include "ml/scaler.hpp"
+
+namespace mvs::ml {
+
+/// Majority-vote KNN binary classifier with inverse-distance weighting.
+class KnnClassifier final : public BinaryClassifier {
+ public:
+  explicit KnnClassifier(int k = 5) : k_(k) {}
+
+  void fit(const std::vector<Feature>& xs,
+           const std::vector<int>& labels) override;
+  bool predict(const Feature& x) const override;
+  double decision(const Feature& x) const override;
+
+ private:
+  int k_;
+  StandardScaler scaler_;
+  KdTree tree_;  ///< exact accelerator over the scaled training points
+  std::vector<int> labels_;
+};
+
+/// Inverse-distance-weighted KNN multi-output regressor.
+class KnnRegressor final : public VectorRegressor {
+ public:
+  explicit KnnRegressor(int k = 5) : k_(k) {}
+
+  void fit(const std::vector<Feature>& xs,
+           const std::vector<Feature>& ys) override;
+  Feature predict(const Feature& x) const override;
+
+ private:
+  int k_;
+  StandardScaler scaler_;
+  KdTree tree_;  ///< exact accelerator over the scaled training points
+  std::vector<Feature> ys_;
+};
+
+/// Indices of the k nearest rows of `xs` to `q` under squared L2.
+/// Exposed for testing and for the association module's diagnostics.
+std::vector<std::size_t> k_nearest(const std::vector<Feature>& xs,
+                                   const Feature& q, int k);
+
+}  // namespace mvs::ml

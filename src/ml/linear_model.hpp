@@ -1,0 +1,31 @@
+#pragma once
+// Multi-output linear regression (Fig. 11's "learnable homography
+// transformation" baseline), solved exactly via ridge-regularized normal
+// equations.
+
+#include "ml/model.hpp"
+
+namespace mvs::ml {
+
+class LinearRegression final : public VectorRegressor {
+ public:
+  explicit LinearRegression(double ridge = 1e-6) : ridge_(ridge) {}
+
+  void fit(const std::vector<Feature>& xs,
+           const std::vector<Feature>& ys) override;
+  Feature predict(const Feature& x) const override;
+
+  /// Fit on a subset of sample indices (used by RANSAC).
+  void fit_subset(const std::vector<Feature>& xs,
+                  const std::vector<Feature>& ys,
+                  const std::vector<std::size_t>& idx);
+
+  bool fitted() const { return !coef_.empty(); }
+
+ private:
+  double ridge_;
+  // coef_[out] is a (dim+1)-vector: weights then bias, one per output.
+  std::vector<Feature> coef_;
+};
+
+}  // namespace mvs::ml

@@ -1,0 +1,50 @@
+#pragma once
+// Common model interfaces for the cross-camera association module
+// (paper Sec. II-C) and its baselines (Figures 10 and 11).
+//
+// Features are dense double vectors; for association they are
+// [cx, cy, w, h] of a source-camera bounding box (normalized by frame size).
+
+#include <vector>
+
+namespace mvs::ml {
+
+using Feature = std::vector<double>;
+
+/// Binary classifier: "does this source-camera object appear on the target
+/// camera?" (paper Fig. 10 compares KNN / SVM / logistic / decision tree).
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// labels[i] in {0, 1}. Precondition: xs.size() == labels.size() > 0 and
+  /// all feature vectors share one dimension.
+  virtual void fit(const std::vector<Feature>& xs,
+                   const std::vector<int>& labels) = 0;
+
+  virtual bool predict(const Feature& x) const = 0;
+
+  /// Signed score; > 0 means positive. Enables threshold sweeps.
+  virtual double decision(const Feature& x) const = 0;
+};
+
+/// Multi-output regressor: source box features -> target-camera box
+/// [cx, cy, w, h] (paper Fig. 11 compares KNN / homography / linear / RANSAC).
+class VectorRegressor {
+ public:
+  virtual ~VectorRegressor() = default;
+
+  /// Precondition: xs.size() == ys.size() > 0; each ys[i] shares one output
+  /// dimension.
+  virtual void fit(const std::vector<Feature>& xs,
+                   const std::vector<Feature>& ys) = 0;
+
+  virtual Feature predict(const Feature& x) const = 0;
+};
+
+/// Mean absolute error across all output coordinates of a test set.
+double mean_absolute_error(const VectorRegressor& model,
+                           const std::vector<Feature>& xs,
+                           const std::vector<Feature>& ys);
+
+}  // namespace mvs::ml

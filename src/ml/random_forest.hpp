@@ -1,0 +1,35 @@
+#pragma once
+// Bagged decision-tree ensemble — an extra association-classifier baseline
+// beyond the paper's four (reported as "extra" in the Fig. 10 bench).
+// Each tree trains on a bootstrap sample; prediction averages the leaves'
+// positive fractions.
+
+#include "ml/decision_tree.hpp"
+#include "ml/model.hpp"
+
+namespace mvs::ml {
+
+class RandomForest final : public BinaryClassifier {
+ public:
+  struct Config {
+    int trees = 15;
+    DecisionTree::Config tree{};
+    std::uint64_t seed = 41;
+  };
+
+  RandomForest() = default;
+  explicit RandomForest(Config cfg) : cfg_(cfg) {}
+
+  void fit(const std::vector<Feature>& xs,
+           const std::vector<int>& labels) override;
+  bool predict(const Feature& x) const override;
+  double decision(const Feature& x) const override;
+
+  std::size_t tree_count() const { return forest_.size(); }
+
+ private:
+  Config cfg_{};
+  std::vector<DecisionTree> forest_;
+};
+
+}  // namespace mvs::ml

@@ -1,0 +1,47 @@
+#include "ml/scaler.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mvs::ml {
+
+void StandardScaler::fit(const std::vector<Feature>& xs) {
+  assert(!xs.empty());
+  const std::size_t dim = xs.front().size();
+  mean_.assign(dim, 0.0);
+  inv_std_.assign(dim, 0.0);
+  for (const Feature& x : xs) {
+    assert(x.size() == dim);
+    for (std::size_t d = 0; d < dim; ++d) mean_[d] += x[d];
+  }
+  const double n = static_cast<double>(xs.size());
+  for (double& m : mean_) m /= n;
+  std::vector<double> var(dim, 0.0);
+  for (const Feature& x : xs)
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double delta = x[d] - mean_[d];
+      var[d] += delta * delta;
+    }
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double s = std::sqrt(var[d] / n);
+    inv_std_[d] = s > 1e-12 ? 1.0 / s : 1.0;
+  }
+}
+
+Feature StandardScaler::transform(const Feature& x) const {
+  assert(x.size() == mean_.size());
+  Feature out(x.size());
+  for (std::size_t d = 0; d < x.size(); ++d)
+    out[d] = (x[d] - mean_[d]) * inv_std_[d];
+  return out;
+}
+
+std::vector<Feature> StandardScaler::transform_all(
+    const std::vector<Feature>& xs) const {
+  std::vector<Feature> out;
+  out.reserve(xs.size());
+  for (const Feature& x : xs) out.push_back(transform(x));
+  return out;
+}
+
+}  // namespace mvs::ml

@@ -1,0 +1,21 @@
+#pragma once
+// Per-dimension standardization (zero mean, unit variance). SGD-trained
+// baselines (logistic regression, linear SVM) need this; KNN benefits too.
+
+#include "ml/model.hpp"
+
+namespace mvs::ml {
+
+class StandardScaler {
+ public:
+  void fit(const std::vector<Feature>& xs);
+  Feature transform(const Feature& x) const;
+  std::vector<Feature> transform_all(const std::vector<Feature>& xs) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  Feature mean_;
+  Feature inv_std_;
+};
+
+}  // namespace mvs::ml

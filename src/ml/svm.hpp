@@ -1,0 +1,33 @@
+#pragma once
+// Linear support-vector-machine baseline (Fig. 10), trained with the
+// Pegasos primal sub-gradient method on the hinge loss.
+
+#include "ml/model.hpp"
+#include "ml/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace mvs::ml {
+
+class LinearSvm final : public BinaryClassifier {
+ public:
+  struct Config {
+    int epochs = 200;
+    double lambda = 1e-3;  ///< regularization strength
+    std::uint64_t seed = 11;
+  };
+
+  LinearSvm() = default;
+  explicit LinearSvm(Config cfg) : cfg_(cfg) {}
+
+  void fit(const std::vector<Feature>& xs,
+           const std::vector<int>& labels) override;
+  bool predict(const Feature& x) const override;
+  double decision(const Feature& x) const override;
+
+ private:
+  Config cfg_{};
+  StandardScaler scaler_;
+  Feature weights_;  // last entry is the bias
+};
+
+}  // namespace mvs::ml

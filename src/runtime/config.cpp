@@ -1,0 +1,99 @@
+#include "runtime/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/json.hpp"
+
+namespace mvs::runtime {
+
+std::optional<Policy> parse_policy(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "full") return Policy::kFull;
+  if (name == "balb-ind" || name == "balbind" || name == "ind")
+    return Policy::kBalbInd;
+  if (name == "balb-cen" || name == "balbcen" || name == "cen")
+    return Policy::kBalbCen;
+  if (name == "balb") return Policy::kBalb;
+  if (name == "sp" || name == "static" || name == "static-partition")
+    return Policy::kStaticPartition;
+  return std::nullopt;
+}
+
+std::optional<RunConfig> parse_run_config(const std::string& json_text,
+                                          std::string* error) {
+  const auto doc = util::Json::parse(json_text, error);
+  if (!doc) return std::nullopt;
+  if (!doc->is_object()) {
+    if (error) *error = "config root must be an object";
+    return std::nullopt;
+  }
+
+  RunConfig config;
+  config.scenario = doc->string_or("scenario", config.scenario);
+  if (config.scenario != "S1" && config.scenario != "S2" &&
+      config.scenario != "S3") {
+    if (error) *error = "unknown scenario: " + config.scenario;
+    return std::nullopt;
+  }
+  config.frames = static_cast<int>(doc->number_or("frames", config.frames));
+
+  if (const util::Json* p = doc->find("pipeline")) {
+    if (!p->is_object()) {
+      if (error) *error = "\"pipeline\" must be an object";
+      return std::nullopt;
+    }
+    PipelineConfig& pc = config.pipeline;
+    const auto policy = parse_policy(p->string_or("policy", "balb"));
+    if (!policy) {
+      if (error) *error = "unknown policy: " + p->string_or("policy", "");
+      return std::nullopt;
+    }
+    pc.policy = *policy;
+    pc.horizon_frames =
+        static_cast<int>(p->number_or("horizon_frames", pc.horizon_frames));
+    pc.training_frames =
+        static_cast<int>(p->number_or("training_frames", pc.training_frames));
+    pc.mask_cell_px =
+        static_cast<int>(p->number_or("mask_cell_px", pc.mask_cell_px));
+    pc.recall_iou = p->number_or("recall_iou", pc.recall_iou);
+    pc.seed = static_cast<std::uint64_t>(
+        p->number_or("seed", static_cast<double>(pc.seed)));
+    pc.verbose = p->bool_or("verbose", pc.verbose);
+    if (pc.horizon_frames < 1 || pc.training_frames < 0 ||
+        pc.mask_cell_px < 1) {
+      if (error) *error = "pipeline parameters out of range";
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+std::string dump_run_config(const RunConfig& config) {
+  using util::Json;
+  Json::Object pipeline;
+  const char* policy = "balb";
+  switch (config.pipeline.policy) {
+    case Policy::kFull: policy = "full"; break;
+    case Policy::kBalbInd: policy = "balb-ind"; break;
+    case Policy::kBalbCen: policy = "balb-cen"; break;
+    case Policy::kBalb: policy = "balb"; break;
+    case Policy::kStaticPartition: policy = "sp"; break;
+  }
+  pipeline["policy"] = Json(policy);
+  pipeline["horizon_frames"] = Json(config.pipeline.horizon_frames);
+  pipeline["training_frames"] = Json(config.pipeline.training_frames);
+  pipeline["mask_cell_px"] = Json(config.pipeline.mask_cell_px);
+  pipeline["recall_iou"] = Json(config.pipeline.recall_iou);
+  pipeline["seed"] = Json(static_cast<double>(config.pipeline.seed));
+  pipeline["verbose"] = Json(config.pipeline.verbose);
+
+  Json::Object root;
+  root["scenario"] = Json(config.scenario);
+  root["frames"] = Json(config.frames);
+  root["pipeline"] = Json(std::move(pipeline));
+  return Json(std::move(root)).dump();
+}
+
+}  // namespace mvs::runtime

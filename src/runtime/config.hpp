@@ -1,0 +1,40 @@
+#pragma once
+// JSON run configuration for the pipeline — what a deployment would ship in
+// /etc: scenario, policy, horizon, seeds. Round-trips through util::Json.
+//
+// Example document:
+//   {
+//     "scenario": "S1",
+//     "frames": 200,
+//     "pipeline": {
+//       "policy": "balb", "horizon_frames": 10,
+//       "training_frames": 200, "seed": 42
+//     }
+//   }
+
+#include <optional>
+#include <string>
+
+#include "runtime/pipeline.hpp"
+
+namespace mvs::runtime {
+
+struct RunConfig {
+  std::string scenario = "S1";
+  int frames = 200;
+  PipelineConfig pipeline;
+};
+
+/// Parse a policy name ("full", "balb-ind", "balb-cen", "balb", "sp"),
+/// case-insensitive. nullopt on unknown names.
+std::optional<Policy> parse_policy(std::string name);
+
+/// Parse a config document; nullopt (with *error filled) on malformed JSON,
+/// unknown policy or unknown scenario name.
+std::optional<RunConfig> parse_run_config(const std::string& json_text,
+                                          std::string* error = nullptr);
+
+/// Serialize back to JSON (round-trips through parse_run_config).
+std::string dump_run_config(const RunConfig& config);
+
+}  // namespace mvs::runtime

@@ -1,0 +1,58 @@
+#include "runtime/oracles.hpp"
+
+#include <algorithm>
+
+namespace mvs::runtime {
+
+namespace {
+
+geom::BBox probe_box(geom::Vec2 center) {
+  return geom::BBox::from_center(center, kProbeBoxSide, kProbeBoxSide);
+}
+
+std::vector<int> coverage_of(const assoc::CrossCameraAssociator& associator,
+                             int cam, geom::Vec2 center) {
+  std::vector<int> cover{cam};
+  const geom::BBox probe = probe_box(center);
+  for (std::size_t other = 0; other < associator.camera_count(); ++other) {
+    if (static_cast<int>(other) == cam) continue;
+    if (associator.predict_present(static_cast<std::size_t>(cam), other,
+                                   probe))
+      cover.push_back(static_cast<int>(other));
+  }
+  std::sort(cover.begin(), cover.end());
+  return cover;
+}
+
+}  // namespace
+
+core::CellCoverageFn make_coverage_oracle(
+    const assoc::CrossCameraAssociator& associator) {
+  return [&associator](int cam, geom::Vec2 center) {
+    return coverage_of(associator, cam, center);
+  };
+}
+
+core::RegionKeyFn make_region_key_oracle(
+    const assoc::CrossCameraAssociator& associator) {
+  return [&associator](int cam, geom::Vec2 center) -> std::uint64_t {
+    const std::vector<int> cover = coverage_of(associator, cam, center);
+    const int canonical = cover.front();  // sorted -> lowest index
+    geom::Vec2 canon_center = center;
+    if (canonical != cam) {
+      const geom::BBox mapped =
+          associator.predict_box(static_cast<std::size_t>(cam),
+                                 static_cast<std::size_t>(canonical),
+                                 probe_box(center));
+      canon_center = mapped.center();
+    }
+    // Quantize to 64-px world cells on the canonical camera.
+    const auto qx = static_cast<std::int64_t>(canon_center.x / 64.0);
+    const auto qy = static_cast<std::int64_t>(canon_center.y / 64.0);
+    return static_cast<std::uint64_t>(canonical) * 0x100000000ULL ^
+           (static_cast<std::uint64_t>(qy & 0xFFFF) << 16) ^
+           static_cast<std::uint64_t>(qx & 0xFFFF);
+  };
+}
+
+}  // namespace mvs::runtime

@@ -1,0 +1,31 @@
+#pragma once
+// Adapters wiring the data-driven cross-camera models (assoc) into the
+// mask-construction oracles the core scheduler consumes (paper Sec. III-C2:
+// "the computation of the coverage set for each cell relies on the
+// cross-camera classification and regression models").
+
+#include <cstdint>
+#include <vector>
+
+#include "assoc/association.hpp"
+#include "core/masks.hpp"
+
+namespace mvs::runtime {
+
+/// Side of the nominal probe box placed at a cell center when querying the
+/// pair models about that cell's coverage.
+inline constexpr double kProbeBoxSide = 64.0;
+
+/// Coverage oracle: cameras able to see the world region behind a pixel
+/// cell, per the trained classification models.
+core::CellCoverageFn make_coverage_oracle(
+    const assoc::CrossCameraAssociator& associator);
+
+/// Deterministic world-region key: the probe location mapped to the
+/// lowest-index covering camera (the canonical view) and quantized, so all
+/// cameras derive the same key for the same region. Used by the Static
+/// Partitioning masks.
+core::RegionKeyFn make_region_key_oracle(
+    const assoc::CrossCameraAssociator& associator);
+
+}  // namespace mvs::runtime

@@ -1,0 +1,709 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "assoc/association.hpp"
+#include "core/baselines.hpp"
+#include "core/central_balb.hpp"
+#include "core/distributed.hpp"
+#include "detect/simulated_detector.hpp"
+#include "geometry/size_class.hpp"
+#include "gpu/batch_planner.hpp"
+#include "metrics/metrics.hpp"
+#include "net/link.hpp"
+#include "net/messages.hpp"
+#include "runtime/oracles.hpp"
+#include "sim/dataset.hpp"
+#include "track/flow_tracker.hpp"
+#include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/stopwatch.hpp"
+#include "vision/regions.hpp"
+#include "vision/renderer.hpp"
+
+namespace mvs::runtime {
+
+namespace {
+
+/// An object this camera can see but is NOT assigned to track. Its box is
+/// kept alive by free optical-flow projection so the camera can (a) avoid
+/// re-detecting it as "new" and (b) take over its tracking if it leaves the
+/// assigned camera's view (distributed-stage case 2).
+struct Ghost {
+  std::uint64_t key = 0;
+  geom::BBox box;
+  int assigned_cam = -1;
+};
+
+/// Greedy IoU non-maximum suppression; overlapping partial-frame ROIs can
+/// yield duplicate detections of one object.
+std::vector<detect::Detection> nms(std::vector<detect::Detection> dets,
+                                   double iou_threshold) {
+  std::sort(dets.begin(), dets.end(),
+            [](const detect::Detection& a, const detect::Detection& b) {
+              return a.score > b.score;
+            });
+  std::vector<detect::Detection> kept;
+  for (const detect::Detection& d : dets) {
+    bool suppressed = false;
+    for (const detect::Detection& k : kept) {
+      if (geom::iou(d.box, k.box) >= iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+struct CameraNode {
+  int index = 0;
+  gpu::DeviceProfile device;
+  double frame_w = 0.0, frame_h = 0.0;
+  double render_scale = 4.0;
+  vision::Renderer renderer;
+  vision::OpticalFlow flow_engine;
+  track::FlowTracker tracker;
+  vision::Image prev;
+  std::vector<Ghost> ghosts;
+  util::Rng rng;
+  std::vector<std::uint8_t> batch_buffer;
+
+  vision::Image render(const std::vector<detect::GroundTruthObject>& gt,
+                       long frame) const {
+    std::vector<vision::RenderObject> objs;
+    objs.reserve(gt.size());
+    for (const detect::GroundTruthObject& o : gt) {
+      objs.push_back({o.id,
+                      geom::BBox{o.box.x / render_scale, o.box.y / render_scale,
+                                 o.box.w / render_scale,
+                                 o.box.h / render_scale}});
+    }
+    return renderer.render(objs, frame,
+                           0x5EED0000ULL + static_cast<std::uint64_t>(index));
+  }
+
+  /// Drop tracks that have left the frame (the clamped box lost most of its
+  /// area); returns the ids dropped.
+  std::vector<long> cull_departed() {
+    std::vector<long> dropped;
+    auto& ts = tracker.tracks();
+    for (auto it = ts.begin(); it != ts.end();) {
+      const geom::BBox clipped = it->box.clamped(frame_w, frame_h);
+      if (it->box.area() <= 0.0 ||
+          clipped.area() < 0.3 * it->box.area()) {
+        dropped.push_back(it->id);
+        it = ts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+};
+
+}  // namespace
+
+struct Pipeline::Impl {
+  Impl(const std::string& scenario_name, const PipelineConfig& config)
+      : cfg(config),
+        player(sim::make_scenario(scenario_name, config.seed),
+               /*warmup_s=*/45.0),
+        recall(config.recall_iou) {
+    scenario_name_ = scenario_name;
+    const sim::Scenario& sc = player.scenario();
+    const std::size_t m = sc.cameras.size();
+
+    std::vector<std::pair<double, double>> frame_sizes;
+    for (const sim::ScenarioCamera& cam : sc.cameras)
+      frame_sizes.emplace_back(cam.model.width(), cam.model.height());
+
+    util::Rng root(cfg.seed ^ 0xABCDEF12ULL);
+    for (std::size_t i = 0; i < m; ++i) {
+      CameraNode node;
+      node.index = static_cast<int>(i);
+      node.device = sc.cameras[i].device;
+      node.frame_w = static_cast<double>(sc.cameras[i].model.width());
+      node.frame_h = static_cast<double>(sc.cameras[i].model.height());
+      node.render_scale = sc.render_scale;
+      vision::Renderer::Config rc;
+      rc.width = static_cast<int>(node.frame_w / sc.render_scale);
+      rc.height = static_cast<int>(node.frame_h / sc.render_scale);
+      node.renderer = vision::Renderer(rc);
+      node.tracker = track::FlowTracker(track::FlowTracker::Config{}, sizes);
+      node.rng = root.fork();
+      cameras.push_back(std::move(node));
+    }
+
+    // Train the cross-camera models on the first split. All policies consume
+    // the training frames so every policy evaluates the identical segment.
+    const std::vector<sim::MultiFrame> training =
+        player.take(cfg.training_frames);
+    if (needs_association()) {
+      associator = std::make_unique<assoc::CrossCameraAssociator>(frame_sizes);
+      associator->train(training);
+      build_cell_cache(frame_sizes);
+    }
+  }
+
+  bool needs_association() const {
+    return cfg.policy == Policy::kBalb || cfg.policy == Policy::kBalbCen ||
+           cfg.policy == Policy::kStaticPartition;
+  }
+
+  /// Static per-deployment cell oracles: cell coverage sets and region keys
+  /// depend only on camera poses, so they are computed once from the trained
+  /// models and reused by every horizon's mask construction.
+  void build_cell_cache(
+      const std::vector<std::pair<double, double>>& frame_sizes) {
+    const core::CellCoverageFn cov = make_coverage_oracle(*associator);
+    const core::RegionKeyFn key = make_region_key_oracle(*associator);
+    for (std::size_t i = 0; i < cameras.size(); ++i) {
+      CellCache cache{geom::Grid(static_cast<int>(frame_sizes[i].first),
+                                 static_cast<int>(frame_sizes[i].second),
+                                 cfg.mask_cell_px),
+                      {},
+                      {}};
+      cache.coverage.resize(cache.grid.cell_count());
+      cache.region_key.resize(cache.grid.cell_count());
+      for (int r = 0; r < cache.grid.rows(); ++r) {
+        for (int c = 0; c < cache.grid.cols(); ++c) {
+          const geom::CellIndex cell{c, r};
+          const geom::Vec2 center = cache.grid.cell_box(cell).center();
+          cache.coverage[cache.grid.flat(cell)] =
+              cov(static_cast<int>(i), center);
+          cache.region_key[cache.grid.flat(cell)] =
+              key(static_cast<int>(i), center);
+        }
+      }
+      cell_cache.push_back(std::move(cache));
+    }
+  }
+
+  core::CellCoverageFn cached_coverage() const {
+    return [this](int cam, geom::Vec2 center) {
+      const CellCache& cache = cell_cache[static_cast<std::size_t>(cam)];
+      return cache.coverage[cache.grid.flat(cache.grid.cell_at(center))];
+    };
+  }
+
+  core::RegionKeyFn cached_region_key() const {
+    return [this](int cam, geom::Vec2 center) {
+      const CellCache& cache = cell_cache[static_cast<std::size_t>(cam)];
+      return cache.region_key[cache.grid.flat(cache.grid.cell_at(center))];
+    };
+  }
+
+  std::vector<std::pair<int, int>> frame_dims() const {
+    std::vector<std::pair<int, int>> dims;
+    for (const CameraNode& node : cameras)
+      dims.emplace_back(static_cast<int>(node.frame_w),
+                        static_cast<int>(node.frame_h));
+    return dims;
+  }
+
+  std::vector<gpu::DeviceProfile> devices() const {
+    std::vector<gpu::DeviceProfile> out;
+    for (const CameraNode& node : cameras) out.push_back(node.device);
+    return out;
+  }
+
+  // ---- frame steps -------------------------------------------------------
+
+  void full_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
+                       std::vector<std::vector<geom::BBox>>& reported) {
+    for (CameraNode& cam : cameras) {
+      const auto dets = detector.detect_full(
+          mf.per_camera[static_cast<std::size_t>(cam.index)], cam.frame_w,
+          cam.frame_h, cam.rng);
+      stats.camera_infer_ms.push_back(cam.device.full_frame_ms());
+      for (const detect::Detection& d : dets)
+        reported[static_cast<std::size_t>(cam.index)].push_back(d.box);
+    }
+  }
+
+  void key_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
+                      std::vector<std::vector<geom::BBox>>& reported) {
+    const std::size_t m = cameras.size();
+
+    // Full inspection on every camera.
+    std::vector<std::vector<detect::Detection>> dets(m);
+    std::size_t upload_bytes = 0;
+    for (CameraNode& cam : cameras) {
+      const auto i = static_cast<std::size_t>(cam.index);
+      dets[i] = detector.detect_full(mf.per_camera[i], cam.frame_w,
+                                     cam.frame_h, cam.rng);
+      stats.camera_infer_ms.push_back(cam.device.full_frame_ms());
+      for (const detect::Detection& d : dets[i]) reported[i].push_back(d.box);
+      net::DetectionListMsg msg{static_cast<std::uint32_t>(cam.index),
+                                static_cast<std::uint64_t>(mf.frame_index),
+                                dets[i]};
+      upload_bytes += msg.encode().size();
+    }
+
+    if (cfg.policy == Policy::kBalbInd) {
+      for (CameraNode& cam : cameras)
+        cam.tracker.reset_from_detections(
+            dets[static_cast<std::size_t>(cam.index)]);
+    } else {
+      // Central stage: association + scheduling + masks.
+      util::Stopwatch central_sw;
+      const std::vector<assoc::AssociatedObject> objects =
+          associator->associate(dets);
+
+      core::MvsProblem problem;
+      problem.cameras = devices();
+      for (std::size_t j = 0; j < objects.size(); ++j) {
+        core::ObjectSpec spec;
+        spec.key = j;
+        spec.size_class.assign(m, 0);
+        for (std::size_t i = 0; i < m; ++i) {
+          if (objects[j].det_index[i] < 0) continue;
+          spec.coverage.push_back(static_cast<int>(i));
+          spec.size_class[i] = sizes.quantize(objects[j].boxes[i]);
+        }
+        problem.objects.push_back(std::move(spec));
+      }
+
+      core::Assignment assignment;
+      if (cfg.policy == Policy::kStaticPartition) {
+        const core::RegionKeyFn region_key = cached_region_key();
+        std::vector<int> owner(problem.objects.size(), 0);
+        for (std::size_t j = 0; j < problem.objects.size(); ++j) {
+          const int canonical = problem.objects[j].coverage.front();
+          owner[j] = core::power_weighted_owner(
+              problem.objects[j].coverage, problem.cameras,
+              region_key(canonical,
+                         objects[j].boxes[static_cast<std::size_t>(canonical)]
+                             .center()));
+        }
+        assignment = core::static_partition_assignment(problem, owner);
+        if (!sp_masks_ready) {
+          sp_masks = core::build_power_weighted_masks(
+              frame_dims(), cfg.mask_cell_px, cached_coverage(),
+              cached_region_key(), problem.cameras);
+          sp_masks_ready = true;
+        }
+      } else {
+        assignment = core::central_balb(problem);
+        if (cfg.policy == Policy::kBalb) {
+          const std::vector<int> priority = assignment.priority_order();
+          distributed = core::DistributedStage(
+              core::build_priority_masks(frame_dims(), cfg.mask_cell_px,
+                                         cached_coverage(), priority),
+              priority);
+        }
+      }
+      stats.central_ms = central_sw.elapsed_ms();
+      if (trace) {
+        trace->record({mf.frame_index, -1, TraceEventType::kKeyFrame, 0,
+                       assignment.system_latency()});
+        for (std::size_t i = 0; i < m; ++i)
+          for (std::size_t j = 0; j < problem.objects.size(); ++j)
+            if (assignment.x[i][j])
+              trace->record({mf.frame_index, static_cast<int>(i),
+                             TraceEventType::kAssignment, j, 0.0});
+      }
+
+      // Downlink: per-camera assignment slice.
+      std::size_t download_bytes = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        net::AssignmentMsg msg;
+        msg.camera_id = static_cast<std::uint32_t>(i);
+        msg.frame_index = static_cast<std::uint64_t>(mf.frame_index);
+        for (std::size_t j = 0; j < problem.objects.size(); ++j)
+          if (assignment.x[i][j]) msg.assigned_keys.push_back(j);
+        download_bytes += msg.encode().size();
+      }
+      stats.comm_ms =
+          link.upload_ms(upload_bytes) + link.download_ms(download_bytes);
+
+      // Cameras adopt their slices; unassigned-but-covered objects become
+      // ghosts (BALB distributed stage bookkeeping).
+      for (CameraNode& cam : cameras) {
+        const auto i = static_cast<std::size_t>(cam.index);
+        std::vector<detect::Detection> mine;
+        cam.ghosts.clear();
+        for (std::size_t j = 0; j < problem.objects.size(); ++j) {
+          const int det_index = objects[j].det_index[i];
+          if (det_index < 0) continue;
+          if (assignment.x[i][j]) {
+            mine.push_back(dets[i][static_cast<std::size_t>(det_index)]);
+          } else if (cfg.policy == Policy::kBalb) {
+            int tracker_cam = -1;
+            for (std::size_t i2 = 0; i2 < m; ++i2)
+              if (assignment.x[i2][j]) tracker_cam = static_cast<int>(i2);
+            cam.ghosts.push_back(Ghost{j, objects[j].boxes[i], tracker_cam});
+          }
+        }
+        cam.tracker.reset_from_detections(mine);
+      }
+    }
+
+    // Render the key frame so the next regular frame has a flow reference.
+    for (CameraNode& cam : cameras)
+      cam.prev = cam.render(
+          mf.per_camera[static_cast<std::size_t>(cam.index)], mf.frame_index);
+  }
+
+  /// Per-camera regular-frame outcome, reduced into FrameStats afterwards so
+  /// the parallel per-camera execution stays deterministic.
+  struct CamFrameResult {
+    double infer_ms = 0.0;
+    double tracking_ms = 0.0;
+    double distributed_ms = 0.0;
+    double batching_ms = 0.0;
+  };
+
+  void regular_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
+                          std::vector<std::vector<geom::BBox>>& reported) {
+    std::vector<CamFrameResult> results(cameras.size());
+    // Cameras are independent (own tracker/RNG/frames); run them in
+    // parallel, mirroring the real deployment where each smart camera is a
+    // separate device.
+    pool.parallel_for_each(cameras.size(), [&](std::size_t cam_index) {
+      results[cam_index] =
+          regular_camera_step(cameras[cam_index], mf, reported[cam_index]);
+    });
+    for (const CamFrameResult& r : results) {
+      stats.camera_infer_ms.push_back(r.infer_ms);
+      stats.tracking_ms = std::max(stats.tracking_ms, r.tracking_ms);
+      stats.distributed_ms = std::max(stats.distributed_ms, r.distributed_ms);
+      stats.batching_ms = std::max(stats.batching_ms, r.batching_ms);
+    }
+  }
+
+  CamFrameResult regular_camera_step(CameraNode& cam,
+                                     const sim::MultiFrame& mf,
+                                     std::vector<geom::BBox>& cam_reported) {
+    const bool adopts_new = cfg.policy == Policy::kBalb ||
+                            cfg.policy == Policy::kBalbInd ||
+                            cfg.policy == Policy::kStaticPartition;
+    CamFrameResult result;
+    {
+      const auto i = static_cast<std::size_t>(cam.index);
+      const auto& gt = mf.per_camera[i];
+
+      const vision::Image cur = cam.render(gt, mf.frame_index);
+
+      // --- tracking: optical flow + projection + slicing ---
+      util::Stopwatch track_sw;
+      const vision::FlowField flow = cam.flow_engine.compute(cam.prev, cur);
+      cam.tracker.predict(flow, cam.render_scale);
+      for (long dropped : cam.cull_departed())
+        if (trace)
+          trace->record({mf.frame_index, cam.index,
+                         TraceEventType::kTrackDrop,
+                         static_cast<std::uint64_t>(dropped), 0.0});
+      for (Ghost& g : cam.ghosts) {
+        const geom::BBox fb{g.box.x / cam.render_scale,
+                            g.box.y / cam.render_scale,
+                            g.box.w / cam.render_scale,
+                            g.box.h / cam.render_scale};
+        const geom::Vec2 motion = vision::median_flow_in(flow, fb);
+        g.box = g.box.shifted(
+            {motion.x * cam.render_scale, motion.y * cam.render_scale});
+      }
+      std::vector<vision::SliceRegion> slices = vision::slice_regions(
+          cam.tracker.predicted_boxes(), sizes, cam.frame_w, cam.frame_h);
+
+      if (adopts_new) {
+        // Moving pixels not explained by tracks or ghosts = new regions.
+        std::vector<geom::BBox> explained;
+        for (const track::Track& t : cam.tracker.tracks())
+          explained.push_back(t.box);
+        for (const Ghost& g : cam.ghosts) explained.push_back(g.box);
+        std::vector<geom::BBox> fresh = vision::extract_new_regions(
+            flow, explained, cam.render_scale);
+        // Fig. 8 policy applied at inspection time: a camera only searches
+        // for new objects inside cells it owns — inspecting a region whose
+        // tracking it would never adopt is wasted GPU time.
+        std::erase_if(fresh, [&](const geom::BBox& box) {
+          switch (cfg.policy) {
+            case Policy::kBalb:
+              return !(distributed.valid() &&
+                       distributed.should_adopt_new(cam.index, box));
+            case Policy::kStaticPartition:
+              return !(sp_masks_ready &&
+                       sp_masks.owns(cam.index, box.center()));
+            default:
+              return false;  // BALB-Ind inspects everything it sees
+          }
+        });
+        // A merged moving cluster (e.g. a queue released by a green light)
+        // can span far more than one object; tile it into 256-class slices,
+        // which batch far cheaper than serial 512-class inspections.
+        constexpr double kTile = 240.0;  // 240 + 2x8 margin -> class 256
+        for (const geom::BBox& box : fresh) {
+          const int tiles_x = std::max(1, static_cast<int>(std::ceil(box.w / kTile)));
+          const int tiles_y = std::max(1, static_cast<int>(std::ceil(box.h / kTile)));
+          for (int ty = 0; ty < tiles_y; ++ty) {
+            for (int tx = 0; tx < tiles_x; ++tx) {
+              const geom::BBox tile{box.x + tx * box.w / tiles_x,
+                                    box.y + ty * box.h / tiles_y,
+                                    box.w / tiles_x, box.h / tiles_y};
+              vision::SliceRegion region;
+              region.track_id = -1;
+              region.size_class = sizes.quantize(tile);
+              region.roi = sizes.expand_to_class(tile, region.size_class)
+                               .clamped(cam.frame_w, cam.frame_h);
+              if (!region.roi.empty()) slices.push_back(region);
+            }
+          }
+        }
+      }
+      result.tracking_ms = track_sw.elapsed_ms();
+
+      // --- GPU batching: plan + assemble input tensors ---
+      util::Stopwatch batch_sw;
+      std::vector<geom::SizeClassId> tasks;
+      tasks.reserve(slices.size());
+      for (const vision::SliceRegion& s : slices) tasks.push_back(s.size_class);
+      const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
+      assemble_batches(cam, cur, slices);
+      result.batching_ms = batch_sw.elapsed_ms();
+
+      result.infer_ms = plan.actual_latency_ms;
+
+      // --- partial-frame inspection ---
+      std::vector<detect::Detection> dets;
+      for (const vision::SliceRegion& s : slices) {
+        const auto roi_dets = detector.detect_roi(
+            gt, s.roi, sizes.size_of(s.size_class), cam.rng);
+        dets.insert(dets.end(), roi_dets.begin(), roi_dets.end());
+      }
+      dets = nms(std::move(dets), 0.6);
+
+      const track::FlowTracker::UpdateResult update =
+          cam.tracker.update(dets);
+      if (trace)
+        for (long removed : update.removed_track_ids)
+          trace->record({mf.frame_index, cam.index,
+                         TraceEventType::kTrackDrop,
+                         static_cast<std::uint64_t>(removed), 0.0});
+
+      // --- distributed BALB stage ---
+      util::Stopwatch dist_sw;
+      for (std::size_t d : update.unmatched_detections) {
+        const detect::Detection& det = dets[d];
+        // Detections overlapping a ghost belong to an object tracked
+        // elsewhere; never adopt those as new.
+        bool ghost_owned = false;
+        for (const Ghost& g : cam.ghosts) {
+          if (geom::iou(det.box, g.box) > 0.25) {
+            ghost_owned = true;
+            break;
+          }
+        }
+        if (ghost_owned) continue;
+
+        bool adopt = false;
+        switch (cfg.policy) {
+          case Policy::kBalbInd: adopt = true; break;
+          case Policy::kBalb:
+            adopt = distributed.valid() &&
+                    distributed.should_adopt_new(cam.index, det.box);
+            break;
+          case Policy::kStaticPartition:
+            adopt = sp_masks_ready &&
+                    sp_masks.owns(cam.index, det.box.center());
+            break;
+          case Policy::kBalbCen:
+          case Policy::kFull: break;
+        }
+        if (adopt) {
+          const long id = cam.tracker.add_track(det);
+          if (trace)
+            trace->record({mf.frame_index, cam.index,
+                           TraceEventType::kAdoptNew,
+                           static_cast<std::uint64_t>(id), 0.0});
+        }
+      }
+
+      if (cfg.policy == Policy::kBalb && distributed.valid()) {
+        takeover_pass(cam, mf.frame_index);
+      }
+      result.distributed_ms = dist_sw.elapsed_ms();
+
+      cam.prev = cur;
+      for (const track::Track& t : cam.tracker.tracks())
+        cam_reported.push_back(t.box);
+    }
+    return result;
+  }
+
+  /// Distributed-stage case 2: ghosts whose assigned camera lost sight of
+  /// them are taken over by the highest-priority camera that still sees
+  /// them — decided locally from the shared models, no communication.
+  void takeover_pass(CameraNode& cam, long frame_index) {
+    const auto i = static_cast<std::size_t>(cam.index);
+    std::vector<Ghost> kept;
+    for (Ghost& g : cam.ghosts) {
+      const geom::BBox clipped = g.box.clamped(cam.frame_w, cam.frame_h);
+      if (g.box.area() <= 0.0 || clipped.area() < 0.3 * g.box.area())
+        continue;  // left my view too; drop
+      const bool assigned_sees =
+          g.assigned_cam >= 0 &&
+          (g.assigned_cam == cam.index ||
+           associator->predict_present(i,
+                                       static_cast<std::size_t>(g.assigned_cam),
+                                       g.box));
+      if (assigned_sees) {
+        kept.push_back(g);
+        continue;
+      }
+      // The assigned camera (apparently) lost it; elect a successor.
+      std::vector<int> visible{cam.index};
+      for (std::size_t i2 = 0; i2 < cameras.size(); ++i2) {
+        if (i2 == i) continue;
+        if (associator->predict_present(i, i2, g.box))
+          visible.push_back(static_cast<int>(i2));
+      }
+      const int successor = distributed.takeover_camera(visible);
+      if (successor == cam.index) {
+        detect::Detection det;
+        det.box = g.box;
+        det.score = 0.5;
+        cam.tracker.add_track(det);  // inspected from the next frame on
+        if (trace)
+          trace->record({frame_index, cam.index, TraceEventType::kTakeover,
+                         g.key, 0.0});
+      } else {
+        g.assigned_cam = successor;
+        kept.push_back(g);
+      }
+    }
+    cam.ghosts = std::move(kept);
+  }
+
+  /// Copy every slice's pixels (at render resolution) into a contiguous
+  /// batch buffer — the real data-movement cost behind GPU batching, which
+  /// is what the paper's "Batching" overhead column measures.
+  void assemble_batches(CameraNode& cam, const vision::Image& frame,
+                        const std::vector<vision::SliceRegion>& slices) {
+    std::size_t total = 0;
+    for (const vision::SliceRegion& s : slices) {
+      const int side = std::max(
+          1, static_cast<int>(sizes.size_of(s.size_class) / cam.render_scale));
+      total += static_cast<std::size_t>(side) * static_cast<std::size_t>(side);
+    }
+    cam.batch_buffer.resize(total);
+    std::size_t offset = 0;
+    for (const vision::SliceRegion& s : slices) {
+      const int side = std::max(
+          1, static_cast<int>(sizes.size_of(s.size_class) / cam.render_scale));
+      const int x0 = static_cast<int>(s.roi.x / cam.render_scale);
+      const int y0 = static_cast<int>(s.roi.y / cam.render_scale);
+      for (int y = 0; y < side; ++y)
+        for (int x = 0; x < side; ++x)
+          cam.batch_buffer[offset++] = frame.at_clamped(x0 + x, y0 + y);
+    }
+  }
+
+  // ---- members -----------------------------------------------------------
+
+  PipelineConfig cfg;
+  sim::ScenarioPlayer player;
+  std::string scenario_name_;
+  geom::SizeClassSet sizes;
+  detect::SimulatedDetector detector;
+  std::unique_ptr<assoc::CrossCameraAssociator> associator;
+  std::vector<CameraNode> cameras;
+  net::LinkModel link;
+
+  struct CellCache {
+    geom::Grid grid;
+    std::vector<std::vector<int>> coverage;
+    std::vector<std::uint64_t> region_key;
+  };
+  std::vector<CellCache> cell_cache;
+
+  core::DistributedStage distributed;
+  TraceRecorder* trace = nullptr;
+  util::ThreadPool pool;
+  core::CameraMasks sp_masks;
+  bool sp_masks_ready = false;
+  metrics::ObjectRecall recall;
+};
+
+Pipeline::Pipeline(const std::string& scenario_name,
+                   const PipelineConfig& config)
+    : config_(config), impl_(std::make_unique<Impl>(scenario_name, config)) {}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::attach_trace(TraceRecorder* trace) { impl_->trace = trace; }
+
+PipelineResult Pipeline::run(int frames) {
+  PipelineResult result;
+  result.scenario = impl_->scenario_name_;
+  result.policy = config_.policy;
+
+  for (int f = 0; f < frames; ++f) {
+    const sim::MultiFrame mf = impl_->player.next();
+    FrameStats stats;
+    stats.frame = mf.frame_index;
+    stats.key_frame = (f % config_.horizon_frames == 0);
+
+    std::vector<std::vector<geom::BBox>> reported(impl_->cameras.size());
+    if (config_.policy == Policy::kFull) {
+      impl_->full_frame_step(mf, stats, reported);
+    } else if (stats.key_frame) {
+      impl_->key_frame_step(mf, stats, reported);
+    } else {
+      impl_->regular_frame_step(mf, stats, reported);
+    }
+
+    stats.slowest_infer_ms = 0.0;
+    for (double v : stats.camera_infer_ms)
+      stats.slowest_infer_ms = std::max(stats.slowest_infer_ms, v);
+
+    stats.frame_recall = impl_->recall.add_frame(mf.per_camera, reported);
+    std::size_t gt = 0;
+    for (const auto& cam_gt : mf.per_camera) gt += cam_gt.size();
+    stats.gt_objects = gt;
+    for (const CameraNode& cam : impl_->cameras)
+      stats.tracked_objects += cam.tracker.tracks().size();
+
+    result.frames.push_back(std::move(stats));
+    if (config_.verbose && f % 50 == 0)
+      util::log_info("frame ", f, " recall=", result.frames.back().frame_recall,
+                     " slowest=", result.frames.back().slowest_infer_ms, "ms");
+  }
+  result.object_recall = impl_->recall.recall();
+  return result;
+}
+
+namespace {
+double mean_over_frames(const std::vector<FrameStats>& frames,
+                        double FrameStats::*member) {
+  if (frames.empty()) return 0.0;
+  double acc = 0.0;
+  for (const FrameStats& f : frames) acc += f.*member;
+  return acc / static_cast<double>(frames.size());
+}
+}  // namespace
+
+double PipelineResult::mean_slowest_infer_ms() const {
+  return mean_over_frames(frames, &FrameStats::slowest_infer_ms);
+}
+double PipelineResult::mean_central_ms() const {
+  return mean_over_frames(frames, &FrameStats::central_ms);
+}
+double PipelineResult::mean_tracking_ms() const {
+  return mean_over_frames(frames, &FrameStats::tracking_ms);
+}
+double PipelineResult::mean_distributed_ms() const {
+  return mean_over_frames(frames, &FrameStats::distributed_ms);
+}
+double PipelineResult::mean_batching_ms() const {
+  return mean_over_frames(frames, &FrameStats::batching_ms);
+}
+double PipelineResult::mean_comm_ms() const {
+  return mean_over_frames(frames, &FrameStats::comm_ms);
+}
+
+}  // namespace mvs::runtime

@@ -1,0 +1,27 @@
+#pragma once
+// Scheduling policies evaluated in the paper (Sec. IV-C baselines).
+
+#include <string>
+
+namespace mvs::runtime {
+
+enum class Policy {
+  kFull,             ///< full-frame detection on every frame, every camera
+  kBalbInd,          ///< per-camera BALB slicing/batching, no cross-camera sharing
+  kBalbCen,          ///< central stage only; no distributed stage
+  kBalb,             ///< complete BALB: central + distributed stages
+  kStaticPartition,  ///< offline power-proportional region partitioning
+};
+
+inline const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kFull: return "Full";
+    case Policy::kBalbInd: return "BALB-Ind";
+    case Policy::kBalbCen: return "BALB-Cen";
+    case Policy::kBalb: return "BALB";
+    case Policy::kStaticPartition: return "SP";
+  }
+  return "?";
+}
+
+}  // namespace mvs::runtime

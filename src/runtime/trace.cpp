@@ -1,0 +1,59 @@
+#include "runtime/trace.hpp"
+
+#include "util/json.hpp"
+
+namespace mvs::runtime {
+
+const char* to_string(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kKeyFrame: return "key_frame";
+    case TraceEventType::kAssignment: return "assignment";
+    case TraceEventType::kAdoptNew: return "adopt_new";
+    case TraceEventType::kTakeover: return "takeover";
+    case TraceEventType::kTrackDrop: return "track_drop";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  std::scoped_lock lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::count(TraceEventType type) const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) n += (e.type == type);
+  return n;
+}
+
+std::size_t TraceRecorder::total() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+std::string TraceRecorder::to_json() const {
+  util::Json::Array array;
+  for (const TraceEvent& e : events()) {
+    util::Json::Object obj;
+    obj["frame"] = util::Json(static_cast<double>(e.frame));
+    obj["camera"] = util::Json(e.camera);
+    obj["type"] = util::Json(to_string(e.type));
+    obj["object"] = util::Json(static_cast<double>(e.object_key));
+    obj["value"] = util::Json(e.value);
+    array.push_back(util::Json(std::move(obj)));
+  }
+  return util::Json(std::move(array)).dump();
+}
+
+}  // namespace mvs::runtime

@@ -1,0 +1,54 @@
+#pragma once
+// Structured event trace of scheduler activity.
+//
+// Attach a TraceRecorder to a Pipeline to capture every scheduling decision
+// — central-stage assignments, distributed-stage adoptions and takeovers,
+// track drops — with frame/camera attribution. The recorder is
+// thread-safe (camera steps run on a pool) and exports JSON for offline
+// inspection of *why* the schedule looked the way it did.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvs::runtime {
+
+enum class TraceEventType {
+  kKeyFrame,    ///< central stage ran; value = system latency estimate (ms)
+  kAssignment,  ///< object assigned to camera at a key frame
+  kAdoptNew,    ///< distributed stage adopted a new object
+  kTakeover,    ///< camera took over an object that left its tracker's view
+  kTrackDrop,   ///< track lost (missed too long or left the frame)
+};
+
+const char* to_string(TraceEventType type);
+
+struct TraceEvent {
+  long frame = 0;
+  int camera = -1;  ///< -1 = central scheduler
+  TraceEventType type = TraceEventType::kKeyFrame;
+  std::uint64_t object_key = 0;  ///< object/track identity where applicable
+  double value = 0.0;            ///< type-specific payload
+};
+
+class TraceRecorder {
+ public:
+  void record(const TraceEvent& event);
+
+  /// Snapshot of all events so far (copy; safe while recording continues).
+  std::vector<TraceEvent> events() const;
+
+  std::size_t count(TraceEventType type) const;
+  std::size_t total() const;
+  void clear();
+
+  /// JSON array of event objects.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mvs::runtime

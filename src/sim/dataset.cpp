@@ -1,0 +1,41 @@
+#include "sim/dataset.hpp"
+
+#include <cassert>
+
+namespace mvs::sim {
+
+ScenarioPlayer::ScenarioPlayer(Scenario scenario, double warmup_s)
+    : scenario_(std::move(scenario)) {
+  assert(scenario_.world);
+  const double dt = 1.0 / scenario_.fps;
+  for (double t = 0.0; t < warmup_s; t += dt) scenario_.world->step(dt);
+}
+
+MultiFrame ScenarioPlayer::next() {
+  const double dt = 1.0 / scenario_.fps;
+  scenario_.world->step(dt);
+
+  MultiFrame frame;
+  frame.frame_index = frame_index_++;
+  frame.time_s = scenario_.world->time();
+  frame.world_objects = scenario_.world->objects();
+  frame.per_camera.resize(scenario_.cameras.size());
+  for (std::size_t c = 0; c < scenario_.cameras.size(); ++c) {
+    for (const WorldObject& obj : frame.world_objects) {
+      if (auto gt = scenario_.cameras[c].model.observe(obj))
+        frame.per_camera[c].push_back(*gt);
+    }
+    frame.per_camera[c] =
+        apply_occlusion(std::move(frame.per_camera[c]), scenario_.occlusion);
+  }
+  return frame;
+}
+
+std::vector<MultiFrame> ScenarioPlayer::take(int n) {
+  std::vector<MultiFrame> frames;
+  frames.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) frames.push_back(next());
+  return frames;
+}
+
+}  // namespace mvs::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Frame playback: steps the scenario world at the camera frame rate and
+// produces synchronized per-camera ground truth — the interface the rest of
+// the system consumes in place of the AIC21 video + label files.
+
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "sim/scenario.hpp"
+
+namespace mvs::sim {
+
+/// Ground truth for all cameras at one synchronized timestamp.
+struct MultiFrame {
+  long frame_index = 0;
+  double time_s = 0.0;
+  /// per_camera[i] = objects visible from scenario camera i.
+  std::vector<std::vector<detect::GroundTruthObject>> per_camera;
+  /// World objects present anywhere in the scene (for recall accounting:
+  /// an object counts toward ground truth only if at least one camera can
+  /// see it, matching the paper's object-recall definition).
+  std::vector<WorldObject> world_objects;
+};
+
+class ScenarioPlayer {
+ public:
+  /// Takes ownership of the scenario. `warmup_s` seconds are simulated
+  /// before the first frame so traffic is already flowing.
+  explicit ScenarioPlayer(Scenario scenario, double warmup_s = 60.0);
+
+  /// Advance one frame interval and capture all cameras.
+  MultiFrame next();
+
+  /// Capture `n` consecutive frames.
+  std::vector<MultiFrame> take(int n);
+
+  const Scenario& scenario() const { return scenario_; }
+  std::size_t camera_count() const { return scenario_.cameras.size(); }
+
+ private:
+  Scenario scenario_;
+  long frame_index_ = 0;
+};
+
+}  // namespace mvs::sim

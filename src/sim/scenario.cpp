@@ -1,0 +1,123 @@
+#include "sim/scenario.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mvs::sim {
+
+namespace {
+
+CameraModel make_camera(Vec3 pos, double yaw_deg, double pitch_deg,
+                        double focal = 900.0, double max_depth = 120.0) {
+  CameraModel::Config cfg;
+  cfg.position = pos;
+  cfg.yaw_deg = yaw_deg;
+  cfg.pitch_deg = pitch_deg;
+  cfg.focal_px = focal;
+  cfg.max_depth_m = max_depth;
+  return CameraModel(cfg);
+}
+
+}  // namespace
+
+Scenario make_s1(std::uint64_t seed) {
+  // Signalized intersection at the origin; approaches along +/-x and +/-y.
+  // Phase group 0 = east-west green, group 1 = north-south green.
+  std::vector<Route> routes;
+  auto add_road = [&](geom::Vec2 from, geom::Vec2 to, int phase) {
+    Route r({from, to}, 11.0);
+    r.stop_line_s = 68.0;  // 12 m before the 80 m mark (the crossing)
+    r.phase_group = phase;
+    routes.push_back(std::move(r));
+  };
+  add_road({-80.0, -2.0}, {80.0, -2.0}, 0);   // eastbound
+  add_road({80.0, 2.0}, {-80.0, 2.0}, 0);     // westbound
+  add_road({2.0, -80.0}, {2.0, 80.0}, 1);     // northbound
+  add_road({-2.0, 80.0}, {-2.0, -80.0}, 1);   // southbound
+
+  std::vector<TrafficStream> streams;
+  for (int r = 0; r < 4; ++r) streams.push_back({r, 0.22, {0.8, 0.92, 0.97, 1.0}});
+
+  LightSchedule lights;
+  lights.green_s = 12.0;
+  lights.all_red_s = 2.0;
+
+  Scenario s;
+  s.name = "S1";
+  s.world = std::make_unique<World>(std::move(routes), std::move(streams),
+                                    lights, seed);
+  // Five cameras: four corner poles facing the intersection diagonally and
+  // one overview pole. View angles differ by 90/180 degrees as in Fig. 1.
+  // Poles are set back from the roads so projected boxes stay in the
+  // 64-256 px range typical of pole-mounted traffic cameras.
+  s.cameras.push_back({"c1", make_camera({22, 22, 9}, 225, -16, 750.0, 70.0), gpu::jetson_xavier()});
+  s.cameras.push_back({"c2", make_camera({-22, 22, 9}, -45, -16, 750.0, 70.0), gpu::jetson_xavier()});
+  s.cameras.push_back({"c3", make_camera({-22, -22, 9}, 45, -16, 750.0, 70.0), gpu::jetson_tx2()});
+  s.cameras.push_back({"c4", make_camera({22, -22, 9}, 135, -16, 750.0, 70.0), gpu::jetson_tx2()});
+  s.cameras.push_back({"c5", make_camera({-30, -30, 12}, 45, -18, 650.0, 65.0), gpu::jetson_nano()});
+  return s;
+}
+
+Scenario make_s2(std::uint64_t seed) {
+  // Straight residential road with sparse two-way traffic.
+  std::vector<Route> routes;
+  routes.emplace_back(std::vector<geom::Vec2>{{-90.0, -2.0}, {90.0, -2.0}}, 9.0);
+  routes.emplace_back(std::vector<geom::Vec2>{{90.0, 2.0}, {-90.0, 2.0}}, 9.0);
+  // Occasional pedestrians on a sidewalk path.
+  routes.emplace_back(std::vector<geom::Vec2>{{-60.0, 6.0}, {60.0, 6.0}}, 1.4);
+
+  std::vector<TrafficStream> streams = {
+      {0, 0.05, {0.85, 0.95, 0.98, 1.0}},
+      {1, 0.05, {0.85, 0.95, 0.98, 1.0}},
+      {2, 0.02, {0.0, 0.0, 0.0, 1.0}},  // persons only
+  };
+
+  Scenario s;
+  s.name = "S2";
+  s.world = std::make_unique<World>(std::move(routes), std::move(streams),
+                                    LightSchedule{}, seed);
+  // Two roadside poles with strongly overlapping views of the mid segment,
+  // set back enough that vehicles stay small (the Nano rarely needs the
+  // expensive large input sizes).
+  s.cameras.push_back({"c1", make_camera({-15, -22, 9}, 60, -16, 520.0), gpu::jetson_xavier()});
+  s.cameras.push_back({"c2", make_camera({15, -22, 9}, 120, -16, 520.0), gpu::jetson_nano()});
+  return s;
+}
+
+Scenario make_s3(std::uint64_t seed) {
+  // Busy fork road: a trunk from the west splits into NE and SE branches;
+  // a third roadside path crosses near the SE branch.
+  std::vector<Route> routes;
+  routes.emplace_back(
+      std::vector<geom::Vec2>{{-80.0, -1.5}, {0.0, -1.5}, {55.0, 35.0}}, 10.0);
+  routes.emplace_back(
+      std::vector<geom::Vec2>{{-80.0, 1.5}, {0.0, 1.5}, {55.0, -35.0}}, 10.0);
+  routes.emplace_back(std::vector<geom::Vec2>{{30.0, -55.0}, {30.0, 55.0}}, 8.0);
+
+  std::vector<TrafficStream> streams = {
+      {0, 0.75, {0.75, 0.9, 0.97, 1.0}},
+      {1, 0.75, {0.75, 0.9, 0.97, 1.0}},
+      {2, 0.4, {0.8, 0.95, 0.98, 1.0}},
+  };
+
+  Scenario s;
+  s.name = "S3";
+  s.world = std::make_unique<World>(std::move(routes), std::move(streams),
+                                    LightSchedule{}, seed);
+  // Two fork monitors with partially overlapping views + one roadside camera
+  // whose overlap with the fork pair is small (the paper notes S3 has the
+  // smallest cross-camera overlap).
+  s.cameras.push_back({"c1", make_camera({28, 33, 9}, -155, -16, 700.0, 62.0), gpu::jetson_xavier()});
+  s.cameras.push_back({"c2", make_camera({28, -33, 9}, 155, -16, 700.0, 62.0), gpu::jetson_tx2()});
+  s.cameras.push_back({"c3", make_camera({55, 0, 9}, 180, -16, 650.0, 75.0), gpu::jetson_nano()});
+  return s;
+}
+
+Scenario make_scenario(const std::string& name, std::uint64_t seed) {
+  if (name == "S1") return make_s1(seed);
+  if (name == "S2") return make_s2(seed);
+  if (name == "S3") return make_s3(seed);
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+}  // namespace mvs::sim

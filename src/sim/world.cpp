@@ -1,0 +1,167 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mvs::sim {
+
+double Vec3::norm() const { return std::sqrt(x * x + y * y + z * z); }
+
+ObjectDims dims_for(detect::ObjectClass cls) {
+  switch (cls) {
+    case detect::ObjectClass::kCar: return {4.5, 1.8, 1.5};
+    case detect::ObjectClass::kTruck: return {8.0, 2.5, 3.0};
+    case detect::ObjectClass::kBus: return {12.0, 2.5, 3.2};
+    case detect::ObjectClass::kPerson: return {0.5, 0.5, 1.7};
+  }
+  return {4.5, 1.8, 1.5};
+}
+
+Route::Route(std::vector<geom::Vec2> waypoints, double speed_limit_mps)
+    : pts_(std::move(waypoints)), speed_limit_(speed_limit_mps) {
+  assert(pts_.size() >= 2);
+  cum_.resize(pts_.size(), 0.0);
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    cum_[i] = cum_[i - 1] + (pts_[i] - pts_[i - 1]).norm();
+  }
+  total_length_ = cum_.back();
+}
+
+geom::Vec2 Route::position_at(double s) const {
+  s = std::clamp(s, 0.0, total_length_);
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
+  const std::size_t hi =
+      std::min(static_cast<std::size_t>(it - cum_.begin()), pts_.size() - 1);
+  const std::size_t lo = hi == 0 ? 0 : hi - 1;
+  const double seg = cum_[hi] - cum_[lo];
+  const double frac = seg > 1e-12 ? (s - cum_[lo]) / seg : 0.0;
+  return pts_[lo] + (pts_[hi] - pts_[lo]) * frac;
+}
+
+geom::Vec2 Route::heading_at(double s) const {
+  s = std::clamp(s, 0.0, total_length_);
+  auto it = std::upper_bound(cum_.begin(), cum_.end(), s);
+  std::size_t hi =
+      std::min(static_cast<std::size_t>(it - cum_.begin()), pts_.size() - 1);
+  if (hi == 0) hi = 1;
+  const geom::Vec2 d = pts_[hi] - pts_[hi - 1];
+  const double n = d.norm();
+  return n > 1e-12 ? geom::Vec2{d.x / n, d.y / n} : geom::Vec2{1.0, 0.0};
+}
+
+bool LightSchedule::is_green(int group, double t) const {
+  if (group < 0) return true;
+  const double cycle = static_cast<double>(phase_count) * (green_s + all_red_s);
+  const double phase_time = std::fmod(t, cycle);
+  const int active = static_cast<int>(phase_time / (green_s + all_red_s));
+  const double within = phase_time - active * (green_s + all_red_s);
+  return active == group % phase_count && within < green_s;
+}
+
+World::World(std::vector<Route> routes, std::vector<TrafficStream> streams,
+             LightSchedule lights, std::uint64_t seed)
+    : routes_(std::move(routes)),
+      streams_(std::move(streams)),
+      lights_(lights),
+      rng_(seed) {}
+
+void World::step(double dt) {
+  assert(dt > 0.0);
+  spawn_arrivals(dt);
+  move_objects(dt);
+  time_ += dt;
+}
+
+void World::spawn_arrivals(double dt) {
+  for (const TrafficStream& stream : streams_) {
+    const int arrivals = rng_.poisson(stream.rate_per_s * dt);
+    for (int a = 0; a < arrivals; ++a) {
+      const Route& route = routes_[static_cast<std::size_t>(stream.route_index)];
+      // Keep a spawn gap: skip the arrival if another object occupies the
+      // route entrance (it re-arrives via the Poisson stream later).
+      bool blocked = false;
+      for (const WorldObject& other : objects_) {
+        if (other.route_index == stream.route_index && other.s < 10.0) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+
+      WorldObject obj;
+      obj.id = next_id_++;
+      obj.route_index = stream.route_index;
+      obj.s = 0.0;
+      const double u = rng_.uniform();
+      int cls = 0;
+      while (cls < 3 && u > stream.class_cdf[static_cast<std::size_t>(cls)])
+        ++cls;
+      obj.cls = static_cast<detect::ObjectClass>(cls);
+      obj.dims = dims_for(obj.cls);
+      const double limit = obj.cls == detect::ObjectClass::kPerson
+                               ? 1.4
+                               : route.speed_limit();
+      obj.speed = limit * rng_.uniform(0.8, 1.0);
+      obj.position = route.position_at(0.0);
+      obj.heading = route.heading_at(0.0);
+      objects_.push_back(obj);
+    }
+  }
+}
+
+double World::free_distance_ahead(const WorldObject& obj) const {
+  const Route& route = routes_[static_cast<std::size_t>(obj.route_index)];
+  double free = 1e9;
+
+  // Leader on the same route.
+  for (const WorldObject& other : objects_) {
+    if (other.id == obj.id || other.route_index != obj.route_index) continue;
+    if (other.s > obj.s) {
+      const double gap =
+          other.s - obj.s - (other.dims.length + obj.dims.length) / 2.0;
+      free = std::min(free, gap);
+    }
+  }
+
+  // Red light stop line ahead.
+  if (route.stop_line_s >= 0.0 && obj.s < route.stop_line_s &&
+      !lights_.is_green(route.phase_group, time_)) {
+    free = std::min(free, route.stop_line_s - obj.s);
+  }
+  return free;
+}
+
+void World::move_objects(double dt) {
+  // Sort by route position so leaders are processed consistently.
+  std::vector<WorldObject> next;
+  next.reserve(objects_.size());
+
+  for (WorldObject& obj : objects_) {
+    const Route& route = routes_[static_cast<std::size_t>(obj.route_index)];
+    const double limit = obj.cls == detect::ObjectClass::kPerson
+                             ? 1.4
+                             : route.speed_limit();
+    const double free = free_distance_ahead(obj);
+
+    // Simple smooth controller: target speed scales with free distance,
+    // full speed when > 15 m of free road, stop when < 2 m.
+    double target = limit;
+    if (free < 15.0) target = limit * std::max(0.0, (free - 2.0) / 13.0);
+    const double accel = 3.0;  // m/s^2 accel/brake capability
+    if (obj.speed < target)
+      obj.speed = std::min(target, obj.speed + accel * dt);
+    else
+      obj.speed = std::max(target, obj.speed - 2.0 * accel * dt);
+
+    obj.s += obj.speed * dt;
+    if (obj.s >= route.length()) continue;  // departed the scene
+
+    obj.position = route.position_at(obj.s);
+    obj.heading = route.heading_at(obj.s);
+    next.push_back(obj);
+  }
+  objects_ = std::move(next);
+}
+
+}  // namespace mvs::sim

@@ -1,0 +1,130 @@
+#pragma once
+// 3-D ground-plane traffic world (AIC21 dataset stand-in, see DESIGN.md).
+//
+// Vehicles and pedestrians move along polyline routes with simple
+// car-following and traffic-light behaviour; Poisson arrival streams feed
+// the routes. The world produces, per simulation step, the set of physical
+// objects with their 3-D pose — which the pinhole CameraModel then projects
+// into per-camera 2-D ground truth. The three scenario factories
+// (scenario.hpp) reproduce the workload character of the paper's S1/S2/S3.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "geometry/bbox.hpp"
+#include "util/rng.hpp"
+
+namespace mvs::sim {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double k) const { return {x * k, y * k, z * k}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const;
+};
+
+/// Physical footprint of an object class, in meters.
+struct ObjectDims {
+  double length = 4.5;
+  double width = 1.8;
+  double height = 1.5;
+};
+
+ObjectDims dims_for(detect::ObjectClass cls);
+
+/// A polyline path on the ground plane, parameterized by arc length.
+class Route {
+ public:
+  Route(std::vector<geom::Vec2> waypoints, double speed_limit_mps);
+
+  double length() const { return total_length_; }
+  double speed_limit() const { return speed_limit_; }
+
+  /// Position at arc length s (clamped to [0, length]).
+  geom::Vec2 position_at(double s) const;
+  /// Unit tangent (heading) at arc length s.
+  geom::Vec2 heading_at(double s) const;
+
+  /// Optional stop line (traffic light) at this arc length; < 0 = none.
+  double stop_line_s = -1.0;
+  /// Traffic-light phase group controlling the stop line (index into the
+  /// world's phase table); -1 = uncontrolled.
+  int phase_group = -1;
+
+ private:
+  std::vector<geom::Vec2> pts_;
+  std::vector<double> cum_;  ///< cumulative arc length per waypoint
+  double total_length_ = 0.0;
+  double speed_limit_ = 10.0;
+};
+
+/// A moving physical object.
+struct WorldObject {
+  std::uint64_t id = 0;
+  int route_index = -1;
+  double s = 0.0;        ///< arc-length position along the route
+  double speed = 0.0;    ///< m/s
+  detect::ObjectClass cls = detect::ObjectClass::kCar;
+  ObjectDims dims;
+
+  geom::Vec2 position;   ///< derived each step
+  geom::Vec2 heading;    ///< unit tangent, derived each step
+};
+
+/// Poisson arrival stream that spawns objects onto a route.
+struct TrafficStream {
+  int route_index = -1;
+  double rate_per_s = 0.1;  ///< mean arrivals per second
+  /// Class mix sampled per arrival (cumulative probabilities over
+  /// {car, truck, bus, person} in that order).
+  std::array<double, 4> class_cdf = {0.80, 0.92, 0.97, 1.0};
+};
+
+/// Two-phase traffic-light controller (e.g. NS green vs EW green).
+struct LightSchedule {
+  double green_s = 12.0;   ///< green duration per phase
+  double all_red_s = 2.0;  ///< clearance between phases
+  int phase_count = 2;
+
+  /// Is `group` green at absolute time t?
+  bool is_green(int group, double t) const;
+};
+
+class World {
+ public:
+  World(std::vector<Route> routes, std::vector<TrafficStream> streams,
+        LightSchedule lights, std::uint64_t seed);
+
+  /// Advance the simulation by dt seconds: traffic lights, arrivals,
+  /// car-following motion, departures.
+  void step(double dt);
+
+  double time() const { return time_; }
+  const std::vector<WorldObject>& objects() const { return objects_; }
+  const std::vector<Route>& routes() const { return routes_; }
+
+  /// Total objects ever spawned (ids are dense from 1).
+  std::uint64_t spawned_count() const { return next_id_ - 1; }
+
+ private:
+  void spawn_arrivals(double dt);
+  void move_objects(double dt);
+  /// Distance to the nearest blocking constraint ahead of `obj` (leader gap
+  /// or red stop line), or a large number when the road ahead is free.
+  double free_distance_ahead(const WorldObject& obj) const;
+
+  std::vector<Route> routes_;
+  std::vector<TrafficStream> streams_;
+  LightSchedule lights_;
+  util::Rng rng_;
+  std::vector<WorldObject> objects_;
+  double time_ = 0.0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mvs::sim

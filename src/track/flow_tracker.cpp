@@ -1,0 +1,98 @@
+#include "track/flow_tracker.hpp"
+
+#include <algorithm>
+
+namespace mvs::track {
+
+bool FlowTracker::has_track(long id) const { return find(id) != nullptr; }
+
+const Track* FlowTracker::find(long id) const {
+  for (const Track& t : tracks_)
+    if (t.id == id) return &t;
+  return nullptr;
+}
+
+void FlowTracker::reset_from_detections(
+    const std::vector<detect::Detection>& dets) {
+  tracks_.clear();
+  for (const detect::Detection& det : dets) add_track(det);
+}
+
+void FlowTracker::predict(const vision::FlowField& flow, double scale) {
+  for (Track& t : tracks_) {
+    const geom::BBox flow_box{t.box.x / scale, t.box.y / scale,
+                              t.box.w / scale, t.box.h / scale};
+    const geom::Vec2 motion = vision::median_flow_in(flow, flow_box);
+    t.box = t.box.shifted({motion.x * scale, motion.y * scale});
+    ++t.age;
+  }
+}
+
+FlowTracker::UpdateResult FlowTracker::update(
+    const std::vector<detect::Detection>& dets) {
+  UpdateResult result;
+
+  std::vector<geom::BBox> track_boxes;
+  track_boxes.reserve(tracks_.size());
+  for (const Track& t : tracks_) track_boxes.push_back(t.box);
+  std::vector<geom::BBox> det_boxes;
+  det_boxes.reserve(dets.size());
+  for (const detect::Detection& d : dets) det_boxes.push_back(d.box);
+
+  const matching::BoxMatchResult match =
+      matching::match_boxes(track_boxes, det_boxes, cfg_.match_min_iou);
+
+  std::vector<char> track_matched(tracks_.size(), 0);
+  for (const matching::BoxMatch& m : match.matches) {
+    Track& t = tracks_[static_cast<std::size_t>(m.a)];
+    const detect::Detection& d = dets[static_cast<std::size_t>(m.b)];
+    t.box = d.box;
+    t.missed = 0;
+    t.last_truth_id = d.truth_id;
+    // Size class is fixed within a horizon; if the object outgrew its class
+    // the paper keeps the class and downsizes the crop, so no upgrade here.
+    track_matched[static_cast<std::size_t>(m.a)] = 1;
+    result.matched_track_ids.push_back(t.id);
+  }
+  for (int b : match.unmatched_b)
+    result.unmatched_detections.push_back(static_cast<std::size_t>(b));
+
+  std::vector<Track> survivors;
+  survivors.reserve(tracks_.size());
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    Track& t = tracks_[i];
+    if (!track_matched[i]) ++t.missed;
+    if (t.missed > cfg_.max_missed) {
+      result.removed_track_ids.push_back(t.id);
+    } else {
+      survivors.push_back(t);
+    }
+  }
+  tracks_ = std::move(survivors);
+  return result;
+}
+
+long FlowTracker::add_track(const detect::Detection& det) {
+  Track t;
+  t.id = next_id_++;
+  t.box = det.box;
+  t.size_class = sizes_.quantize(det.box);
+  t.last_truth_id = det.truth_id;
+  tracks_.push_back(t);
+  return t.id;
+}
+
+void FlowTracker::remove_track(long id) {
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [id](const Track& t) { return t.id == id; }),
+                tracks_.end());
+}
+
+std::vector<std::pair<long, geom::BBox>> FlowTracker::predicted_boxes() const {
+  std::vector<std::pair<long, geom::BBox>> out;
+  out.reserve(tracks_.size());
+  for (const Track& t : tracks_) out.emplace_back(t.id, t.box);
+  return out;
+}
+
+}  // namespace mvs::track

@@ -1,0 +1,86 @@
+#pragma once
+// Optical-flow-based tracking-by-detection (paper Sec. II-B).
+//
+// Each tracked object carries a predicted box that is projected forward by
+// the median optical flow inside it; partial-frame detections are then
+// associated back to the predictions with Hungarian matching on IoU. The
+// target size class of a track is fixed for a scheduling horizon (with
+// downsizing if the object outgrows it), which is what makes GPU batching
+// effective.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "geometry/size_class.hpp"
+#include "matching/bbox_matcher.hpp"
+#include "vision/optical_flow.hpp"
+
+namespace mvs::track {
+
+struct Track {
+  long id = -1;                 ///< per-camera track identity
+  std::uint64_t global_id = 0;  ///< cross-camera object id (set by scheduler)
+  geom::BBox box;               ///< current best box estimate
+  geom::SizeClassId size_class = 0;  ///< fixed within a scheduling horizon
+  int age = 0;                  ///< frames since creation
+  int missed = 0;               ///< consecutive frames without a match
+  std::uint64_t last_truth_id = detect::Detection::kFalsePositive;
+};
+
+class FlowTracker {
+ public:
+  struct Config {
+    double match_min_iou = 0.15;
+    int max_missed = 2;  ///< drop a track after this many missed frames
+  };
+
+  FlowTracker() = default;
+  FlowTracker(Config cfg, geom::SizeClassSet sizes)
+      : cfg_(cfg), sizes_(std::move(sizes)) {}
+
+  const std::vector<Track>& tracks() const { return tracks_; }
+  std::vector<Track>& tracks() { return tracks_; }
+  bool has_track(long id) const;
+  const Track* find(long id) const;
+
+  /// Replace all tracks from a key-frame detection list (full inspection).
+  void reset_from_detections(const std::vector<detect::Detection>& dets);
+
+  /// Shift every track box by the median flow inside it. `scale` maps
+  /// logical-frame pixels to flow-field pixels (flow is computed on a
+  /// downscaled render; see vision::Renderer).
+  void predict(const vision::FlowField& flow, double scale);
+
+  struct UpdateResult {
+    std::vector<long> matched_track_ids;
+    std::vector<std::size_t> unmatched_detections;  ///< indices into `dets`
+    std::vector<long> removed_track_ids;            ///< dropped as lost
+  };
+
+  /// Associate detections with predicted tracks; matched tracks adopt the
+  /// detection box (with size-class downsizing per the paper), unmatched
+  /// tracks accrue a miss and are dropped past the limit. Unmatched
+  /// detections are reported, NOT auto-added: whether to start tracking them
+  /// is a scheduling decision (distributed BALB stage).
+  UpdateResult update(const std::vector<detect::Detection>& dets);
+
+  /// Start tracking a detection; returns the new track id.
+  long add_track(const detect::Detection& det);
+
+  void remove_track(long id);
+
+  /// (track id, predicted box) pairs for ROI slicing.
+  std::vector<std::pair<long, geom::BBox>> predicted_boxes() const;
+
+  const geom::SizeClassSet& sizes() const { return sizes_; }
+
+ private:
+  Config cfg_{};
+  geom::SizeClassSet sizes_{};
+  std::vector<Track> tracks_;
+  long next_id_ = 0;
+};
+
+}  // namespace mvs::track

@@ -1,0 +1,86 @@
+#include "track/kalman.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvs::track {
+
+namespace {
+
+std::array<double, 4> box_to_z(const geom::BBox& b) {
+  const geom::Vec2 c = b.center();
+  const double area = std::max(1.0, b.area());
+  const double aspect = b.h > 0 ? b.w / b.h : 1.0;
+  return {c.x, c.y, area, aspect};
+}
+
+geom::BBox z_to_box(double cx, double cy, double area, double aspect) {
+  area = std::max(1.0, area);
+  aspect = std::max(0.05, aspect);
+  const double w = std::sqrt(area * aspect);
+  const double h = area / w;
+  return geom::BBox::from_center({cx, cy}, w, h);
+}
+
+}  // namespace
+
+KalmanBoxFilter::KalmanBoxFilter(const geom::BBox& initial) {
+  const auto z = box_to_z(initial);
+  x_ = {z[0], z[1], z[2], z[3], 0.0, 0.0, 0.0};
+  for (auto& row : p_) row.fill(0.0);
+  // Position/shape start fairly certain, velocities uncertain (SORT choice).
+  p_[0][0] = p_[1][1] = 10.0;
+  p_[2][2] = 100.0;
+  p_[3][3] = 1.0;
+  p_[4][4] = p_[5][5] = 1000.0;
+  p_[6][6] = 1000.0;
+}
+
+geom::BBox KalmanBoxFilter::predict() {
+  // x' = F x with F adding velocity to position/area.
+  x_[0] += x_[4];
+  x_[1] += x_[5];
+  x_[2] = std::max(1.0, x_[2] + x_[6]);
+
+  // P' = F P F^T + Q, exploiting F's sparsity (identity + shift block).
+  // Rows/cols: i in {0,1,2} couple with i+4.
+  for (int i = 0; i < 3; ++i) {
+    const int v = i + 4;
+    for (int j = 0; j < kDim; ++j) p_[i][j] += p_[v][j];
+    for (int j = 0; j < kDim; ++j) p_[j][i] += p_[j][v];
+  }
+  const double q_pos = 1.0, q_vel = 0.25;
+  for (int i = 0; i < 4; ++i) p_[i][i] += q_pos;
+  for (int i = 4; i < kDim; ++i) p_[i][i] += q_vel;
+  return state_box();
+}
+
+void KalmanBoxFilter::update(const geom::BBox& measurement) {
+  const auto z = box_to_z(measurement);
+  const double r_diag[kMeas] = {4.0, 4.0, 25.0, 0.05};
+
+  // Measurement model H picks the first four state entries, so the update
+  // decomposes per measured coordinate with cross-covariance columns.
+  for (int m = 0; m < kMeas; ++m) {
+    const double s = p_[m][m] + r_diag[m];
+    if (s <= 1e-12) continue;
+    const double innov = z[static_cast<std::size_t>(m)] - x_[static_cast<std::size_t>(m)];
+    std::array<double, kDim> k{};
+    for (int i = 0; i < kDim; ++i) k[static_cast<std::size_t>(i)] = p_[i][m] / s;
+    for (int i = 0; i < kDim; ++i) x_[static_cast<std::size_t>(i)] += k[static_cast<std::size_t>(i)] * innov;
+    // P = (I - K H_m) P for the scalar measurement row.
+    std::array<double, kDim> row{};
+    for (int j = 0; j < kDim; ++j) row[static_cast<std::size_t>(j)] = p_[m][j];
+    for (int i = 0; i < kDim; ++i)
+      for (int j = 0; j < kDim; ++j)
+        p_[i][j] -= k[static_cast<std::size_t>(i)] * row[static_cast<std::size_t>(j)];
+  }
+  x_[2] = std::max(1.0, x_[2]);
+  x_[3] = std::max(0.05, x_[3]);
+}
+
+geom::BBox KalmanBoxFilter::state_box() const {
+  return z_to_box(x_[0], x_[1], x_[2], x_[3]);
+}
+
+}  // namespace mvs::track

@@ -1,0 +1,34 @@
+#pragma once
+// SORT-style constant-velocity Kalman filter over bounding boxes.
+// State: [cx, cy, area, aspect, vcx, vcy, varea]; aspect is assumed constant.
+// Used by the SORT baseline tracker and available to the flow tracker as a
+// fallback when optical flow is unreliable.
+
+#include <array>
+
+#include "geometry/bbox.hpp"
+
+namespace mvs::track {
+
+class KalmanBoxFilter {
+ public:
+  explicit KalmanBoxFilter(const geom::BBox& initial);
+
+  /// Advance one frame; returns the predicted box.
+  geom::BBox predict();
+
+  /// Fuse a measurement box.
+  void update(const geom::BBox& measurement);
+
+  geom::BBox state_box() const;
+  geom::Vec2 velocity() const { return {x_[4], x_[5]}; }
+
+ private:
+  static constexpr int kDim = 7;
+  static constexpr int kMeas = 4;
+
+  std::array<double, kDim> x_{};                ///< state mean
+  std::array<std::array<double, kDim>, kDim> p_{};  ///< state covariance
+};
+
+}  // namespace mvs::track

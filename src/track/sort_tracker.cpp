@@ -1,0 +1,64 @@
+#include "track/sort_tracker.hpp"
+
+#include <algorithm>
+
+namespace mvs::track {
+
+std::vector<SortTrack> SortTracker::step(
+    const std::vector<detect::Detection>& dets) {
+  // 1. Predict.
+  std::vector<geom::BBox> predicted;
+  predicted.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    e.meta.box = e.filter.predict();
+    ++e.meta.age;
+    predicted.push_back(e.meta.box);
+  }
+
+  // 2. Associate.
+  std::vector<geom::BBox> det_boxes;
+  det_boxes.reserve(dets.size());
+  for (const detect::Detection& d : dets) det_boxes.push_back(d.box);
+  const matching::BoxMatchResult match =
+      matching::match_boxes(predicted, det_boxes, cfg_.match_min_iou);
+
+  // 3. Update matched.
+  std::vector<char> matched(entries_.size(), 0);
+  for (const matching::BoxMatch& m : match.matches) {
+    Entry& e = entries_[static_cast<std::size_t>(m.a)];
+    const detect::Detection& d = dets[static_cast<std::size_t>(m.b)];
+    e.filter.update(d.box);
+    e.meta.box = e.filter.state_box();
+    e.meta.missed = 0;
+    ++e.meta.hits;
+    e.meta.last_truth_id = d.truth_id;
+    matched[static_cast<std::size_t>(m.a)] = 1;
+  }
+
+  // 4. Lifecycle: age out lost tracks.
+  std::vector<Entry> survivors;
+  survivors.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!matched[i]) ++entries_[i].meta.missed;
+    if (entries_[i].meta.missed <= cfg_.max_missed)
+      survivors.push_back(std::move(entries_[i]));
+  }
+  entries_ = std::move(survivors);
+
+  // 5. Births.
+  for (int b : match.unmatched_b) {
+    const detect::Detection& d = dets[static_cast<std::size_t>(b)];
+    Entry e{SortTrack{next_id_++, d.box, 0, 0, 1, d.truth_id},
+            KalmanBoxFilter(d.box)};
+    entries_.push_back(std::move(e));
+  }
+
+  // Report confirmed tracks.
+  std::vector<SortTrack> confirmed;
+  for (const Entry& e : entries_)
+    if (e.meta.hits >= cfg_.min_hits && e.meta.missed == 0)
+      confirmed.push_back(e.meta);
+  return confirmed;
+}
+
+}  // namespace mvs::track

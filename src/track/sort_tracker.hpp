@@ -1,0 +1,55 @@
+#pragma once
+// SORT baseline tracker (Bewley et al., ICIP'16): constant-velocity Kalman
+// prediction + Hungarian IoU association. Included as the conventional
+// tracking-by-detection comparator for the flow tracker and reused by tests
+// as an independent implementation of track lifecycle management.
+
+#include <memory>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "matching/bbox_matcher.hpp"
+#include "track/kalman.hpp"
+
+namespace mvs::track {
+
+struct SortTrack {
+  long id = -1;
+  geom::BBox box;
+  int age = 0;
+  int missed = 0;
+  int hits = 0;
+  std::uint64_t last_truth_id = detect::Detection::kFalsePositive;
+};
+
+class SortTracker {
+ public:
+  struct Config {
+    double match_min_iou = 0.2;
+    int max_missed = 3;
+    int min_hits = 2;  ///< track is "confirmed" after this many matches
+  };
+
+  SortTracker() = default;
+  explicit SortTracker(Config cfg) : cfg_(cfg) {}
+
+  /// One tracking step: predict all tracks, associate `dets`, update
+  /// lifecycle, auto-create tracks for unmatched detections (classic SORT
+  /// behaviour — unlike FlowTracker, SORT owns the create decision).
+  /// Returns the confirmed tracks after the step.
+  std::vector<SortTrack> step(const std::vector<detect::Detection>& dets);
+
+  std::size_t track_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SortTrack meta;
+    KalmanBoxFilter filter;
+  };
+
+  Config cfg_{};
+  std::vector<Entry> entries_;
+  long next_id_ = 0;
+};
+
+}  // namespace mvs::track

@@ -1,0 +1,74 @@
+#pragma once
+// Minimal JSON value + recursive-descent parser + serializer.
+//
+// Backs the runtime configuration files (runtime/config.hpp) and keeps the
+// repository dependency-free. Supports the full JSON value grammar with
+// standard escapes; numbers are stored as double.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mvs::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), num_(n) {}
+  Json(int n) : type_(Type::kNumber), num_(n) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Json(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; precondition: matching type.
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return arr_; }
+  const Object& as_object() const { return obj_; }
+  Array& as_array() { return arr_; }
+  Object& as_object() { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Convenience typed getters with defaults (object members).
+  double number_or(const std::string& key, double fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key, std::string fallback) const;
+
+  /// Parse a JSON document; nullopt (with *error filled) on malformed input.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+  /// Compact serialization (round-trips through parse()).
+  std::string dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace mvs::util

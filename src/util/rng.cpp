@@ -1,0 +1,62 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mvs::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(gen_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(gen_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution d(p);
+  return d(gen_);
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  std::exponential_distribution<double> d(rate);
+  return d(gen_);
+}
+
+int Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  std::poisson_distribution<int> d(mean);
+  return d(gen_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  return d(gen_);
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), gen_);
+  return p;
+}
+
+Rng Rng::fork() {
+  // Draw two words to decorrelate the child stream from the parent.
+  const std::uint64_t a = gen_();
+  const std::uint64_t b = gen_();
+  return Rng(a ^ (b << 1) ^ 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace mvs::util

@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic random number generation for the whole system.
+//
+// Every stochastic component in mvsched (the world simulator, the simulated
+// detector, ML model initialization, ...) takes an explicit Rng so that runs
+// are reproducible bit-for-bit given a seed. Never use global RNG state.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mvs::util {
+
+/// Seeded pseudo-random generator with convenience samplers.
+/// Thin wrapper over std::mt19937_64; cheap to pass by reference.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi);
+
+  /// Gaussian with the given mean / standard deviation.
+  double gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed inter-arrival time with the given rate
+  /// (events per unit time). rate must be > 0.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean.
+  int poisson(double mean);
+
+  /// Random index in [0, n). n must be > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (e.g. one per camera) so that
+  /// adding consumers does not perturb unrelated streams.
+  Rng fork();
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace mvs::util

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch for measuring real overheads (Table II of the paper).
+// Simulated GPU time is never measured with this; it comes from
+// gpu::DeviceProfile tables.
+
+#include <chrono>
+
+namespace mvs::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or last reset().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mvs::util

@@ -1,0 +1,30 @@
+#pragma once
+// Minimal ASCII table printer used by the bench binaries to emit the
+// rows/series of each paper table and figure in a readable form.
+
+#include <string>
+#include <vector>
+
+namespace mvs::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; it is padded or truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns.
+  std::string to_string() const;
+
+  /// Render as CSV (for piping into plotting tools).
+  std::string to_csv() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mvs::util

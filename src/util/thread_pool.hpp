@@ -1,0 +1,51 @@
+#pragma once
+// Fixed-size worker pool used to run per-camera pipeline work concurrently.
+// Cameras are independent (own tracker, RNG, frame buffers), so parallel
+// execution is deterministic as long as each camera's work stays on its own
+// state — which parallel_for_each guarantees by partitioning indices.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mvs::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task; tasks may run in any order on any worker.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// fn must only touch state owned by index i (or be otherwise synchronized).
+  void parallel_for_each(std::size_t n,
+                         const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mvs::util

@@ -1,0 +1,48 @@
+#include "vision/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mvs::vision {
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+            fill) {
+  assert(width >= 0 && height >= 0);
+}
+
+std::uint8_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+Image Image::downsampled() const {
+  const int w = std::max(1, width_ / 2);
+  const int h = std::max(1, height_ / 2);
+  Image out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int sx = std::min(2 * x, width_ - 1);
+      const int sy = std::min(2 * y, height_ - 1);
+      const int sum = at(sx, sy) + at_clamped(sx + 1, sy) +
+                      at_clamped(sx, sy + 1) + at_clamped(sx + 1, sy + 1);
+      out.set(x, y, static_cast<std::uint8_t>(sum / 4));
+    }
+  }
+  return out;
+}
+
+double mean_abs_diff(const Image& a, const Image& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    acc += std::abs(static_cast<int>(a.data()[i]) - static_cast<int>(b.data()[i]));
+  return acc / static_cast<double>(a.data().size());
+}
+
+}  // namespace mvs::vision

@@ -1,0 +1,46 @@
+#pragma once
+// Grayscale raster image. The optical-flow tracker operates on real pixels
+// rendered by vision::Renderer, so the motion-estimation code path matches a
+// deployment that feeds camera frames into a DIS-style flow estimator.
+
+#include <cstdint>
+#include <vector>
+
+namespace mvs::vision {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  std::uint8_t at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = v;
+  }
+
+  /// Clamped read: out-of-bounds coordinates return the nearest edge pixel.
+  std::uint8_t at_clamped(int x, int y) const;
+
+  /// 2x box-filter downsample (floor dimensions, minimum 1x1).
+  Image downsampled() const;
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Mean absolute pixel difference over the whole frame (test helper).
+double mean_abs_diff(const Image& a, const Image& b);
+
+}  // namespace mvs::vision

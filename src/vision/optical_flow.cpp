@@ -1,0 +1,145 @@
+#include "vision/optical_flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace mvs::vision {
+
+namespace {
+
+/// Sum of absolute differences between a block in `a` at (ax, ay) and a block
+/// in `b` at (bx, by), clamped reads at the borders.
+double block_sad(const Image& a, int ax, int ay, const Image& b, int bx,
+                 int by, int size) {
+  double sad = 0.0;
+  for (int dy = 0; dy < size; ++dy)
+    for (int dx = 0; dx < size; ++dx)
+      sad += std::abs(static_cast<int>(a.at_clamped(ax + dx, ay + dy)) -
+                      static_cast<int>(b.at_clamped(bx + dx, by + dy)));
+  return sad;
+}
+
+}  // namespace
+
+FlowField OpticalFlow::compute(const Image& prev, const Image& cur) const {
+  assert(!prev.empty() && prev.width() == cur.width() &&
+         prev.height() == cur.height());
+
+  // Build pyramids (level 0 = finest).
+  std::vector<Image> pa{prev}, pb{cur};
+  for (int l = 1; l < cfg_.pyramid_levels; ++l) {
+    if (pa.back().width() < 2 * cfg_.block_size ||
+        pa.back().height() < 2 * cfg_.block_size)
+      break;
+    pa.push_back(pa.back().downsampled());
+    pb.push_back(pb.back().downsampled());
+  }
+  const int levels = static_cast<int>(pa.size());
+
+  FlowField field;
+  field.block_size = cfg_.block_size;
+  field.cols = std::max(1, prev.width() / cfg_.block_size);
+  field.rows = std::max(1, prev.height() / cfg_.block_size);
+  field.flow.assign(static_cast<std::size_t>(field.cols) *
+                        static_cast<std::size_t>(field.rows),
+                    {0.0, 0.0});
+  field.residual.assign(field.flow.size(), 0.0);
+
+  // Coarse-to-fine: the estimate from the coarser level (scaled 2x) seeds the
+  // search window at the finer level.
+  std::vector<geom::Vec2> coarse;  // previous (coarser) level estimates
+  int ccols = 0, crows = 0;
+  for (int l = levels - 1; l >= 0; --l) {
+    const Image& ia = pa[static_cast<std::size_t>(l)];
+    const Image& ib = pb[static_cast<std::size_t>(l)];
+    const int cols = std::max(1, ia.width() / cfg_.block_size);
+    const int rows = std::max(1, ia.height() / cfg_.block_size);
+    std::vector<geom::Vec2> est(static_cast<std::size_t>(cols) *
+                                static_cast<std::size_t>(rows));
+    std::vector<double> res(est.size(), 0.0);
+
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const int bx = c * cfg_.block_size;
+        const int by = r * cfg_.block_size;
+        geom::Vec2 seed{0.0, 0.0};
+        if (!coarse.empty()) {
+          const int pc = std::min(c / 2, ccols - 1);
+          const int pr = std::min(r / 2, crows - 1);
+          const geom::Vec2& s =
+              coarse[static_cast<std::size_t>(pr) *
+                         static_cast<std::size_t>(ccols) +
+                     static_cast<std::size_t>(pc)];
+          seed = {s.x * 2.0, s.y * 2.0};
+        }
+        const int sx = static_cast<int>(std::lround(seed.x));
+        const int sy = static_cast<int>(std::lround(seed.y));
+
+        double best = std::numeric_limits<double>::infinity();
+        int best_dx = sx, best_dy = sy;
+        for (int dy = sy - cfg_.search_radius; dy <= sy + cfg_.search_radius;
+             ++dy) {
+          for (int dx = sx - cfg_.search_radius; dx <= sx + cfg_.search_radius;
+               ++dx) {
+            const double sad =
+                block_sad(ia, bx, by, ib, bx + dx, by + dy, cfg_.block_size);
+            // Slight zero-motion bias resolves flat-texture ties toward rest.
+            const double penalty = 0.1 * (std::abs(dx) + std::abs(dy));
+            if (sad + penalty < best) {
+              best = sad + penalty;
+              best_dx = dx;
+              best_dy = dy;
+            }
+          }
+        }
+        est[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+            static_cast<std::size_t>(c)] = {static_cast<double>(best_dx),
+                                            static_cast<double>(best_dy)};
+        res[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+            static_cast<std::size_t>(c)] =
+            best / static_cast<double>(cfg_.block_size * cfg_.block_size);
+      }
+    }
+    coarse = std::move(est);
+    ccols = cols;
+    crows = rows;
+    if (l == 0) {
+      field.cols = cols;
+      field.rows = rows;
+      field.flow = coarse;
+      field.residual = std::move(res);
+    }
+  }
+  return field;
+}
+
+geom::Vec2 median_flow_in(const FlowField& field, const geom::BBox& box) {
+  std::vector<double> xs, ys;
+  for (int r = 0; r < field.rows; ++r) {
+    for (int c = 0; c < field.cols; ++c) {
+      const geom::Vec2 center{(c + 0.5) * field.block_size,
+                              (r + 0.5) * field.block_size};
+      if (!box.contains(center)) continue;
+      xs.push_back(field.at(c, r).x);
+      ys.push_back(field.at(c, r).y);
+    }
+  }
+  if (xs.empty()) return {0.0, 0.0};
+  auto median = [](std::vector<double>& v) {
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+    return v[mid];
+  };
+  return {median(xs), median(ys)};
+}
+
+double mean_flow_magnitude(const FlowField& field) {
+  if (field.flow.empty()) return 0.0;
+  double acc = 0.0;
+  for (const geom::Vec2& v : field.flow) acc += v.norm();
+  return acc / static_cast<double>(field.flow.size());
+}
+
+}  // namespace mvs::vision

@@ -1,0 +1,63 @@
+#pragma once
+// Coarse-to-fine pyramidal block-matching optical flow.
+//
+// Plays the role of the DIS flow estimator in the paper (Kroeger et al.,
+// ECCV'16): it predicts per-block pixel motion between consecutive frames.
+// The tracker uses it to (a) project tracked boxes forward and (b) find
+// "new regions" — clusters of moving pixels not explained by any tracked
+// object — where new objects may have appeared (paper Sec. II-B).
+
+#include <vector>
+
+#include "geometry/bbox.hpp"
+#include "vision/image.hpp"
+
+namespace mvs::vision {
+
+/// Per-block motion field at the finest pyramid level.
+struct FlowField {
+  int block_size = 8;
+  int cols = 0;
+  int rows = 0;
+  std::vector<geom::Vec2> flow;     ///< row-major block motions (pixels)
+  std::vector<double> residual;     ///< matching SAD residual per block
+
+  const geom::Vec2& at(int col, int row) const {
+    return flow[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols) +
+                static_cast<std::size_t>(col)];
+  }
+  double residual_at(int col, int row) const {
+    return residual[static_cast<std::size_t>(row) *
+                        static_cast<std::size_t>(cols) +
+                    static_cast<std::size_t>(col)];
+  }
+};
+
+class OpticalFlow {
+ public:
+  struct Config {
+    int block_size = 8;     ///< block side at the finest level
+    int pyramid_levels = 3; ///< >= 1
+    int search_radius = 3;  ///< +/- pixels searched at each level
+  };
+
+  OpticalFlow() = default;
+  explicit OpticalFlow(Config cfg) : cfg_(cfg) {}
+
+  /// Compute block motion from `prev` to `cur` (same dimensions, non-empty).
+  FlowField compute(const Image& prev, const Image& cur) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_{};
+};
+
+/// Robust (median) motion of the blocks whose centers fall inside `box`.
+/// Returns {0,0} when the box covers no block center.
+geom::Vec2 median_flow_in(const FlowField& field, const geom::BBox& box);
+
+/// Mean motion magnitude over all blocks (activity level of the scene).
+double mean_flow_magnitude(const FlowField& field);
+
+}  // namespace mvs::vision

@@ -1,0 +1,95 @@
+#include "vision/regions.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace mvs::vision {
+
+std::vector<geom::BBox> extract_new_regions(
+    const FlowField& field, const std::vector<geom::BBox>& predicted,
+    double scale, const NewRegionConfig& cfg) {
+  const int cols = field.cols, rows = field.rows;
+  std::vector<char> moving(static_cast<std::size_t>(cols) *
+                               static_cast<std::size_t>(rows),
+                           0);
+  auto idx = [cols](int c, int r) {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+           static_cast<std::size_t>(c);
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (field.at(c, r).norm() < cfg.motion_threshold) continue;
+      const geom::Vec2 center{(c + 0.5) * field.block_size,
+                              (r + 0.5) * field.block_size};
+      bool explained = false;
+      for (const geom::BBox& box : predicted) {
+        // Predicted boxes are in logical-frame pixels; compare in flow space.
+        const geom::BBox flow_box{box.x / scale, box.y / scale, box.w / scale,
+                                  box.h / scale};
+        if (flow_box.expanded(field.block_size).contains(center)) {
+          explained = true;
+          break;
+        }
+      }
+      if (!explained) moving[idx(c, r)] = 1;
+    }
+  }
+
+  // 4-connected components over moving blocks -> merged boxes.
+  std::vector<geom::BBox> regions;
+  std::vector<char> seen(moving.size(), 0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!moving[idx(c, r)] || seen[idx(c, r)]) continue;
+      int min_c = c, max_c = c, min_r = r, max_r = r;
+      std::queue<std::pair<int, int>> frontier;
+      frontier.push({c, r});
+      seen[idx(c, r)] = 1;
+      while (!frontier.empty()) {
+        const auto [cc, cr] = frontier.front();
+        frontier.pop();
+        min_c = std::min(min_c, cc);
+        max_c = std::max(max_c, cc);
+        min_r = std::min(min_r, cr);
+        max_r = std::max(max_r, cr);
+        const int d4[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        for (const auto& d : d4) {
+          const int nc = cc + d[0], nr = cr + d[1];
+          if (nc < 0 || nr < 0 || nc >= cols || nr >= rows) continue;
+          if (!moving[idx(nc, nr)] || seen[idx(nc, nr)]) continue;
+          seen[idx(nc, nr)] = 1;
+          frontier.push({nc, nr});
+        }
+      }
+      const double bs = field.block_size;
+      geom::BBox box = geom::BBox::from_corners(
+          min_c * bs, min_r * bs, (max_c + 1) * bs, (max_r + 1) * bs);
+      box = box.expanded(cfg.merge_margin);
+      // Map from flow space back to logical-frame pixels.
+      box = geom::BBox{box.x * scale, box.y * scale, box.w * scale,
+                       box.h * scale};
+      if (box.area() >= cfg.min_area) regions.push_back(box);
+    }
+  }
+  return regions;
+}
+
+std::vector<SliceRegion> slice_regions(
+    const std::vector<std::pair<long, geom::BBox>>& predicted,
+    const geom::SizeClassSet& sizes, double frame_w, double frame_h,
+    double margin) {
+  std::vector<SliceRegion> out;
+  out.reserve(predicted.size());
+  for (const auto& [track_id, box] : predicted) {
+    SliceRegion region;
+    region.track_id = track_id;
+    region.size_class = sizes.quantize(box, margin);
+    region.roi =
+        sizes.expand_to_class(box, region.size_class).clamped(frame_w, frame_h);
+    out.push_back(region);
+  }
+  return out;
+}
+
+}  // namespace mvs::vision

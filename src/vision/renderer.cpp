@@ -1,0 +1,79 @@
+#include "vision/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvs::vision {
+
+namespace {
+
+/// SplitMix64 hash: fast, deterministic, well-mixed.
+std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint8_t texture_pixel(std::uint64_t seed, int x, int y) {
+  const std::uint64_t h = hash64(seed ^ (static_cast<std::uint64_t>(
+                                             static_cast<std::uint32_t>(x))
+                                         << 32) ^
+                                 static_cast<std::uint32_t>(y));
+  return static_cast<std::uint8_t>(h & 0xFF);
+}
+
+}  // namespace
+
+Renderer::Renderer(Config cfg) : cfg_(cfg) {}
+
+Image Renderer::render(const std::vector<RenderObject>& objects, long frame,
+                       std::uint64_t camera_seed) const {
+  Image img(cfg_.width, cfg_.height);
+
+  // Static background texture, smoothed to mid-gray contrast so objects
+  // stand out. Coarse 4x4 texels keep the background locally flat, which is
+  // what block matching sees from asphalt/grass.
+  for (int y = 0; y < cfg_.height; ++y) {
+    for (int x = 0; x < cfg_.width; ++x) {
+      const std::uint8_t t = texture_pixel(camera_seed, x / 4, y / 4);
+      img.set(x, y, static_cast<std::uint8_t>(96 + (t % 48)));
+    }
+  }
+
+  // Objects: texture anchored to the object's own frame so pixels translate
+  // rigidly with the object (pure translation locally, as real flow assumes).
+  for (const RenderObject& obj : objects) {
+    const int x0 = std::max(0, static_cast<int>(std::floor(obj.box.x)));
+    const int y0 = std::max(0, static_cast<int>(std::floor(obj.box.y)));
+    const int x1 = std::min(cfg_.width, static_cast<int>(std::ceil(obj.box.x2())));
+    const int y1 = std::min(cfg_.height, static_cast<int>(std::ceil(obj.box.y2())));
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        const int lx = x - static_cast<int>(std::floor(obj.box.x));
+        const int ly = y - static_cast<int>(std::floor(obj.box.y));
+        const std::uint8_t t = texture_pixel(hash64(obj.id + 1), lx / 2, ly / 2);
+        img.set(x, y, static_cast<std::uint8_t>(160 + (t % 80)));
+      }
+    }
+  }
+
+  // Per-frame sensor noise.
+  if (cfg_.noise_amplitude > 0) {
+    const std::uint64_t frame_seed =
+        hash64(camera_seed ^ (static_cast<std::uint64_t>(frame) << 20));
+    for (int y = 0; y < cfg_.height; ++y) {
+      for (int x = 0; x < cfg_.width; ++x) {
+        const int span = 2 * cfg_.noise_amplitude + 1;
+        const int n = static_cast<int>(
+                          texture_pixel(frame_seed, x, y) % span) -
+                      cfg_.noise_amplitude;
+        const int v = static_cast<int>(img.at(x, y)) + n;
+        img.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace mvs::vision

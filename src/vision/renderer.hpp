@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic synthetic frame renderer.
+//
+// Stands in for the camera sensor: draws each visible object as a textured
+// rectangle over a static textured background, plus per-frame sensor noise.
+// Textures are hash-based so they are (a) deterministic, (b) unique per
+// object, and (c) rich enough for block-matching optical flow to lock onto.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/bbox.hpp"
+#include "vision/image.hpp"
+
+namespace mvs::vision {
+
+struct RenderObject {
+  std::uint64_t id = 0;   ///< stable object identity; drives the texture
+  geom::BBox box;          ///< pixel box in the render frame
+};
+
+class Renderer {
+ public:
+  struct Config {
+    int width = 320;
+    int height = 176;
+    int noise_amplitude = 3;  ///< uniform per-pixel sensor noise, +/- range
+  };
+
+  Renderer() = default;
+  explicit Renderer(Config cfg);
+
+  /// Render the frame at time index `frame` (the index seeds sensor noise so
+  /// consecutive frames differ realistically). `camera_seed` decorrelates
+  /// background textures across cameras.
+  Image render(const std::vector<RenderObject>& objects, long frame,
+               std::uint64_t camera_seed) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_{};
+};
+
+}  // namespace mvs::vision

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/central_balb.hpp"
+#include "util/rng.hpp"
+
+namespace mvs::core {
+namespace {
+
+ObjectSpec object(std::uint64_t key, std::vector<int> coverage,
+                  geom::SizeClassId size, std::size_t cameras) {
+  ObjectSpec obj;
+  obj.key = key;
+  obj.coverage = std::move(coverage);
+  obj.size_class.assign(cameras, size);
+  return obj;
+}
+
+TEST(CentralBalb, EmptyProblem) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier()};
+  const Assignment a = central_balb(p);
+  EXPECT_TRUE(is_feasible(p, a));
+  EXPECT_DOUBLE_EQ(a.system_latency(), 45.0);  // just the full frame
+}
+
+TEST(CentralBalb, ExclusiveObjectsDeterministic) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_nano()};
+  p.objects = {object(0, {0}, 1, 2), object(1, {1}, 1, 2)};
+  const Assignment a = central_balb(p);
+  EXPECT_TRUE(a.x[0][0]);
+  EXPECT_TRUE(a.x[1][1]);
+  EXPECT_TRUE(is_feasible(p, a));
+}
+
+TEST(CentralBalb, SharedObjectGoesToFasterCamera) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_nano()};
+  p.objects = {object(0, {0, 1}, 1, 2)};
+  const Assignment a = central_balb(p);
+  // Xavier: 45 + 8 = 53; Nano would be 280 + 35 = 315.
+  EXPECT_TRUE(a.x[0][0]);
+  EXPECT_FALSE(a.x[1][0]);
+  EXPECT_DOUBLE_EQ(a.camera_latency[0], 53.0);
+}
+
+TEST(CentralBalb, ExactlyOneTrackerPerObject) {
+  util::Rng rng(4);
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2(), gpu::jetson_nano()};
+  for (int j = 0; j < 30; ++j) {
+    std::vector<int> coverage;
+    for (int c = 0; c < 3; ++c)
+      if (rng.bernoulli(0.6)) coverage.push_back(c);
+    if (coverage.empty()) coverage.push_back(rng.uniform_int(0, 2));
+    p.objects.push_back(object(static_cast<std::uint64_t>(j),
+                               std::move(coverage),
+                               rng.uniform_int(0, 3), 3));
+  }
+  const Assignment a = central_balb(p);
+  EXPECT_TRUE(is_feasible(p, a));
+  for (std::size_t j = 0; j < p.objects.size(); ++j) {
+    int trackers = 0;
+    for (std::size_t i = 0; i < 3; ++i) trackers += a.x[i][j];
+    EXPECT_EQ(trackers, 1);
+  }
+}
+
+TEST(CentralBalb, IncrementalLatencyMatchesRecompute) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    MvsProblem p;
+    p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2(), gpu::jetson_nano()};
+    const int n = 1 + rng.uniform_int(0, 25);
+    for (int j = 0; j < n; ++j) {
+      std::vector<int> coverage;
+      for (int c = 0; c < 3; ++c)
+        if (rng.bernoulli(0.5)) coverage.push_back(c);
+      if (coverage.empty()) coverage.push_back(0);
+      p.objects.push_back(object(static_cast<std::uint64_t>(j),
+                                 std::move(coverage),
+                                 rng.uniform_int(0, 3), 3));
+    }
+    const Assignment a = central_balb(p);
+    EXPECT_NEAR(a.system_latency(), recomputed_system_latency(p, a), 1e-9);
+  }
+}
+
+TEST(CentralBalb, BatchReusePrefersIncompleteBatch) {
+  // Fig. 7 step 3: an object joins an existing incomplete batch even on a
+  // busier camera rather than opening a new batch elsewhere.
+  MvsProblem p;
+  // Two identical cameras with batch limit 4 at size 0.
+  const gpu::DeviceProfile dev("dev", 50.0, {{4, 10.0}, {2, 20.0}});
+  p.cameras = {dev, dev};
+  // Object 0 exclusive to camera 0 opens a size-0 batch there.
+  p.objects = {object(0, {0}, 0, 2), object(1, {0, 1}, 0, 2)};
+  const Assignment a = central_balb(p);
+  EXPECT_TRUE(a.x[0][1]);  // rides camera 0's incomplete batch
+  EXPECT_DOUBLE_EQ(a.camera_latency[0], 60.0);
+  EXPECT_DOUBLE_EQ(a.camera_latency[1], 50.0);
+}
+
+TEST(CentralBalb, NewBatchPicksMinUpdatedLatency) {
+  // Fig. 7 step 4: when a new batch is unavoidable, the camera with the
+  // minimum latency AFTER inclusion wins (not minimum current latency).
+  MvsProblem p;
+  // Camera 0: lower current latency but very slow at size 1.
+  const gpu::DeviceProfile slow_large("a", 40.0, {{4, 5.0}, {1, 100.0}});
+  const gpu::DeviceProfile fast_large("b", 60.0, {{4, 5.0}, {1, 10.0}});
+  p.cameras = {slow_large, fast_large};
+  p.objects = {object(0, {0, 1}, 1, 2)};
+  const Assignment a = central_balb(p);
+  EXPECT_TRUE(a.x[1][0]);  // 60+10=70 beats 40+100=140
+}
+
+TEST(CentralBalb, ExclusiveAssignedBeforeFlexible) {
+  // A flexible object must not steal capacity needed by an exclusive one:
+  // ordering by |C_j| ascending handles it.
+  MvsProblem p;
+  const gpu::DeviceProfile dev("dev", 10.0, {{1, 30.0}});
+  const gpu::DeviceProfile dev2("dev2", 10.0, {{1, 30.0}});
+  p.cameras = {dev, dev2};
+  p.objects = {object(0, {0, 1}, 0, 2), object(1, {0}, 0, 2)};
+  const Assignment a = central_balb(p);
+  // Exclusive object 1 -> camera 0; flexible object 0 must avoid camera 0.
+  EXPECT_TRUE(a.x[0][1]);
+  EXPECT_TRUE(a.x[1][0]);
+  EXPECT_DOUBLE_EQ(a.system_latency(), 40.0);
+}
+
+TEST(CentralBalb, TieBreakLargerTargetSizeFirst) {
+  // Among equal coverage counts, larger sizes are placed first (they are
+  // the hardest to fit); verify via the options order enum smoke.
+  MvsProblem p;
+  const gpu::DeviceProfile dev("dev", 10.0, {{8, 5.0}, {1, 50.0}});
+  p.cameras = {dev};
+  p.objects = {object(0, {0}, 0, 1), object(1, {0}, 1, 1)};
+  const Assignment a = central_balb(p);
+  EXPECT_TRUE(is_feasible(p, a));
+  EXPECT_DOUBLE_EQ(a.system_latency(), 10.0 + 5.0 + 50.0);
+}
+
+TEST(IndependentAssignment, TracksEverywhereVisible) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2()};
+  p.objects = {object(0, {0, 1}, 0, 2)};
+  const Assignment a = independent_assignment(p);
+  EXPECT_TRUE(a.x[0][0]);
+  EXPECT_TRUE(a.x[1][0]);
+  EXPECT_TRUE(is_feasible(p, a));
+}
+
+TEST(StaticPartition, RespectsOwnerAndFallsBack) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_nano()};
+  p.objects = {object(0, {0, 1}, 0, 2), object(1, {0}, 0, 2)};
+  // Owner of object 1 is camera 1, which cannot see it -> falls back to the
+  // most powerful covering camera (xavier).
+  const Assignment a = static_partition_assignment(p, {1, 1});
+  EXPECT_TRUE(a.x[1][0]);
+  EXPECT_TRUE(a.x[0][1]);
+  EXPECT_TRUE(is_feasible(p, a));
+}
+
+TEST(PowerWeightedOwner, DeterministicAndProportional) {
+  const std::vector<gpu::DeviceProfile> cams = {gpu::jetson_xavier(),
+                                                gpu::jetson_nano()};
+  // Deterministic: same key -> same owner.
+  EXPECT_EQ(power_weighted_owner({0, 1}, cams, 777),
+            power_weighted_owner({0, 1}, cams, 777));
+  // Proportional: xavier (~6.2x nano power) owns most regions.
+  int xavier = 0;
+  for (std::uint64_t key = 0; key < 2000; ++key)
+    xavier += power_weighted_owner({0, 1}, cams, key) == 0;
+  EXPECT_GT(xavier, 1600);
+  EXPECT_LT(xavier, 1950);
+}
+
+TEST(OptimalBruteforce, MatchesHandOptimum) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2()};
+  p.objects = {object(0, {0, 1}, 3, 2), object(1, {0, 1}, 3, 2)};
+  const Assignment a = optimal_bruteforce(p);
+  EXPECT_TRUE(is_feasible(p, a));
+  // The idle TX2 still pays its key-frame full inspection (120 ms), which
+  // dominates as long as xavier stays below it; both size-3 objects fit one
+  // xavier batch (45 + 20 = 65), so the optimum is exactly 120.
+  EXPECT_DOUBLE_EQ(a.system_latency(), 120.0);
+  // And xavier must not be loaded beyond the TX2 floor.
+  const auto latencies = regular_frame_latencies(p, a);
+  EXPECT_LE(45.0 + latencies[0], 120.0);
+}
+
+/// BALB vs exhaustive optimum on random small instances: always feasible,
+/// never better than optimal, and within a modest factor of it.
+class BalbOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalbOptimality, NearOptimal) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 13);
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_tx2(), gpu::jetson_nano()};
+  const int n = 2 + rng.uniform_int(0, 5);
+  for (int j = 0; j < n; ++j) {
+    std::vector<int> coverage;
+    for (int c = 0; c < 3; ++c)
+      if (rng.bernoulli(0.6)) coverage.push_back(c);
+    if (coverage.empty()) coverage.push_back(rng.uniform_int(0, 2));
+    p.objects.push_back(object(static_cast<std::uint64_t>(j),
+                               std::move(coverage), rng.uniform_int(0, 3), 3));
+  }
+  const Assignment balb = central_balb(p);
+  const Assignment best = optimal_bruteforce(p);
+  EXPECT_TRUE(is_feasible(p, balb));
+  const double balb_latency = recomputed_system_latency(p, balb);
+  const double optimal_latency = recomputed_system_latency(p, best);
+  EXPECT_GE(balb_latency, optimal_latency - 1e-9);
+  EXPECT_LE(balb_latency, 1.7 * optimal_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalbOptimality, ::testing::Range(0, 25));
+
+TEST(CentralBalbOptions, BatchAwareNoWorseOnBatchableLoad) {
+  // Many same-size shared objects: batch awareness is exactly what saves
+  // latency.
+  MvsProblem p;
+  const gpu::DeviceProfile dev("a", 20.0, {{8, 10.0}});
+  const gpu::DeviceProfile dev2("b", 20.0, {{8, 10.0}});
+  p.cameras = {dev, dev2};
+  for (int j = 0; j < 8; ++j)
+    p.objects.push_back(object(static_cast<std::uint64_t>(j), {0, 1}, 0, 2));
+  CentralBalbOptions with;
+  CentralBalbOptions without;
+  without.batch_aware = false;
+  const double aware = recomputed_system_latency(p, central_balb(p, with));
+  const double naive = recomputed_system_latency(p, central_balb(p, without));
+  EXPECT_LE(aware, naive);
+}
+
+TEST(CentralBalbOptions, OrderingVariantsAreFeasible) {
+  util::Rng rng(31);
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_nano()};
+  for (int j = 0; j < 12; ++j) {
+    std::vector<int> coverage = rng.bernoulli(0.5)
+                                    ? std::vector<int>{0, 1}
+                                    : std::vector<int>{rng.uniform_int(0, 1)};
+    p.objects.push_back(object(static_cast<std::uint64_t>(j),
+                               std::move(coverage), rng.uniform_int(0, 3), 2));
+  }
+  for (const auto order : {CentralBalbOptions::Order::kCoverageAscending,
+                           CentralBalbOptions::Order::kCoverageDescending,
+                           CentralBalbOptions::Order::kInputOrder}) {
+    CentralBalbOptions options;
+    options.order = order;
+    EXPECT_TRUE(is_feasible(p, central_balb(p, options)));
+  }
+}
+
+}  // namespace
+}  // namespace mvs::core

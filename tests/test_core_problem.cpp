@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/problem.hpp"
+
+namespace mvs::core {
+namespace {
+
+MvsProblem two_camera_problem() {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_xavier(), gpu::jetson_nano()};
+  ObjectSpec a;
+  a.key = 0;
+  a.coverage = {0};
+  a.size_class = {1, 0};
+  ObjectSpec b;
+  b.key = 1;
+  b.coverage = {0, 1};
+  b.size_class = {1, 1};
+  p.objects = {a, b};
+  return p;
+}
+
+Assignment empty_assignment(const MvsProblem& p) {
+  Assignment a;
+  a.x.assign(p.camera_count(), std::vector<char>(p.object_count(), 0));
+  a.camera_latency.assign(p.camera_count(), 0.0);
+  return a;
+}
+
+TEST(Feasibility, ValidAssignment) {
+  const MvsProblem p = two_camera_problem();
+  Assignment a = empty_assignment(p);
+  a.x[0][0] = 1;
+  a.x[1][1] = 1;
+  EXPECT_TRUE(is_feasible(p, a));
+}
+
+TEST(Feasibility, UntrackedObjectRejected) {
+  const MvsProblem p = two_camera_problem();
+  Assignment a = empty_assignment(p);
+  a.x[0][0] = 1;  // object 1 untracked
+  EXPECT_FALSE(is_feasible(p, a));
+}
+
+TEST(Feasibility, NonCoveringCameraRejected) {
+  const MvsProblem p = two_camera_problem();
+  Assignment a = empty_assignment(p);
+  a.x[1][0] = 1;  // camera 1 cannot see object 0
+  a.x[0][1] = 1;
+  EXPECT_FALSE(is_feasible(p, a));
+}
+
+TEST(Feasibility, MultipleTrackersAllowed) {
+  const MvsProblem p = two_camera_problem();
+  Assignment a = empty_assignment(p);
+  a.x[0][0] = 1;
+  a.x[0][1] = 1;
+  a.x[1][1] = 1;  // object 1 tracked twice: allowed by Definition 2
+  EXPECT_TRUE(is_feasible(p, a));
+}
+
+TEST(Feasibility, WrongShapeRejected) {
+  const MvsProblem p = two_camera_problem();
+  Assignment a;
+  a.x.assign(1, std::vector<char>(2, 1));
+  EXPECT_FALSE(is_feasible(p, a));
+}
+
+TEST(Assignment, SystemLatencyIsMax) {
+  Assignment a;
+  a.camera_latency = {10.0, 35.0, 20.0};
+  EXPECT_DOUBLE_EQ(a.system_latency(), 35.0);
+}
+
+TEST(Assignment, PriorityOrderAscendingLatency) {
+  Assignment a;
+  a.camera_latency = {30.0, 10.0, 20.0};
+  const std::vector<int> order = a.priority_order();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Assignment, PriorityOrderStableOnTies) {
+  Assignment a;
+  a.camera_latency = {10.0, 10.0, 5.0};
+  const std::vector<int> order = a.priority_order();
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(RegularFrameLatencies, BatchingApplied) {
+  MvsProblem p;
+  p.cameras = {gpu::jetson_tx2()};  // limit(size 0) = 16, t = 12 ms
+  for (int j = 0; j < 20; ++j) {
+    ObjectSpec obj;
+    obj.key = static_cast<std::uint64_t>(j);
+    obj.coverage = {0};
+    obj.size_class = {0};
+    p.objects.push_back(obj);
+  }
+  Assignment a = empty_assignment(p);
+  for (int j = 0; j < 20; ++j) a.x[0][static_cast<std::size_t>(j)] = 1;
+  const auto lat = regular_frame_latencies(p, a);
+  // 20 size-0 tasks -> 2 batches -> 24 ms.
+  EXPECT_DOUBLE_EQ(lat[0], 24.0);
+}
+
+TEST(RecomputedSystemLatency, IncludesFullFrame) {
+  const MvsProblem p = two_camera_problem();
+  Assignment a = empty_assignment(p);
+  a.x[0][0] = 1;
+  a.x[0][1] = 1;
+  // Camera 0 (xavier): full 45 + one size-1 batch (two tasks fit) 8 = 53.
+  // Camera 1 (nano): idle -> full 280 dominates.
+  EXPECT_DOUBLE_EQ(recomputed_system_latency(p, a), 280.0);
+}
+
+}  // namespace
+}  // namespace mvs::core

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "runtime/config.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+
+namespace mvs {
+namespace {
+
+using util::Json;
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-17")->as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParseNested) {
+  const auto doc = Json::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}, "e": null})");
+  ASSERT_TRUE(doc.has_value());
+  const Json* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].find("b")->as_bool());
+  EXPECT_EQ(doc->find("c")->find("d")->as_string(), "x");
+  EXPECT_TRUE(doc->find("e")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const auto doc = Json::parse(R"("a\nb\t\"q\" \\ A")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "a\nb\t\"q\" \\ A");
+}
+
+TEST(Json, MalformedInputsRejected) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("12 34").has_value());  // trailing tokens
+  EXPECT_FALSE(Json::parse("nul").has_value());
+}
+
+TEST(Json, WhitespaceTolerant) {
+  EXPECT_TRUE(Json::parse("  { \"a\" :\n[ 1 , 2 ]\t} ").has_value());
+}
+
+TEST(Json, DumpRoundTrips) {
+  const std::string text =
+      R"({"arr":[1,2.5,"s"],"flag":true,"n":null,"nested":{"x":-3}})";
+  const auto doc = Json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const auto again = Json::parse(doc->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(), doc->dump());
+}
+
+TEST(Json, TypedGettersWithDefaults) {
+  const auto doc = Json::parse(R"({"a": 2, "b": "s", "c": true})");
+  EXPECT_DOUBLE_EQ(doc->number_or("a", 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(doc->number_or("missing", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(doc->number_or("b", 7.0), 7.0);  // wrong type -> default
+  EXPECT_EQ(doc->string_or("b", ""), "s");
+  EXPECT_TRUE(doc->bool_or("c", false));
+}
+
+TEST(Args, FlagsValuesPositional) {
+  const char* argv[] = {"prog", "--verbose", "--frames", "100",
+                        "--policy=balb", "S1", "extra"};
+  const auto args = util::Args::parse(7, argv, {"verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_or("policy", ""), "balb");
+  EXPECT_EQ(args.int_or("frames", 0), 100);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "S1");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const auto args = util::Args::parse(1, argv);
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get_or("x", "d"), "d");
+  EXPECT_DOUBLE_EQ(args.number_or("x", 1.5), 1.5);
+}
+
+TEST(ParsePolicy, AllNames) {
+  using runtime::Policy;
+  EXPECT_EQ(runtime::parse_policy("full"), Policy::kFull);
+  EXPECT_EQ(runtime::parse_policy("BALB"), Policy::kBalb);
+  EXPECT_EQ(runtime::parse_policy("balb-ind"), Policy::kBalbInd);
+  EXPECT_EQ(runtime::parse_policy("balb-cen"), Policy::kBalbCen);
+  EXPECT_EQ(runtime::parse_policy("sp"), Policy::kStaticPartition);
+  EXPECT_EQ(runtime::parse_policy("static"), Policy::kStaticPartition);
+  EXPECT_FALSE(runtime::parse_policy("bogus").has_value());
+}
+
+TEST(RunConfig, ParseFullDocument) {
+  const std::string text = R"({
+    "scenario": "S2", "frames": 50,
+    "pipeline": {"policy": "sp", "horizon_frames": 5,
+                 "training_frames": 80, "seed": 9, "recall_iou": 0.5}
+  })";
+  const auto config = runtime::parse_run_config(text);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->scenario, "S2");
+  EXPECT_EQ(config->frames, 50);
+  EXPECT_EQ(config->pipeline.policy, runtime::Policy::kStaticPartition);
+  EXPECT_EQ(config->pipeline.horizon_frames, 5);
+  EXPECT_EQ(config->pipeline.seed, 9u);
+  EXPECT_DOUBLE_EQ(config->pipeline.recall_iou, 0.5);
+}
+
+TEST(RunConfig, DefaultsApplied) {
+  const auto config = runtime::parse_run_config("{}");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->scenario, "S1");
+  EXPECT_EQ(config->pipeline.policy, runtime::Policy::kBalb);
+}
+
+TEST(RunConfig, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(runtime::parse_run_config("{bad", &error).has_value());
+  EXPECT_FALSE(runtime::parse_run_config(R"({"scenario":"S9"})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("S9"), std::string::npos);
+  EXPECT_FALSE(
+      runtime::parse_run_config(R"({"pipeline":{"policy":"zzz"}})", &error)
+          .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"pipeline":{"horizon_frames":0}})", &error)
+                   .has_value());
+}
+
+TEST(RunConfig, DumpRoundTrips) {
+  runtime::RunConfig config;
+  config.scenario = "S3";
+  config.frames = 77;
+  config.pipeline.policy = runtime::Policy::kBalbCen;
+  config.pipeline.horizon_frames = 20;
+  config.pipeline.seed = 1234;
+  const auto again = runtime::parse_run_config(dump_run_config(config));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->scenario, "S3");
+  EXPECT_EQ(again->frames, 77);
+  EXPECT_EQ(again->pipeline.policy, runtime::Policy::kBalbCen);
+  EXPECT_EQ(again->pipeline.horizon_frames, 20);
+  EXPECT_EQ(again->pipeline.seed, 1234u);
+}
+
+}  // namespace
+}  // namespace mvs

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "assoc/association.hpp"
+#include "runtime/oracles.hpp"
+#include "runtime/pipeline.hpp"
+#include "sim/dataset.hpp"
+#include "sim/scenario.hpp"
+
+namespace mvs::runtime {
+namespace {
+
+PipelineConfig fast_config(Policy policy, std::uint64_t seed = 5) {
+  PipelineConfig cfg;
+  cfg.policy = policy;
+  cfg.horizon_frames = 10;
+  cfg.training_frames = 120;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Oracles, CoverageIncludesSelfAndIsSorted) {
+  sim::ScenarioPlayer player(sim::make_s2(3), 60.0);
+  const auto frames = player.take(120);
+  assoc::CrossCameraAssociator associator({{1280, 704}, {1280, 704}});
+  associator.train(frames);
+  const auto coverage = make_coverage_oracle(associator);
+  for (double x = 50; x < 1280; x += 300) {
+    const auto cover = coverage(0, {x, 400});
+    EXPECT_FALSE(cover.empty());
+    EXPECT_TRUE(std::find(cover.begin(), cover.end(), 0) != cover.end());
+    EXPECT_TRUE(std::is_sorted(cover.begin(), cover.end()));
+  }
+}
+
+TEST(Oracles, RegionKeyDeterministic) {
+  sim::ScenarioPlayer player(sim::make_s2(3), 60.0);
+  const auto frames = player.take(120);
+  assoc::CrossCameraAssociator associator({{1280, 704}, {1280, 704}});
+  associator.train(frames);
+  const auto key = make_region_key_oracle(associator);
+  EXPECT_EQ(key(0, {200, 300}), key(0, {200, 300}));
+  // Nearby points in the same 64-px cell share the key.
+  EXPECT_EQ(key(0, {200, 300}), key(0, {205, 305}));
+}
+
+class PolicyRuns : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicyRuns, ExecutesAndReportsSaneNumbers) {
+  Pipeline pipeline("S2", fast_config(GetParam()));
+  const PipelineResult result = pipeline.run(40);
+  ASSERT_EQ(result.frames.size(), 40u);
+  EXPECT_GE(result.object_recall, 0.0);
+  EXPECT_LE(result.object_recall, 1.0);
+  EXPECT_GT(result.mean_slowest_infer_ms(), 0.0);
+  // Key-frame cadence: frames 0, 10, 20, 30 (except Full which has none).
+  for (std::size_t f = 0; f < result.frames.size(); ++f) {
+    if (GetParam() == Policy::kFull) break;
+    EXPECT_EQ(result.frames[f].key_frame, f % 10 == 0);
+  }
+  // Per-camera latency vector matches the scenario camera count.
+  EXPECT_EQ(result.frames[0].camera_infer_ms.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyRuns,
+    ::testing::Values(Policy::kFull, Policy::kBalbInd, Policy::kBalbCen,
+                      Policy::kBalb, Policy::kStaticPartition),
+    [](const ::testing::TestParamInfo<Policy>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(PipelineBehaviour, FullChargesFullFrameEveryFrame) {
+  Pipeline pipeline("S2", fast_config(Policy::kFull));
+  const PipelineResult result = pipeline.run(10);
+  for (const FrameStats& f : result.frames)
+    EXPECT_DOUBLE_EQ(f.slowest_infer_ms, 280.0);  // nano full frame
+}
+
+TEST(PipelineBehaviour, BalbFasterThanFull) {
+  Pipeline full("S2", fast_config(Policy::kFull));
+  Pipeline balb("S2", fast_config(Policy::kBalb));
+  const double full_latency = full.run(60).mean_slowest_infer_ms();
+  const double balb_latency = balb.run(60).mean_slowest_infer_ms();
+  EXPECT_LT(balb_latency, 0.8 * full_latency);
+}
+
+TEST(PipelineBehaviour, BalbRecallUsable) {
+  Pipeline balb("S2", fast_config(Policy::kBalb));
+  EXPECT_GT(balb.run(60).object_recall, 0.7);
+}
+
+TEST(PipelineBehaviour, KeyFramesChargeFullInspection) {
+  Pipeline balb("S2", fast_config(Policy::kBalb));
+  const PipelineResult result = balb.run(20);
+  EXPECT_DOUBLE_EQ(result.frames[0].slowest_infer_ms, 280.0);
+  // Regular frames must be cheaper than key frames on average.
+  double regular = 0.0;
+  int count = 0;
+  for (const FrameStats& f : result.frames)
+    if (!f.key_frame) {
+      regular += f.slowest_infer_ms;
+      ++count;
+    }
+  EXPECT_LT(regular / count, 280.0);
+}
+
+TEST(PipelineBehaviour, CentralOverheadOnlyOnKeyFrames) {
+  Pipeline balb("S2", fast_config(Policy::kBalb));
+  const PipelineResult result = balb.run(20);
+  for (const FrameStats& f : result.frames) {
+    if (!f.key_frame) EXPECT_DOUBLE_EQ(f.central_ms, 0.0);
+  }
+  EXPECT_GT(result.frames[0].central_ms, 0.0);
+  EXPECT_GT(result.frames[0].comm_ms, 0.0);
+}
+
+TEST(PipelineBehaviour, TrackingOverheadOnRegularFrames) {
+  Pipeline balb("S2", fast_config(Policy::kBalb));
+  const PipelineResult result = balb.run(15);
+  bool any_tracking = false;
+  for (const FrameStats& f : result.frames)
+    if (!f.key_frame && f.tracking_ms > 0.0) any_tracking = true;
+  EXPECT_TRUE(any_tracking);
+}
+
+TEST(PipelineBehaviour, DeterministicForSeed) {
+  Pipeline a("S2", fast_config(Policy::kBalb, 77));
+  Pipeline b("S2", fast_config(Policy::kBalb, 77));
+  const PipelineResult ra = a.run(30);
+  const PipelineResult rb = b.run(30);
+  EXPECT_DOUBLE_EQ(ra.object_recall, rb.object_recall);
+  EXPECT_DOUBLE_EQ(ra.mean_slowest_infer_ms(), rb.mean_slowest_infer_ms());
+  for (std::size_t f = 0; f < ra.frames.size(); ++f)
+    EXPECT_DOUBLE_EQ(ra.frames[f].slowest_infer_ms,
+                     rb.frames[f].slowest_infer_ms);
+}
+
+}  // namespace
+}  // namespace mvs::runtime

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/thread_pool.hpp"
+
+namespace mvs::util {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForEachCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for_each(hits.size(),
+                         [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, PartitionedStateIsRaceFree) {
+  // Each index owns its slot; sums must be exact (no lost updates).
+  ThreadPool pool;
+  std::vector<long> slots(200, 0);
+  for (int round = 0; round < 10; ++round)
+    pool.parallel_for_each(slots.size(), [&](std::size_t i) {
+      for (int k = 0; k < 1000; ++k) slots[i] += 1;
+    });
+  const long total = std::accumulate(slots.begin(), slots.end(), 0L);
+  EXPECT_EQ(total, 200L * 10L * 1000L);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasks) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(10, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for_each(20, [&](std::size_t) { ++counter; });
+    EXPECT_EQ(counter.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, ZeroChoosesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, DestructionWithPendingWorkCompletes) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++counter; });
+    pool.wait_idle();
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace mvs::util

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/pipeline.hpp"
+#include "runtime/trace.hpp"
+#include "util/json.hpp"
+
+namespace mvs::runtime {
+namespace {
+
+TEST(TraceRecorder, RecordsAndCounts) {
+  TraceRecorder trace;
+  trace.record({1, 0, TraceEventType::kAssignment, 7, 0.0});
+  trace.record({1, 1, TraceEventType::kAssignment, 8, 0.0});
+  trace.record({2, 0, TraceEventType::kAdoptNew, 9, 0.0});
+  EXPECT_EQ(trace.total(), 3u);
+  EXPECT_EQ(trace.count(TraceEventType::kAssignment), 2u);
+  EXPECT_EQ(trace.count(TraceEventType::kAdoptNew), 1u);
+  EXPECT_EQ(trace.count(TraceEventType::kTakeover), 0u);
+  trace.clear();
+  EXPECT_EQ(trace.total(), 0u);
+}
+
+TEST(TraceRecorder, JsonIsParseable) {
+  TraceRecorder trace;
+  trace.record({5, 2, TraceEventType::kTakeover, 42, 1.5});
+  const auto doc = util::Json::parse(trace.to_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->as_array().size(), 1u);
+  const util::Json& e = doc->as_array()[0];
+  EXPECT_DOUBLE_EQ(e.number_or("frame", 0), 5.0);
+  EXPECT_DOUBLE_EQ(e.number_or("camera", 0), 2.0);
+  EXPECT_EQ(e.string_or("type", ""), "takeover");
+  EXPECT_DOUBLE_EQ(e.number_or("object", 0), 42.0);
+  EXPECT_DOUBLE_EQ(e.number_or("value", 0), 1.5);
+}
+
+TEST(TraceRecorder, ThreadSafeRecording) {
+  TraceRecorder trace;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < 500; ++i)
+        trace.record({i, t, TraceEventType::kAdoptNew, 0, 0.0});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace.total(), 2000u);
+}
+
+TEST(TraceRecorder, EventTypeNames) {
+  EXPECT_STREQ(to_string(TraceEventType::kKeyFrame), "key_frame");
+  EXPECT_STREQ(to_string(TraceEventType::kTrackDrop), "track_drop");
+}
+
+TEST(PipelineTrace, BalbEmitsSchedulingEvents) {
+  TraceRecorder trace;
+  PipelineConfig cfg;
+  cfg.policy = Policy::kBalb;
+  cfg.horizon_frames = 10;
+  cfg.training_frames = 120;
+  cfg.seed = 8;
+  Pipeline pipeline("S3", cfg);  // busy scenario: churn guaranteed
+  pipeline.attach_trace(&trace);
+  pipeline.run(40);
+  EXPECT_EQ(trace.count(TraceEventType::kKeyFrame), 4u);
+  EXPECT_GT(trace.count(TraceEventType::kAssignment), 0u);
+  EXPECT_GT(trace.count(TraceEventType::kAdoptNew), 0u);
+  // Every event carries a valid frame index.
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.frame, 0);
+    EXPECT_GE(e.camera, -1);
+  }
+}
+
+TEST(PipelineTrace, BalbCenNeverAdopts) {
+  TraceRecorder trace;
+  PipelineConfig cfg;
+  cfg.policy = Policy::kBalbCen;
+  cfg.horizon_frames = 10;
+  cfg.training_frames = 120;
+  cfg.seed = 8;
+  Pipeline pipeline("S3", cfg);
+  pipeline.attach_trace(&trace);
+  pipeline.run(40);
+  EXPECT_EQ(trace.count(TraceEventType::kAdoptNew), 0u);
+  EXPECT_EQ(trace.count(TraceEventType::kTakeover), 0u);
+  EXPECT_GT(trace.count(TraceEventType::kAssignment), 0u);
+}
+
+}  // namespace
+}  // namespace mvs::runtime

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "vision/image.hpp"
+#include "vision/optical_flow.hpp"
+#include "vision/regions.hpp"
+#include "vision/renderer.hpp"
+
+namespace mvs::vision {
+namespace {
+
+Renderer small_renderer() {
+  Renderer::Config cfg;
+  cfg.width = 160;
+  cfg.height = 96;
+  cfg.noise_amplitude = 2;
+  return Renderer(cfg);
+}
+
+TEST(Image, ConstructAndAccess) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(3, 2), 7);
+  img.set(1, 1, 42);
+  EXPECT_EQ(img.at(1, 1), 42);
+}
+
+TEST(Image, ClampedRead) {
+  Image img(2, 2);
+  img.set(0, 0, 10);
+  img.set(1, 1, 20);
+  EXPECT_EQ(img.at_clamped(-5, -5), 10);
+  EXPECT_EQ(img.at_clamped(10, 10), 20);
+}
+
+TEST(Image, Downsample) {
+  Image img(4, 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) img.set(x, y, 100);
+  const Image half = img.downsampled();
+  EXPECT_EQ(half.width(), 2);
+  EXPECT_EQ(half.height(), 2);
+  EXPECT_EQ(half.at(0, 0), 100);
+}
+
+TEST(Image, MeanAbsDiff) {
+  Image a(2, 2, 10), b(2, 2, 14);
+  EXPECT_DOUBLE_EQ(mean_abs_diff(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(mean_abs_diff(a, a), 0.0);
+}
+
+TEST(Renderer, Deterministic) {
+  const Renderer r = small_renderer();
+  const std::vector<RenderObject> objs = {{42, {30, 30, 20, 12}}};
+  const Image a = r.render(objs, 5, 1);
+  const Image b = r.render(objs, 5, 1);
+  EXPECT_DOUBLE_EQ(mean_abs_diff(a, b), 0.0);
+}
+
+TEST(Renderer, FrameNoiseVaries) {
+  const Renderer r = small_renderer();
+  const Image a = r.render({}, 1, 1);
+  const Image b = r.render({}, 2, 1);
+  EXPECT_GT(mean_abs_diff(a, b), 0.1);  // noise differs
+  EXPECT_LT(mean_abs_diff(a, b), 6.0);  // but background is static
+}
+
+TEST(Renderer, ObjectsBrighterThanBackground) {
+  const Renderer r = small_renderer();
+  const Image bg = r.render({}, 1, 1);
+  const Image with = r.render({{7, {40, 40, 30, 20}}}, 1, 1);
+  // Pixels inside the object region changed substantially.
+  double diff = 0.0;
+  for (int y = 42; y < 58; ++y)
+    for (int x = 42; x < 68; ++x)
+      diff += std::abs(static_cast<int>(bg.at(x, y)) -
+                       static_cast<int>(with.at(x, y)));
+  EXPECT_GT(diff / (16 * 26), 10.0);
+}
+
+TEST(OpticalFlow, ZeroMotionOnStaticScene) {
+  const Renderer r = small_renderer();
+  const std::vector<RenderObject> objs = {{3, {50, 40, 24, 16}}};
+  const Image a = r.render(objs, 1, 1);
+  const Image b = r.render(objs, 2, 1);  // same pose, new sensor noise
+  const OpticalFlow flow;
+  const FlowField field = flow.compute(a, b);
+  EXPECT_LT(mean_flow_magnitude(field), 0.3);
+}
+
+class FlowTranslation : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FlowTranslation, RecoversObjectMotion) {
+  const auto [dx, dy] = GetParam();
+  const Renderer r = small_renderer();
+  const geom::BBox start{60, 40, 28, 18};
+  const Image a = r.render({{9, start}}, 1, 1);
+  const Image b = r.render({{9, start.shifted({static_cast<double>(dx),
+                                               static_cast<double>(dy)})}},
+                           2, 1);
+  const OpticalFlow flow;
+  const FlowField field = flow.compute(a, b);
+  const geom::Vec2 motion = median_flow_in(field, start);
+  EXPECT_NEAR(motion.x, dx, 1.6);
+  EXPECT_NEAR(motion.y, dy, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, FlowTranslation,
+    ::testing::Values(std::pair{3, 0}, std::pair{-3, 0}, std::pair{0, 3},
+                      std::pair{0, -2}, std::pair{4, 2}, std::pair{-2, -3},
+                      std::pair{6, 0}, std::pair{0, 5}));
+
+TEST(OpticalFlow, MedianFlowEmptyBoxIsZero) {
+  FlowField field;
+  field.block_size = 8;
+  field.cols = 2;
+  field.rows = 2;
+  field.flow.assign(4, {5.0, 5.0});
+  field.residual.assign(4, 0.0);
+  const geom::Vec2 motion = median_flow_in(field, {100, 100, 4, 4});
+  EXPECT_DOUBLE_EQ(motion.x, 0.0);
+}
+
+TEST(NewRegions, FindsUnexplainedMovingObject) {
+  const Renderer r = small_renderer();
+  const geom::BBox moving{60, 40, 24, 16};
+  const Image a = r.render({{5, moving}}, 1, 1);
+  const Image b = r.render({{5, moving.shifted({5, 0})}}, 2, 1);
+  const OpticalFlow flow;
+  const FlowField field = flow.compute(a, b);
+
+  // No predicted boxes -> the mover must surface as a new region.
+  const auto regions = extract_new_regions(field, {}, 1.0);
+  ASSERT_FALSE(regions.empty());
+  bool covers = false;
+  for (const geom::BBox& region : regions)
+    if (geom::coverage(moving, region) > 0.5) covers = true;
+  EXPECT_TRUE(covers);
+}
+
+TEST(NewRegions, ExplainedObjectSuppressed) {
+  const Renderer r = small_renderer();
+  const geom::BBox moving{60, 40, 24, 16};
+  const Image a = r.render({{5, moving}}, 1, 1);
+  const Image b = r.render({{5, moving.shifted({5, 0})}}, 2, 1);
+  const OpticalFlow flow;
+  const FlowField field = flow.compute(a, b);
+
+  const auto regions =
+      extract_new_regions(field, {moving.expanded(8.0)}, 1.0);
+  for (const geom::BBox& region : regions)
+    EXPECT_LT(geom::coverage(moving, region), 0.5);
+}
+
+TEST(NewRegions, ScaleMapsToLogicalPixels) {
+  FlowField field;
+  field.block_size = 8;
+  field.cols = 4;
+  field.rows = 4;
+  field.flow.assign(16, {0.0, 0.0});
+  field.residual.assign(16, 0.0);
+  // One moving block at (2,2).
+  field.flow[2 * 4 + 2] = {4.0, 0.0};
+  NewRegionConfig cfg;
+  cfg.min_area = 1.0;
+  cfg.merge_margin = 0.0;
+  const auto regions = extract_new_regions(field, {}, 4.0, cfg);
+  ASSERT_EQ(regions.size(), 1u);
+  // Block (2,2) covers flow pixels [16,24)x[16,24) -> logical [64,96).
+  EXPECT_DOUBLE_EQ(regions[0].x, 64.0);
+  EXPECT_DOUBLE_EQ(regions[0].w, 32.0);
+}
+
+TEST(SliceRegions, QuantizedAndClamped) {
+  const geom::SizeClassSet sizes;
+  const std::vector<std::pair<long, geom::BBox>> predicted = {
+      {7, {50, 50, 30, 30}},    // -> class 0 (64)
+      {8, {1200, 600, 90, 90}}, // near border -> clamped
+  };
+  const auto slices = slice_regions(predicted, sizes, 1280, 704);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].track_id, 7);
+  EXPECT_EQ(slices[0].size_class, 0);
+  EXPECT_DOUBLE_EQ(slices[0].roi.w, 64.0);
+  EXPECT_LE(slices[1].roi.x2(), 1280.0);
+  EXPECT_LE(slices[1].roi.y2(), 704.0);
+}
+
+TEST(SliceRegions, EmptyInput) {
+  const geom::SizeClassSet sizes;
+  EXPECT_TRUE(slice_regions({}, sizes, 100, 100).empty());
+}
+
+}  // namespace
+}  // namespace mvs::vision
