@@ -1,0 +1,129 @@
+// Network ablation: how much do imperfect links cost the scheduler?
+//
+// Part 1 — loss/jitter sweep (S3, BALB vs BALB-Cen): packet loss delays or
+// drops key-frame uplinks, shrinking the central plan; jitter stretches the
+// cycle and triggers honest spurious retransmissions. BALB's distributed
+// stage should absorb most of the damage that cripples the
+// centralized-only variant.
+//
+// Part 2 — mid-run camera dropout (S1, BALB): one camera goes dark for a
+// window of the run. The acceptance bound: recall degradation must stay
+// below the dropped camera's solo-coverage share — the fraction of
+// ground-truth observations only that camera sees — because BALB re-plans
+// over the survivors, so only solo-covered objects can actually be lost.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "runtime/pipeline.hpp"
+#include "sim/dataset.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mvs;
+
+runtime::PipelineResult run_once(const std::string& scenario,
+                                 runtime::Policy policy,
+                                 net::TransportKind transport,
+                                 const netsim::FaultConfig& faults,
+                                 int frames) {
+  runtime::PipelineConfig cfg;
+  cfg.policy = policy;
+  cfg.horizon_frames = 10;
+  cfg.training_frames = 150;
+  cfg.seed = 11;
+  cfg.transport = transport;
+  cfg.faults = faults;
+  runtime::Pipeline pipeline(scenario, cfg);
+  return pipeline.run(frames);
+}
+
+/// Fraction of ground-truth observations (frame, object) over the
+/// evaluation window that are visible ONLY from `camera`. Replays the same
+/// scenario stream the pipeline consumes (same seed, warmup and training
+/// split).
+double solo_coverage_share(const std::string& scenario, int camera,
+                           int training_frames, int eval_frames) {
+  sim::ScenarioPlayer player(sim::make_scenario(scenario, /*seed=*/11),
+                             /*warmup_s=*/45.0);
+  (void)player.take(training_frames);
+  long solo = 0, total = 0;
+  for (int f = 0; f < eval_frames; ++f) {
+    const sim::MultiFrame mf = player.next();
+    std::map<std::uint64_t, std::set<int>> seen_by;
+    for (std::size_t c = 0; c < mf.per_camera.size(); ++c)
+      for (const detect::GroundTruthObject& obj : mf.per_camera[c])
+        seen_by[obj.id].insert(static_cast<int>(c));
+    for (const auto& [id, cams] : seen_by) {
+      ++total;
+      solo += (cams.size() == 1 && cams.count(camera) > 0);
+    }
+  }
+  return total > 0 ? static_cast<double>(solo) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kFrames = 100;
+
+  std::printf("== Ablation: network loss / jitter (S3, %d frames) ==\n\n",
+              kFrames);
+  util::Table sweep({"loss", "jitter_ms", "policy", "recall", "comm_ms",
+                     "queue_ms", "retries", "drops"});
+  for (const double loss : {0.0, 0.05, 0.15, 0.3}) {
+    for (const double jitter : {0.0, 3.0}) {
+      for (const auto policy :
+           {runtime::Policy::kBalb, runtime::Policy::kBalbCen}) {
+        netsim::FaultConfig faults;
+        faults.loss_rate = loss;
+        faults.jitter_ms = jitter;
+        const auto result = run_once("S3", policy, net::TransportKind::kLossy,
+                                     faults, kFrames);
+        sweep.add_row({util::Table::fmt(loss, 2), util::Table::fmt(jitter, 1),
+                       runtime::to_string(policy),
+                       util::Table::fmt(result.object_recall, 3),
+                       util::Table::fmt(result.mean_comm_ms(), 3),
+                       util::Table::fmt(result.mean_queue_ms(), 3),
+                       std::to_string(result.total_retries()),
+                       std::to_string(result.total_dropped_msgs())});
+      }
+    }
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+
+  std::printf("== Ablation: mid-run camera dropout (S1, BALB, %d frames) ==\n\n",
+              kFrames);
+  const netsim::FaultConfig no_faults;
+  const auto baseline = run_once("S1", runtime::Policy::kBalb,
+                                 net::TransportKind::kLossy, no_faults,
+                                 kFrames);
+  util::Table drop_table({"dropped cam", "window", "recall", "baseline",
+                          "degradation", "solo share", "within bound"});
+  bool all_within_bound = true;
+  for (const int cam : {0, 2, 4}) {
+    netsim::FaultConfig faults;
+    faults.dropouts.push_back({cam, /*from=*/20, /*to=*/70});
+    const auto result = run_once("S1", runtime::Policy::kBalb,
+                                 net::TransportKind::kLossy, faults, kFrames);
+    const double degradation = baseline.object_recall - result.object_recall;
+    // The whole-run bound: the camera is dark for half the run, so its
+    // whole-run solo share (computed over all evaluation frames) upper
+    // bounds what the dropout can cost.
+    const double solo = solo_coverage_share("S1", cam, 150, kFrames);
+    const bool within = degradation < solo;
+    all_within_bound = all_within_bound && within;
+    drop_table.add_row({std::to_string(cam), "[20, 70)",
+                        util::Table::fmt(result.object_recall, 3),
+                        util::Table::fmt(baseline.object_recall, 3),
+                        util::Table::fmt(degradation, 3),
+                        util::Table::fmt(solo, 3), within ? "yes" : "NO"});
+  }
+  std::printf("%s\n", drop_table.to_string().c_str());
+  std::printf("degradation < solo-coverage share for every camera: %s\n",
+              all_within_bound ? "yes" : "NO");
+  return all_within_bound ? 0 : 1;
+}

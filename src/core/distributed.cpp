@@ -7,7 +7,13 @@ namespace mvs::core {
 DistributedStage::DistributedStage(CameraMasks masks,
                                    std::vector<int> priority_order)
     : masks_(std::move(masks)) {
-  rank_.assign(priority_order.size(), 0);
+  // Rank lookup must cover every deployment camera, not just the listed
+  // ones — the masks know the deployment size even when the priority order
+  // is a surviving subset.
+  std::size_t cameras = masks_.camera_count();
+  for (int cam : priority_order)
+    cameras = std::max(cameras, static_cast<std::size_t>(cam) + 1);
+  rank_.assign(cameras, kUnranked);
   for (std::size_t pos = 0; pos < priority_order.size(); ++pos)
     rank_[static_cast<std::size_t>(priority_order[pos])] =
         static_cast<int>(pos);
@@ -23,6 +29,7 @@ int DistributedStage::takeover_camera(
   assert(valid());
   int best = -1;
   for (int cam : visible_cams) {
+    if (rank_[static_cast<std::size_t>(cam)] == kUnranked) continue;
     if (best < 0 || rank_[static_cast<std::size_t>(cam)] <
                         rank_[static_cast<std::size_t>(best)])
       best = cam;

@@ -11,6 +11,7 @@
 // masks and priority order, both fixed for the scheduling horizon.
 // Complexity O(N) per camera per frame.
 
+#include <limits>
 #include <vector>
 
 #include "core/masks.hpp"
@@ -23,7 +24,10 @@ class DistributedStage {
   DistributedStage() = default;
 
   /// `priority_order` from Assignment::priority_order(); `masks` from
-  /// build_priority_masks with the same order.
+  /// build_priority_masks with the same order. The order may cover only a
+  /// subset of the deployment's cameras (e.g. the survivors after a camera
+  /// dropout): unlisted cameras are unranked — they never win a takeover
+  /// election and their mask cells fall to listed cameras.
   DistributedStage(CameraMasks masks, std::vector<int> priority_order);
 
   /// Case 1: should camera `cam` start tracking a new object detected at
@@ -34,8 +38,12 @@ class DistributedStage {
   /// Case 2: an existing object was assigned to `assigned_cam` but has left
   /// its view; `visible_cams` is the object's current coverage set as
   /// inferred from the shared cross-camera models. Returns the camera that
-  /// must take over (highest priority among visible), or -1 if none can.
+  /// must take over (highest priority among visible, unranked cameras
+  /// excluded), or -1 if none can.
   int takeover_camera(const std::vector<int>& visible_cams) const;
+
+  /// Rank of an unranked (e.g. dropped-out) camera.
+  static constexpr int kUnranked = std::numeric_limits<int>::max();
 
   int priority_rank(int cam) const {
     return rank_[static_cast<std::size_t>(cam)];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "core/baselines.hpp"
 
@@ -63,7 +64,12 @@ CameraMasks build_masks(const std::vector<std::pair<int, int>>& frame_dims,
 CameraMasks build_priority_masks(
     const std::vector<std::pair<int, int>>& frame_dims, int cell_size,
     const CellCoverageFn& coverage, const std::vector<int>& priority_order) {
-  std::vector<int> rank(frame_dims.size(), 0);
+  // Cameras missing from the order (e.g. dropped out of the deployment for
+  // this horizon) rank last, so every contested cell falls to a listed
+  // camera; a cell covered by no listed camera keeps its first coverer as
+  // owner, which is inert — an unlisted camera never inspects.
+  constexpr int kUnlisted = std::numeric_limits<int>::max();
+  std::vector<int> rank(frame_dims.size(), kUnlisted);
   for (std::size_t pos = 0; pos < priority_order.size(); ++pos)
     rank[static_cast<std::size_t>(priority_order[pos])] =
         static_cast<int>(pos);

@@ -1,0 +1,65 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mvs::net {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kIdeal: return "ideal";
+    case TransportKind::kLossy: return "lossy";
+  }
+  return "?";
+}
+
+std::optional<TransportKind> parse_transport(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "ideal") return TransportKind::kIdeal;
+  if (name == "lossy" || name == "netsim") return TransportKind::kLossy;
+  return std::nullopt;
+}
+
+IdealTransport::IdealTransport(std::size_t cameras, LinkModel link)
+    : link_(link),
+      cameras_(cameras),
+      up_sent_(cameras, 0),
+      down_sent_(cameras, 0) {}
+
+bool IdealTransport::camera_online(int /*camera*/, long /*frame*/) {
+  return true;  // the clean wired link never loses a camera
+}
+
+void IdealTransport::send_uplink(long /*frame*/, int camera,
+                                 std::size_t bytes) {
+  up_bytes_ += bytes;
+  up_sent_[static_cast<std::size_t>(camera)] = 1;
+}
+
+UplinkReport IdealTransport::run_uplinks(long /*frame*/) {
+  UplinkReport report;
+  report.elapsed_ms = up_bytes_ > 0 ? link_.upload_ms(up_bytes_) : 0.0;
+  report.delivered = up_sent_;
+  return report;
+}
+
+void IdealTransport::send_downlink(long /*frame*/, int camera,
+                                   std::size_t bytes) {
+  down_bytes_ += bytes;
+  down_sent_[static_cast<std::size_t>(camera)] = 1;
+}
+
+CycleReport IdealTransport::finish_cycle(long /*frame*/) {
+  CycleReport report;
+  // The historical closed form: one shared-medium transfer per direction.
+  report.comm_ms =
+      link_.upload_ms(up_bytes_) + link_.download_ms(down_bytes_);
+  report.downlink_delivered = down_sent_;
+  up_bytes_ = down_bytes_ = 0;
+  up_sent_.assign(cameras_, 0);
+  down_sent_.assign(cameras_, 0);
+  return report;
+}
+
+}  // namespace mvs::net

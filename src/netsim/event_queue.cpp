@@ -1,0 +1,37 @@
+#include "netsim/event_queue.hpp"
+
+#include <utility>
+
+namespace mvs::netsim {
+
+void EventQueue::schedule(double time_ms, Handler fn) {
+  Event e;
+  e.time = time_ms < now_ ? now_ : time_ms;
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  heap_.push(std::move(e));
+}
+
+bool EventQueue::run_one() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped before it runs.
+  Event e = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = e.time;
+  e.fn(now_);
+  return true;
+}
+
+void EventQueue::run_until_empty() {
+  while (run_one()) {
+  }
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  next_seq_ = 0;
+  now_ = 0.0;
+}
+
+}  // namespace mvs::netsim

@@ -1,0 +1,57 @@
+#pragma once
+// Discrete-event simulation core for mvs::netsim.
+//
+// A minimal single-clock event loop: handlers are scheduled at absolute
+// simulated times (milliseconds) and dispatched in (time, insertion order) —
+// the explicit sequence tie-break makes runs bit-for-bit reproducible
+// regardless of heap internals, which the determinism guarantees of the
+// lossy transport rely on. Handlers may schedule further events; times in
+// the past are clamped to "now" so causality never runs backwards.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mvs::netsim {
+
+class EventQueue {
+ public:
+  /// Invoked with the simulated time the event fires at.
+  using Handler = std::function<void(double now_ms)>;
+
+  /// Schedule `fn` at `time_ms` (clamped to the current time if earlier).
+  void schedule(double time_ms, Handler fn);
+
+  /// Dispatch the earliest pending event; false when the queue is empty.
+  bool run_one();
+
+  /// Dispatch events until none remain.
+  void run_until_empty();
+
+  double now_ms() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset();
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace mvs::netsim

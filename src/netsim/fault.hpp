@@ -1,0 +1,77 @@
+#pragma once
+// Fault injection knobs for the simulated camera <-> scheduler network.
+//
+// Three independent fault classes, all sampled from a seeded mvs::util::Rng
+// so any run is reproducible bit-for-bit:
+//   - packet loss: each message transmission attempt is lost i.i.d. with
+//     probability `loss_rate`; senders retransmit after `retry_timeout_ms`
+//     of silence, up to `max_retries` extra attempts;
+//   - jitter: every transmission attempt pays an extra exponentially
+//     distributed propagation delay with mean `jitter_ms`;
+//   - camera dropout: a camera is completely offline during configured
+//     evaluation-frame windows (no detections, no uplinks, no downlinks);
+//     it rejoins the schedule at the first key frame after the window.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mvs::netsim {
+
+/// One camera-outage window, in evaluation-frame indices (the frame counter
+/// the pipeline's run() loop uses, not the scenario's global frame index).
+struct DropoutWindow {
+  int camera = -1;
+  long from_frame = 0;  ///< first frame the camera is offline (inclusive)
+  long to_frame = -1;   ///< first frame it is back online; -1 = never
+};
+
+struct FaultConfig {
+  double loss_rate = 0.0;         ///< per-attempt loss probability [0, 1)
+  double jitter_ms = 0.0;         ///< mean of exponential per-attempt jitter
+  double retry_timeout_ms = 8.0;  ///< sender retransmit timeout
+  int max_retries = 3;            ///< retransmissions after the first attempt
+  std::vector<DropoutWindow> dropouts;
+
+  bool fault_free() const {
+    return loss_rate <= 0.0 && jitter_ms <= 0.0 && dropouts.empty();
+  }
+};
+
+/// Samples the per-message fault outcomes. Stateful (owns the RNG stream):
+/// call sites must draw in a deterministic order — netsim::EventQueue's
+/// (time, seq) dispatch order guarantees that.
+class FaultModel {
+ public:
+  FaultModel() : FaultModel(FaultConfig{}, 0) {}
+  FaultModel(FaultConfig cfg, std::uint64_t seed)
+      : cfg_(std::move(cfg)), rng_(seed) {}
+
+  /// Is this transmission attempt lost?
+  bool lose() { return cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate); }
+
+  /// Extra propagation delay for this transmission attempt.
+  double jitter() {
+    if (cfg_.jitter_ms <= 0.0) return 0.0;
+    return rng_.exponential(1.0 / cfg_.jitter_ms);
+  }
+
+  /// Is `camera` connected at evaluation frame `frame`?
+  bool camera_online(int camera, long frame) const {
+    for (const DropoutWindow& w : cfg_.dropouts) {
+      if (w.camera != camera) continue;
+      if (frame >= w.from_frame && (w.to_frame < 0 || frame < w.to_frame))
+        return false;
+    }
+    return true;
+  }
+
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+  util::Rng rng_;
+};
+
+}  // namespace mvs::netsim

@@ -1,0 +1,144 @@
+#include "netsim/sim_transport.hpp"
+
+#include <algorithm>
+
+namespace mvs::netsim {
+
+namespace {
+double serialize_ms(std::size_t bytes, double mbps) {
+  return static_cast<double>(bytes) * 8.0 / (mbps * 1e6) * 1e3;
+}
+}  // namespace
+
+SimTransport::SimTransport(Config cfg, std::size_t cameras, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      cameras_(cameras),
+      faults_(cfg_.faults, seed ^ 0x6E657453494DULL /* "netSIM" */) {}
+
+bool SimTransport::camera_online(int camera, long frame) {
+  return faults_.camera_online(camera, frame);
+}
+
+void SimTransport::send_uplink(long /*frame*/, int camera, std::size_t bytes) {
+  pending_up_.push_back({camera, bytes});
+}
+
+void SimTransport::send_downlink(long /*frame*/, int camera,
+                                 std::size_t bytes) {
+  pending_down_.push_back({camera, bytes});
+}
+
+net::UplinkReport SimTransport::run_uplinks(long /*frame*/) {
+  up_outcome_ = run_phase(pending_up_, /*uplink=*/true);
+  up_resolved_ = true;
+  net::UplinkReport report;
+  report.elapsed_ms = up_outcome_.elapsed_ms;
+  report.delivered = up_outcome_.delivered;
+  return report;
+}
+
+net::CycleReport SimTransport::finish_cycle(long frame) {
+  if (!up_resolved_) (void)run_uplinks(frame);
+  const PhaseOutcome down = run_phase(pending_down_, /*uplink=*/false);
+
+  net::CycleReport report;
+  report.comm_ms = up_outcome_.elapsed_ms + down.elapsed_ms;
+  report.queue_ms = up_outcome_.queue_ms + down.queue_ms;
+  report.retries = up_outcome_.retries + down.retries;
+  report.dropped_msgs = up_outcome_.drops + down.drops;
+  report.downlink_delivered = down.delivered;
+  report.events = up_outcome_.events;
+  for (net::MessageEvent e : down.events) {
+    e.time_ms += up_outcome_.elapsed_ms;  // cycle-relative timeline
+    report.events.push_back(e);
+  }
+
+  pending_up_.clear();
+  pending_down_.clear();
+  up_outcome_ = PhaseOutcome{};
+  up_resolved_ = false;
+  return report;
+}
+
+SimTransport::PhaseOutcome SimTransport::run_phase(
+    const std::vector<Pending>& msgs, bool uplink) {
+  PhaseOutcome out;
+  out.delivered.assign(cameras_, 0);
+  if (msgs.empty()) return out;
+
+  const double mbps =
+      uplink ? cfg_.link.uplink_mbps : cfg_.link.downlink_mbps;
+  const double base_ms = cfg_.link.base_latency_ms;
+  const double timeout_ms = cfg_.faults.retry_timeout_ms;
+  const int max_retries = std::max(0, cfg_.faults.max_retries);
+
+  struct MsgState {
+    bool delivered = false;
+    double done_ms = 0.0;     ///< serialization finished (ack time)
+    double give_up_ms = 0.0;  ///< sender abandoned the message
+    bool gave_up = false;
+  };
+  std::vector<MsgState> state(msgs.size());
+  EventQueue queue;
+  double busy_until = 0.0;  // the direction's FIFO bottleneck
+
+  // Transmission attempt `attempt` of message `mi`, sent at the handler's
+  // fire time. Declared as a std::function so handlers can re-arm it.
+  std::function<void(std::size_t, int, double)> send =
+      [&](std::size_t mi, int attempt, double t) {
+        MsgState& st = state[mi];
+        if (st.delivered && st.done_ms <= t) return;  // acked; stop sending
+        const bool lost = faults_.lose();
+        const double jitter = faults_.jitter();
+        if (!lost) {
+          const double arrival = t + base_ms + jitter;
+          queue.schedule(arrival, [&, mi](double now) {
+            const double wait = std::max(0.0, busy_until - now);
+            const double done =
+                std::max(now, busy_until) + serialize_ms(msgs[mi].bytes, mbps);
+            busy_until = done;
+            out.queue_ms += wait;
+            MsgState& s = state[mi];
+            if (!s.delivered) {
+              s.delivered = true;
+              s.done_ms = done;
+            }
+          });
+        }
+        // Sender-side timeout: retransmit (or give up) unless the ack —
+        // modeled as instant at serialization completion — arrived in time.
+        queue.schedule(t + timeout_ms, [&, mi, attempt](double now) {
+          MsgState& s = state[mi];
+          if (s.delivered && s.done_ms <= now) return;
+          if (attempt < max_retries) {
+            ++out.retries;
+            out.events.push_back({net::MessageEvent::Kind::kRetry,
+                                  msgs[mi].camera, uplink, now});
+            send(mi, attempt + 1, now);
+          } else if (!s.gave_up) {
+            s.gave_up = true;
+            s.give_up_ms = now;
+          }
+        });
+      };
+
+  for (std::size_t mi = 0; mi < msgs.size(); ++mi)
+    queue.schedule(0.0, [&, mi](double now) { send(mi, 0, now); });
+  queue.run_until_empty();
+
+  for (std::size_t mi = 0; mi < msgs.size(); ++mi) {
+    const MsgState& st = state[mi];
+    if (st.delivered) {
+      out.delivered[static_cast<std::size_t>(msgs[mi].camera)] = 1;
+      out.elapsed_ms = std::max(out.elapsed_ms, st.done_ms);
+    } else {
+      ++out.drops;
+      out.events.push_back({net::MessageEvent::Kind::kDrop, msgs[mi].camera,
+                            uplink, st.give_up_ms});
+      out.elapsed_ms = std::max(out.elapsed_ms, st.give_up_ms);
+    }
+  }
+  return out;
+}
+
+}  // namespace mvs::netsim

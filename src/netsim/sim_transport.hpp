@@ -1,0 +1,76 @@
+#pragma once
+// Event-driven lossy camera <-> scheduler transport (net::Transport impl).
+//
+// Replaces the closed-form LinkModel arithmetic with a discrete-event
+// simulation of the paper's deployment network:
+//   - each direction is a FIFO bottleneck queue (the scheduler's ingress
+//     NIC at the uplink rate, its egress NIC at the downlink rate);
+//     messages pay a bandwidth-derived serialization delay and queue behind
+//     earlier arrivals, so burst load produces real queueing delay;
+//   - every transmission attempt pays the base link latency plus sampled
+//     jitter and is lost with the configured probability; senders
+//     retransmit after a silent retry timeout (acknowledgements are modeled
+//     as reliable and instantaneous once a message finishes serialization);
+//     a slow ack — e.g. a message stuck behind a deep queue — triggers
+//     honest spurious retransmissions that add further load;
+//   - a message whose retry budget runs out is dropped for good; the cycle
+//     still completes, charging the sender's give-up time, and the report
+//     tells the pipeline which cameras fell out of the plan.
+//
+// All randomness comes from one seeded mvs::util::Rng drawn in EventQueue
+// dispatch order, so identical (config, seed) runs are bit-for-bit
+// identical.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "netsim/event_queue.hpp"
+#include "netsim/fault.hpp"
+
+namespace mvs::netsim {
+
+class SimTransport final : public net::Transport {
+ public:
+  struct Config {
+    net::LinkModel::Config link{};  ///< bandwidths + base latency
+    FaultConfig faults{};
+  };
+
+  SimTransport(Config cfg, std::size_t cameras, std::uint64_t seed);
+
+  bool camera_online(int camera, long frame) override;
+  void send_uplink(long frame, int camera, std::size_t bytes) override;
+  net::UplinkReport run_uplinks(long frame) override;
+  void send_downlink(long frame, int camera, std::size_t bytes) override;
+  net::CycleReport finish_cycle(long frame) override;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    int camera = -1;
+    std::size_t bytes = 0;
+  };
+  struct PhaseOutcome {
+    double elapsed_ms = 0.0;
+    double queue_ms = 0.0;
+    int retries = 0;
+    int drops = 0;
+    std::vector<char> delivered;
+    std::vector<net::MessageEvent> events;
+  };
+
+  /// Simulate one direction's messages from a common t=0 until every
+  /// message is delivered or given up.
+  PhaseOutcome run_phase(const std::vector<Pending>& msgs, bool uplink);
+
+  Config cfg_;
+  std::size_t cameras_ = 0;
+  FaultModel faults_;
+  std::vector<Pending> pending_up_, pending_down_;
+  PhaseOutcome up_outcome_;
+  bool up_resolved_ = false;
+};
+
+}  // namespace mvs::netsim

@@ -66,6 +66,44 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
       if (error) *error = "pipeline parameters out of range";
       return std::nullopt;
     }
+
+    const auto transport =
+        net::parse_transport(p->string_or("transport", "ideal"));
+    if (!transport) {
+      if (error) *error = "unknown transport: " + p->string_or("transport", "");
+      return std::nullopt;
+    }
+    pc.transport = *transport;
+    netsim::FaultConfig& faults = pc.faults;
+    faults.loss_rate = p->number_or("loss_rate", faults.loss_rate);
+    faults.jitter_ms = p->number_or("jitter_ms", faults.jitter_ms);
+    faults.retry_timeout_ms =
+        p->number_or("retry_timeout_ms", faults.retry_timeout_ms);
+    faults.max_retries =
+        static_cast<int>(p->number_or("max_retries", faults.max_retries));
+    if (const util::Json* drops = p->find("dropouts")) {
+      if (!drops->is_array()) {
+        if (error) *error = "\"dropouts\" must be an array";
+        return std::nullopt;
+      }
+      for (const util::Json& d : drops->as_array()) {
+        netsim::DropoutWindow w;
+        w.camera = static_cast<int>(d.number_or("camera", -1));
+        w.from_frame = static_cast<long>(d.number_or("from", 0));
+        w.to_frame = static_cast<long>(d.number_or("to", -1));
+        if (w.camera < 0) {
+          if (error) *error = "dropout entry missing a valid \"camera\"";
+          return std::nullopt;
+        }
+        faults.dropouts.push_back(w);
+      }
+    }
+    if (faults.loss_rate < 0.0 || faults.loss_rate >= 1.0 ||
+        faults.jitter_ms < 0.0 || faults.retry_timeout_ms <= 0.0 ||
+        faults.max_retries < 0) {
+      if (error) *error = "fault parameters out of range";
+      return std::nullopt;
+    }
   }
   return config;
 }
@@ -88,6 +126,21 @@ std::string dump_run_config(const RunConfig& config) {
   pipeline["recall_iou"] = Json(config.pipeline.recall_iou);
   pipeline["seed"] = Json(static_cast<double>(config.pipeline.seed));
   pipeline["verbose"] = Json(config.pipeline.verbose);
+  pipeline["transport"] = Json(net::to_string(config.pipeline.transport));
+  const netsim::FaultConfig& faults = config.pipeline.faults;
+  pipeline["loss_rate"] = Json(faults.loss_rate);
+  pipeline["jitter_ms"] = Json(faults.jitter_ms);
+  pipeline["retry_timeout_ms"] = Json(faults.retry_timeout_ms);
+  pipeline["max_retries"] = Json(faults.max_retries);
+  Json::Array dropouts;
+  for (const netsim::DropoutWindow& w : faults.dropouts) {
+    Json::Object entry;
+    entry["camera"] = Json(w.camera);
+    entry["from"] = Json(static_cast<double>(w.from_frame));
+    entry["to"] = Json(static_cast<double>(w.to_frame));
+    dropouts.push_back(Json(std::move(entry)));
+  }
+  pipeline["dropouts"] = Json(std::move(dropouts));
 
   Json::Object root;
   root["scenario"] = Json(config.scenario);

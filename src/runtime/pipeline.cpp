@@ -12,8 +12,9 @@
 #include "geometry/size_class.hpp"
 #include "gpu/batch_planner.hpp"
 #include "metrics/metrics.hpp"
-#include "net/link.hpp"
 #include "net/messages.hpp"
+#include "net/transport.hpp"
+#include "netsim/sim_transport.hpp"
 #include "runtime/oracles.hpp"
 #include "sim/dataset.hpp"
 #include "track/flow_tracker.hpp"
@@ -137,6 +138,15 @@ struct Pipeline::Impl {
       node.rng = root.fork();
       cameras.push_back(std::move(node));
     }
+    active.assign(m, 1);
+
+    if (cfg.transport == net::TransportKind::kLossy) {
+      netsim::SimTransport::Config tc;
+      tc.faults = cfg.faults;
+      transport = std::make_unique<netsim::SimTransport>(tc, m, cfg.seed);
+    } else {
+      transport = std::make_unique<net::IdealTransport>(m);
+    }
 
     // Train the cross-camera models on the first split. All policies consume
     // the training frames so every policy evaluates the identical segment.
@@ -213,9 +223,37 @@ struct Pipeline::Impl {
 
   // ---- frame steps -------------------------------------------------------
 
+  /// Apply the transport's dropout schedule to the camera fleet. A camera
+  /// going offline dies immediately — tracks and ghost bookkeeping with it;
+  /// it rejoins only at a key frame (`may_rejoin`), where the full
+  /// inspection and a fresh central plan fold it back into the schedule.
+  void refresh_active(long eval_frame, long trace_frame, bool may_rejoin) {
+    for (std::size_t i = 0; i < cameras.size(); ++i) {
+      const bool online =
+          transport->camera_online(static_cast<int>(i), eval_frame);
+      if (active[i] && !online) {
+        active[i] = 0;
+        cameras[i].tracker.reset_from_detections({});
+        cameras[i].ghosts.clear();
+        if (trace)
+          trace->record({trace_frame, static_cast<int>(i),
+                         TraceEventType::kCameraDown, 0, 0.0});
+      } else if (!active[i] && online && may_rejoin) {
+        active[i] = 1;
+        if (trace)
+          trace->record({trace_frame, static_cast<int>(i),
+                         TraceEventType::kCameraRejoin, 0, 0.0});
+      }
+    }
+  }
+
   void full_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
                        std::vector<std::vector<geom::BBox>>& reported) {
     for (CameraNode& cam : cameras) {
+      if (!active[static_cast<std::size_t>(cam.index)]) {
+        stats.camera_infer_ms.push_back(0.0);
+        continue;
+      }
       const auto dets = detector.detect_full(
           mf.per_camera[static_cast<std::size_t>(cam.index)], cam.frame_w,
           cam.frame_h, cam.rng);
@@ -225,34 +263,52 @@ struct Pipeline::Impl {
     }
   }
 
-  void key_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
+  void key_frame_step(const sim::MultiFrame& mf, long eval_frame,
+                      FrameStats& stats,
                       std::vector<std::vector<geom::BBox>>& reported) {
     const std::size_t m = cameras.size();
+    const bool central_stage = cfg.policy != Policy::kBalbInd;
 
-    // Full inspection on every camera.
+    // Full inspection on every online camera; offline cameras contribute
+    // nothing this horizon.
     std::vector<std::vector<detect::Detection>> dets(m);
-    std::size_t upload_bytes = 0;
     for (CameraNode& cam : cameras) {
       const auto i = static_cast<std::size_t>(cam.index);
+      if (!active[i]) {
+        stats.camera_infer_ms.push_back(0.0);
+        continue;
+      }
       dets[i] = detector.detect_full(mf.per_camera[i], cam.frame_w,
                                      cam.frame_h, cam.rng);
       stats.camera_infer_ms.push_back(cam.device.full_frame_ms());
       for (const detect::Detection& d : dets[i]) reported[i].push_back(d.box);
-      net::DetectionListMsg msg{static_cast<std::uint32_t>(cam.index),
-                                static_cast<std::uint64_t>(mf.frame_index),
-                                dets[i]};
-      upload_bytes += msg.encode().size();
+      if (central_stage) {
+        net::DetectionListMsg msg{static_cast<std::uint32_t>(cam.index),
+                                  static_cast<std::uint64_t>(mf.frame_index),
+                                  dets[i]};
+        transport->send_uplink(eval_frame, cam.index, msg.encode().size());
+      }
     }
 
-    if (cfg.policy == Policy::kBalbInd) {
+    if (!central_stage) {
       for (CameraNode& cam : cameras)
-        cam.tracker.reset_from_detections(
-            dets[static_cast<std::size_t>(cam.index)]);
+        if (active[static_cast<std::size_t>(cam.index)])
+          cam.tracker.reset_from_detections(
+              dets[static_cast<std::size_t>(cam.index)]);
     } else {
+      // Uplink phase: the central stage only sees the detection lists the
+      // transport actually delivered — a lost uplink drops that camera out
+      // of this horizon's plan and BALB re-plans over the survivors.
+      const net::UplinkReport uplinks = transport->run_uplinks(eval_frame);
+      std::vector<std::vector<detect::Detection>> sched_dets(m);
+      for (std::size_t i = 0; i < m; ++i)
+        if (active[i] && i < uplinks.delivered.size() && uplinks.delivered[i])
+          sched_dets[i] = dets[i];
+
       // Central stage: association + scheduling + masks.
       util::Stopwatch central_sw;
       const std::vector<assoc::AssociatedObject> objects =
-          associator->associate(dets);
+          associator->associate(sched_dets);
 
       core::MvsProblem problem;
       problem.cameras = devices();
@@ -290,7 +346,12 @@ struct Pipeline::Impl {
       } else {
         assignment = core::central_balb(problem);
         if (cfg.policy == Policy::kBalb) {
-          const std::vector<int> priority = assignment.priority_order();
+          // Offline cameras are cut from the priority order, so their mask
+          // cells fall to surviving cameras and takeover elections never
+          // pick a dead device.
+          std::vector<int> priority;
+          for (int c : assignment.priority_order())
+            if (active[static_cast<std::size_t>(c)]) priority.push_back(c);
           distributed = core::DistributedStage(
               core::build_priority_masks(frame_dims(), cfg.mask_cell_px,
                                          cached_coverage(), priority),
@@ -308,23 +369,45 @@ struct Pipeline::Impl {
                              TraceEventType::kAssignment, j, 0.0});
       }
 
-      // Downlink: per-camera assignment slice.
-      std::size_t download_bytes = 0;
+      // Downlink: per-camera assignment slice to every online camera.
       for (std::size_t i = 0; i < m; ++i) {
+        if (!active[i]) continue;
         net::AssignmentMsg msg;
         msg.camera_id = static_cast<std::uint32_t>(i);
         msg.frame_index = static_cast<std::uint64_t>(mf.frame_index);
         for (std::size_t j = 0; j < problem.objects.size(); ++j)
           if (assignment.x[i][j]) msg.assigned_keys.push_back(j);
-        download_bytes += msg.encode().size();
+        transport->send_downlink(eval_frame, static_cast<int>(i),
+                                 msg.encode().size());
       }
-      stats.comm_ms =
-          link.upload_ms(upload_bytes) + link.download_ms(download_bytes);
+      const net::CycleReport report = transport->finish_cycle(eval_frame);
+      stats.comm_ms = report.comm_ms;
+      stats.queue_ms = report.queue_ms;
+      stats.retries = report.retries;
+      stats.dropped_msgs = report.dropped_msgs;
+      if (trace) {
+        for (const net::MessageEvent& e : report.events)
+          trace->record({mf.frame_index, e.camera,
+                         e.kind == net::MessageEvent::Kind::kRetry
+                             ? TraceEventType::kNetRetry
+                             : TraceEventType::kNetDrop,
+                         static_cast<std::uint64_t>(e.uplink ? 1 : 0),
+                         e.time_ms});
+      }
 
       // Cameras adopt their slices; unassigned-but-covered objects become
-      // ghosts (BALB distributed stage bookkeeping).
+      // ghosts (BALB distributed stage bookkeeping). A camera whose uplink
+      // or downlink was lost never saw the new plan: it keeps its previous
+      // tracks and ghosts for another horizon instead of resetting to an
+      // empty (and wrong) slice.
       for (CameraNode& cam : cameras) {
         const auto i = static_cast<std::size_t>(cam.index);
+        if (!active[i]) continue;
+        const bool plan_received =
+            i < uplinks.delivered.size() && uplinks.delivered[i] &&
+            i < report.downlink_delivered.size() &&
+            report.downlink_delivered[i];
+        if (!plan_received) continue;
         std::vector<detect::Detection> mine;
         cam.ghosts.clear();
         for (std::size_t j = 0; j < problem.objects.size(); ++j) {
@@ -345,8 +428,10 @@ struct Pipeline::Impl {
 
     // Render the key frame so the next regular frame has a flow reference.
     for (CameraNode& cam : cameras)
-      cam.prev = cam.render(
-          mf.per_camera[static_cast<std::size_t>(cam.index)], mf.frame_index);
+      if (active[static_cast<std::size_t>(cam.index)])
+        cam.prev = cam.render(
+            mf.per_camera[static_cast<std::size_t>(cam.index)],
+            mf.frame_index);
   }
 
   /// Per-camera regular-frame outcome, reduced into FrameStats afterwards so
@@ -365,6 +450,7 @@ struct Pipeline::Impl {
     // parallel, mirroring the real deployment where each smart camera is a
     // separate device.
     pool.parallel_for_each(cameras.size(), [&](std::size_t cam_index) {
+      if (!active[cam_index]) return;  // dropped-out device: nothing runs
       results[cam_index] =
           regular_camera_step(cameras[cam_index], mf, reported[cam_index]);
     });
@@ -545,8 +631,11 @@ struct Pipeline::Impl {
       const geom::BBox clipped = g.box.clamped(cam.frame_w, cam.frame_h);
       if (g.box.area() <= 0.0 || clipped.area() < 0.3 * g.box.area())
         continue;  // left my view too; drop
+      // A dropped-out assigned camera definitely lost the object — the
+      // model prediction only matters while the device is alive.
       const bool assigned_sees =
           g.assigned_cam >= 0 &&
+          active[static_cast<std::size_t>(g.assigned_cam)] &&
           (g.assigned_cam == cam.index ||
            associator->predict_present(i,
                                        static_cast<std::size_t>(g.assigned_cam),
@@ -555,10 +644,11 @@ struct Pipeline::Impl {
         kept.push_back(g);
         continue;
       }
-      // The assigned camera (apparently) lost it; elect a successor.
+      // The assigned camera (apparently) lost it; elect a successor among
+      // the cameras still online.
       std::vector<int> visible{cam.index};
       for (std::size_t i2 = 0; i2 < cameras.size(); ++i2) {
-        if (i2 == i) continue;
+        if (i2 == i || !active[i2]) continue;
         if (associator->predict_present(i, i2, g.box))
           visible.push_back(static_cast<int>(i2));
       }
@@ -612,7 +702,10 @@ struct Pipeline::Impl {
   detect::SimulatedDetector detector;
   std::unique_ptr<assoc::CrossCameraAssociator> associator;
   std::vector<CameraNode> cameras;
-  net::LinkModel link;
+  std::unique_ptr<net::Transport> transport;
+  /// active[i] != 0 iff camera i currently participates in the schedule;
+  /// mutated only between frames (refresh_active), read by parallel steps.
+  std::vector<char> active;
 
   struct CellCache {
     geom::Grid grid;
@@ -648,11 +741,19 @@ PipelineResult Pipeline::run(int frames) {
     stats.frame = mf.frame_index;
     stats.key_frame = (f % config_.horizon_frames == 0);
 
+    // Dropout transitions apply before the frame runs; a camera may rejoin
+    // wherever a full inspection happens (key frames, or any frame under
+    // the Full policy).
+    impl_->refresh_active(
+        f, mf.frame_index,
+        stats.key_frame || config_.policy == Policy::kFull);
+    for (char a : impl_->active) stats.cameras_online += (a != 0);
+
     std::vector<std::vector<geom::BBox>> reported(impl_->cameras.size());
     if (config_.policy == Policy::kFull) {
       impl_->full_frame_step(mf, stats, reported);
     } else if (stats.key_frame) {
-      impl_->key_frame_step(mf, stats, reported);
+      impl_->key_frame_step(mf, f, stats, reported);
     } else {
       impl_->regular_frame_step(mf, stats, reported);
     }
@@ -704,6 +805,19 @@ double PipelineResult::mean_batching_ms() const {
 }
 double PipelineResult::mean_comm_ms() const {
   return mean_over_frames(frames, &FrameStats::comm_ms);
+}
+double PipelineResult::mean_queue_ms() const {
+  return mean_over_frames(frames, &FrameStats::queue_ms);
+}
+long PipelineResult::total_retries() const {
+  long n = 0;
+  for (const FrameStats& f : frames) n += f.retries;
+  return n;
+}
+long PipelineResult::total_dropped_msgs() const {
+  long n = 0;
+  for (const FrameStats& f : frames) n += f.dropped_msgs;
+  return n;
 }
 
 }  // namespace mvs::runtime

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "net/transport.hpp"
+#include "netsim/fault.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/trace.hpp"
 #include "util/stats.hpp"
@@ -29,6 +31,11 @@ struct PipelineConfig {
   double recall_iou = 0.4;      ///< IoU for the object-recall metric
   std::uint64_t seed = 42;
   bool verbose = false;
+  /// kIdeal charges the closed-form LinkModel numbers (bit-exact with the
+  /// pre-netsim pipeline); kLossy runs the discrete-event netsim transport.
+  net::TransportKind transport = net::TransportKind::kIdeal;
+  /// Loss/jitter/retry/dropout knobs; only consulted when transport==kLossy.
+  netsim::FaultConfig faults;
 };
 
 /// Per-frame record.
@@ -46,6 +53,12 @@ struct FrameStats {
   double distributed_ms = 0.0;  ///< max per-camera distributed stage
   double batching_ms = 0.0;     ///< max per-camera batch plan + assembly
   double comm_ms = 0.0;         ///< modeled link transfer (key frames)
+  // Transport accounting (non-zero only on key frames; always zero with the
+  // ideal transport).
+  double queue_ms = 0.0;   ///< time key-frame messages waited in FIFO queues
+  int retries = 0;         ///< key-frame message retransmissions
+  int dropped_msgs = 0;    ///< key-frame messages lost after all retries
+  int cameras_online = 0;  ///< cameras participating in this frame
 };
 
 struct PipelineResult {
@@ -65,6 +78,11 @@ struct PipelineResult {
   double mean_distributed_ms() const;
   double mean_batching_ms() const;
   double mean_comm_ms() const;
+  double mean_queue_ms() const;
+
+  /// Transport fault totals over the run (lossy transport only).
+  long total_retries() const;
+  long total_dropped_msgs() const;
 };
 
 class Pipeline {

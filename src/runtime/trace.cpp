@@ -11,6 +11,10 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kAdoptNew: return "adopt_new";
     case TraceEventType::kTakeover: return "takeover";
     case TraceEventType::kTrackDrop: return "track_drop";
+    case TraceEventType::kCameraDown: return "camera_down";
+    case TraceEventType::kCameraRejoin: return "camera_rejoin";
+    case TraceEventType::kNetRetry: return "net_retry";
+    case TraceEventType::kNetDrop: return "net_drop";
   }
   return "?";
 }

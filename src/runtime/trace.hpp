@@ -15,11 +15,15 @@
 namespace mvs::runtime {
 
 enum class TraceEventType {
-  kKeyFrame,    ///< central stage ran; value = system latency estimate (ms)
-  kAssignment,  ///< object assigned to camera at a key frame
-  kAdoptNew,    ///< distributed stage adopted a new object
-  kTakeover,    ///< camera took over an object that left its tracker's view
-  kTrackDrop,   ///< track lost (missed too long or left the frame)
+  kKeyFrame,      ///< central stage ran; value = system latency estimate (ms)
+  kAssignment,    ///< object assigned to camera at a key frame
+  kAdoptNew,      ///< distributed stage adopted a new object
+  kTakeover,      ///< camera took over an object that left its tracker's view
+  kTrackDrop,     ///< track lost (missed too long or left the frame)
+  kCameraDown,    ///< camera dropped out (netsim fault injection)
+  kCameraRejoin,  ///< camera came back online and re-entered the schedule
+  kNetRetry,      ///< key-frame message retransmitted; value = cycle time (ms)
+  kNetDrop,       ///< key-frame message lost for good; value = cycle time (ms)
 };
 
 const char* to_string(TraceEventType type);

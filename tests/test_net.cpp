@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "net/link.hpp"
 #include "net/messages.hpp"
 #include "net/serializer.hpp"
@@ -120,6 +123,111 @@ TEST(Messages, TrailingGarbageRejected) {
   auto bytes = msg.encode();
   bytes.push_back(0);
   EXPECT_FALSE(AssignmentMsg::decode(bytes).has_value());
+}
+
+// --- fuzz-style randomized round-trips -------------------------------------
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+/// Coordinates drawn from a pool of pathological values (signed zero,
+/// infinities, NaN, DBL_MAX, denormal) mixed with ordinary ones.
+double extreme_value(util::Rng& rng) {
+  static const double pool[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::denorm_min(),
+      1e-308,
+  };
+  const int pick = rng.uniform_int(0, 11);
+  if (pick < 9) return pool[pick];
+  return rng.uniform(-1e9, 1e9);
+}
+
+TEST(SerializerFuzz, DetectionListRoundTripsExtremeValues) {
+  util::Rng rng(0xF0220);
+  for (int iter = 0; iter < 300; ++iter) {
+    DetectionListMsg msg;
+    msg.camera_id = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+    msg.frame_index = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30))
+                      << 32;
+    const int n = rng.uniform_int(0, 12);  // 0 = empty detection list
+    for (int i = 0; i < n; ++i) {
+      detect::Detection d;
+      d.box = {extreme_value(rng), extreme_value(rng), extreme_value(rng),
+               extreme_value(rng)};
+      d.cls = static_cast<detect::ObjectClass>(rng.uniform_int(-2, 1000));
+      d.score = extreme_value(rng);
+      d.truth_id = iter % 3 == 0 ? ~0ULL : static_cast<std::uint64_t>(i);
+      msg.detections.push_back(d);
+    }
+    const auto decoded = DetectionListMsg::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << iter;
+    EXPECT_EQ(decoded->camera_id, msg.camera_id);
+    EXPECT_EQ(decoded->frame_index, msg.frame_index);
+    ASSERT_EQ(decoded->detections.size(), msg.detections.size());
+    for (std::size_t i = 0; i < msg.detections.size(); ++i) {
+      const auto& in = msg.detections[i];
+      const auto& out = decoded->detections[i];
+      // Bitwise comparison: NaN payloads and signed zeros must survive.
+      EXPECT_EQ(f64_bits(out.box.x), f64_bits(in.box.x));
+      EXPECT_EQ(f64_bits(out.box.y), f64_bits(in.box.y));
+      EXPECT_EQ(f64_bits(out.box.w), f64_bits(in.box.w));
+      EXPECT_EQ(f64_bits(out.box.h), f64_bits(in.box.h));
+      EXPECT_EQ(f64_bits(out.score), f64_bits(in.score));
+      EXPECT_EQ(out.cls, in.cls);
+      EXPECT_EQ(out.truth_id, in.truth_id);
+    }
+  }
+}
+
+TEST(SerializerFuzz, AssignmentRoundTripsExtremeValues) {
+  util::Rng rng(0xF0221);
+  for (int iter = 0; iter < 300; ++iter) {
+    AssignmentMsg msg;
+    msg.camera_id = iter % 2 ? ~0u : 0u;
+    msg.frame_index = iter % 3 ? ~0ULL : 0ULL;
+    const int nk = rng.uniform_int(0, 20);  // 0 = empty assignment
+    for (int i = 0; i < nk; ++i)
+      msg.assigned_keys.push_back(
+          i % 2 ? ~0ULL : static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30)));
+    const int np = rng.uniform_int(0, 8);
+    for (int i = 0; i < np; ++i)
+      msg.priority_order.push_back(
+          static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30)));
+    const auto decoded = AssignmentMsg::decode(msg.encode());
+    ASSERT_TRUE(decoded.has_value()) << "iteration " << iter;
+    EXPECT_EQ(decoded->camera_id, msg.camera_id);
+    EXPECT_EQ(decoded->frame_index, msg.frame_index);
+    EXPECT_EQ(decoded->assigned_keys, msg.assigned_keys);
+    EXPECT_EQ(decoded->priority_order, msg.priority_order);
+  }
+}
+
+TEST(SerializerFuzz, RandomBytesNeverCrashAndDecodeCanonically) {
+  util::Rng rng(0xF0222);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(rng.uniform_int(0, 96)));
+    for (auto& b : bytes)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    // Decoding must never crash; when garbage does parse, the format is
+    // canonical — re-encoding reproduces the exact input bytes.
+    if (const auto det = DetectionListMsg::decode(bytes)) {
+      EXPECT_EQ(det->encode(), bytes) << "iteration " << iter;
+    }
+    if (const auto asg = AssignmentMsg::decode(bytes)) {
+      EXPECT_EQ(asg->encode(), bytes) << "iteration " << iter;
+    }
+  }
 }
 
 TEST(LinkModel, TransferTimes) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <thread>
 
 #include "runtime/pipeline.hpp"
@@ -35,6 +36,39 @@ TEST(TraceRecorder, JsonIsParseable) {
   EXPECT_EQ(e.string_or("type", ""), "takeover");
   EXPECT_DOUBLE_EQ(e.number_or("object", 0), 42.0);
   EXPECT_DOUBLE_EQ(e.number_or("value", 0), 1.5);
+}
+
+TEST(TraceRecorder, JsonEventCountsMatchRecorder) {
+  // Mixed-type event stream (including the netsim event types): the JSON
+  // export must contain exactly the recorded events, with per-type tallies
+  // matching count().
+  const TraceEventType types[] = {
+      TraceEventType::kKeyFrame,    TraceEventType::kAssignment,
+      TraceEventType::kAdoptNew,    TraceEventType::kTakeover,
+      TraceEventType::kTrackDrop,   TraceEventType::kCameraDown,
+      TraceEventType::kCameraRejoin, TraceEventType::kNetRetry,
+      TraceEventType::kNetDrop,
+  };
+  TraceRecorder trace;
+  long frame = 0;
+  for (int round = 0; round < 4; ++round)
+    for (const TraceEventType type : types)
+      for (int n = 0; n <= round; ++n)  // uneven per-type multiplicities
+        trace.record(
+            {frame++, round, type, static_cast<std::uint64_t>(n), 0.25 * n});
+
+  const auto doc = util::Json::parse(trace.to_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_EQ(doc->as_array().size(), trace.total());
+
+  std::map<std::string, std::size_t> json_counts;
+  for (const util::Json& e : doc->as_array())
+    ++json_counts[e.string_or("type", "?")];
+  EXPECT_EQ(json_counts.size(), std::size(types));
+  for (const TraceEventType type : types)
+    EXPECT_EQ(json_counts[to_string(type)], trace.count(type))
+        << to_string(type);
 }
 
 TEST(TraceRecorder, ThreadSafeRecording) {

@@ -4,13 +4,17 @@
 //
 // Usage:
 //   mvsched_cli --scenario S1 --policy balb --frames 200 [--horizon 10]
-//               [--seed 42] [--csv] [--verbose]
+//               [--seed 42] [--transport lossy] [--loss-rate 0.1] [--csv]
 //   mvsched_cli --config run.json
 //   mvsched_cli --dump-config          # print a default config document
+//   mvsched_cli --help
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "runtime/config.hpp"
 #include "runtime/pipeline.hpp"
@@ -20,14 +24,60 @@
 
 namespace {
 
-int usage(const char* prog) {
-  std::fprintf(stderr,
-               "usage: %s [--scenario S1|S2|S3] [--policy "
-               "full|balb-ind|balb-cen|balb|sp]\n"
-               "          [--frames N] [--horizon T] [--seed S] [--csv]\n"
-               "          [--verbose] | --config file.json | --dump-config\n",
-               prog);
-  return 2;
+int usage(const char* prog, int exit_code) {
+  std::fprintf(
+      exit_code == 0 ? stdout : stderr,
+      "usage: %s [options] | --config file.json | --dump-config | --help\n"
+      "\n"
+      "run options:\n"
+      "  --scenario S1|S2|S3     scenario to simulate (default S1)\n"
+      "  --policy full|balb-ind|balb-cen|balb|sp\n"
+      "                          scheduling policy (default balb)\n"
+      "  --frames N              evaluation frames to run (default 200)\n"
+      "  --horizon T             frames per scheduling horizon (default 10)\n"
+      "  --seed S                RNG seed (default 42)\n"
+      "  --csv                   per-frame CSV on stdout instead of summary\n"
+      "  --verbose               per-frame progress logging\n"
+      "\n"
+      "network simulation (mvs::netsim):\n"
+      "  --transport ideal|lossy closed-form link model (default), or the\n"
+      "                          discrete-event transport with queueing and\n"
+      "                          fault injection; any fault flag below\n"
+      "                          implies --transport lossy unless overridden\n"
+      "  --loss-rate P           per-attempt message loss probability [0,1)\n"
+      "  --jitter-ms J           mean exponential per-message jitter (ms)\n"
+      "  --retry-timeout-ms T    sender retransmit timeout (default 8)\n"
+      "  --max-retries R         retransmissions per message (default 3)\n"
+      "  --drop-camera SPEC      camera dropout windows, evaluation-frame\n"
+      "                          indexed: CAM:FROM[:TO][,CAM:FROM[:TO]...]\n"
+      "                          (TO exclusive; omitted = never rejoins)\n",
+      prog);
+  return exit_code;
+}
+
+/// Parse "CAM:FROM[:TO]" dropout windows, comma-separated.
+bool parse_dropouts(const std::string& spec,
+                    std::vector<mvs::netsim::DropoutWindow>* out) {
+  std::istringstream list(spec);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    mvs::netsim::DropoutWindow w;
+    char* end = nullptr;
+    const char* s = item.c_str();
+    w.camera = static_cast<int>(std::strtol(s, &end, 10));
+    if (end == s || *end != ':') return false;
+    s = end + 1;
+    w.from_frame = std::strtol(s, &end, 10);
+    if (end == s) return false;
+    if (*end == ':') {
+      s = end + 1;
+      w.to_frame = std::strtol(s, &end, 10);
+      if (end == s) return false;
+    }
+    if (*end != '\0' || w.camera < 0 || w.from_frame < 0) return false;
+    out->push_back(w);
+  }
+  return !out->empty();
 }
 
 }  // namespace
@@ -35,7 +85,9 @@ int usage(const char* prog) {
 int main(int argc, char** argv) {
   using namespace mvs;
   const util::Args args =
-      util::Args::parse(argc, argv, {"csv", "verbose", "dump-config"});
+      util::Args::parse(argc, argv, {"csv", "verbose", "dump-config", "help"});
+
+  if (args.has("help")) return usage(argv[0], 0);
 
   runtime::RunConfig run;
   if (args.has("dump-config")) {
@@ -65,7 +117,7 @@ int main(int argc, char** argv) {
     const auto policy = runtime::parse_policy(*name);
     if (!policy) {
       std::fprintf(stderr, "unknown policy: %s\n", name->c_str());
-      return usage(argv[0]);
+      return usage(argv[0], 2);
     }
     run.pipeline.policy = *policy;
   }
@@ -77,13 +129,62 @@ int main(int argc, char** argv) {
   run.pipeline.verbose = args.has("verbose");
   if (run.pipeline.verbose) util::set_log_level(util::LogLevel::kInfo);
 
-  if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3")
-    return usage(argv[0]);
+  // Network-simulation flags. Setting any fault knob without an explicit
+  // --transport switches to the lossy transport, since faults have no
+  // effect on the ideal link.
+  netsim::FaultConfig& faults = run.pipeline.faults;
+  bool fault_flag_seen = false;
+  if (args.has("loss-rate")) {
+    faults.loss_rate = args.number_or("loss-rate", faults.loss_rate);
+    fault_flag_seen = true;
+  }
+  if (args.has("jitter-ms")) {
+    faults.jitter_ms = args.number_or("jitter-ms", faults.jitter_ms);
+    fault_flag_seen = true;
+  }
+  if (args.has("retry-timeout-ms")) {
+    faults.retry_timeout_ms =
+        args.number_or("retry-timeout-ms", faults.retry_timeout_ms);
+    fault_flag_seen = true;
+  }
+  if (args.has("max-retries")) {
+    faults.max_retries = args.int_or("max-retries", faults.max_retries);
+    fault_flag_seen = true;
+  }
+  if (const auto spec = args.get("drop-camera")) {
+    if (!parse_dropouts(*spec, &faults.dropouts)) {
+      std::fprintf(stderr, "bad --drop-camera spec: %s\n", spec->c_str());
+      return usage(argv[0], 2);
+    }
+    fault_flag_seen = true;
+  }
+  if (const auto name = args.get("transport")) {
+    const auto kind = net::parse_transport(*name);
+    if (!kind) {
+      std::fprintf(stderr, "unknown transport: %s\n", name->c_str());
+      return usage(argv[0], 2);
+    }
+    run.pipeline.transport = *kind;
+  } else if (fault_flag_seen) {
+    run.pipeline.transport = net::TransportKind::kLossy;
+  }
+  if (faults.loss_rate < 0.0 || faults.loss_rate >= 1.0 ||
+      faults.jitter_ms < 0.0 || faults.retry_timeout_ms <= 0.0 ||
+      faults.max_retries < 0) {
+    std::fprintf(stderr, "fault parameters out of range\n");
+    return usage(argv[0], 2);
+  }
 
-  std::fprintf(stderr, "running %s / %s for %d frames (T=%d, seed=%llu)...\n",
+  if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3")
+    return usage(argv[0], 2);
+
+  std::fprintf(stderr,
+               "running %s / %s for %d frames (T=%d, seed=%llu, "
+               "transport=%s)...\n",
                run.scenario.c_str(), runtime::to_string(run.pipeline.policy),
                run.frames, run.pipeline.horizon_frames,
-               static_cast<unsigned long long>(run.pipeline.seed));
+               static_cast<unsigned long long>(run.pipeline.seed),
+               net::to_string(run.pipeline.transport));
 
   runtime::Pipeline pipeline(run.scenario, run.pipeline);
   const runtime::PipelineResult result = pipeline.run(run.frames);
@@ -91,7 +192,8 @@ int main(int argc, char** argv) {
   if (args.has("csv")) {
     util::Table csv({"frame", "key", "slowest_ms", "recall", "gt", "tracked",
                      "central_ms", "tracking_ms", "distributed_ms",
-                     "batching_ms"});
+                     "batching_ms", "comm_ms", "queue_ms", "retries",
+                     "dropped", "online"});
     for (const runtime::FrameStats& f : result.frames) {
       csv.add_row({std::to_string(f.frame), f.key_frame ? "1" : "0",
                    util::Table::fmt(f.slowest_infer_ms, 2),
@@ -101,7 +203,12 @@ int main(int argc, char** argv) {
                    util::Table::fmt(f.central_ms, 3),
                    util::Table::fmt(f.tracking_ms, 3),
                    util::Table::fmt(f.distributed_ms, 4),
-                   util::Table::fmt(f.batching_ms, 3)});
+                   util::Table::fmt(f.batching_ms, 3),
+                   util::Table::fmt(f.comm_ms, 3),
+                   util::Table::fmt(f.queue_ms, 3),
+                   std::to_string(f.retries),
+                   std::to_string(f.dropped_msgs),
+                   std::to_string(f.cameras_online)});
     }
     std::printf("%s", csv.to_csv().c_str());
     return 0;
@@ -109,6 +216,8 @@ int main(int argc, char** argv) {
 
   std::printf("scenario            : %s\n", result.scenario.c_str());
   std::printf("policy              : %s\n", runtime::to_string(result.policy));
+  std::printf("transport           : %s\n",
+              net::to_string(run.pipeline.transport));
   std::printf("frames              : %zu\n", result.frames.size());
   std::printf("object recall       : %.3f\n", result.object_recall);
   std::printf("slowest camera mean : %.1f ms/frame\n",
@@ -118,5 +227,10 @@ int main(int argc, char** argv) {
               result.mean_central_ms(), result.mean_tracking_ms(),
               result.mean_distributed_ms(), result.mean_batching_ms(),
               result.mean_comm_ms());
+  if (run.pipeline.transport == net::TransportKind::kLossy)
+    std::printf("network             : queue %.3f ms/frame | retries %ld | "
+                "dropped msgs %ld\n",
+                result.mean_queue_ms(), result.total_retries(),
+                result.total_dropped_msgs());
   return 0;
 }
