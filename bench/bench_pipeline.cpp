@@ -1,0 +1,82 @@
+// End-to-end pipeline throughput benchmark (frames processed per second of
+// wall-clock time). Complements bench/micro_kernels: the micro suite times
+// isolated kernels, this measures the whole key-frame / regular-frame loop —
+// rendering, optical flow, slicing, batching and the scheduler together.
+//
+// Usage:
+//   bench_pipeline [--scenario S2] [--policy balb] [--frames 120]
+//                  [--reps 5] [--threads 0] [--json out.json]
+//
+// Each rep constructs a fresh Pipeline (so association training is included
+// in setup, not in the timed region) and times run(frames). The median over
+// reps is reported; with --json the result is written with the machine/git
+// envelope from util::bench_env_json() for regression tracking.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/pipeline.hpp"
+#include "util/args.hpp"
+#include "util/bench_info.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mvs;
+  const util::Args args = util::Args::parse(argc, argv);
+  const std::string scenario = args.get_or("scenario", "S2");
+  const std::string policy_name = args.get_or("policy", "balb");
+  const int frames = args.int_or("frames", 120);
+  const int reps = args.int_or("reps", 5);
+
+  const auto policy = runtime::parse_policy(policy_name);
+  if (!policy) {
+    std::fprintf(stderr, "unknown policy '%s'\n", policy_name.c_str());
+    return 1;
+  }
+
+  runtime::PipelineConfig cfg;
+  cfg.policy = *policy;
+  cfg.threads = args.int_or("threads", 0);
+  cfg.seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+
+  std::vector<double> run_ms;
+  double recall = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    runtime::Pipeline pipeline(scenario, cfg);
+    util::Stopwatch watch;
+    const runtime::PipelineResult result = pipeline.run(frames);
+    run_ms.push_back(watch.elapsed_ms());
+    recall = result.object_recall;
+  }
+  const double median_ms = util::median(run_ms);
+  const double fps = median_ms > 0.0 ? 1000.0 * frames / median_ms : 0.0;
+
+  std::printf("scenario=%s policy=%s frames=%d reps=%d\n", scenario.c_str(),
+              policy_name.c_str(), frames, reps);
+  std::printf("median_run_ms=%.2f frames_per_sec=%.2f recall=%.3f\n",
+              median_ms, fps, recall);
+
+  const std::string json_path = args.get_or("json", "");
+  if (!json_path.empty()) {
+    util::Json::Object result;
+    result["scenario"] = util::Json(scenario);
+    result["policy"] = util::Json(policy_name);
+    result["frames"] = util::Json(frames);
+    result["reps"] = util::Json(reps);
+    result["median_run_ms"] = util::Json(median_ms);
+    result["frames_per_sec"] = util::Json(fps);
+    result["object_recall"] = util::Json(recall);
+
+    util::Json::Object doc;
+    doc["env"] = util::bench_env_json();
+    doc["pipeline"] = util::Json(std::move(result));
+    std::ofstream out(json_path);
+    out << util::Json(std::move(doc)).dump() << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

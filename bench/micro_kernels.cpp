@@ -68,6 +68,79 @@ BENCHMARK(BM_KdTreeVsBrute)
     ->Args({16000, 0})
     ->Args({16000, 1});
 
+void BM_Renderer(benchmark::State& state) {
+  vision::Renderer::Config rc;
+  rc.width = static_cast<int>(state.range(0));
+  rc.height = rc.width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const geom::BBox box{rc.width / 3.0, rc.height / 3.0, 30, 20};
+  long frame = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(renderer.render({{1, box}}, frame++, 7));
+}
+BENCHMARK(BM_Renderer)->Arg(320)->Arg(640)->Unit(benchmark::kMillisecond);
+
+void BM_RendererInto(benchmark::State& state) {
+  vision::Renderer::Config rc;
+  rc.width = static_cast<int>(state.range(0));
+  rc.height = rc.width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const geom::BBox box{rc.width / 3.0, rc.height / 3.0, 30, 20};
+  vision::Image out;
+  long frame = 0;
+  for (auto _ : state) {
+    renderer.render_into({{1, box}}, frame++, 7, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RendererInto)->Arg(320)->Arg(640)->Unit(benchmark::kMillisecond);
+
+void BM_Downsample(benchmark::State& state) {
+  vision::Renderer::Config rc;
+  rc.width = static_cast<int>(state.range(0));
+  rc.height = rc.width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const vision::Image img = renderer.render({}, 0, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(img.downsampled());
+}
+BENCHMARK(BM_Downsample)->Arg(320)->Arg(640);
+
+void BM_DownsampleInto(benchmark::State& state) {
+  vision::Renderer::Config rc;
+  rc.width = static_cast<int>(state.range(0));
+  rc.height = rc.width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const vision::Image img = renderer.render({}, 0, 7);
+  vision::Image out;
+  for (auto _ : state) {
+    img.downsample_into(out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DownsampleInto)->Arg(320)->Arg(640);
+
+void BM_PaddedSad(benchmark::State& state) {
+  vision::Renderer::Config rc;
+  rc.width = 320;
+  rc.height = 180;
+  const vision::Renderer renderer(rc);
+  const geom::BBox box{100, 60, 30, 20};
+  const vision::Image a = renderer.render({{1, box}}, 0, 7);
+  const vision::Image b = renderer.render({{1, box.shifted({3, 1})}}, 1, 7);
+  vision::PaddedImage pa, pb;
+  pa.assign(a, 16);
+  pb.assign(b, 16);
+  const int bs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::uint32_t total = 0;
+    for (int y = 0; y + bs <= rc.height; y += bs)
+      for (int x = 0; x + bs <= rc.width; x += bs)
+        total += vision::padded_block_sad(pa, x, y, pb, x + 2, y + 1, bs);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PaddedSad)->Arg(8)->Arg(16);
+
 void BM_OpticalFlow(benchmark::State& state) {
   vision::Renderer::Config rc;
   rc.width = static_cast<int>(state.range(0));
@@ -80,6 +153,33 @@ void BM_OpticalFlow(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(flow.compute(a, b));
 }
 BENCHMARK(BM_OpticalFlow)->Arg(160)->Arg(320)->Arg(640)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OpticalFlowIncremental(benchmark::State& state) {
+  // Steady-state pipeline path: render into the scratch frame, compute flow
+  // against the cached previous pyramid, advance. One pyramid build per
+  // frame and zero steady-state allocation.
+  vision::Renderer::Config rc;
+  rc.width = static_cast<int>(state.range(0));
+  rc.height = rc.width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const geom::BBox box{rc.width / 3.0, rc.height / 3.0, 30, 20};
+  const vision::OpticalFlow flow;
+  vision::FlowScratch scratch;
+  vision::FlowField field;
+  renderer.render_into({{1, box}}, 0, 7, scratch.cur_frame());
+  flow.rebase(scratch);
+  long frame = 1;
+  for (auto _ : state) {
+    renderer.render_into({{1, box.shifted({3.0 * (frame % 2), 1})}}, frame, 7,
+                         scratch.cur_frame());
+    flow.compute(scratch, field);
+    scratch.advance();
+    benchmark::DoNotOptimize(field);
+    ++frame;
+  }
+}
+BENCHMARK(BM_OpticalFlowIncremental)->Arg(160)->Arg(320)->Arg(640)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CentralBalb(benchmark::State& state) {

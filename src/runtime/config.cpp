@@ -61,8 +61,10 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
     pc.seed = static_cast<std::uint64_t>(
         p->number_or("seed", static_cast<double>(pc.seed)));
     pc.verbose = p->bool_or("verbose", pc.verbose);
+    pc.threads = static_cast<int>(p->number_or("threads", pc.threads));
+    pc.tile_flow = p->bool_or("tile_flow", pc.tile_flow);
     if (pc.horizon_frames < 1 || pc.training_frames < 0 ||
-        pc.mask_cell_px < 1) {
+        pc.mask_cell_px < 1 || pc.threads < 0) {
       if (error) *error = "pipeline parameters out of range";
       return std::nullopt;
     }
@@ -126,6 +128,8 @@ std::string dump_run_config(const RunConfig& config) {
   pipeline["recall_iou"] = Json(config.pipeline.recall_iou);
   pipeline["seed"] = Json(static_cast<double>(config.pipeline.seed));
   pipeline["verbose"] = Json(config.pipeline.verbose);
+  pipeline["threads"] = Json(config.pipeline.threads);
+  pipeline["tile_flow"] = Json(config.pipeline.tile_flow);
   pipeline["transport"] = Json(net::to_string(config.pipeline.transport));
   const netsim::FaultConfig& faults = config.pipeline.faults;
   pipeline["loss_rate"] = Json(faults.loss_rate);

@@ -68,23 +68,29 @@ struct CameraNode {
   vision::Renderer renderer;
   vision::OpticalFlow flow_engine;
   track::FlowTracker tracker;
-  vision::Image prev;
+  /// Per-camera frame/pyramid/flow scratch: the current frame is rendered
+  /// into `scratch`, whose previous-frame pyramid persists across frames so
+  /// each regular frame builds exactly one pyramid and reallocates nothing.
+  vision::FlowScratch scratch;
+  vision::FlowField flow;
   std::vector<Ghost> ghosts;
   util::Rng rng;
   std::vector<std::uint8_t> batch_buffer;
+  std::vector<vision::RenderObject> render_objs;
 
-  vision::Image render(const std::vector<detect::GroundTruthObject>& gt,
-                       long frame) const {
-    std::vector<vision::RenderObject> objs;
-    objs.reserve(gt.size());
+  /// Render this frame's ground truth into scratch.cur_frame().
+  void render_current(const std::vector<detect::GroundTruthObject>& gt,
+                      long frame) {
+    render_objs.clear();
+    render_objs.reserve(gt.size());
     for (const detect::GroundTruthObject& o : gt) {
-      objs.push_back({o.id,
-                      geom::BBox{o.box.x / render_scale, o.box.y / render_scale,
-                                 o.box.w / render_scale,
-                                 o.box.h / render_scale}});
+      render_objs.push_back(
+          {o.id, geom::BBox{o.box.x / render_scale, o.box.y / render_scale,
+                            o.box.w / render_scale, o.box.h / render_scale}});
     }
-    return renderer.render(objs, frame,
-                           0x5EED0000ULL + static_cast<std::uint64_t>(index));
+    renderer.render_into(render_objs, frame,
+                         0x5EED0000ULL + static_cast<std::uint64_t>(index),
+                         scratch.cur_frame());
   }
 
   /// Drop tracks that have left the frame (the clamped box lost most of its
@@ -113,6 +119,7 @@ struct Pipeline::Impl {
       : cfg(config),
         player(sim::make_scenario(scenario_name, config.seed),
                /*warmup_s=*/45.0),
+        pool(static_cast<std::size_t>(std::max(0, config.threads))),
         recall(config.recall_iou) {
     scenario_name_ = scenario_name;
     const sim::Scenario& sc = player.scenario();
@@ -139,6 +146,7 @@ struct Pipeline::Impl {
       cameras.push_back(std::move(node));
     }
     active.assign(m, 1);
+    tile_flow = cfg.tile_flow && m < pool.thread_count();
 
     if (cfg.transport == net::TransportKind::kLossy) {
       netsim::SimTransport::Config tc;
@@ -427,11 +435,12 @@ struct Pipeline::Impl {
     }
 
     // Render the key frame so the next regular frame has a flow reference.
-    for (CameraNode& cam : cameras)
-      if (active[static_cast<std::size_t>(cam.index)])
-        cam.prev = cam.render(
-            mf.per_camera[static_cast<std::size_t>(cam.index)],
-            mf.frame_index);
+    for (CameraNode& cam : cameras) {
+      if (!active[static_cast<std::size_t>(cam.index)]) continue;
+      cam.render_current(mf.per_camera[static_cast<std::size_t>(cam.index)],
+                         mf.frame_index);
+      cam.flow_engine.rebase(cam.scratch);
+    }
   }
 
   /// Per-camera regular-frame outcome, reduced into FrameStats afterwards so
@@ -473,11 +482,13 @@ struct Pipeline::Impl {
       const auto i = static_cast<std::size_t>(cam.index);
       const auto& gt = mf.per_camera[i];
 
-      const vision::Image cur = cam.render(gt, mf.frame_index);
+      cam.render_current(gt, mf.frame_index);
 
       // --- tracking: optical flow + projection + slicing ---
       util::Stopwatch track_sw;
-      const vision::FlowField flow = cam.flow_engine.compute(cam.prev, cur);
+      cam.flow_engine.compute(cam.scratch, cam.flow,
+                              tile_flow ? &pool : nullptr);
+      const vision::FlowField& flow = cam.flow;
       cam.tracker.predict(flow, cam.render_scale);
       for (long dropped : cam.cull_departed())
         if (trace)
@@ -549,7 +560,7 @@ struct Pipeline::Impl {
       tasks.reserve(slices.size());
       for (const vision::SliceRegion& s : slices) tasks.push_back(s.size_class);
       const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
-      assemble_batches(cam, cur, slices);
+      assemble_batches(cam, cam.scratch.cur_frame(), slices);
       result.batching_ms = batch_sw.elapsed_ms();
 
       result.infer_ms = plan.actual_latency_ms;
@@ -614,7 +625,7 @@ struct Pipeline::Impl {
       }
       result.distributed_ms = dist_sw.elapsed_ms();
 
-      cam.prev = cur;
+      cam.scratch.advance();  // this frame becomes the next flow reference
       for (const track::Track& t : cam.tracker.tracks())
         cam_reported.push_back(t.box);
     }
@@ -717,6 +728,8 @@ struct Pipeline::Impl {
   core::DistributedStage distributed;
   TraceRecorder* trace = nullptr;
   util::ThreadPool pool;
+  /// Tile flow rows across idle workers (fleet smaller than the pool).
+  bool tile_flow = false;
   core::CameraMasks sp_masks;
   bool sp_masks_ready = false;
   metrics::ObjectRecall recall;

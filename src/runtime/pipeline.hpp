@@ -31,6 +31,13 @@ struct PipelineConfig {
   double recall_iou = 0.4;      ///< IoU for the object-recall metric
   std::uint64_t seed = 42;
   bool verbose = false;
+  /// Worker threads for per-camera (and tiled-flow) parallelism; 0 selects
+  /// hardware concurrency. Results are identical for any thread count.
+  int threads = 0;
+  /// When the camera fleet is smaller than the pool, tile optical-flow rows
+  /// of each camera across the idle workers. Output-identical either way
+  /// (tiles write disjoint row ranges); off only for A/B latency studies.
+  bool tile_flow = true;
   /// kIdeal charges the closed-form LinkModel numbers (bit-exact with the
   /// pre-netsim pipeline); kLossy runs the discrete-event netsim transport.
   net::TransportKind transport = net::TransportKind::kIdeal;

@@ -1,0 +1,34 @@
+#pragma once
+// Environment metadata and small statistics helpers for the perf-regression
+// harness (bench/bench_pipeline, tools/bench_report). BENCH_*.json files
+// embed this metadata so numbers from different machines/revisions are
+// comparable across the project's performance trajectory.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mvs::util {
+
+struct MachineInfo {
+  std::string os;        ///< kernel name + release (uname)
+  std::string cpu;       ///< CPU model string (/proc/cpuinfo), if available
+  unsigned hardware_threads = 0;
+};
+
+MachineInfo machine_info();
+
+/// Current git revision (12 hex chars), resolved by walking up from `start_dir`
+/// to the repository root and reading .git/HEAD (+ refs or packed-refs).
+/// Empty string when no repository is found.
+std::string git_revision(const std::string& start_dir = ".");
+
+/// Median of `values` (by copy; empty input yields 0).
+double median(std::vector<double> values);
+
+/// JSON object with os/cpu/threads/build_type/git_rev/generated_unix —
+/// the common envelope of every BENCH_*.json.
+Json bench_env_json();
+
+}  // namespace mvs::util

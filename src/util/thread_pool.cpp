@@ -1,6 +1,9 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 namespace mvs::util {
 
@@ -33,12 +36,68 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for_each(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   for (std::size_t i = 0; i < n; ++i) submit([&fn, i] { fn(i); });
   wait_idle();
+}
+
+/// Shared state of one run_tiles() call. Kept alive by shared_ptr because
+/// helper tasks may be dequeued after the call returned (they then find no
+/// tiles left and exit without touching `fn`).
+struct ThreadPool::TileGroup {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex m;
+  std::condition_variable done_cv;
+  std::size_t done = 0;        ///< guarded by m
+  std::exception_ptr error;    ///< guarded by m
+
+  void work() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      std::exception_ptr err;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(m);
+      if (err && !error) error = err;
+      if (++done == n) done_cv.notify_all();
+    }
+  }
+};
+
+void ThreadPool::run_tiles(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto group = std::make_shared<TileGroup>();
+  group->n = n;
+  group->fn = &fn;
+  // One helper per worker (bounded by the tile count the caller won't take
+  // alone anyway); helpers that arrive late exit immediately.
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    submit([group] { group->work(); });
+  group->work();
+  std::unique_lock lock(group->m);
+  group->done_cv.wait(lock, [&] { return group->done == group->n; });
+  if (group->error) {
+    std::exception_ptr error = group->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -54,9 +113,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::unique_lock lock(mutex_);
+      if (err && !first_error_) first_error_ = err;
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -3,9 +3,16 @@
 // Cameras are independent (own tracker, RNG, frame buffers), so parallel
 // execution is deterministic as long as each camera's work stays on its own
 // state — which parallel_for_each guarantees by partitioning indices.
+//
+// run_tiles() adds a second, nested-safe level of parallelism: the calling
+// thread (which may itself be a pool worker) claims tiles from a shared
+// counter alongside idle workers, so a worker can fan out sub-tasks without
+// ever blocking on a queue it is needed to drain (no deadlock even with a
+// single worker).
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,15 +35,27 @@ class ThreadPool {
   /// Enqueue a task; tasks may run in any order on any worker.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here (subsequent tasks still ran).
   void wait_idle();
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   /// fn must only touch state owned by index i (or be otherwise synchronized).
+  /// Rethrows the first exception any invocation threw.
   void parallel_for_each(std::size_t n,
                          const std::function<void(std::size_t)>& fn);
 
+  /// Run fn(i) for i in [0, n) with the CALLING thread participating: tiles
+  /// are claimed from a shared counter by the caller and by any idle
+  /// workers. Safe to call from inside a pool task (nested parallelism) —
+  /// the caller makes progress on its own tiles even when every worker is
+  /// busy. fn must only touch state owned by index i. Rethrows the first
+  /// exception any invocation threw, after all claimed tiles finished.
+  void run_tiles(std::size_t n, const std::function<void(std::size_t)>& fn);
+
  private:
+  struct TileGroup;
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -46,6 +65,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< guarded by mutex_
 };
 
 }  // namespace mvs::util

@@ -5,114 +5,205 @@
 #include <cmath>
 #include <limits>
 
+#include "util/thread_pool.hpp"
+
 namespace mvs::vision {
 
-namespace {
-
-/// Sum of absolute differences between a block in `a` at (ax, ay) and a block
-/// in `b` at (bx, by), clamped reads at the borders.
-double block_sad(const Image& a, int ax, int ay, const Image& b, int bx,
-                 int by, int size) {
-  double sad = 0.0;
-  for (int dy = 0; dy < size; ++dy)
-    for (int dx = 0; dx < size; ++dx)
-      sad += std::abs(static_cast<int>(a.at_clamped(ax + dx, ay + dy)) -
-                      static_cast<int>(b.at_clamped(bx + dx, by + dy)));
+std::uint32_t padded_block_sad(const PaddedImage& a, int ax, int ay,
+                               const PaddedImage& b, int bx, int by,
+                               int size) {
+  std::uint32_t sad = 0;
+  for (int dy = 0; dy < size; ++dy) {
+    const std::uint8_t* ra = a.row(ay + dy) + ax;
+    const std::uint8_t* rb = b.row(by + dy) + bx;
+    std::uint32_t acc = 0;
+    for (int dx = 0; dx < size; ++dx) {
+      const int d = static_cast<int>(ra[dx]) - static_cast<int>(rb[dx]);
+      acc += static_cast<std::uint32_t>(d < 0 ? -d : d);
+    }
+    sad += acc;
+  }
   return sad;
 }
 
-}  // namespace
+void FlowScratch::advance() {
+  std::swap(prev_img_, cur_img_);
+  std::swap(prev_lv_, cur_lv_);
+  std::swap(prev_pad_, cur_pad_);
+  ready_ = built_;
+  built_ = false;
+}
+
+int OpticalFlow::build_cur_pyramid(FlowScratch& s) const {
+  const Image& base = s.cur_img_;
+  assert(!base.empty());
+
+  // Same stopping rule as the reference: level l exists iff level l-1 is at
+  // least 2 blocks wide and tall.
+  int levels = 1;
+  {
+    int w = base.width(), h = base.height();
+    while (levels < cfg_.pyramid_levels && w >= 2 * cfg_.block_size &&
+           h >= 2 * cfg_.block_size) {
+      w = std::max(1, w / 2);
+      h = std::max(1, h / 2);
+      ++levels;
+    }
+  }
+
+  s.cur_lv_.resize(static_cast<std::size_t>(levels - 1));
+  s.cur_pad_.resize(static_cast<std::size_t>(levels));
+  for (int l = 1; l < levels; ++l) {
+    const Image& src = (l == 1) ? base : s.cur_lv_[static_cast<std::size_t>(l - 2)];
+    src.downsample_into(s.cur_lv_[static_cast<std::size_t>(l - 1)]);
+  }
+  // Pad covers the worst-case block read at each level: the seed chain bounds
+  // the displacement at level l by r * (2^(levels-l) - 1), and the block
+  // itself extends block_size pixels past its origin.
+  for (int l = 0; l < levels; ++l) {
+    const int pad =
+        cfg_.search_radius * ((1 << (levels - l)) - 1) + cfg_.block_size;
+    const Image& img = (l == 0) ? base : s.cur_lv_[static_cast<std::size_t>(l - 1)];
+    s.cur_pad_[static_cast<std::size_t>(l)].assign(img, pad);
+  }
+  s.built_ = true;
+  return levels;
+}
+
+void OpticalFlow::rebase(FlowScratch& scratch) const {
+  build_cur_pyramid(scratch);
+  scratch.advance();
+}
+
+void OpticalFlow::match_level(const PaddedImage& pa, const PaddedImage& pb,
+                              const geom::Vec2* coarse, int ccols, int crows,
+                              geom::Vec2* est, double* res, int cols, int rows,
+                              util::ThreadPool* pool) const {
+  const int bs = cfg_.block_size;
+  const int radius = cfg_.search_radius;
+
+  auto match_row = [&](std::size_t row_index) {
+    const int r = static_cast<int>(row_index);
+    for (int c = 0; c < cols; ++c) {
+      const int bx = c * bs;
+      const int by = r * bs;
+      int sx = 0, sy = 0;
+      if (coarse != nullptr) {
+        const int pc = std::min(c / 2, ccols - 1);
+        const int pr = std::min(r / 2, crows - 1);
+        const geom::Vec2& s =
+            coarse[static_cast<std::size_t>(pr) *
+                       static_cast<std::size_t>(ccols) +
+                   static_cast<std::size_t>(pc)];
+        sx = static_cast<int>(std::lround(s.x * 2.0));
+        sy = static_cast<int>(std::lround(s.y * 2.0));
+      }
+
+      double best = std::numeric_limits<double>::infinity();
+      int best_dx = sx, best_dy = sy;
+      for (int dy = sy - radius; dy <= sy + radius; ++dy) {
+        for (int dx = sx - radius; dx <= sx + radius; ++dx) {
+          // Slight zero-motion bias resolves flat-texture ties toward rest.
+          const double penalty = 0.1 * (std::abs(dx) + std::abs(dy));
+          // Integer SAD over padded rows, abandoning the candidate as soon
+          // as the partial sum already loses to the incumbent: double
+          // addition is monotone, so a partial sum failing the acceptance
+          // test guarantees the full sum would fail it too.
+          std::uint32_t sad = 0;
+          bool rejected = false;
+          for (int yy = 0; yy < bs; ++yy) {
+            const std::uint8_t* ra = pa.row(by + yy) + bx;
+            const std::uint8_t* rb = pb.row(by + dy + yy) + bx + dx;
+            std::uint32_t acc = 0;
+            for (int xx = 0; xx < bs; ++xx) {
+              const int d = static_cast<int>(ra[xx]) - static_cast<int>(rb[xx]);
+              acc += static_cast<std::uint32_t>(d < 0 ? -d : d);
+            }
+            sad += acc;
+            if (static_cast<double>(sad) + penalty >= best) {
+              rejected = true;
+              break;
+            }
+          }
+          if (!rejected) {
+            best = static_cast<double>(sad) + penalty;
+            best_dx = dx;
+            best_dy = dy;
+          }
+        }
+      }
+      const std::size_t idx = static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(cols) +
+                              static_cast<std::size_t>(c);
+      est[idx] = {static_cast<double>(best_dx), static_cast<double>(best_dy)};
+      if (res != nullptr)
+        res[idx] = best / static_cast<double>(cfg_.block_size * cfg_.block_size);
+    }
+  };
+
+  if (pool != nullptr && rows >= 4) {
+    // Tiles (rows) write disjoint est/res ranges and read only `coarse`,
+    // which is complete before this level starts — deterministic under any
+    // tile-to-worker mapping.
+    pool->run_tiles(static_cast<std::size_t>(rows), match_row);
+  } else {
+    for (int r = 0; r < rows; ++r) match_row(static_cast<std::size_t>(r));
+  }
+}
+
+void OpticalFlow::compute(FlowScratch& scratch, FlowField& out,
+                          util::ThreadPool* pool) const {
+  assert(scratch.ready());
+  assert(!scratch.cur_img_.empty() &&
+         scratch.cur_img_.width() == scratch.prev_img_.width() &&
+         scratch.cur_img_.height() == scratch.prev_img_.height());
+
+  const int levels = build_cur_pyramid(scratch);
+  assert(static_cast<int>(scratch.prev_pad_.size()) == levels);
+
+  out.block_size = cfg_.block_size;
+
+  // Coarse-to-fine: the estimate from the coarser level (scaled 2x) seeds the
+  // search window at the finer level. The finest level writes straight into
+  // the caller's FlowField buffers.
+  const geom::Vec2* coarse = nullptr;
+  int ccols = 0, crows = 0;
+  for (int l = levels - 1; l >= 0; --l) {
+    const PaddedImage& pa = scratch.prev_pad_[static_cast<std::size_t>(l)];
+    const PaddedImage& pb = scratch.cur_pad_[static_cast<std::size_t>(l)];
+    const int cols = std::max(1, pa.width() / cfg_.block_size);
+    const int rows = std::max(1, pa.height() / cfg_.block_size);
+    const std::size_t cells =
+        static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows);
+    if (l == 0) {
+      out.cols = cols;
+      out.rows = rows;
+      out.flow.resize(cells);
+      out.residual.resize(cells);
+      match_level(pa, pb, coarse, ccols, crows, out.flow.data(),
+                  out.residual.data(), cols, rows, pool);
+    } else {
+      scratch.est_.resize(cells);
+      match_level(pa, pb, coarse, ccols, crows, scratch.est_.data(), nullptr,
+                  cols, rows, pool);
+      std::swap(scratch.est_, scratch.coarse_);
+      coarse = scratch.coarse_.data();
+      ccols = cols;
+      crows = rows;
+    }
+  }
+}
 
 FlowField OpticalFlow::compute(const Image& prev, const Image& cur) const {
   assert(!prev.empty() && prev.width() == cur.width() &&
          prev.height() == cur.height());
-
-  // Build pyramids (level 0 = finest).
-  std::vector<Image> pa{prev}, pb{cur};
-  for (int l = 1; l < cfg_.pyramid_levels; ++l) {
-    if (pa.back().width() < 2 * cfg_.block_size ||
-        pa.back().height() < 2 * cfg_.block_size)
-      break;
-    pa.push_back(pa.back().downsampled());
-    pb.push_back(pb.back().downsampled());
-  }
-  const int levels = static_cast<int>(pa.size());
-
-  FlowField field;
-  field.block_size = cfg_.block_size;
-  field.cols = std::max(1, prev.width() / cfg_.block_size);
-  field.rows = std::max(1, prev.height() / cfg_.block_size);
-  field.flow.assign(static_cast<std::size_t>(field.cols) *
-                        static_cast<std::size_t>(field.rows),
-                    {0.0, 0.0});
-  field.residual.assign(field.flow.size(), 0.0);
-
-  // Coarse-to-fine: the estimate from the coarser level (scaled 2x) seeds the
-  // search window at the finer level.
-  std::vector<geom::Vec2> coarse;  // previous (coarser) level estimates
-  int ccols = 0, crows = 0;
-  for (int l = levels - 1; l >= 0; --l) {
-    const Image& ia = pa[static_cast<std::size_t>(l)];
-    const Image& ib = pb[static_cast<std::size_t>(l)];
-    const int cols = std::max(1, ia.width() / cfg_.block_size);
-    const int rows = std::max(1, ia.height() / cfg_.block_size);
-    std::vector<geom::Vec2> est(static_cast<std::size_t>(cols) *
-                                static_cast<std::size_t>(rows));
-    std::vector<double> res(est.size(), 0.0);
-
-    for (int r = 0; r < rows; ++r) {
-      for (int c = 0; c < cols; ++c) {
-        const int bx = c * cfg_.block_size;
-        const int by = r * cfg_.block_size;
-        geom::Vec2 seed{0.0, 0.0};
-        if (!coarse.empty()) {
-          const int pc = std::min(c / 2, ccols - 1);
-          const int pr = std::min(r / 2, crows - 1);
-          const geom::Vec2& s =
-              coarse[static_cast<std::size_t>(pr) *
-                         static_cast<std::size_t>(ccols) +
-                     static_cast<std::size_t>(pc)];
-          seed = {s.x * 2.0, s.y * 2.0};
-        }
-        const int sx = static_cast<int>(std::lround(seed.x));
-        const int sy = static_cast<int>(std::lround(seed.y));
-
-        double best = std::numeric_limits<double>::infinity();
-        int best_dx = sx, best_dy = sy;
-        for (int dy = sy - cfg_.search_radius; dy <= sy + cfg_.search_radius;
-             ++dy) {
-          for (int dx = sx - cfg_.search_radius; dx <= sx + cfg_.search_radius;
-               ++dx) {
-            const double sad =
-                block_sad(ia, bx, by, ib, bx + dx, by + dy, cfg_.block_size);
-            // Slight zero-motion bias resolves flat-texture ties toward rest.
-            const double penalty = 0.1 * (std::abs(dx) + std::abs(dy));
-            if (sad + penalty < best) {
-              best = sad + penalty;
-              best_dx = dx;
-              best_dy = dy;
-            }
-          }
-        }
-        est[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
-            static_cast<std::size_t>(c)] = {static_cast<double>(best_dx),
-                                            static_cast<double>(best_dy)};
-        res[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
-            static_cast<std::size_t>(c)] =
-            best / static_cast<double>(cfg_.block_size * cfg_.block_size);
-      }
-    }
-    coarse = std::move(est);
-    ccols = cols;
-    crows = rows;
-    if (l == 0) {
-      field.cols = cols;
-      field.rows = rows;
-      field.flow = coarse;
-      field.residual = std::move(res);
-    }
-  }
-  return field;
+  FlowScratch scratch;
+  scratch.cur_frame() = prev;
+  rebase(scratch);
+  scratch.cur_frame() = cur;
+  FlowField out;
+  compute(scratch, out, nullptr);
+  return out;
 }
 
 geom::Vec2 median_flow_in(const FlowField& field, const geom::BBox& box) {

@@ -29,17 +29,30 @@ Renderer::Renderer(Config cfg) : cfg_(cfg) {}
 
 Image Renderer::render(const std::vector<RenderObject>& objects, long frame,
                        std::uint64_t camera_seed) const {
-  Image img(cfg_.width, cfg_.height);
+  Image img;
+  render_into(objects, frame, camera_seed, img);
+  return img;
+}
 
+void Renderer::render_into(const std::vector<RenderObject>& objects,
+                           long frame, std::uint64_t camera_seed,
+                           Image& out) const {
   // Static background texture, smoothed to mid-gray contrast so objects
   // stand out. Coarse 4x4 texels keep the background locally flat, which is
   // what block matching sees from asphalt/grass.
-  for (int y = 0; y < cfg_.height; ++y) {
-    for (int x = 0; x < cfg_.width; ++x) {
-      const std::uint8_t t = texture_pixel(camera_seed, x / 4, y / 4);
-      img.set(x, y, static_cast<std::uint8_t>(96 + (t % 48)));
+  if (!background_valid_ || background_seed_ != camera_seed) {
+    background_.resize(cfg_.width, cfg_.height);
+    for (int y = 0; y < cfg_.height; ++y) {
+      std::uint8_t* row = background_.row(y);
+      for (int x = 0; x < cfg_.width; ++x) {
+        const std::uint8_t t = texture_pixel(camera_seed, x / 4, y / 4);
+        row[x] = static_cast<std::uint8_t>(96 + (t % 48));
+      }
     }
+    background_seed_ = camera_seed;
+    background_valid_ = true;
   }
+  out = background_;
 
   // Objects: texture anchored to the object's own frame so pixels translate
   // rigidly with the object (pure translation locally, as real flow assumes).
@@ -48,12 +61,15 @@ Image Renderer::render(const std::vector<RenderObject>& objects, long frame,
     const int y0 = std::max(0, static_cast<int>(std::floor(obj.box.y)));
     const int x1 = std::min(cfg_.width, static_cast<int>(std::ceil(obj.box.x2())));
     const int y1 = std::min(cfg_.height, static_cast<int>(std::ceil(obj.box.y2())));
+    const int ox = static_cast<int>(std::floor(obj.box.x));
+    const int oy = static_cast<int>(std::floor(obj.box.y));
+    const std::uint64_t obj_seed = hash64(obj.id + 1);
     for (int y = y0; y < y1; ++y) {
+      std::uint8_t* row = out.row(y);
       for (int x = x0; x < x1; ++x) {
-        const int lx = x - static_cast<int>(std::floor(obj.box.x));
-        const int ly = y - static_cast<int>(std::floor(obj.box.y));
-        const std::uint8_t t = texture_pixel(hash64(obj.id + 1), lx / 2, ly / 2);
-        img.set(x, y, static_cast<std::uint8_t>(160 + (t % 80)));
+        const std::uint8_t t =
+            texture_pixel(obj_seed, (x - ox) / 2, (y - oy) / 2);
+        row[x] = static_cast<std::uint8_t>(160 + (t % 80));
       }
     }
   }
@@ -62,18 +78,18 @@ Image Renderer::render(const std::vector<RenderObject>& objects, long frame,
   if (cfg_.noise_amplitude > 0) {
     const std::uint64_t frame_seed =
         hash64(camera_seed ^ (static_cast<std::uint64_t>(frame) << 20));
+    const int span = 2 * cfg_.noise_amplitude + 1;
     for (int y = 0; y < cfg_.height; ++y) {
+      std::uint8_t* row = out.row(y);
       for (int x = 0; x < cfg_.width; ++x) {
-        const int span = 2 * cfg_.noise_amplitude + 1;
         const int n = static_cast<int>(
                           texture_pixel(frame_seed, x, y) % span) -
                       cfg_.noise_amplitude;
-        const int v = static_cast<int>(img.at(x, y)) + n;
-        img.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+        const int v = static_cast<int>(row[x]) + n;
+        row[x] = static_cast<std::uint8_t>(std::clamp(v, 0, 255));
       }
     }
   }
-  return img;
 }
 
 }  // namespace mvs::vision

@@ -5,6 +5,12 @@
 // rectangle over a static textured background, plus per-frame sensor noise.
 // Textures are hash-based so they are (a) deterministic, (b) unique per
 // object, and (c) rich enough for block-matching optical flow to lock onto.
+//
+// The background depends only on the camera seed, so it is rendered once and
+// cached; per-frame work is a memcpy of the cached background plus the
+// object rectangles and the noise pass. The cache makes render() non-reentrant
+// for a single Renderer instance (one renderer per camera in the pipeline),
+// while distinct instances stay independent.
 
 #include <cstdint>
 #include <vector>
@@ -36,10 +42,19 @@ class Renderer {
   Image render(const std::vector<RenderObject>& objects, long frame,
                std::uint64_t camera_seed) const;
 
+  /// Same, writing into `out` (resized as needed). Reuses `out`'s buffer and
+  /// the cached background, so steady-state rendering allocates nothing.
+  void render_into(const std::vector<RenderObject>& objects, long frame,
+                   std::uint64_t camera_seed, Image& out) const;
+
   const Config& config() const { return cfg_; }
 
  private:
   Config cfg_{};
+  // Lazily built per camera_seed; rebuilt only when the seed changes.
+  mutable Image background_;
+  mutable std::uint64_t background_seed_ = 0;
+  mutable bool background_valid_ = false;
 };
 
 }  // namespace mvs::vision

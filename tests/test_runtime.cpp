@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "assoc/association.hpp"
 #include "runtime/oracles.hpp"
 #include "runtime/pipeline.hpp"
+#include "runtime/trace.hpp"
 #include "sim/dataset.hpp"
 #include "sim/scenario.hpp"
 
@@ -124,6 +128,86 @@ TEST(PipelineBehaviour, TrackingOverheadOnRegularFrames) {
   for (const FrameStats& f : result.frames)
     if (!f.key_frame && f.tracking_ms > 0.0) any_tracking = true;
   EXPECT_TRUE(any_tracking);
+}
+
+/// Compare the deterministic FrameStats fields (everything except measured
+/// wall-clock overheads, which legitimately vary run to run).
+void expect_deterministic_stats_equal(const PipelineResult& a,
+                                      const PipelineResult& b) {
+  EXPECT_DOUBLE_EQ(a.object_recall, b.object_recall);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t f = 0; f < a.frames.size(); ++f) {
+    const FrameStats& fa = a.frames[f];
+    const FrameStats& fb = b.frames[f];
+    EXPECT_EQ(fa.frame, fb.frame);
+    EXPECT_EQ(fa.key_frame, fb.key_frame);
+    ASSERT_EQ(fa.camera_infer_ms.size(), fb.camera_infer_ms.size());
+    for (std::size_t c = 0; c < fa.camera_infer_ms.size(); ++c)
+      EXPECT_DOUBLE_EQ(fa.camera_infer_ms[c], fb.camera_infer_ms[c]);
+    EXPECT_DOUBLE_EQ(fa.slowest_infer_ms, fb.slowest_infer_ms);
+    EXPECT_DOUBLE_EQ(fa.frame_recall, fb.frame_recall);
+    EXPECT_EQ(fa.gt_objects, fb.gt_objects);
+    EXPECT_EQ(fa.tracked_objects, fb.tracked_objects);
+    EXPECT_DOUBLE_EQ(fa.comm_ms, fb.comm_ms);
+    EXPECT_EQ(fa.retries, fb.retries);
+    EXPECT_EQ(fa.dropped_msgs, fb.dropped_msgs);
+    EXPECT_EQ(fa.cameras_online, fb.cameras_online);
+  }
+}
+
+/// Trace events sorted into a canonical order: camera steps run concurrently,
+/// so the recording order across cameras is scheduling-dependent even though
+/// the event SET is deterministic.
+std::vector<TraceEvent> sorted_events(const TraceRecorder& trace) {
+  std::vector<TraceEvent> events = trace.events();
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.frame, a.camera, a.type, a.object_key,
+                              a.value) < std::tie(b.frame, b.camera, b.type,
+                                                  b.object_key, b.value);
+            });
+  return events;
+}
+
+TEST(PipelineBehaviour, DeterministicAcrossThreadCountsAndTiling) {
+  // Same seed at threads=1, threads=8, and threads=8 without flow tiling:
+  // FrameStats and trace streams must be identical. S2 has 2 cameras, so
+  // threads=8 exercises the tiled-flow path (fleet smaller than the pool).
+  PipelineConfig base = fast_config(Policy::kBalb, 21);
+  base.threads = 1;
+  PipelineConfig wide = base;
+  wide.threads = 8;
+  PipelineConfig wide_untiled = wide;
+  wide_untiled.tile_flow = false;
+
+  TraceRecorder trace_base, trace_wide, trace_untiled;
+  Pipeline a("S2", base);
+  a.attach_trace(&trace_base);
+  Pipeline b("S2", wide);
+  b.attach_trace(&trace_wide);
+  Pipeline c("S2", wide_untiled);
+  c.attach_trace(&trace_untiled);
+
+  const PipelineResult ra = a.run(30);
+  const PipelineResult rb = b.run(30);
+  const PipelineResult rc = c.run(30);
+  expect_deterministic_stats_equal(ra, rb);
+  expect_deterministic_stats_equal(ra, rc);
+
+  const auto ea = sorted_events(trace_base);
+  const auto eb = sorted_events(trace_wide);
+  const auto ec = sorted_events(trace_untiled);
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_EQ(ea.size(), ec.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    for (const auto* other : {&eb[i], &ec[i]}) {
+      EXPECT_EQ(ea[i].frame, other->frame);
+      EXPECT_EQ(ea[i].camera, other->camera);
+      EXPECT_EQ(ea[i].type, other->type);
+      EXPECT_EQ(ea[i].object_key, other->object_key);
+      EXPECT_DOUBLE_EQ(ea[i].value, other->value);
+    }
+  }
 }
 
 TEST(PipelineBehaviour, DeterministicForSeed) {

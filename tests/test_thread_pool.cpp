@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/thread_pool.hpp"
 
@@ -71,6 +72,72 @@ TEST(ThreadPool, DestructionWithPendingWorkCompletes) {
     pool.wait_idle();
   }  // destructor joins
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromParallelForEach) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for_each(16,
+                                      [&](std::size_t i) {
+                                        ++ran;
+                                        if (i == 5)
+                                          throw std::runtime_error("task 5");
+                                      }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // remaining tasks still ran
+  // The pool stays usable and the error does not resurface.
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(8, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromSubmitViaWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  pool.wait_idle();  // cleared after the first rethrow
+}
+
+TEST(ThreadPool, RunTilesCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<int> hits(97, 0);
+  pool.run_tiles(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, RunTilesNestedInsideWorkersDoesNotDeadlock) {
+  // Outer per-camera fan-out with inner per-row tiling: every worker may be
+  // busy with an outer task, so inner progress must come from the callers.
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> hits(6, std::vector<int>(32, 0));
+  pool.parallel_for_each(hits.size(), [&](std::size_t outer) {
+    pool.run_tiles(hits[outer].size(),
+                   [&, outer](std::size_t inner) { hits[outer][inner] += 1; });
+  });
+  for (const auto& row : hits)
+    for (int h : row) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, RunTilesNestedWithSingleWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(3, [&](std::size_t) {
+    pool.run_tiles(16, [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 3 * 16);
+}
+
+TEST(ThreadPool, RunTilesPropagatesException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run_tiles(24,
+                              [&](std::size_t i) {
+                                ++ran;
+                                if (i == 7) throw std::runtime_error("tile 7");
+                              }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 24);  // all tiles were still claimed and ran
+  pool.wait_idle();           // tile errors never leak into the pool state
 }
 
 }  // namespace

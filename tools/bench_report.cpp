@@ -1,0 +1,247 @@
+// Perf-regression report generator. Times the vision hot-path kernels and an
+// end-to-end pipeline run, then writes BENCH_vision.json and
+// BENCH_pipeline.json (median-of-N timings wrapped in the machine/git
+// envelope from util::bench_env_json()). Commit the refreshed files alongside
+// performance-sensitive changes so regressions show up in review.
+//
+// Usage:
+//   bench_report [--reps 7] [--frames 60] [--width 320] [--out-dir .]
+//
+// The vision report includes the speedup of the optimized OpticalFlow against
+// an embedded copy of the pre-optimization kernel (double-accumulating SAD
+// over at_clamped reads, pyramids rebuilt per call), so the headline number
+// is self-contained: no need to check out an old revision to reproduce it.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "runtime/pipeline.hpp"
+#include "util/args.hpp"
+#include "util/bench_info.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "vision/optical_flow.hpp"
+#include "vision/renderer.hpp"
+
+namespace {
+
+using namespace mvs;
+using vision::FlowField;
+using vision::Image;
+using vision::OpticalFlow;
+
+// Pre-optimization optical flow, kept verbatim as the speedup baseline.
+double reference_block_sad(const Image& a, int ax, int ay, const Image& b,
+                           int bx, int by, int size) {
+  double sad = 0.0;
+  for (int dy = 0; dy < size; ++dy)
+    for (int dx = 0; dx < size; ++dx)
+      sad += std::abs(static_cast<int>(a.at_clamped(ax + dx, ay + dy)) -
+                      static_cast<int>(b.at_clamped(bx + dx, by + dy)));
+  return sad;
+}
+
+FlowField reference_flow(const OpticalFlow::Config& cfg, const Image& prev,
+                         const Image& cur) {
+  std::vector<Image> pa{prev}, pb{cur};
+  for (int l = 1; l < cfg.pyramid_levels; ++l) {
+    if (pa.back().width() < 2 * cfg.block_size ||
+        pa.back().height() < 2 * cfg.block_size)
+      break;
+    pa.push_back(pa.back().downsampled());
+    pb.push_back(pb.back().downsampled());
+  }
+  const int levels = static_cast<int>(pa.size());
+
+  FlowField field;
+  field.block_size = cfg.block_size;
+  field.cols = std::max(1, prev.width() / cfg.block_size);
+  field.rows = std::max(1, prev.height() / cfg.block_size);
+  field.flow.assign(static_cast<std::size_t>(field.cols) *
+                        static_cast<std::size_t>(field.rows),
+                    {0.0, 0.0});
+  field.residual.assign(field.flow.size(), 0.0);
+
+  std::vector<geom::Vec2> coarse;
+  int ccols = 0, crows = 0;
+  for (int l = levels - 1; l >= 0; --l) {
+    const Image& ia = pa[static_cast<std::size_t>(l)];
+    const Image& ib = pb[static_cast<std::size_t>(l)];
+    const int cols = std::max(1, ia.width() / cfg.block_size);
+    const int rows = std::max(1, ia.height() / cfg.block_size);
+    std::vector<geom::Vec2> est(static_cast<std::size_t>(cols) *
+                                static_cast<std::size_t>(rows));
+    std::vector<double> res(est.size(), 0.0);
+
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const int bx = c * cfg.block_size;
+        const int by = r * cfg.block_size;
+        geom::Vec2 seed{0.0, 0.0};
+        if (!coarse.empty()) {
+          const int pc = std::min(c / 2, ccols - 1);
+          const int pr = std::min(r / 2, crows - 1);
+          const geom::Vec2& s =
+              coarse[static_cast<std::size_t>(pr) *
+                         static_cast<std::size_t>(ccols) +
+                     static_cast<std::size_t>(pc)];
+          seed = {s.x * 2.0, s.y * 2.0};
+        }
+        const int sx = static_cast<int>(std::lround(seed.x));
+        const int sy = static_cast<int>(std::lround(seed.y));
+
+        double best = std::numeric_limits<double>::infinity();
+        int best_dx = sx, best_dy = sy;
+        for (int dy = sy - cfg.search_radius; dy <= sy + cfg.search_radius;
+             ++dy) {
+          for (int dx = sx - cfg.search_radius; dx <= sx + cfg.search_radius;
+               ++dx) {
+            const double sad = reference_block_sad(ia, bx, by, ib, bx + dx,
+                                                   by + dy, cfg.block_size);
+            const double penalty = 0.1 * (std::abs(dx) + std::abs(dy));
+            if (sad + penalty < best) {
+              best = sad + penalty;
+              best_dx = dx;
+              best_dy = dy;
+            }
+          }
+        }
+        est[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+            static_cast<std::size_t>(c)] = {static_cast<double>(best_dx),
+                                            static_cast<double>(best_dy)};
+        res[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+            static_cast<std::size_t>(c)] =
+            best / static_cast<double>(cfg.block_size * cfg.block_size);
+      }
+    }
+    coarse = std::move(est);
+    ccols = cols;
+    crows = rows;
+    if (l == 0) {
+      field.cols = cols;
+      field.rows = rows;
+      field.flow = coarse;
+      field.residual = std::move(res);
+    }
+  }
+  return field;
+}
+
+volatile std::uint32_t g_sad_sink = 0;  ///< keeps the SAD loop observable
+
+/// Median wall-clock ms of `reps` calls to `fn`.
+template <typename Fn>
+double time_median_ms(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    util::Stopwatch watch;
+    fn();
+    samples.push_back(watch.elapsed_ms());
+  }
+  return util::median(std::move(samples));
+}
+
+void write_report(const std::string& path, const char* section,
+                  util::Json::Object body) {
+  util::Json::Object doc;
+  doc["env"] = util::bench_env_json();
+  doc[section] = util::Json(std::move(body));
+  std::ofstream out(path);
+  out << util::Json(std::move(doc)).dump() << '\n';
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args = util::Args::parse(argc, argv);
+  const int reps = args.int_or("reps", 7);
+  const int frames = args.int_or("frames", 60);
+  const int width = args.int_or("width", 320);
+  const std::string out_dir = args.get_or("out-dir", ".");
+
+  // ---- vision kernels ----------------------------------------------------
+  vision::Renderer::Config rc;
+  rc.width = width;
+  rc.height = width * 9 / 16;
+  const vision::Renderer renderer(rc);
+  const geom::BBox box{rc.width / 3.0, rc.height / 3.0, 30, 20};
+  const Image a = renderer.render({{1, box}}, 0, 7);
+  const Image b = renderer.render({{1, box.shifted({3, 1})}}, 1, 7);
+  const OpticalFlow flow;
+
+  Image render_out;
+  const double renderer_ms = time_median_ms(reps, [&] {
+    renderer.render_into({{1, box}}, 2, 7, render_out);
+  });
+
+  vision::PaddedImage pa, pb;
+  pa.assign(a, 16);
+  pb.assign(b, 16);
+  const double sad_ms = time_median_ms(reps, [&] {
+    std::uint32_t total = 0;
+    for (int y = 0; y + 16 <= rc.height; y += 16)
+      for (int x = 0; x + 16 <= rc.width; x += 16)
+        total += vision::padded_block_sad(pa, x, y, pb, x + 2, y + 1, 16);
+    g_sad_sink = total;
+  });
+
+  FlowField field;
+  const double flow_ms =
+      time_median_ms(reps, [&] { field = flow.compute(a, b); });
+
+  vision::FlowScratch scratch;
+  scratch.cur_frame() = a;
+  flow.rebase(scratch);
+  scratch.cur_frame() = b;
+  const double flow_incr_ms = time_median_ms(reps, [&] {
+    flow.compute(scratch, field);
+  });
+
+  const double flow_ref_ms = time_median_ms(
+      reps, [&] { field = reference_flow(flow.config(), a, b); });
+
+  util::Json::Object vis;
+  vis["width"] = util::Json(rc.width);
+  vis["height"] = util::Json(rc.height);
+  vis["reps"] = util::Json(reps);
+  vis["renderer_into_ms"] = util::Json(renderer_ms);
+  vis["padded_sad_frame_ms"] = util::Json(sad_ms);
+  vis["flow_compute_ms"] = util::Json(flow_ms);
+  vis["flow_incremental_ms"] = util::Json(flow_incr_ms);
+  vis["flow_reference_ms"] = util::Json(flow_ref_ms);
+  vis["speedup_vs_reference"] =
+      util::Json(flow_ms > 0.0 ? flow_ref_ms / flow_ms : 0.0);
+  write_report(out_dir + "/BENCH_vision.json", "vision", std::move(vis));
+
+  // ---- end-to-end pipeline ----------------------------------------------
+  runtime::PipelineConfig cfg;
+  std::vector<double> run_ms;
+  double recall = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    runtime::Pipeline pipeline("S2", cfg);
+    util::Stopwatch watch;
+    const runtime::PipelineResult result = pipeline.run(frames);
+    run_ms.push_back(watch.elapsed_ms());
+    recall = result.object_recall;
+  }
+  const double median_ms = util::median(run_ms);
+
+  util::Json::Object pipe;
+  pipe["scenario"] = util::Json("S2");
+  pipe["policy"] = util::Json(runtime::to_string(cfg.policy));
+  pipe["frames"] = util::Json(frames);
+  pipe["reps"] = util::Json(reps);
+  pipe["median_run_ms"] = util::Json(median_ms);
+  pipe["frames_per_sec"] =
+      util::Json(median_ms > 0.0 ? 1000.0 * frames / median_ms : 0.0);
+  pipe["object_recall"] = util::Json(recall);
+  write_report(out_dir + "/BENCH_pipeline.json", "pipeline", std::move(pipe));
+  return 0;
+}

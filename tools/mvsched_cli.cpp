@@ -36,6 +36,10 @@ int usage(const char* prog, int exit_code) {
       "  --frames N              evaluation frames to run (default 200)\n"
       "  --horizon T             frames per scheduling horizon (default 10)\n"
       "  --seed S                RNG seed (default 42)\n"
+      "  --threads N             worker threads (0 = hardware concurrency;\n"
+      "                          results identical for any count)\n"
+      "  --no-tile-flow          disable intra-frame optical-flow row tiling\n"
+      "                          (A/B latency studies; output-identical)\n"
       "  --csv                   per-frame CSV on stdout instead of summary\n"
       "  --verbose               per-frame progress logging\n"
       "\n"
@@ -84,8 +88,8 @@ bool parse_dropouts(const std::string& spec,
 
 int main(int argc, char** argv) {
   using namespace mvs;
-  const util::Args args =
-      util::Args::parse(argc, argv, {"csv", "verbose", "dump-config", "help"});
+  const util::Args args = util::Args::parse(
+      argc, argv, {"csv", "verbose", "dump-config", "help", "no-tile-flow"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -126,6 +130,12 @@ int main(int argc, char** argv) {
       args.int_or("horizon", run.pipeline.horizon_frames);
   run.pipeline.seed = static_cast<std::uint64_t>(
       args.number_or("seed", static_cast<double>(run.pipeline.seed)));
+  run.pipeline.threads = args.int_or("threads", run.pipeline.threads);
+  if (run.pipeline.threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return usage(argv[0], 2);
+  }
+  if (args.has("no-tile-flow")) run.pipeline.tile_flow = false;
   run.pipeline.verbose = args.has("verbose");
   if (run.pipeline.verbose) util::set_log_level(util::LogLevel::kInfo);
 
