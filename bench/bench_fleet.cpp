@@ -1,0 +1,151 @@
+// Fleet throughput-scaling benchmark: host 1..N identical sessions on one
+// mvs::fleet::Fleet and measure wall-clock serving throughput plus the
+// cross-session batching advantage over N isolated deployments (the paper's
+// single-deployment setting, reported by the arbiter as the isolated
+// counterfactual of the SAME work).
+//
+// Usage:
+//   bench_fleet [--scenario S2] [--sessions 4] [--ticks 40] [--slo-ms 0]
+//               [--dispatch rr|weighted] [--threads 0] [--seed 42]
+//               [--json out.json]
+//
+// Sweeps session counts 1..--sessions. Session construction (association
+// training) happens outside the timed region; run(ticks) is timed. Batch and
+// busy-time counters are deterministic for a given (scenario, seed, ticks);
+// only the wall-clock columns vary run to run.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "util/args.hpp"
+#include "util/bench_info.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mvs;
+  const util::Args args = util::Args::parse(argc, argv);
+  const std::string scenario = args.get_or("scenario", "S2");
+  const int max_sessions = args.int_or("sessions", 4);
+  const int ticks = args.int_or("ticks", 40);
+  const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+
+  fleet::FleetConfig cfg;
+  cfg.slo_ms = args.number_or("slo-ms", 0.0);
+  cfg.threads = args.int_or("threads", 0);
+  const auto dispatch = fleet::parse_dispatch(args.get_or("dispatch", "rr"));
+  if (!dispatch) {
+    std::fprintf(stderr, "unknown dispatch policy '%s'\n",
+                 args.get_or("dispatch", "rr").c_str());
+    return 1;
+  }
+  cfg.dispatch = *dispatch;
+  if (max_sessions < 1 || ticks < 1) {
+    std::fprintf(stderr, "--sessions and --ticks must be >= 1\n");
+    return 1;
+  }
+
+  util::Table table({"sessions", "cameras", "frames", "run_ms", "frames/s",
+                     "batches", "batches_iso", "saved%", "busy_ms", "busy_iso",
+                     "occupancy", "p95_ms"});
+  util::Json::Array sweep;
+
+  for (int n = 1; n <= max_sessions; ++n) {
+    fleet::Fleet fleet(cfg);
+    for (int s = 0; s < n; ++s) {
+      fleet::SessionSpec spec;
+      spec.name = scenario + "#" + std::to_string(s);
+      spec.scenario = scenario;
+      spec.pipeline.seed = seed + static_cast<std::uint64_t>(s);
+      if (!fleet.admit(spec).admitted) {
+        std::fprintf(stderr, "session %d rejected at slo=%.1f ms\n", s,
+                     cfg.slo_ms);
+        return 1;
+      }
+    }
+
+    util::Stopwatch watch;
+    fleet.run(ticks);
+    const double run_ms = watch.elapsed_ms();
+
+    const fleet::FleetSnapshot snap = fleet.snapshot();
+    long frames = 0;
+    int cameras = 0;
+    double p95 = 0.0;
+    for (const fleet::SessionSnapshot& s : snap.sessions) {
+      frames += s.frames;
+      p95 = std::max(p95, s.p95_ms);
+    }
+    for (int s = 0; s < n; ++s)
+      cameras +=
+          static_cast<int>(fleet.session_result(s).frames.empty()
+                               ? 0
+                               : fleet.session_result(s)
+                                     .frames.front()
+                                     .camera_infer_ms.size());
+    const double fps =
+        run_ms > 0.0 ? 1000.0 * static_cast<double>(frames) / run_ms : 0.0;
+    const double saved =
+        snap.isolated_batches > 0
+            ? 100.0 *
+                  static_cast<double>(snap.isolated_batches -
+                                      snap.shared_batches) /
+                  static_cast<double>(snap.isolated_batches)
+            : 0.0;
+
+    table.add_row({std::to_string(n), std::to_string(cameras),
+                   std::to_string(frames), util::Table::fmt(run_ms, 1),
+                   util::Table::fmt(fps, 1),
+                   std::to_string(snap.shared_batches),
+                   std::to_string(snap.isolated_batches),
+                   util::Table::fmt(saved, 1),
+                   util::Table::fmt(snap.shared_busy_ms, 1),
+                   util::Table::fmt(snap.isolated_busy_ms, 1),
+                   util::Table::fmt(snap.mean_occupancy, 2),
+                   util::Table::fmt(p95, 1)});
+
+    util::Json::Object point;
+    point["sessions"] = util::Json(n);
+    point["cameras"] = util::Json(cameras);
+    point["frames"] = util::Json(static_cast<double>(frames));
+    point["run_ms"] = util::Json(run_ms);
+    point["frames_per_sec"] = util::Json(fps);
+    point["shared_batches"] = util::Json(static_cast<double>(snap.shared_batches));
+    point["isolated_batches"] =
+        util::Json(static_cast<double>(snap.isolated_batches));
+    point["batch_savings_pct"] = util::Json(saved);
+    point["shared_busy_ms"] = util::Json(snap.shared_busy_ms);
+    point["isolated_busy_ms"] = util::Json(snap.isolated_busy_ms);
+    point["mean_occupancy"] = util::Json(snap.mean_occupancy);
+    point["p95_ms"] = util::Json(p95);
+    sweep.push_back(util::Json(std::move(point)));
+  }
+
+  std::printf("scenario=%s ticks=%d dispatch=%s slo_ms=%.1f\n",
+              scenario.c_str(), ticks, fleet::to_string(cfg.dispatch),
+              cfg.slo_ms);
+  std::printf("%s", table.to_string().c_str());
+
+  const std::string json_path = args.get_or("json", "");
+  if (!json_path.empty()) {
+    util::Json::Object body;
+    body["scenario"] = util::Json(scenario);
+    body["ticks"] = util::Json(ticks);
+    body["dispatch"] = util::Json(fleet::to_string(cfg.dispatch));
+    body["slo_ms"] = util::Json(cfg.slo_ms);
+    body["sweep"] = util::Json(std::move(sweep));
+
+    util::Json::Object doc;
+    doc["env"] = util::bench_env_json();
+    doc["fleet"] = util::Json(std::move(body));
+    std::ofstream out(json_path);
+    out << util::Json(std::move(doc)).dump() << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "fleet/arbiter.hpp"
+
+#include <cassert>
+#include <map>
+#include <string>
+
+namespace mvs::fleet {
+
+void GpuArbiter::begin_tick() { subs_.clear(); }
+
+void GpuArbiter::submit(int session, int camera,
+                        const gpu::DeviceProfile& device,
+                        const runtime::CameraGpuWork& work) {
+  Submission sub;
+  sub.session = session;
+  sub.camera = camera;
+  sub.full_frame = work.full_frame;
+  sub.tasks = work.tasks;
+  sub.device = &device;
+  subs_.push_back(std::move(sub));
+}
+
+namespace {
+
+/// All submissions targeting one device class, with per-submission and
+/// merged size-class counts.
+struct ClassGroup {
+  const gpu::DeviceProfile* device = nullptr;
+  std::vector<std::size_t> members;            ///< indices into subs
+  std::vector<std::vector<int>> counts;        ///< per member, per class
+  std::vector<int> total;                      ///< merged, per class
+};
+
+}  // namespace
+
+TickPlan GpuArbiter::plan_tick() const {
+  TickPlan plan;
+  plan.shares.resize(subs_.size());
+
+  // Group by device class; std::map keeps the iteration deterministic.
+  std::map<std::string, ClassGroup> groups;
+  for (std::size_t k = 0; k < subs_.size(); ++k) {
+    const Submission& sub = subs_[k];
+    plan.shares[k].session = sub.session;
+    plan.shares[k].camera = sub.camera;
+    ClassGroup& g = groups[sub.device->name()];
+    if (!g.device) {
+      g.device = sub.device;
+      g.total.assign(sub.device->size_class_count(), 0);
+    }
+    std::vector<int> counts(g.device->size_class_count(), 0);
+    for (geom::SizeClassId s : sub.tasks) {
+      assert(s >= 0 && static_cast<std::size_t>(s) < counts.size());
+      ++counts[static_cast<std::size_t>(s)];
+      ++g.total[static_cast<std::size_t>(s)];
+    }
+    g.members.push_back(k);
+    g.counts.push_back(std::move(counts));
+  }
+
+  for (const auto& [name, g] : groups) {
+    (void)name;
+    const gpu::BatchPlan merged = gpu::plan_batch_counts(g.total, *g.device);
+    plan.shared_batches += static_cast<long>(merged.batches.size());
+    plan.shared_busy_ms += merged.actual_latency_ms;
+
+    // Attribute batch by batch in plan order: member m's share of a batch of
+    // class s is counts[m][s] / total[s] of the batch's actual latency. With
+    // a single member the factor is exactly 1.0 and the accumulation order
+    // matches plan_batch_counts — bit-exact with the member's own plan.
+    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+      const std::vector<int>& mine = g.counts[mi];
+      double attributed = 0.0;
+      for (const gpu::Batch& b : merged.batches) {
+        const auto s = static_cast<std::size_t>(b.size_class);
+        if (mine[s] == 0) continue;
+        const double share =
+            static_cast<double>(mine[s]) / static_cast<double>(g.total[s]);
+        attributed +=
+            share * g.device->actual_batch_latency_ms(b.size_class, b.count);
+      }
+      const std::size_t k = g.members[mi];
+      const gpu::BatchPlan isolated =
+          gpu::plan_batch_counts(mine, *g.device);
+      plan.isolated_batches += static_cast<long>(isolated.batches.size());
+      plan.isolated_busy_ms += isolated.actual_latency_ms;
+      plan.shares[k].attributed_ms = attributed;
+      plan.shares[k].isolated_ms = isolated.actual_latency_ms;
+      if (subs_[k].full_frame) {
+        const double full = g.device->full_frame_ms();
+        plan.shares[k].attributed_ms += full;
+        plan.shares[k].isolated_ms += full;
+        plan.shared_busy_ms += full;
+        plan.isolated_busy_ms += full;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mvs::fleet

@@ -1,0 +1,89 @@
+#pragma once
+// Cross-session GPU arbiter (mvs::fleet).
+//
+// The serving host pools the accelerators of each device class (profile
+// name) into one shared queue per class. Every tick, each hosted session
+// submits its cameras' partial-frame inspection tasks; the arbiter merges
+// the task multisets per (device class, size class) and plans batches over
+// the MERGED counts with the same greedy filling the paper uses per camera
+// (gpu::plan_batch_counts). Because batch latency t_i^s is flat in fill
+// before the inflection point, topping a session's incomplete batch up with
+// another session's same-size tasks costs nothing extra — so each session's
+// own BALB latency estimate stays correct while the fleet executes strictly
+// fewer (never more) batches than sessions running on dedicated devices.
+//
+// Latency attribution: each shared batch's actual (fill-model) latency is
+// split across contributing sessions in proportion to their task counts of
+// that size class, batch by batch in plan order. A submission that is alone
+// on its device class is therefore charged bit-exactly what
+// gpu::plan_batches would charge it — the fleet-of-one identity the tests
+// pin down. Full-frame inspections (key frames / Full policy) are exclusive:
+// charged whole to their session and never merged.
+
+#include <vector>
+
+#include "gpu/batch_planner.hpp"
+#include "gpu/device_profile.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace mvs::fleet {
+
+/// One camera's GPU demand submitted for the current tick.
+struct Submission {
+  int session = 0;
+  int camera = 0;
+  bool full_frame = false;
+  std::vector<geom::SizeClassId> tasks;  ///< partial-region size classes
+  const gpu::DeviceProfile* device = nullptr;  ///< non-owning
+};
+
+/// Per-submission outcome of one tick's cross-session plan.
+struct Attribution {
+  int session = 0;
+  int camera = 0;
+  /// This camera's share of the shared batches it participated in, plus its
+  /// exclusive full-frame charge. Sums over all submissions to the tick's
+  /// total GPU busy time.
+  double attributed_ms = 0.0;
+  /// What a dedicated per-camera device would charge (gpu::plan_batches on
+  /// this submission alone) — the paper's single-deployment number.
+  double isolated_ms = 0.0;
+};
+
+/// One tick's merged plan across every submission.
+struct TickPlan {
+  std::vector<Attribution> shares;  ///< submission order
+  /// Partial-frame batches in the merged plan / summed per-submission plans
+  /// (full-frame inspections excluded from both counts: they are identical
+  /// on both sides and would dilute the batching comparison).
+  long shared_batches = 0;
+  long isolated_batches = 0;
+  /// Total GPU busy time (partial batches + full frames) under the merged
+  /// plan and under dedicated devices.
+  double shared_busy_ms = 0.0;
+  double isolated_busy_ms = 0.0;
+};
+
+class GpuArbiter {
+ public:
+  /// Discard the previous tick's submissions.
+  void begin_tick();
+
+  /// Register one camera's demand. `device` must outlive plan_tick();
+  /// profiles sharing a name are assumed identical (they come from the
+  /// gpu:: factory functions).
+  void submit(int session, int camera, const gpu::DeviceProfile& device,
+              const runtime::CameraGpuWork& work);
+
+  /// Merge, plan, and attribute. Deterministic: grouping is by device name
+  /// (lexicographic), attribution follows plan batch order, and submission
+  /// order is preserved in `shares`.
+  TickPlan plan_tick() const;
+
+  std::size_t submission_count() const { return subs_.size(); }
+
+ private:
+  std::vector<Submission> subs_;
+};
+
+}  // namespace mvs::fleet

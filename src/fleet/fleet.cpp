@@ -1,0 +1,417 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sim/scenario.hpp"
+#include "util/json.hpp"
+
+namespace mvs::fleet {
+
+const char* to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "round-robin";
+    case DispatchPolicy::kWeightedPriority: return "weighted";
+  }
+  return "?";
+}
+
+std::optional<DispatchPolicy> parse_dispatch(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "rr" || name == "round-robin") return DispatchPolicy::kRoundRobin;
+  if (name == "weighted" || name == "weighted-priority")
+    return DispatchPolicy::kWeightedPriority;
+  return std::nullopt;
+}
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kActive: return "active";
+    case SessionState::kPaused: return "paused";
+    case SessionState::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+struct Fleet::Session {
+  int id = -1;
+  SessionSpec spec;
+  SessionState state = SessionState::kActive;
+  int stride = 1;  ///< runs on ticks with tick % stride == phase
+  int phase = 0;
+  std::unique_ptr<runtime::Pipeline> pipeline;
+  std::vector<gpu::DeviceProfile> devices;
+  double static_demand_ms = 0.0;
+
+  long frames = 0;
+  long deferred_ticks = 0;
+  long slo_violations = 0;
+  util::SampleSet latency_ms;       ///< attributed per-frame latency
+  util::SampleSet isolated_ms;      ///< dedicated-device counterfactual
+  double busy_sum_ms = 0.0;         ///< Σ attributed over all cameras/frames
+  /// Result snapshot frozen at eviction (the pipeline is destroyed then).
+  runtime::PipelineResult final_result;
+};
+
+Fleet::Fleet(const FleetConfig& config)
+    : cfg_(config),
+      pool_(static_cast<std::size_t>(std::max(0, config.threads))) {}
+
+Fleet::~Fleet() = default;
+
+void Fleet::attach_trace(runtime::TraceRecorder* trace) { trace_ = trace; }
+
+void Fleet::record(runtime::TraceEventType type, int session_id,
+                   double value) {
+  if (trace_) trace_->record({ticks_, session_id, type, 0, value});
+}
+
+Fleet::Session* Fleet::find(int id) {
+  for (auto& s : sessions_)
+    if (s->id == id) return s.get();
+  return nullptr;
+}
+
+const Fleet::Session* Fleet::find(int id) const {
+  for (const auto& s : sessions_)
+    if (s->id == id) return s.get();
+  return nullptr;
+}
+
+std::size_t Fleet::session_count() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions_) n += (s->state != SessionState::kEvicted);
+  return n;
+}
+
+SessionState Fleet::state(int id) const {
+  const Session* s = find(id);
+  return s ? s->state : SessionState::kEvicted;
+}
+
+double Fleet::estimate_demand_ms(
+    const std::vector<gpu::DeviceProfile>& devices, int horizon_frames) const {
+  // Coarse, deterministic planning estimate of a deployment's steady-state
+  // per-frame GPU busy time: one full-frame inspection per camera per
+  // horizon, plus assumed_tasks_per_camera partial tasks per regular frame,
+  // each costing its per-slot share of a mid-class batch.
+  const double T = static_cast<double>(std::max(1, horizon_frames));
+  double demand = 0.0;
+  for (const gpu::DeviceProfile& dev : devices) {
+    const auto classes = dev.size_class_count();
+    const auto mid = static_cast<geom::SizeClassId>(
+        classes >= 3 ? 2 : (classes > 0 ? classes - 1 : 0));
+    const double per_task =
+        classes > 0
+            ? dev.batch_latency_ms(mid) / static_cast<double>(dev.batch_limit(mid))
+            : 0.0;
+    demand += dev.full_frame_ms() / T +
+              (T - 1.0) / T * cfg_.assumed_tasks_per_camera * per_task;
+  }
+  return demand;
+}
+
+double Fleet::session_demand_ms(const Session& s) const {
+  const double per_frame =
+      s.frames > 0 ? s.busy_sum_ms / static_cast<double>(s.frames)
+                   : s.static_demand_ms;
+  return per_frame / static_cast<double>(s.stride);
+}
+
+AdmitResult Fleet::admit(const SessionSpec& spec) {
+  AdmitResult result;
+
+  // Probe the deployment's device profiles without building the (expensive)
+  // pipeline: scenario construction is cheap, association training is not.
+  std::vector<gpu::DeviceProfile> devices;
+  {
+    const sim::Scenario probe =
+        sim::make_scenario(spec.scenario, spec.pipeline.seed);
+    for (const sim::ScenarioCamera& cam : probe.cameras)
+      devices.push_back(cam.device);
+  }
+  const double demand =
+      estimate_demand_ms(devices, spec.pipeline.horizon_frames);
+
+  double current = 0.0;
+  for (const auto& s : sessions_)
+    if (s->state == SessionState::kActive) current += session_demand_ms(*s);
+
+  bool tight = spec.pipeline.tight_masks;
+  int stride = 1;
+  result.projected_ms = current + demand;
+  if (cfg_.slo_ms > 0.0 && result.projected_ms > cfg_.slo_ms) {
+    // Degrade ladder: mask tightening sheds the shared-coverage slice of the
+    // partial load, rate halving amortizes the whole session over two
+    // ticks; the combination applies both.
+    constexpr double kTightFactor = 0.75;
+    struct Mode {
+      bool tight;
+      int stride;
+      double factor;
+    };
+    const Mode ladder[] = {{true, 1, kTightFactor},
+                           {false, 2, 0.5},
+                           {true, 2, 0.5 * kTightFactor}};
+    bool fitted = false;
+    if (cfg_.allow_degrade) {
+      for (const Mode& mode : ladder) {
+        if (current + demand * mode.factor <= cfg_.slo_ms) {
+          tight = mode.tight || tight;
+          stride = mode.stride;
+          result.projected_ms = current + demand * mode.factor;
+          fitted = true;
+          break;
+        }
+      }
+    }
+    if (!fitted) {
+      ++rejected_;
+      result.reason = "projected latency exceeds SLO even fully degraded";
+      record(runtime::TraceEventType::kSessionReject, -1,
+             result.projected_ms);
+      return result;
+    }
+  }
+
+  auto session = std::make_unique<Session>();
+  session->id = sessions_.empty() ? 0 : sessions_.back()->id + 1;
+  session->spec = spec;
+  session->spec.pipeline.tight_masks = tight;
+  session->stride = stride;
+  if (stride > 1) {
+    // Spread rate-halved sessions across both phases to balance the ticks.
+    int halved = 0;
+    for (const auto& s : sessions_) halved += (s->stride > 1);
+    session->phase = halved % 2;
+  }
+  session->devices = std::move(devices);
+  session->static_demand_ms = demand;
+  session->pipeline = std::make_unique<runtime::Pipeline>(
+      spec.scenario, session->spec.pipeline, &pool_);
+
+  result.session_id = session->id;
+  result.admitted = true;
+  result.masks_tightened = tight && !spec.pipeline.tight_masks;
+  result.rate_halved = stride > 1;
+  record(runtime::TraceEventType::kSessionAdmit, session->id,
+         result.projected_ms);
+  sessions_.push_back(std::move(session));
+  return result;
+}
+
+bool Fleet::evict(int id) {
+  Session* s = find(id);
+  if (!s || s->state == SessionState::kEvicted) return false;
+  s->final_result = s->pipeline->result();
+  s->pipeline.reset();
+  s->state = SessionState::kEvicted;
+  ++evicted_;
+  record(runtime::TraceEventType::kSessionEvict, id, 0.0);
+  return true;
+}
+
+bool Fleet::pause(int id) {
+  Session* s = find(id);
+  if (!s || s->state != SessionState::kActive) return false;
+  s->state = SessionState::kPaused;
+  record(runtime::TraceEventType::kSessionPause, id, 0.0);
+  return true;
+}
+
+bool Fleet::resume(int id) {
+  Session* s = find(id);
+  if (!s || s->state != SessionState::kPaused) return false;
+  s->state = SessionState::kActive;
+  record(runtime::TraceEventType::kSessionResume, id, 0.0);
+  return true;
+}
+
+runtime::PipelineResult Fleet::session_result(int id) const {
+  const Session* s = find(id);
+  if (!s) return {};
+  return s->pipeline ? s->pipeline->result() : s->final_result;
+}
+
+void Fleet::step() {
+  const long tick = ticks_;
+
+  // 1. Sessions due this tick (active, stride phase matches).
+  std::vector<Session*> due;
+  for (auto& s : sessions_)
+    if (s->state == SessionState::kActive &&
+        tick % s->stride == s->phase % s->stride)
+      due.push_back(s.get());
+
+  // 2. Dispatch: order the due sessions, then defer from the back while the
+  // projected tick demand exceeds the SLO (at least one session always
+  // runs). Round-robin rotates the order each tick so the deferral burden
+  // is shared; weighted-priority puts low weights at the back.
+  if (cfg_.dispatch == DispatchPolicy::kWeightedPriority) {
+    std::stable_sort(due.begin(), due.end(), [](Session* a, Session* b) {
+      if (a->spec.weight != b->spec.weight)
+        return a->spec.weight > b->spec.weight;
+      return a->id < b->id;
+    });
+  } else if (!due.empty()) {
+    std::rotate(due.begin(),
+                due.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(tick) % due.size()),
+                due.end());
+  }
+  std::vector<Session*> chosen;
+  std::size_t deferred = 0;
+  if (cfg_.slo_ms > 0.0) {
+    double projected = 0.0;
+    for (Session* s : due) {
+      const double d = session_demand_ms(*s) *
+                       static_cast<double>(s->stride);  // full frame this tick
+      if (!chosen.empty() && projected + d > cfg_.slo_ms) {
+        ++s->deferred_ticks;
+        ++deferred;
+        record(runtime::TraceEventType::kSessionDefer, s->id, projected + d);
+        continue;
+      }
+      projected += d;
+      chosen.push_back(s);
+    }
+  } else {
+    chosen = due;
+  }
+
+  // 3. Step the chosen sessions concurrently on the shared pool. Sessions
+  // only touch their own state (and the nested-safe pool), so this is
+  // deterministic for any worker count.
+  std::vector<runtime::FrameStats> stats(chosen.size());
+  pool_.run_tiles(chosen.size(), [&](std::size_t i) {
+    stats[i] = chosen[i]->pipeline->run_frame();
+  });
+
+  // 4. Cross-session GPU arbitration over the stepped sessions' work, in
+  // ascending session id for deterministic submission order.
+  std::vector<Session*> ordered = chosen;
+  std::sort(ordered.begin(), ordered.end(),
+            [](Session* a, Session* b) { return a->id < b->id; });
+  arbiter_.begin_tick();
+  for (Session* s : ordered) {
+    const auto& work = s->pipeline->last_gpu_work();
+    for (std::size_t cam = 0; cam < work.size(); ++cam)
+      arbiter_.submit(s->id, static_cast<int>(cam),
+                      s->devices[cam], work[cam]);
+  }
+  const TickPlan plan = arbiter_.plan_tick();
+  shared_batches_ += plan.shared_batches;
+  isolated_batches_ += plan.isolated_batches;
+  shared_busy_ms_ += plan.shared_busy_ms;
+  isolated_busy_ms_ += plan.isolated_busy_ms;
+  tick_busy_ms_.add(plan.shared_busy_ms);
+  queue_depth_.add(static_cast<double>(deferred));
+
+  // 5. Per-session rollups: frame latency = slowest camera (paper
+  // semantics), demand = total attributed busy.
+  for (Session* s : ordered) {
+    double frame_ms = 0.0, frame_iso_ms = 0.0, busy = 0.0;
+    for (const Attribution& a : plan.shares) {
+      if (a.session != s->id) continue;
+      frame_ms = std::max(frame_ms, a.attributed_ms);
+      frame_iso_ms = std::max(frame_iso_ms, a.isolated_ms);
+      busy += a.attributed_ms;
+    }
+    s->latency_ms.add(frame_ms);
+    s->isolated_ms.add(frame_iso_ms);
+    s->busy_sum_ms += busy;
+    ++s->frames;
+    if (cfg_.slo_ms > 0.0 && frame_ms > cfg_.slo_ms) ++s->slo_violations;
+  }
+
+  ++ticks_;
+}
+
+void Fleet::run(int ticks) {
+  for (int t = 0; t < ticks; ++t) step();
+}
+
+FleetSnapshot Fleet::snapshot() const {
+  FleetSnapshot snap;
+  snap.ticks = ticks_;
+  snap.admitted = static_cast<int>(sessions_.size());
+  snap.rejected = rejected_;
+  snap.evicted = evicted_;
+  snap.shared_batches = shared_batches_;
+  snap.isolated_batches = isolated_batches_;
+  snap.shared_busy_ms = shared_busy_ms_;
+  snap.isolated_busy_ms = isolated_busy_ms_;
+  snap.mean_occupancy = cfg_.frame_period_ms > 0.0
+                            ? tick_busy_ms_.mean() / cfg_.frame_period_ms
+                            : 0.0;
+  snap.p95_tick_busy_ms =
+      tick_busy_ms_.count() ? tick_busy_ms_.percentile(95.0) : 0.0;
+  snap.mean_queue_depth = queue_depth_.mean();
+  for (const auto& s : sessions_) {
+    SessionSnapshot ss;
+    ss.id = s->id;
+    ss.name = s->spec.name;
+    ss.state = s->state;
+    ss.weight = s->spec.weight;
+    ss.stride = s->stride;
+    ss.tight_masks = s->spec.pipeline.tight_masks;
+    ss.frames = s->frames;
+    ss.deferred_ticks = s->deferred_ticks;
+    ss.slo_violations = s->slo_violations;
+    if (s->latency_ms.count()) {
+      ss.p50_ms = s->latency_ms.percentile(50.0);
+      ss.p95_ms = s->latency_ms.percentile(95.0);
+      ss.p99_ms = s->latency_ms.percentile(99.0);
+      ss.mean_ms = s->latency_ms.mean();
+      ss.mean_isolated_ms = s->isolated_ms.mean();
+    }
+    ss.object_recall = s->pipeline ? s->pipeline->result().object_recall
+                                   : s->final_result.object_recall;
+    snap.sessions.push_back(std::move(ss));
+  }
+  return snap;
+}
+
+std::string FleetSnapshot::to_json() const {
+  util::Json::Object fleet;
+  fleet["ticks"] = util::Json(static_cast<double>(ticks));
+  fleet["admitted"] = util::Json(admitted);
+  fleet["rejected"] = util::Json(rejected);
+  fleet["evicted"] = util::Json(evicted);
+  fleet["shared_batches"] = util::Json(static_cast<double>(shared_batches));
+  fleet["isolated_batches"] =
+      util::Json(static_cast<double>(isolated_batches));
+  fleet["shared_busy_ms"] = util::Json(shared_busy_ms);
+  fleet["isolated_busy_ms"] = util::Json(isolated_busy_ms);
+  fleet["mean_occupancy"] = util::Json(mean_occupancy);
+  fleet["p95_tick_busy_ms"] = util::Json(p95_tick_busy_ms);
+  fleet["mean_queue_depth"] = util::Json(mean_queue_depth);
+
+  util::Json::Array session_array;
+  for (const SessionSnapshot& s : sessions) {
+    util::Json::Object obj;
+    obj["id"] = util::Json(s.id);
+    obj["name"] = util::Json(s.name);
+    obj["state"] = util::Json(to_string(s.state));
+    obj["weight"] = util::Json(s.weight);
+    obj["stride"] = util::Json(s.stride);
+    obj["tight_masks"] = util::Json(s.tight_masks);
+    obj["frames"] = util::Json(static_cast<double>(s.frames));
+    obj["deferred_ticks"] = util::Json(static_cast<double>(s.deferred_ticks));
+    obj["slo_violations"] = util::Json(static_cast<double>(s.slo_violations));
+    obj["p50_ms"] = util::Json(s.p50_ms);
+    obj["p95_ms"] = util::Json(s.p95_ms);
+    obj["p99_ms"] = util::Json(s.p99_ms);
+    obj["mean_ms"] = util::Json(s.mean_ms);
+    obj["mean_isolated_ms"] = util::Json(s.mean_isolated_ms);
+    obj["object_recall"] = util::Json(s.object_recall);
+    session_array.push_back(util::Json(std::move(obj)));
+  }
+
+  util::Json::Object doc;
+  doc["fleet"] = util::Json(std::move(fleet));
+  doc["sessions"] = util::Json(std::move(session_array));
+  return util::Json(std::move(doc)).dump();
+}
+
+}  // namespace mvs::fleet

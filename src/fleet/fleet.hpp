@@ -1,0 +1,187 @@
+#pragma once
+// mvs::fleet — multi-session serving runtime.
+//
+// Hosts many concurrent runtime::Pipeline sessions (independent multi-view
+// deployments) over ONE shared util::ThreadPool and one shared simulated
+// GPU complex (fleet::GpuArbiter). The fleet advances in ticks of
+// frame_period_ms; each tick the dispatch policy picks which sessions run a
+// frame, the sessions execute concurrently on the pool, and the arbiter
+// merges their partial-frame tasks into cross-session batches with
+// per-session latency attribution.
+//
+// Admission control: with an SLO configured, a candidate session is only
+// admitted if the projected fleet per-tick GPU demand stays within the
+// deadline; otherwise the controller degrades it (priority-mask tightening,
+// then frame-rate halving, then both) and admits the first fitting mode, or
+// rejects. Session lifecycle (admit/pause/resume/evict/defer) is exported
+// through the existing TraceRecorder JSON path and aggregated into
+// per-session and fleet-level rollups (p50/p95/p99 latency, queue depth,
+// GPU occupancy, admission counters).
+//
+// A fleet of one session with the ideal transport reproduces a standalone
+// Pipeline::run bit-identically (guarded by test_runtime.FleetOfOne...).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fleet/arbiter.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/trace.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mvs::fleet {
+
+enum class DispatchPolicy {
+  kRoundRobin,        ///< rotate deferral burden fairly across sessions
+  kWeightedPriority,  ///< defer lowest-weight sessions first under pressure
+};
+
+const char* to_string(DispatchPolicy policy);
+/// Parse "rr" | "round-robin" | "weighted", case-insensitive.
+std::optional<DispatchPolicy> parse_dispatch(std::string name);
+
+struct FleetConfig {
+  /// Per-tick GPU latency deadline (ms). <= 0 disables admission control
+  /// and dispatch deferral: every session is admitted and runs every tick.
+  double slo_ms = 0.0;
+  /// Tick length; the paper's scenarios stream at 10 fps.
+  double frame_period_ms = 100.0;
+  DispatchPolicy dispatch = DispatchPolicy::kRoundRobin;
+  /// Shared worker pool width (0 = hardware concurrency). All sessions'
+  /// per-camera parallelism runs on this one pool.
+  int threads = 0;
+  /// Allow the admission controller to degrade instead of rejecting.
+  bool allow_degrade = true;
+  /// Admission estimator: assumed steady-state partial-frame tasks per
+  /// camera per regular frame (coarse planning constant; see DESIGN.md §8).
+  double assumed_tasks_per_camera = 4.0;
+};
+
+struct SessionSpec {
+  std::string name;
+  std::string scenario = "S2";
+  runtime::PipelineConfig pipeline;
+  /// Weighted-priority dispatch share; higher = deferred later.
+  double weight = 1.0;
+};
+
+enum class SessionState { kActive, kPaused, kEvicted };
+
+const char* to_string(SessionState state);
+
+struct AdmitResult {
+  int session_id = -1;  ///< -1 when rejected
+  bool admitted = false;
+  bool masks_tightened = false;  ///< degraded: solo-coverage adoption only
+  bool rate_halved = false;      ///< degraded: runs every other tick
+  double projected_ms = 0.0;     ///< fleet demand estimate at decision time
+  std::string reason;
+};
+
+/// Per-session rollup (stats snapshot).
+struct SessionSnapshot {
+  int id = -1;
+  std::string name;
+  SessionState state = SessionState::kActive;
+  double weight = 1.0;
+  int stride = 1;            ///< 2 when frame-rate halved
+  bool tight_masks = false;
+  long frames = 0;           ///< frames actually run
+  long deferred_ticks = 0;   ///< ticks lost to dispatch deferral
+  long slo_violations = 0;   ///< frames whose attributed latency > SLO
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double mean_ms = 0.0;           ///< mean attributed frame latency
+  double mean_isolated_ms = 0.0;  ///< same work on dedicated devices
+  double object_recall = 0.0;
+};
+
+/// Fleet-level rollup.
+struct FleetSnapshot {
+  long ticks = 0;
+  int admitted = 0, rejected = 0, evicted = 0;
+  long shared_batches = 0, isolated_batches = 0;
+  double shared_busy_ms = 0.0, isolated_busy_ms = 0.0;
+  /// Mean per-tick GPU busy time / frame period; > 1 means saturated.
+  double mean_occupancy = 0.0;
+  double p95_tick_busy_ms = 0.0;
+  /// Mean sessions deferred per tick (dispatch queue depth).
+  double mean_queue_depth = 0.0;
+  std::vector<SessionSnapshot> sessions;
+
+  /// JSON document of the whole rollup (fleet object + sessions array).
+  std::string to_json() const;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(const FleetConfig& config = {});
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Admission-controlled session creation. On admission the pipeline is
+  /// built (scenario + association training) against the shared pool; on
+  /// rejection nothing is constructed beyond the device-profile probe.
+  AdmitResult admit(const SessionSpec& spec);
+
+  /// Lifecycle transitions; false when `id` is unknown or already evicted
+  /// (evictions are final). Pausing an evicted or unknown session is a
+  /// no-op returning false.
+  bool evict(int id);
+  bool pause(int id);
+  bool resume(int id);
+
+  /// Advance one tick: dispatch, step the chosen sessions concurrently,
+  /// merge their GPU work cross-session, update rollups.
+  void step();
+  void run(int ticks);
+
+  long ticks() const { return ticks_; }
+  std::size_t session_count() const;        ///< admitted, incl. paused
+  SessionState state(int id) const;         ///< kEvicted for unknown ids
+  /// Everything the session has run so far (survives eviction).
+  runtime::PipelineResult session_result(int id) const;
+  FleetSnapshot snapshot() const;
+
+  /// Record session lifecycle events (admit/reject/evict/pause/resume/
+  /// defer) into `trace`; pass nullptr to detach.
+  void attach_trace(runtime::TraceRecorder* trace);
+
+  util::ThreadPool& pool() { return pool_; }
+
+ private:
+  struct Session;
+
+  Session* find(int id);
+  const Session* find(int id) const;
+  /// Deterministic static demand estimate for a candidate deployment.
+  double estimate_demand_ms(const std::vector<gpu::DeviceProfile>& devices,
+                            int horizon_frames) const;
+  /// Current demand of an admitted session: observed mean per-frame
+  /// attributed busy once it has run, else its static estimate; halved by
+  /// its stride.
+  double session_demand_ms(const Session& s) const;
+  void record(runtime::TraceEventType type, int session_id, double value);
+
+  FleetConfig cfg_;
+  util::ThreadPool pool_;
+  GpuArbiter arbiter_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  runtime::TraceRecorder* trace_ = nullptr;
+
+  long ticks_ = 0;
+  int rejected_ = 0;
+  int evicted_ = 0;
+  long shared_batches_ = 0;
+  long isolated_batches_ = 0;
+  double shared_busy_ms_ = 0.0;
+  double isolated_busy_ms_ = 0.0;
+  util::SampleSet tick_busy_ms_;
+  util::SampleSet queue_depth_;
+};
+
+}  // namespace mvs::fleet

@@ -6,12 +6,18 @@ namespace mvs::gpu {
 
 BatchPlan plan_batches(const std::vector<geom::SizeClassId>& tasks,
                        const DeviceProfile& device) {
-  BatchPlan plan;
   std::vector<int> counts(device.size_class_count(), 0);
   for (geom::SizeClassId s : tasks) {
     assert(s >= 0 && static_cast<std::size_t>(s) < counts.size());
     ++counts[static_cast<std::size_t>(s)];
   }
+  return plan_batch_counts(counts, device);
+}
+
+BatchPlan plan_batch_counts(const std::vector<int>& counts,
+                            const DeviceProfile& device) {
+  assert(counts.size() == device.size_class_count());
+  BatchPlan plan;
   for (std::size_t s = 0; s < counts.size(); ++s) {
     int remaining = counts[s];
     const auto cls = static_cast<geom::SizeClassId>(s);
@@ -25,6 +31,15 @@ BatchPlan plan_batches(const std::vector<geom::SizeClassId>& tasks,
     }
   }
   return plan;
+}
+
+std::vector<double> per_class_actual_ms(const BatchPlan& plan,
+                                        const DeviceProfile& device) {
+  std::vector<double> per_class(device.size_class_count(), 0.0);
+  for (const Batch& b : plan.batches)
+    per_class[static_cast<std::size_t>(b.size_class)] +=
+        device.actual_batch_latency_ms(b.size_class, b.count);
+  return per_class;
 }
 
 double marginal_latency_ms(const std::vector<int>& per_size_counts,

@@ -115,11 +115,17 @@ struct CameraNode {
 }  // namespace
 
 struct Pipeline::Impl {
-  Impl(const std::string& scenario_name, const PipelineConfig& config)
+  Impl(const std::string& scenario_name, const PipelineConfig& config,
+       util::ThreadPool* shared_pool)
       : cfg(config),
         player(sim::make_scenario(scenario_name, config.seed),
                /*warmup_s=*/45.0),
-        pool(static_cast<std::size_t>(std::max(0, config.threads))),
+        owned_pool(shared_pool
+                       ? nullptr
+                       : std::make_unique<util::ThreadPool>(
+                             static_cast<std::size_t>(
+                                 std::max(0, config.threads)))),
+        pool(shared_pool ? *shared_pool : *owned_pool),
         recall(config.recall_iou) {
     scenario_name_ = scenario_name;
     const sim::Scenario& sc = player.scenario();
@@ -146,6 +152,7 @@ struct Pipeline::Impl {
       cameras.push_back(std::move(node));
     }
     active.assign(m, 1);
+    gpu_work.resize(m);
     tile_flow = cfg.tile_flow && m < pool.thread_count();
 
     if (cfg.transport == net::TransportKind::kLossy) {
@@ -231,6 +238,20 @@ struct Pipeline::Impl {
 
   // ---- frame steps -------------------------------------------------------
 
+  /// Advance one evaluation frame (body of Pipeline::run_frame).
+  FrameStats run_frame();
+
+  /// tight_masks degraded mode: a camera may only adopt a NEW object when
+  /// the cell under it has solo coverage (no other camera could pick it up).
+  /// Always true outside degraded mode or when no cell cache exists
+  /// (policies without association models are unaffected).
+  bool adopt_allowed(int cam, const geom::BBox& box) const {
+    if (!cfg.tight_masks || cell_cache.empty()) return true;
+    const CellCache& cache = cell_cache[static_cast<std::size_t>(cam)];
+    return cache.coverage[cache.grid.flat(cache.grid.cell_at(box.center()))]
+               .size() <= 1;
+  }
+
   /// Apply the transport's dropout schedule to the camera fleet. A camera
   /// going offline dies immediately — tracks and ghost bookkeeping with it;
   /// it rejoins only at a key frame (`may_rejoin`), where the full
@@ -266,6 +287,7 @@ struct Pipeline::Impl {
           mf.per_camera[static_cast<std::size_t>(cam.index)], cam.frame_w,
           cam.frame_h, cam.rng);
       stats.camera_infer_ms.push_back(cam.device.full_frame_ms());
+      gpu_work[static_cast<std::size_t>(cam.index)].full_frame = true;
       for (const detect::Detection& d : dets)
         reported[static_cast<std::size_t>(cam.index)].push_back(d.box);
     }
@@ -289,6 +311,7 @@ struct Pipeline::Impl {
       dets[i] = detector.detect_full(mf.per_camera[i], cam.frame_w,
                                      cam.frame_h, cam.rng);
       stats.camera_infer_ms.push_back(cam.device.full_frame_ms());
+      gpu_work[i].full_frame = true;
       for (const detect::Detection& d : dets[i]) reported[i].push_back(d.box);
       if (central_stage) {
         net::DetectionListMsg msg{static_cast<std::uint32_t>(cam.index),
@@ -519,6 +542,7 @@ struct Pipeline::Impl {
         // for new objects inside cells it owns — inspecting a region whose
         // tracking it would never adopt is wasted GPU time.
         std::erase_if(fresh, [&](const geom::BBox& box) {
+          if (!adopt_allowed(cam.index, box)) return true;
           switch (cfg.policy) {
             case Policy::kBalb:
               return !(distributed.valid() &&
@@ -561,6 +585,7 @@ struct Pipeline::Impl {
       for (const vision::SliceRegion& s : slices) tasks.push_back(s.size_class);
       const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
       assemble_batches(cam, cam.scratch.cur_frame(), slices);
+      gpu_work[i].tasks = std::move(tasks);
       result.batching_ms = batch_sw.elapsed_ms();
 
       result.infer_ms = plan.actual_latency_ms;
@@ -611,6 +636,7 @@ struct Pipeline::Impl {
           case Policy::kBalbCen:
           case Policy::kFull: break;
         }
+        if (adopt && !adopt_allowed(cam.index, det.box)) adopt = false;
         if (adopt) {
           const long id = cam.tracker.add_track(det);
           if (trace)
@@ -727,66 +753,109 @@ struct Pipeline::Impl {
 
   core::DistributedStage distributed;
   TraceRecorder* trace = nullptr;
-  util::ThreadPool pool;
+  /// Owned when no shared pool was injected; `pool` is the one in use.
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool& pool;
   /// Tile flow rows across idle workers (fleet smaller than the pool).
   bool tile_flow = false;
+  /// Per-camera GPU demand of the most recent frame (fleet arbiter input).
+  std::vector<CameraGpuWork> gpu_work;
+  /// Evaluation frames run so far; key-frame cadence and transport/dropout
+  /// schedules are indexed by this counter.
+  long frames_run = 0;
+  /// Every frame's stats since construction (result() / run() snapshots).
+  std::vector<FrameStats> all_frames;
   core::CameraMasks sp_masks;
   bool sp_masks_ready = false;
   metrics::ObjectRecall recall;
 };
 
+FrameStats Pipeline::Impl::run_frame() {
+  const long f = frames_run++;
+  const sim::MultiFrame mf = player.next();
+  FrameStats stats;
+  stats.frame = mf.frame_index;
+  stats.key_frame = (f % cfg.horizon_frames == 0);
+
+  // The frame's GPU demand is rebuilt from scratch each frame.
+  for (CameraGpuWork& w : gpu_work) {
+    w.full_frame = false;
+    w.tasks.clear();
+  }
+
+  // Dropout transitions apply before the frame runs; a camera may rejoin
+  // wherever a full inspection happens (key frames, or any frame under
+  // the Full policy).
+  refresh_active(f, mf.frame_index,
+                 stats.key_frame || cfg.policy == Policy::kFull);
+  for (char a : active) stats.cameras_online += (a != 0);
+
+  std::vector<std::vector<geom::BBox>> reported(cameras.size());
+  if (cfg.policy == Policy::kFull) {
+    full_frame_step(mf, stats, reported);
+  } else if (stats.key_frame) {
+    key_frame_step(mf, f, stats, reported);
+  } else {
+    regular_frame_step(mf, stats, reported);
+  }
+
+  stats.slowest_infer_ms = 0.0;
+  for (double v : stats.camera_infer_ms)
+    stats.slowest_infer_ms = std::max(stats.slowest_infer_ms, v);
+
+  stats.frame_recall = recall.add_frame(mf.per_camera, reported);
+  std::size_t gt = 0;
+  for (const auto& cam_gt : mf.per_camera) gt += cam_gt.size();
+  stats.gt_objects = gt;
+  for (const CameraNode& cam : cameras)
+    stats.tracked_objects += cam.tracker.tracks().size();
+
+  all_frames.push_back(stats);
+  if (cfg.verbose && f % 50 == 0)
+    util::log_info("frame ", f, " recall=", stats.frame_recall,
+                   " slowest=", stats.slowest_infer_ms, "ms");
+  return stats;
+}
+
 Pipeline::Pipeline(const std::string& scenario_name,
-                   const PipelineConfig& config)
-    : config_(config), impl_(std::make_unique<Impl>(scenario_name, config)) {}
+                   const PipelineConfig& config, util::ThreadPool* shared_pool)
+    : config_(config),
+      impl_(std::make_unique<Impl>(scenario_name, config, shared_pool)) {}
 
 Pipeline::~Pipeline() = default;
 
 void Pipeline::attach_trace(TraceRecorder* trace) { impl_->trace = trace; }
 
-PipelineResult Pipeline::run(int frames) {
+FrameStats Pipeline::run_frame() { return impl_->run_frame(); }
+
+const std::vector<CameraGpuWork>& Pipeline::last_gpu_work() const {
+  return impl_->gpu_work;
+}
+
+std::size_t Pipeline::camera_count() const { return impl_->cameras.size(); }
+
+std::vector<gpu::DeviceProfile> Pipeline::devices() const {
+  return impl_->devices();
+}
+
+PipelineResult Pipeline::result() const {
   PipelineResult result;
   result.scenario = impl_->scenario_name_;
   result.policy = config_.policy;
+  result.frames = impl_->all_frames;
+  result.object_recall = impl_->recall.recall();
+  return result;
+}
 
-  for (int f = 0; f < frames; ++f) {
-    const sim::MultiFrame mf = impl_->player.next();
-    FrameStats stats;
-    stats.frame = mf.frame_index;
-    stats.key_frame = (f % config_.horizon_frames == 0);
-
-    // Dropout transitions apply before the frame runs; a camera may rejoin
-    // wherever a full inspection happens (key frames, or any frame under
-    // the Full policy).
-    impl_->refresh_active(
-        f, mf.frame_index,
-        stats.key_frame || config_.policy == Policy::kFull);
-    for (char a : impl_->active) stats.cameras_online += (a != 0);
-
-    std::vector<std::vector<geom::BBox>> reported(impl_->cameras.size());
-    if (config_.policy == Policy::kFull) {
-      impl_->full_frame_step(mf, stats, reported);
-    } else if (stats.key_frame) {
-      impl_->key_frame_step(mf, f, stats, reported);
-    } else {
-      impl_->regular_frame_step(mf, stats, reported);
-    }
-
-    stats.slowest_infer_ms = 0.0;
-    for (double v : stats.camera_infer_ms)
-      stats.slowest_infer_ms = std::max(stats.slowest_infer_ms, v);
-
-    stats.frame_recall = impl_->recall.add_frame(mf.per_camera, reported);
-    std::size_t gt = 0;
-    for (const auto& cam_gt : mf.per_camera) gt += cam_gt.size();
-    stats.gt_objects = gt;
-    for (const CameraNode& cam : impl_->cameras)
-      stats.tracked_objects += cam.tracker.tracks().size();
-
-    result.frames.push_back(std::move(stats));
-    if (config_.verbose && f % 50 == 0)
-      util::log_info("frame ", f, " recall=", result.frames.back().frame_recall,
-                     " slowest=", result.frames.back().slowest_infer_ms, "ms");
-  }
+PipelineResult Pipeline::run(int frames) {
+  const std::size_t start = impl_->all_frames.size();
+  for (int f = 0; f < frames; ++f) impl_->run_frame();
+  PipelineResult result;
+  result.scenario = impl_->scenario_name_;
+  result.policy = config_.policy;
+  result.frames.assign(impl_->all_frames.begin() +
+                           static_cast<std::ptrdiff_t>(start),
+                       impl_->all_frames.end());
   result.object_recall = impl_->recall.recall();
   return result;
 }

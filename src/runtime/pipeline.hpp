@@ -15,11 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "geometry/size_class.hpp"
+#include "gpu/device_profile.hpp"
 #include "net/transport.hpp"
 #include "netsim/fault.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/trace.hpp"
 #include "util/stats.hpp"
+
+namespace mvs::util {
+class ThreadPool;
+}
 
 namespace mvs::runtime {
 
@@ -43,6 +49,12 @@ struct PipelineConfig {
   net::TransportKind transport = net::TransportKind::kIdeal;
   /// Loss/jitter/retry/dropout knobs; only consulted when transport==kLossy.
   netsim::FaultConfig faults;
+  /// Degraded serving mode (fleet admission control): the distributed stage
+  /// only adopts NEW objects whose cell no other camera covers
+  /// (solo-coverage cells). Shared-coverage discoveries wait for the next
+  /// key frame's central plan, shedding regular-frame GPU load at a small
+  /// recall cost. Off (full masks) by default.
+  bool tight_masks = false;
 };
 
 /// Per-frame record.
@@ -92,19 +104,55 @@ struct PipelineResult {
   long total_dropped_msgs() const;
 };
 
+/// One camera's simulated-GPU demand for the most recent frame, exposed so
+/// an embedding runtime (mvs::fleet) can merge partial-frame tasks across
+/// sessions into shared batches. `tasks` lists the size class of every
+/// partial region the camera inspected; `full_frame` marks a full-frame
+/// inspection (key frames / Full policy), which is never batch-merged.
+struct CameraGpuWork {
+  bool full_frame = false;
+  std::vector<geom::SizeClassId> tasks;
+};
+
 class Pipeline {
  public:
   /// Builds the scenario, trains the association models on the first
   /// `training_frames` frames (when the policy needs them), and leaves the
   /// player positioned at the start of the evaluation split.
-  Pipeline(const std::string& scenario_name, const PipelineConfig& config);
+  ///
+  /// `shared_pool` (optional) makes the pipeline embeddable: when non-null,
+  /// all per-camera parallelism runs on the caller's pool (which may serve
+  /// many pipelines at once — see util::ThreadPool shareability) instead of
+  /// a pool owned by this instance; config.threads is then ignored. The
+  /// pool must outlive the pipeline. Results are identical either way.
+  Pipeline(const std::string& scenario_name, const PipelineConfig& config,
+           util::ThreadPool* shared_pool = nullptr);
   ~Pipeline();
 
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
   /// Run `frames` evaluation frames and return the collected statistics.
+  /// Equivalent to calling run_frame() `frames` times; the returned result
+  /// covers exactly the frames of THIS call.
   PipelineResult run(int frames);
+
+  /// Stepwise entry point: advance exactly one evaluation frame and return
+  /// its statistics. Interleavable with other sessions by an embedding
+  /// runtime; run_frame x N is bit-identical to run(N).
+  FrameStats run_frame();
+
+  /// Snapshot of everything run so far (all frames since construction, with
+  /// the aggregate recall over them).
+  PipelineResult result() const;
+
+  /// Per-camera simulated-GPU demand of the most recent frame (empty before
+  /// the first frame). Valid until the next run_frame()/run() call.
+  const std::vector<CameraGpuWork>& last_gpu_work() const;
+
+  std::size_t camera_count() const;
+  /// Per-camera device profiles of the deployment (scenario order).
+  std::vector<gpu::DeviceProfile> devices() const;
 
   /// Optionally record every scheduling decision (assignments, adoptions,
   /// takeovers, drops) into `trace`. The recorder must outlive the

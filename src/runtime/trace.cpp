@@ -15,6 +15,12 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kCameraRejoin: return "camera_rejoin";
     case TraceEventType::kNetRetry: return "net_retry";
     case TraceEventType::kNetDrop: return "net_drop";
+    case TraceEventType::kSessionAdmit: return "session_admit";
+    case TraceEventType::kSessionReject: return "session_reject";
+    case TraceEventType::kSessionEvict: return "session_evict";
+    case TraceEventType::kSessionPause: return "session_pause";
+    case TraceEventType::kSessionResume: return "session_resume";
+    case TraceEventType::kSessionDefer: return "session_defer";
   }
   return "?";
 }

@@ -24,6 +24,15 @@ enum class TraceEventType {
   kCameraRejoin,  ///< camera came back online and re-entered the schedule
   kNetRetry,      ///< key-frame message retransmitted; value = cycle time (ms)
   kNetDrop,       ///< key-frame message lost for good; value = cycle time (ms)
+  // Fleet-level session lifecycle events (mvs::fleet). For these, `frame` is
+  // the fleet tick, `camera` the session id, and `value` the projected or
+  // attributed per-frame latency (ms) at the decision point.
+  kSessionAdmit,   ///< session admitted (possibly degraded; see fleet stats)
+  kSessionReject,  ///< admission refused: projected latency exceeds the SLO
+  kSessionEvict,   ///< session evicted from the fleet
+  kSessionPause,   ///< session paused (stops consuming ticks)
+  kSessionResume,  ///< paused session resumed
+  kSessionDefer,   ///< dispatch deferred the session's frame by one tick
 };
 
 const char* to_string(TraceEventType type);

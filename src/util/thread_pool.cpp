@@ -45,8 +45,11 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for_each(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) submit([&fn, i] { fn(i); });
-  wait_idle();
+  // Delegates to the per-call tile group: the caller participates (nested
+  // calls from pool tasks make progress even when every worker is busy) and
+  // completion/exception state is private to this call, so concurrent
+  // sessions sharing the pool never cross-talk through wait_idle().
+  run_tiles(n, fn);
 }
 
 /// Shared state of one run_tiles() call. Kept alive by shared_ptr because

@@ -9,6 +9,16 @@
 // counter alongside idle workers, so a worker can fan out sub-tasks without
 // ever blocking on a queue it is needed to drain (no deadlock even with a
 // single worker).
+//
+// SHAREABILITY: one pool may serve many independent clients concurrently
+// (the fleet runtime runs every session over a single pool). Both
+// parallel_for_each() and run_tiles() operate on a per-call completion
+// group: concurrent calls from different threads — or nested calls from
+// inside pool tasks — never wait on each other's work and never observe
+// each other's exceptions. Only the low-level submit()/wait_idle() pair has
+// pool-global semantics (wait_idle waits for ALL submitted tasks and may
+// rethrow any submitted task's exception); clients sharing a pool should
+// use the group-based calls.
 
 #include <condition_variable>
 #include <cstddef>
@@ -41,7 +51,9 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   /// fn must only touch state owned by index i (or be otherwise synchronized).
-  /// Rethrows the first exception any invocation threw.
+  /// Rethrows the first exception any invocation threw. Per-call completion
+  /// group: safe to call concurrently from many threads and from inside pool
+  /// tasks (the caller participates, so nesting never deadlocks).
   void parallel_for_each(std::size_t n,
                          const std::function<void(std::size_t)>& fn);
 

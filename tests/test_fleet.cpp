@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "fleet/fleet.hpp"
+#include "gpu/batch_planner.hpp"
+#include "gpu/device_profile.hpp"
+#include "util/json.hpp"
+
+namespace mvs::fleet {
+namespace {
+
+runtime::PipelineConfig fast_config(std::uint64_t seed = 5) {
+  runtime::PipelineConfig cfg;
+  cfg.policy = runtime::Policy::kBalb;
+  cfg.horizon_frames = 10;
+  cfg.training_frames = 120;
+  cfg.seed = seed;
+  return cfg;
+}
+
+SessionSpec spec(const std::string& name, std::uint64_t seed = 5,
+                 double weight = 1.0) {
+  SessionSpec s;
+  s.name = name;
+  s.scenario = "S2";
+  s.pipeline = fast_config(seed);
+  s.weight = weight;
+  return s;
+}
+
+/// Static admission demand of an S2 deployment with assumed_tasks = 0:
+/// one full-frame inspection per camera amortized over the horizon.
+double s2_static_demand_ms(int horizon = 10) {
+  return (gpu::jetson_xavier().full_frame_ms() +
+          gpu::jetson_nano().full_frame_ms()) /
+         static_cast<double>(horizon);
+}
+
+runtime::CameraGpuWork work(std::vector<geom::SizeClassId> tasks,
+                            bool full = false) {
+  runtime::CameraGpuWork w;
+  w.full_frame = full;
+  w.tasks = std::move(tasks);
+  return w;
+}
+
+// ---------------------------------------------------------------- arbiter --
+
+TEST(Arbiter, LoneSubmissionMatchesPlanBatchesBitExactly) {
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  const std::vector<geom::SizeClassId> tasks{0, 0, 0, 1, 2, 2, 2, 3};
+  const gpu::BatchPlan solo = gpu::plan_batches(tasks, nano);
+
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work(tasks));
+  const TickPlan plan = arbiter.plan_tick();
+
+  ASSERT_EQ(plan.shares.size(), 1u);
+  EXPECT_EQ(plan.shares[0].session, 0);
+  EXPECT_EQ(plan.shares[0].camera, 0);
+  // Bit-exact, not approximately equal: the attribution loop must follow the
+  // merged plan's batch order so a lone submission reproduces plan_batches'
+  // floating-point accumulation exactly.
+  EXPECT_DOUBLE_EQ(plan.shares[0].attributed_ms, solo.actual_latency_ms);
+  EXPECT_DOUBLE_EQ(plan.shares[0].isolated_ms, solo.actual_latency_ms);
+  EXPECT_EQ(plan.shared_batches, static_cast<long>(solo.batches.size()));
+  EXPECT_EQ(plan.isolated_batches, plan.shared_batches);
+  EXPECT_DOUBLE_EQ(plan.shared_busy_ms, solo.actual_latency_ms);
+}
+
+TEST(Arbiter, FullFrameChargedExclusively) {
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({}, /*full=*/true));
+  arbiter.submit(1, 0, nano, work({}, /*full=*/true));
+  const TickPlan plan = arbiter.plan_tick();
+  ASSERT_EQ(plan.shares.size(), 2u);
+  // Full frames never merge: each session pays its own device's full cost,
+  // and no partial-frame batches exist on either side.
+  EXPECT_DOUBLE_EQ(plan.shares[0].attributed_ms, nano.full_frame_ms());
+  EXPECT_DOUBLE_EQ(plan.shares[1].attributed_ms, nano.full_frame_ms());
+  EXPECT_EQ(plan.shared_batches, 0);
+  EXPECT_EQ(plan.isolated_batches, 0);
+  EXPECT_DOUBLE_EQ(plan.shared_busy_ms, 2.0 * nano.full_frame_ms());
+  EXPECT_DOUBLE_EQ(plan.isolated_busy_ms, plan.shared_busy_ms);
+}
+
+TEST(Arbiter, CrossSessionMergeSavesBatchesAndLatency) {
+  // Size class 2 on the nano has batch limit 2: two sessions each submitting
+  // one such task merge into a single full batch instead of two half-full
+  // ones.
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({2}));
+  arbiter.submit(1, 0, nano, work({2}));
+  const TickPlan plan = arbiter.plan_tick();
+
+  EXPECT_EQ(plan.shared_batches, 1);
+  EXPECT_EQ(plan.isolated_batches, 2);
+  const double full_batch = nano.actual_batch_latency_ms(2, 2);
+  const double half_batch = nano.actual_batch_latency_ms(2, 1);
+  EXPECT_DOUBLE_EQ(plan.shared_busy_ms, full_batch);
+  EXPECT_DOUBLE_EQ(plan.isolated_busy_ms, 2.0 * half_batch);
+  EXPECT_LT(plan.shared_busy_ms, plan.isolated_busy_ms);
+  // Equal counts split the shared batch evenly, and each session's share is
+  // cheaper than running its own under-filled batch.
+  EXPECT_DOUBLE_EQ(plan.shares[0].attributed_ms, 0.5 * full_batch);
+  EXPECT_DOUBLE_EQ(plan.shares[1].attributed_ms, 0.5 * full_batch);
+  EXPECT_LT(plan.shares[0].attributed_ms, plan.shares[0].isolated_ms);
+}
+
+TEST(Arbiter, DifferentDeviceClassesNeverMerge) {
+  GpuArbiter arbiter;
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  const gpu::DeviceProfile xavier = gpu::jetson_xavier();
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({1, 1}));
+  arbiter.submit(1, 0, xavier, work({1, 1}));
+  const TickPlan plan = arbiter.plan_tick();
+  // One batch per device class either way: pooling only amortizes within a
+  // class, so shared and isolated plans coincide.
+  EXPECT_EQ(plan.shared_batches, plan.isolated_batches);
+  EXPECT_DOUBLE_EQ(plan.shared_busy_ms, plan.isolated_busy_ms);
+  EXPECT_DOUBLE_EQ(plan.shares[0].attributed_ms, plan.shares[0].isolated_ms);
+  EXPECT_DOUBLE_EQ(plan.shares[1].attributed_ms, plan.shares[1].isolated_ms);
+}
+
+TEST(Arbiter, AttributionConservesTotalBusyTime) {
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  const gpu::DeviceProfile xavier = gpu::jetson_xavier();
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({0, 0, 1, 2}, /*full=*/true));
+  arbiter.submit(0, 1, xavier, work({3, 3, 3}));
+  arbiter.submit(1, 0, nano, work({0, 1, 1}));
+  arbiter.submit(2, 0, xavier, work({3}, /*full=*/true));
+  const TickPlan plan = arbiter.plan_tick();
+
+  double attributed = 0.0;
+  for (const Attribution& a : plan.shares) attributed += a.attributed_ms;
+  EXPECT_NEAR(attributed, plan.shared_busy_ms, 1e-9);
+  EXPECT_LE(plan.shared_batches, plan.isolated_batches);
+  EXPECT_LE(plan.shared_busy_ms, plan.isolated_busy_ms + 1e-9);
+}
+
+TEST(Arbiter, BeginTickDiscardsPreviousSubmissions) {
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({0}));
+  EXPECT_EQ(arbiter.submission_count(), 1u);
+  arbiter.begin_tick();
+  EXPECT_EQ(arbiter.submission_count(), 0u);
+  EXPECT_TRUE(arbiter.plan_tick().shares.empty());
+}
+
+// ------------------------------------------------------------- admission --
+
+TEST(FleetAdmission, DegradeLadderThenReject) {
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 1.6 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  Fleet fleet(cfg);
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+
+  // First session fits undegraded (d <= 1.6 d).
+  const AdmitResult first = fleet.admit(spec("a", 5));
+  EXPECT_TRUE(first.admitted);
+  EXPECT_FALSE(first.masks_tightened);
+  EXPECT_FALSE(first.rate_halved);
+  EXPECT_NEAR(first.projected_ms, d, 1e-9);
+
+  // Second exceeds the SLO (2 d); mask tightening (1.75 d) still exceeds,
+  // rate halving (1.5 d) fits.
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  EXPECT_TRUE(second.admitted);
+  EXPECT_FALSE(second.masks_tightened);
+  EXPECT_TRUE(second.rate_halved);
+  EXPECT_NEAR(second.projected_ms, 1.5 * d, 1e-9);
+
+  // Third cannot fit even fully degraded (1.5 d + 0.375 d > 1.6 d).
+  const AdmitResult third = fleet.admit(spec("c", 7));
+  EXPECT_FALSE(third.admitted);
+  EXPECT_EQ(third.session_id, -1);
+  EXPECT_FALSE(third.reason.empty());
+
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.admitted, 2);
+  EXPECT_EQ(snap.rejected, 1);
+  ASSERT_EQ(snap.sessions.size(), 2u);
+  EXPECT_EQ(snap.sessions[0].stride, 1);
+  EXPECT_EQ(snap.sessions[1].stride, 2);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionAdmit), 2u);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionReject), 1u);
+}
+
+TEST(FleetAdmission, MaskTighteningIsTheFirstRung) {
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 1.8 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  Fleet fleet(cfg);
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  // 2 d > 1.8 d, but tightened masks (d + 0.75 d = 1.75 d) fit without
+  // touching the frame rate.
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  EXPECT_TRUE(second.admitted);
+  EXPECT_TRUE(second.masks_tightened);
+  EXPECT_FALSE(second.rate_halved);
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_TRUE(snap.sessions[1].tight_masks);
+  EXPECT_EQ(snap.sessions[1].stride, 1);
+}
+
+TEST(FleetAdmission, NoDegradeMeansOutrightRejection) {
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 1.9 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.allow_degrade = false;
+  Fleet fleet(cfg);
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  EXPECT_FALSE(second.admitted);
+  EXPECT_EQ(fleet.snapshot().rejected, 1);
+}
+
+TEST(FleetAdmission, NoSloAdmitsEverything) {
+  Fleet fleet;  // slo_ms = 0: admission control off
+  EXPECT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  EXPECT_TRUE(fleet.admit(spec("b", 6)).admitted);
+  EXPECT_EQ(fleet.session_count(), 2u);
+  EXPECT_EQ(fleet.snapshot().rejected, 0);
+}
+
+// ------------------------------------------------------------- lifecycle --
+
+TEST(FleetLifecycle, PauseResumeEvictTransitions) {
+  Fleet fleet;
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+  const int id = fleet.admit(spec("a", 5)).session_id;
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(fleet.state(id), SessionState::kActive);
+
+  fleet.step();
+  EXPECT_EQ(fleet.session_result(id).frames.size(), 1u);
+
+  // Paused sessions consume no ticks.
+  EXPECT_TRUE(fleet.pause(id));
+  EXPECT_EQ(fleet.state(id), SessionState::kPaused);
+  EXPECT_FALSE(fleet.pause(id));  // already paused
+  fleet.run(2);
+  EXPECT_EQ(fleet.session_result(id).frames.size(), 1u);
+
+  EXPECT_TRUE(fleet.resume(id));
+  EXPECT_FALSE(fleet.resume(id));  // already active
+  fleet.step();
+  EXPECT_EQ(fleet.session_result(id).frames.size(), 2u);
+
+  // Eviction is final; the result survives the pipeline's destruction.
+  EXPECT_TRUE(fleet.evict(id));
+  EXPECT_EQ(fleet.state(id), SessionState::kEvicted);
+  EXPECT_FALSE(fleet.evict(id));
+  EXPECT_FALSE(fleet.pause(id));
+  EXPECT_FALSE(fleet.resume(id));
+  EXPECT_EQ(fleet.session_count(), 0u);
+  EXPECT_EQ(fleet.session_result(id).frames.size(), 2u);
+  fleet.step();
+  EXPECT_EQ(fleet.session_result(id).frames.size(), 2u);
+
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionPause), 1u);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionResume), 1u);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionEvict), 1u);
+
+  // Unknown ids: every transition refuses, state reads evicted.
+  EXPECT_FALSE(fleet.pause(99));
+  EXPECT_FALSE(fleet.evict(99));
+  EXPECT_EQ(fleet.state(99), SessionState::kEvicted);
+}
+
+// -------------------------------------------------------------- dispatch --
+
+TEST(FleetDispatch, WeightedPriorityStarvesTheLightSession) {
+  // SLO admits both sessions undegraded on the static estimate (2 d fits),
+  // but once a session has run a key frame its observed demand (full-frame
+  // inspections on both cameras) exceeds the whole SLO, so every later tick
+  // can run exactly one session. Weighted dispatch always picks the heavy
+  // one; the light session is deferred from tick 1 on.
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 2.0 * d + 1.0;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.dispatch = DispatchPolicy::kWeightedPriority;
+  Fleet fleet(cfg);
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+  const int heavy = fleet.admit(spec("heavy", 5, /*weight=*/2.0)).session_id;
+  const int light = fleet.admit(spec("light", 6, /*weight=*/1.0)).session_id;
+  ASSERT_GE(heavy, 0);
+  ASSERT_GE(light, 0);
+
+  fleet.run(8);
+  const FleetSnapshot snap = fleet.snapshot();
+  ASSERT_EQ(snap.sessions.size(), 2u);
+  EXPECT_EQ(snap.sessions[0].frames, 8);
+  EXPECT_EQ(snap.sessions[0].deferred_ticks, 0);
+  EXPECT_EQ(snap.sessions[1].frames, 1);  // only the un-contended tick 0
+  EXPECT_EQ(snap.sessions[1].deferred_ticks, 7);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionDefer), 7u);
+  EXPECT_GT(snap.mean_queue_depth, 0.0);
+}
+
+TEST(FleetDispatch, RoundRobinSharesTheDeferralBurden) {
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 2.0 * d + 1.0;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.dispatch = DispatchPolicy::kRoundRobin;
+  Fleet fleet(cfg);
+  const int a = fleet.admit(spec("a", 5)).session_id;
+  const int b = fleet.admit(spec("b", 6)).session_id;
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+
+  fleet.run(8);
+  const FleetSnapshot snap = fleet.snapshot();
+  // Tick 0 runs both (static estimates fit); afterwards the rotation
+  // alternates which session runs, so frames and deferrals split evenly.
+  EXPECT_GE(snap.sessions[0].frames, 4);
+  EXPECT_GE(snap.sessions[1].frames, 4);
+  EXPECT_GT(snap.sessions[0].deferred_ticks, 0);
+  EXPECT_GT(snap.sessions[1].deferred_ticks, 0);
+  EXPECT_LE(std::abs(snap.sessions[0].frames - snap.sessions[1].frames), 1);
+}
+
+TEST(FleetDispatch, ParseDispatchNames) {
+  EXPECT_EQ(parse_dispatch("rr"), DispatchPolicy::kRoundRobin);
+  EXPECT_EQ(parse_dispatch("Round-Robin"), DispatchPolicy::kRoundRobin);
+  EXPECT_EQ(parse_dispatch("weighted"), DispatchPolicy::kWeightedPriority);
+  EXPECT_EQ(parse_dispatch("weighted-priority"),
+            DispatchPolicy::kWeightedPriority);
+  EXPECT_FALSE(parse_dispatch("fifo").has_value());
+}
+
+// --------------------------------------------------------------- rollups --
+
+TEST(FleetRollups, CrossSessionBatchingBeatsIsolatedDevices) {
+  // Two identical S2 deployments share one xavier-class and one nano-class
+  // queue: their regular-frame task multisets merge into fewer, fuller
+  // batches than dedicated per-session devices would run.
+  Fleet fleet;
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  ASSERT_TRUE(fleet.admit(spec("b", 6)).admitted);
+  fleet.run(15);
+
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.ticks, 15);
+  EXPECT_LT(snap.shared_batches, snap.isolated_batches);
+  EXPECT_LT(snap.shared_busy_ms, snap.isolated_busy_ms);
+  EXPECT_GT(snap.mean_occupancy, 0.0);
+  EXPECT_GT(snap.p95_tick_busy_ms, 0.0);
+  for (const SessionSnapshot& s : snap.sessions) {
+    EXPECT_EQ(s.frames, 15);
+    EXPECT_GT(s.p50_ms, 0.0);
+    EXPECT_LE(s.p50_ms, s.p95_ms);
+    EXPECT_LE(s.p95_ms, s.p99_ms);
+  }
+}
+
+TEST(FleetRollups, SnapshotJsonRoundTrips) {
+  Fleet fleet;
+  ASSERT_TRUE(fleet.admit(spec("json-session", 5)).admitted);
+  fleet.run(3);
+  const std::string text = fleet.snapshot().to_json();
+  std::string error;
+  const auto doc = util::Json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const util::Json* fleet_obj = doc->find("fleet");
+  ASSERT_NE(fleet_obj, nullptr);
+  EXPECT_DOUBLE_EQ(fleet_obj->number_or("ticks", -1.0), 3.0);
+  EXPECT_GT(fleet_obj->number_or("shared_batches", -1.0), 0.0);
+  const util::Json* sessions = doc->find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_EQ(sessions->as_array().size(), 1u);
+  const util::Json& s = sessions->as_array()[0];
+  EXPECT_EQ(s.string_or("name", ""), "json-session");
+  EXPECT_EQ(s.string_or("state", ""), "active");
+  EXPECT_DOUBLE_EQ(s.number_or("frames", -1.0), 3.0);
+}
+
+// ----------------------------------------------------------- determinism --
+
+TEST(FleetDeterminism, IdenticalAcrossThreadCounts) {
+  auto build = [](int threads) {
+    FleetConfig cfg;
+    cfg.threads = threads;
+    auto fleet = std::make_unique<Fleet>(cfg);
+    EXPECT_TRUE(fleet->admit(spec("a", 21)).admitted);
+    EXPECT_TRUE(fleet->admit(spec("b", 22)).admitted);
+    fleet->run(12);
+    return fleet;
+  };
+  const auto narrow = build(1);
+  const auto wide = build(8);
+
+  const FleetSnapshot sn = narrow->snapshot();
+  const FleetSnapshot sw = wide->snapshot();
+  EXPECT_EQ(sn.shared_batches, sw.shared_batches);
+  EXPECT_EQ(sn.isolated_batches, sw.isolated_batches);
+  EXPECT_DOUBLE_EQ(sn.shared_busy_ms, sw.shared_busy_ms);
+  EXPECT_DOUBLE_EQ(sn.isolated_busy_ms, sw.isolated_busy_ms);
+  ASSERT_EQ(sn.sessions.size(), sw.sessions.size());
+  for (std::size_t i = 0; i < sn.sessions.size(); ++i) {
+    EXPECT_EQ(sn.sessions[i].frames, sw.sessions[i].frames);
+    EXPECT_DOUBLE_EQ(sn.sessions[i].mean_ms, sw.sessions[i].mean_ms);
+    EXPECT_DOUBLE_EQ(sn.sessions[i].p95_ms, sw.sessions[i].p95_ms);
+    EXPECT_DOUBLE_EQ(sn.sessions[i].object_recall,
+                     sw.sessions[i].object_recall);
+  }
+  for (int id = 0; id < 2; ++id) {
+    const runtime::PipelineResult rn = narrow->session_result(id);
+    const runtime::PipelineResult rw = wide->session_result(id);
+    EXPECT_DOUBLE_EQ(rn.object_recall, rw.object_recall);
+    ASSERT_EQ(rn.frames.size(), rw.frames.size());
+    for (std::size_t f = 0; f < rn.frames.size(); ++f) {
+      EXPECT_DOUBLE_EQ(rn.frames[f].slowest_infer_ms,
+                       rw.frames[f].slowest_infer_ms);
+      EXPECT_EQ(rn.frames[f].tracked_objects, rw.frames[f].tracked_objects);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvs::fleet

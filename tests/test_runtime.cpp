@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "assoc/association.hpp"
+#include "fleet/fleet.hpp"
 #include "runtime/oracles.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/trace.hpp"
@@ -208,6 +209,51 @@ TEST(PipelineBehaviour, DeterministicAcrossThreadCountsAndTiling) {
       EXPECT_DOUBLE_EQ(ea[i].value, other->value);
     }
   }
+}
+
+TEST(PipelineBehaviour, RunFrameMatchesRunExactly) {
+  // run_frame x N must be bit-identical to run(N), and run() must keep its
+  // delta semantics when mixed with stepwise calls.
+  Pipeline batch("S2", fast_config(Policy::kBalb, 11));
+  Pipeline step("S2", fast_config(Policy::kBalb, 11));
+  const PipelineResult rb = batch.run(25);
+  for (int f = 0; f < 25; ++f) step.run_frame();
+  expect_deterministic_stats_equal(rb, step.result());
+
+  // A subsequent run() only reports its own frames but snapshots accumulate.
+  const PipelineResult more = step.run(5);
+  EXPECT_EQ(more.frames.size(), 5u);
+  EXPECT_EQ(more.frames.front().frame, rb.frames.back().frame + 1);
+  EXPECT_EQ(step.result().frames.size(), 30u);
+}
+
+TEST(PipelineBehaviour, FleetOfOneBitIdenticalToStandalonePipeline) {
+  // A fleet hosting exactly one session (ideal transport, same seed) must
+  // reproduce the standalone pipeline bit-for-bit: shared-pool execution,
+  // stepwise driving, and cross-session arbitration may not perturb
+  // single-session results.
+  const PipelineConfig cfg = fast_config(Policy::kBalb, 5);
+  Pipeline standalone("S2", cfg);
+  const PipelineResult solo = standalone.run(25);
+
+  fleet::Fleet fleet;
+  fleet::SessionSpec spec;
+  spec.name = "solo";
+  spec.scenario = "S2";
+  spec.pipeline = cfg;
+  const fleet::AdmitResult admitted = fleet.admit(spec);
+  ASSERT_TRUE(admitted.admitted);
+  fleet.run(25);
+  const PipelineResult hosted = fleet.session_result(admitted.session_id);
+  expect_deterministic_stats_equal(solo, hosted);
+
+  // The arbiter must also charge the lone session exactly its own plan: the
+  // fleet's attributed latency equals the isolated counterfactual.
+  const fleet::FleetSnapshot snap = fleet.snapshot();
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.sessions[0].mean_ms, snap.sessions[0].mean_isolated_ms);
+  EXPECT_EQ(snap.shared_batches, snap.isolated_batches);
+  EXPECT_DOUBLE_EQ(snap.shared_busy_ms, snap.isolated_busy_ms);
 }
 
 TEST(PipelineBehaviour, DeterministicForSeed) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "util/thread_pool.hpp"
 
@@ -125,6 +126,77 @@ TEST(ThreadPool, RunTilesNestedWithSingleWorker) {
     pool.run_tiles(16, [&](std::size_t) { ++counter; });
   });
   EXPECT_EQ(counter.load(), 3 * 16);
+}
+
+TEST(ThreadPool, SharedAcrossConcurrentSessions) {
+  // The fleet runtime drives many sessions over ONE pool: each session
+  // issues its own parallel_for_each / run_tiles calls concurrently. Every
+  // call must cover exactly its own indices with no lost updates.
+  ThreadPool pool(4);
+  constexpr int kSessions = 6;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kIndices = 64;
+  std::vector<std::vector<long>> slots(
+      kSessions, std::vector<long>(kIndices, 0));
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&pool, &slots, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        if (s % 2 == 0) {
+          pool.parallel_for_each(kIndices, [&slots, s](std::size_t i) {
+            slots[static_cast<std::size_t>(s)][i] += 1;
+          });
+        } else {
+          pool.run_tiles(kIndices, [&slots, s](std::size_t i) {
+            slots[static_cast<std::size_t>(s)][i] += 1;
+          });
+        }
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  for (const auto& session : slots)
+    for (long v : session) EXPECT_EQ(v, kRounds);
+}
+
+TEST(ThreadPool, ConcurrentCallersDoNotObserveEachOthersExceptions) {
+  // Per-call completion groups: a throwing session must not leak its error
+  // into an innocent session's parallel_for_each, nor hang either of them.
+  ThreadPool pool(3);
+  std::atomic<int> clean_runs{0};
+  std::atomic<int> faulty_throws{0};
+  std::thread faulty([&] {
+    for (int round = 0; round < 50; ++round) {
+      try {
+        pool.parallel_for_each(16, [](std::size_t i) {
+          if (i == 3) throw std::runtime_error("faulty session");
+        });
+      } catch (const std::runtime_error&) {
+        ++faulty_throws;
+      }
+    }
+  });
+  std::thread clean([&] {
+    for (int round = 0; round < 50; ++round) {
+      pool.parallel_for_each(16, [&](std::size_t) { ++clean_runs; });
+    }
+  });
+  faulty.join();
+  clean.join();
+  EXPECT_EQ(faulty_throws.load(), 50);
+  EXPECT_EQ(clean_runs.load(), 50 * 16);
+}
+
+TEST(ThreadPool, ParallelForEachNestedInsidePoolTasks) {
+  // Sessions themselves run as pool tasks in the fleet; their inner
+  // per-camera parallel_for_each must make progress even when every worker
+  // is occupied by an outer session task (caller participation).
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.run_tiles(4, [&](std::size_t) {
+    pool.parallel_for_each(8, [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 4 * 8);
 }
 
 TEST(ThreadPool, RunTilesPropagatesException) {

@@ -47,7 +47,10 @@ TEST(TraceRecorder, JsonEventCountsMatchRecorder) {
       TraceEventType::kAdoptNew,    TraceEventType::kTakeover,
       TraceEventType::kTrackDrop,   TraceEventType::kCameraDown,
       TraceEventType::kCameraRejoin, TraceEventType::kNetRetry,
-      TraceEventType::kNetDrop,
+      TraceEventType::kNetDrop,     TraceEventType::kSessionAdmit,
+      TraceEventType::kSessionReject, TraceEventType::kSessionEvict,
+      TraceEventType::kSessionPause, TraceEventType::kSessionResume,
+      TraceEventType::kSessionDefer,
   };
   TraceRecorder trace;
   long frame = 0;
@@ -87,6 +90,10 @@ TEST(TraceRecorder, ThreadSafeRecording) {
 TEST(TraceRecorder, EventTypeNames) {
   EXPECT_STREQ(to_string(TraceEventType::kKeyFrame), "key_frame");
   EXPECT_STREQ(to_string(TraceEventType::kTrackDrop), "track_drop");
+  EXPECT_STREQ(to_string(TraceEventType::kSessionAdmit), "session_admit");
+  EXPECT_STREQ(to_string(TraceEventType::kSessionReject), "session_reject");
+  EXPECT_STREQ(to_string(TraceEventType::kSessionEvict), "session_evict");
+  EXPECT_STREQ(to_string(TraceEventType::kSessionDefer), "session_defer");
 }
 
 TEST(PipelineTrace, BalbEmitsSchedulingEvents) {

@@ -1,11 +1,16 @@
-// Perf-regression report generator. Times the vision hot-path kernels and an
-// end-to-end pipeline run, then writes BENCH_vision.json and
-// BENCH_pipeline.json (median-of-N timings wrapped in the machine/git
-// envelope from util::bench_env_json()). Commit the refreshed files alongside
-// performance-sensitive changes so regressions show up in review.
+// Perf-regression report generator. Times the vision hot-path kernels, an
+// end-to-end pipeline run, and a fleet session-scaling sweep, then writes
+// BENCH_vision.json, BENCH_pipeline.json and BENCH_fleet.json (median-of-N
+// timings wrapped in the machine/git envelope from util::bench_env_json()).
+// Commit the refreshed files alongside performance-sensitive changes so
+// regressions show up in review.
 //
 // Usage:
 //   bench_report [--reps 7] [--frames 60] [--width 320] [--out-dir .]
+//                [--fleet-sessions 4] [--fleet-ticks 40]
+//
+// The fleet sweep's batch/busy counters are deterministic for the fixed
+// seed; only its wall-clock throughput column is machine-dependent.
 //
 // The vision report includes the speedup of the optimized OpticalFlow against
 // an embedded copy of the pre-optimization kernel (double-accumulating SAD
@@ -20,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
 #include "util/bench_info.hpp"
@@ -243,5 +249,67 @@ int main(int argc, char** argv) {
       util::Json(median_ms > 0.0 ? 1000.0 * frames / median_ms : 0.0);
   pipe["object_recall"] = util::Json(recall);
   write_report(out_dir + "/BENCH_pipeline.json", "pipeline", std::move(pipe));
+
+  // ---- fleet session scaling --------------------------------------------
+  // Sweep 1..N identical S2 sessions on one fleet. Cross-session batching
+  // must beat N isolated deployments: fewer batches and less GPU busy time
+  // for the same work (the arbiter reports the isolated counterfactual).
+  const int fleet_sessions = args.int_or("fleet-sessions", 4);
+  const int fleet_ticks = args.int_or("fleet-ticks", 40);
+  const int fleet_reps = std::max(1, std::min(3, reps));
+
+  util::Json::Array sweep;
+  for (int n = 1; n <= fleet_sessions; ++n) {
+    std::vector<double> samples;
+    fleet::FleetSnapshot snap;
+    long frames = 0;
+    for (int rep = 0; rep < fleet_reps; ++rep) {
+      fleet::Fleet fleet;
+      for (int s = 0; s < n; ++s) {
+        fleet::SessionSpec spec;
+        spec.name = "S2#" + std::to_string(s);
+        spec.pipeline.seed = 42 + static_cast<std::uint64_t>(s);
+        fleet.admit(spec);
+      }
+      util::Stopwatch watch;
+      fleet.run(fleet_ticks);
+      samples.push_back(watch.elapsed_ms());
+      snap = fleet.snapshot();
+      frames = 0;
+      for (const fleet::SessionSnapshot& s : snap.sessions)
+        frames += s.frames;
+    }
+    const double fleet_ms = util::median(std::move(samples));
+
+    util::Json::Object point;
+    point["sessions"] = util::Json(n);
+    point["frames"] = util::Json(static_cast<double>(frames));
+    point["median_run_ms"] = util::Json(fleet_ms);
+    point["frames_per_sec"] = util::Json(
+        fleet_ms > 0.0 ? 1000.0 * static_cast<double>(frames) / fleet_ms
+                       : 0.0);
+    point["shared_batches"] =
+        util::Json(static_cast<double>(snap.shared_batches));
+    point["isolated_batches"] =
+        util::Json(static_cast<double>(snap.isolated_batches));
+    point["batch_savings_pct"] = util::Json(
+        snap.isolated_batches > 0
+            ? 100.0 *
+                  static_cast<double>(snap.isolated_batches -
+                                      snap.shared_batches) /
+                  static_cast<double>(snap.isolated_batches)
+            : 0.0);
+    point["shared_busy_ms"] = util::Json(snap.shared_busy_ms);
+    point["isolated_busy_ms"] = util::Json(snap.isolated_busy_ms);
+    point["mean_occupancy"] = util::Json(snap.mean_occupancy);
+    sweep.push_back(util::Json(std::move(point)));
+  }
+
+  util::Json::Object fl;
+  fl["scenario"] = util::Json("S2");
+  fl["ticks"] = util::Json(fleet_ticks);
+  fl["reps"] = util::Json(fleet_reps);
+  fl["sweep"] = util::Json(std::move(sweep));
+  write_report(out_dir + "/BENCH_fleet.json", "fleet", std::move(fl));
   return 0;
 }

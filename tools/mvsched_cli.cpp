@@ -5,6 +5,8 @@
 // Usage:
 //   mvsched_cli --scenario S1 --policy balb --frames 200 [--horizon 10]
 //               [--seed 42] [--transport lossy] [--loss-rate 0.1] [--csv]
+//   mvsched_cli --fleet --sessions 3 --slo-ms 120 --dispatch weighted
+//               [--frames 100] [--fleet-json rollup.json]
 //   mvsched_cli --config run.json
 //   mvsched_cli --dump-config          # print a default config document
 //   mvsched_cli --help
@@ -16,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "runtime/config.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
@@ -42,6 +45,18 @@ int usage(const char* prog, int exit_code) {
       "                          (A/B latency studies; output-identical)\n"
       "  --csv                   per-frame CSV on stdout instead of summary\n"
       "  --verbose               per-frame progress logging\n"
+      "\n"
+      "fleet serving (mvs::fleet):\n"
+      "  --fleet                 host --sessions copies of the scenario in\n"
+      "                          one multi-session fleet; --frames becomes\n"
+      "                          the tick count (one frame per session/tick)\n"
+      "  --sessions N            sessions to admit (default 2); session k\n"
+      "                          uses seed --seed + k\n"
+      "  --slo-ms X              per-tick GPU latency SLO driving admission\n"
+      "                          control and dispatch deferral (0 = off)\n"
+      "  --dispatch rr|weighted  dispatch order under SLO pressure\n"
+      "                          (default rr)\n"
+      "  --fleet-json FILE       write the fleet/session rollup JSON\n"
       "\n"
       "network simulation (mvs::netsim):\n"
       "  --transport ideal|lossy closed-form link model (default), or the\n"
@@ -89,7 +104,8 @@ bool parse_dropouts(const std::string& spec,
 int main(int argc, char** argv) {
   using namespace mvs;
   const util::Args args = util::Args::parse(
-      argc, argv, {"csv", "verbose", "dump-config", "help", "no-tile-flow"});
+      argc, argv,
+      {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -187,6 +203,81 @@ int main(int argc, char** argv) {
 
   if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3")
     return usage(argv[0], 2);
+
+  if (args.has("fleet")) {
+    fleet::FleetConfig fc;
+    fc.slo_ms = args.number_or("slo-ms", 0.0);
+    fc.threads = run.pipeline.threads;
+    const auto dispatch = fleet::parse_dispatch(args.get_or("dispatch", "rr"));
+    if (!dispatch) {
+      std::fprintf(stderr, "unknown dispatch policy: %s\n",
+                   args.get_or("dispatch", "rr").c_str());
+      return usage(argv[0], 2);
+    }
+    fc.dispatch = *dispatch;
+    const int sessions = args.int_or("sessions", 2);
+    if (sessions < 1) {
+      std::fprintf(stderr, "--sessions must be >= 1\n");
+      return usage(argv[0], 2);
+    }
+
+    fleet::Fleet fleet(fc);
+    for (int s = 0; s < sessions; ++s) {
+      fleet::SessionSpec spec;
+      spec.name = run.scenario + "#" + std::to_string(s);
+      spec.scenario = run.scenario;
+      spec.pipeline = run.pipeline;
+      spec.pipeline.seed = run.pipeline.seed + static_cast<std::uint64_t>(s);
+      const fleet::AdmitResult admit = fleet.admit(spec);
+      if (admit.admitted) {
+        std::fprintf(stderr,
+                     "admitted %s (projected %.1f ms%s%s)\n",
+                     spec.name.c_str(), admit.projected_ms,
+                     admit.masks_tightened ? ", masks tightened" : "",
+                     admit.rate_halved ? ", rate halved" : "");
+      } else {
+        std::fprintf(stderr, "rejected %s: %s\n", spec.name.c_str(),
+                     admit.reason.c_str());
+      }
+    }
+    std::fprintf(stderr, "running fleet of %zu for %d ticks (slo=%.1f ms, "
+                 "dispatch=%s)...\n",
+                 fleet.session_count(), run.frames, fc.slo_ms,
+                 fleet::to_string(fc.dispatch));
+    fleet.run(run.frames);
+
+    const fleet::FleetSnapshot snap = fleet.snapshot();
+    util::Table table({"id", "name", "state", "stride", "frames", "deferred",
+                       "p50_ms", "p95_ms", "p99_ms", "mean_ms", "iso_ms",
+                       "slo_viol", "recall"});
+    for (const fleet::SessionSnapshot& s : snap.sessions) {
+      table.add_row({std::to_string(s.id), s.name, fleet::to_string(s.state),
+                     std::to_string(s.stride), std::to_string(s.frames),
+                     std::to_string(s.deferred_ticks),
+                     util::Table::fmt(s.p50_ms, 1),
+                     util::Table::fmt(s.p95_ms, 1),
+                     util::Table::fmt(s.p99_ms, 1),
+                     util::Table::fmt(s.mean_ms, 1),
+                     util::Table::fmt(s.mean_isolated_ms, 1),
+                     std::to_string(s.slo_violations),
+                     util::Table::fmt(s.object_recall, 3)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("admitted %d | rejected %d | evicted %d\n", snap.admitted,
+                snap.rejected, snap.evicted);
+    std::printf("batches: shared %ld vs isolated %ld | busy %.1f vs %.1f ms\n",
+                snap.shared_batches, snap.isolated_batches,
+                snap.shared_busy_ms, snap.isolated_busy_ms);
+    std::printf("occupancy %.2f | p95 tick busy %.1f ms | queue depth %.2f\n",
+                snap.mean_occupancy, snap.p95_tick_busy_ms,
+                snap.mean_queue_depth);
+    if (const auto path = args.get("fleet-json")) {
+      std::ofstream out(*path);
+      out << snap.to_json() << '\n';
+      std::fprintf(stderr, "wrote %s\n", path->c_str());
+    }
+    return 0;
+  }
 
   std::fprintf(stderr,
                "running %s / %s for %d frames (T=%d, seed=%llu, "
