@@ -126,10 +126,55 @@ int main(int argc, char** argv) {
     sweep.push_back(util::Json(std::move(point)));
   }
 
+  // Elastic device-pool sweep: at the largest session count, grow every
+  // accelerator class pool 1..3 devices and watch the queueing delay drain
+  // (Fleet::scale_devices; the arbiter list-schedules merged batches over
+  // each pool).
+  util::Table elastic_table(
+      {"devices/class", "p95_ms", "queue_ms", "busy_ms", "occupancy"});
+  util::Json::Array elastic;
+  for (int multiplier = 1; multiplier <= 3; ++multiplier) {
+    fleet::Fleet fleet(cfg);
+    for (int s = 0; s < max_sessions; ++s) {
+      fleet::SessionSpec spec;
+      spec.name = scenario + "#" + std::to_string(s);
+      spec.scenario = scenario;
+      spec.pipeline.seed = seed + static_cast<std::uint64_t>(s);
+      if (!fleet.admit(spec).admitted) {
+        std::fprintf(stderr, "session %d rejected at slo=%.1f ms\n", s,
+                     cfg.slo_ms);
+        return 1;
+      }
+    }
+    for (const auto& [name, count] : fleet.snapshot().device_pools)
+      fleet.scale_devices(name, multiplier - count);
+    fleet.run(ticks);
+
+    const fleet::FleetSnapshot snap = fleet.snapshot();
+    double p95 = 0.0;
+    for (const fleet::SessionSnapshot& s : snap.sessions)
+      p95 = std::max(p95, s.p95_ms);
+    elastic_table.add_row({std::to_string(multiplier),
+                           util::Table::fmt(p95, 1),
+                           util::Table::fmt(snap.total_queue_ms, 1),
+                           util::Table::fmt(snap.shared_busy_ms, 1),
+                           util::Table::fmt(snap.mean_occupancy, 2)});
+    util::Json::Object point;
+    point["devices_per_class"] = util::Json(multiplier);
+    point["sessions"] = util::Json(max_sessions);
+    point["p95_ms"] = util::Json(p95);
+    point["total_queue_ms"] = util::Json(snap.total_queue_ms);
+    point["shared_busy_ms"] = util::Json(snap.shared_busy_ms);
+    point["mean_occupancy"] = util::Json(snap.mean_occupancy);
+    elastic.push_back(util::Json(std::move(point)));
+  }
+
   std::printf("scenario=%s ticks=%d dispatch=%s slo_ms=%.1f\n",
               scenario.c_str(), ticks, fleet::to_string(cfg.dispatch),
               cfg.slo_ms);
   std::printf("%s", table.to_string().c_str());
+  std::printf("elastic pools at %d sessions:\n%s", max_sessions,
+              elastic_table.to_string().c_str());
 
   const std::string json_path = args.get_or("json", "");
   if (!json_path.empty()) {
@@ -139,6 +184,7 @@ int main(int argc, char** argv) {
     body["dispatch"] = util::Json(fleet::to_string(cfg.dispatch));
     body["slo_ms"] = util::Json(cfg.slo_ms);
     body["sweep"] = util::Json(std::move(sweep));
+    body["elastic"] = util::Json(std::move(elastic));
 
     util::Json::Object doc;
     doc["env"] = util::bench_env_json();

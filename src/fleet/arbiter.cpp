@@ -1,8 +1,8 @@
 #include "fleet/arbiter.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <map>
-#include <string>
+#include <numeric>
 
 namespace mvs::fleet {
 
@@ -10,14 +10,24 @@ void GpuArbiter::begin_tick() { subs_.clear(); }
 
 void GpuArbiter::submit(int session, int camera,
                         const gpu::DeviceProfile& device,
-                        const runtime::CameraGpuWork& work) {
+                        const runtime::CameraGpuWork& work, double weight) {
   Submission sub;
   sub.session = session;
   sub.camera = camera;
+  sub.weight = weight;
   sub.full_frame = work.full_frame;
   sub.tasks = work.tasks;
   sub.device = &device;
   subs_.push_back(std::move(sub));
+}
+
+void GpuArbiter::set_device_count(const std::string& device_class, int count) {
+  device_counts_[device_class] = std::max(1, count);
+}
+
+int GpuArbiter::device_count(const std::string& device_class) const {
+  const auto it = device_counts_.find(device_class);
+  return it == device_counts_.end() ? 1 : it->second;
 }
 
 namespace {
@@ -31,9 +41,70 @@ struct ClassGroup {
   std::vector<int> total;                      ///< merged, per class
 };
 
+/// One planning + device-pool scheduling pass over a class group.
+struct ClassOutcome {
+  gpu::BatchPlan merged;
+  std::vector<double> attributed;  ///< per member: batch shares + full frame
+  std::vector<double> serial;      ///< per member: own units back-to-back
+  std::vector<double> finish;      ///< per member: last unit's completion
+};
+
+/// Plan the merged counts and list-schedule the batches (plan order, then
+/// full frames in member order) onto `devices` earliest-free-first. With a
+/// single member on one device every accumulation happens in exactly the
+/// order gpu::plan_batch_counts uses, so attributed == serial == finish
+/// bit-for-bit — the fleet-of-one identity.
+ClassOutcome run_class(const std::vector<Submission>& subs,
+                       const ClassGroup& g,
+                       const std::vector<std::vector<int>>& counts,
+                       const std::vector<int>& total, int devices) {
+  ClassOutcome out;
+  out.merged = gpu::plan_batch_counts(total, *g.device);
+  const std::size_t n = g.members.size();
+  out.attributed.assign(n, 0.0);
+  out.serial.assign(n, 0.0);
+  out.finish.assign(n, 0.0);
+
+  std::vector<double> free_at(static_cast<std::size_t>(std::max(1, devices)),
+                              0.0);
+  const auto earliest = [&free_at]() {
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < free_at.size(); ++d)
+      if (free_at[d] < free_at[best]) best = d;
+    return best;
+  };
+
+  for (const gpu::Batch& b : out.merged.batches) {
+    const auto s = static_cast<std::size_t>(b.size_class);
+    const double lat = g.device->actual_batch_latency_ms(b.size_class, b.count);
+    const std::size_t d = earliest();
+    const double end = free_at[d] + lat;
+    free_at[d] = end;
+    for (std::size_t mi = 0; mi < n; ++mi) {
+      if (counts[mi][s] == 0) continue;
+      const double share =
+          static_cast<double>(counts[mi][s]) / static_cast<double>(total[s]);
+      out.attributed[mi] += share * lat;
+      out.serial[mi] += lat;
+      out.finish[mi] = std::max(out.finish[mi], end);
+    }
+  }
+  for (std::size_t mi = 0; mi < n; ++mi) {
+    if (!subs[g.members[mi]].full_frame) continue;
+    const double full = g.device->full_frame_ms();
+    const std::size_t d = earliest();
+    const double end = free_at[d] + full;
+    free_at[d] = end;
+    out.attributed[mi] += full;
+    out.serial[mi] += full;
+    out.finish[mi] = std::max(out.finish[mi], end);
+  }
+  return out;
+}
+
 }  // namespace
 
-TickPlan GpuArbiter::plan_tick() const {
+TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
   TickPlan plan;
   plan.shares.resize(subs_.size());
 
@@ -59,40 +130,88 @@ TickPlan GpuArbiter::plan_tick() const {
   }
 
   for (const auto& [name, g] : groups) {
-    (void)name;
-    const gpu::BatchPlan merged = gpu::plan_batch_counts(g.total, *g.device);
-    plan.shared_batches += static_cast<long>(merged.batches.size());
-    plan.shared_busy_ms += merged.actual_latency_ms;
+    const int devices = device_count(name);
+    std::vector<std::vector<int>> counts = g.counts;
+    std::vector<int> total = g.total;
+    ClassOutcome out = run_class(subs_, g, counts, total, devices);
 
-    // Attribute batch by batch in plan order: member m's share of a batch of
-    // class s is counts[m][s] / total[s] of the batch's actual latency. With
-    // a single member the factor is exactly 1.0 and the accumulation order
-    // matches plan_batch_counts — bit-exact with the member's own plan.
-    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
-      const std::vector<int>& mine = g.counts[mi];
-      double attributed = 0.0;
-      for (const gpu::Batch& b : merged.batches) {
-        const auto s = static_cast<std::size_t>(b.size_class);
-        if (mine[s] == 0) continue;
-        const double share =
-            static_cast<double>(mine[s]) / static_cast<double>(g.total[s]);
-        attributed +=
-            share * g.device->actual_batch_latency_ms(b.size_class, b.count);
+    // Preemptive split: when the schedule would make a top-weight
+    // contributor miss the SLO, defer half of one over-full batch (the last
+    // splittable batch in plan order) to the next tick slot, shedding from
+    // the lowest-weight members first, then re-plan the class once.
+    if (ctx.allow_split && ctx.slo_ms > 0.0 && !out.merged.batches.empty()) {
+      double top_weight = 0.0;
+      for (const std::size_t k : g.members)
+        top_weight = std::max(top_weight, subs_[k].weight);
+      bool miss = false;
+      for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+        const double latency =
+            out.attributed[mi] +
+            std::max(0.0, out.finish[mi] - out.serial[mi]);
+        if (subs_[g.members[mi]].weight >= top_weight &&
+            latency > ctx.slo_ms) {
+          miss = true;
+          break;
+        }
       }
+      const gpu::Batch* victim_batch = nullptr;
+      for (auto it = out.merged.batches.rbegin();
+           it != out.merged.batches.rend() && miss; ++it)
+        if (it->count >= 2) {
+          victim_batch = &*it;
+          break;
+        }
+      if (victim_batch) {
+        const auto s = static_cast<std::size_t>(victim_batch->size_class);
+        int remaining = victim_batch->count / 2;
+        // Lowest weight sheds first; ties keep submission order.
+        std::vector<std::size_t> order(g.members.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return subs_[g.members[a]].weight <
+                                  subs_[g.members[b]].weight;
+                         });
+        bool deferred_any = false;
+        for (const std::size_t mi : order) {
+          if (remaining <= 0) break;
+          const int take = std::min(remaining, counts[mi][s]);
+          if (take <= 0) continue;
+          counts[mi][s] -= take;
+          total[s] -= take;
+          remaining -= take;
+          deferred_any = true;
+          plan.deferred.push_back({subs_[g.members[mi]].session,
+                                   subs_[g.members[mi]].camera,
+                                   victim_batch->size_class, take});
+        }
+        if (deferred_any) {
+          ++plan.splits;
+          out = run_class(subs_, g, counts, total, devices);
+        }
+      }
+    }
+
+    plan.shared_batches += static_cast<long>(out.merged.batches.size());
+    plan.shared_busy_ms += out.merged.actual_latency_ms;
+
+    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
       const std::size_t k = g.members[mi];
       const gpu::BatchPlan isolated =
-          gpu::plan_batch_counts(mine, *g.device);
+          gpu::plan_batch_counts(g.counts[mi], *g.device);
       plan.isolated_batches += static_cast<long>(isolated.batches.size());
       plan.isolated_busy_ms += isolated.actual_latency_ms;
-      plan.shares[k].attributed_ms = attributed;
+      plan.shares[k].attributed_ms = out.attributed[mi];
+      plan.shares[k].queue_ms =
+          std::max(0.0, out.finish[mi] - out.serial[mi]);
       plan.shares[k].isolated_ms = isolated.actual_latency_ms;
       if (subs_[k].full_frame) {
         const double full = g.device->full_frame_ms();
-        plan.shares[k].attributed_ms += full;
         plan.shares[k].isolated_ms += full;
         plan.shared_busy_ms += full;
         plan.isolated_busy_ms += full;
       }
+      plan.queue_ms_total += plan.shares[k].queue_ms;
     }
   }
   return plan;

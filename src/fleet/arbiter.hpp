@@ -12,6 +12,15 @@
 // own BALB latency estimate stays correct while the fleet executes strictly
 // fewer (never more) batches than sessions running on dedicated devices.
 //
+// Elastic device pools: each class has a device COUNT (default 1, scaled at
+// runtime via Fleet::scale_devices). The merged plan's batches are list-
+// scheduled in plan order onto the class's devices (earliest-free first,
+// full-frame inspections after the partial batches); a submission's
+// queueing delay is how much later its last unit finishes than its own
+// serial execution time would take. With one submission per class on one
+// device the schedule accumulates in exactly the attribution order, so the
+// delay is bit-exactly zero — preserving the fleet-of-one identity.
+//
 // Latency attribution: each shared batch's actual (fill-model) latency is
 // split across contributing sessions in proportion to their task counts of
 // that size class, batch by batch in plan order. A submission that is alone
@@ -19,7 +28,18 @@
 // gpu::plan_batches would charge it — the fleet-of-one identity the tests
 // pin down. Full-frame inspections (key frames / Full policy) are exclusive:
 // charged whole to their session and never merged.
+//
+// Preemptive batch splitting: when a TickContext carries an SLO and permits
+// splitting, a class whose schedule would make a contributing session miss
+// the deadline may split ONE over-full batch: half of its tasks are pushed
+// to the next tick slot (listed in TickPlan::deferred; the fleet re-injects
+// them into the owners' next submissions), shedding load from the
+// lowest-weight contributors first. Attribution stays conservation-exact:
+// the tick charges exactly the batches it executes, and deferred tasks are
+// charged on the tick that runs them.
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "gpu/batch_planner.hpp"
@@ -32,6 +52,7 @@ namespace mvs::fleet {
 struct Submission {
   int session = 0;
   int camera = 0;
+  double weight = 1.0;  ///< owner's dispatch weight (batch-split priority)
   bool full_frame = false;
   std::vector<geom::SizeClassId> tasks;  ///< partial-region size classes
   const gpu::DeviceProfile* device = nullptr;  ///< non-owning
@@ -45,9 +66,22 @@ struct Attribution {
   /// exclusive full-frame charge. Sums over all submissions to the tick's
   /// total GPU busy time.
   double attributed_ms = 0.0;
+  /// Queueing delay on the class's device pool: completion time of the
+  /// camera's last unit minus its own serial execution time. Exactly zero
+  /// when the camera is alone on its class (fleet-of-one identity).
+  double queue_ms = 0.0;
   /// What a dedicated per-camera device would charge (gpu::plan_batches on
   /// this submission alone) — the paper's single-deployment number.
   double isolated_ms = 0.0;
+};
+
+/// Tasks a batch split pushed out of the current tick, owed to the next
+/// tick slot of the owning (session, camera).
+struct DeferredSlice {
+  int session = 0;
+  int camera = 0;
+  geom::SizeClassId size_class = 0;
+  int count = 0;
 };
 
 /// One tick's merged plan across every submission.
@@ -59,9 +93,24 @@ struct TickPlan {
   long shared_batches = 0;
   long isolated_batches = 0;
   /// Total GPU busy time (partial batches + full frames) under the merged
-  /// plan and under dedicated devices.
+  /// plan and under dedicated devices. Conservation: the attributed_ms of
+  /// all shares sums bit-closely to shared_busy_ms (splits included — a
+  /// tick only charges the batches it actually executes).
   double shared_busy_ms = 0.0;
   double isolated_busy_ms = 0.0;
+  /// Summed per-submission queueing delay on the device pools.
+  double queue_ms_total = 0.0;
+  /// Batch splits performed this tick and the task slices they deferred.
+  long splits = 0;
+  std::vector<DeferredSlice> deferred;
+};
+
+/// Per-tick planning context (SLO-aware batch splitting).
+struct TickContext {
+  /// Frame deadline (ms); <= 0 disables splitting.
+  double slo_ms = 0.0;
+  /// Permit splitting an over-full batch across two tick slots.
+  bool allow_split = false;
 };
 
 class GpuArbiter {
@@ -71,19 +120,30 @@ class GpuArbiter {
 
   /// Register one camera's demand. `device` must outlive plan_tick();
   /// profiles sharing a name are assumed identical (they come from the
-  /// gpu:: factory functions).
+  /// gpu:: factory functions). `weight` is the owning session's dispatch
+  /// weight; batch splits defer the lowest weights first.
   void submit(int session, int camera, const gpu::DeviceProfile& device,
-              const runtime::CameraGpuWork& work);
+              const runtime::CameraGpuWork& work, double weight = 1.0);
 
-  /// Merge, plan, and attribute. Deterministic: grouping is by device name
-  /// (lexicographic), attribution follows plan batch order, and submission
-  /// order is preserved in `shares`.
-  TickPlan plan_tick() const;
+  /// Merge, plan, schedule onto the device pools, and attribute.
+  /// Deterministic: grouping is by device name (lexicographic), attribution
+  /// follows plan batch order, list scheduling follows plan order onto the
+  /// earliest-free device, and submission order is preserved in `shares`.
+  TickPlan plan_tick(const TickContext& ctx = {}) const;
+
+  /// Devices serving `device_class` (>= 1; classes default to one device).
+  void set_device_count(const std::string& device_class, int count);
+  int device_count(const std::string& device_class) const;
+  /// Every class with an explicit pool size (sorted by class name).
+  const std::map<std::string, int>& device_counts() const {
+    return device_counts_;
+  }
 
   std::size_t submission_count() const { return subs_.size(); }
 
  private:
   std::vector<Submission> subs_;
+  std::map<std::string, int> device_counts_;
 };
 
 }  // namespace mvs::fleet

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <numeric>
 
 #include "sim/scenario.hpp"
 #include "util/json.hpp"
@@ -33,21 +35,50 @@ const char* to_string(SessionState state) {
   return "?";
 }
 
+std::optional<FleetConfig> make_fleet_config(
+    const runtime::FleetRunConfig& config, std::string* error) {
+  const auto dispatch = parse_dispatch(config.dispatch);
+  if (!dispatch) {
+    if (error) *error = "unknown dispatch policy: " + config.dispatch;
+    return std::nullopt;
+  }
+  FleetConfig cfg;
+  cfg.slo_ms = config.slo_ms;
+  cfg.frame_period_ms = config.frame_period_ms;
+  cfg.dispatch = *dispatch;
+  cfg.threads = config.threads;
+  cfg.allow_degrade = config.allow_degrade;
+  cfg.assumed_tasks_per_camera = config.assumed_tasks_per_camera;
+  cfg.readmit_interval = config.readmit_interval;
+  cfg.readmit_low_water = config.readmit_low_water;
+  cfg.readmit_high_water = config.readmit_high_water;
+  cfg.allow_split = config.allow_split;
+  return cfg;
+}
+
 struct Fleet::Session {
   int id = -1;
   SessionSpec spec;
   SessionState state = SessionState::kActive;
-  int stride = 1;  ///< runs on ticks with tick % stride == phase
-  int phase = 0;
+  int fps = 0;           ///< resolved native rate (base rate when spec.fps==0)
+  int period_ticks = 1;  ///< wheel ticks between native frames
+  int stride = 1;        ///< 2 when frame-rate halved (degrade ladder)
+  int phase = 0;         ///< wheel-tick firing offset
+  bool degraded_rate = false;   ///< rate halving applied BY the fleet
+  bool degraded_tight = false;  ///< mask tightening applied BY the fleet
   std::unique_ptr<runtime::Pipeline> pipeline;
   std::vector<gpu::DeviceProfile> devices;
   double static_demand_ms = 0.0;
+  /// Batch-split debt: tasks deferred to this session's next stepped
+  /// submission, per camera.
+  std::map<int, std::vector<geom::SizeClassId>> carryover;
 
   long frames = 0;
   long deferred_ticks = 0;
   long slo_violations = 0;
-  util::SampleSet latency_ms;       ///< attributed per-frame latency
+  util::SampleSet latency_ms;       ///< per-frame attributed + queueing
   util::SampleSet isolated_ms;      ///< dedicated-device counterfactual
+  util::SampleSet queue_ms;         ///< per-frame device-pool queueing
   double busy_sum_ms = 0.0;         ///< Σ attributed over all cameras/frames
   /// Result snapshot frozen at eviction (the pipeline is destroyed then).
   runtime::PipelineResult final_result;
@@ -55,7 +86,12 @@ struct Fleet::Session {
 
 Fleet::Fleet(const FleetConfig& config)
     : cfg_(config),
-      pool_(static_cast<std::size_t>(std::max(0, config.threads))) {}
+      pool_(static_cast<std::size_t>(std::max(0, config.threads))) {
+  base_fps_ = std::max(
+      1, static_cast<int>(std::lround(
+             1000.0 / std::max(1e-6, cfg_.frame_period_ms))));
+  wheel_hz_ = base_fps_;
+}
 
 Fleet::~Fleet() = default;
 
@@ -111,15 +147,43 @@ double Fleet::estimate_demand_ms(
   return demand;
 }
 
+double Fleet::session_frame_ms(const Session& s) const {
+  return s.frames > 0 ? s.busy_sum_ms / static_cast<double>(s.frames)
+                      : s.static_demand_ms;
+}
+
 double Fleet::session_demand_ms(const Session& s) const {
-  const double per_frame =
-      s.frames > 0 ? s.busy_sum_ms / static_cast<double>(s.frames)
-                   : s.static_demand_ms;
-  return per_frame / static_cast<double>(s.stride);
+  // Demand per base frame period: per-frame cost x how often the session
+  // fires relative to the base rate. A full-rate base-fps session with
+  // stride 1 contributes exactly its per-frame cost.
+  return session_frame_ms(s) * static_cast<double>(s.fps) /
+         (static_cast<double>(s.stride) * static_cast<double>(base_fps_));
+}
+
+void Fleet::grow_wheel(int fps) {
+  const long lcm = static_cast<long>(wheel_hz_) / std::gcd(wheel_hz_, fps) *
+                   static_cast<long>(fps);
+  if (lcm == wheel_hz_) return;
+  const long m = lcm / wheel_hz_;
+  // Rescale every firing pattern so established sessions keep their exact
+  // cadence and phase relationships across the growth.
+  for (auto& s : sessions_) {
+    s->period_ticks *= static_cast<int>(m);
+    s->phase *= static_cast<int>(m);
+  }
+  ticks_ *= m;
+  wheel_hz_ = static_cast<int>(lcm);
 }
 
 AdmitResult Fleet::admit(const SessionSpec& spec) {
   AdmitResult result;
+  if (spec.fps < 0) {
+    ++rejected_;
+    result.reason = "negative native fps";
+    record(runtime::TraceEventType::kSessionReject, -1, 0.0);
+    return result;
+  }
+  const int fps = spec.fps > 0 ? spec.fps : base_fps_;
 
   // Probe the deployment's device profiles without building the (expensive)
   // pipeline: scenario construction is cheap, association training is not.
@@ -130,8 +194,11 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
     for (const sim::ScenarioCamera& cam : probe.cameras)
       devices.push_back(cam.device);
   }
+  // Demand normalized to one base period: a session firing faster than the
+  // base rate costs proportionally more per period.
   const double demand =
-      estimate_demand_ms(devices, spec.pipeline.horizon_frames);
+      estimate_demand_ms(devices, spec.pipeline.horizon_frames) *
+      static_cast<double>(fps) / static_cast<double>(base_fps_);
 
   double current = 0.0;
   for (const auto& s : sessions_)
@@ -174,25 +241,46 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
     }
   }
 
+  grow_wheel(fps);
+
   auto session = std::make_unique<Session>();
   session->id = sessions_.empty() ? 0 : sessions_.back()->id + 1;
   session->spec = spec;
   session->spec.pipeline.tight_masks = tight;
+  // Per-session fault profile (the self-contained session API): replaces
+  // whatever the pipeline config carried and, unless fault-free, selects
+  // the lossy transport.
+  if (spec.faults) {
+    session->spec.pipeline.faults = *spec.faults;
+    if (!spec.faults->fault_free())
+      session->spec.pipeline.transport = net::TransportKind::kLossy;
+  }
+  session->fps = fps;
+  session->period_ticks = wheel_hz_ / fps;
   session->stride = stride;
+  session->degraded_rate = stride > 1;
+  session->degraded_tight = tight && !spec.pipeline.tight_masks;
   if (stride > 1) {
     // Spread rate-halved sessions across both phases to balance the ticks.
     int halved = 0;
     for (const auto& s : sessions_) halved += (s->stride > 1);
-    session->phase = halved % 2;
+    session->phase = (halved % 2) * session->period_ticks;
   }
   session->devices = std::move(devices);
-  session->static_demand_ms = demand;
+  session->static_demand_ms =
+      estimate_demand_ms(session->devices, spec.pipeline.horizon_frames);
   session->pipeline = std::make_unique<runtime::Pipeline>(
       spec.scenario, session->spec.pipeline, &pool_);
 
+  // Register this deployment's accelerator classes with the arbiter so the
+  // pool sizes show up in snapshots (default one device per class).
+  for (const gpu::DeviceProfile& dev : session->devices)
+    if (!arbiter_.device_counts().count(dev.name()))
+      arbiter_.set_device_count(dev.name(), 1);
+
   result.session_id = session->id;
   result.admitted = true;
-  result.masks_tightened = tight && !spec.pipeline.tight_masks;
+  result.masks_tightened = session->degraded_tight;
   result.rate_halved = stride > 1;
   record(runtime::TraceEventType::kSessionAdmit, session->id,
          result.projected_ms);
@@ -205,6 +293,7 @@ bool Fleet::evict(int id) {
   if (!s || s->state == SessionState::kEvicted) return false;
   s->final_result = s->pipeline->result();
   s->pipeline.reset();
+  s->carryover.clear();
   s->state = SessionState::kEvicted;
   ++evicted_;
   record(runtime::TraceEventType::kSessionEvict, id, 0.0);
@@ -227,21 +316,75 @@ bool Fleet::resume(int id) {
   return true;
 }
 
+int Fleet::scale_devices(const std::string& device_class, int delta) {
+  const int next = std::max(1, arbiter_.device_count(device_class) + delta);
+  arbiter_.set_device_count(device_class, next);
+  record(runtime::TraceEventType::kDeviceScale, -1,
+         static_cast<double>(next));
+  return next;
+}
+
 runtime::PipelineResult Fleet::session_result(int id) const {
   const Session* s = find(id);
   if (!s) return {};
   return s->pipeline ? s->pipeline->result() : s->final_result;
 }
 
+void Fleet::readmit_scan() {
+  const double mean_busy =
+      window_busy_ms_ / static_cast<double>(std::max(1, window_ticks_));
+  window_busy_ms_ = 0.0;
+  window_ticks_ = 0;
+  if (mean_busy >= cfg_.readmit_low_water * cfg_.slo_ms) return;
+
+  double current = 0.0;
+  for (const auto& s : sessions_)
+    if (s->state == SessionState::kActive) current += session_demand_ms(*s);
+  const double ceiling = cfg_.readmit_high_water * cfg_.slo_ms;
+
+  // Reverse the degrade ladder one rung per scan: restore full rate first
+  // (it halves the latency penalty), then un-tighten masks (recall). Only
+  // degradation the FLEET applied is reversed; lowest session id wins ties.
+  for (auto& s : sessions_) {
+    if (s->state != SessionState::kActive || !s->degraded_rate) continue;
+    // Going from stride 2 to 1 doubles the session's per-period demand.
+    const double additional = session_demand_ms(*s);
+    if (current + additional > ceiling) continue;
+    s->stride = 1;
+    s->degraded_rate = false;
+    ++readmitted_;
+    record(runtime::TraceEventType::kSessionReadmit, s->id,
+           current + additional);
+    return;
+  }
+  for (auto& s : sessions_) {
+    if (s->state != SessionState::kActive || !s->degraded_tight) continue;
+    // Un-tightening restores the shed shared-coverage load: the tightened
+    // demand is 0.75x the full demand, so full costs an extra third.
+    constexpr double kTightFactor = 0.75;
+    const double additional =
+        session_demand_ms(*s) * (1.0 / kTightFactor - 1.0);
+    if (current + additional > ceiling) continue;
+    s->spec.pipeline.tight_masks = false;
+    s->pipeline->set_tight_masks(false);
+    s->degraded_tight = false;
+    ++readmitted_;
+    record(runtime::TraceEventType::kSessionReadmit, s->id,
+           current + additional);
+    return;
+  }
+}
+
 void Fleet::step() {
   const long tick = ticks_;
 
-  // 1. Sessions due this tick (active, stride phase matches).
+  // 1. Sessions due this tick (active, native period x stride matches).
   std::vector<Session*> due;
-  for (auto& s : sessions_)
-    if (s->state == SessionState::kActive &&
-        tick % s->stride == s->phase % s->stride)
+  for (auto& s : sessions_) {
+    const long cycle = static_cast<long>(s->period_ticks) * s->stride;
+    if (s->state == SessionState::kActive && tick % cycle == s->phase % cycle)
       due.push_back(s.get());
+  }
 
   // 2. Dispatch: order the due sessions, then defer from the back while the
   // projected tick demand exceeds the SLO (at least one session always
@@ -264,8 +407,7 @@ void Fleet::step() {
   if (cfg_.slo_ms > 0.0) {
     double projected = 0.0;
     for (Session* s : due) {
-      const double d = session_demand_ms(*s) *
-                       static_cast<double>(s->stride);  // full frame this tick
+      const double d = session_frame_ms(*s);  // full frame cost this tick
       if (!chosen.empty() && projected + d > cfg_.slo_ms) {
         ++s->deferred_ticks;
         ++deferred;
@@ -288,40 +430,84 @@ void Fleet::step() {
   });
 
   // 4. Cross-session GPU arbitration over the stepped sessions' work, in
-  // ascending session id for deterministic submission order.
+  // ascending session id for deterministic submission order. Batch-split
+  // debt from earlier ticks rides along with the owning camera's work.
   std::vector<Session*> ordered = chosen;
   std::sort(ordered.begin(), ordered.end(),
             [](Session* a, Session* b) { return a->id < b->id; });
   arbiter_.begin_tick();
   for (Session* s : ordered) {
     const auto& work = s->pipeline->last_gpu_work();
-    for (std::size_t cam = 0; cam < work.size(); ++cam)
-      arbiter_.submit(s->id, static_cast<int>(cam),
-                      s->devices[cam], work[cam]);
+    for (std::size_t cam = 0; cam < work.size(); ++cam) {
+      const int cam_id = static_cast<int>(cam);
+      const auto debt = s->carryover.find(cam_id);
+      if (debt != s->carryover.end() && !debt->second.empty()) {
+        runtime::CameraGpuWork merged = work[cam];
+        merged.tasks.insert(merged.tasks.end(), debt->second.begin(),
+                            debt->second.end());
+        debt->second.clear();
+        arbiter_.submit(s->id, cam_id, s->devices[cam], merged,
+                        s->spec.weight);
+      } else {
+        arbiter_.submit(s->id, cam_id, s->devices[cam], work[cam],
+                        s->spec.weight);
+      }
+    }
   }
-  const TickPlan plan = arbiter_.plan_tick();
+  TickContext ctx;
+  ctx.slo_ms = cfg_.slo_ms;
+  ctx.allow_split = cfg_.allow_split;
+  const TickPlan plan = arbiter_.plan_tick(ctx);
   shared_batches_ += plan.shared_batches;
   isolated_batches_ += plan.isolated_batches;
   shared_busy_ms_ += plan.shared_busy_ms;
   isolated_busy_ms_ += plan.isolated_busy_ms;
+  total_queue_ms_ += plan.queue_ms_total;
+  batch_splits_ += plan.splits;
   tick_busy_ms_.add(plan.shared_busy_ms);
   queue_depth_.add(static_cast<double>(deferred));
 
+  // Deferred task slices become carryover debt charged on the tick that
+  // actually runs them (conservation-exact attribution).
+  for (const DeferredSlice& slice : plan.deferred) {
+    Session* owner = find(slice.session);
+    if (!owner || owner->state == SessionState::kEvicted) continue;
+    auto& debt = owner->carryover[slice.camera];
+    debt.insert(debt.end(), static_cast<std::size_t>(slice.count),
+                slice.size_class);
+    record(runtime::TraceEventType::kBatchSplit, slice.session,
+           static_cast<double>(slice.count));
+  }
+
   // 5. Per-session rollups: frame latency = slowest camera (paper
-  // semantics), demand = total attributed busy.
+  // semantics) including device-pool queueing; demand = attributed busy of
+  // the batches this tick actually executed.
   for (Session* s : ordered) {
-    double frame_ms = 0.0, frame_iso_ms = 0.0, busy = 0.0;
+    double frame_ms = 0.0, frame_iso_ms = 0.0, frame_queue_ms = 0.0;
+    double busy = 0.0;
     for (const Attribution& a : plan.shares) {
       if (a.session != s->id) continue;
-      frame_ms = std::max(frame_ms, a.attributed_ms);
+      frame_ms = std::max(frame_ms, a.attributed_ms + a.queue_ms);
       frame_iso_ms = std::max(frame_iso_ms, a.isolated_ms);
+      frame_queue_ms = std::max(frame_queue_ms, a.queue_ms);
       busy += a.attributed_ms;
     }
     s->latency_ms.add(frame_ms);
     s->isolated_ms.add(frame_iso_ms);
+    s->queue_ms.add(frame_queue_ms);
     s->busy_sum_ms += busy;
     ++s->frames;
-    if (cfg_.slo_ms > 0.0 && frame_ms > cfg_.slo_ms) ++s->slo_violations;
+    const double slo = s->spec.slo_ms >= 0.0 ? s->spec.slo_ms : cfg_.slo_ms;
+    if (slo > 0.0 && frame_ms > slo) ++s->slo_violations;
+  }
+
+  // 6. Periodic re-admission scan over the windowed mean busy, normalized
+  // to base frame periods so wheel growth does not skew the band.
+  if (cfg_.slo_ms > 0.0 && cfg_.readmit_interval > 0) {
+    window_busy_ms_ += plan.shared_busy_ms *
+                       static_cast<double>(wheel_hz_) /
+                       static_cast<double>(base_fps_);
+    if (++window_ticks_ >= cfg_.readmit_interval) readmit_scan();
   }
 
   ++ticks_;
@@ -334,39 +520,57 @@ void Fleet::run(int ticks) {
 FleetSnapshot Fleet::snapshot() const {
   FleetSnapshot snap;
   snap.ticks = ticks_;
+  snap.wheel_hz = wheel_hz_;
   snap.admitted = static_cast<int>(sessions_.size());
   snap.rejected = rejected_;
   snap.evicted = evicted_;
+  snap.readmitted = readmitted_;
+  snap.batch_splits = batch_splits_;
   snap.shared_batches = shared_batches_;
   snap.isolated_batches = isolated_batches_;
   snap.shared_busy_ms = shared_busy_ms_;
   snap.isolated_busy_ms = isolated_busy_ms_;
-  snap.mean_occupancy = cfg_.frame_period_ms > 0.0
-                            ? tick_busy_ms_.mean() / cfg_.frame_period_ms
-                            : 0.0;
+  snap.total_queue_ms = total_queue_ms_;
+  // Tick period in ms at the CURRENT wheel rate, anchored to the configured
+  // base period so wheel_hz == base_fps reproduces frame_period_ms exactly.
+  const double tick_period_ms =
+      cfg_.frame_period_ms * static_cast<double>(base_fps_) /
+      static_cast<double>(std::max(1, wheel_hz_));
+  snap.mean_occupancy =
+      tick_period_ms > 0.0 ? tick_busy_ms_.mean() / tick_period_ms : 0.0;
   snap.p95_tick_busy_ms =
       tick_busy_ms_.count() ? tick_busy_ms_.percentile(95.0) : 0.0;
   snap.mean_queue_depth = queue_depth_.mean();
+  for (const auto& [name, count] : arbiter_.device_counts())
+    snap.device_pools.emplace_back(name, count);
   for (const auto& s : sessions_) {
     SessionSnapshot ss;
     ss.id = s->id;
     ss.name = s->spec.name;
     ss.state = s->state;
     ss.weight = s->spec.weight;
+    ss.fps = s->fps;
     ss.stride = s->stride;
     ss.tight_masks = s->spec.pipeline.tight_masks;
     ss.frames = s->frames;
     ss.deferred_ticks = s->deferred_ticks;
     ss.slo_violations = s->slo_violations;
+    ss.slo_ms = s->spec.slo_ms >= 0.0 ? s->spec.slo_ms : cfg_.slo_ms;
     if (s->latency_ms.count()) {
       ss.p50_ms = s->latency_ms.percentile(50.0);
       ss.p95_ms = s->latency_ms.percentile(95.0);
       ss.p99_ms = s->latency_ms.percentile(99.0);
       ss.mean_ms = s->latency_ms.mean();
       ss.mean_isolated_ms = s->isolated_ms.mean();
+      ss.mean_queue_ms = s->queue_ms.mean();
     }
-    ss.object_recall = s->pipeline ? s->pipeline->result().object_recall
-                                   : s->final_result.object_recall;
+    const runtime::PipelineResult result =
+        s->pipeline ? s->pipeline->result() : s->final_result;
+    ss.object_recall = result.object_recall;
+    ss.retries = result.total_retries();
+    ss.dropped_msgs = result.total_dropped_msgs();
+    snap.total_retries += ss.retries;
+    snap.total_dropped_msgs += ss.dropped_msgs;
     snap.sessions.push_back(std::move(ss));
   }
   return snap;
@@ -375,17 +579,32 @@ FleetSnapshot Fleet::snapshot() const {
 std::string FleetSnapshot::to_json() const {
   util::Json::Object fleet;
   fleet["ticks"] = util::Json(static_cast<double>(ticks));
+  fleet["wheel_hz"] = util::Json(wheel_hz);
   fleet["admitted"] = util::Json(admitted);
   fleet["rejected"] = util::Json(rejected);
   fleet["evicted"] = util::Json(evicted);
+  fleet["readmitted"] = util::Json(readmitted);
+  fleet["batch_splits"] = util::Json(static_cast<double>(batch_splits));
   fleet["shared_batches"] = util::Json(static_cast<double>(shared_batches));
   fleet["isolated_batches"] =
       util::Json(static_cast<double>(isolated_batches));
   fleet["shared_busy_ms"] = util::Json(shared_busy_ms);
   fleet["isolated_busy_ms"] = util::Json(isolated_busy_ms);
+  fleet["total_queue_ms"] = util::Json(total_queue_ms);
+  fleet["total_retries"] = util::Json(static_cast<double>(total_retries));
+  fleet["total_dropped_msgs"] =
+      util::Json(static_cast<double>(total_dropped_msgs));
   fleet["mean_occupancy"] = util::Json(mean_occupancy);
   fleet["p95_tick_busy_ms"] = util::Json(p95_tick_busy_ms);
   fleet["mean_queue_depth"] = util::Json(mean_queue_depth);
+  util::Json::Array pools;
+  for (const auto& [name, count] : device_pools) {
+    util::Json::Object pool;
+    pool["class"] = util::Json(name);
+    pool["devices"] = util::Json(count);
+    pools.push_back(util::Json(std::move(pool)));
+  }
+  fleet["device_pools"] = util::Json(std::move(pools));
 
   util::Json::Array session_array;
   for (const SessionSnapshot& s : sessions) {
@@ -394,16 +613,21 @@ std::string FleetSnapshot::to_json() const {
     obj["name"] = util::Json(s.name);
     obj["state"] = util::Json(to_string(s.state));
     obj["weight"] = util::Json(s.weight);
+    obj["fps"] = util::Json(s.fps);
     obj["stride"] = util::Json(s.stride);
     obj["tight_masks"] = util::Json(s.tight_masks);
     obj["frames"] = util::Json(static_cast<double>(s.frames));
     obj["deferred_ticks"] = util::Json(static_cast<double>(s.deferred_ticks));
     obj["slo_violations"] = util::Json(static_cast<double>(s.slo_violations));
+    obj["slo_ms"] = util::Json(s.slo_ms);
     obj["p50_ms"] = util::Json(s.p50_ms);
     obj["p95_ms"] = util::Json(s.p95_ms);
     obj["p99_ms"] = util::Json(s.p99_ms);
     obj["mean_ms"] = util::Json(s.mean_ms);
     obj["mean_isolated_ms"] = util::Json(s.mean_isolated_ms);
+    obj["mean_queue_ms"] = util::Json(s.mean_queue_ms);
+    obj["retries"] = util::Json(static_cast<double>(s.retries));
+    obj["dropped_msgs"] = util::Json(static_cast<double>(s.dropped_msgs));
     obj["object_recall"] = util::Json(s.object_recall);
     session_array.push_back(util::Json(std::move(obj)));
   }

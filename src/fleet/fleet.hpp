@@ -3,30 +3,57 @@
 //
 // Hosts many concurrent runtime::Pipeline sessions (independent multi-view
 // deployments) over ONE shared util::ThreadPool and one shared simulated
-// GPU complex (fleet::GpuArbiter). The fleet advances in ticks of
-// frame_period_ms; each tick the dispatch policy picks which sessions run a
-// frame, the sessions execute concurrently on the pool, and the arbiter
-// merges their partial-frame tasks into cross-session batches with
-// per-session latency attribution.
+// GPU complex (fleet::GpuArbiter). The fleet advances on a tick wheel;
+// each tick the dispatch policy picks which due sessions run a frame, the
+// sessions execute concurrently on the pool, and the arbiter merges their
+// partial-frame tasks into cross-session batches with per-session latency
+// attribution and device-pool queueing delay.
+//
+// Heterogeneous tick rates: sessions declare a native fps (SessionSpec::fps,
+// 0 = the fleet base rate 1000 / frame_period_ms). The wheel runs at the
+// least common multiple of all admitted rates and grows on demand — when a
+// non-dividing rate is admitted, every session's period and phase (and the
+// tick counter) are rescaled so established firing patterns continue
+// unchanged. A session fires every wheel_hz / fps ticks.
 //
 // Admission control: with an SLO configured, a candidate session is only
-// admitted if the projected fleet per-tick GPU demand stays within the
+// admitted if the projected fleet per-period GPU demand stays within the
 // deadline; otherwise the controller degrades it (priority-mask tightening,
 // then frame-rate halving, then both) and admits the first fitting mode, or
-// rejects. Session lifecycle (admit/pause/resume/evict/defer) is exported
-// through the existing TraceRecorder JSON path and aggregated into
-// per-session and fleet-level rollups (p50/p95/p99 latency, queue depth,
-// GPU occupancy, admission counters).
+// rejects. Dynamic re-admission reverses the ladder: every readmit_interval
+// ticks the fleet compares the windowed mean of observed tick busy against
+// a hysteresis band under the SLO and, when demand has fallen, restores one
+// rung (full rate first, then mask un-tightening via
+// Pipeline::set_tight_masks) for the lowest-id degraded session whose
+// projected demand still fits below the high-water mark.
 //
-// A fleet of one session with the ideal transport reproduces a standalone
-// Pipeline::run bit-identically (guarded by test_runtime.FleetOfOne...).
+// Elastic device pools: every accelerator class starts with one device;
+// Fleet::scale_devices grows or shrinks a class's pool at runtime. The
+// arbiter charges explicit queueing delay whenever a tick's merged plan
+// exceeds one device's throughput, and (when FleetConfig::allow_split is
+// on) may split an over-full merged batch across two tick slots to protect
+// a high-weight session's SLO — deferred task slices are re-injected into
+// the owner's next submission, so attribution stays conservation-exact.
+//
+// Session lifecycle (admit/pause/resume/evict/defer/readmit) plus
+// device_scale and batch_split events are exported through the existing
+// TraceRecorder JSON path and aggregated into per-session and fleet-level
+// rollups (p50/p95/p99 latency, queueing, GPU occupancy, admission
+// counters, transport retry/drop totals).
+//
+// A fleet of one unscaled full-rate session with the ideal transport
+// reproduces a standalone Pipeline::run bit-identically (guarded by
+// test_runtime.FleetOfOne...).
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fleet/arbiter.hpp"
+#include "runtime/config.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/trace.hpp"
 #include "util/stats.hpp"
@@ -47,7 +74,8 @@ struct FleetConfig {
   /// Per-tick GPU latency deadline (ms). <= 0 disables admission control
   /// and dispatch deferral: every session is admitted and runs every tick.
   double slo_ms = 0.0;
-  /// Tick length; the paper's scenarios stream at 10 fps.
+  /// Base tick length; the paper's scenarios stream at 10 fps. Sessions
+  /// with a different native fps grow the wheel (see wheel_hz()).
   double frame_period_ms = 100.0;
   DispatchPolicy dispatch = DispatchPolicy::kRoundRobin;
   /// Shared worker pool width (0 = hardware concurrency). All sessions'
@@ -58,15 +86,25 @@ struct FleetConfig {
   /// Admission estimator: assumed steady-state partial-frame tasks per
   /// camera per regular frame (coarse planning constant; see DESIGN.md §8).
   double assumed_tasks_per_camera = 4.0;
+  /// Ticks between re-admission scans (reverse degrade ladder); 0 keeps
+  /// degradation sticky for a session's lifetime.
+  int readmit_interval = 10;
+  /// Hysteresis band as fractions of the SLO: a scan only restores when
+  /// the windowed mean busy sits below low water AND the projection after
+  /// restoring stays below high water (prevents admit/degrade oscillation).
+  double readmit_low_water = 0.7;
+  double readmit_high_water = 0.9;
+  /// Let the arbiter split an over-full merged batch across two tick slots
+  /// when a top-weight session would miss the SLO.
+  bool allow_split = false;
 };
 
-struct SessionSpec {
-  std::string name;
-  std::string scenario = "S2";
-  runtime::PipelineConfig pipeline;
-  /// Weighted-priority dispatch share; higher = deferred later.
-  double weight = 1.0;
-};
+/// The per-session serving spec is owned by runtime::config (the JSON-
+/// facing layer); the fleet consumes it verbatim. See
+/// runtime::FleetSessionSpec for the full field reference — name,
+/// scenario, pipeline, weight, native fps, SLO override, and the optional
+/// per-session fault profile that replaces reaching into pipeline.faults.
+using SessionSpec = runtime::FleetSessionSpec;
 
 enum class SessionState { kActive, kPaused, kEvicted };
 
@@ -76,7 +114,7 @@ struct AdmitResult {
   int session_id = -1;  ///< -1 when rejected
   bool admitted = false;
   bool masks_tightened = false;  ///< degraded: solo-coverage adoption only
-  bool rate_halved = false;      ///< degraded: runs every other tick
+  bool rate_halved = false;      ///< degraded: runs at half its native rate
   double projected_ms = 0.0;     ///< fleet demand estimate at decision time
   std::string reason;
 };
@@ -87,33 +125,54 @@ struct SessionSnapshot {
   std::string name;
   SessionState state = SessionState::kActive;
   double weight = 1.0;
+  int fps = 0;               ///< native rate (resolved; base rate if 0 in spec)
   int stride = 1;            ///< 2 when frame-rate halved
   bool tight_masks = false;
   long frames = 0;           ///< frames actually run
   long deferred_ticks = 0;   ///< ticks lost to dispatch deferral
-  long slo_violations = 0;   ///< frames whose attributed latency > SLO
+  long slo_violations = 0;   ///< frames whose latency > effective SLO
+  double slo_ms = 0.0;       ///< effective SLO (session override or fleet)
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
-  double mean_ms = 0.0;           ///< mean attributed frame latency
+  double mean_ms = 0.0;           ///< mean frame latency (attributed + queue)
   double mean_isolated_ms = 0.0;  ///< same work on dedicated devices
+  double mean_queue_ms = 0.0;     ///< mean device-pool queueing per frame
+  long retries = 0;               ///< transport retransmissions (lossy only)
+  long dropped_msgs = 0;          ///< messages lost after all retries
   double object_recall = 0.0;
 };
 
 /// Fleet-level rollup.
 struct FleetSnapshot {
   long ticks = 0;
+  int wheel_hz = 0;  ///< current tick-wheel rate (lcm of admitted rates)
   int admitted = 0, rejected = 0, evicted = 0;
+  int readmitted = 0;       ///< degrade-ladder rungs restored
+  long batch_splits = 0;    ///< arbiter batch splits across all ticks
   long shared_batches = 0, isolated_batches = 0;
   double shared_busy_ms = 0.0, isolated_busy_ms = 0.0;
-  /// Mean per-tick GPU busy time / frame period; > 1 means saturated.
+  double total_queue_ms = 0.0;  ///< summed device-pool queueing delay
+  /// Transport fault rollups summed over all sessions (lossy only).
+  long total_retries = 0;
+  long total_dropped_msgs = 0;
+  /// Mean per-tick GPU busy time / tick period; > 1 means saturated.
   double mean_occupancy = 0.0;
   double p95_tick_busy_ms = 0.0;
   /// Mean sessions deferred per tick (dispatch queue depth).
   double mean_queue_depth = 0.0;
+  /// Accelerator pools by class name (count >= 1 per class in use).
+  std::vector<std::pair<std::string, int>> device_pools;
   std::vector<SessionSnapshot> sessions;
 
   /// JSON document of the whole rollup (fleet object + sessions array).
   std::string to_json() const;
 };
+
+/// Build a FleetConfig from the config-file representation; nullopt (with
+/// *error filled) on an unknown dispatch policy name. Session specs and
+/// device_scale entries are NOT applied here — admit() / scale_devices()
+/// them explicitly (see tools/mvsched_cli.cpp for the canonical loop).
+std::optional<FleetConfig> make_fleet_config(
+    const runtime::FleetRunConfig& config, std::string* error = nullptr);
 
 class Fleet {
  public:
@@ -126,6 +185,9 @@ class Fleet {
   /// Admission-controlled session creation. On admission the pipeline is
   /// built (scenario + association training) against the shared pool; on
   /// rejection nothing is constructed beyond the device-profile probe.
+  /// spec.faults (when set) replaces the pipeline fault profile and, unless
+  /// fault-free, selects the lossy transport. A native fps that does not
+  /// divide the current wheel grows it to the least common multiple.
   AdmitResult admit(const SessionSpec& spec);
 
   /// Lifecycle transitions; false when `id` is unknown or already evicted
@@ -135,12 +197,22 @@ class Fleet {
   bool pause(int id);
   bool resume(int id);
 
-  /// Advance one tick: dispatch, step the chosen sessions concurrently,
-  /// merge their GPU work cross-session, update rollups.
+  /// Grow (delta > 0) or shrink (delta < 0) the device pool of an
+  /// accelerator class at runtime; pools never drop below one device.
+  /// Returns the new pool size and records a device_scale trace event.
+  int scale_devices(const std::string& device_class, int delta);
+
+  /// Advance one wheel tick: dispatch, step the due sessions concurrently,
+  /// merge their GPU work cross-session, update rollups, and (periodically)
+  /// run the re-admission scan.
   void step();
   void run(int ticks);
 
   long ticks() const { return ticks_; }
+  /// Current tick-wheel rate (ticks per second). Starts at the base rate
+  /// 1000 / frame_period_ms and grows to the lcm of admitted native rates;
+  /// growing rescales ticks() so firing phases are preserved.
+  int wheel_hz() const { return wheel_hz_; }
   std::size_t session_count() const;        ///< admitted, incl. paused
   SessionState state(int id) const;         ///< kEvicted for unknown ids
   /// Everything the session has run so far (survives eviction).
@@ -148,7 +220,8 @@ class Fleet {
   FleetSnapshot snapshot() const;
 
   /// Record session lifecycle events (admit/reject/evict/pause/resume/
-  /// defer) into `trace`; pass nullptr to detach.
+  /// defer/readmit) plus device_scale and batch_split into `trace`; pass
+  /// nullptr to detach.
   void attach_trace(runtime::TraceRecorder* trace);
 
   util::ThreadPool& pool() { return pool_; }
@@ -161,10 +234,15 @@ class Fleet {
   /// Deterministic static demand estimate for a candidate deployment.
   double estimate_demand_ms(const std::vector<gpu::DeviceProfile>& devices,
                             int horizon_frames) const;
-  /// Current demand of an admitted session: observed mean per-frame
-  /// attributed busy once it has run, else its static estimate; halved by
-  /// its stride.
+  /// Observed (or estimated) GPU busy per frame of an admitted session.
+  double session_frame_ms(const Session& s) const;
+  /// Demand normalized to one base frame period: frame cost x the
+  /// session's firing rate relative to the base rate.
   double session_demand_ms(const Session& s) const;
+  /// Grow the wheel so `fps` divides it, rescaling periods/phases/ticks.
+  void grow_wheel(int fps);
+  /// Reverse degrade ladder: restore at most one rung across the fleet.
+  void readmit_scan();
   void record(runtime::TraceEventType type, int session_id, double value);
 
   FleetConfig cfg_;
@@ -174,12 +252,20 @@ class Fleet {
   runtime::TraceRecorder* trace_ = nullptr;
 
   long ticks_ = 0;
+  int base_fps_ = 10;   ///< 1000 / frame_period_ms, floor 1
+  int wheel_hz_ = 10;   ///< current wheel rate (>= base_fps_)
   int rejected_ = 0;
   int evicted_ = 0;
+  int readmitted_ = 0;
+  long batch_splits_ = 0;
   long shared_batches_ = 0;
   long isolated_batches_ = 0;
   double shared_busy_ms_ = 0.0;
   double isolated_busy_ms_ = 0.0;
+  double total_queue_ms_ = 0.0;
+  /// Re-admission window accumulator (busy normalized to base periods).
+  double window_busy_ms_ = 0.0;
+  int window_ticks_ = 0;
   util::SampleSet tick_busy_ms_;
   util::SampleSet queue_depth_;
 };

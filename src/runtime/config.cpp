@@ -21,6 +21,268 @@ std::optional<Policy> parse_policy(std::string name) {
   return std::nullopt;
 }
 
+namespace {
+
+bool valid_scenario(const std::string& name) {
+  return name == "S1" || name == "S2" || name == "S3";
+}
+
+/// Read loss/jitter/retry/dropout keys from `obj` into `faults`. The same
+/// key set appears flattened inside a "pipeline" object and as a session's
+/// standalone "faults" object.
+bool parse_faults(const util::Json& obj, netsim::FaultConfig* faults,
+                  std::string* error) {
+  faults->loss_rate = obj.number_or("loss_rate", faults->loss_rate);
+  faults->jitter_ms = obj.number_or("jitter_ms", faults->jitter_ms);
+  faults->retry_timeout_ms =
+      obj.number_or("retry_timeout_ms", faults->retry_timeout_ms);
+  faults->max_retries =
+      static_cast<int>(obj.number_or("max_retries", faults->max_retries));
+  if (const util::Json* drops = obj.find("dropouts")) {
+    if (!drops->is_array()) {
+      if (error) *error = "\"dropouts\" must be an array";
+      return false;
+    }
+    for (const util::Json& d : drops->as_array()) {
+      netsim::DropoutWindow w;
+      w.camera = static_cast<int>(d.number_or("camera", -1));
+      w.from_frame = static_cast<long>(d.number_or("from", 0));
+      w.to_frame = static_cast<long>(d.number_or("to", -1));
+      if (w.camera < 0) {
+        if (error) *error = "dropout entry missing a valid \"camera\"";
+        return false;
+      }
+      faults->dropouts.push_back(w);
+    }
+  }
+  if (faults->loss_rate < 0.0 || faults->loss_rate >= 1.0 ||
+      faults->jitter_ms < 0.0 || faults->retry_timeout_ms <= 0.0 ||
+      faults->max_retries < 0) {
+    if (error) *error = "fault parameters out of range";
+    return false;
+  }
+  return true;
+}
+
+/// Parse a "pipeline" object on top of the defaults already in `pc`.
+bool parse_pipeline(const util::Json& p, PipelineConfig* pc,
+                    std::string* error) {
+  if (!p.is_object()) {
+    if (error) *error = "\"pipeline\" must be an object";
+    return false;
+  }
+  const auto policy = parse_policy(p.string_or("policy", "balb"));
+  if (!policy) {
+    if (error) *error = "unknown policy: " + p.string_or("policy", "");
+    return false;
+  }
+  pc->policy = *policy;
+  pc->horizon_frames =
+      static_cast<int>(p.number_or("horizon_frames", pc->horizon_frames));
+  pc->training_frames =
+      static_cast<int>(p.number_or("training_frames", pc->training_frames));
+  pc->mask_cell_px =
+      static_cast<int>(p.number_or("mask_cell_px", pc->mask_cell_px));
+  pc->recall_iou = p.number_or("recall_iou", pc->recall_iou);
+  pc->seed = static_cast<std::uint64_t>(
+      p.number_or("seed", static_cast<double>(pc->seed)));
+  pc->verbose = p.bool_or("verbose", pc->verbose);
+  pc->threads = static_cast<int>(p.number_or("threads", pc->threads));
+  pc->tile_flow = p.bool_or("tile_flow", pc->tile_flow);
+  pc->tight_masks = p.bool_or("tight_masks", pc->tight_masks);
+  if (pc->horizon_frames < 1 || pc->training_frames < 0 ||
+      pc->mask_cell_px < 1 || pc->threads < 0) {
+    if (error) *error = "pipeline parameters out of range";
+    return false;
+  }
+  const auto transport = net::parse_transport(p.string_or("transport", "ideal"));
+  if (!transport) {
+    if (error) *error = "unknown transport: " + p.string_or("transport", "");
+    return false;
+  }
+  pc->transport = *transport;
+  return parse_faults(p, &pc->faults, error);
+}
+
+/// Parse the "fleet" block. Session entries inherit the document's
+/// top-level scenario and pipeline unless they override them.
+bool parse_fleet(const util::Json& f, const RunConfig& base,
+                 FleetRunConfig* fleet, std::string* error) {
+  if (!f.is_object()) {
+    if (error) *error = "\"fleet\" must be an object";
+    return false;
+  }
+  fleet->slo_ms = f.number_or("slo_ms", fleet->slo_ms);
+  fleet->frame_period_ms =
+      f.number_or("frame_period_ms", fleet->frame_period_ms);
+  fleet->dispatch = f.string_or("dispatch", fleet->dispatch);
+  fleet->threads = static_cast<int>(f.number_or("threads", fleet->threads));
+  fleet->allow_degrade = f.bool_or("allow_degrade", fleet->allow_degrade);
+  fleet->assumed_tasks_per_camera = f.number_or(
+      "assumed_tasks_per_camera", fleet->assumed_tasks_per_camera);
+  fleet->readmit_interval = static_cast<int>(
+      f.number_or("readmit_interval", fleet->readmit_interval));
+  fleet->readmit_low_water =
+      f.number_or("readmit_low_water", fleet->readmit_low_water);
+  fleet->readmit_high_water =
+      f.number_or("readmit_high_water", fleet->readmit_high_water);
+  fleet->allow_split = f.bool_or("allow_split", fleet->allow_split);
+  if (fleet->frame_period_ms <= 0.0 || fleet->threads < 0 ||
+      fleet->readmit_interval < 0 ||
+      fleet->readmit_low_water > fleet->readmit_high_water) {
+    if (error) *error = "fleet parameters out of range";
+    return false;
+  }
+
+  if (const util::Json* scale = f.find("device_scale")) {
+    if (!scale->is_array()) {
+      if (error) *error = "\"device_scale\" must be an array";
+      return false;
+    }
+    for (const util::Json& entry : scale->as_array()) {
+      FleetDeviceScale ds;
+      ds.device_class = entry.string_or("class", "");
+      ds.delta = static_cast<int>(entry.number_or("delta", 0));
+      if (ds.device_class.empty()) {
+        if (error) *error = "device_scale entry missing a \"class\"";
+        return false;
+      }
+      fleet->device_scale.push_back(std::move(ds));
+    }
+  }
+
+  if (const util::Json* sessions = f.find("sessions")) {
+    if (!sessions->is_array()) {
+      if (error) *error = "\"sessions\" must be an array";
+      return false;
+    }
+    for (const util::Json& entry : sessions->as_array()) {
+      if (!entry.is_object()) {
+        if (error) *error = "session entries must be objects";
+        return false;
+      }
+      FleetSessionSpec spec;
+      spec.scenario = base.scenario;
+      spec.pipeline = base.pipeline;
+      spec.name = entry.string_or("name", spec.name);
+      spec.scenario = entry.string_or("scenario", spec.scenario);
+      spec.weight = entry.number_or("weight", spec.weight);
+      spec.fps = static_cast<int>(entry.number_or("fps", spec.fps));
+      spec.slo_ms = entry.number_or("slo_ms", spec.slo_ms);
+      if (!valid_scenario(spec.scenario)) {
+        if (error) *error = "unknown session scenario: " + spec.scenario;
+        return false;
+      }
+      if (spec.weight <= 0.0 || spec.fps < 0) {
+        if (error) *error = "session parameters out of range";
+        return false;
+      }
+      if (const util::Json* p = entry.find("pipeline"))
+        if (!parse_pipeline(*p, &spec.pipeline, error)) return false;
+      if (const util::Json* faults = entry.find("faults")) {
+        if (!faults->is_object()) {
+          if (error) *error = "session \"faults\" must be an object";
+          return false;
+        }
+        netsim::FaultConfig fc;
+        if (!parse_faults(*faults, &fc, error)) return false;
+        spec.faults = std::move(fc);
+      }
+      fleet->sessions.push_back(std::move(spec));
+    }
+  }
+  return true;
+}
+
+util::Json dump_dropouts(const netsim::FaultConfig& faults) {
+  util::Json::Array dropouts;
+  for (const netsim::DropoutWindow& w : faults.dropouts) {
+    util::Json::Object entry;
+    entry["camera"] = util::Json(w.camera);
+    entry["from"] = util::Json(static_cast<double>(w.from_frame));
+    entry["to"] = util::Json(static_cast<double>(w.to_frame));
+    dropouts.push_back(util::Json(std::move(entry)));
+  }
+  return util::Json(std::move(dropouts));
+}
+
+util::Json dump_pipeline(const PipelineConfig& pc) {
+  using util::Json;
+  Json::Object pipeline;
+  const char* policy = "balb";
+  switch (pc.policy) {
+    case Policy::kFull: policy = "full"; break;
+    case Policy::kBalbInd: policy = "balb-ind"; break;
+    case Policy::kBalbCen: policy = "balb-cen"; break;
+    case Policy::kBalb: policy = "balb"; break;
+    case Policy::kStaticPartition: policy = "sp"; break;
+  }
+  pipeline["policy"] = Json(policy);
+  pipeline["horizon_frames"] = Json(pc.horizon_frames);
+  pipeline["training_frames"] = Json(pc.training_frames);
+  pipeline["mask_cell_px"] = Json(pc.mask_cell_px);
+  pipeline["recall_iou"] = Json(pc.recall_iou);
+  pipeline["seed"] = Json(static_cast<double>(pc.seed));
+  pipeline["verbose"] = Json(pc.verbose);
+  pipeline["threads"] = Json(pc.threads);
+  pipeline["tile_flow"] = Json(pc.tile_flow);
+  pipeline["tight_masks"] = Json(pc.tight_masks);
+  pipeline["transport"] = Json(net::to_string(pc.transport));
+  pipeline["loss_rate"] = Json(pc.faults.loss_rate);
+  pipeline["jitter_ms"] = Json(pc.faults.jitter_ms);
+  pipeline["retry_timeout_ms"] = Json(pc.faults.retry_timeout_ms);
+  pipeline["max_retries"] = Json(pc.faults.max_retries);
+  pipeline["dropouts"] = dump_dropouts(pc.faults);
+  return Json(std::move(pipeline));
+}
+
+util::Json dump_fleet(const FleetRunConfig& fleet) {
+  using util::Json;
+  Json::Object f;
+  f["slo_ms"] = Json(fleet.slo_ms);
+  f["frame_period_ms"] = Json(fleet.frame_period_ms);
+  f["dispatch"] = Json(fleet.dispatch);
+  f["threads"] = Json(fleet.threads);
+  f["allow_degrade"] = Json(fleet.allow_degrade);
+  f["assumed_tasks_per_camera"] = Json(fleet.assumed_tasks_per_camera);
+  f["readmit_interval"] = Json(fleet.readmit_interval);
+  f["readmit_low_water"] = Json(fleet.readmit_low_water);
+  f["readmit_high_water"] = Json(fleet.readmit_high_water);
+  f["allow_split"] = Json(fleet.allow_split);
+  Json::Array scale;
+  for (const FleetDeviceScale& ds : fleet.device_scale) {
+    Json::Object entry;
+    entry["class"] = Json(ds.device_class);
+    entry["delta"] = Json(ds.delta);
+    scale.push_back(Json(std::move(entry)));
+  }
+  f["device_scale"] = Json(std::move(scale));
+  Json::Array sessions;
+  for (const FleetSessionSpec& spec : fleet.sessions) {
+    Json::Object s;
+    s["name"] = Json(spec.name);
+    s["scenario"] = Json(spec.scenario);
+    s["weight"] = Json(spec.weight);
+    s["fps"] = Json(spec.fps);
+    s["slo_ms"] = Json(spec.slo_ms);
+    s["pipeline"] = dump_pipeline(spec.pipeline);
+    if (spec.faults) {
+      Json::Object faults;
+      faults["loss_rate"] = Json(spec.faults->loss_rate);
+      faults["jitter_ms"] = Json(spec.faults->jitter_ms);
+      faults["retry_timeout_ms"] = Json(spec.faults->retry_timeout_ms);
+      faults["max_retries"] = Json(spec.faults->max_retries);
+      faults["dropouts"] = dump_dropouts(*spec.faults);
+      s["faults"] = Json(std::move(faults));
+    }
+    sessions.push_back(Json(std::move(s)));
+  }
+  f["sessions"] = Json(std::move(sessions));
+  return Json(std::move(f));
+}
+
+}  // namespace
+
 std::optional<RunConfig> parse_run_config(const std::string& json_text,
                                           std::string* error) {
   const auto doc = util::Json::parse(json_text, error);
@@ -32,124 +294,30 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
 
   RunConfig config;
   config.scenario = doc->string_or("scenario", config.scenario);
-  if (config.scenario != "S1" && config.scenario != "S2" &&
-      config.scenario != "S3") {
+  if (!valid_scenario(config.scenario)) {
     if (error) *error = "unknown scenario: " + config.scenario;
     return std::nullopt;
   }
   config.frames = static_cast<int>(doc->number_or("frames", config.frames));
 
-  if (const util::Json* p = doc->find("pipeline")) {
-    if (!p->is_object()) {
-      if (error) *error = "\"pipeline\" must be an object";
-      return std::nullopt;
-    }
-    PipelineConfig& pc = config.pipeline;
-    const auto policy = parse_policy(p->string_or("policy", "balb"));
-    if (!policy) {
-      if (error) *error = "unknown policy: " + p->string_or("policy", "");
-      return std::nullopt;
-    }
-    pc.policy = *policy;
-    pc.horizon_frames =
-        static_cast<int>(p->number_or("horizon_frames", pc.horizon_frames));
-    pc.training_frames =
-        static_cast<int>(p->number_or("training_frames", pc.training_frames));
-    pc.mask_cell_px =
-        static_cast<int>(p->number_or("mask_cell_px", pc.mask_cell_px));
-    pc.recall_iou = p->number_or("recall_iou", pc.recall_iou);
-    pc.seed = static_cast<std::uint64_t>(
-        p->number_or("seed", static_cast<double>(pc.seed)));
-    pc.verbose = p->bool_or("verbose", pc.verbose);
-    pc.threads = static_cast<int>(p->number_or("threads", pc.threads));
-    pc.tile_flow = p->bool_or("tile_flow", pc.tile_flow);
-    if (pc.horizon_frames < 1 || pc.training_frames < 0 ||
-        pc.mask_cell_px < 1 || pc.threads < 0) {
-      if (error) *error = "pipeline parameters out of range";
-      return std::nullopt;
-    }
+  if (const util::Json* p = doc->find("pipeline"))
+    if (!parse_pipeline(*p, &config.pipeline, error)) return std::nullopt;
 
-    const auto transport =
-        net::parse_transport(p->string_or("transport", "ideal"));
-    if (!transport) {
-      if (error) *error = "unknown transport: " + p->string_or("transport", "");
-      return std::nullopt;
-    }
-    pc.transport = *transport;
-    netsim::FaultConfig& faults = pc.faults;
-    faults.loss_rate = p->number_or("loss_rate", faults.loss_rate);
-    faults.jitter_ms = p->number_or("jitter_ms", faults.jitter_ms);
-    faults.retry_timeout_ms =
-        p->number_or("retry_timeout_ms", faults.retry_timeout_ms);
-    faults.max_retries =
-        static_cast<int>(p->number_or("max_retries", faults.max_retries));
-    if (const util::Json* drops = p->find("dropouts")) {
-      if (!drops->is_array()) {
-        if (error) *error = "\"dropouts\" must be an array";
-        return std::nullopt;
-      }
-      for (const util::Json& d : drops->as_array()) {
-        netsim::DropoutWindow w;
-        w.camera = static_cast<int>(d.number_or("camera", -1));
-        w.from_frame = static_cast<long>(d.number_or("from", 0));
-        w.to_frame = static_cast<long>(d.number_or("to", -1));
-        if (w.camera < 0) {
-          if (error) *error = "dropout entry missing a valid \"camera\"";
-          return std::nullopt;
-        }
-        faults.dropouts.push_back(w);
-      }
-    }
-    if (faults.loss_rate < 0.0 || faults.loss_rate >= 1.0 ||
-        faults.jitter_ms < 0.0 || faults.retry_timeout_ms <= 0.0 ||
-        faults.max_retries < 0) {
-      if (error) *error = "fault parameters out of range";
-      return std::nullopt;
-    }
+  if (const util::Json* f = doc->find("fleet")) {
+    FleetRunConfig fleet;
+    if (!parse_fleet(*f, config, &fleet, error)) return std::nullopt;
+    config.fleet = std::move(fleet);
   }
   return config;
 }
 
 std::string dump_run_config(const RunConfig& config) {
   using util::Json;
-  Json::Object pipeline;
-  const char* policy = "balb";
-  switch (config.pipeline.policy) {
-    case Policy::kFull: policy = "full"; break;
-    case Policy::kBalbInd: policy = "balb-ind"; break;
-    case Policy::kBalbCen: policy = "balb-cen"; break;
-    case Policy::kBalb: policy = "balb"; break;
-    case Policy::kStaticPartition: policy = "sp"; break;
-  }
-  pipeline["policy"] = Json(policy);
-  pipeline["horizon_frames"] = Json(config.pipeline.horizon_frames);
-  pipeline["training_frames"] = Json(config.pipeline.training_frames);
-  pipeline["mask_cell_px"] = Json(config.pipeline.mask_cell_px);
-  pipeline["recall_iou"] = Json(config.pipeline.recall_iou);
-  pipeline["seed"] = Json(static_cast<double>(config.pipeline.seed));
-  pipeline["verbose"] = Json(config.pipeline.verbose);
-  pipeline["threads"] = Json(config.pipeline.threads);
-  pipeline["tile_flow"] = Json(config.pipeline.tile_flow);
-  pipeline["transport"] = Json(net::to_string(config.pipeline.transport));
-  const netsim::FaultConfig& faults = config.pipeline.faults;
-  pipeline["loss_rate"] = Json(faults.loss_rate);
-  pipeline["jitter_ms"] = Json(faults.jitter_ms);
-  pipeline["retry_timeout_ms"] = Json(faults.retry_timeout_ms);
-  pipeline["max_retries"] = Json(faults.max_retries);
-  Json::Array dropouts;
-  for (const netsim::DropoutWindow& w : faults.dropouts) {
-    Json::Object entry;
-    entry["camera"] = Json(w.camera);
-    entry["from"] = Json(static_cast<double>(w.from_frame));
-    entry["to"] = Json(static_cast<double>(w.to_frame));
-    dropouts.push_back(Json(std::move(entry)));
-  }
-  pipeline["dropouts"] = Json(std::move(dropouts));
-
   Json::Object root;
   root["scenario"] = Json(config.scenario);
   root["frames"] = Json(config.frames);
-  root["pipeline"] = Json(std::move(pipeline));
+  root["pipeline"] = dump_pipeline(config.pipeline);
+  if (config.fleet) root["fleet"] = dump_fleet(*config.fleet);
   return Json(std::move(root)).dump();
 }
 

@@ -1,6 +1,7 @@
 #pragma once
-// JSON run configuration for the pipeline — what a deployment would ship in
-// /etc: scenario, policy, horizon, seeds. Round-trips through util::Json.
+// JSON run configuration for the pipeline and the fleet — what a deployment
+// would ship in /etc: scenario, policy, horizon, seeds, and (optionally) a
+// whole multi-session fleet. Round-trips through util::Json.
 //
 // Example document:
 //   {
@@ -9,20 +10,94 @@
 //     "pipeline": {
 //       "policy": "balb", "horizon_frames": 10,
 //       "training_frames": 200, "seed": 42
+//     },
+//     "fleet": {
+//       "slo_ms": 120, "dispatch": "weighted", "readmit_interval": 10,
+//       "allow_split": true,
+//       "device_scale": [{"class": "jetson-nano", "delta": 1}],
+//       "sessions": [
+//         {"name": "cam-east", "scenario": "S2", "weight": 2, "fps": 15,
+//          "slo_ms": 90, "faults": {"loss_rate": 0.05}}
+//       ]
 //     }
 //   }
+//
+// Session entries inherit the document's top-level scenario and pipeline
+// unless they override them; a session "faults" object builds a per-session
+// netsim::FaultConfig and implies the lossy transport (the self-contained
+// session API — prefer it over reaching into pipeline.faults).
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "runtime/pipeline.hpp"
 
 namespace mvs::runtime {
 
+/// Self-contained per-session serving spec. mvs::fleet aliases this as
+/// fleet::SessionSpec; everything a hosted session needs lives here —
+/// deployment, QoS declaration (fps + SLO override), dispatch weight, and
+/// an optional private transport fault profile.
+struct FleetSessionSpec {
+  std::string name;
+  std::string scenario = "S2";
+  PipelineConfig pipeline;
+  /// Weighted-priority dispatch share; higher = deferred later, and batch
+  /// splits shed lower-weight tasks first.
+  double weight = 1.0;
+  /// Native frame rate (fps). 0 = the fleet's base rate
+  /// (1000 / frame_period_ms). Rates that do not divide the current tick
+  /// wheel grow it to the least common multiple.
+  int fps = 0;
+  /// Per-session latency SLO override (ms) for violation accounting;
+  /// < 0 = the fleet-wide SLO.
+  double slo_ms = -1.0;
+  /// Per-session transport fault profile. When set it replaces
+  /// pipeline.faults and, unless fault-free, implies the lossy transport.
+  /// Preferred over mutating pipeline.faults directly (deprecated for
+  /// hosted sessions).
+  std::optional<netsim::FaultConfig> faults;
+};
+
+/// Runtime device-pool adjustment applied after admission
+/// (Fleet::scale_devices).
+struct FleetDeviceScale {
+  std::string device_class;
+  int delta = 0;
+};
+
+/// The "fleet" block of a run config: fleet-wide knobs plus the session
+/// roster. `dispatch` stays a string here (validated by
+/// fleet::make_fleet_config) so this layer has no dependency on mvs::fleet.
+struct FleetRunConfig {
+  double slo_ms = 0.0;
+  double frame_period_ms = 100.0;
+  std::string dispatch = "round-robin";
+  int threads = 0;
+  bool allow_degrade = true;
+  double assumed_tasks_per_camera = 4.0;
+  /// Ticks between re-admission scans (reverse degrade ladder); 0 keeps
+  /// degradation sticky for a session's lifetime.
+  int readmit_interval = 10;
+  /// Hysteresis band (fractions of the SLO): scan only when the windowed
+  /// demand falls below low water, restore only if the projection stays
+  /// below high water.
+  double readmit_low_water = 0.7;
+  double readmit_high_water = 0.9;
+  /// Let the arbiter split an over-full merged batch across two tick slots.
+  bool allow_split = false;
+  std::vector<FleetDeviceScale> device_scale;
+  std::vector<FleetSessionSpec> sessions;
+};
+
 struct RunConfig {
   std::string scenario = "S1";
   int frames = 200;
   PipelineConfig pipeline;
+  /// Present when the document carries a "fleet" block: run a multi-session
+  /// fleet instead of a standalone pipeline.
+  std::optional<FleetRunConfig> fleet;
 };
 
 /// Parse a policy name ("full", "balb-ind", "balb-cen", "balb", "sp"),
@@ -34,7 +109,8 @@ std::optional<Policy> parse_policy(std::string name);
 std::optional<RunConfig> parse_run_config(const std::string& json_text,
                                           std::string* error = nullptr);
 
-/// Serialize back to JSON (round-trips through parse_run_config).
+/// Serialize back to JSON (round-trips through parse_run_config, fleet
+/// block included).
 std::string dump_run_config(const RunConfig& config);
 
 }  // namespace mvs::runtime

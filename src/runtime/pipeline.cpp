@@ -826,6 +826,11 @@ Pipeline::~Pipeline() = default;
 
 void Pipeline::attach_trace(TraceRecorder* trace) { impl_->trace = trace; }
 
+void Pipeline::set_tight_masks(bool tight) {
+  config_.tight_masks = tight;
+  impl_->cfg.tight_masks = tight;
+}
+
 FrameStats Pipeline::run_frame() { return impl_->run_frame(); }
 
 const std::vector<CameraGpuWork>& Pipeline::last_gpu_work() const {

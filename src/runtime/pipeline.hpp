@@ -154,6 +154,11 @@ class Pipeline {
   /// Per-camera device profiles of the deployment (scenario order).
   std::vector<gpu::DeviceProfile> devices() const;
 
+  /// Flip the tight_masks degraded mode at a frame boundary (fleet
+  /// re-admission un-tightens a session's masks without rebuilding it).
+  /// Takes effect from the next run_frame(); a no-op when unchanged.
+  void set_tight_masks(bool tight);
+
   /// Optionally record every scheduling decision (assignments, adoptions,
   /// takeovers, drops) into `trace`. The recorder must outlive the
   /// pipeline; pass nullptr to detach.

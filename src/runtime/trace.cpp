@@ -21,6 +21,9 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kSessionPause: return "session_pause";
     case TraceEventType::kSessionResume: return "session_resume";
     case TraceEventType::kSessionDefer: return "session_defer";
+    case TraceEventType::kSessionReadmit: return "session_readmit";
+    case TraceEventType::kDeviceScale: return "device_scale";
+    case TraceEventType::kBatchSplit: return "batch_split";
   }
   return "?";
 }

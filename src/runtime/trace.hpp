@@ -33,6 +33,9 @@ enum class TraceEventType {
   kSessionPause,   ///< session paused (stops consuming ticks)
   kSessionResume,  ///< paused session resumed
   kSessionDefer,   ///< dispatch deferred the session's frame by one tick
+  kSessionReadmit, ///< re-admission restored a degrade rung (rate or masks)
+  kDeviceScale,    ///< device pool grown/shrunk; value = new device count
+  kBatchSplit,     ///< arbiter split an over-full batch; value = deferred tasks
 };
 
 const char* to_string(TraceEventType type);

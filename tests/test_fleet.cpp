@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <random>
 
 #include "fleet/fleet.hpp"
 #include "gpu/batch_planner.hpp"
@@ -157,6 +158,387 @@ TEST(Arbiter, BeginTickDiscardsPreviousSubmissions) {
   arbiter.begin_tick();
   EXPECT_EQ(arbiter.submission_count(), 0u);
   EXPECT_TRUE(arbiter.plan_tick().shares.empty());
+}
+
+// --------------------------------------------------- elastic device pools --
+
+TEST(Arbiter, DevicePoolDrainsQueueingDelay) {
+  // Two sessions submit disjoint size classes -> two merged batches on the
+  // nano class. On one device the second batch in plan order waits for the
+  // first; its owner is charged exactly that wait as queueing delay. A
+  // second device removes the contention entirely.
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({0}));
+  arbiter.submit(1, 0, nano, work({2}));
+
+  const TickPlan serial_plan = arbiter.plan_tick();
+  const double lat0 = nano.actual_batch_latency_ms(0, 1);
+  ASSERT_EQ(serial_plan.shares.size(), 2u);
+  EXPECT_DOUBLE_EQ(serial_plan.shares[0].queue_ms, 0.0);
+  EXPECT_DOUBLE_EQ(serial_plan.shares[1].queue_ms, lat0);
+  EXPECT_DOUBLE_EQ(serial_plan.queue_ms_total, lat0);
+
+  arbiter.set_device_count(nano.name(), 2);
+  EXPECT_EQ(arbiter.device_count(nano.name()), 2);
+  const TickPlan pooled_plan = arbiter.plan_tick();
+  EXPECT_DOUBLE_EQ(pooled_plan.shares[0].queue_ms, 0.0);
+  EXPECT_DOUBLE_EQ(pooled_plan.shares[1].queue_ms, 0.0);
+  EXPECT_DOUBLE_EQ(pooled_plan.queue_ms_total, 0.0);
+  // Attribution (busy time) is pool-size independent; only waiting changes.
+  EXPECT_DOUBLE_EQ(pooled_plan.shares[1].attributed_ms,
+                   serial_plan.shares[1].attributed_ms);
+  EXPECT_DOUBLE_EQ(pooled_plan.shared_busy_ms, serial_plan.shared_busy_ms);
+}
+
+TEST(Arbiter, LoneSubmissionHasZeroQueueOnAnyPoolSize) {
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  for (int devices = 1; devices <= 3; ++devices) {
+    GpuArbiter arbiter;
+    arbiter.set_device_count(nano.name(), devices);
+    arbiter.begin_tick();
+    arbiter.submit(0, 0, nano, work({0, 1, 2, 2, 3}, /*full=*/true));
+    const TickPlan plan = arbiter.plan_tick();
+    // Exactly zero, not approximately: the fleet-of-one identity requires
+    // the lone schedule to accumulate in attribution order.
+    EXPECT_DOUBLE_EQ(plan.shares[0].queue_ms, 0.0) << devices;
+    EXPECT_DOUBLE_EQ(plan.queue_ms_total, 0.0) << devices;
+  }
+}
+
+TEST(FleetElasticity, ScaleDevicesTracksPoolsAndEmitsEvents) {
+  Fleet fleet;
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+
+  // S2 registers the xavier and nano classes at one device each.
+  FleetSnapshot snap = fleet.snapshot();
+  ASSERT_EQ(snap.device_pools.size(), 2u);
+  for (const auto& [name, count] : snap.device_pools) EXPECT_EQ(count, 1);
+
+  const std::string device_class = snap.device_pools.front().first;
+  EXPECT_EQ(fleet.scale_devices(device_class, +2), 3);
+  EXPECT_EQ(fleet.scale_devices(device_class, -1), 2);
+  // Pools never shrink below one device.
+  EXPECT_EQ(fleet.scale_devices(device_class, -10), 1);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kDeviceScale), 3u);
+
+  snap = fleet.snapshot();
+  for (const auto& [name, count] : snap.device_pools)
+    EXPECT_EQ(count, 1) << name;
+}
+
+// --------------------------------------------------------- batch splitting --
+
+TEST(Arbiter, SplitShedsLowestWeightAndConservesBusy) {
+  // Merged class-2 counts 3 + 1 plan as two full batches (limit 2). The
+  // high-weight session misses a sub-batch SLO, so the arbiter splits the
+  // last batch: half its count (1 task) is shed from the lowest-weight
+  // contributor and the class re-plans as [2, 1].
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  GpuArbiter arbiter;
+  arbiter.begin_tick();
+  arbiter.submit(0, 0, nano, work({2, 2, 2}), /*weight=*/1.0);
+  arbiter.submit(1, 0, nano, work({2}), /*weight=*/2.0);
+
+  TickContext ctx;
+  ctx.allow_split = true;
+  ctx.slo_ms = 0.25 * nano.actual_batch_latency_ms(2, 2);  // force a miss
+  const TickPlan plan = arbiter.plan_tick(ctx);
+
+  EXPECT_EQ(plan.splits, 1);
+  ASSERT_EQ(plan.deferred.size(), 1u);
+  EXPECT_EQ(plan.deferred[0].session, 0);  // lowest weight sheds first
+  EXPECT_EQ(plan.deferred[0].size_class, 2);
+  EXPECT_EQ(plan.deferred[0].count, 1);
+  // The tick charges exactly the batches it executes: [2] + [1].
+  const double expected_busy = nano.actual_batch_latency_ms(2, 2) +
+                               nano.actual_batch_latency_ms(2, 1);
+  EXPECT_DOUBLE_EQ(plan.shared_busy_ms, expected_busy);
+  double attributed = 0.0;
+  for (const Attribution& a : plan.shares) attributed += a.attributed_ms;
+  EXPECT_NEAR(attributed, plan.shared_busy_ms, 1e-9);
+
+  // Without permission (or without an SLO) the same submissions never split.
+  EXPECT_EQ(arbiter.plan_tick().splits, 0);
+  TickContext no_split = ctx;
+  no_split.allow_split = false;
+  EXPECT_EQ(arbiter.plan_tick(no_split).splits, 0);
+}
+
+TEST(Arbiter, SplitAttributionConservesAcrossRandomSeeds) {
+  // Randomized conservation sweep: whatever the split decisions, the sum of
+  // per-submission attributed_ms must equal the executed busy time, and
+  // re-submitting the deferred slices next tick conserves the total demand.
+  const gpu::DeviceProfile nano = gpu::jetson_nano();
+  const gpu::DeviceProfile xavier = gpu::jetson_xavier();
+  for (std::uint32_t seed = 0; seed < 12; ++seed) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> n_tasks(0, 6);
+    std::uniform_int_distribution<int> size_class(0, 3);
+    std::uniform_real_distribution<double> weight(0.5, 3.0);
+
+    GpuArbiter arbiter;
+    arbiter.set_device_count(nano.name(), 1 + static_cast<int>(seed % 2));
+    arbiter.begin_tick();
+    std::size_t submitted = 0;
+    for (int session = 0; session < 3; ++session) {
+      for (int camera = 0; camera < 2; ++camera) {
+        std::vector<geom::SizeClassId> tasks;
+        const int n = n_tasks(rng);
+        for (int t = 0; t < n; ++t)
+          tasks.push_back(static_cast<geom::SizeClassId>(size_class(rng)));
+        submitted += tasks.size();
+        arbiter.submit(session, camera, camera == 0 ? nano : xavier,
+                       work(std::move(tasks), session == 0), weight(rng));
+      }
+    }
+
+    TickContext ctx;
+    ctx.allow_split = true;
+    ctx.slo_ms = 0.5;  // tight enough to trigger splits on busy seeds
+    const TickPlan plan = arbiter.plan_tick(ctx);
+
+    double attributed = 0.0;
+    for (const Attribution& a : plan.shares) attributed += a.attributed_ms;
+    EXPECT_NEAR(attributed, plan.shared_busy_ms, 1e-9) << "seed " << seed;
+
+    std::size_t deferred = 0;
+    for (const DeferredSlice& slice : plan.deferred) {
+      EXPECT_GT(slice.count, 0);
+      deferred += static_cast<std::size_t>(slice.count);
+    }
+    EXPECT_LE(deferred, submitted);
+    EXPECT_EQ(plan.deferred.empty(), plan.splits == 0);
+
+    // Next tick: run ONLY the deferred slices; the two ticks together must
+    // charge at least as much as executing everything (a split never makes
+    // work disappear) and every deferred task is attributed somewhere.
+    if (deferred > 0) {
+      arbiter.begin_tick();
+      for (const DeferredSlice& slice : plan.deferred) {
+        std::vector<geom::SizeClassId> tasks(
+            static_cast<std::size_t>(slice.count), slice.size_class);
+        arbiter.submit(slice.session, slice.camera,
+                       slice.camera == 0 ? nano : xavier,
+                       work(std::move(tasks)));
+      }
+      const TickPlan follow_up = arbiter.plan_tick();  // no further splitting
+      EXPECT_EQ(follow_up.splits, 0);
+      EXPECT_GT(follow_up.shared_busy_ms, 0.0);
+      double follow_attributed = 0.0;
+      for (const Attribution& a : follow_up.shares)
+        follow_attributed += a.attributed_ms;
+      EXPECT_NEAR(follow_attributed, follow_up.shared_busy_ms, 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------------- tick wheel --
+
+TEST(FleetTickWheel, LcmWheelFiresExactNativeRates) {
+  Fleet fleet;  // frame_period 100 ms -> base rate 10 Hz
+  EXPECT_EQ(fleet.wheel_hz(), 10);
+
+  SessionSpec ten = spec("ten", 5);
+  ten.fps = 10;
+  SessionSpec fifteen = spec("fifteen", 6);
+  fifteen.fps = 15;
+  SessionSpec thirty = spec("thirty", 7);
+  thirty.fps = 30;
+
+  ASSERT_TRUE(fleet.admit(ten).admitted);
+  EXPECT_EQ(fleet.wheel_hz(), 10);  // 10 divides the wheel: no growth
+  ASSERT_TRUE(fleet.admit(fifteen).admitted);
+  EXPECT_EQ(fleet.wheel_hz(), 30);  // lcm(10, 15)
+  ASSERT_TRUE(fleet.admit(thirty).admitted);
+  EXPECT_EQ(fleet.wheel_hz(), 30);  // 30 already divides
+
+  fleet.run(30);  // exactly one second of wheel ticks
+  const FleetSnapshot snap = fleet.snapshot();
+  ASSERT_EQ(snap.sessions.size(), 3u);
+  EXPECT_EQ(snap.sessions[0].fps, 10);
+  EXPECT_EQ(snap.sessions[0].frames, 10);
+  EXPECT_EQ(snap.sessions[1].fps, 15);
+  EXPECT_EQ(snap.sessions[1].frames, 15);
+  EXPECT_EQ(snap.sessions[2].fps, 30);
+  EXPECT_EQ(snap.sessions[2].frames, 30);
+  EXPECT_EQ(snap.wheel_hz, 30);
+}
+
+TEST(FleetTickWheel, WheelGrowthMidRunPreservesCadence) {
+  Fleet fleet;
+  SessionSpec base = spec("base", 5);  // fps 0 -> fleet base rate (10)
+  ASSERT_TRUE(fleet.admit(base).admitted);
+  fleet.run(5);
+  EXPECT_EQ(fleet.ticks(), 5);
+
+  // Admitting 15 fps grows the wheel x3; the tick counter and the existing
+  // session's period rescale so its cadence continues exactly.
+  SessionSpec fast = spec("fast", 6);
+  fast.fps = 15;
+  ASSERT_TRUE(fleet.admit(fast).admitted);
+  EXPECT_EQ(fleet.wheel_hz(), 30);
+  EXPECT_EQ(fleet.ticks(), 15);
+
+  fleet.run(30);  // one more second
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.sessions[0].frames, 5 + 10);
+  EXPECT_EQ(snap.sessions[1].frames, 15);
+}
+
+TEST(FleetTickWheel, NegativeFpsIsRejected) {
+  Fleet fleet;
+  SessionSpec bad = spec("bad", 5);
+  bad.fps = -3;
+  const AdmitResult result = fleet.admit(bad);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(fleet.snapshot().rejected, 1);
+}
+
+// ----------------------------------------------------- session config API --
+
+TEST(FleetSessionApi, PerSessionFaultsImplyLossyTransport) {
+  // The self-contained spec carries its own fault profile: a permanent
+  // camera-0 dropout must flow into the session's transport without the
+  // caller touching pipeline.faults.
+  Fleet fleet;
+  SessionSpec s = spec("faulty", 5);
+  netsim::FaultConfig faults;
+  faults.dropouts.push_back({0, 0, -1});  // camera 0 never comes back
+  s.faults = faults;
+  const int id = fleet.admit(s).session_id;
+  ASSERT_GE(id, 0);
+  fleet.run(3);
+
+  const runtime::PipelineResult result = fleet.session_result(id);
+  ASSERT_EQ(result.frames.size(), 3u);
+  for (const runtime::FrameStats& f : result.frames)
+    EXPECT_EQ(f.cameras_online, 1);  // S2 has 2 cameras; one is down
+}
+
+TEST(FleetSessionApi, PerSessionSloOverridesViolationAccounting) {
+  // Two identical sessions, one with an impossible 0.001 ms personal SLO:
+  // only that session accrues violations (the fleet-wide SLO is off).
+  Fleet fleet;
+  SessionSpec strict = spec("strict", 5);
+  strict.slo_ms = 0.001;
+  SessionSpec lax = spec("lax", 5);
+  const int strict_id = fleet.admit(strict).session_id;
+  const int lax_id = fleet.admit(lax).session_id;
+  ASSERT_GE(strict_id, 0);
+  ASSERT_GE(lax_id, 0);
+  fleet.run(4);
+
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.sessions[static_cast<std::size_t>(strict_id)].slo_violations,
+            4);
+  EXPECT_EQ(snap.sessions[static_cast<std::size_t>(lax_id)].slo_violations,
+            0);
+  EXPECT_DOUBLE_EQ(
+      snap.sessions[static_cast<std::size_t>(strict_id)].slo_ms, 0.001);
+}
+
+// ---------------------------------------------------------- re-admission --
+
+TEST(FleetReadmission, RestoresRateThenMasksWithTraceEvents) {
+  // SLO forces the second session onto the bottom ladder rung (masks + rate)
+  // at admission. Permissive hysteresis thresholds let the periodic scan
+  // restore one rung per interval once the first session is gone: full rate
+  // first, then mask un-tightening — each with a session_readmit event.
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 1.4 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.readmit_interval = 5;
+  cfg.readmit_low_water = 1e6;   // always scan
+  cfg.readmit_high_water = 1e6;  // any projection fits
+  Fleet fleet(cfg);
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+
+  const AdmitResult first = fleet.admit(spec("a", 5));
+  ASSERT_TRUE(first.admitted);
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  ASSERT_TRUE(second.admitted);
+  EXPECT_TRUE(second.masks_tightened);
+  EXPECT_TRUE(second.rate_halved);
+
+  ASSERT_TRUE(fleet.evict(first.session_id));
+  fleet.run(5);  // first scan: rate rung restored
+  FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.sessions[1].stride, 1);
+  EXPECT_TRUE(snap.sessions[1].tight_masks);
+  EXPECT_EQ(snap.readmitted, 1);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionReadmit), 1u);
+
+  fleet.run(5);  // second scan: mask rung restored
+  snap = fleet.snapshot();
+  EXPECT_EQ(snap.sessions[1].stride, 1);
+  EXPECT_FALSE(snap.sessions[1].tight_masks);
+  EXPECT_EQ(snap.readmitted, 2);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionReadmit), 2u);
+
+  // Fully restored: later scans are no-ops — restoration never oscillates
+  // (degradation is applied only at admission).
+  fleet.run(20);
+  snap = fleet.snapshot();
+  EXPECT_EQ(snap.readmitted, 2);
+  EXPECT_EQ(snap.sessions[1].stride, 1);
+  EXPECT_FALSE(snap.sessions[1].tight_masks);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionReadmit), 2u);
+}
+
+TEST(FleetReadmission, HysteresisKeepsDegradationUnderLoad) {
+  // With the low-water mark at zero the windowed busy never falls below the
+  // band, so degradation stays sticky no matter how long the fleet runs —
+  // no admit/degrade/readmit oscillation under square-wave load changes.
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 1.6 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.readmit_interval = 3;
+  cfg.readmit_low_water = 0.0;
+  Fleet fleet(cfg);
+
+  const AdmitResult first = fleet.admit(spec("a", 5));
+  ASSERT_TRUE(first.admitted);
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  ASSERT_TRUE(second.admitted);
+  EXPECT_TRUE(second.rate_halved);
+
+  // Square-wave load: pause/resume the heavy tenant repeatedly.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    ASSERT_TRUE(fleet.pause(first.session_id));
+    fleet.run(6);
+    ASSERT_TRUE(fleet.resume(first.session_id));
+    fleet.run(6);
+  }
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.readmitted, 0);
+  EXPECT_EQ(snap.sessions[1].stride, 2);
+}
+
+TEST(FleetReadmission, ZeroIntervalKeepsDegradationSticky) {
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 1.6 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.readmit_interval = 0;  // re-admission disabled
+  cfg.readmit_low_water = 1e6;
+  cfg.readmit_high_water = 1e6;
+  Fleet fleet(cfg);
+  const AdmitResult first = fleet.admit(spec("a", 5));
+  ASSERT_TRUE(first.admitted);
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  ASSERT_TRUE(second.admitted);
+  EXPECT_TRUE(second.rate_halved);
+  ASSERT_TRUE(fleet.evict(first.session_id));
+  fleet.run(12);
+  EXPECT_EQ(fleet.snapshot().readmitted, 0);
+  EXPECT_EQ(fleet.snapshot().sessions[1].stride, 2);
 }
 
 // ------------------------------------------------------------- admission --

@@ -157,5 +157,149 @@ TEST(RunConfig, DumpRoundTrips) {
   EXPECT_EQ(again->pipeline.seed, 1234u);
 }
 
+TEST(FleetRunConfig, ParseFleetBlock) {
+  const std::string text = R"({
+    "scenario": "S2", "frames": 60,
+    "pipeline": {"policy": "balb", "horizon_frames": 5, "seed": 3},
+    "fleet": {
+      "slo_ms": 120, "dispatch": "weighted", "threads": 2,
+      "readmit_interval": 7, "readmit_low_water": 0.6,
+      "readmit_high_water": 0.85, "allow_split": true,
+      "device_scale": [{"class": "nano", "delta": 2}],
+      "sessions": [
+        {"name": "a", "weight": 2, "fps": 15, "slo_ms": 90,
+         "faults": {"loss_rate": 0.05, "jitter_ms": 1.5,
+                    "dropouts": [{"camera": 1, "from": 10, "to": 20}]}},
+        {"name": "b", "scenario": "S3",
+         "pipeline": {"policy": "sp", "horizon_frames": 8}}
+      ]
+    }
+  })";
+  const auto config = runtime::parse_run_config(text);
+  ASSERT_TRUE(config.has_value());
+  ASSERT_TRUE(config->fleet.has_value());
+  const runtime::FleetRunConfig& fleet = *config->fleet;
+  EXPECT_DOUBLE_EQ(fleet.slo_ms, 120.0);
+  EXPECT_EQ(fleet.dispatch, "weighted");
+  EXPECT_EQ(fleet.threads, 2);
+  EXPECT_EQ(fleet.readmit_interval, 7);
+  EXPECT_DOUBLE_EQ(fleet.readmit_low_water, 0.6);
+  EXPECT_DOUBLE_EQ(fleet.readmit_high_water, 0.85);
+  EXPECT_TRUE(fleet.allow_split);
+  ASSERT_EQ(fleet.device_scale.size(), 1u);
+  EXPECT_EQ(fleet.device_scale[0].device_class, "nano");
+  EXPECT_EQ(fleet.device_scale[0].delta, 2);
+
+  ASSERT_EQ(fleet.sessions.size(), 2u);
+  const runtime::FleetSessionSpec& a = fleet.sessions[0];
+  EXPECT_EQ(a.name, "a");
+  // Sessions inherit the document's top-level scenario and pipeline.
+  EXPECT_EQ(a.scenario, "S2");
+  EXPECT_EQ(a.pipeline.horizon_frames, 5);
+  EXPECT_EQ(a.pipeline.seed, 3u);
+  EXPECT_DOUBLE_EQ(a.weight, 2.0);
+  EXPECT_EQ(a.fps, 15);
+  EXPECT_DOUBLE_EQ(a.slo_ms, 90.0);
+  ASSERT_TRUE(a.faults.has_value());
+  EXPECT_DOUBLE_EQ(a.faults->loss_rate, 0.05);
+  EXPECT_DOUBLE_EQ(a.faults->jitter_ms, 1.5);
+  ASSERT_EQ(a.faults->dropouts.size(), 1u);
+  EXPECT_EQ(a.faults->dropouts[0].camera, 1);
+  EXPECT_EQ(a.faults->dropouts[0].from_frame, 10);
+  EXPECT_EQ(a.faults->dropouts[0].to_frame, 20);
+
+  const runtime::FleetSessionSpec& b = fleet.sessions[1];
+  EXPECT_EQ(b.scenario, "S3");  // per-session override wins
+  EXPECT_EQ(b.pipeline.policy, runtime::Policy::kStaticPartition);
+  EXPECT_EQ(b.pipeline.horizon_frames, 8);
+  EXPECT_EQ(b.fps, 0);
+  EXPECT_DOUBLE_EQ(b.slo_ms, -1.0);
+  EXPECT_FALSE(b.faults.has_value());
+}
+
+TEST(FleetRunConfig, RejectsBadFleetInput) {
+  std::string error;
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"sessions": [{"scenario": "S9"}]}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("S9"), std::string::npos);
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"sessions": [{"weight": 0}]}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"readmit_low_water": 0.9,
+                                 "readmit_high_water": 0.5}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"device_scale": [{"delta": 1}]}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"sessions": [{"faults": {"loss_rate": 2}}]}})",
+                   &error)
+                   .has_value());
+}
+
+TEST(FleetRunConfig, DumpRoundTrips) {
+  runtime::RunConfig config;
+  config.scenario = "S1";
+  runtime::FleetRunConfig fleet;
+  fleet.slo_ms = 95.5;
+  fleet.dispatch = "weighted";
+  fleet.allow_degrade = false;
+  fleet.readmit_interval = 4;
+  fleet.readmit_low_water = 0.55;
+  fleet.readmit_high_water = 0.8;
+  fleet.allow_split = true;
+  fleet.device_scale.push_back({"xavier", -1});
+  runtime::FleetSessionSpec spec;
+  spec.name = "cam-east";
+  spec.scenario = "S2";
+  spec.weight = 3.0;
+  spec.fps = 30;
+  spec.slo_ms = 70.0;
+  spec.pipeline.policy = runtime::Policy::kBalbInd;
+  netsim::FaultConfig faults;
+  faults.loss_rate = 0.1;
+  faults.max_retries = 5;
+  spec.faults = faults;
+  fleet.sessions.push_back(spec);
+  config.fleet = fleet;
+
+  const auto again = runtime::parse_run_config(dump_run_config(config));
+  ASSERT_TRUE(again.has_value());
+  ASSERT_TRUE(again->fleet.has_value());
+  EXPECT_DOUBLE_EQ(again->fleet->slo_ms, 95.5);
+  EXPECT_EQ(again->fleet->dispatch, "weighted");
+  EXPECT_FALSE(again->fleet->allow_degrade);
+  EXPECT_EQ(again->fleet->readmit_interval, 4);
+  EXPECT_DOUBLE_EQ(again->fleet->readmit_low_water, 0.55);
+  EXPECT_DOUBLE_EQ(again->fleet->readmit_high_water, 0.8);
+  EXPECT_TRUE(again->fleet->allow_split);
+  ASSERT_EQ(again->fleet->device_scale.size(), 1u);
+  EXPECT_EQ(again->fleet->device_scale[0].device_class, "xavier");
+  EXPECT_EQ(again->fleet->device_scale[0].delta, -1);
+  ASSERT_EQ(again->fleet->sessions.size(), 1u);
+  const runtime::FleetSessionSpec& s = again->fleet->sessions[0];
+  EXPECT_EQ(s.name, "cam-east");
+  EXPECT_EQ(s.scenario, "S2");
+  EXPECT_DOUBLE_EQ(s.weight, 3.0);
+  EXPECT_EQ(s.fps, 30);
+  EXPECT_DOUBLE_EQ(s.slo_ms, 70.0);
+  EXPECT_EQ(s.pipeline.policy, runtime::Policy::kBalbInd);
+  ASSERT_TRUE(s.faults.has_value());
+  EXPECT_DOUBLE_EQ(s.faults->loss_rate, 0.1);
+  EXPECT_EQ(s.faults->max_retries, 5);
+}
+
+TEST(FleetRunConfig, PlainDocumentHasNoFleet) {
+  const auto config = runtime::parse_run_config(R"({"scenario": "S1"})");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_FALSE(config->fleet.has_value());
+  // And a fleet-free config dumps without a fleet block.
+  const auto doc = util::Json::parse(dump_run_config(*config));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("fleet"), nullptr);
+}
+
 }  // namespace
 }  // namespace mvs

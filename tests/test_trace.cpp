@@ -50,7 +50,8 @@ TEST(TraceRecorder, JsonEventCountsMatchRecorder) {
       TraceEventType::kNetDrop,     TraceEventType::kSessionAdmit,
       TraceEventType::kSessionReject, TraceEventType::kSessionEvict,
       TraceEventType::kSessionPause, TraceEventType::kSessionResume,
-      TraceEventType::kSessionDefer,
+      TraceEventType::kSessionDefer, TraceEventType::kSessionReadmit,
+      TraceEventType::kDeviceScale,  TraceEventType::kBatchSplit,
   };
   TraceRecorder trace;
   long frame = 0;
@@ -94,6 +95,9 @@ TEST(TraceRecorder, EventTypeNames) {
   EXPECT_STREQ(to_string(TraceEventType::kSessionReject), "session_reject");
   EXPECT_STREQ(to_string(TraceEventType::kSessionEvict), "session_evict");
   EXPECT_STREQ(to_string(TraceEventType::kSessionDefer), "session_defer");
+  EXPECT_STREQ(to_string(TraceEventType::kSessionReadmit), "session_readmit");
+  EXPECT_STREQ(to_string(TraceEventType::kDeviceScale), "device_scale");
+  EXPECT_STREQ(to_string(TraceEventType::kBatchSplit), "batch_split");
 }
 
 TEST(PipelineTrace, BalbEmitsSchedulingEvents) {

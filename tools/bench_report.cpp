@@ -305,11 +305,46 @@ int main(int argc, char** argv) {
     sweep.push_back(util::Json(std::move(point)));
   }
 
+  // ---- elastic device pools ---------------------------------------------
+  // Hold the fleet at max sessions and grow every device pool 1x..3x: added
+  // capacity must drain pool queueing delay without changing the attributed
+  // busy time (attribution is pool-size independent).
+  util::Json::Array elastic;
+  for (int multiplier = 1; multiplier <= 3; ++multiplier) {
+    std::vector<double> samples;
+    fleet::FleetSnapshot snap;
+    for (int rep = 0; rep < fleet_reps; ++rep) {
+      fleet::Fleet fleet;
+      for (int s = 0; s < fleet_sessions; ++s) {
+        fleet::SessionSpec spec;
+        spec.name = "S2#" + std::to_string(s);
+        spec.pipeline.seed = 42 + static_cast<std::uint64_t>(s);
+        fleet.admit(spec);
+      }
+      for (const auto& [device_class, count] :
+           fleet.snapshot().device_pools)
+        fleet.scale_devices(device_class, multiplier - count);
+      util::Stopwatch watch;
+      fleet.run(fleet_ticks);
+      samples.push_back(watch.elapsed_ms());
+      snap = fleet.snapshot();
+    }
+    util::Json::Object point;
+    point["devices_per_class"] = util::Json(multiplier);
+    point["sessions"] = util::Json(fleet_sessions);
+    point["median_run_ms"] = util::Json(util::median(std::move(samples)));
+    point["total_queue_ms"] = util::Json(snap.total_queue_ms);
+    point["shared_busy_ms"] = util::Json(snap.shared_busy_ms);
+    point["mean_occupancy"] = util::Json(snap.mean_occupancy);
+    elastic.push_back(util::Json(std::move(point)));
+  }
+
   util::Json::Object fl;
   fl["scenario"] = util::Json("S2");
   fl["ticks"] = util::Json(fleet_ticks);
   fl["reps"] = util::Json(fleet_reps);
   fl["sweep"] = util::Json(std::move(sweep));
+  fl["elastic"] = util::Json(std::move(elastic));
   write_report(out_dir + "/BENCH_fleet.json", "fleet", std::move(fl));
   return 0;
 }

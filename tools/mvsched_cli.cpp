@@ -11,6 +11,8 @@
 //   mvsched_cli --dump-config          # print a default config document
 //   mvsched_cli --help
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,13 +51,28 @@ int usage(const char* prog, int exit_code) {
       "fleet serving (mvs::fleet):\n"
       "  --fleet                 host --sessions copies of the scenario in\n"
       "                          one multi-session fleet; --frames becomes\n"
-      "                          the tick count (one frame per session/tick)\n"
+      "                          the base-period count (a config file with a\n"
+      "                          \"fleet\" block implies fleet mode)\n"
       "  --sessions N            sessions to admit (default 2); session k\n"
-      "                          uses seed --seed + k\n"
+      "                          uses seed --seed + k; ignored when the\n"
+      "                          config file lists sessions\n"
       "  --slo-ms X              per-tick GPU latency SLO driving admission\n"
       "                          control and dispatch deferral (0 = off)\n"
       "  --dispatch rr|weighted  dispatch order under SLO pressure\n"
       "                          (default rr)\n"
+      "  --session-fps LIST      per-session native fps, comma-separated in\n"
+      "                          session order (0 = fleet base rate); rates\n"
+      "                          that do not divide grow the tick wheel\n"
+      "  --session-loss-rate L   per-session transport loss probabilities,\n"
+      "                          comma-separated (> 0 implies the lossy\n"
+      "                          transport for that session only)\n"
+      "  --scale-devices SPEC    grow/shrink accelerator pools after\n"
+      "                          admission: CLASS:DELTA[,CLASS:DELTA...]\n"
+      "  --readmit-interval N    ticks between re-admission scans that\n"
+      "                          reverse the degrade ladder (default 10;\n"
+      "                          0 = degradation is sticky)\n"
+      "  --split-batches         allow the arbiter to split an over-full\n"
+      "                          batch across two ticks to protect the SLO\n"
       "  --fleet-json FILE       write the fleet/session rollup JSON\n"
       "\n"
       "network simulation (mvs::netsim):\n"
@@ -99,13 +116,46 @@ bool parse_dropouts(const std::string& spec,
   return !out->empty();
 }
 
+/// Parse "CLASS:DELTA" device-pool adjustments, comma-separated.
+bool parse_device_scale(const std::string& spec,
+                        std::vector<mvs::runtime::FleetDeviceScale>* out) {
+  std::istringstream list(spec);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    mvs::runtime::FleetDeviceScale ds;
+    ds.device_class = item.substr(0, colon);
+    char* end = nullptr;
+    const char* s = item.c_str() + colon + 1;
+    ds.delta = static_cast<int>(std::strtol(s, &end, 10));
+    if (end == s || *end != '\0') return false;
+    out->push_back(std::move(ds));
+  }
+  return !out->empty();
+}
+
+/// Parse a comma-separated number list ("10,15,30").
+bool parse_number_list(const std::string& spec, std::vector<double>* out) {
+  std::istringstream list(spec);
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mvs;
   const util::Args args = util::Args::parse(
       argc, argv,
-      {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet"});
+      {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet",
+       "split-batches"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -204,30 +254,86 @@ int main(int argc, char** argv) {
   if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3")
     return usage(argv[0], 2);
 
-  if (args.has("fleet")) {
-    fleet::FleetConfig fc;
-    fc.slo_ms = args.number_or("slo-ms", 0.0);
-    fc.threads = run.pipeline.threads;
-    const auto dispatch = fleet::parse_dispatch(args.get_or("dispatch", "rr"));
-    if (!dispatch) {
-      std::fprintf(stderr, "unknown dispatch policy: %s\n",
-                   args.get_or("dispatch", "rr").c_str());
-      return usage(argv[0], 2);
+  // Fleet serving: --fleet, or a config file carrying a "fleet" block. All
+  // knobs flow through runtime::FleetRunConfig so the CLI and the JSON
+  // config stay in parity (fleet::make_fleet_config validates it).
+  if (args.has("fleet") || run.fleet.has_value()) {
+    runtime::FleetRunConfig frc =
+        run.fleet ? *run.fleet : runtime::FleetRunConfig{};
+    frc.slo_ms = args.number_or("slo-ms", frc.slo_ms);
+    frc.dispatch = args.get_or("dispatch", frc.dispatch);
+    frc.threads = args.int_or("threads", frc.threads);
+    frc.readmit_interval =
+        args.int_or("readmit-interval", frc.readmit_interval);
+    if (args.has("split-batches")) frc.allow_split = true;
+    if (const auto spec = args.get("scale-devices")) {
+      if (!parse_device_scale(*spec, &frc.device_scale)) {
+        std::fprintf(stderr, "bad --scale-devices spec: %s\n", spec->c_str());
+        return usage(argv[0], 2);
+      }
     }
-    fc.dispatch = *dispatch;
-    const int sessions = args.int_or("sessions", 2);
-    if (sessions < 1) {
-      std::fprintf(stderr, "--sessions must be >= 1\n");
+    if (frc.readmit_interval < 0) {
+      std::fprintf(stderr, "--readmit-interval must be >= 0\n");
       return usage(argv[0], 2);
     }
 
-    fleet::Fleet fleet(fc);
-    for (int s = 0; s < sessions; ++s) {
-      fleet::SessionSpec spec;
-      spec.name = run.scenario + "#" + std::to_string(s);
-      spec.scenario = run.scenario;
-      spec.pipeline = run.pipeline;
-      spec.pipeline.seed = run.pipeline.seed + static_cast<std::uint64_t>(s);
+    // Session roster: the config file's list wins; otherwise synthesize
+    // --sessions copies of the flag-selected scenario/pipeline.
+    if (frc.sessions.empty()) {
+      const int sessions = args.int_or("sessions", 2);
+      if (sessions < 1) {
+        std::fprintf(stderr, "--sessions must be >= 1\n");
+        return usage(argv[0], 2);
+      }
+      for (int s = 0; s < sessions; ++s) {
+        runtime::FleetSessionSpec spec;
+        spec.name = run.scenario + "#" + std::to_string(s);
+        spec.scenario = run.scenario;
+        spec.pipeline = run.pipeline;
+        spec.pipeline.seed = run.pipeline.seed + static_cast<std::uint64_t>(s);
+        frc.sessions.push_back(std::move(spec));
+      }
+    }
+    if (const auto spec = args.get("session-fps")) {
+      std::vector<double> rates;
+      if (!parse_number_list(*spec, &rates) ||
+          std::any_of(rates.begin(), rates.end(),
+                      [](double r) { return r < 0.0; })) {
+        std::fprintf(stderr, "bad --session-fps list: %s\n", spec->c_str());
+        return usage(argv[0], 2);
+      }
+      for (std::size_t s = 0; s < rates.size() && s < frc.sessions.size(); ++s)
+        frc.sessions[s].fps = static_cast<int>(rates[s]);
+    }
+    if (const auto spec = args.get("session-loss-rate")) {
+      std::vector<double> rates;
+      if (!parse_number_list(*spec, &rates) ||
+          std::any_of(rates.begin(), rates.end(),
+                      [](double r) { return r < 0.0 || r > 1.0; })) {
+        std::fprintf(stderr, "bad --session-loss-rate list: %s\n",
+                     spec->c_str());
+        return usage(argv[0], 2);
+      }
+      for (std::size_t s = 0; s < rates.size() && s < frc.sessions.size();
+           ++s) {
+        if (rates[s] <= 0.0) continue;
+        netsim::FaultConfig fc = frc.sessions[s].faults
+                                     ? *frc.sessions[s].faults
+                                     : netsim::FaultConfig{};
+        fc.loss_rate = rates[s];
+        frc.sessions[s].faults = fc;
+      }
+    }
+
+    std::string error;
+    const auto fc = fleet::make_fleet_config(frc, &error);
+    if (!fc) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return usage(argv[0], 2);
+    }
+
+    fleet::Fleet fleet(*fc);
+    for (const fleet::SessionSpec& spec : frc.sessions) {
       const fleet::AdmitResult admit = fleet.admit(spec);
       if (admit.admitted) {
         std::fprintf(stderr,
@@ -240,37 +346,58 @@ int main(int argc, char** argv) {
                      admit.reason.c_str());
       }
     }
-    std::fprintf(stderr, "running fleet of %zu for %d ticks (slo=%.1f ms, "
-                 "dispatch=%s)...\n",
-                 fleet.session_count(), run.frames, fc.slo_ms,
-                 fleet::to_string(fc.dispatch));
-    fleet.run(run.frames);
+    for (const runtime::FleetDeviceScale& ds : frc.device_scale) {
+      const int count = fleet.scale_devices(ds.device_class, ds.delta);
+      std::fprintf(stderr, "scaled %s pool to %d device%s\n",
+                   ds.device_class.c_str(), count, count == 1 ? "" : "s");
+    }
+
+    // --frames counts base frame periods; the wheel may tick faster when
+    // heterogeneous rates were admitted.
+    const int base_fps = std::max(
+        1, static_cast<int>(std::lround(1000.0 / fc->frame_period_ms)));
+    const int ticks = run.frames * (fleet.wheel_hz() / base_fps);
+    std::fprintf(stderr, "running fleet of %zu for %d ticks (wheel %d Hz, "
+                 "slo=%.1f ms, dispatch=%s)...\n",
+                 fleet.session_count(), ticks, fleet.wheel_hz(), fc->slo_ms,
+                 fleet::to_string(fc->dispatch));
+    fleet.run(ticks);
 
     const fleet::FleetSnapshot snap = fleet.snapshot();
-    util::Table table({"id", "name", "state", "stride", "frames", "deferred",
-                       "p50_ms", "p95_ms", "p99_ms", "mean_ms", "iso_ms",
-                       "slo_viol", "recall"});
+    util::Table table({"id", "name", "state", "fps", "stride", "frames",
+                       "deferred", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+                       "iso_ms", "queue_ms", "slo_viol", "recall"});
     for (const fleet::SessionSnapshot& s : snap.sessions) {
       table.add_row({std::to_string(s.id), s.name, fleet::to_string(s.state),
-                     std::to_string(s.stride), std::to_string(s.frames),
+                     std::to_string(s.fps), std::to_string(s.stride),
+                     std::to_string(s.frames),
                      std::to_string(s.deferred_ticks),
                      util::Table::fmt(s.p50_ms, 1),
                      util::Table::fmt(s.p95_ms, 1),
                      util::Table::fmt(s.p99_ms, 1),
                      util::Table::fmt(s.mean_ms, 1),
                      util::Table::fmt(s.mean_isolated_ms, 1),
+                     util::Table::fmt(s.mean_queue_ms, 2),
                      std::to_string(s.slo_violations),
                      util::Table::fmt(s.object_recall, 3)});
     }
     std::printf("%s", table.to_string().c_str());
-    std::printf("admitted %d | rejected %d | evicted %d\n", snap.admitted,
-                snap.rejected, snap.evicted);
-    std::printf("batches: shared %ld vs isolated %ld | busy %.1f vs %.1f ms\n",
+    std::printf("admitted %d | rejected %d | evicted %d | readmitted %d\n",
+                snap.admitted, snap.rejected, snap.evicted, snap.readmitted);
+    std::printf("batches: shared %ld vs isolated %ld | busy %.1f vs %.1f ms "
+                "| splits %ld\n",
                 snap.shared_batches, snap.isolated_batches,
-                snap.shared_busy_ms, snap.isolated_busy_ms);
-    std::printf("occupancy %.2f | p95 tick busy %.1f ms | queue depth %.2f\n",
+                snap.shared_busy_ms, snap.isolated_busy_ms,
+                snap.batch_splits);
+    std::printf("occupancy %.2f | p95 tick busy %.1f ms | queue depth %.2f "
+                "| pool queueing %.1f ms\n",
                 snap.mean_occupancy, snap.p95_tick_busy_ms,
-                snap.mean_queue_depth);
+                snap.mean_queue_depth, snap.total_queue_ms);
+    for (const auto& [name, count] : snap.device_pools)
+      std::printf("device pool %s: %d\n", name.c_str(), count);
+    if (snap.total_retries || snap.total_dropped_msgs)
+      std::printf("transport: retries %ld | dropped msgs %ld\n",
+                  snap.total_retries, snap.total_dropped_msgs);
     if (const auto path = args.get("fleet-json")) {
       std::ofstream out(*path);
       out << snap.to_json() << '\n';
