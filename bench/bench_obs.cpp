@@ -1,0 +1,138 @@
+// Observability overhead micro-bench: proves the null-sink claim (disabled
+// instrumentation = one branch on one atomic flag) and measures the
+// end-to-end cost of obs on the pipeline hot path.
+//
+// Two parts:
+//   1. macro ns/op — tight loops over MVS_COUNT / MVS_HIST / MVS_SPAN with
+//      instrumentation disabled vs enabled;
+//   2. pipeline A/B — bench_pipeline's timed region (fresh Pipeline per rep,
+//      run(frames) timed) with obs off vs on; the off-median must stay
+//      within 1% of the committed BENCH_pipeline.json baseline, which CI
+//      checks as a non-fatal report step.
+//
+// Usage:
+//   bench_obs [--frames 60] [--reps 3] [--iters 2000000] [--json out.json]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "runtime/pipeline.hpp"
+#include "util/args.hpp"
+#include "util/bench_info.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+volatile long long g_sink = 0;  // defeats dead-code elimination
+
+double count_ns_per_op(long iters) {
+  mvs::util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) {
+    MVS_COUNT("bench.counter", 1);
+    g_sink = g_sink + 1;
+  }
+  return watch.elapsed_ms() * 1e6 / static_cast<double>(iters);
+}
+
+double hist_ns_per_op(long iters) {
+  mvs::util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) {
+    MVS_HIST("bench.hist", static_cast<double>(i & 1023));
+    g_sink = g_sink + 1;
+  }
+  return watch.elapsed_ms() * 1e6 / static_cast<double>(iters);
+}
+
+double span_ns_per_op(long iters) {
+  mvs::util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) {
+    MVS_SPAN("bench.span");
+    g_sink = g_sink + 1;
+  }
+  return watch.elapsed_ms() * 1e6 / static_cast<double>(iters);
+}
+
+double pipeline_median_ms(const std::string& scenario,
+                          const mvs::runtime::PipelineConfig& cfg, int frames,
+                          int reps) {
+  std::vector<double> run_ms;
+  for (int rep = 0; rep < reps; ++rep) {
+    mvs::runtime::Pipeline pipeline(scenario, cfg);
+    mvs::util::Stopwatch watch;
+    (void)pipeline.run(frames);
+    run_ms.push_back(watch.elapsed_ms());
+  }
+  return mvs::util::median(run_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mvs;
+  const util::Args args = util::Args::parse(argc, argv);
+  const std::string scenario = args.get_or("scenario", "S2");
+  const int frames = args.int_or("frames", 60);
+  const int reps = args.int_or("reps", 3);
+  const long iters = static_cast<long>(args.number_or("iters", 2e6));
+
+  // --- part 1: per-macro cost, disabled vs enabled ---
+  obs::set_enabled(false);
+  obs::reset();
+  const double off_count = count_ns_per_op(iters);
+  const double off_hist = hist_ns_per_op(iters);
+  const double off_span = span_ns_per_op(iters);
+  obs::set_enabled(true);
+  const double on_count = count_ns_per_op(iters);
+  const double on_hist = hist_ns_per_op(iters);
+  const double on_span = span_ns_per_op(iters);
+  obs::set_enabled(false);
+  obs::reset();
+
+  std::printf("macro ns/op (%ld iters)      disabled   enabled\n", iters);
+  std::printf("  MVS_COUNT                  %8.2f  %8.2f\n", off_count, on_count);
+  std::printf("  MVS_HIST                   %8.2f  %8.2f\n", off_hist, on_hist);
+  std::printf("  MVS_SPAN                   %8.2f  %8.2f\n", off_span, on_span);
+
+  // --- part 2: pipeline A/B ---
+  runtime::PipelineConfig cfg;
+  cfg.policy = runtime::Policy::kBalb;
+  cfg.seed = 42;
+  const double pipe_off = pipeline_median_ms(scenario, cfg, frames, reps);
+  obs::set_enabled(true);
+  const double pipe_on = pipeline_median_ms(scenario, cfg, frames, reps);
+  obs::set_enabled(false);
+  obs::reset();
+  const double overhead_pct =
+      pipe_off > 0.0 ? 100.0 * (pipe_on - pipe_off) / pipe_off : 0.0;
+
+  std::printf("pipeline %s x%d frames (median of %d reps):\n", scenario.c_str(),
+              frames, reps);
+  std::printf("  obs off %.2f ms | obs on %.2f ms | overhead %.2f%%\n",
+              pipe_off, pipe_on, overhead_pct);
+
+  const std::string json_path = args.get_or("json", "");
+  if (!json_path.empty()) {
+    util::Json::Object result;
+    result["iters"] = util::Json(static_cast<double>(iters));
+    result["count_ns_disabled"] = util::Json(off_count);
+    result["count_ns_enabled"] = util::Json(on_count);
+    result["hist_ns_disabled"] = util::Json(off_hist);
+    result["hist_ns_enabled"] = util::Json(on_hist);
+    result["span_ns_disabled"] = util::Json(off_span);
+    result["span_ns_enabled"] = util::Json(on_span);
+    result["pipeline_off_ms"] = util::Json(pipe_off);
+    result["pipeline_on_ms"] = util::Json(pipe_on);
+    result["pipeline_overhead_pct"] = util::Json(overhead_pct);
+    util::Json::Object doc;
+    doc["env"] = util::bench_env_json();
+    doc["obs"] = util::Json(std::move(result));
+    std::ofstream out(json_path);
+    out << util::Json(std::move(doc)).dump() << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

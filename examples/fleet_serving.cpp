@@ -13,11 +13,16 @@
 //   4. scale up     — growing a device pool drains queueing delay
 //                     (device_scale events)
 //
-//   ./examples/fleet_serving
+// The whole run is observed through mvs::obs: pass output paths to export a
+// Chrome trace (chrome://tracing / Perfetto) and a metrics snapshot:
+//
+//   ./examples/fleet_serving [chrome_trace.json] [metrics.json]
 
 #include <cstdio>
+#include <fstream>
 
 #include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
 #include "runtime/trace.hpp"
 
 namespace {
@@ -33,8 +38,14 @@ void print_sessions(const mvs::fleet::FleetSnapshot& snap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mvs;
+
+  // Observability on for the whole walkthrough: every fleet tick, session
+  // step, pipeline stage and GPU batch below lands in the span trace and
+  // the metrics registry.
+  obs::reset();
+  obs::set_enabled(true);
 
   fleet::FleetConfig cfg;
   cfg.slo_ms = 530.0;             // shared per-tick GPU deadline
@@ -126,5 +137,24 @@ int main() {
   std::printf("trace: device_scale=%ld batch_split=%ld\n",
               static_cast<long>(trace.count(runtime::TraceEventType::kDeviceScale)),
               static_cast<long>(trace.count(runtime::TraceEventType::kBatchSplit)));
+
+  const auto p99 = [](const char* name) {
+    return obs::metrics().histogram(name).percentile(99.0);
+  };
+  std::printf("obs: %zu spans | fleet.tick_busy_ms p99 %.1f | "
+              "gpu.merged_busy_ms p99 %.1f\n",
+              obs::tracer().total_events(), p99("fleet.tick_busy_ms"),
+              p99("gpu.merged_busy_ms"));
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << obs::tracer().chrome_trace_json() << '\n';
+    std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
+                argv[1]);
+  }
+  if (argc > 2) {
+    std::ofstream out(argv[2]);
+    out << obs::metrics().to_json() << '\n';
+    std::printf("wrote metrics snapshot to %s\n", argv[2]);
+  }
   return 0;
 }

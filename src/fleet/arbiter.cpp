@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace mvs::fleet {
 
 void GpuArbiter::begin_tick() { subs_.clear(); }
@@ -130,6 +132,7 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
   }
 
   for (const auto& [name, g] : groups) {
+    MVS_SPAN("gpu.batch_plan");
     const int devices = device_count(name);
     std::vector<std::vector<int>> counts = g.counts;
     std::vector<int> total = g.total;
@@ -194,6 +197,8 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
 
     plan.shared_batches += static_cast<long>(out.merged.batches.size());
     plan.shared_busy_ms += out.merged.actual_latency_ms;
+    MVS_COUNT("gpu.merged_batches", out.merged.batches.size());
+    MVS_HIST("gpu.merged_busy_ms", out.merged.actual_latency_ms);
 
     for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
       const std::size_t k = g.members[mi];

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "sim/scenario.hpp"
 #include "util/json.hpp"
 
@@ -100,6 +101,12 @@ void Fleet::attach_trace(runtime::TraceRecorder* trace) { trace_ = trace; }
 void Fleet::record(runtime::TraceEventType type, int session_id,
                    double value) {
   if (trace_) trace_->record({ticks_, session_id, type, 0, value});
+  // Every lifecycle decision (admit/reject/defer/readmit/evict/...) funnels
+  // through here; one counter per event type re-expresses them as metrics.
+  if (obs::enabled())
+    obs::metrics()
+        .counter(std::string("fleet.events.") + runtime::to_string(type))
+        .add(1);
 }
 
 Fleet::Session* Fleet::find(int id) {
@@ -376,6 +383,7 @@ void Fleet::readmit_scan() {
 }
 
 void Fleet::step() {
+  MVS_SPAN("fleet.tick");
   const long tick = ticks_;
 
   // 1. Sessions due this tick (active, native period x stride matches).
@@ -426,6 +434,7 @@ void Fleet::step() {
   // deterministic for any worker count.
   std::vector<runtime::FrameStats> stats(chosen.size());
   pool_.run_tiles(chosen.size(), [&](std::size_t i) {
+    MVS_SPAN("fleet.session");
     stats[i] = chosen[i]->pipeline->run_frame();
   });
 
@@ -457,7 +466,11 @@ void Fleet::step() {
   TickContext ctx;
   ctx.slo_ms = cfg_.slo_ms;
   ctx.allow_split = cfg_.allow_split;
-  const TickPlan plan = arbiter_.plan_tick(ctx);
+  TickPlan plan;
+  {
+    MVS_SPAN("fleet.arbiter");
+    plan = arbiter_.plan_tick(ctx);
+  }
   shared_batches_ += plan.shared_batches;
   isolated_batches_ += plan.isolated_batches;
   shared_busy_ms_ += plan.shared_busy_ms;
@@ -466,6 +479,22 @@ void Fleet::step() {
   batch_splits_ += plan.splits;
   tick_busy_ms_.add(plan.shared_busy_ms);
   queue_depth_.add(static_cast<double>(deferred));
+  if (obs::enabled()) {
+    // Fleet rollups re-expressed as registry metrics (the SampleSet-based
+    // snapshot stays the bit-identical source for FleetSnapshot JSON). All
+    // values here are simulated/deterministic, so they carry the full
+    // fingerprint.
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter("fleet.ticks").add(1);
+    m.counter("fleet.frames").add(static_cast<long long>(chosen.size()));
+    m.counter("fleet.deferred").add(static_cast<long long>(deferred));
+    m.counter("fleet.shared_batches").add(plan.shared_batches);
+    m.counter("fleet.isolated_batches").add(plan.isolated_batches);
+    m.counter("fleet.batch_splits").add(plan.splits);
+    m.histogram("fleet.tick_busy_ms").record(plan.shared_busy_ms);
+    m.histogram("fleet.queue_depth").record(static_cast<double>(deferred));
+    m.gauge("fleet.sessions").set(static_cast<double>(sessions_.size()));
+  }
 
   // Deferred task slices become carryover debt charged on the tick that
   // actually runs them (conservation-exact attribution).
@@ -495,6 +524,12 @@ void Fleet::step() {
     s->latency_ms.add(frame_ms);
     s->isolated_ms.add(frame_iso_ms);
     s->queue_ms.add(frame_queue_ms);
+    if (obs::enabled()) {
+      const std::string prefix = "fleet.session." + std::to_string(s->id);
+      obs::MetricsRegistry& m = obs::metrics();
+      m.histogram(prefix + ".latency_ms").record(frame_ms);
+      m.histogram(prefix + ".queue_ms").record(frame_queue_ms);
+    }
     s->busy_sum_ms += busy;
     ++s->frames;
     const double slo = s->spec.slo_ms >= 0.0 ? s->spec.slo_ms : cfg_.slo_ms;

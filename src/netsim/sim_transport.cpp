@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace mvs::netsim {
 
 namespace {
@@ -38,6 +40,8 @@ net::UplinkReport SimTransport::run_uplinks(long /*frame*/) {
 }
 
 net::CycleReport SimTransport::finish_cycle(long frame) {
+  MVS_SPAN("net.cycle");
+  const std::size_t msg_count = pending_up_.size() + pending_down_.size();
   if (!up_resolved_) (void)run_uplinks(frame);
   const PhaseOutcome down = run_phase(pending_down_, /*uplink=*/false);
 
@@ -52,6 +56,14 @@ net::CycleReport SimTransport::finish_cycle(long frame) {
     e.time_ms += up_outcome_.elapsed_ms;  // cycle-relative timeline
     report.events.push_back(e);
   }
+
+  MVS_COUNT("net.cycles", 1);
+  MVS_COUNT("net.messages", msg_count);
+  MVS_COUNT("net.retries", report.retries);
+  MVS_COUNT("net.drops", report.dropped_msgs);
+  // Simulated (event-queue) times: deterministic, full fingerprint.
+  MVS_HIST("net.cycle_ms", report.comm_ms);
+  MVS_HIST("net.queue_ms", report.queue_ms);
 
   pending_up_.clear();
   pending_down_.clear();

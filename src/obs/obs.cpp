@@ -1,0 +1,46 @@
+#include "obs/obs.hpp"
+
+namespace mvs::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+SpanTracer& tracer() {
+  static SpanTracer t;
+  return t;
+}
+
+void reset() {
+  metrics().reset();
+  tracer().reset();
+}
+
+void Span::begin(const char* name) {
+  name_ = name;
+  SpanTracer& t = tracer();
+  buffer_ = &t.local();
+  depth_ = buffer_->depth++;
+  start_us_ = t.now_us();
+}
+
+void Span::end() {
+  SpanTracer& t = tracer();
+  const std::uint64_t end_us = t.now_us();
+  SpanTracer::ThreadBuffer& buf = *buffer_;
+  --buf.depth;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(SpanEvent{name_, buf.tid, depth_, start_us_,
+                                 end_us - start_us_});
+}
+
+}  // namespace mvs::obs

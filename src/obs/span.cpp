@@ -1,0 +1,102 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mvs::obs {
+
+namespace {
+
+// Thread-local cache mapping (tracer, generation) -> buffer so local() is a
+// pair of comparisons on the hot path. The shared_ptr keeps the buffer alive
+// in the tracer even after the thread exits.
+struct LocalCache {
+  const SpanTracer* tracer = nullptr;
+  std::uint64_t generation = 0;
+  std::shared_ptr<SpanTracer::ThreadBuffer> buffer;
+};
+thread_local LocalCache t_cache;
+
+}  // namespace
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanTracer::ThreadBuffer& SpanTracer::local() {
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gen = generation_;
+    if (t_cache.tracer == this && t_cache.generation == gen)
+      return *t_cache.buffer;
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(buf);
+    t_cache.tracer = this;
+    t_cache.generation = gen;
+    t_cache.buffer = std::move(buf);
+  }
+  return *t_cache.buffer;
+}
+
+std::uint64_t SpanTracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::vector<SpanEvent> SpanTracer::collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = buffers_;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& b : bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.depth < b.depth;  // parent (shallower) first on ts ties
+  });
+  return out;
+}
+
+std::string SpanTracer::chrome_trace_json() const {
+  const auto events = collect();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  int last_tid = -1;
+  for (const auto& e : events) {
+    if (e.tid != last_tid) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << e.tid
+         << ",\"args\":{\"name\":\"mvs-" << e.tid << "\"}}";
+      last_tid = e.tid;
+    }
+    os << ",{\"name\":\"" << e.name << "\",\"cat\":\"mvs\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+       << e.tid << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::map<std::string, long long> SpanTracer::span_counts() const {
+  std::map<std::string, long long> out;
+  for (const auto& e : collect()) ++out[e.name];
+  return out;
+}
+
+std::size_t SpanTracer::total_events() const { return collect().size(); }
+
+void SpanTracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  buffers_.clear();
+}
+
+}  // namespace mvs::obs

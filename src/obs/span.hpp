@@ -1,0 +1,67 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvs::obs {
+
+// One completed RAII scope, recorded at scope exit.
+struct SpanEvent {
+  const char* name;       // static string supplied by the MVS_SPAN site
+  int tid;                // tracer-assigned small thread id (registration order)
+  int depth;              // nesting depth on that thread at scope entry
+  std::uint64_t ts_us;    // start, microseconds since tracer epoch
+  std::uint64_t dur_us;   // wall-clock duration, microseconds
+};
+
+// Collects SpanEvents into per-thread buffers (contention-free appends: each
+// thread owns its buffer, guarded by a per-buffer mutex that is uncontended
+// except during collect()). Export formats:
+//  - chrome_trace_json(): Chrome trace-event JSON ("ph":"X" complete events)
+//    loadable in chrome://tracing and Perfetto;
+//  - span_counts(): per-name event counts, used by the determinism guard
+//    (counts are thread-schedule independent; durations are not).
+class SpanTracer {
+ public:
+  SpanTracer();
+
+  // Per-thread buffer handle; stable for the life of the tracer generation.
+  struct ThreadBuffer {
+    std::mutex mu;
+    int tid = 0;
+    int depth = 0;  // only touched by the owning thread
+    std::vector<SpanEvent> events;
+  };
+
+  // Buffer for the calling thread, registering it on first use.
+  ThreadBuffer& local();
+
+  std::uint64_t now_us() const;
+
+  // Snapshot of all recorded events, sorted by (tid, ts, depth).
+  std::vector<SpanEvent> collect() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} with per-thread metadata.
+  std::string chrome_trace_json() const;
+
+  std::map<std::string, long long> span_counts() const;
+
+  std::size_t total_events() const;
+
+  // Drops all events and detaches existing per-thread buffers (threads
+  // re-register lazily). Span objects must not be alive across reset().
+  void reset();
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::uint64_t generation_ = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+}  // namespace mvs::obs

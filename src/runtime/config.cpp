@@ -303,6 +303,18 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
   if (const util::Json* p = doc->find("pipeline"))
     if (!parse_pipeline(*p, &config.pipeline, error)) return std::nullopt;
 
+  if (const util::Json* o = doc->find("obs")) {
+    if (!o->is_object()) {
+      if (error) *error = "\"obs\" must be an object";
+      return std::nullopt;
+    }
+    config.obs.enabled = o->bool_or("enabled", config.obs.enabled);
+    config.obs.chrome_trace =
+        o->string_or("chrome_trace", config.obs.chrome_trace);
+    config.obs.metrics_json =
+        o->string_or("metrics_json", config.obs.metrics_json);
+  }
+
   if (const util::Json* f = doc->find("fleet")) {
     FleetRunConfig fleet;
     if (!parse_fleet(*f, config, &fleet, error)) return std::nullopt;
@@ -317,6 +329,11 @@ std::string dump_run_config(const RunConfig& config) {
   root["scenario"] = Json(config.scenario);
   root["frames"] = Json(config.frames);
   root["pipeline"] = dump_pipeline(config.pipeline);
+  Json::Object obs;
+  obs["enabled"] = Json(config.obs.enabled);
+  obs["chrome_trace"] = Json(config.obs.chrome_trace);
+  obs["metrics_json"] = Json(config.obs.metrics_json);
+  root["obs"] = Json(std::move(obs));
   if (config.fleet) root["fleet"] = dump_fleet(*config.fleet);
   return Json(std::move(root)).dump();
 }

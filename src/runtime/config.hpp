@@ -91,10 +91,21 @@ struct FleetRunConfig {
   std::vector<FleetSessionSpec> sessions;
 };
 
+/// The "obs" block of a run config: observability (mvs::obs) switches. When
+/// `enabled`, the runner turns the global metrics/span instrumentation on and
+/// exports to the given paths after the run (empty path = no file export; the
+/// CLI flags --chrome-trace/--metrics-json override and imply enabled).
+struct ObsConfig {
+  bool enabled = false;
+  std::string chrome_trace;  ///< Chrome trace-event JSON output path
+  std::string metrics_json;  ///< MetricsRegistry snapshot output path
+};
+
 struct RunConfig {
   std::string scenario = "S1";
   int frames = 200;
   PipelineConfig pipeline;
+  ObsConfig obs;
   /// Present when the document carries a "fleet" block: run a multi-session
   /// fleet instead of a standalone pipeline.
   std::optional<FleetRunConfig> fleet;

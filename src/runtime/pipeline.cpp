@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include "assoc/association.hpp"
 #include "core/baselines.hpp"
@@ -15,6 +16,7 @@
 #include "net/messages.hpp"
 #include "net/transport.hpp"
 #include "netsim/sim_transport.hpp"
+#include "obs/obs.hpp"
 #include "runtime/oracles.hpp"
 #include "sim/dataset.hpp"
 #include "track/flow_tracker.hpp"
@@ -296,6 +298,7 @@ struct Pipeline::Impl {
   void key_frame_step(const sim::MultiFrame& mf, long eval_frame,
                       FrameStats& stats,
                       std::vector<std::vector<geom::BBox>>& reported) {
+    MVS_SPAN("pipeline.key_frame");
     const std::size_t m = cameras.size();
     const bool central_stage = cfg.policy != Policy::kBalbInd;
 
@@ -327,6 +330,7 @@ struct Pipeline::Impl {
           cam.tracker.reset_from_detections(
               dets[static_cast<std::size_t>(cam.index)]);
     } else {
+      MVS_SPAN("pipeline.central");
       // Uplink phase: the central stage only sees the detection lists the
       // transport actually delivered — a lost uplink drops that camera out
       // of this horizon's plan and BALB re-plans over the survivors.
@@ -502,12 +506,15 @@ struct Pipeline::Impl {
                             cfg.policy == Policy::kStaticPartition;
     CamFrameResult result;
     {
+      MVS_SPAN("pipeline.camera");
       const auto i = static_cast<std::size_t>(cam.index);
       const auto& gt = mf.per_camera[i];
 
       cam.render_current(gt, mf.frame_index);
 
       // --- tracking: optical flow + projection + slicing ---
+      std::optional<obs::Span> stage_span;
+      if (obs::enabled()) stage_span.emplace("pipeline.tracking");
       util::Stopwatch track_sw;
       cam.flow_engine.compute(cam.scratch, cam.flow,
                               tile_flow ? &pool : nullptr);
@@ -577,16 +584,22 @@ struct Pipeline::Impl {
         }
       }
       result.tracking_ms = track_sw.elapsed_ms();
+      stage_span.reset();
 
       // --- GPU batching: plan + assemble input tensors ---
+      if (obs::enabled()) stage_span.emplace("gpu.batch");
       util::Stopwatch batch_sw;
       std::vector<geom::SizeClassId> tasks;
       tasks.reserve(slices.size());
       for (const vision::SliceRegion& s : slices) tasks.push_back(s.size_class);
       const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
       assemble_batches(cam, cam.scratch.cur_frame(), slices);
+      MVS_COUNT("gpu.tasks", tasks.size());
+      MVS_COUNT("gpu.batches", plan.batches.size());
+      MVS_HIST("gpu.plan_latency_ms", plan.actual_latency_ms);
       gpu_work[i].tasks = std::move(tasks);
       result.batching_ms = batch_sw.elapsed_ms();
+      stage_span.reset();
 
       result.infer_ms = plan.actual_latency_ms;
 
@@ -608,6 +621,7 @@ struct Pipeline::Impl {
                          static_cast<std::uint64_t>(removed), 0.0});
 
       // --- distributed BALB stage ---
+      if (obs::enabled()) stage_span.emplace("pipeline.distributed");
       util::Stopwatch dist_sw;
       for (std::size_t d : update.unmatched_detections) {
         const detect::Detection& det = dets[d];
@@ -650,6 +664,7 @@ struct Pipeline::Impl {
         takeover_pass(cam, mf.frame_index);
       }
       result.distributed_ms = dist_sw.elapsed_ms();
+      stage_span.reset();
 
       cam.scratch.advance();  // this frame becomes the next flow reference
       for (const track::Track& t : cam.tracker.tracks())
@@ -771,6 +786,7 @@ struct Pipeline::Impl {
 };
 
 FrameStats Pipeline::Impl::run_frame() {
+  MVS_SPAN("pipeline.frame");
   const long f = frames_run++;
   const sim::MultiFrame mf = player.next();
   FrameStats stats;
@@ -809,6 +825,30 @@ FrameStats Pipeline::Impl::run_frame() {
   stats.gt_objects = gt;
   for (const CameraNode& cam : cameras)
     stats.tracked_objects += cam.tracker.tracks().size();
+
+  if (obs::enabled()) {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter("pipeline.frames").add(1);
+    if (stats.key_frame) m.counter("pipeline.key_frames").add(1);
+    const bool central_ran = stats.key_frame && cfg.policy != Policy::kFull &&
+                             cfg.policy != Policy::kBalbInd;
+    if (central_ran) {
+      // Wall-clock stage time: fingerprinted by count only (durations vary
+      // run to run); comm/queue are simulated (netsim) and deterministic.
+      m.histogram("pipeline.central_wall_ms").record(stats.central_ms);
+      m.histogram("pipeline.comm_ms").record(stats.comm_ms);
+      m.histogram("pipeline.queue_ms").record(stats.queue_ms);
+    } else if (!stats.key_frame && cfg.policy != Policy::kFull) {
+      m.histogram("pipeline.tracking_wall_ms").record(stats.tracking_ms);
+      m.histogram("pipeline.batching_wall_ms").record(stats.batching_ms);
+      m.histogram("pipeline.distributed_wall_ms").record(stats.distributed_ms);
+    }
+    m.histogram("pipeline.infer_ms").record(stats.slowest_infer_ms);
+    // Histograms, not gauges: fleet sessions run frames on pool threads, and
+    // histogram merges are order-independent (gauge last-writer-wins is not).
+    m.histogram("pipeline.recall").record(stats.frame_recall);
+    m.histogram("pipeline.cameras_online").record(stats.cameras_online);
+  }
 
   all_frames.push_back(stats);
   if (cfg.verbose && f % 50 == 0)

@@ -24,13 +24,50 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kSessionReadmit: return "session_readmit";
     case TraceEventType::kDeviceScale: return "device_scale";
     case TraceEventType::kBatchSplit: return "batch_split";
+    case TraceEventType::kTraceEventTypeCount_: break;
   }
   return "?";
 }
 
+namespace {
+
+util::Json event_json(const TraceEvent& e) {
+  util::Json::Object obj;
+  obj["frame"] = util::Json(static_cast<double>(e.frame));
+  obj["camera"] = util::Json(e.camera);
+  obj["type"] = util::Json(to_string(e.type));
+  obj["object"] = util::Json(static_cast<double>(e.object_key));
+  obj["value"] = util::Json(e.value);
+  return util::Json(std::move(obj));
+}
+
+}  // namespace
+
+bool TraceRecorder::open_stream(const std::string& path, bool stream_only) {
+  std::scoped_lock lock(mutex_);
+  stream_.open(path, std::ios::out | std::ios::trunc);
+  if (!stream_.is_open()) return false;
+  stream_only_ = stream_only;
+  return true;
+}
+
+void TraceRecorder::close_stream() {
+  std::scoped_lock lock(mutex_);
+  if (stream_.is_open()) stream_.close();
+  stream_only_ = false;
+}
+
+bool TraceRecorder::streaming() const {
+  std::scoped_lock lock(mutex_);
+  return stream_.is_open();
+}
+
 void TraceRecorder::record(const TraceEvent& event) {
   std::scoped_lock lock(mutex_);
-  events_.push_back(event);
+  ++counts_[static_cast<std::size_t>(event.type)];
+  ++total_;
+  if (stream_.is_open()) stream_ << event_json(event).dump() << '\n';
+  if (!(stream_.is_open() && stream_only_)) events_.push_back(event);
 }
 
 std::vector<TraceEvent> TraceRecorder::events() const {
@@ -40,32 +77,24 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 
 std::size_t TraceRecorder::count(TraceEventType type) const {
   std::scoped_lock lock(mutex_);
-  std::size_t n = 0;
-  for (const TraceEvent& e : events_) n += (e.type == type);
-  return n;
+  return counts_[static_cast<std::size_t>(type)];
 }
 
 std::size_t TraceRecorder::total() const {
   std::scoped_lock lock(mutex_);
-  return events_.size();
+  return total_;
 }
 
 void TraceRecorder::clear() {
   std::scoped_lock lock(mutex_);
   events_.clear();
+  counts_.fill(0);
+  total_ = 0;
 }
 
 std::string TraceRecorder::to_json() const {
   util::Json::Array array;
-  for (const TraceEvent& e : events()) {
-    util::Json::Object obj;
-    obj["frame"] = util::Json(static_cast<double>(e.frame));
-    obj["camera"] = util::Json(e.camera);
-    obj["type"] = util::Json(to_string(e.type));
-    obj["object"] = util::Json(static_cast<double>(e.object_key));
-    obj["value"] = util::Json(e.value);
-    array.push_back(util::Json(std::move(obj)));
-  }
+  for (const TraceEvent& e : events()) array.push_back(event_json(e));
   return util::Json(std::move(array)).dump();
 }
 

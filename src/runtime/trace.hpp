@@ -7,7 +7,9 @@
 // thread-safe (camera steps run on a pool) and exports JSON for offline
 // inspection of *why* the schedule looked the way it did.
 
+#include <array>
 #include <cstdint>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -36,6 +38,7 @@ enum class TraceEventType {
   kSessionReadmit, ///< re-admission restored a degrade rung (rate or masks)
   kDeviceScale,    ///< device pool grown/shrunk; value = new device count
   kBatchSplit,     ///< arbiter split an over-full batch; value = deferred tasks
+  kTraceEventTypeCount_,  ///< sentinel: number of event types (not an event)
 };
 
 const char* to_string(TraceEventType type);
@@ -50,6 +53,21 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
+  /// Attach a streaming file sink: every record() appends one JSON object
+  /// line (JSONL) to `path` as it happens, bounding recorder memory on long
+  /// runs. With `stream_only` the in-memory event vector is not grown —
+  /// count()/total() stay exact (served from per-type counters) but
+  /// events()/to_json() only cover events recorded before the sink opened.
+  /// Without `stream_only` the in-memory snapshot path is unchanged
+  /// (bit-identical to a recorder with no sink). Returns false if the file
+  /// cannot be opened for writing.
+  bool open_stream(const std::string& path, bool stream_only = false);
+
+  /// Flushes and closes the streaming sink (no-op when none is open).
+  void close_stream();
+
+  bool streaming() const;
+
   void record(const TraceEvent& event);
 
   /// Snapshot of all events so far (copy; safe while recording continues).
@@ -65,6 +83,12 @@ class TraceRecorder {
  private:
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::array<std::size_t,
+             static_cast<std::size_t>(TraceEventType::kTraceEventTypeCount_)>
+      counts_{};
+  std::size_t total_ = 0;
+  std::ofstream stream_;
+  bool stream_only_ = false;
 };
 
 }  // namespace mvs::runtime

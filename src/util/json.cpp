@@ -205,15 +205,26 @@ class Parser {
 };
 
 void escape_into(const std::string& s, std::ostringstream& out) {
+  static const char* hex = "0123456789abcdef";
   out << '"';
   for (char c : s) {
     switch (c) {
       case '"': out << "\\\""; break;
       case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
       case '\n': out << "\\n"; break;
       case '\r': out << "\\r"; break;
       case '\t': out << "\\t"; break;
-      default: out << c;
+      default: {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          // Remaining control characters must be \u-escaped per RFC 8259.
+          out << "\\u00" << hex[(u >> 4) & 0xF] << hex[u & 0xF];
+        } else {
+          out << c;
+        }
+      }
     }
   }
   out << '"';

@@ -39,6 +39,22 @@ TEST(Json, StringEscapes) {
   EXPECT_EQ(doc->as_string(), "a\nb\t\"q\" \\ A");
 }
 
+TEST(Json, ControlCharacterEscapesRoundTrip) {
+  // Every control character must survive dump() -> parse(): \b and \f get
+  // their short escapes, the rest go out as \u00XX.
+  std::string raw;
+  for (char c = 1; c < 0x20; ++c) raw.push_back(c);
+  raw += "\b\f plain";
+  const std::string dumped = Json(raw).dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos);  // no literal controls
+  EXPECT_NE(dumped.find("\\b"), std::string::npos);
+  EXPECT_NE(dumped.find("\\f"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u001f"), std::string::npos);
+  const auto back = Json::parse(dumped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as_string(), raw);
+}
+
 TEST(Json, MalformedInputsRejected) {
   std::string error;
   EXPECT_FALSE(Json::parse("{", &error).has_value());
@@ -155,6 +171,37 @@ TEST(RunConfig, DumpRoundTrips) {
   EXPECT_EQ(again->pipeline.policy, runtime::Policy::kBalbCen);
   EXPECT_EQ(again->pipeline.horizon_frames, 20);
   EXPECT_EQ(again->pipeline.seed, 1234u);
+}
+
+TEST(RunConfig, ObsBlockParseAndRoundTrip) {
+  // Defaults: observability off, no export paths.
+  const auto defaults = runtime::parse_run_config("{}");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_FALSE(defaults->obs.enabled);
+  EXPECT_TRUE(defaults->obs.chrome_trace.empty());
+  EXPECT_TRUE(defaults->obs.metrics_json.empty());
+
+  const auto config = runtime::parse_run_config(R"({
+    "obs": {"enabled": true, "chrome_trace": "trace.json",
+            "metrics_json": "metrics.json"}
+  })");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(config->obs.enabled);
+  EXPECT_EQ(config->obs.chrome_trace, "trace.json");
+  EXPECT_EQ(config->obs.metrics_json, "metrics.json");
+
+  const auto again = runtime::parse_run_config(dump_run_config(*config));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->obs.enabled);
+  EXPECT_EQ(again->obs.chrome_trace, "trace.json");
+  EXPECT_EQ(again->obs.metrics_json, "metrics.json");
+}
+
+TEST(RunConfig, ObsBlockMustBeObject) {
+  std::string error;
+  EXPECT_FALSE(runtime::parse_run_config(R"({"obs": true})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("obs"), std::string::npos);
 }
 
 TEST(FleetRunConfig, ParseFleetBlock) {

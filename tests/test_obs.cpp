@@ -1,0 +1,365 @@
+// mvs::obs tests: streaming-histogram percentile accuracy against an exact
+// sorted-sample oracle, concurrent metric updates under the thread pool,
+// Chrome trace-event JSON schema round-trips, and null-sink no-op semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mvs;
+
+// Exact nearest-rank percentile (the definition Histogram::percentile
+// approximates): value at rank ceil(p/100 * n) in the sorted samples.
+double exact_percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<long long>(samples.size());
+  long long rank = static_cast<long long>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  rank = std::max(1LL, std::min(rank, n));
+  return samples[static_cast<std::size_t>(rank - 1)];
+}
+
+// Streaming estimate must sit within one bucket width of the exact value —
+// the bound documented in metrics.hpp. Only meaningful for positive exact
+// values that land in a finite-width bucket.
+void expect_within_one_bucket(const obs::Histogram& hist,
+                              const std::vector<double>& samples, double p) {
+  const double exact = exact_percentile(samples, p);
+  ASSERT_GT(exact, 0.0);
+  const int idx = obs::Histogram::bucket_index(exact);
+  ASSERT_GE(idx, 1);
+  ASSERT_LT(idx, obs::Histogram::kBucketCount - 1);
+  const double width =
+      obs::Histogram::bucket_upper(idx) - obs::Histogram::bucket_lower(idx);
+  const double est = hist.percentile(p);
+  EXPECT_LE(std::abs(est - exact), width)
+      << "p" << p << ": est=" << est << " exact=" << exact
+      << " bucket width=" << width;
+}
+
+TEST(ObsHistogram, BucketIndexBoundaries) {
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(-3.5), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0);
+  // Every positive value lands in a bucket whose [lo, hi) range contains it
+  // (except at the clamped extremes, where it lands inside the edge bucket).
+  for (double v : {1e-12, 0.001, 0.5, 1.0, 1.5, 2.0, 1000.0, 1e9, 1e12}) {
+    const int idx = obs::Histogram::bucket_index(v);
+    ASSERT_GE(idx, 1);
+    ASSERT_LT(idx, obs::Histogram::kBucketCount);
+    if (idx > 1 && idx < obs::Histogram::kBucketCount - 1) {
+      EXPECT_GE(v, obs::Histogram::bucket_lower(idx)) << v;
+      EXPECT_LT(v, obs::Histogram::bucket_upper(idx)) << v;
+    }
+  }
+  // Exact powers of two open their own bucket: 2^k is the inclusive lower
+  // bound of bucket(2^k).
+  EXPECT_EQ(obs::Histogram::bucket_lower(obs::Histogram::bucket_index(8.0)),
+            8.0);
+}
+
+TEST(ObsHistogram, EmptyAndSingleSample) {
+  obs::Histogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_TRUE(std::isnan(hist.min()));
+  EXPECT_TRUE(std::isnan(hist.max()));
+  EXPECT_TRUE(std::isnan(hist.percentile(50.0)));
+
+  hist.record(42.0);
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_DOUBLE_EQ(hist.min(), 42.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 42.0);
+  // Midpoint clamped to [min, max] collapses to the sample itself.
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 42.0);
+}
+
+TEST(ObsHistogram, PercentileAccuracyUniform) {
+  std::mt19937 rng(12345);
+  std::uniform_real_distribution<double> dist(0.1, 900.0);
+  obs::Histogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    hist.record(v);
+  }
+  for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9})
+    expect_within_one_bucket(hist, samples, p);
+}
+
+TEST(ObsHistogram, PercentileAccuracyHeavyTail) {
+  // Latency-shaped data: lognormal body with a far tail.
+  std::mt19937 rng(777);
+  std::lognormal_distribution<double> dist(1.0, 1.5);
+  obs::Histogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist(rng);
+    samples.push_back(v);
+    hist.record(v);
+  }
+  for (double p : {50.0, 95.0, 99.0, 99.9})
+    expect_within_one_bucket(hist, samples, p);
+}
+
+TEST(ObsHistogram, PercentileAccuracyAdversarial) {
+  // All mass in one bucket: [16, 32). The estimate must still land within
+  // one bucket width, and clamping to [min, max] keeps it inside the data.
+  {
+    obs::Histogram hist;
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) {
+      const double v = 16.0 + 16.0 * (static_cast<double>(i) / 1000.0);
+      samples.push_back(v);
+      hist.record(v);
+    }
+    for (double p : {50.0, 95.0, 99.0})
+      expect_within_one_bucket(hist, samples, p);
+    EXPECT_GE(hist.percentile(99.0), hist.min());
+    EXPECT_LE(hist.percentile(99.0), hist.max());
+  }
+  // Exact bucket boundaries (powers of two) — rank walking must not be off
+  // by one when samples sit on the inclusive lower edges.
+  {
+    obs::Histogram hist;
+    std::vector<double> samples;
+    for (int e = 0; e <= 10; ++e)
+      for (int r = 0; r < 100; ++r) {
+        const double v = std::ldexp(1.0, e);
+        samples.push_back(v);
+        hist.record(v);
+      }
+    for (double p : {50.0, 95.0, 99.0})
+      expect_within_one_bucket(hist, samples, p);
+  }
+  // Bimodal with an empty chasm between the modes.
+  {
+    obs::Histogram hist;
+    std::vector<double> samples;
+    for (int i = 0; i < 900; ++i) { samples.push_back(0.5); hist.record(0.5); }
+    for (int i = 0; i < 100; ++i) {
+      samples.push_back(4096.0);
+      hist.record(4096.0);
+    }
+    for (double p : {50.0, 89.0, 95.0, 99.0})
+      expect_within_one_bucket(hist, samples, p);
+  }
+}
+
+TEST(ObsHistogram, NonPositiveValuesUnderflow) {
+  obs::Histogram hist;
+  hist.record(-5.0);
+  hist.record(0.0);
+  hist.record(3.0);
+  EXPECT_EQ(hist.count(), 3);
+  EXPECT_DOUBLE_EQ(hist.min(), -5.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 3.0);
+  const std::vector<long long> buckets = hist.bucket_counts();
+  EXPECT_EQ(buckets[0], 2);  // underflow bucket holds both non-positives
+  // Estimates stay inside the observed range even with the degenerate
+  // underflow bucket in play.
+  for (double p : {1.0, 50.0, 99.0}) {
+    const double est = hist.percentile(p);
+    EXPECT_GE(est, hist.min());
+    EXPECT_LE(est, hist.max());
+  }
+}
+
+TEST(ObsMetrics, ConcurrentUpdatesMatchSerialFingerprint) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+
+  obs::MetricsRegistry serial;
+  for (int t = 0; t < kThreads; ++t)
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.counter("events").add(1);
+      serial.histogram("latency_ms").record(static_cast<double>(i % 97) + 0.5);
+    }
+
+  obs::MetricsRegistry concurrent;
+  util::ThreadPool pool(kThreads);
+  pool.parallel_for_each(kThreads, [&](std::size_t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      concurrent.counter("events").add(1);
+      concurrent.histogram("latency_ms").record(
+          static_cast<double>(i % 97) + 0.5);
+    }
+  });
+
+  EXPECT_EQ(serial.counter("events").value(),
+            static_cast<long long>(kThreads) * kPerThread);
+  EXPECT_EQ(serial.fingerprint(), concurrent.fingerprint());
+  EXPECT_EQ(serial.histogram("latency_ms").bucket_counts(),
+            concurrent.histogram("latency_ms").bucket_counts());
+}
+
+TEST(ObsMetrics, ToJsonExposesPercentiles) {
+  obs::MetricsRegistry reg;
+  reg.counter("frames").add(7);
+  reg.gauge("sessions").set(3.0);
+  for (int i = 1; i <= 100; ++i)
+    reg.histogram("infer_ms").record(static_cast<double>(i));
+
+  std::string error;
+  const auto doc = util::Json::parse(reg.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_DOUBLE_EQ(doc->find("counters")->number_or("frames", -1.0), 7.0);
+  EXPECT_DOUBLE_EQ(doc->find("gauges")->number_or("sessions", -1.0), 3.0);
+  const util::Json* hist = doc->find("histograms")->find("infer_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->number_or("count", -1.0), 100.0);
+  EXPECT_DOUBLE_EQ(hist->number_or("min", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hist->number_or("max", -1.0), 100.0);
+  for (const char* key : {"p50", "p95", "p99"}) {
+    const double v = hist->number_or(key, -1.0);
+    EXPECT_GE(v, 1.0) << key;
+    EXPECT_LE(v, 100.0) << key;
+  }
+  const util::Json* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  long long total = 0;
+  for (const util::Json& b : buckets->as_array())
+    total += static_cast<long long>(b.number_or("count", 0.0));
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ObsMetrics, WallClockHistogramsFingerprintByCountOnly) {
+  obs::MetricsRegistry a, b;
+  a.histogram("stage_wall_ms").record(1.0);
+  b.histogram("stage_wall_ms").record(1000.0);  // different duration, same n
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  obs::MetricsRegistry c, d;
+  c.histogram("stage_ms").record(1.0);
+  d.histogram("stage_ms").record(1000.0);  // value-carrying hist must differ
+  EXPECT_NE(c.fingerprint(), d.fingerprint());
+}
+
+TEST(ObsSpans, ChromeTraceJsonSchemaRoundTrip) {
+  obs::set_enabled(true);
+  obs::reset();
+  {
+    MVS_SPAN("outer");
+    { MVS_SPAN("inner"); }
+    { MVS_SPAN("inner"); }
+  }
+  std::thread worker([] { MVS_SPAN("worker_span"); });
+  worker.join();
+  obs::set_enabled(false);
+
+  const std::map<std::string, long long> counts = obs::tracer().span_counts();
+  EXPECT_EQ(counts.at("outer"), 1);
+  EXPECT_EQ(counts.at("inner"), 2);
+  EXPECT_EQ(counts.at("worker_span"), 1);
+  EXPECT_EQ(obs::tracer().total_events(), 4u);
+
+  // Nesting: the snapshot is sorted (tid, ts, depth), so on the main thread
+  // "outer" (depth 0) precedes and encloses both "inner" (depth 1) events.
+  const std::vector<obs::SpanEvent> events = obs::tracer().collect();
+  ASSERT_EQ(events.size(), 4u);
+  const obs::SpanEvent& outer = events[0];
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0);
+  for (std::size_t i = 1; i <= 2; ++i) {
+    EXPECT_STREQ(events[i].name, "inner");
+    EXPECT_EQ(events[i].depth, 1);
+    EXPECT_EQ(events[i].tid, outer.tid);
+    EXPECT_GE(events[i].ts_us, outer.ts_us);
+    EXPECT_LE(events[i].ts_us + events[i].dur_us,
+              outer.ts_us + outer.dur_us);
+  }
+  EXPECT_NE(events[3].tid, outer.tid);
+
+  // Chrome trace-event schema: top-level traceEvents array; "M" metadata
+  // rows name each thread; "X" complete events carry pid/tid/ts/dur.
+  std::string error;
+  const auto doc = util::Json::parse(obs::tracer().chrome_trace_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->string_or("displayTimeUnit", ""), "ms");
+  const util::Json* trace_events = doc->find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  int complete = 0, metadata = 0;
+  for (const util::Json& e : trace_events->as_array()) {
+    ASSERT_TRUE(e.is_object());
+    const std::string ph = e.string_or("ph", "");
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(e.string_or("name", ""), "thread_name");
+    } else {
+      ++complete;
+      EXPECT_EQ(ph, "X");
+      EXPECT_FALSE(e.string_or("name", "").empty());
+      ASSERT_TRUE(e.find("ts") != nullptr && e.find("ts")->is_number());
+      ASSERT_TRUE(e.find("dur") != nullptr && e.find("dur")->is_number());
+    }
+  }
+  EXPECT_EQ(complete, 4);
+  EXPECT_EQ(metadata, 2);  // one thread_name row per registered thread
+
+  obs::reset();
+}
+
+TEST(ObsSpans, ResetDropsEventsAndReassignsTids) {
+  obs::set_enabled(true);
+  obs::reset();
+  { MVS_SPAN("before_reset"); }
+  EXPECT_EQ(obs::tracer().total_events(), 1u);
+  obs::reset();
+  EXPECT_EQ(obs::tracer().total_events(), 0u);
+  EXPECT_TRUE(obs::tracer().span_counts().empty());
+  { MVS_SPAN("after_reset"); }
+  const std::vector<obs::SpanEvent> events = obs::tracer().collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, 0);  // fresh generation re-registers from 0
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(ObsNullSink, DisabledMacrosRecordNothing) {
+  obs::set_enabled(false);
+  obs::reset();
+
+  MVS_COUNT("null.counter", 5);
+  MVS_GAUGE("null.gauge", 1.0);
+  MVS_HIST("null.hist", 3.0);
+  { MVS_SPAN("null.span"); }
+
+  EXPECT_EQ(obs::tracer().total_events(), 0u);
+  std::string error;
+  const auto doc = util::Json::parse(obs::metrics().to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_TRUE(doc->find("counters")->as_object().empty());
+  EXPECT_TRUE(doc->find("gauges")->as_object().empty());
+  EXPECT_TRUE(doc->find("histograms")->as_object().empty());
+
+  // A Span constructed while disabled stays inert even if the flag flips
+  // mid-scope: the enable check happens at construction time.
+  {
+    obs::Span span("flipped");
+    obs::set_enabled(true);
+  }
+  obs::set_enabled(false);
+  EXPECT_EQ(obs::tracer().total_events(), 0u);
+  obs::reset();
+}
+
+}  // namespace

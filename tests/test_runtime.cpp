@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <string>
 #include <tuple>
 
 #include "assoc/association.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
 #include "runtime/oracles.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/trace.hpp"
@@ -209,6 +212,41 @@ TEST(PipelineBehaviour, DeterministicAcrossThreadCountsAndTiling) {
       EXPECT_DOUBLE_EQ(ea[i].value, other->value);
     }
   }
+}
+
+TEST(PipelineBehaviour, ObsDeterministicAcrossThreadCounts) {
+  // With observability on, metric values and span counts must be
+  // bit-identical at threads=1 and threads=8 — only durations (excluded
+  // from the fingerprint) may differ. Guards against instrumentation that
+  // depends on the thread schedule (e.g. last-writer-wins gauges written
+  // from pool threads).
+  const auto run_observed = [](int threads, std::string* fingerprint,
+                               std::map<std::string, long long>* spans) {
+    obs::reset();
+    obs::set_enabled(true);
+    PipelineConfig cfg = fast_config(Policy::kBalb, 21);
+    cfg.threads = threads;
+    Pipeline pipeline("S2", cfg);
+    (void)pipeline.run(30);
+    obs::set_enabled(false);
+    *fingerprint = obs::metrics().fingerprint();
+    *spans = obs::tracer().span_counts();
+    obs::reset();
+  };
+
+  std::string fp_one, fp_wide;
+  std::map<std::string, long long> spans_one, spans_wide;
+  run_observed(1, &fp_one, &spans_one);
+  run_observed(8, &fp_wide, &spans_wide);
+
+  EXPECT_FALSE(fp_one.empty());
+  EXPECT_EQ(fp_one, fp_wide);
+  EXPECT_FALSE(spans_one.empty());
+  EXPECT_EQ(spans_one, spans_wide);
+  // The instrumented stages all fired.
+  for (const char* name : {"pipeline.frame", "pipeline.camera",
+                           "pipeline.tracking", "gpu.batch"})
+    EXPECT_GT(spans_one.count(name), 0u) << name;
 }
 
 TEST(PipelineBehaviour, RunFrameMatchesRunExactly) {

@@ -8,6 +8,14 @@
 // Usage:
 //   bench_report [--reps 7] [--frames 60] [--width 320] [--out-dir .]
 //                [--fleet-sessions 4] [--fleet-ticks 40]
+//   bench_report --metrics-json metrics.json   # report-only: print the
+//                per-stage latency breakdown from an mvs::obs metrics
+//                snapshot (e.g. mvsched_cli --metrics-json output)
+//
+// The timed pipeline reps run with observability DISABLED (the committed
+// BENCH_pipeline.json baseline is the null-sink number); one extra
+// instrumented rep afterwards feeds the per-stage breakdown table and the
+// "stages" object in BENCH_pipeline.json.
 //
 // The fleet sweep's batch/busy counters are deterministic for the fixed
 // seed; only its wall-clock throughput column is machine-dependent.
@@ -22,15 +30,18 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
 #include "util/bench_info.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
+#include "util/table.hpp"
 #include "vision/optical_flow.hpp"
 #include "vision/renderer.hpp"
 
@@ -153,6 +164,36 @@ double time_median_ms(int reps, Fn&& fn) {
   return util::median(std::move(samples));
 }
 
+/// Per-stage latency breakdown from an mvs::obs metrics snapshot: prints a
+/// stage/count/p50/p95/p99 table over every histogram and returns the same
+/// rows as the "stages" object for BENCH_pipeline.json.
+util::Json::Object print_stage_breakdown(const util::Json& metrics) {
+  util::Json::Object stages;
+  const util::Json* hists = metrics.find("histograms");
+  if (!hists || !hists->is_object()) {
+    std::printf("  (no \"histograms\" object in metrics snapshot)\n");
+    return stages;
+  }
+  util::Table table({"stage", "count", "p50_ms", "p95_ms", "p99_ms"});
+  for (const auto& [name, h] : hists->as_object()) {
+    if (!h.is_object()) continue;
+    const double count = h.number_or("count", 0.0);
+    const double p50 = h.number_or("p50", 0.0);
+    const double p95 = h.number_or("p95", 0.0);
+    const double p99 = h.number_or("p99", 0.0);
+    table.add_row({name, util::Table::fmt(count, 0), util::Table::fmt(p50, 3),
+                   util::Table::fmt(p95, 3), util::Table::fmt(p99, 3)});
+    util::Json::Object stage;
+    stage["count"] = util::Json(count);
+    stage["p50"] = util::Json(p50);
+    stage["p95"] = util::Json(p95);
+    stage["p99"] = util::Json(p99);
+    stages.emplace(name, util::Json(std::move(stage)));
+  }
+  std::printf("%s", table.to_string().c_str());
+  return stages;
+}
+
 void write_report(const std::string& path, const char* section,
                   util::Json::Object body) {
   util::Json::Object doc;
@@ -167,6 +208,32 @@ void write_report(const std::string& path, const char* section,
 
 int main(int argc, char** argv) {
   const util::Args args = util::Args::parse(argc, argv);
+
+  // Report-only mode: ingest a metrics snapshot (e.g. mvsched_cli
+  // --metrics-json output) and print the per-stage breakdown.
+  const std::string metrics_path = args.get_or("metrics-json", "");
+  if (!metrics_path.empty()) {
+    std::ifstream in(metrics_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --metrics-json file: %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const std::optional<util::Json> doc =
+        util::Json::parse(text.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "malformed metrics JSON %s: %s\n",
+                   metrics_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("per-stage latency breakdown (%s):\n", metrics_path.c_str());
+    (void)print_stage_breakdown(*doc);
+    return 0;
+  }
+
   const int reps = args.int_or("reps", 7);
   const int frames = args.int_or("frames", 60);
   const int width = args.int_or("width", 320);
@@ -239,6 +306,20 @@ int main(int argc, char** argv) {
   }
   const double median_ms = util::median(run_ms);
 
+  // One instrumented rep feeds the per-stage breakdown; the timed reps above
+  // ran with the null sink, so median_run_ms matches the committed baseline.
+  obs::reset();
+  obs::set_enabled(true);
+  {
+    runtime::Pipeline pipeline("S2", cfg);
+    (void)pipeline.run(frames);
+  }
+  obs::set_enabled(false);
+  std::string obs_error;
+  const std::optional<util::Json> obs_doc =
+      util::Json::parse(obs::metrics().to_json(), &obs_error);
+  obs::reset();
+
   util::Json::Object pipe;
   pipe["scenario"] = util::Json("S2");
   pipe["policy"] = util::Json(runtime::to_string(cfg.policy));
@@ -248,6 +329,10 @@ int main(int argc, char** argv) {
   pipe["frames_per_sec"] =
       util::Json(median_ms > 0.0 ? 1000.0 * frames / median_ms : 0.0);
   pipe["object_recall"] = util::Json(recall);
+  if (obs_doc) {
+    std::printf("per-stage latency breakdown (1 instrumented rep):\n");
+    pipe["stages"] = util::Json(print_stage_breakdown(*obs_doc));
+  }
   write_report(out_dir + "/BENCH_pipeline.json", "pipeline", std::move(pipe));
 
   // ---- fleet session scaling --------------------------------------------

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
 #include "runtime/config.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
@@ -74,6 +75,14 @@ int usage(const char* prog, int exit_code) {
       "  --split-batches         allow the arbiter to split an over-full\n"
       "                          batch across two ticks to protect the SLO\n"
       "  --fleet-json FILE       write the fleet/session rollup JSON\n"
+      "\n"
+      "observability (mvs::obs):\n"
+      "  --chrome-trace FILE     record spans and write Chrome trace-event\n"
+      "                          JSON (open in chrome://tracing or Perfetto);\n"
+      "                          implies instrumentation on\n"
+      "  --metrics-json FILE     write the metrics registry snapshot\n"
+      "                          (counters, gauges, p50/p95/p99 histograms);\n"
+      "                          implies instrumentation on\n"
       "\n"
       "network simulation (mvs::netsim):\n"
       "  --transport ideal|lossy closed-form link model (default), or the\n"
@@ -254,6 +263,49 @@ int main(int argc, char** argv) {
   if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3")
     return usage(argv[0], 2);
 
+  // Observability: CLI flags override the config's "obs" block and imply
+  // instrumentation on. Output files open up front so an unwritable path
+  // fails fast (exit 2) instead of after a long run.
+  if (const auto path = args.get("chrome-trace")) {
+    run.obs.chrome_trace = *path;
+    run.obs.enabled = true;
+  }
+  if (const auto path = args.get("metrics-json")) {
+    run.obs.metrics_json = *path;
+    run.obs.enabled = true;
+  }
+  std::ofstream chrome_out, metrics_out;
+  if (!run.obs.chrome_trace.empty()) {
+    chrome_out.open(run.obs.chrome_trace, std::ios::out | std::ios::trunc);
+    if (!chrome_out) {
+      std::fprintf(stderr, "cannot write --chrome-trace file: %s\n",
+                   run.obs.chrome_trace.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+  if (!run.obs.metrics_json.empty()) {
+    metrics_out.open(run.obs.metrics_json, std::ios::out | std::ios::trunc);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write --metrics-json file: %s\n",
+                   run.obs.metrics_json.c_str());
+      return usage(argv[0], 2);
+    }
+  }
+  if (run.obs.enabled) {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  const auto write_obs_exports = [&] {
+    if (chrome_out.is_open()) {
+      chrome_out << obs::tracer().chrome_trace_json() << '\n';
+      std::fprintf(stderr, "wrote %s\n", run.obs.chrome_trace.c_str());
+    }
+    if (metrics_out.is_open()) {
+      metrics_out << obs::metrics().to_json() << '\n';
+      std::fprintf(stderr, "wrote %s\n", run.obs.metrics_json.c_str());
+    }
+  };
+
   // Fleet serving: --fleet, or a config file carrying a "fleet" block. All
   // knobs flow through runtime::FleetRunConfig so the CLI and the JSON
   // config stay in parity (fleet::make_fleet_config validates it).
@@ -403,6 +455,7 @@ int main(int argc, char** argv) {
       out << snap.to_json() << '\n';
       std::fprintf(stderr, "wrote %s\n", path->c_str());
     }
+    write_obs_exports();
     return 0;
   }
 
@@ -439,6 +492,7 @@ int main(int argc, char** argv) {
                    std::to_string(f.cameras_online)});
     }
     std::printf("%s", csv.to_csv().c_str());
+    write_obs_exports();
     return 0;
   }
 
@@ -460,5 +514,6 @@ int main(int argc, char** argv) {
                 "dropped msgs %ld\n",
                 result.mean_queue_ms(), result.total_retries(),
                 result.total_dropped_msgs());
+  write_obs_exports();
   return 0;
 }
