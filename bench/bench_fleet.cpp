@@ -7,6 +7,7 @@
 // Usage:
 //   bench_fleet [--scenario S2] [--sessions 4] [--ticks 40] [--slo-ms 0]
 //               [--dispatch rr|weighted] [--threads 0] [--seed 42]
+//               [--dispatch-overhead-ms 0] [--overhead-sweep-ms 2]
 //               [--json out.json]
 //
 // Sweeps session counts 1..--sessions. Session construction (association
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.dispatch = *dispatch;
+  cfg.dispatch_overhead_ms = args.number_or("dispatch-overhead-ms", 0.0);
+  const double sweep_overhead_ms = args.number_or("overhead-sweep-ms", 2.0);
   if (max_sessions < 1 || ticks < 1) {
     std::fprintf(stderr, "--sessions and --ticks must be >= 1\n");
     return 1;
@@ -129,44 +132,54 @@ int main(int argc, char** argv) {
   // Elastic device-pool sweep: at the largest session count, grow every
   // accelerator class pool 1..3 devices and watch the queueing delay drain
   // (Fleet::scale_devices; the arbiter list-schedules merged batches over
-  // each pool).
-  util::Table elastic_table(
-      {"devices/class", "p95_ms", "queue_ms", "busy_ms", "occupancy"});
+  // each pool). Each width runs twice: with the ideal overhead-free
+  // dispatcher and with a fixed per-batch dispatch cost
+  // (--overhead-sweep-ms) serialized through one dispatcher per class —
+  // the overheaded rows stop scaling linearly with pool width, which is
+  // what real accelerator pools do.
+  util::Table elastic_table({"devices/class", "overhead_ms", "p95_ms",
+                             "queue_ms", "busy_ms", "occupancy"});
   util::Json::Array elastic;
   for (int multiplier = 1; multiplier <= 3; ++multiplier) {
-    fleet::Fleet fleet(cfg);
-    for (int s = 0; s < max_sessions; ++s) {
-      fleet::SessionSpec spec;
-      spec.name = scenario + "#" + std::to_string(s);
-      spec.scenario = scenario;
-      spec.pipeline.seed = seed + static_cast<std::uint64_t>(s);
-      if (!fleet.admit(spec).admitted) {
-        std::fprintf(stderr, "session %d rejected at slo=%.1f ms\n", s,
-                     cfg.slo_ms);
-        return 1;
+    for (const double overhead : {0.0, sweep_overhead_ms}) {
+      fleet::FleetConfig run_cfg = cfg;
+      run_cfg.dispatch_overhead_ms = overhead;
+      fleet::Fleet fleet(run_cfg);
+      for (int s = 0; s < max_sessions; ++s) {
+        fleet::SessionSpec spec;
+        spec.name = scenario + "#" + std::to_string(s);
+        spec.scenario = scenario;
+        spec.pipeline.seed = seed + static_cast<std::uint64_t>(s);
+        if (!fleet.admit(spec).admitted) {
+          std::fprintf(stderr, "session %d rejected at slo=%.1f ms\n", s,
+                       cfg.slo_ms);
+          return 1;
+        }
       }
-    }
-    for (const auto& [name, count] : fleet.snapshot().device_pools)
-      fleet.scale_devices(name, multiplier - count);
-    fleet.run(ticks);
+      for (const auto& [name, count] : fleet.snapshot().device_pools)
+        fleet.scale_devices(name, multiplier - count);
+      fleet.run(ticks);
 
-    const fleet::FleetSnapshot snap = fleet.snapshot();
-    double p95 = 0.0;
-    for (const fleet::SessionSnapshot& s : snap.sessions)
-      p95 = std::max(p95, s.p95_ms);
-    elastic_table.add_row({std::to_string(multiplier),
-                           util::Table::fmt(p95, 1),
-                           util::Table::fmt(snap.total_queue_ms, 1),
-                           util::Table::fmt(snap.shared_busy_ms, 1),
-                           util::Table::fmt(snap.mean_occupancy, 2)});
-    util::Json::Object point;
-    point["devices_per_class"] = util::Json(multiplier);
-    point["sessions"] = util::Json(max_sessions);
-    point["p95_ms"] = util::Json(p95);
-    point["total_queue_ms"] = util::Json(snap.total_queue_ms);
-    point["shared_busy_ms"] = util::Json(snap.shared_busy_ms);
-    point["mean_occupancy"] = util::Json(snap.mean_occupancy);
-    elastic.push_back(util::Json(std::move(point)));
+      const fleet::FleetSnapshot snap = fleet.snapshot();
+      double p95 = 0.0;
+      for (const fleet::SessionSnapshot& s : snap.sessions)
+        p95 = std::max(p95, s.p95_ms);
+      elastic_table.add_row({std::to_string(multiplier),
+                             util::Table::fmt(overhead, 1),
+                             util::Table::fmt(p95, 1),
+                             util::Table::fmt(snap.total_queue_ms, 1),
+                             util::Table::fmt(snap.shared_busy_ms, 1),
+                             util::Table::fmt(snap.mean_occupancy, 2)});
+      util::Json::Object point;
+      point["devices_per_class"] = util::Json(multiplier);
+      point["dispatch_overhead_ms"] = util::Json(overhead);
+      point["sessions"] = util::Json(max_sessions);
+      point["p95_ms"] = util::Json(p95);
+      point["total_queue_ms"] = util::Json(snap.total_queue_ms);
+      point["shared_busy_ms"] = util::Json(snap.shared_busy_ms);
+      point["mean_occupancy"] = util::Json(snap.mean_occupancy);
+      elastic.push_back(util::Json(std::move(point)));
+    }
   }
 
   std::printf("scenario=%s ticks=%d dispatch=%s slo_ms=%.1f\n",

@@ -47,8 +47,12 @@ int main(int argc, char** argv) {
   obs::reset();
   obs::set_enabled(true);
 
+  // Admission is split-aware: with allow_split on, the ceiling relaxes to
+  // 1.2x the SLO (an over-full tick can shed half a batch to the next
+  // slot), so the SLO here is set to push 'edge' onto the degrade ladder
+  // even through that headroom.
   fleet::FleetConfig cfg;
-  cfg.slo_ms = 530.0;             // shared per-tick GPU deadline
+  cfg.slo_ms = 520.0;             // shared per-tick GPU deadline
   cfg.dispatch = fleet::DispatchPolicy::kWeightedPriority;
   cfg.readmit_interval = 10;      // reverse-ladder scan every 10 ticks
   cfg.allow_split = true;         // SLO-protective batch splitting

@@ -52,14 +52,20 @@ struct ClassOutcome {
 };
 
 /// Plan the merged counts and list-schedule the batches (plan order, then
-/// full frames in member order) onto `devices` earliest-free-first. With a
-/// single member on one device every accumulation happens in exactly the
-/// order gpu::plan_batch_counts uses, so attributed == serial == finish
-/// bit-for-bit — the fleet-of-one identity.
+/// full frames in member order) onto `devices` earliest-free-first. Each
+/// dispatch costs `overhead_ms` extra (charged into the batch) and passes
+/// through a single per-class dispatcher that cannot issue two batches
+/// closer together than the overhead — wide pools go sublinear. With a
+/// single member on one device (and any overhead) every accumulation
+/// happens in exactly the order gpu::plan_batch_counts uses, so
+/// attributed == serial == finish bit-for-bit — the fleet-of-one identity:
+/// the dispatcher frees no later than the only device does, so the max()
+/// below always resolves to free_at[d].
 ClassOutcome run_class(const std::vector<Submission>& subs,
                        const ClassGroup& g,
                        const std::vector<std::vector<int>>& counts,
-                       const std::vector<int>& total, int devices) {
+                       const std::vector<int>& total, int devices,
+                       double overhead_ms) {
   ClassOutcome out;
   out.merged = gpu::plan_batch_counts(total, *g.device);
   const std::size_t n = g.members.size();
@@ -69,6 +75,7 @@ ClassOutcome run_class(const std::vector<Submission>& subs,
 
   std::vector<double> free_at(static_cast<std::size_t>(std::max(1, devices)),
                               0.0);
+  double dispatcher_free = 0.0;
   const auto earliest = [&free_at]() {
     std::size_t best = 0;
     for (std::size_t d = 1; d < free_at.size(); ++d)
@@ -78,24 +85,29 @@ ClassOutcome run_class(const std::vector<Submission>& subs,
 
   for (const gpu::Batch& b : out.merged.batches) {
     const auto s = static_cast<std::size_t>(b.size_class);
-    const double lat = g.device->actual_batch_latency_ms(b.size_class, b.count);
+    const double cost =
+        overhead_ms + g.device->actual_batch_latency_ms(b.size_class, b.count);
     const std::size_t d = earliest();
-    const double end = free_at[d] + lat;
+    const double issue = std::max(free_at[d], dispatcher_free);
+    dispatcher_free = issue + overhead_ms;
+    const double end = issue + cost;
     free_at[d] = end;
     for (std::size_t mi = 0; mi < n; ++mi) {
       if (counts[mi][s] == 0) continue;
       const double share =
           static_cast<double>(counts[mi][s]) / static_cast<double>(total[s]);
-      out.attributed[mi] += share * lat;
-      out.serial[mi] += lat;
+      out.attributed[mi] += share * cost;
+      out.serial[mi] += cost;
       out.finish[mi] = std::max(out.finish[mi], end);
     }
   }
   for (std::size_t mi = 0; mi < n; ++mi) {
     if (!subs[g.members[mi]].full_frame) continue;
-    const double full = g.device->full_frame_ms();
+    const double full = overhead_ms + g.device->full_frame_ms();
     const std::size_t d = earliest();
-    const double end = free_at[d] + full;
+    const double issue = std::max(free_at[d], dispatcher_free);
+    dispatcher_free = issue + overhead_ms;
+    const double end = issue + full;
     free_at[d] = end;
     out.attributed[mi] += full;
     out.serial[mi] += full;
@@ -131,12 +143,13 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
     g.counts.push_back(std::move(counts));
   }
 
+  const double oh = std::max(0.0, ctx.dispatch_overhead_ms);
   for (const auto& [name, g] : groups) {
     MVS_SPAN("gpu.batch_plan");
     const int devices = device_count(name);
     std::vector<std::vector<int>> counts = g.counts;
     std::vector<int> total = g.total;
-    ClassOutcome out = run_class(subs_, g, counts, total, devices);
+    ClassOutcome out = run_class(subs_, g, counts, total, devices, oh);
 
     // Preemptive split: when the schedule would make a top-weight
     // contributor miss the SLO, defer half of one over-full batch (the last
@@ -190,13 +203,15 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
         }
         if (deferred_any) {
           ++plan.splits;
-          out = run_class(subs_, g, counts, total, devices);
+          out = run_class(subs_, g, counts, total, devices, oh);
         }
       }
     }
 
     plan.shared_batches += static_cast<long>(out.merged.batches.size());
-    plan.shared_busy_ms += out.merged.actual_latency_ms;
+    plan.shared_busy_ms +=
+        out.merged.actual_latency_ms +
+        oh * static_cast<double>(out.merged.batches.size());
     MVS_COUNT("gpu.merged_batches", out.merged.batches.size());
     MVS_HIST("gpu.merged_busy_ms", out.merged.actual_latency_ms);
 
@@ -205,13 +220,17 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
       const gpu::BatchPlan isolated =
           gpu::plan_batch_counts(g.counts[mi], *g.device);
       plan.isolated_batches += static_cast<long>(isolated.batches.size());
-      plan.isolated_busy_ms += isolated.actual_latency_ms;
+      plan.isolated_busy_ms +=
+          isolated.actual_latency_ms +
+          oh * static_cast<double>(isolated.batches.size());
       plan.shares[k].attributed_ms = out.attributed[mi];
       plan.shares[k].queue_ms =
           std::max(0.0, out.finish[mi] - out.serial[mi]);
-      plan.shares[k].isolated_ms = isolated.actual_latency_ms;
+      plan.shares[k].isolated_ms =
+          isolated.actual_latency_ms +
+          oh * static_cast<double>(isolated.batches.size());
       if (subs_[k].full_frame) {
-        const double full = g.device->full_frame_ms();
+        const double full = oh + g.device->full_frame_ms();
         plan.shares[k].isolated_ms += full;
         plan.shared_busy_ms += full;
         plan.isolated_busy_ms += full;

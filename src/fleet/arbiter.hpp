@@ -111,6 +111,13 @@ struct TickContext {
   double slo_ms = 0.0;
   /// Permit splitting an over-full batch across two tick slots.
   bool allow_split = false;
+  /// Fixed per-batch dispatch cost (ms): kernel-launch / DMA setup time
+  /// serialized through ONE dispatcher per device class. Each batch (and
+  /// full frame) costs overhead + latency on its device, and consecutive
+  /// dispatches cannot issue closer together than the overhead — which is
+  /// what keeps wide pools from scaling linearly. 0 (the default) is the
+  /// ideal overhead-free arbiter and preserves every bit-identity guard.
+  double dispatch_overhead_ms = 0.0;
 };
 
 class GpuArbiter {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/obs.hpp"
+#include "policy/policy.hpp"
 #include "sim/scenario.hpp"
 #include "util/json.hpp"
 
@@ -54,6 +55,11 @@ std::optional<FleetConfig> make_fleet_config(
   cfg.readmit_low_water = config.readmit_low_water;
   cfg.readmit_high_water = config.readmit_high_water;
   cfg.allow_split = config.allow_split;
+  if (config.dispatch_overhead_ms < 0.0) {
+    if (error) *error = "dispatch_overhead_ms must be >= 0";
+    return std::nullopt;
+  }
+  cfg.dispatch_overhead_ms = config.dispatch_overhead_ms;
   return cfg;
 }
 
@@ -133,12 +139,18 @@ SessionState Fleet::state(int id) const {
 }
 
 double Fleet::estimate_demand_ms(
-    const std::vector<gpu::DeviceProfile>& devices, int horizon_frames) const {
+    const std::vector<gpu::DeviceProfile>& devices,
+    const runtime::PipelineConfig& pipe) const {
   // Coarse, deterministic planning estimate of a deployment's steady-state
   // per-frame GPU busy time: one full-frame inspection per camera per
   // horizon, plus assumed_tasks_per_camera partial tasks per regular frame,
-  // each costing its per-slot share of a mid-class batch.
-  const double T = static_cast<double>(std::max(1, horizon_frames));
+  // each costing its per-slot share of a mid-class batch. The partial term
+  // scales by the frame policy's expected detect ratio (track-only frames
+  // submit zero slices), each class's cost is divided by its current pool
+  // width (a 3-wide pool absorbs ~3x the demand per tick), and a non-zero
+  // dispatch overhead charges roughly one batch dispatch per firing.
+  const double T = static_cast<double>(std::max(1, pipe.horizon_frames));
+  const double detect = policy::demand_factor(pipe.frame_policy);
   double demand = 0.0;
   for (const gpu::DeviceProfile& dev : devices) {
     const auto classes = dev.size_class_count();
@@ -148,8 +160,13 @@ double Fleet::estimate_demand_ms(
         classes > 0
             ? dev.batch_latency_ms(mid) / static_cast<double>(dev.batch_limit(mid))
             : 0.0;
-    demand += dev.full_frame_ms() / T +
-              (T - 1.0) / T * cfg_.assumed_tasks_per_camera * per_task;
+    double per_frame =
+        dev.full_frame_ms() / T +
+        (T - 1.0) / T * cfg_.assumed_tasks_per_camera * per_task * detect;
+    if (cfg_.dispatch_overhead_ms > 0.0)
+      per_frame += cfg_.dispatch_overhead_ms * (1.0 / T + (T - 1.0) / T * detect);
+    demand += per_frame /
+              static_cast<double>(std::max(1, arbiter_.device_count(dev.name())));
   }
   return demand;
 }
@@ -204,17 +221,24 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
   // Demand normalized to one base period: a session firing faster than the
   // base rate costs proportionally more per period.
   const double demand =
-      estimate_demand_ms(devices, spec.pipeline.horizon_frames) *
+      estimate_demand_ms(devices, spec.pipeline) *
       static_cast<double>(fps) / static_cast<double>(base_fps_);
 
   double current = 0.0;
   for (const auto& s : sessions_)
     if (s->state == SessionState::kActive) current += session_demand_ms(*s);
 
+  // Split-aware headroom: with batch splitting on, an over-full tick can
+  // shed half a batch to the next slot instead of missing the SLO, so the
+  // admission ceiling relaxes by the spillable fraction.
+  constexpr double kSplitHeadroom = 1.2;
+  const double ceiling =
+      cfg_.slo_ms * (cfg_.allow_split ? kSplitHeadroom : 1.0);
+
   bool tight = spec.pipeline.tight_masks;
   int stride = 1;
   result.projected_ms = current + demand;
-  if (cfg_.slo_ms > 0.0 && result.projected_ms > cfg_.slo_ms) {
+  if (cfg_.slo_ms > 0.0 && result.projected_ms > ceiling) {
     // Degrade ladder: mask tightening sheds the shared-coverage slice of the
     // partial load, rate halving amortizes the whole session over two
     // ticks; the combination applies both.
@@ -230,7 +254,7 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
     bool fitted = false;
     if (cfg_.allow_degrade) {
       for (const Mode& mode : ladder) {
-        if (current + demand * mode.factor <= cfg_.slo_ms) {
+        if (current + demand * mode.factor <= ceiling) {
           tight = mode.tight || tight;
           stride = mode.stride;
           result.projected_ms = current + demand * mode.factor;
@@ -275,7 +299,7 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
   }
   session->devices = std::move(devices);
   session->static_demand_ms =
-      estimate_demand_ms(session->devices, spec.pipeline.horizon_frames);
+      estimate_demand_ms(session->devices, session->spec.pipeline);
   session->pipeline = std::make_unique<runtime::Pipeline>(
       spec.scenario, session->spec.pipeline, &pool_);
 
@@ -466,6 +490,7 @@ void Fleet::step() {
   TickContext ctx;
   ctx.slo_ms = cfg_.slo_ms;
   ctx.allow_split = cfg_.allow_split;
+  ctx.dispatch_overhead_ms = cfg_.dispatch_overhead_ms;
   TickPlan plan;
   {
     MVS_SPAN("fleet.arbiter");

@@ -97,6 +97,9 @@ struct FleetConfig {
   /// Let the arbiter split an over-full merged batch across two tick slots
   /// when a top-weight session would miss the SLO.
   bool allow_split = false;
+  /// Fixed per-batch dispatch cost (ms) charged by the device pools; see
+  /// TickContext::dispatch_overhead_ms. 0 = ideal overhead-free arbiter.
+  double dispatch_overhead_ms = 0.0;
 };
 
 /// The per-session serving spec is owned by runtime::config (the JSON-
@@ -232,8 +235,12 @@ class Fleet {
   Session* find(int id);
   const Session* find(int id) const;
   /// Deterministic static demand estimate for a candidate deployment.
+  /// Pool-width-aware (a class's per-frame cost is divided by its current
+  /// device count), frame-policy-aware (the partial-task term scales by
+  /// policy::demand_factor — a detect-or-track policy skips detection on
+  /// most regular frames), and dispatch-overhead-aware.
   double estimate_demand_ms(const std::vector<gpu::DeviceProfile>& devices,
-                            int horizon_frames) const;
+                            const runtime::PipelineConfig& pipe) const;
   /// Observed (or estimated) GPU busy per frame of an admitted session.
   double session_frame_ms(const Session& s) const;
   /// Demand normalized to one base frame period: frame cost x the

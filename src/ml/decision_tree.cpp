@@ -122,4 +122,20 @@ std::size_t DecisionTree::node_count() const {
   return rec(root_.get());
 }
 
+std::vector<DecisionTree::FlatNode> DecisionTree::flatten() const {
+  std::vector<FlatNode> out;
+  std::function<int(const Node*)> rec = [&](const Node* n) -> int {
+    const int index = static_cast<int>(out.size());
+    out.push_back(FlatNode{n->feature, n->threshold, n->positive_fraction,
+                           -1, -1});
+    if (n->feature >= 0) {
+      out[static_cast<std::size_t>(index)].left = rec(n->left.get());
+      out[static_cast<std::size_t>(index)].right = rec(n->right.get());
+    }
+    return index;
+  };
+  if (root_) rec(root_.get());
+  return out;
+}
+
 }  // namespace mvs::ml

@@ -26,6 +26,20 @@ class DecisionTree final : public BinaryClassifier {
   int depth() const;
   std::size_t node_count() const;
 
+  /// Flattened tree node (model export): interior nodes have feature >= 0
+  /// and child indices pointing strictly FORWARD in the flattened array
+  /// (pre-order), leaves have feature == -1.
+  struct FlatNode {
+    int feature = -1;
+    double threshold = 0.0;
+    double positive_fraction = 0.0;
+    int left = -1;
+    int right = -1;
+  };
+
+  /// Pre-order flattening of the fitted tree; empty before fit().
+  std::vector<FlatNode> flatten() const;
+
  private:
   struct Node {
     int feature = -1;       // -1 => leaf

@@ -28,6 +28,11 @@ class LogisticRegression final : public BinaryClassifier {
   /// P(label = 1 | x).
   double probability(const Feature& x) const;
 
+  /// Fitted parameters (model export): weights in SCALED feature space with
+  /// the bias as the last entry, and the scaler that defines that space.
+  const Feature& raw_weights() const { return weights_; }
+  const StandardScaler& scaler() const { return scaler_; }
+
  private:
   Config cfg_{};
   StandardScaler scaler_;

@@ -13,6 +13,11 @@ class StandardScaler {
   std::vector<Feature> transform_all(const std::vector<Feature>& xs) const;
   bool fitted() const { return !mean_.empty(); }
 
+  /// Fitted parameters (model export): per-dimension mean and 1 / stddev
+  /// (1.0 for near-constant dimensions). Empty before fit().
+  const Feature& mean() const { return mean_; }
+  const Feature& inv_std() const { return inv_std_; }
+
  private:
   Feature mean_;
   Feature inv_std_;

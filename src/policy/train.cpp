@@ -1,0 +1,164 @@
+#include "policy/train.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <string>
+
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "policy/features.hpp"
+#include "util/json.hpp"
+
+namespace mvs::policy {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+/// Deterministic holdout: every 5th row evaluates, the rest train. The
+/// trace is a time series, so a strided split spreads both halves over the
+/// whole run instead of evaluating only on the tail's conditions.
+constexpr std::size_t kHoldoutStride = 5;
+
+Model export_logistic(const ml::LogisticRegression& fit) {
+  Model model;
+  model.type = ModelType::kLogistic;
+  const ml::Feature& raw = fit.raw_weights();  // scaled space, last = bias
+  const ml::Feature& mean = fit.scaler().mean();
+  const ml::Feature& inv_std = fit.scaler().inv_std();
+  model.mean = mean;
+  model.scale.resize(inv_std.size());
+  model.weights.assign(raw.begin(), raw.end() - 1);
+  for (std::size_t d = 0; d < inv_std.size(); ++d)
+    model.scale[d] = 1.0 / inv_std[d];
+  model.bias = raw.back();
+  return model;
+}
+
+Model export_tree(const ml::DecisionTree& fit) {
+  Model model;
+  model.type = ModelType::kTree;
+  for (const ml::DecisionTree::FlatNode& n : fit.flatten()) {
+    TreeNode node;
+    node.feature = n.feature;
+    node.threshold = n.threshold;
+    node.leaf = n.positive_fraction;
+    node.left = n.left;
+    node.right = n.right;
+    model.nodes.push_back(node);
+  }
+  return model;
+}
+
+}  // namespace
+
+std::optional<std::vector<TrainSample>> load_feature_trace(
+    std::istream& in, std::string* error) {
+  std::vector<TrainSample> samples;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_error;
+    const std::optional<util::Json> row = util::Json::parse(line,
+                                                            &parse_error);
+    const std::string where = "feature trace line " + std::to_string(line_no);
+    if (!row) {
+      fail(error, where + ": " + parse_error);
+      return std::nullopt;
+    }
+    const util::Json* f = row->find("f");
+    const util::Json* label = row->find("label");
+    if (!row->is_object() || !f || !f->is_array() || !label ||
+        !label->is_number()) {
+      fail(error, where + ": expected {\"f\": [...], \"label\": 0|1}");
+      return std::nullopt;
+    }
+    TrainSample sample;
+    for (const util::Json& v : f->as_array()) {
+      if (!v.is_number()) {
+        fail(error, where + ": non-numeric feature");
+        return std::nullopt;
+      }
+      sample.x.push_back(v.as_number());
+    }
+    if (sample.x.size() != kFeatureCount) {
+      fail(error, where + ": expected " + std::to_string(kFeatureCount) +
+                      " features, got " + std::to_string(sample.x.size()));
+      return std::nullopt;
+    }
+    sample.label = label->as_number() != 0.0 ? 1 : 0;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::optional<TrainReport> train_model(const std::vector<TrainSample>& samples,
+                                       ModelType type, std::string* error) {
+  std::vector<ml::Feature> train_x, eval_x;
+  std::vector<int> train_y, eval_y;
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    positives += static_cast<std::size_t>(samples[i].label);
+    if (i % kHoldoutStride == kHoldoutStride - 1) {
+      eval_x.push_back(samples[i].x);
+      eval_y.push_back(samples[i].label);
+    } else {
+      train_x.push_back(samples[i].x);
+      train_y.push_back(samples[i].label);
+    }
+  }
+  if (train_x.empty()) {
+    fail(error, "train: feature trace is empty");
+    return std::nullopt;
+  }
+  const std::size_t train_pos =
+      static_cast<std::size_t>(std::count(train_y.begin(), train_y.end(), 1));
+  if (train_pos == 0 || train_pos == train_y.size()) {
+    fail(error,
+         "train: trace is single-class; record a longer or busier run");
+    return std::nullopt;
+  }
+
+  TrainReport report;
+  if (type == ModelType::kLogistic) {
+    ml::LogisticRegression fit;
+    fit.fit(train_x, train_y);
+    report.model = export_logistic(fit);
+  } else {
+    ml::DecisionTree fit;
+    fit.fit(train_x, train_y);
+    report.model = export_tree(fit);
+  }
+
+  std::size_t correct = 0, tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < eval_x.size(); ++i) {
+    const bool predicted =
+        report.model.evaluate(eval_x[i]) >= report.model.threshold;
+    const bool truth = eval_y[i] == 1;
+    correct += static_cast<std::size_t>(predicted == truth);
+    tp += static_cast<std::size_t>(predicted && truth);
+    fp += static_cast<std::size_t>(predicted && !truth);
+    fn += static_cast<std::size_t>(!predicted && truth);
+  }
+  report.train_samples = train_x.size();
+  report.eval_samples = eval_x.size();
+  if (!eval_x.empty())
+    report.accuracy =
+        static_cast<double>(correct) / static_cast<double>(eval_x.size());
+  if (tp + fp > 0)
+    report.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  if (tp + fn > 0)
+    report.recall = static_cast<double>(tp) / static_cast<double>(tp + fn);
+  report.positive_rate = samples.empty()
+                             ? 0.0
+                             : static_cast<double>(positives) /
+                                   static_cast<double>(samples.size());
+  return report;
+}
+
+}  // namespace mvs::policy

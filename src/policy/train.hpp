@@ -1,0 +1,48 @@
+#pragma once
+// Learned-policy training (mvs::policy).
+//
+// Consumes the JSONL feature traces the pipeline records under
+// PolicyConfig::feature_trace (one {"f": [...8 floats...], "label": 0|1}
+// row per camera per detect frame; label 1 = the inspection changed
+// something the tracker would have gotten wrong) and fits one of the
+// mvs::ml baselines, exporting the result as a self-contained model.hpp
+// JSON document. Used by tools/policy_train and bench/ablation_policy.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/model.hpp"
+
+namespace mvs::policy {
+
+struct TrainSample {
+  std::vector<double> x;  ///< kFeatureCount features (features.hpp order)
+  int label = 0;          ///< 1 = detection was useful this frame
+};
+
+/// Parse a JSONL feature-trace stream; nullopt (with *error filled) on the
+/// first malformed row. Rows must carry exactly kFeatureCount features.
+std::optional<std::vector<TrainSample>> load_feature_trace(
+    std::istream& in, std::string* error = nullptr);
+
+struct TrainReport {
+  Model model;
+  /// Holdout metrics (deterministic tail split; every 5th sample held out).
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  std::size_t train_samples = 0;
+  std::size_t eval_samples = 0;
+  double positive_rate = 0.0;  ///< label-1 fraction of the whole trace
+};
+
+/// Fit `type` on the samples and export it; nullopt (with *error filled)
+/// when the trace is empty or single-class (nothing to learn — callers
+/// should fall back to the heuristic policy).
+std::optional<TrainReport> train_model(const std::vector<TrainSample>& samples,
+                                       ModelType type,
+                                       std::string* error = nullptr);
+
+}  // namespace mvs::policy

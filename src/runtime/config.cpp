@@ -1,8 +1,10 @@
 #include "runtime/config.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 
+#include "policy/policy.hpp"
 #include "util/json.hpp"
 
 namespace mvs::runtime {
@@ -90,6 +92,7 @@ bool parse_pipeline(const util::Json& p, PipelineConfig* pc,
   pc->threads = static_cast<int>(p.number_or("threads", pc->threads));
   pc->tile_flow = p.bool_or("tile_flow", pc->tile_flow);
   pc->tight_masks = p.bool_or("tight_masks", pc->tight_masks);
+  pc->paired_rng = p.bool_or("paired_rng", pc->paired_rng);
   if (pc->horizon_frames < 1 || pc->training_frames < 0 ||
       pc->mask_cell_px < 1 || pc->threads < 0) {
     if (error) *error = "pipeline parameters out of range";
@@ -102,6 +105,83 @@ bool parse_pipeline(const util::Json& p, PipelineConfig* pc,
   }
   pc->transport = *transport;
   return parse_faults(p, &pc->faults, error);
+}
+
+/// Parse a "policy" block (detect-or-track layer) on top of the defaults in
+/// `pc`. Unlike the legacy blocks, UNKNOWN KEYS ARE A HARD ERROR: policy
+/// knobs directly trade GPU time against recall, so a typo silently falling
+/// back to a default would ship the wrong trade.
+bool parse_policy_block(const util::Json& p, policy::PolicyConfig* pc,
+                        std::string* error) {
+  if (!p.is_object()) {
+    if (error) *error = "\"policy\" must be an object";
+    return false;
+  }
+  static constexpr std::array<const char*, 13> kKnown = {
+      "mode",        "staleness_limit", "min_track_frames",
+      "drift_px",    "conf_floor",      "motion_frac",
+      "churn_hi",    "hysteresis",      "model",
+      "model_json",  "threshold",       "expected_detect_ratio",
+      "feature_trace"};
+  for (const auto& [key, value] : p.as_object()) {
+    if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
+          return key == k;
+        }) == kKnown.end()) {
+      if (error) *error = "unknown policy key: \"" + key + "\"";
+      return false;
+    }
+  }
+  const auto kind =
+      policy::parse_policy_kind(p.string_or("mode", "fixed"));
+  if (!kind) {
+    if (error) *error = "unknown policy mode: " + p.string_or("mode", "");
+    return false;
+  }
+  pc->kind = *kind;
+  pc->staleness_limit =
+      static_cast<int>(p.number_or("staleness_limit", pc->staleness_limit));
+  pc->min_track_frames =
+      static_cast<int>(p.number_or("min_track_frames", pc->min_track_frames));
+  pc->drift_px = p.number_or("drift_px", pc->drift_px);
+  pc->conf_floor = p.number_or("conf_floor", pc->conf_floor);
+  pc->motion_frac = p.number_or("motion_frac", pc->motion_frac);
+  pc->churn_hi = p.number_or("churn_hi", pc->churn_hi);
+  pc->hysteresis = p.number_or("hysteresis", pc->hysteresis);
+  pc->model_path = p.string_or("model", pc->model_path);
+  pc->model_json = p.string_or("model_json", pc->model_json);
+  pc->threshold = p.number_or("threshold", pc->threshold);
+  pc->expected_detect_ratio =
+      p.number_or("expected_detect_ratio", pc->expected_detect_ratio);
+  pc->feature_trace = p.string_or("feature_trace", pc->feature_trace);
+  if (pc->staleness_limit < 0 || pc->min_track_frames < 0 ||
+      (pc->staleness_limit > 0 &&
+       pc->min_track_frames >= pc->staleness_limit) ||
+      pc->drift_px <= 0.0 || pc->hysteresis < 0.0 || pc->hysteresis > 1.0 ||
+      pc->threshold < 0.0 || pc->threshold >= 1.0 ||
+      pc->expected_detect_ratio <= 0.0 || pc->expected_detect_ratio > 1.0) {
+    if (error) *error = "policy parameters out of range";
+    return false;
+  }
+  return true;
+}
+
+util::Json dump_policy(const policy::PolicyConfig& pc) {
+  using util::Json;
+  Json::Object p;
+  p["mode"] = Json(policy::to_string(pc.kind));
+  p["staleness_limit"] = Json(pc.staleness_limit);
+  p["min_track_frames"] = Json(pc.min_track_frames);
+  p["drift_px"] = Json(pc.drift_px);
+  p["conf_floor"] = Json(pc.conf_floor);
+  p["motion_frac"] = Json(pc.motion_frac);
+  p["churn_hi"] = Json(pc.churn_hi);
+  p["hysteresis"] = Json(pc.hysteresis);
+  p["model"] = Json(pc.model_path);
+  p["model_json"] = Json(pc.model_json);
+  p["threshold"] = Json(pc.threshold);
+  p["expected_detect_ratio"] = Json(pc.expected_detect_ratio);
+  p["feature_trace"] = Json(pc.feature_trace);
+  return Json(std::move(p));
 }
 
 /// Parse the "fleet" block. Session entries inherit the document's
@@ -127,9 +207,12 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
   fleet->readmit_high_water =
       f.number_or("readmit_high_water", fleet->readmit_high_water);
   fleet->allow_split = f.bool_or("allow_split", fleet->allow_split);
+  fleet->dispatch_overhead_ms =
+      f.number_or("dispatch_overhead_ms", fleet->dispatch_overhead_ms);
   if (fleet->frame_period_ms <= 0.0 || fleet->threads < 0 ||
       fleet->readmit_interval < 0 ||
-      fleet->readmit_low_water > fleet->readmit_high_water) {
+      fleet->readmit_low_water > fleet->readmit_high_water ||
+      fleet->dispatch_overhead_ms < 0.0) {
     if (error) *error = "fleet parameters out of range";
     return false;
   }
@@ -179,6 +262,9 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
       }
       if (const util::Json* p = entry.find("pipeline"))
         if (!parse_pipeline(*p, &spec.pipeline, error)) return false;
+      if (const util::Json* pol = entry.find("policy"))
+        if (!parse_policy_block(*pol, &spec.pipeline.frame_policy, error))
+          return false;
       if (const util::Json* faults = entry.find("faults")) {
         if (!faults->is_object()) {
           if (error) *error = "session \"faults\" must be an object";
@@ -227,6 +313,7 @@ util::Json dump_pipeline(const PipelineConfig& pc) {
   pipeline["threads"] = Json(pc.threads);
   pipeline["tile_flow"] = Json(pc.tile_flow);
   pipeline["tight_masks"] = Json(pc.tight_masks);
+  pipeline["paired_rng"] = Json(pc.paired_rng);
   pipeline["transport"] = Json(net::to_string(pc.transport));
   pipeline["loss_rate"] = Json(pc.faults.loss_rate);
   pipeline["jitter_ms"] = Json(pc.faults.jitter_ms);
@@ -249,6 +336,7 @@ util::Json dump_fleet(const FleetRunConfig& fleet) {
   f["readmit_low_water"] = Json(fleet.readmit_low_water);
   f["readmit_high_water"] = Json(fleet.readmit_high_water);
   f["allow_split"] = Json(fleet.allow_split);
+  f["dispatch_overhead_ms"] = Json(fleet.dispatch_overhead_ms);
   Json::Array scale;
   for (const FleetDeviceScale& ds : fleet.device_scale) {
     Json::Object entry;
@@ -266,6 +354,7 @@ util::Json dump_fleet(const FleetRunConfig& fleet) {
     s["fps"] = Json(spec.fps);
     s["slo_ms"] = Json(spec.slo_ms);
     s["pipeline"] = dump_pipeline(spec.pipeline);
+    s["policy"] = dump_policy(spec.pipeline.frame_policy);
     if (spec.faults) {
       Json::Object faults;
       faults["loss_rate"] = Json(spec.faults->loss_rate);
@@ -303,6 +392,12 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
   if (const util::Json* p = doc->find("pipeline"))
     if (!parse_pipeline(*p, &config.pipeline, error)) return std::nullopt;
 
+  // Detect-or-track layer ("pipeline.policy" already names the scheduling
+  // policy, so the frame policy is its own top-level block).
+  if (const util::Json* p = doc->find("policy"))
+    if (!parse_policy_block(*p, &config.pipeline.frame_policy, error))
+      return std::nullopt;
+
   if (const util::Json* o = doc->find("obs")) {
     if (!o->is_object()) {
       if (error) *error = "\"obs\" must be an object";
@@ -329,6 +424,7 @@ std::string dump_run_config(const RunConfig& config) {
   root["scenario"] = Json(config.scenario);
   root["frames"] = Json(config.frames);
   root["pipeline"] = dump_pipeline(config.pipeline);
+  root["policy"] = dump_policy(config.pipeline.frame_policy);
   Json::Object obs;
   obs["enabled"] = Json(config.obs.enabled);
   obs["chrome_trace"] = Json(config.obs.chrome_trace);

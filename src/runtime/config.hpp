@@ -11,6 +11,7 @@
 //       "policy": "balb", "horizon_frames": 10,
 //       "training_frames": 200, "seed": 42
 //     },
+//     "policy": {"mode": "heuristic", "staleness_limit": 8},
 //     "fleet": {
 //       "slo_ms": 120, "dispatch": "weighted", "readmit_interval": 10,
 //       "allow_split": true,
@@ -87,6 +88,11 @@ struct FleetRunConfig {
   double readmit_high_water = 0.9;
   /// Let the arbiter split an over-full merged batch across two tick slots.
   bool allow_split = false;
+  /// Fixed per-batch dispatch cost (ms) charged by the device pools —
+  /// models kernel-launch / DMA setup overhead serialized through one
+  /// dispatcher per device class, which is what keeps wide pools from
+  /// scaling linearly. 0 preserves the ideal (overhead-free) arbiter.
+  double dispatch_overhead_ms = 0.0;
   std::vector<FleetDeviceScale> device_scale;
   std::vector<FleetSessionSpec> sessions;
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <fstream>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
 
 #include "assoc/association.hpp"
 #include "core/baselines.hpp"
@@ -17,6 +20,8 @@
 #include "net/transport.hpp"
 #include "netsim/sim_transport.hpp"
 #include "obs/obs.hpp"
+#include "policy/features.hpp"
+#include "policy/policy.hpp"
 #include "runtime/oracles.hpp"
 #include "sim/dataset.hpp"
 #include "track/flow_tracker.hpp"
@@ -79,6 +84,25 @@ struct CameraNode {
   util::Rng rng;
   std::vector<std::uint8_t> batch_buffer;
   std::vector<vision::RenderObject> render_objs;
+  /// Detect-or-track feature accumulator (only touched when the policy
+  /// layer or feature-trace recording is enabled; see Impl::features_on).
+  policy::CameraFeatureState pstate;
+
+  /// A recently dropped track awaiting re-acquisition. Under a
+  /// detect-or-track policy a track can die while its object is still in
+  /// frame (a few sparse inspections miss); with no live track there is no
+  /// ROI slice, so the camera goes blind until the next key frame. The lost
+  /// list keeps the dead track's last box coasting on its velocity estimate
+  /// and seeds detection slices from it; an unmatched detection landing on a
+  /// lost box is re-adopted directly (it is a re-acquisition of an object
+  /// already planned to this camera, not a new-object adoption). Populated
+  /// only in policy mode — the fixed pipeline never touches it.
+  struct LostTrack {
+    geom::BBox box;
+    geom::Vec2 velocity{0.0, 0.0};
+    int ttl = 0;  ///< frames of search left (a key frame re-plans anyway)
+  };
+  std::vector<LostTrack> lost;
 
   /// Render this frame's ground truth into scratch.cur_frame().
   void render_current(const std::vector<detect::GroundTruthObject>& gt,
@@ -156,6 +180,19 @@ struct Pipeline::Impl {
     active.assign(m, 1);
     gpu_work.resize(m);
     tile_flow = cfg.tile_flow && m < pool.thread_count();
+
+    // Detect-or-track layer. The fixed kind is fast-pathed: no policy
+    // object, no feature bookkeeping, no extra obs signals — the pipeline
+    // stays bit-identical to its pre-policy behavior.
+    if (cfg.frame_policy.kind != policy::PolicyKind::kFixed)
+      frame_policy = policy::make_policy(cfg.frame_policy, m);
+    if (!cfg.frame_policy.feature_trace.empty()) {
+      feature_trace.open(cfg.frame_policy.feature_trace, std::ios::trunc);
+      if (!feature_trace)
+        throw std::runtime_error("policy: cannot open feature trace " +
+                                 cfg.frame_policy.feature_trace);
+    }
+    features_on = frame_policy != nullptr || feature_trace.is_open();
 
     if (cfg.transport == net::TransportKind::kLossy) {
       netsim::SimTransport::Config tc;
@@ -266,6 +303,7 @@ struct Pipeline::Impl {
         active[i] = 0;
         cameras[i].tracker.reset_from_detections({});
         cameras[i].ghosts.clear();
+        cameras[i].pstate = {};  // policy features die with the device
         if (trace)
           trace->record({trace_frame, static_cast<int>(i),
                          TraceEventType::kCameraDown, 0, 0.0});
@@ -468,6 +506,27 @@ struct Pipeline::Impl {
                          mf.frame_index);
       cam.flow_engine.rebase(cam.scratch);
     }
+
+    // The full inspection resets the detect-or-track clock of every online
+    // camera (staleness, drift and confidence all restart from here).
+    if (features_on) {
+      for (CameraNode& cam : cameras) {
+        const auto i = static_cast<std::size_t>(cam.index);
+        if (!active[i]) continue;
+        double mean_score = 1.0;
+        if (!dets[i].empty()) {
+          double acc = 0.0;
+          for (const detect::Detection& d : dets[i]) acc += d.score;
+          mean_score = acc / static_cast<double>(dets[i].size());
+        }
+        cam.pstate.note_detect(
+            mean_score, 0, static_cast<int>(cam.tracker.tracks().size()));
+        cam.pstate.reset_baseline(
+            static_cast<int>(cam.tracker.tracks().size()));
+        cam.lost.clear();  // the full inspection just re-planned everything
+        if (frame_policy) frame_policy->reset(cam.index);
+      }
+    }
   }
 
   /// Per-camera regular-frame outcome, reduced into FrameStats afterwards so
@@ -477,6 +536,15 @@ struct Pipeline::Impl {
     double tracking_ms = 0.0;
     double distributed_ms = 0.0;
     double batching_ms = 0.0;
+    // Detect-or-track outcome (policy layer active only). Reduced
+    // sequentially in regular_frame_step so obs signals and the feature
+    // trace are deterministic regardless of per-camera execution order.
+    bool policy_decided = false;
+    bool policy_detect = true;
+    double drift_at_decide = 0.0;
+    // Feature-trace row for this camera (recording only; empty otherwise).
+    std::vector<double> trace_features;
+    int trace_label = 0;
   };
 
   void regular_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
@@ -490,11 +558,40 @@ struct Pipeline::Impl {
       results[cam_index] =
           regular_camera_step(cameras[cam_index], mf, reported[cam_index]);
     });
+    int decided = 0, detects = 0;
     for (const CamFrameResult& r : results) {
       stats.camera_infer_ms.push_back(r.infer_ms);
       stats.tracking_ms = std::max(stats.tracking_ms, r.tracking_ms);
       stats.distributed_ms = std::max(stats.distributed_ms, r.distributed_ms);
       stats.batching_ms = std::max(stats.batching_ms, r.batching_ms);
+      if (r.policy_decided) {
+        ++decided;
+        detects += r.policy_detect ? 1 : 0;
+      }
+    }
+    if (frame_policy && obs::enabled() && decided > 0) {
+      obs::MetricsRegistry& m = obs::metrics();
+      m.counter("policy.decisions").add(static_cast<long>(decided));
+      m.counter("policy.detects").add(static_cast<long>(detects));
+      m.histogram("policy.detect_ratio")
+          .record(static_cast<double>(detects) / static_cast<double>(decided));
+      for (const CamFrameResult& r : results)
+        if (r.policy_decided && r.policy_detect)
+          m.histogram("policy.drift_at_detect").record(r.drift_at_decide);
+    }
+    if (feature_trace.is_open()) {
+      // Camera-order flush keeps the trace byte-identical across thread
+      // counts (rows were produced in parallel).
+      std::ostringstream rows;
+      rows.precision(17);
+      for (const CamFrameResult& r : results) {
+        if (r.trace_features.empty()) continue;
+        rows << "{\"f\":[";
+        for (std::size_t d = 0; d < r.trace_features.size(); ++d)
+          rows << (d ? "," : "") << r.trace_features[d];
+        rows << "],\"label\":" << r.trace_label << "}\n";
+      }
+      feature_trace << rows.str();
     }
   }
 
@@ -519,12 +616,32 @@ struct Pipeline::Impl {
       cam.flow_engine.compute(cam.scratch, cam.flow,
                               tile_flow ? &pool : nullptr);
       const vision::FlowField& flow = cam.flow;
-      cam.tracker.predict(flow, cam.render_scale);
-      for (long dropped : cam.cull_departed())
+      // Velocity-fallback coasting only under an active policy layer: the
+      // fixed pipeline (frame_policy == nullptr, even when recording a
+      // feature trace) keeps the flow-only prediction bit-identical.
+      cam.tracker.predict(flow, cam.render_scale, frame_policy != nullptr);
+      if (frame_policy) {
+        // Coast the lost-track search boxes on their last velocity; expire
+        // entries that timed out or left the frame.
+        for (auto it = cam.lost.begin(); it != cam.lost.end();) {
+          it->box = it->box.shifted(it->velocity);
+          const geom::BBox clipped =
+              it->box.clamped(cam.frame_w, cam.frame_h);
+          if (--it->ttl <= 0 || it->box.area() <= 0.0 ||
+              clipped.area() < 0.3 * it->box.area()) {
+            it = cam.lost.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      for (long dropped : cam.cull_departed()) {
+        if (features_on) cam.pstate.note_departure();
         if (trace)
           trace->record({mf.frame_index, cam.index,
                          TraceEventType::kTrackDrop,
                          static_cast<std::uint64_t>(dropped), 0.0});
+      }
       for (Ghost& g : cam.ghosts) {
         const geom::BBox fb{g.box.x / cam.render_scale,
                             g.box.y / cam.render_scale,
@@ -534,137 +651,306 @@ struct Pipeline::Impl {
         g.box = g.box.shifted(
             {motion.x * cam.render_scale, motion.y * cam.render_scale});
       }
-      std::vector<vision::SliceRegion> slices = vision::slice_regions(
-          cam.tracker.predicted_boxes(), sizes, cam.frame_w, cam.frame_h);
-
-      if (adopts_new) {
-        // Moving pixels not explained by tracks or ghosts = new regions.
-        std::vector<geom::BBox> explained;
+      // --- detect-or-track decision (mvs::policy) ---
+      // The fixed kind never reaches here (frame_policy is null and
+      // features_on is false), so the pre-policy pipeline runs untouched.
+      bool do_detect = true;
+      policy::CameraFeatures feats;
+      if (features_on) {
+        ++cam.pstate.frames_since_detect;
+        std::vector<geom::BBox> track_boxes;
         for (const track::Track& t : cam.tracker.tracks())
-          explained.push_back(t.box);
-        for (const Ghost& g : cam.ghosts) explained.push_back(g.box);
-        std::vector<geom::BBox> fresh = vision::extract_new_regions(
-            flow, explained, cam.render_scale);
-        // Fig. 8 policy applied at inspection time: a camera only searches
-        // for new objects inside cells it owns — inspecting a region whose
-        // tracking it would never adopt is wasted GPU time.
-        std::erase_if(fresh, [&](const geom::BBox& box) {
-          if (!adopt_allowed(cam.index, box)) return true;
-          switch (cfg.policy) {
-            case Policy::kBalb:
-              return !(distributed.valid() &&
-                       distributed.should_adopt_new(cam.index, box));
-            case Policy::kStaticPartition:
-              return !(sp_masks_ready &&
-                       sp_masks.owns(cam.index, box.center()));
-            default:
-              return false;  // BALB-Ind inspects everything it sees
+          track_boxes.push_back(t.box);
+        cam.pstate.add_drift(
+            policy::mean_track_motion_px(flow, track_boxes, cam.render_scale));
+        std::vector<geom::BBox> known = track_boxes;
+        for (const Ghost& g : cam.ghosts) known.push_back(g.box);
+        feats = cam.pstate.features(
+            cam.tracker.tracks().size(), policy::normalized_residual(flow),
+            policy::unexplained_motion_fraction(flow, known,
+                                                cam.render_scale));
+      }
+      if (frame_policy) {
+        std::optional<obs::Span> decide_span;
+        if (obs::enabled()) decide_span.emplace("policy.decide");
+        const policy::Decision decision =
+            frame_policy->decide(cam.index, feats);
+        do_detect = decision.detect;
+        // The very next frame is a key frame: its full inspection re-plans
+        // every track, so a partial-frame correction now is paid for in full
+        // but useful for exactly one frame. Always coast into a key frame.
+        if (cfg.horizon_frames > 0 &&
+            (mf.frame_index + 1) % cfg.horizon_frames == 0)
+          do_detect = false;
+        result.policy_decided = true;
+        result.policy_detect = decision.detect;
+        result.drift_at_decide = feats.drift_px;
+      }
+
+      if (!do_detect) {
+        // Track-only frame: coast on the flow-projected tracks. No slices,
+        // no batch plan, no detector RNG draws — zero GPU time this frame
+        // (gpu_work[i] stays empty, so a hosting fleet merges nothing).
+        result.tracking_ms = track_sw.elapsed_ms();
+        stage_span.reset();
+      } else {
+        // Per-track slice selection (policy mode): a detect frame inspects
+        // only the tracks that need correction — coasted two or more frames,
+        // carrying a miss, or too young for a velocity estimate. A track
+        // corrected on the previous frame coasts one more; a burst of
+        // trigger-driven detect frames therefore pays for the needy track
+        // (or lost-track search), not a full re-inspection of the camera.
+        // The search region grows with coast length (capped so a healthy
+        // box does not spill into the next size class). Fixed slicing keeps
+        // the exact predicted boxes of every track (bit-identity).
+        constexpr double kCoastSlackPx = 1.5;
+        constexpr double kCoastSlackCapPx = 6.0;
+        std::vector<long> inspected_ids;
+        std::vector<vision::SliceRegion> slices;
+        if (frame_policy) {
+          std::vector<std::pair<long, geom::BBox>> inspect;
+          for (const track::Track& t : cam.tracker.tracks()) {
+            if (t.frames_since_correct < 2 && t.missed == 0 &&
+                t.has_velocity)
+              continue;
+            const double slack = std::min(
+                kCoastSlackCapPx, kCoastSlackPx * t.frames_since_correct);
+            inspect.emplace_back(t.id, t.box.expanded(slack));
+            inspected_ids.push_back(t.id);
           }
-        });
-        // A merged moving cluster (e.g. a queue released by a green light)
-        // can span far more than one object; tile it into 256-class slices,
-        // which batch far cheaper than serial 512-class inspections.
-        constexpr double kTile = 240.0;  // 240 + 2x8 margin -> class 256
-        for (const geom::BBox& box : fresh) {
-          const int tiles_x = std::max(1, static_cast<int>(std::ceil(box.w / kTile)));
-          const int tiles_y = std::max(1, static_cast<int>(std::ceil(box.h / kTile)));
-          for (int ty = 0; ty < tiles_y; ++ty) {
-            for (int tx = 0; tx < tiles_x; ++tx) {
-              const geom::BBox tile{box.x + tx * box.w / tiles_x,
-                                    box.y + ty * box.h / tiles_y,
-                                    box.w / tiles_x, box.h / tiles_y};
-              vision::SliceRegion region;
-              region.track_id = -1;
-              region.size_class = sizes.quantize(tile);
-              region.roi = sizes.expand_to_class(tile, region.size_class)
-                               .clamped(cam.frame_w, cam.frame_h);
-              if (!region.roi.empty()) slices.push_back(region);
+          // Seed search slices from the lost list so a camera whose tracks
+          // all died is not blind until the next key frame.
+          for (const CameraNode::LostTrack& l : cam.lost)
+            inspect.emplace_back(-1L, l.box.expanded(2.0 * kCoastSlackPx));
+          slices =
+              vision::slice_regions(inspect, sizes, cam.frame_w, cam.frame_h);
+        } else {
+          slices = vision::slice_regions(cam.tracker.predicted_boxes(), sizes,
+                                         cam.frame_w, cam.frame_h);
+        }
+
+        if (adopts_new) {
+          // Moving pixels not explained by tracks or ghosts = new regions.
+          std::vector<geom::BBox> explained;
+          for (const track::Track& t : cam.tracker.tracks())
+            explained.push_back(t.box);
+          for (const Ghost& g : cam.ghosts) explained.push_back(g.box);
+          std::vector<geom::BBox> fresh = vision::extract_new_regions(
+              flow, explained, cam.render_scale);
+          // Fig. 8 policy applied at inspection time: a camera only searches
+          // for new objects inside cells it owns — inspecting a region whose
+          // tracking it would never adopt is wasted GPU time.
+          std::erase_if(fresh, [&](const geom::BBox& box) {
+            if (!adopt_allowed(cam.index, box)) return true;
+            switch (cfg.policy) {
+              case Policy::kBalb:
+                return !(distributed.valid() &&
+                         distributed.should_adopt_new(cam.index, box));
+              case Policy::kStaticPartition:
+                return !(sp_masks_ready &&
+                         sp_masks.owns(cam.index, box.center()));
+              default:
+                return false;  // BALB-Ind inspects everything it sees
+            }
+          });
+          // A merged moving cluster (e.g. a queue released by a green light)
+          // can span far more than one object; tile it into 256-class
+          // slices, which batch far cheaper than serial 512-class
+          // inspections.
+          constexpr double kTile = 240.0;  // 240 + 2x8 margin -> class 256
+          for (const geom::BBox& box : fresh) {
+            const int tiles_x =
+                std::max(1, static_cast<int>(std::ceil(box.w / kTile)));
+            const int tiles_y =
+                std::max(1, static_cast<int>(std::ceil(box.h / kTile)));
+            for (int ty = 0; ty < tiles_y; ++ty) {
+              for (int tx = 0; tx < tiles_x; ++tx) {
+                const geom::BBox tile{box.x + tx * box.w / tiles_x,
+                                      box.y + ty * box.h / tiles_y,
+                                      box.w / tiles_x, box.h / tiles_y};
+                vision::SliceRegion region;
+                region.track_id = -1;
+                region.size_class = sizes.quantize(tile);
+                region.roi = sizes.expand_to_class(tile, region.size_class)
+                                 .clamped(cam.frame_w, cam.frame_h);
+                if (!region.roi.empty()) slices.push_back(region);
+              }
             }
           }
         }
-      }
-      result.tracking_ms = track_sw.elapsed_ms();
-      stage_span.reset();
+        result.tracking_ms = track_sw.elapsed_ms();
+        stage_span.reset();
 
-      // --- GPU batching: plan + assemble input tensors ---
-      if (obs::enabled()) stage_span.emplace("gpu.batch");
-      util::Stopwatch batch_sw;
-      std::vector<geom::SizeClassId> tasks;
-      tasks.reserve(slices.size());
-      for (const vision::SliceRegion& s : slices) tasks.push_back(s.size_class);
-      const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
-      assemble_batches(cam, cam.scratch.cur_frame(), slices);
-      MVS_COUNT("gpu.tasks", tasks.size());
-      MVS_COUNT("gpu.batches", plan.batches.size());
-      MVS_HIST("gpu.plan_latency_ms", plan.actual_latency_ms);
-      gpu_work[i].tasks = std::move(tasks);
-      result.batching_ms = batch_sw.elapsed_ms();
-      stage_span.reset();
+        // --- GPU batching: plan + assemble input tensors ---
+        if (obs::enabled()) stage_span.emplace("gpu.batch");
+        util::Stopwatch batch_sw;
+        std::vector<geom::SizeClassId> tasks;
+        tasks.reserve(slices.size());
+        for (const vision::SliceRegion& s : slices)
+          tasks.push_back(s.size_class);
+        const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
+        assemble_batches(cam, cam.scratch.cur_frame(), slices);
+        MVS_COUNT("gpu.tasks", tasks.size());
+        MVS_COUNT("gpu.batches", plan.batches.size());
+        MVS_HIST("gpu.plan_latency_ms", plan.actual_latency_ms);
+        gpu_work[i].tasks = std::move(tasks);
+        result.batching_ms = batch_sw.elapsed_ms();
+        stage_span.reset();
 
-      result.infer_ms = plan.actual_latency_ms;
+        result.infer_ms = plan.actual_latency_ms;
 
-      // --- partial-frame inspection ---
-      std::vector<detect::Detection> dets;
-      for (const vision::SliceRegion& s : slices) {
-        const auto roi_dets = detector.detect_roi(
-            gt, s.roi, sizes.size_of(s.size_class), cam.rng);
-        dets.insert(dets.end(), roi_dets.begin(), roi_dets.end());
-      }
-      dets = nms(std::move(dets), 0.6);
+        // --- partial-frame inspection ---
+        std::vector<detect::Detection> dets;
+        for (const vision::SliceRegion& s : slices) {
+          const auto roi_dets = detector.detect_roi(
+              gt, s.roi, sizes.size_of(s.size_class), cam.rng);
+          dets.insert(dets.end(), roi_dets.begin(), roi_dets.end());
+        }
+        dets = nms(std::move(dets), 0.6);
 
-      const track::FlowTracker::UpdateResult update =
-          cam.tracker.update(dets);
-      if (trace)
-        for (long removed : update.removed_track_ids)
-          trace->record({mf.frame_index, cam.index,
-                         TraceEventType::kTrackDrop,
-                         static_cast<std::uint64_t>(removed), 0.0});
+        // Trace-label baseline: what the tracker believed before the
+        // detections corrected it (recording only).
+        std::vector<std::pair<long, geom::BBox>> predicted_before;
+        if (feature_trace.is_open())
+          predicted_before = cam.tracker.predicted_boxes();
+        // Snapshot so tracks removed by update() can enter the lost list
+        // with their final box and velocity (policy mode only).
+        std::vector<track::Track> pre_update;
+        if (frame_policy) pre_update = cam.tracker.tracks();
 
-      // --- distributed BALB stage ---
-      if (obs::enabled()) stage_span.emplace("pipeline.distributed");
-      util::Stopwatch dist_sw;
-      for (std::size_t d : update.unmatched_detections) {
-        const detect::Detection& det = dets[d];
-        // Detections overlapping a ghost belong to an object tracked
-        // elsewhere; never adopt those as new.
-        bool ghost_owned = false;
-        for (const Ghost& g : cam.ghosts) {
-          if (geom::iou(det.box, g.box) > 0.25) {
-            ghost_owned = true;
-            break;
+        const track::FlowTracker::UpdateResult update = cam.tracker.update(
+            dets, frame_policy ? &inspected_ids : nullptr);
+        if (frame_policy) {
+          // Searching past the next key frame is pointless — it re-plans.
+          constexpr int kLostSearchTtl = 10;
+          for (long removed : update.removed_track_ids) {
+            for (const track::Track& t : pre_update) {
+              if (t.id != removed) continue;
+              cam.lost.push_back({t.box, t.velocity, kLostSearchTtl});
+              break;
+            }
           }
         }
-        if (ghost_owned) continue;
-
-        bool adopt = false;
-        switch (cfg.policy) {
-          case Policy::kBalbInd: adopt = true; break;
-          case Policy::kBalb:
-            adopt = distributed.valid() &&
-                    distributed.should_adopt_new(cam.index, det.box);
-            break;
-          case Policy::kStaticPartition:
-            adopt = sp_masks_ready &&
-                    sp_masks.owns(cam.index, det.box.center());
-            break;
-          case Policy::kBalbCen:
-          case Policy::kFull: break;
-        }
-        if (adopt && !adopt_allowed(cam.index, det.box)) adopt = false;
-        if (adopt) {
-          const long id = cam.tracker.add_track(det);
-          if (trace)
+        if (trace)
+          for (long removed : update.removed_track_ids)
             trace->record({mf.frame_index, cam.index,
-                           TraceEventType::kAdoptNew,
-                           static_cast<std::uint64_t>(id), 0.0});
+                           TraceEventType::kTrackDrop,
+                           static_cast<std::uint64_t>(removed), 0.0});
+
+        // --- distributed BALB stage ---
+        if (obs::enabled()) stage_span.emplace("pipeline.distributed");
+        util::Stopwatch dist_sw;
+        int adopted = 0;
+        for (std::size_t d : update.unmatched_detections) {
+          const detect::Detection& det = dets[d];
+          // Re-acquisition first: a detection landing on a lost-track search
+          // box recovers an object this camera was already responsible for,
+          // so it bypasses the new-object gates below (policy mode only —
+          // the lost list is empty otherwise).
+          bool reacquired = false;
+          for (auto it = cam.lost.begin(); it != cam.lost.end(); ++it) {
+            if (geom::iou(det.box, it->box) <= 0.1) continue;
+            const long id = cam.tracker.add_track(det);
+            cam.lost.erase(it);
+            ++adopted;
+            reacquired = true;
+            if (trace)
+              trace->record({mf.frame_index, cam.index,
+                             TraceEventType::kAdoptNew,
+                             static_cast<std::uint64_t>(id), 0.0});
+            break;
+          }
+          if (reacquired) continue;
+          // Detections overlapping a ghost belong to an object tracked
+          // elsewhere; never adopt those as new.
+          bool ghost_owned = false;
+          for (const Ghost& g : cam.ghosts) {
+            if (geom::iou(det.box, g.box) > 0.25) {
+              ghost_owned = true;
+              break;
+            }
+          }
+          if (ghost_owned) continue;
+
+          bool adopt = false;
+          switch (cfg.policy) {
+            case Policy::kBalbInd: adopt = true; break;
+            case Policy::kBalb:
+              adopt = distributed.valid() &&
+                      distributed.should_adopt_new(cam.index, det.box);
+              break;
+            case Policy::kStaticPartition:
+              adopt = sp_masks_ready &&
+                      sp_masks.owns(cam.index, det.box.center());
+              break;
+            case Policy::kBalbCen:
+            case Policy::kFull: break;
+          }
+          if (adopt && !adopt_allowed(cam.index, det.box)) adopt = false;
+          // Under a detect-or-track policy, sparse inspection orphans
+          // objects far more often (the assigned camera's track dies between
+          // its inspections). This detection is already paid for and no
+          // ghost claims it — no camera anywhere is tracking the object —
+          // so the spatial-ownership gate (which exists to avoid wasted
+          // SEARCH, not to discard hits in hand) must not drop it. Fixed
+          // mode keeps the strict gate: its every-frame correction makes
+          // orphaning a non-event, and bit-identity is contractual.
+          if (!adopt && frame_policy) adopt = true;
+          if (adopt) {
+            const long id = cam.tracker.add_track(det);
+            ++adopted;
+            if (trace)
+              trace->record({mf.frame_index, cam.index,
+                             TraceEventType::kAdoptNew,
+                             static_cast<std::uint64_t>(id), 0.0});
+          }
+        }
+
+        int takeovers = 0;
+        if (cfg.policy == Policy::kBalb && distributed.valid()) {
+          takeovers = takeover_pass(cam, mf.frame_index);
+        }
+        result.distributed_ms = dist_sw.elapsed_ms();
+        stage_span.reset();
+
+        if (features_on) {
+          // Inspection outcome feeds the next decisions: churn (tracks
+          // added + dropped) and the mean detection confidence, which
+          // decays until the next detect.
+          double mean_score = 1.0;
+          if (!dets.empty()) {
+            double acc = 0.0;
+            for (const detect::Detection& d : dets) acc += d.score;
+            mean_score = acc / static_cast<double>(dets.size());
+          }
+          const int churn_events =
+              adopted + takeovers +
+              static_cast<int>(update.removed_track_ids.size());
+          if (feature_trace.is_open()) {
+            // Counterfactual label: did this inspection change anything the
+            // coasting tracker would have gotten wrong? New/lost tracks, or
+            // a matched track whose corrected box disagrees with the flow
+            // prediction.
+            constexpr double kLabelIou = 0.85;
+            bool corrected = false;
+            for (long id : update.matched_track_ids) {
+              const track::Track* now = cam.tracker.find(id);
+              if (!now) continue;
+              for (const auto& [pid, pbox] : predicted_before) {
+                if (pid != id) continue;
+                if (geom::iou(pbox, now->box) < kLabelIou) corrected = true;
+                break;
+              }
+              if (corrected) break;
+            }
+            result.trace_features = feats.to_vector();
+            result.trace_label = (churn_events > 0 || corrected) ? 1 : 0;
+          }
+          cam.pstate.note_detect(
+              mean_score, churn_events,
+              static_cast<int>(cam.tracker.tracks().size()));
         }
       }
-
-      if (cfg.policy == Policy::kBalb && distributed.valid()) {
-        takeover_pass(cam, mf.frame_index);
-      }
-      result.distributed_ms = dist_sw.elapsed_ms();
-      stage_span.reset();
 
       cam.scratch.advance();  // this frame becomes the next flow reference
       for (const track::Track& t : cam.tracker.tracks())
@@ -676,7 +962,9 @@ struct Pipeline::Impl {
   /// Distributed-stage case 2: ghosts whose assigned camera lost sight of
   /// them are taken over by the highest-priority camera that still sees
   /// them — decided locally from the shared models, no communication.
-  void takeover_pass(CameraNode& cam, long frame_index) {
+  /// Returns the number of takeovers (policy churn bookkeeping).
+  int takeover_pass(CameraNode& cam, long frame_index) {
+    int takeovers = 0;
     const auto i = static_cast<std::size_t>(cam.index);
     std::vector<Ghost> kept;
     for (Ghost& g : cam.ghosts) {
@@ -710,6 +998,7 @@ struct Pipeline::Impl {
         det.box = g.box;
         det.score = 0.5;
         cam.tracker.add_track(det);  // inspected from the next frame on
+        ++takeovers;
         if (trace)
           trace->record({frame_index, cam.index, TraceEventType::kTakeover,
                          g.key, 0.0});
@@ -719,6 +1008,7 @@ struct Pipeline::Impl {
       }
     }
     cam.ghosts = std::move(kept);
+    return takeovers;
   }
 
   /// Copy every slice's pixels (at render resolution) into a contiguous
@@ -768,6 +1058,14 @@ struct Pipeline::Impl {
 
   core::DistributedStage distributed;
   TraceRecorder* trace = nullptr;
+  /// Detect-or-track layer; null when PolicyConfig::kind is kFixed (the
+  /// bit-identical fast path).
+  std::unique_ptr<policy::FramePolicy> frame_policy;
+  /// JSONL training-trace sink ({"f": [...], "label": 0|1} per camera per
+  /// detect frame); closed when PolicyConfig::feature_trace is empty.
+  std::ofstream feature_trace;
+  /// Per-camera feature bookkeeping runs (policy active OR recording).
+  bool features_on = false;
   /// Owned when no shared pool was injected; `pool` is the one in use.
   std::unique_ptr<util::ThreadPool> owned_pool;
   util::ThreadPool& pool;
@@ -789,6 +1087,20 @@ FrameStats Pipeline::Impl::run_frame() {
   MVS_SPAN("pipeline.frame");
   const long f = frames_run++;
   const sim::MultiFrame mf = player.next();
+  if (cfg.paired_rng) {
+    // Common random numbers (see PipelineConfig::paired_rng): every
+    // camera's detector stream restarts from a (seed, camera, frame) hash,
+    // decoupling draw outcomes from how many draws earlier frames made.
+    for (CameraNode& cam : cameras) {
+      std::uint64_t h = cfg.seed;
+      h ^= 0x9E3779B97F4A7C15ULL *
+           (static_cast<std::uint64_t>(cam.index) + 1);
+      h ^= 0xBF58476D1CE4E5B9ULL *
+           (static_cast<std::uint64_t>(mf.frame_index) + 1);
+      h ^= h >> 31;
+      cam.rng = util::Rng(h);
+    }
+  }
   FrameStats stats;
   stats.frame = mf.frame_index;
   stats.key_frame = (f % cfg.horizon_frames == 0);
@@ -818,6 +1130,16 @@ FrameStats Pipeline::Impl::run_frame() {
   stats.slowest_infer_ms = 0.0;
   for (double v : stats.camera_infer_ms)
     stats.slowest_infer_ms = std::max(stats.slowest_infer_ms, v);
+
+  // Per-camera GPU demand share (policy feature, one-frame lag): computed
+  // sequentially after the parallel section so it is deterministic.
+  if (features_on && stats.camera_infer_ms.size() == cameras.size()) {
+    double total = 0.0;
+    for (double v : stats.camera_infer_ms) total += v;
+    for (std::size_t i = 0; i < cameras.size(); ++i)
+      cameras[i].pstate.demand_share =
+          total > 0.0 ? stats.camera_infer_ms[i] / total : 0.0;
+  }
 
   stats.frame_recall = recall.add_frame(mf.per_camera, reported);
   std::size_t gt = 0;

@@ -19,6 +19,7 @@
 #include "gpu/device_profile.hpp"
 #include "net/transport.hpp"
 #include "netsim/fault.hpp"
+#include "policy/policy.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/trace.hpp"
 #include "util/stats.hpp"
@@ -55,6 +56,19 @@ struct PipelineConfig {
   /// key frame's central plan, shedding regular-frame GPU load at a small
   /// recall cost. Off (full masks) by default.
   bool tight_masks = false;
+  /// Detect-or-track layer (mvs::policy): decides per camera per REGULAR
+  /// frame whether to run partial-frame detection or coast on optical-flow
+  /// tracking alone (zero GPU slices that frame). The default fixed kind
+  /// detects every regular frame and is bit-identical to the pre-policy
+  /// pipeline; key frames always run the full inspection regardless.
+  policy::PolicyConfig frame_policy;
+  /// Common-random-numbers mode for policy A/B studies: re-seed every
+  /// camera's RNG from (seed, camera, frame) at each frame start, so two
+  /// runs that differ only in WHICH frames they inspect draw identical
+  /// detector outcomes whenever they inspect the same thing (key frames
+  /// resynchronize the sample paths every horizon). Off by default — the
+  /// default sequential streams are part of the bit-identity contract.
+  bool paired_rng = false;
 };
 
 /// Per-frame record.

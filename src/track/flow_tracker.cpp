@@ -1,6 +1,7 @@
 #include "track/flow_tracker.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mvs::track {
 
@@ -18,18 +19,33 @@ void FlowTracker::reset_from_detections(
   for (const detect::Detection& det : dets) add_track(det);
 }
 
-void FlowTracker::predict(const vision::FlowField& flow, double scale) {
+void FlowTracker::predict(const vision::FlowField& flow, double scale,
+                          bool use_velocity) {
+  // A box smaller than ~a flow block sees mostly background in its median
+  // (flow reads near zero); one spanning a block or two reads a diluted
+  // fraction of its true motion. Whenever the measured flow step falls well
+  // short of the detection-derived velocity, trust the velocity — the EMA
+  // self-corrects within a couple of matches if the object really slowed.
+  constexpr double kFlowTrustFrac = 0.6;
   for (Track& t : tracks_) {
     const geom::BBox flow_box{t.box.x / scale, t.box.y / scale,
                               t.box.w / scale, t.box.h / scale};
     const geom::Vec2 motion = vision::median_flow_in(flow, flow_box);
-    t.box = t.box.shifted({motion.x * scale, motion.y * scale});
+    geom::Vec2 step{motion.x * scale, motion.y * scale};
+    if (use_velocity && t.has_velocity &&
+        std::hypot(step.x, step.y) <
+            kFlowTrustFrac * std::hypot(t.velocity.x, t.velocity.y)) {
+      step = t.velocity;
+    }
+    t.box = t.box.shifted(step);
     ++t.age;
+    ++t.frames_since_correct;
   }
 }
 
 FlowTracker::UpdateResult FlowTracker::update(
-    const std::vector<detect::Detection>& dets) {
+    const std::vector<detect::Detection>& dets,
+    const std::vector<long>* miss_scope) {
   UpdateResult result;
 
   std::vector<geom::BBox> track_boxes;
@@ -46,6 +62,22 @@ FlowTracker::UpdateResult FlowTracker::update(
   for (const matching::BoxMatch& m : match.matches) {
     Track& t = tracks_[static_cast<std::size_t>(m.a)];
     const detect::Detection& d = dets[static_cast<std::size_t>(m.b)];
+    // Velocity observation from detection-corrected centers: mean per-frame
+    // displacement since the last match, EMA-blended against detector
+    // localization noise.
+    const geom::Vec2 c{d.box.x + d.box.w / 2.0, d.box.y + d.box.h / 2.0};
+    if (t.frames_since_correct > 0) {
+      const double inv = 1.0 / static_cast<double>(t.frames_since_correct);
+      const geom::Vec2 obs{(c.x - t.corrected_center.x) * inv,
+                           (c.y - t.corrected_center.y) * inv};
+      t.velocity = t.has_velocity
+                       ? geom::Vec2{0.5 * (t.velocity.x + obs.x),
+                                    0.5 * (t.velocity.y + obs.y)}
+                       : obs;
+      t.has_velocity = true;
+    }
+    t.corrected_center = c;
+    t.frames_since_correct = 0;
     t.box = d.box;
     t.missed = 0;
     t.last_truth_id = d.truth_id;
@@ -61,7 +93,10 @@ FlowTracker::UpdateResult FlowTracker::update(
   survivors.reserve(tracks_.size());
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     Track& t = tracks_[i];
-    if (!track_matched[i]) ++t.missed;
+    const bool inspected =
+        !miss_scope || std::find(miss_scope->begin(), miss_scope->end(),
+                                 t.id) != miss_scope->end();
+    if (!track_matched[i] && inspected) ++t.missed;
     if (t.missed > cfg_.max_missed) {
       result.removed_track_ids.push_back(t.id);
     } else {
@@ -78,6 +113,8 @@ long FlowTracker::add_track(const detect::Detection& det) {
   t.box = det.box;
   t.size_class = sizes_.quantize(det.box);
   t.last_truth_id = det.truth_id;
+  t.corrected_center = {det.box.x + det.box.w / 2.0,
+                        det.box.y + det.box.h / 2.0};
   tracks_.push_back(t);
   return t.id;
 }
@@ -92,6 +129,16 @@ std::vector<std::pair<long, geom::BBox>> FlowTracker::predicted_boxes() const {
   std::vector<std::pair<long, geom::BBox>> out;
   out.reserve(tracks_.size());
   for (const Track& t : tracks_) out.emplace_back(t.id, t.box);
+  return out;
+}
+
+std::vector<std::pair<long, geom::BBox>> FlowTracker::search_boxes(
+    double slack_px) const {
+  std::vector<std::pair<long, geom::BBox>> out;
+  out.reserve(tracks_.size());
+  for (const Track& t : tracks_)
+    out.emplace_back(t.id,
+                     t.box.expanded(slack_px * t.frames_since_correct));
   return out;
 }
 

@@ -27,6 +27,17 @@ struct Track {
   int age = 0;                  ///< frames since creation
   int missed = 0;               ///< consecutive frames without a match
   std::uint64_t last_truth_id = detect::Detection::kFalsePositive;
+  // Constant-velocity bookkeeping for the velocity-fallback coast (see
+  // FlowTracker::predict). Block-median optical flow cannot see an object
+  // smaller than a flow block (the static background dominates its block),
+  // so the detection-corrected position history supplies a velocity
+  // estimate instead. Written unconditionally; READ only when predict() is
+  // called with use_velocity=true, so the default flow-only path stays
+  // bit-identical.
+  geom::Vec2 velocity{0.0, 0.0};          ///< logical px per frame
+  geom::Vec2 corrected_center{0.0, 0.0};  ///< center at last detection match
+  int frames_since_correct = 0;           ///< predict() calls since a match
+  bool has_velocity = false;              ///< velocity has been observed
 };
 
 class FlowTracker {
@@ -50,8 +61,15 @@ class FlowTracker {
 
   /// Shift every track box by the median flow inside it. `scale` maps
   /// logical-frame pixels to flow-field pixels (flow is computed on a
-  /// downscaled render; see vision::Renderer).
-  void predict(const vision::FlowField& flow, double scale);
+  /// downscaled render; see vision::Renderer). With `use_velocity`, a track
+  /// whose measured flow is below the sub-block noise floor coasts on its
+  /// detection-derived constant-velocity estimate instead — block flow is
+  /// blind to objects smaller than a flow block, and without the fallback
+  /// their coasted ROI parts from the object within a few frames (the
+  /// detect-or-track policy layer enables this; the fixed pipeline never
+  /// does, preserving bit-identity).
+  void predict(const vision::FlowField& flow, double scale,
+               bool use_velocity = false);
 
   struct UpdateResult {
     std::vector<long> matched_track_ids;
@@ -64,7 +82,16 @@ class FlowTracker {
   /// tracks accrue a miss and are dropped past the limit. Unmatched
   /// detections are reported, NOT auto-added: whether to start tracking them
   /// is a scheduling decision (distributed BALB stage).
-  UpdateResult update(const std::vector<detect::Detection>& dets);
+  ///
+  /// `miss_scope`, when non-null, lists the track ids whose ROIs were
+  /// actually inspected this frame: only those can accrue a miss (and be
+  /// dropped). The detect-or-track policy layer inspects per-track subsets
+  /// on its detect frames; a track whose slice was skipped saw no detector
+  /// and must not be punished for the absent evidence. All tracks still
+  /// participate in matching — a detection from a neighboring ROI that
+  /// lands on a skipped track corrects it for free.
+  UpdateResult update(const std::vector<detect::Detection>& dets,
+                      const std::vector<long>* miss_scope = nullptr);
 
   /// Start tracking a detection; returns the new track id.
   long add_track(const detect::Detection& det);
@@ -73,6 +100,14 @@ class FlowTracker {
 
   /// (track id, predicted box) pairs for ROI slicing.
   std::vector<std::pair<long, geom::BBox>> predicted_boxes() const;
+
+  /// predicted_boxes() with each box grown by `slack_px` per frame since its
+  /// last detection correction: the coast-uncertainty search region. A box
+  /// uncorrected for k frames may be off by ~k x the per-frame coast error;
+  /// without the slack the inspection crop can part from the object entirely
+  /// and ROI detection ratchets into a miss it cannot recover from (the
+  /// detect-or-track policy layer uses this; fixed ROI slicing does not).
+  std::vector<std::pair<long, geom::BBox>> search_boxes(double slack_px) const;
 
   const geom::SizeClassSet& sizes() const { return sizes_; }
 

@@ -7,6 +7,7 @@
 #include "fleet/fleet.hpp"
 #include "gpu/batch_planner.hpp"
 #include "gpu/device_profile.hpp"
+#include "policy/policy.hpp"
 #include "util/json.hpp"
 
 namespace mvs::fleet {
@@ -620,6 +621,72 @@ TEST(FleetAdmission, NoSloAdmitsEverything) {
   EXPECT_TRUE(fleet.admit(spec("b", 6)).admitted);
   EXPECT_EQ(fleet.session_count(), 2u);
   EXPECT_EQ(fleet.snapshot().rejected, 0);
+}
+
+TEST(FleetAdmission, DetectOrTrackPolicyScalesPartialDemand) {
+  // A session running a detect-or-track policy submits partial-frame work
+  // on only expected_detect_ratio of its regular frames, so the admission
+  // estimator scales the partial term by exactly that factor; full-frame
+  // key inspections are never skipped and stay un-scaled.
+  FleetConfig cfg;
+  cfg.slo_ms = 1e6;  // admission on, nothing rejected
+  cfg.assumed_tasks_per_camera = 2.0;
+
+  Fleet fixed_fleet(cfg);
+  const AdmitResult fixed = fixed_fleet.admit(spec("fixed", 5));
+  ASSERT_TRUE(fixed.admitted);
+
+  Fleet tracked_fleet(cfg);
+  SessionSpec tracked_spec = spec("tracked", 5);
+  tracked_spec.pipeline.frame_policy.kind = policy::PolicyKind::kHeuristic;
+  tracked_spec.pipeline.frame_policy.expected_detect_ratio = 0.5;
+  const AdmitResult tracked = tracked_fleet.admit(tracked_spec);
+  ASSERT_TRUE(tracked.admitted);
+
+  EXPECT_LT(tracked.projected_ms, fixed.projected_ms);
+  const double partial = fixed.projected_ms - s2_static_demand_ms();
+  ASSERT_GT(partial, 0.0);
+  EXPECT_NEAR(tracked.projected_ms, s2_static_demand_ms() + 0.5 * partial,
+              1e-9);
+}
+
+TEST(FleetAdmission, DispatchOverheadRaisesProjectedDemand) {
+  // With one batch firing per camera-frame, a fixed-cadence S2 deployment
+  // over two single-device pools is charged exactly one overhead per
+  // device per frame on top of the ideal estimate.
+  FleetConfig cfg;
+  cfg.slo_ms = 1e6;
+  cfg.assumed_tasks_per_camera = 1.0;
+  Fleet ideal(cfg);
+  cfg.dispatch_overhead_ms = 2.0;
+  Fleet charged(cfg);
+
+  const AdmitResult base = ideal.admit(spec("a", 5));
+  const AdmitResult loaded = charged.admit(spec("a", 5));
+  ASSERT_TRUE(base.admitted);
+  ASSERT_TRUE(loaded.admitted);
+  EXPECT_NEAR(loaded.projected_ms,
+              base.projected_ms + 2 * cfg.dispatch_overhead_ms, 1e-9);
+}
+
+TEST(FleetAdmission, WiderPoolsHalveIncrementalDemand) {
+  // Doubling every device pool halves the per-frame cost the estimator
+  // charges the NEXT deployment (already-admitted sessions keep the static
+  // estimate taken at their own admit time).
+  FleetConfig cfg;
+  cfg.slo_ms = 1e6;
+  cfg.assumed_tasks_per_camera = 1.0;
+  Fleet fleet(cfg);
+  const AdmitResult first = fleet.admit(spec("a", 5));
+  ASSERT_TRUE(first.admitted);
+
+  for (const auto& [name, count] : fleet.snapshot().device_pools)
+    EXPECT_EQ(fleet.scale_devices(name, +1), count + 1);
+
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  ASSERT_TRUE(second.admitted);
+  EXPECT_NEAR(second.projected_ms - first.projected_ms,
+              0.5 * first.projected_ms, 1e-9);
 }
 
 // ------------------------------------------------------------- lifecycle --

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "policy/policy.hpp"
 #include "runtime/config.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -173,6 +174,91 @@ TEST(RunConfig, DumpRoundTrips) {
   EXPECT_EQ(again->pipeline.seed, 1234u);
 }
 
+TEST(RunConfig, PolicyBlockParseAndRoundTrip) {
+  // Defaults: fixed kind, no model, no trace.
+  const auto defaults = runtime::parse_run_config("{}");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->pipeline.frame_policy.kind, policy::PolicyKind::kFixed);
+  EXPECT_TRUE(defaults->pipeline.frame_policy.model_json.empty());
+  EXPECT_TRUE(defaults->pipeline.frame_policy.feature_trace.empty());
+
+  const auto config = runtime::parse_run_config(R"({
+    "policy": {"mode": "heuristic", "staleness_limit": 9,
+               "min_track_frames": 2, "drift_px": 6.5, "conf_floor": 0.4,
+               "motion_frac": 0.02, "churn_hi": 0.5, "hysteresis": 0.25,
+               "expected_detect_ratio": 0.4, "feature_trace": "rows.jsonl"}
+  })");
+  ASSERT_TRUE(config.has_value());
+  const policy::PolicyConfig& pc = config->pipeline.frame_policy;
+  EXPECT_EQ(pc.kind, policy::PolicyKind::kHeuristic);
+  EXPECT_EQ(pc.staleness_limit, 9);
+  EXPECT_EQ(pc.min_track_frames, 2);
+  EXPECT_DOUBLE_EQ(pc.drift_px, 6.5);
+  EXPECT_DOUBLE_EQ(pc.conf_floor, 0.4);
+  EXPECT_DOUBLE_EQ(pc.motion_frac, 0.02);
+  EXPECT_DOUBLE_EQ(pc.churn_hi, 0.5);
+  EXPECT_DOUBLE_EQ(pc.hysteresis, 0.25);
+  EXPECT_DOUBLE_EQ(pc.expected_detect_ratio, 0.4);
+  EXPECT_EQ(pc.feature_trace, "rows.jsonl");
+
+  const auto again = runtime::parse_run_config(dump_run_config(*config));
+  ASSERT_TRUE(again.has_value());
+  const policy::PolicyConfig& rc = again->pipeline.frame_policy;
+  EXPECT_EQ(rc.kind, policy::PolicyKind::kHeuristic);
+  EXPECT_EQ(rc.staleness_limit, 9);
+  EXPECT_EQ(rc.min_track_frames, 2);
+  EXPECT_DOUBLE_EQ(rc.drift_px, 6.5);
+  EXPECT_DOUBLE_EQ(rc.hysteresis, 0.25);
+  EXPECT_DOUBLE_EQ(rc.expected_detect_ratio, 0.4);
+  EXPECT_EQ(rc.feature_trace, "rows.jsonl");
+}
+
+TEST(RunConfig, PolicyBlockUnknownKeyIsHardError) {
+  // Policy knobs trade GPU time against recall; a typo must not silently
+  // fall back to a default (unlike the legacy lenient blocks).
+  std::string error;
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"policy": {"mode": "heuristic", "drift_pix": 4}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown policy key"), std::string::npos);
+  EXPECT_NE(error.find("drift_pix"), std::string::npos);
+
+  // Must be an object, mode must parse, ranges are enforced.
+  EXPECT_FALSE(
+      runtime::parse_run_config(R"({"policy": 3})", &error).has_value());
+  EXPECT_NE(error.find("policy"), std::string::npos);
+  EXPECT_FALSE(
+      runtime::parse_run_config(R"({"policy": {"mode": "psychic"}})", &error)
+          .has_value());
+  EXPECT_NE(error.find("psychic"), std::string::npos);
+  EXPECT_FALSE(
+      runtime::parse_run_config(R"({"policy": {"hysteresis": 1.5}})", &error)
+          .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"policy": {"staleness_limit": 2,
+                                  "min_track_frames": 2}})",
+                   &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"policy": {"expected_detect_ratio": 0}})", &error)
+                   .has_value());
+}
+
+TEST(RunConfig, PairedRngParsesAndRoundTrips) {
+  const auto defaults = runtime::parse_run_config("{}");
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_FALSE(defaults->pipeline.paired_rng);  // default preserves bit-identity
+
+  const auto config = runtime::parse_run_config(
+      R"({"pipeline": {"paired_rng": true}})");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(config->pipeline.paired_rng);
+  const auto again = runtime::parse_run_config(dump_run_config(*config));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->pipeline.paired_rng);
+}
+
 TEST(RunConfig, ObsBlockParseAndRoundTrip) {
   // Defaults: observability off, no export paths.
   const auto defaults = runtime::parse_run_config("{}");
@@ -218,7 +304,8 @@ TEST(FleetRunConfig, ParseFleetBlock) {
          "faults": {"loss_rate": 0.05, "jitter_ms": 1.5,
                     "dropouts": [{"camera": 1, "from": 10, "to": 20}]}},
         {"name": "b", "scenario": "S3",
-         "pipeline": {"policy": "sp", "horizon_frames": 8}}
+         "pipeline": {"policy": "sp", "horizon_frames": 8},
+         "policy": {"mode": "heuristic", "staleness_limit": 6}}
       ]
     }
   })";
@@ -259,6 +346,11 @@ TEST(FleetRunConfig, ParseFleetBlock) {
   EXPECT_EQ(b.scenario, "S3");  // per-session override wins
   EXPECT_EQ(b.pipeline.policy, runtime::Policy::kStaticPartition);
   EXPECT_EQ(b.pipeline.horizon_frames, 8);
+  // Sessions may carry their own detect-or-track policy block; session "a"
+  // without one inherits the document default (fixed).
+  EXPECT_EQ(b.pipeline.frame_policy.kind, policy::PolicyKind::kHeuristic);
+  EXPECT_EQ(b.pipeline.frame_policy.staleness_limit, 6);
+  EXPECT_EQ(a.pipeline.frame_policy.kind, policy::PolicyKind::kFixed);
   EXPECT_EQ(b.fps, 0);
   EXPECT_DOUBLE_EQ(b.slo_ms, -1.0);
   EXPECT_FALSE(b.faults.has_value());

@@ -249,6 +249,86 @@ TEST(PipelineBehaviour, ObsDeterministicAcrossThreadCounts) {
     EXPECT_GT(spans_one.count(name), 0u) << name;
 }
 
+TEST(PipelineBehaviour, FramePolicyKindsDeterministicAcrossThreadCounts) {
+  // Every detect-or-track policy kind must be bit-identical at threads=1
+  // and threads=8: decide() only touches per-camera state, so the parallel
+  // per-camera step may not perturb decisions or results.
+  policy::PolicyConfig kinds[3];
+  kinds[0].kind = policy::PolicyKind::kFixed;
+  kinds[1].kind = policy::PolicyKind::kHeuristic;
+  kinds[2].kind = policy::PolicyKind::kLearned;
+  {
+    // Minimal valid logistic model: detect when frames_since_detect >= ~2.
+    policy::Model m;
+    m.mean.assign(policy::kFeatureCount, 0.0);
+    m.scale.assign(policy::kFeatureCount, 1.0);
+    m.weights.assign(policy::kFeatureCount, 0.0);
+    m.weights[0] = 2.0;
+    m.bias = -3.0;
+    kinds[2].model_json = policy::dump_model(m);
+  }
+  for (const policy::PolicyConfig& pc : kinds) {
+    PipelineConfig one = fast_config(Policy::kBalb, 33);
+    one.frame_policy = pc;
+    one.threads = 1;
+    PipelineConfig wide = one;
+    wide.threads = 8;
+    Pipeline a("S2", one);
+    Pipeline b("S2", wide);
+    const PipelineResult ra = a.run(30);
+    const PipelineResult rb = b.run(30);
+    expect_deterministic_stats_equal(ra, rb);
+  }
+}
+
+TEST(PipelineBehaviour, FixedPolicySelectionBitIdenticalToPrePolicy) {
+  // Selecting policy "fixed" (with or without feature-trace recording, with
+  // paired_rng off) must reproduce the default pipeline bit-for-bit: the
+  // policy layer and its recording hooks may not perturb the RNG stream,
+  // the slicing, or any stat.
+  const PipelineConfig base = fast_config(Policy::kBalb, 7);
+  Pipeline plain("S2", base);
+  const PipelineResult rp = plain.run(30);
+
+  PipelineConfig fixed_cfg = base;
+  fixed_cfg.frame_policy.kind = policy::PolicyKind::kFixed;
+  EXPECT_FALSE(fixed_cfg.paired_rng) << "paired_rng must default off";
+  Pipeline fixed_run("S2", fixed_cfg);
+  expect_deterministic_stats_equal(rp, fixed_run.run(30));
+
+  PipelineConfig recording = fixed_cfg;
+  recording.frame_policy.feature_trace =
+      ::testing::TempDir() + "/policy_trace_bitident.jsonl";
+  Pipeline recorded("S2", recording);
+  expect_deterministic_stats_equal(rp, recorded.run(30));
+}
+
+TEST(PipelineBehaviour, HeuristicPolicySkipsDetectionAndSavesGpu) {
+  // The heuristic must actually skip regular-frame inspections: strictly
+  // less GPU busy than fixed, while key frames stay untouched.
+  const PipelineConfig base = fast_config(Policy::kBalb, 9);
+  PipelineConfig heur = base;
+  heur.frame_policy.kind = policy::PolicyKind::kHeuristic;
+
+  Pipeline a("S2", base);
+  Pipeline b("S2", heur);
+  const PipelineResult ra = a.run(40);
+  const PipelineResult rb = b.run(40);
+
+  const auto busy = [](const PipelineResult& r) {
+    double total = 0.0;
+    for (const FrameStats& f : r.frames)
+      for (double ms : f.camera_infer_ms) total += ms;
+    return total;
+  };
+  EXPECT_LT(busy(rb), busy(ra));
+  for (std::size_t i = 0; i < ra.frames.size(); ++i) {
+    if (!ra.frames[i].key_frame) continue;
+    EXPECT_EQ(ra.frames[i].camera_infer_ms, rb.frames[i].camera_infer_ms)
+        << "key frame " << ra.frames[i].frame << " must be unaffected";
+  }
+}
+
 TEST(PipelineBehaviour, RunFrameMatchesRunExactly) {
   // run_frame x N must be bit-identical to run(N), and run() must keep its
   // delta semantics when mixed with stepwise calls.
@@ -292,6 +372,28 @@ TEST(PipelineBehaviour, FleetOfOneBitIdenticalToStandalonePipeline) {
   EXPECT_DOUBLE_EQ(snap.sessions[0].mean_ms, snap.sessions[0].mean_isolated_ms);
   EXPECT_EQ(snap.shared_batches, snap.isolated_batches);
   EXPECT_DOUBLE_EQ(snap.shared_busy_ms, snap.isolated_busy_ms);
+}
+
+TEST(PipelineBehaviour, FleetOfOneWithFixedPolicyBitIdentical) {
+  // Hosting a session that explicitly selects policy "fixed" must still be
+  // bit-identical to the standalone default pipeline: the fleet's
+  // policy-aware admission path may not perturb execution.
+  const PipelineConfig plain = fast_config(Policy::kBalb, 5);
+  Pipeline standalone("S2", plain);
+  const PipelineResult solo = standalone.run(25);
+
+  PipelineConfig cfg = plain;
+  cfg.frame_policy.kind = policy::PolicyKind::kFixed;
+  fleet::Fleet fleet;
+  fleet::SessionSpec spec;
+  spec.name = "solo-fixed";
+  spec.scenario = "S2";
+  spec.pipeline = cfg;
+  const fleet::AdmitResult admitted = fleet.admit(spec);
+  ASSERT_TRUE(admitted.admitted);
+  fleet.run(25);
+  expect_deterministic_stats_equal(solo,
+                                   fleet.session_result(admitted.session_id));
 }
 
 TEST(PipelineBehaviour, DeterministicForSeed) {

@@ -46,8 +46,26 @@ int usage(const char* prog, int exit_code) {
       "                          results identical for any count)\n"
       "  --no-tile-flow          disable intra-frame optical-flow row tiling\n"
       "                          (A/B latency studies; output-identical)\n"
+      "  --paired-rng            common-random-numbers mode: re-seed each\n"
+      "                          camera's RNG per frame (policy A/B studies)\n"
       "  --csv                   per-frame CSV on stdout instead of summary\n"
       "  --verbose               per-frame progress logging\n"
+      "\n"
+      "detect-or-track policy (mvs::policy):\n"
+      "  --frame-policy MODE     fixed|heuristic|learned: per-camera per-\n"
+      "                          frame detect-or-track decision (default\n"
+      "                          fixed = detect every regular frame,\n"
+      "                          bit-identical to the pre-policy pipeline)\n"
+      "  --policy-model FILE     learned-policy model JSON (tools/\n"
+      "                          policy_train output); implies learned\n"
+      "  --policy-staleness N    force a detect after N frames without one\n"
+      "                          (default 3; safety cap for both modes)\n"
+      "  --policy-drift-px X     heuristic detect trigger: accumulated\n"
+      "                          track drift in pixels (default 4)\n"
+      "  --policy-threshold X    learned decision threshold override (0,1)\n"
+      "  --policy-feature-trace FILE\n"
+      "                          record per-camera policy features + labels\n"
+      "                          as JSONL for tools/policy_train\n"
       "\n"
       "fleet serving (mvs::fleet):\n"
       "  --fleet                 host --sessions copies of the scenario in\n"
@@ -74,6 +92,11 @@ int usage(const char* prog, int exit_code) {
       "                          0 = degradation is sticky)\n"
       "  --split-batches         allow the arbiter to split an over-full\n"
       "                          batch across two ticks to protect the SLO\n"
+      "  --dispatch-overhead-ms X\n"
+      "                          fixed per-batch dispatch cost charged by\n"
+      "                          the device pools (default 0; makes wide\n"
+      "                          pools scale sublinearly like real\n"
+      "                          accelerators)\n"
       "  --fleet-json FILE       write the fleet/session rollup JSON\n"
       "\n"
       "observability (mvs::obs):\n"
@@ -164,7 +187,7 @@ int main(int argc, char** argv) {
   const util::Args args = util::Args::parse(
       argc, argv,
       {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet",
-       "split-batches"});
+       "split-batches", "paired-rng"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -211,8 +234,39 @@ int main(int argc, char** argv) {
     return usage(argv[0], 2);
   }
   if (args.has("no-tile-flow")) run.pipeline.tile_flow = false;
+  if (args.has("paired-rng")) run.pipeline.paired_rng = true;
   run.pipeline.verbose = args.has("verbose");
   if (run.pipeline.verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  // Detect-or-track policy flags (CLI parity with the "policy" block).
+  policy::PolicyConfig& fp = run.pipeline.frame_policy;
+  if (const auto name = args.get("frame-policy")) {
+    const auto kind = policy::parse_policy_kind(*name);
+    if (!kind) {
+      std::fprintf(stderr, "unknown frame policy: %s\n", name->c_str());
+      return usage(argv[0], 2);
+    }
+    fp.kind = *kind;
+  }
+  if (const auto path = args.get("policy-model")) {
+    fp.model_path = *path;
+    if (!args.has("frame-policy")) fp.kind = policy::PolicyKind::kLearned;
+  }
+  fp.staleness_limit = args.int_or("policy-staleness", fp.staleness_limit);
+  fp.drift_px = args.number_or("policy-drift-px", fp.drift_px);
+  fp.threshold = args.number_or("policy-threshold", fp.threshold);
+  fp.feature_trace = args.get_or("policy-feature-trace", fp.feature_trace);
+  if (fp.staleness_limit < 0 || fp.drift_px <= 0.0 || fp.threshold < 0.0 ||
+      fp.threshold >= 1.0) {
+    std::fprintf(stderr, "policy parameters out of range\n");
+    return usage(argv[0], 2);
+  }
+  if (fp.kind == policy::PolicyKind::kLearned && fp.model_path.empty() &&
+      fp.model_json.empty()) {
+    std::fprintf(stderr,
+                 "--frame-policy learned requires --policy-model FILE\n");
+    return usage(argv[0], 2);
+  }
 
   // Network-simulation flags. Setting any fault knob without an explicit
   // --transport switches to the lossy transport, since faults have no
@@ -318,6 +372,12 @@ int main(int argc, char** argv) {
     frc.readmit_interval =
         args.int_or("readmit-interval", frc.readmit_interval);
     if (args.has("split-batches")) frc.allow_split = true;
+    frc.dispatch_overhead_ms =
+        args.number_or("dispatch-overhead-ms", frc.dispatch_overhead_ms);
+    if (frc.dispatch_overhead_ms < 0.0) {
+      std::fprintf(stderr, "--dispatch-overhead-ms must be >= 0\n");
+      return usage(argv[0], 2);
+    }
     if (const auto spec = args.get("scale-devices")) {
       if (!parse_device_scale(*spec, &frc.device_scale)) {
         std::fprintf(stderr, "bad --scale-devices spec: %s\n", spec->c_str());

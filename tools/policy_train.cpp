@@ -1,0 +1,102 @@
+// policy_train — fit a detect-or-track policy model from a recorded
+// feature trace (mvs::policy).
+//
+// The pipeline records one JSONL row per (camera, detect frame) when run
+// with a feature trace attached (--policy-feature-trace / the config's
+// policy.feature_trace). Labels are counterfactual: under the fixed policy
+// (always detect) a row is positive when the detection actually changed
+// something — adoption, takeover, track removal, or a matched-box
+// correction. This tool fits a logistic or decision-tree scorer on those
+// rows (strided holdout for honest time-series evaluation) and writes the
+// self-contained model JSON that `--frame-policy learned --policy-model`
+// loads.
+//
+// Usage:
+//   policy_train --trace features.jsonl --out model.json
+//                [--type logistic|tree] [--threshold 0.5] [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "policy/model.hpp"
+#include "policy/train.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mvs;
+  const util::Args args =
+      util::Args::parse(argc, argv, {"quiet", "help"});
+  if (args.has("help")) {
+    std::fprintf(stderr,
+                 "usage: %s --trace features.jsonl --out model.json\n"
+                 "          [--type logistic|tree] [--threshold 0.5]"
+                 " [--quiet]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string trace_path = args.get_or("trace", "");
+  const std::string out_path = args.get_or("out", "");
+  if (trace_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "%s: --trace and --out are required (--help)\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string type_name = args.get_or("type", "logistic");
+  policy::ModelType type;
+  if (type_name == "logistic") {
+    type = policy::ModelType::kLogistic;
+  } else if (type_name == "tree") {
+    type = policy::ModelType::kTree;
+  } else {
+    std::fprintf(stderr, "%s: unknown model type '%s'\n", argv[0],
+                 type_name.c_str());
+    return 2;
+  }
+  const double threshold = args.number_or("threshold", 0.5);
+  if (threshold <= 0.0 || threshold >= 1.0) {
+    std::fprintf(stderr, "%s: --threshold must be in (0, 1)\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open trace %s\n", argv[0],
+                 trace_path.c_str());
+    return 1;
+  }
+  std::string error;
+  const auto samples = policy::load_feature_trace(in, &error);
+  if (!samples) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 1;
+  }
+
+  auto report = policy::train_model(*samples, type, &error);
+  if (!report) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 1;
+  }
+  report->model.threshold = threshold;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot open output %s\n", argv[0],
+                 out_path.c_str());
+    return 1;
+  }
+  out << policy::dump_model(report->model) << '\n';
+
+  if (!args.has("quiet")) {
+    std::printf("model      : %s\n", policy::to_string(report->model.type));
+    std::printf("samples    : %zu train / %zu eval (%.1f%% positive)\n",
+                report->train_samples, report->eval_samples,
+                100.0 * report->positive_rate);
+    std::printf("holdout    : accuracy %.3f  precision %.3f  recall %.3f\n",
+                report->accuracy, report->precision, report->recall);
+    std::printf("threshold  : %.2f\n", report->model.threshold);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
