@@ -1,0 +1,186 @@
+#pragma once
+// Shared micro-measurements for the lock-free / zero-allocation hot path,
+// used by bench/micro_concurrency.cpp (standalone, --json) and
+// tools/bench_report.cpp (BENCH_concurrency.json refresh). Header-only so
+// both binaries time exactly the same loops.
+//
+// The mutex-queue baseline is embedded verbatim (classic bounded
+// mutex+condvar queue — what util::ThreadPool used before the MPMC ring),
+// so the headline ns/enqueue speedup is self-contained and needs no old
+// checkout to reproduce.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "runtime/pipeline.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/pool.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mvs::benchcc {
+
+/// Pre-ring ThreadPool queue, kept as the contended baseline: one mutex
+/// around a deque, condvars for both full and empty transitions.
+class MutexBoundedQueue {
+ public:
+  explicit MutexBoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(int v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.push_back(v);
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  int pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty(); });
+    const int v = items_.front();
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<int> items_;
+  std::size_t capacity_;
+};
+
+/// Contention shape for the queue comparison: many submitters funneling
+/// into few drainers, the fleet's regime (every session submits camera
+/// tasks, a small worker pool drains them) and the same shape as the
+/// ThreadPoolStress tests. Totals are split into fixed per-consumer shares
+/// so both sides pop exactly what was pushed with no extra shared counter.
+struct QueueContention {
+  int producers = 8;
+  int consumers = 2;
+  long ops_per_producer = 50000;
+};
+
+/// Bounded spin then yield — the portable backoff for a full/empty ring:
+/// cheap pause while the condition may flip on another core, a scheduler
+/// hand-off once it clearly needs a peer thread to run (essential when
+/// hardware threads are oversubscribed).
+inline void spin_backoff(int& spins) {
+  if (++spins < 64) {
+    util::cpu_relax();
+  } else {
+    spins = 0;
+    std::this_thread::yield();
+  }
+}
+
+/// Contended enqueue cost of the Vyukov MPMC ring (ns per enqueue), at the
+/// thread pool's capacity (1024 slots).
+inline double ring_enqueue_ns(const QueueContention& c = {}) {
+  util::MpmcQueue<int> q(1024);
+  const long total = c.ops_per_producer * c.producers;
+  const long share = total / c.consumers;
+  util::Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < c.producers; ++p)
+    threads.emplace_back([&] {
+      int spins = 0;
+      for (long i = 0; i < c.ops_per_producer; ++i)
+        while (!q.try_push(static_cast<int>(i))) spin_backoff(spins);
+    });
+  for (int cth = 0; cth < c.consumers; ++cth)
+    threads.emplace_back([&, cth] {
+      const long mine = share + (cth == 0 ? total - share * c.consumers : 0);
+      int v = 0;
+      int spins = 0;
+      for (long i = 0; i < mine; ++i)
+        while (!q.try_pop(v)) spin_backoff(spins);
+    });
+  for (std::thread& t : threads) t.join();
+  return 1e6 * watch.elapsed_ms() / static_cast<double>(total);
+}
+
+/// Same contention shape and capacity over the mutex+condvar baseline.
+inline double mutex_enqueue_ns(const QueueContention& c = {}) {
+  MutexBoundedQueue q(1024);
+  const long total = c.ops_per_producer * c.producers;
+  const long share = total / c.consumers;
+  util::Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < c.producers; ++p)
+    threads.emplace_back([&] {
+      for (long i = 0; i < c.ops_per_producer; ++i)
+        q.push(static_cast<int>(i));
+    });
+  for (int cth = 0; cth < c.consumers; ++cth)
+    threads.emplace_back([&, cth] {
+      const long mine = share + (cth == 0 ? total - share * c.consumers : 0);
+      for (long i = 0; i < mine; ++i) (void)q.pop();
+    });
+  for (std::thread& t : threads) t.join();
+  return 1e6 * watch.elapsed_ms() / static_cast<double>(total);
+}
+
+/// Cost of one MVS_SPAN scope with tracing enabled (SPSC ring record) —
+/// includes the two steady_clock reads the span itself performs.
+inline double span_ns(long iters = 200000) {
+  obs::reset();
+  obs::set_enabled(true);
+  for (long i = 0; i < 10000; ++i) {
+    MVS_SPAN("bench.warm");
+  }
+  util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) {
+    MVS_SPAN("bench.span");
+  }
+  const double ns = 1e6 * watch.elapsed_ms() / static_cast<double>(iters);
+  obs::set_enabled(false);
+  obs::reset();
+  return ns;
+}
+
+/// Cost of an MVS_SPAN site with tracing disabled (one relaxed atomic load).
+inline double span_disabled_ns(long iters = 2000000) {
+  obs::set_enabled(false);
+  util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) {
+    MVS_SPAN("bench.off");
+  }
+  return 1e6 * watch.elapsed_ms() / static_cast<double>(iters);
+}
+
+/// Warm acquire+release round trip through util::Pool (two lock-free ring
+/// hops; never reaches operator new once warm).
+inline double pool_pair_ns(long iters = 1000000) {
+  util::Pool<std::vector<double>> pool;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double>* v = pool.acquire();
+    v->resize(64);
+    pool.release(v);
+  }
+  util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) pool.release(pool.acquire());
+  return 1e6 * watch.elapsed_ms() / static_cast<double>(iters);
+}
+
+/// End-to-end steady-state throughput: warm regular ticks per second on the
+/// serving configuration (keep_history off, allocation-free path).
+inline double ticks_per_sec(int warm = 30, int ticks = 120) {
+  runtime::PipelineConfig cfg;
+  cfg.threads = 4;
+  cfg.keep_history = false;
+  runtime::Pipeline pipe("S2", cfg);
+  for (int i = 0; i < warm; ++i) pipe.run_frame_ref();
+  util::Stopwatch watch;
+  for (int i = 0; i < ticks; ++i) pipe.run_frame_ref();
+  const double ms = watch.elapsed_ms();
+  return ms > 0.0 ? 1000.0 * ticks / ms : 0.0;
+}
+
+}  // namespace mvs::benchcc

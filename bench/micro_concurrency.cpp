@@ -1,0 +1,81 @@
+// Concurrency micro-benchmarks for the lock-free hot path (DESIGN.md §11):
+//   - ns per enqueue through the bounded MPMC ring under 2p/2c contention,
+//     against the embedded mutex+condvar baseline queue it replaced
+//   - ns per MVS_SPAN scope, enabled (SPSC ring record) and disabled
+//   - ns per warm util::Pool acquire/release round trip
+//   - steady-state pipeline ticks per second on the serving configuration
+//
+// Usage:
+//   micro_concurrency [--reps 5] [--ops 50000] [--json out.json]
+//
+// Each metric is the median over --reps runs. The measurement loops live in
+// bench/concurrency_measure.hpp so tools/bench_report times the same code.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "concurrency_measure.hpp"
+#include "util/args.hpp"
+#include "util/bench_info.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mvs;
+  const util::Args args = util::Args::parse(argc, argv);
+  const int reps = args.int_or("reps", 5);
+  benchcc::QueueContention contention;
+  contention.ops_per_producer = args.int_or("ops", 50000);
+
+  std::vector<double> ring, mutexq, span, span_off, pool, tps;
+  for (int rep = 0; rep < reps; ++rep) {
+    ring.push_back(benchcc::ring_enqueue_ns(contention));
+    mutexq.push_back(benchcc::mutex_enqueue_ns(contention));
+    span.push_back(benchcc::span_ns());
+    span_off.push_back(benchcc::span_disabled_ns());
+    pool.push_back(benchcc::pool_pair_ns());
+    tps.push_back(benchcc::ticks_per_sec());
+  }
+  const double ring_ns = util::median(ring);
+  const double mutex_ns = util::median(mutexq);
+  const double span_ns = util::median(span);
+  const double span_off_ns = util::median(span_off);
+  const double pool_ns = util::median(pool);
+  const double ticks = util::median(tps);
+  const double speedup = ring_ns > 0.0 ? mutex_ns / ring_ns : 0.0;
+
+  std::printf("reps=%d ops_per_producer=%ld producers=%d consumers=%d\n", reps,
+              contention.ops_per_producer, contention.producers,
+              contention.consumers);
+  std::printf("ring_enqueue_ns=%.1f mutex_enqueue_ns=%.1f speedup=%.1fx\n",
+              ring_ns, mutex_ns, speedup);
+  std::printf("span_ns=%.1f span_disabled_ns=%.2f pool_pair_ns=%.1f\n",
+              span_ns, span_off_ns, pool_ns);
+  std::printf("pipeline_ticks_per_sec=%.1f\n", ticks);
+
+  const std::string json_path = args.get_or("json", "");
+  if (!json_path.empty()) {
+    util::Json::Object result;
+    result["reps"] = util::Json(reps);
+    result["ops_per_producer"] =
+        util::Json(static_cast<int>(contention.ops_per_producer));
+    result["producers"] = util::Json(contention.producers);
+    result["consumers"] = util::Json(contention.consumers);
+    result["ring_enqueue_ns"] = util::Json(ring_ns);
+    result["mutex_enqueue_ns"] = util::Json(mutex_ns);
+    result["enqueue_speedup"] = util::Json(speedup);
+    result["span_ns"] = util::Json(span_ns);
+    result["span_disabled_ns"] = util::Json(span_off_ns);
+    result["pool_pair_ns"] = util::Json(pool_ns);
+    result["pipeline_ticks_per_sec"] = util::Json(ticks);
+
+    util::Json::Object doc;
+    doc["env"] = util::bench_env_json();
+    doc["concurrency"] = util::Json(std::move(result));
+    std::ofstream out(json_path);
+    out << util::Json(std::move(doc)).dump() << '\n';
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

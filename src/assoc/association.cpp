@@ -9,8 +9,19 @@ namespace mvs::assoc {
 
 ml::Feature box_feature(const geom::BBox& box, double frame_w,
                         double frame_h) {
+  ml::Feature out;
+  box_feature_into(box, frame_w, frame_h, out);
+  return out;
+}
+
+void box_feature_into(const geom::BBox& box, double frame_w, double frame_h,
+                      ml::Feature& out) {
   const geom::Vec2 c = box.center();
-  return {c.x / frame_w, c.y / frame_h, box.w / frame_w, box.h / frame_h};
+  out.resize(4);
+  out[0] = c.x / frame_w;
+  out[1] = c.y / frame_h;
+  out[2] = box.w / frame_w;
+  out[3] = box.h / frame_h;
 }
 
 geom::BBox feature_box(const ml::Feature& f, double frame_w, double frame_h) {
@@ -83,8 +94,11 @@ bool CrossCameraAssociator::predict_present(std::size_t src, std::size_t dst,
                                             const geom::BBox& box) const {
   const PairModels& models = pairs_[pair_index(src, dst)];
   if (!models.cls || !models.has_positives) return false;
-  return models.cls->predict(
-      box_feature(box, sizes_[src].first, sizes_[src].second));
+  // Per-thread scratch: called per ghost per frame from pool workers
+  // (takeover pass); must stay allocation-free once warm (DESIGN.md §11).
+  thread_local ml::Feature feat;
+  box_feature_into(box, sizes_[src].first, sizes_[src].second, feat);
+  return models.cls->predict(feat);
 }
 
 geom::BBox CrossCameraAssociator::predict_box(std::size_t src, std::size_t dst,

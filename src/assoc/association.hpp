@@ -32,6 +32,11 @@ struct PairDataset {
 /// Normalized box feature [cx/W, cy/H, w/W, h/H].
 ml::Feature box_feature(const geom::BBox& box, double frame_w, double frame_h);
 
+/// box_feature into a caller-owned feature (resized in place) — the
+/// per-frame predict_present path reuses one scratch feature per thread.
+void box_feature_into(const geom::BBox& box, double frame_w, double frame_h,
+                      ml::Feature& out);
+
 /// Invert box_feature.
 geom::BBox feature_box(const ml::Feature& f, double frame_w, double frame_h);
 

@@ -64,6 +64,13 @@ std::vector<Detection> SimulatedDetector::detect_roi(
     const std::vector<GroundTruthObject>& visible, const geom::BBox& roi,
     int input_side, util::Rng& rng) const {
   std::vector<Detection> out;
+  detect_roi_append(visible, roi, input_side, rng, out);
+  return out;
+}
+
+void SimulatedDetector::detect_roi_append(
+    const std::vector<GroundTruthObject>& visible, const geom::BBox& roi,
+    int input_side, util::Rng& rng, std::vector<Detection>& out) const {
   const double downsample =
       std::max(1.0, std::max(roi.w, roi.h) / static_cast<double>(input_side));
   for (const GroundTruthObject& obj : visible) {
@@ -88,7 +95,6 @@ std::vector<Detection> SimulatedDetector::detect_roi(
     fp.score = rng.uniform(0.3, 0.6);
     out.push_back(fp);
   }
-  return out;
 }
 
 }  // namespace mvs::detect

@@ -45,6 +45,13 @@ class SimulatedDetector {
       const std::vector<GroundTruthObject>& visible, const geom::BBox& roi,
       int input_side, util::Rng& rng) const;
 
+  /// detect_roi APPENDING to `out` (not cleared): callers accumulating
+  /// detections over many slices reuse one buffer instead of splicing a
+  /// fresh vector per slice. Identical detections and RNG draw order.
+  void detect_roi_append(const std::vector<GroundTruthObject>& visible,
+                         const geom::BBox& roi, int input_side, util::Rng& rng,
+                         std::vector<Detection>& out) const;
+
   const Config& config() const { return cfg_; }
 
  private:

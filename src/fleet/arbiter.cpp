@@ -8,19 +8,56 @@
 
 namespace mvs::fleet {
 
-void GpuArbiter::begin_tick() { subs_.clear(); }
+/// Planning working memory reused across ticks. Groups persist (sorted by
+/// device-class name, so iteration order matches the std::map the original
+/// implementation used); per-tick state inside each group is reset in place.
+/// Nothing here carries observable state between plan_tick_into calls.
+struct PlanScratch {
+  /// All submissions targeting one device class, with per-submission and
+  /// merged size-class counts.
+  struct ClassGroup {
+    std::string name;                            ///< device class (sort key)
+    const gpu::DeviceProfile* device = nullptr;  ///< reset every tick
+    std::vector<std::size_t> members;            ///< indices into subs
+    std::vector<std::vector<int>> counts;        ///< per member, per class
+    std::vector<int> total;                      ///< merged, per class
+  };
+
+  /// One planning + device-pool scheduling pass over a class group.
+  struct ClassOutcome {
+    gpu::BatchPlan merged;
+    std::vector<double> attributed;  ///< per member: batch shares + full frame
+    std::vector<double> serial;      ///< per member: own units back-to-back
+    std::vector<double> finish;      ///< per member: last unit's completion
+    std::vector<double> free_at;     ///< per device: earliest idle time
+  };
+
+  std::vector<ClassGroup> groups;  ///< sorted by name; grows, never shrinks
+  ClassOutcome outcome;
+  gpu::BatchPlan isolated;  ///< per-member dedicated-device plan
+  // Cold-path (batch split) buffers: shed order and post-shed counts.
+  std::vector<std::size_t> order;
+  std::vector<std::vector<int>> split_counts;
+  std::vector<int> split_total;
+};
+
+GpuArbiter::GpuArbiter() = default;
+GpuArbiter::~GpuArbiter() = default;
+
+void GpuArbiter::begin_tick() { active_ = 0; }
 
 void GpuArbiter::submit(int session, int camera,
                         const gpu::DeviceProfile& device,
                         const runtime::CameraGpuWork& work, double weight) {
-  Submission sub;
+  // Reuse the slot (and its task buffer's capacity) from a previous tick.
+  if (active_ == subs_.size()) subs_.emplace_back();
+  Submission& sub = subs_[active_++];
   sub.session = session;
   sub.camera = camera;
   sub.weight = weight;
   sub.full_frame = work.full_frame;
-  sub.tasks = work.tasks;
+  sub.tasks.assign(work.tasks.begin(), work.tasks.end());
   sub.device = &device;
-  subs_.push_back(std::move(sub));
 }
 
 void GpuArbiter::set_device_count(const std::string& device_class, int count) {
@@ -34,23 +71,6 @@ int GpuArbiter::device_count(const std::string& device_class) const {
 
 namespace {
 
-/// All submissions targeting one device class, with per-submission and
-/// merged size-class counts.
-struct ClassGroup {
-  const gpu::DeviceProfile* device = nullptr;
-  std::vector<std::size_t> members;            ///< indices into subs
-  std::vector<std::vector<int>> counts;        ///< per member, per class
-  std::vector<int> total;                      ///< merged, per class
-};
-
-/// One planning + device-pool scheduling pass over a class group.
-struct ClassOutcome {
-  gpu::BatchPlan merged;
-  std::vector<double> attributed;  ///< per member: batch shares + full frame
-  std::vector<double> serial;      ///< per member: own units back-to-back
-  std::vector<double> finish;      ///< per member: last unit's completion
-};
-
 /// Plan the merged counts and list-schedule the batches (plan order, then
 /// full frames in member order) onto `devices` earliest-free-first. Each
 /// dispatch costs `overhead_ms` extra (charged into the batch) and passes
@@ -61,20 +81,22 @@ struct ClassOutcome {
 /// attributed == serial == finish bit-for-bit — the fleet-of-one identity:
 /// the dispatcher frees no later than the only device does, so the max()
 /// below always resolves to free_at[d].
-ClassOutcome run_class(const std::vector<Submission>& subs,
-                       const ClassGroup& g,
-                       const std::vector<std::vector<int>>& counts,
-                       const std::vector<int>& total, int devices,
-                       double overhead_ms) {
-  ClassOutcome out;
-  out.merged = gpu::plan_batch_counts(total, *g.device);
+///
+/// `counts` may be longer than g.members (persistent scratch); only the
+/// first g.members.size() entries are read.
+void run_class(const std::vector<Submission>& subs,
+               const PlanScratch::ClassGroup& g,
+               const std::vector<std::vector<int>>& counts,
+               const std::vector<int>& total, int devices, double overhead_ms,
+               PlanScratch::ClassOutcome& out) {
+  gpu::plan_batch_counts_into(total, *g.device, out.merged);
   const std::size_t n = g.members.size();
   out.attributed.assign(n, 0.0);
   out.serial.assign(n, 0.0);
   out.finish.assign(n, 0.0);
 
-  std::vector<double> free_at(static_cast<std::size_t>(std::max(1, devices)),
-                              0.0);
+  std::vector<double>& free_at = out.free_at;
+  free_at.assign(static_cast<std::size_t>(std::max(1, devices)), 0.0);
   double dispatcher_free = 0.0;
   const auto earliest = [&free_at]() {
     std::size_t best = 0;
@@ -113,48 +135,78 @@ ClassOutcome run_class(const std::vector<Submission>& subs,
     out.serial[mi] += full;
     out.finish[mi] = std::max(out.finish[mi], end);
   }
-  return out;
 }
 
 }  // namespace
 
 TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
   TickPlan plan;
-  plan.shares.resize(subs_.size());
+  plan_tick_into(ctx, plan);
+  return plan;
+}
 
-  // Group by device class; std::map keeps the iteration deterministic.
-  std::map<std::string, ClassGroup> groups;
-  for (std::size_t k = 0; k < subs_.size(); ++k) {
+void GpuArbiter::plan_tick_into(const TickContext& ctx, TickPlan& plan) const {
+  if (!scratch_) scratch_ = std::make_unique<PlanScratch>();
+  PlanScratch& s = *scratch_;
+
+  plan.shares.resize(active_);
+  plan.shared_batches = 0;
+  plan.isolated_batches = 0;
+  plan.shared_busy_ms = 0.0;
+  plan.isolated_busy_ms = 0.0;
+  plan.queue_ms_total = 0.0;
+  plan.splits = 0;
+  plan.deferred.clear();
+
+  // Group by device class. The group list stays sorted by name so the
+  // per-class iteration below is deterministic (lexicographic, exactly like
+  // the std::map this scratch replaces); a never-before-seen class name
+  // inserts once (cold), after which grouping reuses the slot forever.
+  for (PlanScratch::ClassGroup& g : s.groups) {
+    g.members.clear();
+    g.device = nullptr;
+  }
+  for (std::size_t k = 0; k < active_; ++k) {
     const Submission& sub = subs_[k];
     plan.shares[k].session = sub.session;
     plan.shares[k].camera = sub.camera;
-    ClassGroup& g = groups[sub.device->name()];
+    const std::string& name = sub.device->name();
+    std::size_t gi = 0;
+    while (gi < s.groups.size() && s.groups[gi].name < name) ++gi;
+    if (gi == s.groups.size() || s.groups[gi].name != name) {
+      s.groups.emplace(s.groups.begin() + static_cast<std::ptrdiff_t>(gi));
+      s.groups[gi].name = name;
+    }
+    PlanScratch::ClassGroup& g = s.groups[gi];
     if (!g.device) {
       g.device = sub.device;
       g.total.assign(sub.device->size_class_count(), 0);
     }
-    std::vector<int> counts(g.device->size_class_count(), 0);
-    for (geom::SizeClassId s : sub.tasks) {
-      assert(s >= 0 && static_cast<std::size_t>(s) < counts.size());
-      ++counts[static_cast<std::size_t>(s)];
-      ++g.total[static_cast<std::size_t>(s)];
-    }
     g.members.push_back(k);
-    g.counts.push_back(std::move(counts));
+    if (g.counts.size() < g.members.size()) g.counts.emplace_back();
+    std::vector<int>& counts = g.counts[g.members.size() - 1];
+    counts.assign(g.device->size_class_count(), 0);
+    for (geom::SizeClassId sc : sub.tasks) {
+      assert(sc >= 0 && static_cast<std::size_t>(sc) < counts.size());
+      ++counts[static_cast<std::size_t>(sc)];
+      ++g.total[static_cast<std::size_t>(sc)];
+    }
   }
 
   const double oh = std::max(0.0, ctx.dispatch_overhead_ms);
-  for (const auto& [name, g] : groups) {
+  for (const PlanScratch::ClassGroup& g : s.groups) {
+    if (g.members.empty()) continue;
     MVS_SPAN("gpu.batch_plan");
-    const int devices = device_count(name);
-    std::vector<std::vector<int>> counts = g.counts;
-    std::vector<int> total = g.total;
-    ClassOutcome out = run_class(subs_, g, counts, total, devices, oh);
+    const int devices = device_count(g.name);
+    PlanScratch::ClassOutcome& out = s.outcome;
+    run_class(subs_, g, g.counts, g.total, devices, oh, out);
 
     // Preemptive split: when the schedule would make a top-weight
     // contributor miss the SLO, defer half of one over-full batch (the last
     // splittable batch in plan order) to the next tick slot, shedding from
-    // the lowest-weight members first, then re-plan the class once.
+    // the lowest-weight members first, then re-plan the class once. This
+    // branch only runs under SLO pressure; it copies the class counts (the
+    // isolated rollup below must keep charging the PRE-split counts).
     if (ctx.allow_split && ctx.slo_ms > 0.0 && !out.merged.batches.empty()) {
       double top_weight = 0.0;
       for (const std::size_t k : g.members)
@@ -178,32 +230,38 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
           break;
         }
       if (victim_batch) {
-        const auto s = static_cast<std::size_t>(victim_batch->size_class);
+        const geom::SizeClassId victim_class = victim_batch->size_class;
+        const auto vs = static_cast<std::size_t>(victim_class);
         int remaining = victim_batch->count / 2;
+        const std::size_t n = g.members.size();
+        s.split_counts.resize(std::max(s.split_counts.size(), n));
+        for (std::size_t mi = 0; mi < n; ++mi)
+          s.split_counts[mi].assign(g.counts[mi].begin(), g.counts[mi].end());
+        s.split_total.assign(g.total.begin(), g.total.end());
         // Lowest weight sheds first; ties keep submission order.
-        std::vector<std::size_t> order(g.members.size());
-        std::iota(order.begin(), order.end(), std::size_t{0});
-        std::stable_sort(order.begin(), order.end(),
+        s.order.resize(n);
+        std::iota(s.order.begin(), s.order.end(), std::size_t{0});
+        std::stable_sort(s.order.begin(), s.order.end(),
                          [&](std::size_t a, std::size_t b) {
                            return subs_[g.members[a]].weight <
                                   subs_[g.members[b]].weight;
                          });
         bool deferred_any = false;
-        for (const std::size_t mi : order) {
+        for (const std::size_t mi : s.order) {
           if (remaining <= 0) break;
-          const int take = std::min(remaining, counts[mi][s]);
+          const int take = std::min(remaining, s.split_counts[mi][vs]);
           if (take <= 0) continue;
-          counts[mi][s] -= take;
-          total[s] -= take;
+          s.split_counts[mi][vs] -= take;
+          s.split_total[vs] -= take;
           remaining -= take;
           deferred_any = true;
           plan.deferred.push_back({subs_[g.members[mi]].session,
-                                   subs_[g.members[mi]].camera,
-                                   victim_batch->size_class, take});
+                                   subs_[g.members[mi]].camera, victim_class,
+                                   take});
         }
         if (deferred_any) {
           ++plan.splits;
-          out = run_class(subs_, g, counts, total, devices, oh);
+          run_class(subs_, g, s.split_counts, s.split_total, devices, oh, out);
         }
       }
     }
@@ -217,18 +275,17 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
 
     for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
       const std::size_t k = g.members[mi];
-      const gpu::BatchPlan isolated =
-          gpu::plan_batch_counts(g.counts[mi], *g.device);
-      plan.isolated_batches += static_cast<long>(isolated.batches.size());
+      gpu::plan_batch_counts_into(g.counts[mi], *g.device, s.isolated);
+      plan.isolated_batches += static_cast<long>(s.isolated.batches.size());
       plan.isolated_busy_ms +=
-          isolated.actual_latency_ms +
-          oh * static_cast<double>(isolated.batches.size());
+          s.isolated.actual_latency_ms +
+          oh * static_cast<double>(s.isolated.batches.size());
       plan.shares[k].attributed_ms = out.attributed[mi];
       plan.shares[k].queue_ms =
           std::max(0.0, out.finish[mi] - out.serial[mi]);
       plan.shares[k].isolated_ms =
-          isolated.actual_latency_ms +
-          oh * static_cast<double>(isolated.batches.size());
+          s.isolated.actual_latency_ms +
+          oh * static_cast<double>(s.isolated.batches.size());
       if (subs_[k].full_frame) {
         const double full = oh + g.device->full_frame_ms();
         plan.shares[k].isolated_ms += full;
@@ -238,7 +295,6 @@ TickPlan GpuArbiter::plan_tick(const TickContext& ctx) const {
       plan.queue_ms_total += plan.shares[k].queue_ms;
     }
   }
-  return plan;
 }
 
 }  // namespace mvs::fleet

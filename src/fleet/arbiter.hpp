@@ -39,6 +39,7 @@
 // charged on the tick that runs them.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -120,9 +121,21 @@ struct TickContext {
   double dispatch_overhead_ms = 0.0;
 };
 
+/// Reusable planning working memory (defined in arbiter.cpp): per-class
+/// grouping buffers, merged/isolated batch plans, schedule arrays. Owned by
+/// the arbiter so warm plan_tick_into calls allocate nothing (DESIGN.md
+/// §11).
+struct PlanScratch;
+
 class GpuArbiter {
  public:
-  /// Discard the previous tick's submissions.
+  GpuArbiter();
+  ~GpuArbiter();
+  GpuArbiter(const GpuArbiter&) = delete;
+  GpuArbiter& operator=(const GpuArbiter&) = delete;
+
+  /// Discard the previous tick's submissions. Submission slots (and their
+  /// task buffers) are retained for reuse.
   void begin_tick();
 
   /// Register one camera's demand. `device` must outlive plan_tick();
@@ -138,6 +151,12 @@ class GpuArbiter {
   /// earliest-free device, and submission order is preserved in `shares`.
   TickPlan plan_tick(const TickContext& ctx = {}) const;
 
+  /// plan_tick into a caller-owned plan (fields reset in place): identical
+  /// results, but warm steady-state ticks reuse every buffer — the fleet
+  /// hot path. The cold batch-split branch may still allocate (it copies
+  /// the class counts to re-plan); it only runs under SLO pressure.
+  void plan_tick_into(const TickContext& ctx, TickPlan& plan) const;
+
   /// Devices serving `device_class` (>= 1; classes default to one device).
   void set_device_count(const std::string& device_class, int count);
   int device_count(const std::string& device_class) const;
@@ -146,11 +165,18 @@ class GpuArbiter {
     return device_counts_;
   }
 
-  std::size_t submission_count() const { return subs_.size(); }
+  std::size_t submission_count() const { return active_; }
 
  private:
+  /// Submission slots. Only the first `active_` entries belong to the
+  /// current tick; begin_tick() rewinds `active_` instead of clearing so
+  /// each slot's task vector keeps its capacity across ticks.
   std::vector<Submission> subs_;
+  std::size_t active_ = 0;
   std::map<std::string, int> device_counts_;
+  /// Lazily built planning scratch; mutable because plan_tick is logically
+  /// const (the scratch carries no observable state between calls).
+  mutable std::unique_ptr<PlanScratch> scratch_;
 };
 
 }  // namespace mvs::fleet

@@ -366,6 +366,37 @@ void Fleet::readmit_scan() {
       window_busy_ms_ / static_cast<double>(std::max(1, window_ticks_));
   window_busy_ms_ = 0.0;
   window_ticks_ = 0;
+
+  // Above the high-water mark: push one session one rung DOWN the degrade
+  // ladder per scan — tighten masks first, then halve the rate — the exact
+  // mirror of re-admission below (which restores rate first, then masks).
+  // Highest session id degrades first (the mirror of lowest-id-wins on the
+  // way back up), so the longest-served sessions keep quality longest.
+  // Between the water marks nothing changes in either direction: the band
+  // is the hysteresis that keeps rungs from flapping scan to scan.
+  if (mean_busy > cfg_.readmit_high_water * cfg_.slo_ms) {
+    if (!cfg_.allow_degrade) return;
+    for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
+      Session* s = it->get();
+      if (s->state != SessionState::kActive || s->degraded_tight) continue;
+      s->spec.pipeline.tight_masks = true;
+      s->pipeline->set_tight_masks(true);
+      s->degraded_tight = true;
+      ++redegraded_;
+      record(runtime::TraceEventType::kSessionRedegrade, s->id, mean_busy);
+      return;
+    }
+    for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
+      Session* s = it->get();
+      if (s->state != SessionState::kActive || s->degraded_rate) continue;
+      s->stride = 2;
+      s->degraded_rate = true;
+      ++redegraded_;
+      record(runtime::TraceEventType::kSessionRedegrade, s->id, mean_busy);
+      return;
+    }
+    return;
+  }
   if (mean_busy >= cfg_.readmit_low_water * cfg_.slo_ms) return;
 
   double current = 0.0;
@@ -411,7 +442,8 @@ void Fleet::step() {
   const long tick = ticks_;
 
   // 1. Sessions due this tick (active, native period x stride matches).
-  std::vector<Session*> due;
+  std::vector<Session*>& due = due_scratch_;
+  due.clear();
   for (auto& s : sessions_) {
     const long cycle = static_cast<long>(s->period_ticks) * s->stride;
     if (s->state == SessionState::kActive && tick % cycle == s->phase % cycle)
@@ -434,7 +466,8 @@ void Fleet::step() {
                                   static_cast<std::size_t>(tick) % due.size()),
                 due.end());
   }
-  std::vector<Session*> chosen;
+  std::vector<Session*>& chosen = chosen_scratch_;
+  chosen.clear();
   std::size_t deferred = 0;
   if (cfg_.slo_ms > 0.0) {
     double projected = 0.0;
@@ -450,22 +483,23 @@ void Fleet::step() {
       chosen.push_back(s);
     }
   } else {
-    chosen = due;
+    chosen.assign(due.begin(), due.end());
   }
 
   // 3. Step the chosen sessions concurrently on the shared pool. Sessions
   // only touch their own state (and the nested-safe pool), so this is
-  // deterministic for any worker count.
-  std::vector<runtime::FrameStats> stats(chosen.size());
+  // deterministic for any worker count. The per-frame stats live inside
+  // each pipeline (run_frame_ref) — nothing is copied out here.
   pool_.run_tiles(chosen.size(), [&](std::size_t i) {
     MVS_SPAN("fleet.session");
-    stats[i] = chosen[i]->pipeline->run_frame();
+    chosen[i]->pipeline->run_frame_ref();
   });
 
   // 4. Cross-session GPU arbitration over the stepped sessions' work, in
   // ascending session id for deterministic submission order. Batch-split
   // debt from earlier ticks rides along with the owning camera's work.
-  std::vector<Session*> ordered = chosen;
+  std::vector<Session*>& ordered = ordered_scratch_;
+  ordered.assign(chosen.begin(), chosen.end());
   std::sort(ordered.begin(), ordered.end(),
             [](Session* a, Session* b) { return a->id < b->id; });
   arbiter_.begin_tick();
@@ -475,7 +509,9 @@ void Fleet::step() {
       const int cam_id = static_cast<int>(cam);
       const auto debt = s->carryover.find(cam_id);
       if (debt != s->carryover.end() && !debt->second.empty()) {
-        runtime::CameraGpuWork merged = work[cam];
+        runtime::CameraGpuWork& merged = merged_scratch_;
+        merged.full_frame = work[cam].full_frame;
+        merged.tasks.assign(work[cam].tasks.begin(), work[cam].tasks.end());
         merged.tasks.insert(merged.tasks.end(), debt->second.begin(),
                             debt->second.end());
         debt->second.clear();
@@ -491,10 +527,10 @@ void Fleet::step() {
   ctx.slo_ms = cfg_.slo_ms;
   ctx.allow_split = cfg_.allow_split;
   ctx.dispatch_overhead_ms = cfg_.dispatch_overhead_ms;
-  TickPlan plan;
+  TickPlan& plan = plan_scratch_;
   {
     MVS_SPAN("fleet.arbiter");
-    plan = arbiter_.plan_tick(ctx);
+    arbiter_.plan_tick_into(ctx, plan);
   }
   shared_batches_ += plan.shared_batches;
   isolated_batches_ += plan.isolated_batches;
@@ -585,6 +621,7 @@ FleetSnapshot Fleet::snapshot() const {
   snap.rejected = rejected_;
   snap.evicted = evicted_;
   snap.readmitted = readmitted_;
+  snap.redegraded = redegraded_;
   snap.batch_splits = batch_splits_;
   snap.shared_batches = shared_batches_;
   snap.isolated_batches = isolated_batches_;
@@ -644,6 +681,7 @@ std::string FleetSnapshot::to_json() const {
   fleet["rejected"] = util::Json(rejected);
   fleet["evicted"] = util::Json(evicted);
   fleet["readmitted"] = util::Json(readmitted);
+  fleet["redegraded"] = util::Json(redegraded);
   fleet["batch_splits"] = util::Json(static_cast<double>(batch_splits));
   fleet["shared_batches"] = util::Json(static_cast<double>(shared_batches));
   fleet["isolated_batches"] =

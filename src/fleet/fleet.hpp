@@ -150,6 +150,7 @@ struct FleetSnapshot {
   int wheel_hz = 0;  ///< current tick-wheel rate (lcm of admitted rates)
   int admitted = 0, rejected = 0, evicted = 0;
   int readmitted = 0;       ///< degrade-ladder rungs restored
+  int redegraded = 0;       ///< degrade-ladder rungs re-applied under load
   long batch_splits = 0;    ///< arbiter batch splits across all ticks
   long shared_batches = 0, isolated_batches = 0;
   double shared_busy_ms = 0.0, isolated_busy_ms = 0.0;
@@ -264,6 +265,7 @@ class Fleet {
   int rejected_ = 0;
   int evicted_ = 0;
   int readmitted_ = 0;
+  int redegraded_ = 0;
   long batch_splits_ = 0;
   long shared_batches_ = 0;
   long isolated_batches_ = 0;
@@ -275,6 +277,14 @@ class Fleet {
   int window_ticks_ = 0;
   util::SampleSet tick_busy_ms_;
   util::SampleSet queue_depth_;
+
+  /// step() working buffers reused across ticks so a warm fleet tick
+  /// allocates nothing on the serving path (DESIGN.md §11).
+  std::vector<Session*> due_scratch_;
+  std::vector<Session*> chosen_scratch_;
+  std::vector<Session*> ordered_scratch_;
+  TickPlan plan_scratch_;
+  runtime::CameraGpuWork merged_scratch_;
 };
 
 }  // namespace mvs::fleet

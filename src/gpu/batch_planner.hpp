@@ -30,6 +30,18 @@ struct BatchPlan {
 BatchPlan plan_batches(const std::vector<geom::SizeClassId>& tasks,
                        const DeviceProfile& device);
 
+/// plan_batches with caller-owned output and counting scratch: `plan` is
+/// cleared in place (its batch vector keeps capacity) and `counts_scratch`
+/// is resized to the device's class count. Bit-identical plan;
+/// allocation-free once warm (DESIGN.md §11).
+void plan_batches_into(const std::vector<geom::SizeClassId>& tasks,
+                       const DeviceProfile& device,
+                       std::vector<int>& counts_scratch, BatchPlan& plan);
+
+/// plan_batch_counts with a caller-owned output plan (cleared first).
+void plan_batch_counts_into(const std::vector<int>& counts,
+                            const DeviceProfile& device, BatchPlan& plan);
+
 /// Plan batches from per-size-class task COUNTS (counts.size() must equal
 /// device.size_class_count()). This is the primitive behind plan_batches and
 /// the fleet arbiter's cross-session merge: task multisets from any number

@@ -26,4 +26,19 @@ BoxMatchResult match_boxes(const std::vector<geom::BBox>& a,
                            const std::vector<geom::BBox>& b,
                            double min_iou = 0.1);
 
+/// Reusable working memory for match_boxes_into: the cost matrix, the raw
+/// assignment output, and the Hungarian solver's internals. One per caller
+/// makes repeated matching allocation-free once warm (DESIGN.md §11).
+struct BoxMatchScratch {
+  std::vector<double> cost;
+  AssignmentResult assign;
+  AssignScratch solver;
+};
+
+/// match_boxes with caller-owned scratch and output (allocation-free once
+/// warm; bit-identical results).
+void match_boxes_into(const std::vector<geom::BBox>& a,
+                      const std::vector<geom::BBox>& b, double min_iou,
+                      BoxMatchScratch& scratch, BoxMatchResult& out);
+
 }  // namespace mvs::matching

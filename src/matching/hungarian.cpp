@@ -7,72 +7,79 @@ namespace mvs::matching {
 
 namespace {
 
-/// Classic potentials-based Kuhn-Munkres on a square n x n matrix.
-/// Returns col_match: for each column (1-based internally), the matched row.
-std::vector<int> kuhn_munkres_square(const std::vector<double>& a,
-                                     std::size_t n) {
+/// Classic potentials-based Kuhn-Munkres on a square n x n matrix held in
+/// scratch.sq. Fills scratch.p: for each column (1-based internally), the
+/// matched row. All working vectors live in `scratch` so repeated solves
+/// reuse their capacity.
+void kuhn_munkres_square(AssignScratch& s, std::size_t n) {
   // 1-based implementation (standard competitive-programming formulation).
   const double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
-  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  const std::vector<double>& a = s.sq;
+  s.u.assign(n + 1, 0.0);
+  s.v.assign(n + 1, 0.0);
+  s.p.assign(n + 1, 0);
+  s.way.assign(n + 1, 0);
   for (std::size_t i = 1; i <= n; ++i) {
-    p[0] = static_cast<int>(i);
+    s.p[0] = static_cast<int>(i);
     std::size_t j0 = 0;
-    std::vector<double> minv(n + 1, kInf);
-    std::vector<char> used(n + 1, 0);
+    s.minv.assign(n + 1, kInf);
+    s.used.assign(n + 1, 0);
     do {
-      used[j0] = 1;
-      const std::size_t i0 = static_cast<std::size_t>(p[j0]);
+      s.used[j0] = 1;
+      const std::size_t i0 = static_cast<std::size_t>(s.p[j0]);
       double delta = kInf;
       std::size_t j1 = 0;
       for (std::size_t j = 1; j <= n; ++j) {
-        if (used[j]) continue;
-        const double cur = a[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
-        if (cur < minv[j]) {
-          minv[j] = cur;
-          way[j] = static_cast<int>(j0);
+        if (s.used[j]) continue;
+        const double cur = a[(i0 - 1) * n + (j - 1)] - s.u[i0] - s.v[j];
+        if (cur < s.minv[j]) {
+          s.minv[j] = cur;
+          s.way[j] = static_cast<int>(j0);
         }
-        if (minv[j] < delta) {
-          delta = minv[j];
+        if (s.minv[j] < delta) {
+          delta = s.minv[j];
           j1 = j;
         }
       }
       for (std::size_t j = 0; j <= n; ++j) {
-        if (used[j]) {
-          u[static_cast<std::size_t>(p[j])] += delta;
-          v[j] -= delta;
+        if (s.used[j]) {
+          s.u[static_cast<std::size_t>(s.p[j])] += delta;
+          s.v[j] -= delta;
         } else {
-          minv[j] -= delta;
+          s.minv[j] -= delta;
         }
       }
       j0 = j1;
-    } while (p[j0] != 0);
+    } while (s.p[j0] != 0);
     do {
-      const std::size_t j1 = static_cast<std::size_t>(way[j0]);
-      p[j0] = p[j1];
+      const std::size_t j1 = static_cast<std::size_t>(s.way[j0]);
+      s.p[j0] = s.p[j1];
       j0 = j1;
     } while (j0);
   }
-  return p;  // p[j] = row matched to column j (1-based), p[0] unused
+  // s.p[j] = row matched to column j (1-based), s.p[0] unused
 }
 
 }  // namespace
 
-AssignmentResult solve_assignment(const std::vector<double>& cost,
-                                  std::size_t rows, std::size_t cols) {
+void solve_assignment_into(const std::vector<double>& cost, std::size_t rows,
+                           std::size_t cols, AssignScratch& scratch,
+                           AssignmentResult& out) {
   assert(cost.size() == rows * cols);
-  AssignmentResult out;
   out.row_to_col.assign(rows, -1);
   out.col_to_row.assign(cols, -1);
-  if (rows == 0 || cols == 0) return out;
+  out.total_cost = 0.0;
+  if (rows == 0 || cols == 0) return;
 
   const std::size_t n = std::max(rows, cols);
   // Pad to square with forbidden cost; padded cells never yield real matches.
-  std::vector<double> sq(n * n, kForbiddenCost);
+  scratch.sq.assign(n * n, kForbiddenCost);
   for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t c = 0; c < cols; ++c) sq[r * n + c] = cost[r * cols + c];
+    for (std::size_t c = 0; c < cols; ++c)
+      scratch.sq[r * n + c] = cost[r * cols + c];
 
-  const std::vector<int> p = kuhn_munkres_square(sq, n);
+  kuhn_munkres_square(scratch, n);
+  const std::vector<int>& p = scratch.p;
   for (std::size_t j = 1; j <= n; ++j) {
     const std::size_t r = static_cast<std::size_t>(p[j]) - 1;
     const std::size_t c = j - 1;
@@ -83,6 +90,13 @@ AssignmentResult solve_assignment(const std::vector<double>& cost,
     out.col_to_row[c] = static_cast<int>(r);
     out.total_cost += cell;
   }
+}
+
+AssignmentResult solve_assignment(const std::vector<double>& cost,
+                                  std::size_t rows, std::size_t cols) {
+  AssignScratch scratch;
+  AssignmentResult out;
+  solve_assignment_into(cost, rows, cols, scratch, out);
   return out;
 }
 

@@ -24,12 +24,30 @@ struct AssignmentResult {
   double total_cost = 0.0;
 };
 
+/// Reusable working memory for solve_assignment_into. A caller that solves
+/// many assignments (the tracker runs one per camera per frame) keeps one of
+/// these alive so a warmed-up solve performs zero heap allocations — every
+/// buffer is assign()ed back to size, which reuses capacity (DESIGN.md §11).
+struct AssignScratch {
+  std::vector<double> sq;    ///< padded square cost matrix
+  std::vector<double> u, v;  ///< row/column potentials
+  std::vector<double> minv;  ///< per-column slack of the alternating tree
+  std::vector<int> p, way;
+  std::vector<char> used;
+};
+
 /// Minimum-cost assignment over a (possibly rectangular) cost matrix given
 /// row-major as cost[r * cols + c]. Rows/columns beyond the square part are
 /// padded internally. Pairs whose cost is >= kForbiddenCost are never
 /// reported as matched.
 AssignmentResult solve_assignment(const std::vector<double>& cost,
                                   std::size_t rows, std::size_t cols);
+
+/// solve_assignment with caller-owned scratch and output (allocation-free
+/// once warm; bit-identical results).
+void solve_assignment_into(const std::vector<double>& cost, std::size_t rows,
+                           std::size_t cols, AssignScratch& scratch,
+                           AssignmentResult& out);
 
 /// Greedy baseline: repeatedly pick the globally cheapest remaining pair.
 /// Used in tests/benches to sanity-check Hungarian optimality.

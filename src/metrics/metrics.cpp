@@ -1,7 +1,6 @@
 #include "metrics/metrics.hpp"
 
 #include <algorithm>
-#include <set>
 
 namespace mvs::metrics {
 
@@ -30,10 +29,15 @@ double BinaryMetrics::f1() const {
 double ObjectRecall::add_frame(
     const std::vector<std::vector<detect::GroundTruthObject>>& gt_per_camera,
     const std::vector<std::vector<geom::BBox>>& reported_per_camera) {
-  // Ground-truth identities visible anywhere this timestamp.
-  std::set<std::uint64_t> gt_ids;
+  // Ground-truth identities visible anywhere this timestamp. Sorted +
+  // deduplicated scratch vector: same ascending iteration order a std::set
+  // would give, without the per-node allocations.
+  std::vector<std::uint64_t>& gt_ids = ids_scratch_;
+  gt_ids.clear();
   for (const auto& cam : gt_per_camera)
-    for (const detect::GroundTruthObject& obj : cam) gt_ids.insert(obj.id);
+    for (const detect::GroundTruthObject& obj : cam) gt_ids.push_back(obj.id);
+  std::sort(gt_ids.begin(), gt_ids.end());
+  gt_ids.erase(std::unique(gt_ids.begin(), gt_ids.end()), gt_ids.end());
 
   std::size_t frame_tp = 0;
   for (std::uint64_t id : gt_ids) {

@@ -46,6 +46,9 @@ class ObjectRecall {
   double iou_threshold_;
   std::size_t tp_ = 0;
   std::size_t fn_ = 0;
+  /// Per-frame unique-id scratch (sorted + deduplicated in place each
+  /// frame); reused so warm add_frame calls allocate nothing.
+  std::vector<std::uint64_t> ids_scratch_;
 };
 
 /// Mean of per-frame maxima — the "slowest camera" statistic of Fig. 13.

@@ -87,17 +87,25 @@ void KdTree::search(int node_index, const Feature& query,
 }
 
 std::vector<std::size_t> KdTree::nearest(const Feature& query, int k) const {
+  std::vector<std::pair<double, std::size_t>> heap;
+  std::vector<std::size_t> out;
+  nearest_into(query, k, heap, out);
+  return out;
+}
+
+void KdTree::nearest_into(const Feature& query, int k,
+                          std::vector<std::pair<double, std::size_t>>& heap,
+                          std::vector<std::size_t>& out) const {
   assert(!points_.empty());
   const std::size_t kk =
       std::min<std::size_t>(static_cast<std::size_t>(k), points_.size());
-  std::vector<std::pair<double, std::size_t>> heap;
+  heap.clear();
   heap.reserve(kk + 1);
   search(root_, query, heap, kk);
   std::sort_heap(heap.begin(), heap.end());
-  std::vector<std::size_t> out;
+  out.clear();
   out.reserve(heap.size());
   for (const auto& [dist, index] : heap) out.push_back(index);
-  return out;
 }
 
 }  // namespace mvs::ml

@@ -30,6 +30,13 @@ class KdTree {
   /// ordered nearest-first. k is capped at size().
   std::vector<std::size_t> nearest(const Feature& query, int k) const;
 
+  /// nearest() into caller-owned buffers: `heap` is working memory, `out`
+  /// receives the indices (cleared first). Same results; warm calls
+  /// allocate nothing.
+  void nearest_into(const Feature& query, int k,
+                    std::vector<std::pair<double, std::size_t>>& heap,
+                    std::vector<std::size_t>& out) const;
+
  private:
   struct Node {
     int axis = -1;          ///< split dimension; -1 for leaves

@@ -42,8 +42,13 @@ void KnnClassifier::fit(const std::vector<Feature>& xs,
 
 double KnnClassifier::decision(const Feature& x) const {
   assert(!tree_.empty());
-  const Feature q = scaler_.transform(x);
-  const auto nn = tree_.nearest(q, k_);
+  // Per-thread scratch: decision() runs per ghost per frame on pipeline
+  // pool workers, and must stay allocation-free once warm (DESIGN.md §11).
+  thread_local Feature q;
+  thread_local std::vector<std::pair<double, std::size_t>> heap;
+  thread_local std::vector<std::size_t> nn;
+  scaler_.transform_into(x, q);
+  tree_.nearest_into(q, k_, heap, nn);
   double pos = 0.0, neg = 0.0;
   for (std::size_t i : nn) {
     const double w = 1.0 / (1e-6 + std::sqrt(sq_dist(tree_.point(i), q)));

@@ -29,11 +29,16 @@ void StandardScaler::fit(const std::vector<Feature>& xs) {
 }
 
 Feature StandardScaler::transform(const Feature& x) const {
+  Feature out;
+  transform_into(x, out);
+  return out;
+}
+
+void StandardScaler::transform_into(const Feature& x, Feature& out) const {
   assert(x.size() == mean_.size());
-  Feature out(x.size());
+  out.resize(x.size());
   for (std::size_t d = 0; d < x.size(); ++d)
     out[d] = (x[d] - mean_[d]) * inv_std_[d];
-  return out;
 }
 
 std::vector<Feature> StandardScaler::transform_all(

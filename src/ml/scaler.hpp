@@ -10,6 +10,9 @@ class StandardScaler {
  public:
   void fit(const std::vector<Feature>& xs);
   Feature transform(const Feature& x) const;
+  /// transform into a caller-owned feature (resized in place) — the
+  /// classifier hot path reuses one scratch feature per thread.
+  void transform_into(const Feature& x, Feature& out) const;
   std::vector<Feature> transform_all(const std::vector<Feature>& xs) const;
   bool fitted() const { return !mean_.empty(); }
 

@@ -1,5 +1,6 @@
 #include "netsim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace mvs::netsim {
@@ -9,15 +10,15 @@ void EventQueue::schedule(double time_ms, Handler fn) {
   e.time = time_ms < now_ ? now_ : time_ms;
   e.seq = next_seq_++;
   e.fn = std::move(fn);
-  heap_.push(std::move(e));
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::run_one() {
   if (heap_.empty()) return false;
-  // priority_queue::top is const; the handler is moved out via const_cast,
-  // which is safe because the element is popped before it runs.
-  Event e = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();  // capacity retained for the next schedule()
   now_ = e.time;
   e.fn(now_);
   return true;
@@ -29,7 +30,7 @@ void EventQueue::run_until_empty() {
 }
 
 void EventQueue::reset() {
-  heap_ = {};
+  heap_.clear();  // keeps capacity
   next_seq_ = 0;
   now_ = 0.0;
 }

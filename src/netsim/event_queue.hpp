@@ -7,18 +7,26 @@
 // regardless of heap internals, which the determinism guarantees of the
 // lossy transport rely on. Handlers may schedule further events; times in
 // the past are clamped to "now" so causality never runs backwards.
+//
+// Hot-path notes (DESIGN.md §11): handlers are util::InplaceFunction —
+// stored inline in the event node, never heap-boxed — and the heap lives in
+// a plain vector (std::push_heap/pop_heap) whose capacity survives reset(),
+// so a warmed-up queue schedules and dispatches without allocating.
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
+
+#include "util/inplace_function.hpp"
 
 namespace mvs::netsim {
 
 class EventQueue {
  public:
-  /// Invoked with the simulated time the event fires at.
-  using Handler = std::function<void(double now_ms)>;
+  /// Invoked with the simulated time the event fires at. 48 bytes of
+  /// inline capture — enough for a {this, index, attempt} closure; bigger
+  /// captures fail to compile rather than silently allocating.
+  using Handler = util::InplaceFunction<void(double now_ms), 48>;
 
   /// Schedule `fn` at `time_ms` (clamped to the current time if earlier).
   void schedule(double time_ms, Handler fn);
@@ -33,7 +41,8 @@ class EventQueue {
   std::size_t pending() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
 
-  /// Drop all pending events and reset the clock to zero.
+  /// Drop all pending events and reset the clock to zero. Keeps the event
+  /// vector's capacity: a reused queue does not reallocate.
   void reset();
 
  private:
@@ -49,7 +58,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  ///< binary heap via std::push_heap/pop_heap
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
 };

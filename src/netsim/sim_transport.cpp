@@ -31,7 +31,7 @@ void SimTransport::send_downlink(long /*frame*/, int camera,
 }
 
 net::UplinkReport SimTransport::run_uplinks(long /*frame*/) {
-  up_outcome_ = run_phase(pending_up_, /*uplink=*/true);
+  run_phase(pending_up_, /*uplink=*/true, up_outcome_);
   up_resolved_ = true;
   net::UplinkReport report;
   report.elapsed_ms = up_outcome_.elapsed_ms;
@@ -43,7 +43,8 @@ net::CycleReport SimTransport::finish_cycle(long frame) {
   MVS_SPAN("net.cycle");
   const std::size_t msg_count = pending_up_.size() + pending_down_.size();
   if (!up_resolved_) (void)run_uplinks(frame);
-  const PhaseOutcome down = run_phase(pending_down_, /*uplink=*/false);
+  run_phase(pending_down_, /*uplink=*/false, down_outcome_);
+  const PhaseOutcome& down = down_outcome_;
 
   net::CycleReport report;
   report.comm_ms = up_outcome_.elapsed_ms + down.elapsed_ms;
@@ -67,79 +68,83 @@ net::CycleReport SimTransport::finish_cycle(long frame) {
 
   pending_up_.clear();
   pending_down_.clear();
-  up_outcome_ = PhaseOutcome{};
+  up_outcome_.reset(cameras_);  // in place: capacity survives to next cycle
   up_resolved_ = false;
   return report;
 }
 
-SimTransport::PhaseOutcome SimTransport::run_phase(
-    const std::vector<Pending>& msgs, bool uplink) {
-  PhaseOutcome out;
-  out.delivered.assign(cameras_, 0);
-  if (msgs.empty()) return out;
+// Transmission attempt `attempt` of message `mi` at time `t`.  Handlers
+// re-arm further attempts by scheduling this again — the recursion of the
+// old std::function formulation, flattened into member calls so each event
+// captures only {this, mi, attempt}.
+void SimTransport::attempt_send(std::size_t mi, int attempt, double t) {
+  const MsgState& st = state_[mi];
+  if (st.delivered && st.done_ms <= t) return;  // acked; stop sending
+  const bool lost = faults_.lose();
+  const double jitter = faults_.jitter();
+  if (!lost) {
+    const double arrival = t + phase_.base_ms + jitter;
+    queue_.schedule(arrival,
+                    [this, mi](double now) { handle_arrival(mi, now); });
+  }
+  // Sender-side timeout: retransmit (or give up) unless the ack — modeled
+  // as instant at serialization completion — arrived in time.
+  queue_.schedule(t + phase_.timeout_ms, [this, mi, attempt](double now) {
+    handle_timeout(mi, attempt, now);
+  });
+}
 
-  const double mbps =
-      uplink ? cfg_.link.uplink_mbps : cfg_.link.downlink_mbps;
-  const double base_ms = cfg_.link.base_latency_ms;
-  const double timeout_ms = cfg_.faults.retry_timeout_ms;
-  const int max_retries = std::max(0, cfg_.faults.max_retries);
+void SimTransport::handle_arrival(std::size_t mi, double now) {
+  const double wait = std::max(0.0, phase_.busy_until - now);
+  const double done = std::max(now, phase_.busy_until) +
+                      serialize_ms((*phase_.msgs)[mi].bytes, phase_.mbps);
+  phase_.busy_until = done;
+  phase_.out->queue_ms += wait;
+  MsgState& s = state_[mi];
+  if (!s.delivered) {
+    s.delivered = true;
+    s.done_ms = done;
+  }
+}
 
-  struct MsgState {
-    bool delivered = false;
-    double done_ms = 0.0;     ///< serialization finished (ack time)
-    double give_up_ms = 0.0;  ///< sender abandoned the message
-    bool gave_up = false;
-  };
-  std::vector<MsgState> state(msgs.size());
-  EventQueue queue;
-  double busy_until = 0.0;  // the direction's FIFO bottleneck
+void SimTransport::handle_timeout(std::size_t mi, int attempt, double now) {
+  MsgState& s = state_[mi];
+  if (s.delivered && s.done_ms <= now) return;
+  if (attempt < phase_.max_retries) {
+    ++phase_.out->retries;
+    phase_.out->events.push_back({net::MessageEvent::Kind::kRetry,
+                                  (*phase_.msgs)[mi].camera, phase_.uplink,
+                                  now});
+    attempt_send(mi, attempt + 1, now);
+  } else if (!s.gave_up) {
+    s.gave_up = true;
+    s.give_up_ms = now;
+  }
+}
 
-  // Transmission attempt `attempt` of message `mi`, sent at the handler's
-  // fire time. Declared as a std::function so handlers can re-arm it.
-  std::function<void(std::size_t, int, double)> send =
-      [&](std::size_t mi, int attempt, double t) {
-        MsgState& st = state[mi];
-        if (st.delivered && st.done_ms <= t) return;  // acked; stop sending
-        const bool lost = faults_.lose();
-        const double jitter = faults_.jitter();
-        if (!lost) {
-          const double arrival = t + base_ms + jitter;
-          queue.schedule(arrival, [&, mi](double now) {
-            const double wait = std::max(0.0, busy_until - now);
-            const double done =
-                std::max(now, busy_until) + serialize_ms(msgs[mi].bytes, mbps);
-            busy_until = done;
-            out.queue_ms += wait;
-            MsgState& s = state[mi];
-            if (!s.delivered) {
-              s.delivered = true;
-              s.done_ms = done;
-            }
-          });
-        }
-        // Sender-side timeout: retransmit (or give up) unless the ack —
-        // modeled as instant at serialization completion — arrived in time.
-        queue.schedule(t + timeout_ms, [&, mi, attempt](double now) {
-          MsgState& s = state[mi];
-          if (s.delivered && s.done_ms <= now) return;
-          if (attempt < max_retries) {
-            ++out.retries;
-            out.events.push_back({net::MessageEvent::Kind::kRetry,
-                                  msgs[mi].camera, uplink, now});
-            send(mi, attempt + 1, now);
-          } else if (!s.gave_up) {
-            s.gave_up = true;
-            s.give_up_ms = now;
-          }
-        });
-      };
+void SimTransport::run_phase(const std::vector<Pending>& msgs, bool uplink,
+                             PhaseOutcome& out) {
+  out.reset(cameras_);
+  if (msgs.empty()) return;
 
+  phase_.msgs = &msgs;
+  phase_.out = &out;
+  phase_.uplink = uplink;
+  phase_.mbps = uplink ? cfg_.link.uplink_mbps : cfg_.link.downlink_mbps;
+  phase_.base_ms = cfg_.link.base_latency_ms;
+  phase_.timeout_ms = cfg_.faults.retry_timeout_ms;
+  phase_.max_retries = std::max(0, cfg_.faults.max_retries);
+  phase_.busy_until = 0.0;
+
+  state_.assign(msgs.size(), MsgState{});
+  queue_.reset();
   for (std::size_t mi = 0; mi < msgs.size(); ++mi)
-    queue.schedule(0.0, [&, mi](double now) { send(mi, 0, now); });
-  queue.run_until_empty();
+    queue_.schedule(0.0,
+                    [this, mi](double now) { attempt_send(mi, 0, now); });
+  queue_.run_until_empty();
 
   for (std::size_t mi = 0; mi < msgs.size(); ++mi) {
-    const MsgState& st = state[mi];
+    const MsgState& st = state_[mi];
     if (st.delivered) {
       out.delivered[static_cast<std::size_t>(msgs[mi].camera)] = 1;
       out.elapsed_ms = std::max(out.elapsed_ms, st.done_ms);
@@ -150,7 +155,6 @@ SimTransport::PhaseOutcome SimTransport::run_phase(
       out.elapsed_ms = std::max(out.elapsed_ms, st.give_up_ms);
     }
   }
-  return out;
 }
 
 }  // namespace mvs::netsim

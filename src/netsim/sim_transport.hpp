@@ -20,6 +20,12 @@
 // All randomness comes from one seeded mvs::util::Rng drawn in EventQueue
 // dispatch order, so identical (config, seed) runs are bit-for-bit
 // identical.
+//
+// Hot-path notes (DESIGN.md §11): the event queue, per-message state and
+// phase outcomes are long-lived members whose capacity survives across
+// cycles, and every event handler is a small {this, index, attempt} closure
+// stored inline in the event node — a warmed-up transport runs a full cycle
+// without heap allocation.
 
 #include <cstdint>
 #include <vector>
@@ -59,18 +65,56 @@ class SimTransport final : public net::Transport {
     int drops = 0;
     std::vector<char> delivered;
     std::vector<net::MessageEvent> events;
+
+    /// Clear for a new phase, keeping vector capacity.
+    void reset(std::size_t cameras) {
+      elapsed_ms = 0.0;
+      queue_ms = 0.0;
+      retries = 0;
+      drops = 0;
+      delivered.assign(cameras, 0);
+      events.clear();
+    }
+  };
+  struct MsgState {
+    bool delivered = false;
+    double done_ms = 0.0;     ///< serialization finished (ack time)
+    double give_up_ms = 0.0;  ///< sender abandoned the message
+    bool gave_up = false;
+  };
+  /// Per-phase parameters shared by the event handlers (which capture only
+  /// {this, message index, attempt} and read the rest from here).
+  struct PhaseParams {
+    const std::vector<Pending>* msgs = nullptr;
+    PhaseOutcome* out = nullptr;
+    bool uplink = false;
+    double mbps = 1.0;
+    double base_ms = 0.0;
+    double timeout_ms = 0.0;
+    int max_retries = 0;
+    double busy_until = 0.0;  ///< the direction's FIFO bottleneck
   };
 
   /// Simulate one direction's messages from a common t=0 until every
-  /// message is delivered or given up.
-  PhaseOutcome run_phase(const std::vector<Pending>& msgs, bool uplink);
+  /// message is delivered or given up. `out` is reused across cycles.
+  void run_phase(const std::vector<Pending>& msgs, bool uplink,
+                 PhaseOutcome& out);
+  // Event handlers (scheduled on queue_; see run_phase).
+  void attempt_send(std::size_t mi, int attempt, double t);
+  void handle_arrival(std::size_t mi, double now);
+  void handle_timeout(std::size_t mi, int attempt, double now);
 
   Config cfg_;
   std::size_t cameras_ = 0;
   FaultModel faults_;
   std::vector<Pending> pending_up_, pending_down_;
-  PhaseOutcome up_outcome_;
+  PhaseOutcome up_outcome_, down_outcome_;
   bool up_resolved_ = false;
+
+  // Reused phase machinery (capacity survives across cycles).
+  EventQueue queue_;
+  std::vector<MsgState> state_;
+  PhaseParams phase_;
 };
 
 }  // namespace mvs::netsim

@@ -28,7 +28,8 @@ void reset() {
 void Span::begin(const char* name) {
   name_ = name;
   SpanTracer& t = tracer();
-  buffer_ = &t.local();
+  buffer_ = t.local();  // nullptr only when the slot table is exhausted
+  if (buffer_ == nullptr) return;
   depth_ = buffer_->depth++;
   start_us_ = t.now_us();
 }
@@ -36,11 +37,10 @@ void Span::begin(const char* name) {
 void Span::end() {
   SpanTracer& t = tracer();
   const std::uint64_t end_us = t.now_us();
-  SpanTracer::ThreadBuffer& buf = *buffer_;
-  --buf.depth;
-  std::lock_guard<std::mutex> lock(buf.mu);
-  buf.events.push_back(SpanEvent{name_, buf.tid, depth_, start_us_,
-                                 end_us - start_us_});
+  SpanTracer::ThreadSlot& slot = *buffer_;
+  --slot.depth;
+  t.record(slot, SpanEvent{name_, slot.tid, depth_, start_us_,
+                           end_us - start_us_});
 }
 
 }  // namespace mvs::obs

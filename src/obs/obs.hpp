@@ -38,8 +38,9 @@ SpanTracer& tracer();
 // Clears all metrics and spans (leaves the enable flag untouched).
 void reset();
 
-// RAII span; records a SpanEvent on the calling thread's buffer at scope
-// exit. Inert when obs is disabled at construction time.
+// RAII span; pushes a SpanEvent onto the calling thread's SPSC ring at
+// scope exit (lock-free; the async exporter drains it off the frame path).
+// Inert when obs is disabled at construction time.
 class Span {
  public:
   explicit Span(const char* name) {
@@ -57,7 +58,7 @@ class Span {
   void end();
 
   const char* name_ = nullptr;
-  SpanTracer::ThreadBuffer* buffer_ = nullptr;
+  SpanTracer::ThreadSlot* buffer_ = nullptr;
   int depth_ = 0;
   std::uint64_t start_us_ = 0;
 };

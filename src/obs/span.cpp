@@ -3,39 +3,75 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/alloc_track.hpp"
+
 namespace mvs::obs {
 
 namespace {
 
-// Thread-local cache mapping (tracer, generation) -> buffer so local() is a
-// pair of comparisons on the hot path. The shared_ptr keeps the buffer alive
-// in the tracer even after the thread exits.
+constexpr std::size_t kRingCapacity = 8192;   // events per thread in flight
+constexpr std::size_t kDrainReserve = 4096;   // initial drained capacity
+
+// Thread-local cache mapping (tracer, generation) -> slot so local() is a
+// pair of comparisons — no lock, no shared write — on the hot path.
 struct LocalCache {
   const SpanTracer* tracer = nullptr;
   std::uint64_t generation = 0;
-  std::shared_ptr<SpanTracer::ThreadBuffer> buffer;
+  SpanTracer::ThreadSlot* slot = nullptr;
 };
 thread_local LocalCache t_cache;
 
 }  // namespace
 
-SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {
+  exporter_ = std::thread([this] { exporter_loop(); });
+}
 
-SpanTracer::ThreadBuffer& SpanTracer::local() {
-  std::uint64_t gen;
+SpanTracer::~SpanTracer() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    gen = generation_;
-    if (t_cache.tracer == this && t_cache.generation == gen)
-      return *t_cache.buffer;
-    auto buf = std::make_shared<ThreadBuffer>();
-    buf->tid = static_cast<int>(buffers_.size());
-    buffers_.push_back(buf);
-    t_cache.tracer = this;
-    t_cache.generation = gen;
-    t_cache.buffer = std::move(buf);
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    stop_ = true;
   }
-  return *t_cache.buffer;
+  drain_cv_.notify_one();
+  if (exporter_.joinable()) exporter_.join();
+}
+
+SpanTracer::ThreadSlot* SpanTracer::local() {
+  // Acquire pairs with reset()'s release bump: a thread observing the new
+  // generation also observes the cleared slot state.
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_cache.tracer == this && t_cache.generation == gen)
+    return t_cache.slot;  // fast path: no lock, no allocation
+
+  // Slow path: once per thread per generation.
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const std::uint64_t locked_gen =
+      generation_.load(std::memory_order_relaxed);  // stable under the lock
+  const int tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  t_cache.tracer = this;
+  t_cache.generation = locked_gen;
+  if (tid >= kMaxThreads) {
+    // Slot table exhausted: park the ticket so it cannot wrap, drop spans
+    // from this thread for the rest of the generation.
+    next_tid_.store(kMaxThreads, std::memory_order_relaxed);
+    t_cache.slot = nullptr;
+    return nullptr;
+  }
+  ThreadSlot& slot = slots_[tid];
+  if (!slot.ring) {
+    // First registration of this slot EVER: the ring and the drain buffer
+    // are allocated once and reused across generations, so re-enabling
+    // after reset() performs no allocation.
+    slot.ring = std::make_unique<util::SpscRing<SpanEvent>>(kRingCapacity);
+    slot.drained.reserve(kDrainReserve);
+  }
+  slot.tid = tid;
+  slot.depth = 0;
+  // Release: the exporter's acquire load of `active` must see the
+  // constructed ring before it starts consuming from it.
+  slot.active.store(true, std::memory_order_release);
+  t_cache.slot = &slot;
+  return &slot;
 }
 
 std::uint64_t SpanTracer::now_us() const {
@@ -45,16 +81,59 @@ std::uint64_t SpanTracer::now_us() const {
           .count());
 }
 
-std::vector<SpanEvent> SpanTracer::collect() const {
-  std::vector<std::shared_ptr<ThreadBuffer>> bufs;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    bufs = buffers_;
+void SpanTracer::record(ThreadSlot& slot, const SpanEvent& event) {
+  // Common case: one wait-free SPSC push, no lock, no syscall.
+  while (!slot.ring->try_push(event)) {
+    // Ring full — exporter is behind. Kick it (notify WITHOUT the mutex:
+    // legal, and the exporter's timed wait bounds a missed wakeup at one
+    // sweep period) and spin until a slot frees up; dropping would break
+    // the span-count determinism guard.
+    drain_cv_.notify_one();
+    util::cpu_relax();
   }
+}
+
+void SpanTracer::exporter_loop() {
+  // Off the frame path by construction: the exporter's amortized buffer
+  // growth is exempt from the zero-allocation guard (DESIGN.md §11).
+  util::alloc_track::t_exempt = true;
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  while (!stop_) {
+    drain_all_locked();
+    if (flush_completed_ < flush_requested_) {
+      flush_completed_ = flush_requested_;
+      flushed_cv_.notify_all();
+    }
+    // Timed wait: the steady-state drain cadence. Producers never signal on
+    // the common path; rings are sized to absorb a full period.
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  drain_all_locked();  // final sweep so no event is stranded in a ring
+}
+
+void SpanTracer::drain_all_locked() {
+  for (ThreadSlot& slot : slots_) {
+    // Acquire pairs with registration's release store of `active`.
+    if (!slot.active.load(std::memory_order_acquire)) continue;
+    SpanEvent event;
+    while (slot.ring->try_pop(event)) slot.drained.push_back(event);
+  }
+}
+
+void SpanTracer::flush() const {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  const std::uint64_t ticket = ++flush_requested_;
+  drain_cv_.notify_one();
+  flushed_cv_.wait(lock, [&] { return flush_completed_ >= ticket; });
+}
+
+std::vector<SpanEvent> SpanTracer::collect() const {
+  flush();  // pull every ring's contents into the drained vectors
   std::vector<SpanEvent> out;
-  for (const auto& b : bufs) {
-    std::lock_guard<std::mutex> lock(b->mu);
-    out.insert(out.end(), b->events.begin(), b->events.end());
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    for (const ThreadSlot& slot : slots_)
+      out.insert(out.end(), slot.drained.begin(), slot.drained.end());
   }
   std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
     if (a.tid != b.tid) return a.tid < b.tid;
@@ -94,9 +173,23 @@ std::map<std::string, long long> SpanTracer::span_counts() const {
 std::size_t SpanTracer::total_events() const { return collect().size(); }
 
 void SpanTracer::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++generation_;
-  buffers_.clear();
+  std::lock_guard<std::mutex> reg_lock(registry_mu_);
+  // By contract no Span is alive across reset(), so producers are quiescent:
+  // one flush moves every straggler out of the rings, then the drained
+  // buffers are cleared IN PLACE (capacity kept — re-enable reallocates
+  // nothing) and the slot table is detached for lazy re-registration.
+  flush();
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    for (ThreadSlot& slot : slots_) {
+      slot.active.store(false, std::memory_order_relaxed);
+      slot.drained.clear();
+    }
+  }
+  next_tid_.store(0, std::memory_order_relaxed);
+  // Release pairs with local()'s acquire load: threads seeing the new
+  // generation re-register against the cleared table.
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace mvs::obs

@@ -1,12 +1,18 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "util/spsc_ring.hpp"
 
 namespace mvs::obs {
 
@@ -19,9 +25,18 @@ struct SpanEvent {
   std::uint64_t dur_us;   // wall-clock duration, microseconds
 };
 
-// Collects SpanEvents into per-thread buffers (contention-free appends: each
-// thread owns its buffer, guarded by a per-buffer mutex that is uncontended
-// except during collect()). Export formats:
+// Collects SpanEvents through per-thread SPSC rings drained by one async
+// exporter thread, so recording a span on the pipeline path never takes a
+// lock (async-logger pattern; DESIGN.md §11):
+//  - each thread owns a fixed slot (preallocated table indexed by the
+//    tracer-assigned tid) and is the single producer of that slot's ring;
+//  - the exporter thread is the single consumer of every ring and parks
+//    events in per-slot `drained` vectors off the frame path;
+//  - collect()/reset() rendezvous with the exporter (flush ticket), which
+//    is a cold path and may lock.
+// Slots and their rings are allocated once on first registration and reused
+// across reset() generations — re-enabling after reset() reallocates
+// nothing. Export formats:
 //  - chrome_trace_json(): Chrome trace-event JSON ("ph":"X" complete events)
 //    loadable in chrome://tracing and Perfetto;
 //  - span_counts(): per-name event counts, used by the determinism guard
@@ -29,19 +44,33 @@ struct SpanEvent {
 class SpanTracer {
  public:
   SpanTracer();
+  ~SpanTracer();
 
-  // Per-thread buffer handle; stable for the life of the tracer generation.
-  struct ThreadBuffer {
-    std::mutex mu;
+  /// Fixed slot-table width. Threads registering beyond this (per
+  /// generation) get a null slot and their spans are dropped; every
+  /// workload in this repo uses far fewer concurrent instrumented threads.
+  static constexpr int kMaxThreads = 64;
+
+  // Per-thread slot; stable for the life of the tracer generation.
+  struct ThreadSlot {
+    std::unique_ptr<util::SpscRing<SpanEvent>> ring;  ///< allocated once ever
     int tid = 0;
-    int depth = 0;  // only touched by the owning thread
-    std::vector<SpanEvent> events;
+    int depth = 0;  ///< only touched by the owning thread
+    std::atomic<bool> active{false};  ///< registered this generation
+    std::vector<SpanEvent> drained;   ///< exporter-owned; drain_mu_
   };
 
-  // Buffer for the calling thread, registering it on first use.
-  ThreadBuffer& local();
+  // Slot for the calling thread, registering it on first use (lock-free
+  // cache-hit fast path; the mutex is only taken once per thread per
+  // generation). Returns nullptr when the slot table is exhausted.
+  ThreadSlot* local();
 
   std::uint64_t now_us() const;
+
+  // Wait-free append of one finished span to the slot's ring. If the ring
+  // is full (exporter far behind) the producer kicks the exporter and spins
+  // — events are never dropped, span_counts() is a determinism guard.
+  void record(ThreadSlot& slot, const SpanEvent& event);
 
   // Snapshot of all recorded events, sorted by (tid, ts, depth).
   std::vector<SpanEvent> collect() const;
@@ -53,15 +82,31 @@ class SpanTracer {
 
   std::size_t total_events() const;
 
-  // Drops all events and detaches existing per-thread buffers (threads
-  // re-register lazily). Span objects must not be alive across reset().
+  // Drops all events and detaches existing per-thread slots (threads
+  // re-register lazily; slot rings and vector capacity are reused). Span
+  // objects must not be alive across reset().
   void reset();
 
  private:
+  void exporter_loop();
+  void drain_all_locked();  ///< exporter thread only, drain_mu_ held
+  void flush() const;       ///< ticket + wait for one full exporter sweep
+
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::uint64_t generation_ = 1;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::array<ThreadSlot, kMaxThreads> slots_;  ///< fixed: no registration churn
+  std::atomic<int> next_tid_{0};
+  std::atomic<std::uint64_t> generation_{1};
+  std::mutex registry_mu_;  ///< registration + reset only; never on span path
+
+  // Exporter rendezvous state (cold path; producers only ever touch it via
+  // a lock-free condvar notify when a ring fills up).
+  mutable std::mutex drain_mu_;
+  mutable std::condition_variable drain_cv_;    ///< exporter wakeups
+  mutable std::condition_variable flushed_cv_;  ///< flush ticket acks
+  mutable std::uint64_t flush_requested_ = 0;   ///< guarded by drain_mu_
+  mutable std::uint64_t flush_completed_ = 0;   ///< guarded by drain_mu_
+  bool stop_ = false;                           ///< guarded by drain_mu_
+  std::thread exporter_;
 };
 
 }  // namespace mvs::obs

@@ -46,14 +46,15 @@ struct Ghost {
 };
 
 /// Greedy IoU non-maximum suppression; overlapping partial-frame ROIs can
-/// yield duplicate detections of one object.
-std::vector<detect::Detection> nms(std::vector<detect::Detection> dets,
-                                   double iou_threshold) {
+/// yield duplicate detections of one object. Sorts `dets` in place and
+/// fills `kept` (cleared first) so warm calls reuse both buffers.
+void nms_into(std::vector<detect::Detection>& dets, double iou_threshold,
+              std::vector<detect::Detection>& kept) {
   std::sort(dets.begin(), dets.end(),
             [](const detect::Detection& a, const detect::Detection& b) {
               return a.score > b.score;
             });
-  std::vector<detect::Detection> kept;
+  kept.clear();
   for (const detect::Detection& d : dets) {
     bool suppressed = false;
     for (const detect::Detection& k : kept) {
@@ -64,7 +65,6 @@ std::vector<detect::Detection> nms(std::vector<detect::Detection> dets,
     }
     if (!suppressed) kept.push_back(d);
   }
-  return kept;
 }
 
 struct CameraNode {
@@ -104,6 +104,30 @@ struct CameraNode {
   };
   std::vector<LostTrack> lost;
 
+  /// Per-camera regular-frame working memory (DESIGN.md §11): every
+  /// container regular_camera_step fills lives here, so a warm regular
+  /// frame reuses capacity instead of allocating. Owned by the camera (not
+  /// thread_local) because cameras run on arbitrary pool workers and the
+  /// buffers' sizes track THIS camera's load.
+  struct StepScratch {
+    std::vector<long> dropped;                          ///< cull_departed
+    std::vector<long> inspected_ids;                    ///< policy mode
+    std::vector<std::pair<long, geom::BBox>> inspect;   ///< policy mode
+    std::vector<std::pair<long, geom::BBox>> predicted; ///< fixed mode
+    std::vector<vision::SliceRegion> slices;
+    std::vector<geom::BBox> explained;
+    std::vector<geom::BBox> fresh;
+    vision::RegionScratch regions;
+    std::vector<int> batch_counts;
+    gpu::BatchPlan plan;
+    std::vector<detect::Detection> dets;
+    std::vector<detect::Detection> nms_kept;
+    track::FlowTracker::UpdateResult update;
+    std::vector<Ghost> ghosts_kept;  ///< takeover_pass survivor buffer
+    std::vector<int> visible;        ///< takeover_pass successor electorate
+  };
+  StepScratch step;
+
   /// Render this frame's ground truth into scratch.cur_frame().
   void render_current(const std::vector<detect::GroundTruthObject>& gt,
                       long frame) {
@@ -120,9 +144,9 @@ struct CameraNode {
   }
 
   /// Drop tracks that have left the frame (the clamped box lost most of its
-  /// area); returns the ids dropped.
-  std::vector<long> cull_departed() {
-    std::vector<long> dropped;
+  /// area); fills `dropped` (cleared first) with the ids dropped.
+  void cull_departed_into(std::vector<long>& dropped) {
+    dropped.clear();
     auto& ts = tracker.tracks();
     for (auto it = ts.begin(); it != ts.end();) {
       const geom::BBox clipped = it->box.clamped(frame_w, frame_h);
@@ -134,7 +158,6 @@ struct CameraNode {
         ++it;
       }
     }
-    return dropped;
   }
 };
 
@@ -277,8 +300,9 @@ struct Pipeline::Impl {
 
   // ---- frame steps -------------------------------------------------------
 
-  /// Advance one evaluation frame (body of Pipeline::run_frame).
-  FrameStats run_frame();
+  /// Advance one evaluation frame (body of Pipeline::run_frame). Returns a
+  /// reference to stats_, overwritten by the next call.
+  const FrameStats& run_frame();
 
   /// tight_masks degraded mode: a camera may only adopt a NEW object when
   /// the cell under it has solo coverage (no other camera could pick it up).
@@ -545,18 +569,31 @@ struct Pipeline::Impl {
     // Feature-trace row for this camera (recording only; empty otherwise).
     std::vector<double> trace_features;
     int trace_label = 0;
+
+    /// Reset for reuse across frames without touching trace_features'
+    /// capacity.
+    void reset() {
+      infer_ms = tracking_ms = distributed_ms = batching_ms = 0.0;
+      policy_decided = false;
+      policy_detect = true;
+      drift_at_decide = 0.0;
+      trace_features.clear();
+      trace_label = 0;
+    }
   };
 
   void regular_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
                           std::vector<std::vector<geom::BBox>>& reported) {
-    std::vector<CamFrameResult> results(cameras.size());
+    std::vector<CamFrameResult>& results = results_;
+    results.resize(cameras.size());
+    for (CamFrameResult& r : results) r.reset();
     // Cameras are independent (own tracker/RNG/frames); run them in
     // parallel, mirroring the real deployment where each smart camera is a
     // separate device.
     pool.parallel_for_each(cameras.size(), [&](std::size_t cam_index) {
       if (!active[cam_index]) return;  // dropped-out device: nothing runs
-      results[cam_index] =
-          regular_camera_step(cameras[cam_index], mf, reported[cam_index]);
+      regular_camera_step(cameras[cam_index], mf, reported[cam_index],
+                          results[cam_index]);
     });
     int decided = 0, detects = 0;
     for (const CamFrameResult& r : results) {
@@ -595,13 +632,12 @@ struct Pipeline::Impl {
     }
   }
 
-  CamFrameResult regular_camera_step(CameraNode& cam,
-                                     const sim::MultiFrame& mf,
-                                     std::vector<geom::BBox>& cam_reported) {
+  void regular_camera_step(CameraNode& cam, const sim::MultiFrame& mf,
+                           std::vector<geom::BBox>& cam_reported,
+                           CamFrameResult& result) {
     const bool adopts_new = cfg.policy == Policy::kBalb ||
                             cfg.policy == Policy::kBalbInd ||
                             cfg.policy == Policy::kStaticPartition;
-    CamFrameResult result;
     {
       MVS_SPAN("pipeline.camera");
       const auto i = static_cast<std::size_t>(cam.index);
@@ -635,7 +671,8 @@ struct Pipeline::Impl {
           }
         }
       }
-      for (long dropped : cam.cull_departed()) {
+      cam.cull_departed_into(cam.step.dropped);
+      for (long dropped : cam.step.dropped) {
         if (features_on) cam.pstate.note_departure();
         if (trace)
           trace->record({mf.frame_index, cam.index,
@@ -705,10 +742,13 @@ struct Pipeline::Impl {
         // the exact predicted boxes of every track (bit-identity).
         constexpr double kCoastSlackPx = 1.5;
         constexpr double kCoastSlackCapPx = 6.0;
-        std::vector<long> inspected_ids;
-        std::vector<vision::SliceRegion> slices;
+        std::vector<long>& inspected_ids = cam.step.inspected_ids;
+        inspected_ids.clear();
+        std::vector<vision::SliceRegion>& slices = cam.step.slices;
         if (frame_policy) {
-          std::vector<std::pair<long, geom::BBox>> inspect;
+          std::vector<std::pair<long, geom::BBox>>& inspect =
+              cam.step.inspect;
+          inspect.clear();
           for (const track::Track& t : cam.tracker.tracks()) {
             if (t.frames_since_correct < 2 && t.missed == 0 &&
                 t.has_velocity)
@@ -722,21 +762,24 @@ struct Pipeline::Impl {
           // all died is not blind until the next key frame.
           for (const CameraNode::LostTrack& l : cam.lost)
             inspect.emplace_back(-1L, l.box.expanded(2.0 * kCoastSlackPx));
-          slices =
-              vision::slice_regions(inspect, sizes, cam.frame_w, cam.frame_h);
+          vision::slice_regions_into(inspect, sizes, cam.frame_w,
+                                     cam.frame_h, /*margin=*/8.0, slices);
         } else {
-          slices = vision::slice_regions(cam.tracker.predicted_boxes(), sizes,
-                                         cam.frame_w, cam.frame_h);
+          cam.tracker.predicted_boxes_into(cam.step.predicted);
+          vision::slice_regions_into(cam.step.predicted, sizes, cam.frame_w,
+                                     cam.frame_h, /*margin=*/8.0, slices);
         }
 
         if (adopts_new) {
           // Moving pixels not explained by tracks or ghosts = new regions.
-          std::vector<geom::BBox> explained;
+          std::vector<geom::BBox>& explained = cam.step.explained;
+          explained.clear();
           for (const track::Track& t : cam.tracker.tracks())
             explained.push_back(t.box);
           for (const Ghost& g : cam.ghosts) explained.push_back(g.box);
-          std::vector<geom::BBox> fresh = vision::extract_new_regions(
-              flow, explained, cam.render_scale);
+          std::vector<geom::BBox>& fresh = cam.step.fresh;
+          vision::extract_new_regions_into(flow, explained, cam.render_scale,
+                                           {}, cam.step.regions, fresh);
           // Fig. 8 policy applied at inspection time: a camera only searches
           // for new objects inside cells it owns — inspecting a region whose
           // tracking it would never adopt is wasted GPU time.
@@ -784,29 +827,36 @@ struct Pipeline::Impl {
         // --- GPU batching: plan + assemble input tensors ---
         if (obs::enabled()) stage_span.emplace("gpu.batch");
         util::Stopwatch batch_sw;
-        std::vector<geom::SizeClassId> tasks;
+        // Built directly in the fleet-facing demand slot: run_frame cleared
+        // it, and writing in place keeps its capacity frame over frame.
+        std::vector<geom::SizeClassId>& tasks = gpu_work[i].tasks;
         tasks.reserve(slices.size());
         for (const vision::SliceRegion& s : slices)
           tasks.push_back(s.size_class);
-        const gpu::BatchPlan plan = gpu::plan_batches(tasks, cam.device);
+        gpu::plan_batches_into(tasks, cam.device, cam.step.batch_counts,
+                               cam.step.plan);
+        const gpu::BatchPlan& plan = cam.step.plan;
         assemble_batches(cam, cam.scratch.cur_frame(), slices);
         MVS_COUNT("gpu.tasks", tasks.size());
         MVS_COUNT("gpu.batches", plan.batches.size());
         MVS_HIST("gpu.plan_latency_ms", plan.actual_latency_ms);
-        gpu_work[i].tasks = std::move(tasks);
         result.batching_ms = batch_sw.elapsed_ms();
         stage_span.reset();
 
         result.infer_ms = plan.actual_latency_ms;
 
         // --- partial-frame inspection ---
-        std::vector<detect::Detection> dets;
+        std::vector<detect::Detection>& dets = cam.step.dets;
+        dets.clear();
         for (const vision::SliceRegion& s : slices) {
-          const auto roi_dets = detector.detect_roi(
-              gt, s.roi, sizes.size_of(s.size_class), cam.rng);
-          dets.insert(dets.end(), roi_dets.begin(), roi_dets.end());
+          detector.detect_roi_append(gt, s.roi, sizes.size_of(s.size_class),
+                                     cam.rng, dets);
         }
-        dets = nms(std::move(dets), 0.6);
+        nms_into(dets, 0.6, cam.step.nms_kept);
+        // Post-NMS survivors become `dets` (the raw buffer becomes next
+        // frame's NMS scratch) — same contents and order as the old
+        // by-value `dets = nms(std::move(dets), 0.6)`.
+        dets.swap(cam.step.nms_kept);
 
         // Trace-label baseline: what the tracker believed before the
         // detections corrected it (recording only).
@@ -818,8 +868,9 @@ struct Pipeline::Impl {
         std::vector<track::Track> pre_update;
         if (frame_policy) pre_update = cam.tracker.tracks();
 
-        const track::FlowTracker::UpdateResult update = cam.tracker.update(
-            dets, frame_policy ? &inspected_ids : nullptr);
+        cam.tracker.update_into(dets, frame_policy ? &inspected_ids : nullptr,
+                                cam.step.update);
+        const track::FlowTracker::UpdateResult& update = cam.step.update;
         if (frame_policy) {
           // Searching past the next key frame is pointless — it re-plans.
           constexpr int kLostSearchTtl = 10;
@@ -956,7 +1007,6 @@ struct Pipeline::Impl {
       for (const track::Track& t : cam.tracker.tracks())
         cam_reported.push_back(t.box);
     }
-    return result;
   }
 
   /// Distributed-stage case 2: ghosts whose assigned camera lost sight of
@@ -966,7 +1016,8 @@ struct Pipeline::Impl {
   int takeover_pass(CameraNode& cam, long frame_index) {
     int takeovers = 0;
     const auto i = static_cast<std::size_t>(cam.index);
-    std::vector<Ghost> kept;
+    std::vector<Ghost>& kept = cam.step.ghosts_kept;
+    kept.clear();
     for (Ghost& g : cam.ghosts) {
       const geom::BBox clipped = g.box.clamped(cam.frame_w, cam.frame_h);
       if (g.box.area() <= 0.0 || clipped.area() < 0.3 * g.box.area())
@@ -986,7 +1037,9 @@ struct Pipeline::Impl {
       }
       // The assigned camera (apparently) lost it; elect a successor among
       // the cameras still online.
-      std::vector<int> visible{cam.index};
+      std::vector<int>& visible = cam.step.visible;
+      visible.clear();
+      visible.push_back(cam.index);
       for (std::size_t i2 = 0; i2 < cameras.size(); ++i2) {
         if (i2 == i || !active[i2]) continue;
         if (associator->predict_present(i, i2, g.box))
@@ -1007,7 +1060,9 @@ struct Pipeline::Impl {
         kept.push_back(g);
       }
     }
-    cam.ghosts = std::move(kept);
+    // Swap, don't move: the retired ghost buffer becomes next frame's
+    // survivor scratch.
+    cam.ghosts.swap(kept);
     return takeovers;
   }
 
@@ -1076,17 +1131,28 @@ struct Pipeline::Impl {
   /// Evaluation frames run so far; key-frame cadence and transport/dropout
   /// schedules are indexed by this counter.
   long frames_run = 0;
-  /// Every frame's stats since construction (result() / run() snapshots).
+  /// Every frame's stats since construction (result() / run() snapshots);
+  /// not grown when cfg.keep_history is off.
   std::vector<FrameStats> all_frames;
   core::CameraMasks sp_masks;
   bool sp_masks_ready = false;
   metrics::ObjectRecall recall;
+
+  // Frame-scope working memory, reused tick over tick (DESIGN.md §11): the
+  // current multi-frame, the stats record run_frame_ref hands out, the
+  // per-camera reported boxes fed to the recall metric, and the per-camera
+  // regular-frame results reduced into stats.
+  sim::MultiFrame mf_;
+  FrameStats stats_;
+  std::vector<std::vector<geom::BBox>> reported_;
+  std::vector<CamFrameResult> results_;
 };
 
-FrameStats Pipeline::Impl::run_frame() {
+const FrameStats& Pipeline::Impl::run_frame() {
   MVS_SPAN("pipeline.frame");
   const long f = frames_run++;
-  const sim::MultiFrame mf = player.next();
+  player.next_into(mf_);
+  const sim::MultiFrame& mf = mf_;
   if (cfg.paired_rng) {
     // Common random numbers (see PipelineConfig::paired_rng): every
     // camera's detector stream restarts from a (seed, camera, frame) hash,
@@ -1101,7 +1167,15 @@ FrameStats Pipeline::Impl::run_frame() {
       cam.rng = util::Rng(h);
     }
   }
-  FrameStats stats;
+  // Reset the reusable stats record: salvage the per-camera vector's
+  // capacity, default-construct everything else.
+  {
+    std::vector<double> infer = std::move(stats_.camera_infer_ms);
+    infer.clear();
+    stats_ = FrameStats{};
+    stats_.camera_infer_ms = std::move(infer);
+  }
+  FrameStats& stats = stats_;
   stats.frame = mf.frame_index;
   stats.key_frame = (f % cfg.horizon_frames == 0);
 
@@ -1118,7 +1192,9 @@ FrameStats Pipeline::Impl::run_frame() {
                  stats.key_frame || cfg.policy == Policy::kFull);
   for (char a : active) stats.cameras_online += (a != 0);
 
-  std::vector<std::vector<geom::BBox>> reported(cameras.size());
+  std::vector<std::vector<geom::BBox>>& reported = reported_;
+  reported.resize(cameras.size());
+  for (std::vector<geom::BBox>& r : reported) r.clear();
   if (cfg.policy == Policy::kFull) {
     full_frame_step(mf, stats, reported);
   } else if (stats.key_frame) {
@@ -1172,7 +1248,7 @@ FrameStats Pipeline::Impl::run_frame() {
     m.histogram("pipeline.cameras_online").record(stats.cameras_online);
   }
 
-  all_frames.push_back(stats);
+  if (cfg.keep_history) all_frames.push_back(stats);
   if (cfg.verbose && f % 50 == 0)
     util::log_info("frame ", f, " recall=", stats.frame_recall,
                    " slowest=", stats.slowest_infer_ms, "ms");
@@ -1194,6 +1270,8 @@ void Pipeline::set_tight_masks(bool tight) {
 }
 
 FrameStats Pipeline::run_frame() { return impl_->run_frame(); }
+
+const FrameStats& Pipeline::run_frame_ref() { return impl_->run_frame(); }
 
 const std::vector<CameraGpuWork>& Pipeline::last_gpu_work() const {
   return impl_->gpu_work;

@@ -69,6 +69,13 @@ struct PipelineConfig {
   /// resynchronize the sample paths every horizon). Off by default — the
   /// default sequential streams are part of the bit-identity contract.
   bool paired_rng = false;
+  /// Retain every frame's FrameStats for result()/run() snapshots. Long-
+  /// running embeddings (fleet serving, the allocation guard) that only
+  /// consume run_frame_ref() can turn this off so steady-state ticks do not
+  /// grow — or allocate — the history vector. With history off, result()
+  /// and run() return empty frame lists (the aggregate recall remains
+  /// valid).
+  bool keep_history = true;
 };
 
 /// Per-frame record.
@@ -155,6 +162,13 @@ class Pipeline {
   /// its statistics. Interleavable with other sessions by an embedding
   /// runtime; run_frame x N is bit-identical to run(N).
   FrameStats run_frame();
+
+  /// Allocation-free variant of run_frame(): advances one frame and returns
+  /// a reference to an internal FrameStats that is overwritten by the next
+  /// run_frame()/run_frame_ref()/run() call. The hot path for embeddings
+  /// (fleet serving) that poll stats every tick and must not copy the
+  /// per-camera vector.
+  const FrameStats& run_frame_ref();
 
   /// Snapshot of everything run so far (all frames since construction, with
   /// the aggregate recall over them).

@@ -24,6 +24,7 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kSessionReadmit: return "session_readmit";
     case TraceEventType::kDeviceScale: return "device_scale";
     case TraceEventType::kBatchSplit: return "batch_split";
+    case TraceEventType::kSessionRedegrade: return "session_redegrade";
     case TraceEventType::kTraceEventTypeCount_: break;
   }
   return "?";

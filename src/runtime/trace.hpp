@@ -38,6 +38,7 @@ enum class TraceEventType {
   kSessionReadmit, ///< re-admission restored a degrade rung (rate or masks)
   kDeviceScale,    ///< device pool grown/shrunk; value = new device count
   kBatchSplit,     ///< arbiter split an over-full batch; value = deferred tasks
+  kSessionRedegrade,  ///< sustained pressure re-applied a degrade rung
   kTraceEventTypeCount_,  ///< sentinel: number of event types (not an event)
 };
 

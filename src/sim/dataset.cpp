@@ -12,23 +12,29 @@ ScenarioPlayer::ScenarioPlayer(Scenario scenario, double warmup_s)
 }
 
 MultiFrame ScenarioPlayer::next() {
+  MultiFrame frame;
+  next_into(frame);
+  return frame;
+}
+
+void ScenarioPlayer::next_into(MultiFrame& frame) {
   const double dt = 1.0 / scenario_.fps;
   scenario_.world->step(dt);
 
-  MultiFrame frame;
   frame.frame_index = frame_index_++;
   frame.time_s = scenario_.world->time();
+  // Copy-assignments below reuse the destination vectors' capacity, so a
+  // frame object recycled across calls stops allocating once warm.
   frame.world_objects = scenario_.world->objects();
   frame.per_camera.resize(scenario_.cameras.size());
   for (std::size_t c = 0; c < scenario_.cameras.size(); ++c) {
+    frame.per_camera[c].clear();
     for (const WorldObject& obj : frame.world_objects) {
       if (auto gt = scenario_.cameras[c].model.observe(obj))
         frame.per_camera[c].push_back(*gt);
     }
-    frame.per_camera[c] =
-        apply_occlusion(std::move(frame.per_camera[c]), scenario_.occlusion);
+    apply_occlusion_inplace(frame.per_camera[c], scenario_.occlusion);
   }
-  return frame;
 }
 
 std::vector<MultiFrame> ScenarioPlayer::take(int n) {

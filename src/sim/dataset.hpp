@@ -31,6 +31,11 @@ class ScenarioPlayer {
   /// Advance one frame interval and capture all cameras.
   MultiFrame next();
 
+  /// next() into a caller-owned frame whose vectors are reused across calls
+  /// (cleared, capacity kept). Bit-identical to next(); a warmed-up player
+  /// produces frames without heap allocation (DESIGN.md §11).
+  void next_into(MultiFrame& frame);
+
   /// Capture `n` consecutive frames.
   std::vector<MultiFrame> take(int n);
 

@@ -29,22 +29,22 @@ std::vector<OcclusionEvent> occlusion_events(
   return events;
 }
 
+void apply_occlusion_inplace(std::vector<detect::GroundTruthObject>& objects,
+                             const OcclusionConfig& cfg) {
+  if (!cfg.enabled) return;
+  const std::vector<OcclusionEvent> events = occlusion_events(objects, cfg);
+  std::erase_if(objects, [&](const detect::GroundTruthObject& obj) {
+    return std::any_of(
+        events.begin(), events.end(),
+        [&](const OcclusionEvent& e) { return e.occluded_id == obj.id; });
+  });
+}
+
 std::vector<detect::GroundTruthObject> apply_occlusion(
     std::vector<detect::GroundTruthObject> objects,
     const OcclusionConfig& cfg) {
-  if (!cfg.enabled) return objects;
-  const std::vector<OcclusionEvent> events = occlusion_events(objects, cfg);
-  std::vector<detect::GroundTruthObject> visible;
-  visible.reserve(objects.size());
-  for (const detect::GroundTruthObject& obj : objects) {
-    const bool occluded =
-        std::any_of(events.begin(), events.end(),
-                    [&](const OcclusionEvent& e) {
-                      return e.occluded_id == obj.id;
-                    });
-    if (!occluded) visible.push_back(obj);
-  }
-  return visible;
+  apply_occlusion_inplace(objects, cfg);
+  return objects;
 }
 
 }  // namespace mvs::sim

@@ -26,6 +26,12 @@ std::vector<detect::GroundTruthObject> apply_occlusion(
     std::vector<detect::GroundTruthObject> objects,
     const OcclusionConfig& cfg = {});
 
+/// apply_occlusion in place (same filter, no return copy). A disabled
+/// config is a strict no-op, which keeps the default pipeline path
+/// allocation-free (DESIGN.md §11).
+void apply_occlusion_inplace(std::vector<detect::GroundTruthObject>& objects,
+                             const OcclusionConfig& cfg = {});
+
 /// Occlusion report for diagnostics / metrics: ids dropped per camera.
 struct OcclusionEvent {
   std::uint64_t occluded_id = 0;

@@ -134,7 +134,8 @@ double World::free_distance_ahead(const WorldObject& obj) const {
 
 void World::move_objects(double dt) {
   // Sort by route position so leaders are processed consistently.
-  std::vector<WorldObject> next;
+  std::vector<WorldObject>& next = survivors_scratch_;
+  next.clear();
   next.reserve(objects_.size());
 
   for (WorldObject& obj : objects_) {
@@ -161,7 +162,8 @@ void World::move_objects(double dt) {
     obj.heading = route.heading_at(obj.s);
     next.push_back(obj);
   }
-  objects_ = std::move(next);
+  // Swap, don't move: the retired buffer becomes next step's scratch.
+  objects_.swap(next);
 }
 
 }  // namespace mvs::sim

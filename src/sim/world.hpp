@@ -123,6 +123,9 @@ class World {
   LightSchedule lights_;
   util::Rng rng_;
   std::vector<WorldObject> objects_;
+  /// move_objects survivor buffer, swapped with objects_ each step so a
+  /// warm step allocates nothing (DESIGN.md §11).
+  std::vector<WorldObject> survivors_scratch_;
   double time_ = 0.0;
   std::uint64_t next_id_ = 1;
 };

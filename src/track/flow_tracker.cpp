@@ -47,18 +47,32 @@ FlowTracker::UpdateResult FlowTracker::update(
     const std::vector<detect::Detection>& dets,
     const std::vector<long>* miss_scope) {
   UpdateResult result;
+  update_into(dets, miss_scope, result);
+  return result;
+}
 
-  std::vector<geom::BBox> track_boxes;
+void FlowTracker::update_into(const std::vector<detect::Detection>& dets,
+                              const std::vector<long>* miss_scope,
+                              UpdateResult& result) {
+  result.matched_track_ids.clear();
+  result.unmatched_detections.clear();
+  result.removed_track_ids.clear();
+
+  std::vector<geom::BBox>& track_boxes = track_boxes_scratch_;
+  track_boxes.clear();
   track_boxes.reserve(tracks_.size());
   for (const Track& t : tracks_) track_boxes.push_back(t.box);
-  std::vector<geom::BBox> det_boxes;
+  std::vector<geom::BBox>& det_boxes = det_boxes_scratch_;
+  det_boxes.clear();
   det_boxes.reserve(dets.size());
   for (const detect::Detection& d : dets) det_boxes.push_back(d.box);
 
-  const matching::BoxMatchResult match =
-      matching::match_boxes(track_boxes, det_boxes, cfg_.match_min_iou);
+  matching::match_boxes_into(track_boxes, det_boxes, cfg_.match_min_iou,
+                             match_work_, match_scratch_);
+  const matching::BoxMatchResult& match = match_scratch_;
 
-  std::vector<char> track_matched(tracks_.size(), 0);
+  matched_scratch_.assign(tracks_.size(), 0);
+  std::vector<char>& track_matched = matched_scratch_;
   for (const matching::BoxMatch& m : match.matches) {
     Track& t = tracks_[static_cast<std::size_t>(m.a)];
     const detect::Detection& d = dets[static_cast<std::size_t>(m.b)];
@@ -89,7 +103,8 @@ FlowTracker::UpdateResult FlowTracker::update(
   for (int b : match.unmatched_b)
     result.unmatched_detections.push_back(static_cast<std::size_t>(b));
 
-  std::vector<Track> survivors;
+  std::vector<Track>& survivors = survivors_scratch_;
+  survivors.clear();
   survivors.reserve(tracks_.size());
   for (std::size_t i = 0; i < tracks_.size(); ++i) {
     Track& t = tracks_[i];
@@ -103,8 +118,9 @@ FlowTracker::UpdateResult FlowTracker::update(
       survivors.push_back(t);
     }
   }
-  tracks_ = std::move(survivors);
-  return result;
+  // Swap, not move: tracks_ keeps the survivor set, the old buffer becomes
+  // next frame's survivors scratch.
+  tracks_.swap(survivors);
 }
 
 long FlowTracker::add_track(const detect::Detection& det) {
@@ -127,9 +143,15 @@ void FlowTracker::remove_track(long id) {
 
 std::vector<std::pair<long, geom::BBox>> FlowTracker::predicted_boxes() const {
   std::vector<std::pair<long, geom::BBox>> out;
+  predicted_boxes_into(out);
+  return out;
+}
+
+void FlowTracker::predicted_boxes_into(
+    std::vector<std::pair<long, geom::BBox>>& out) const {
+  out.clear();
   out.reserve(tracks_.size());
   for (const Track& t : tracks_) out.emplace_back(t.id, t.box);
-  return out;
 }
 
 std::vector<std::pair<long, geom::BBox>> FlowTracker::search_boxes(

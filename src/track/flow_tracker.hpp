@@ -93,6 +93,13 @@ class FlowTracker {
   UpdateResult update(const std::vector<detect::Detection>& dets,
                       const std::vector<long>* miss_scope = nullptr);
 
+  /// update() with a caller-owned result object. Bit-identical outcome; the
+  /// result's vectors and the tracker's internal matching scratch keep their
+  /// capacity, so a warmed-up per-frame update allocates nothing
+  /// (DESIGN.md §11).
+  void update_into(const std::vector<detect::Detection>& dets,
+                   const std::vector<long>* miss_scope, UpdateResult& out);
+
   /// Start tracking a detection; returns the new track id.
   long add_track(const detect::Detection& det);
 
@@ -100,6 +107,10 @@ class FlowTracker {
 
   /// (track id, predicted box) pairs for ROI slicing.
   std::vector<std::pair<long, geom::BBox>> predicted_boxes() const;
+
+  /// predicted_boxes() into a caller-owned vector (cleared first).
+  void predicted_boxes_into(
+      std::vector<std::pair<long, geom::BBox>>& out) const;
 
   /// predicted_boxes() with each box grown by `slack_px` per frame since its
   /// last detection correction: the coast-uncertainty search region. A box
@@ -116,6 +127,12 @@ class FlowTracker {
   geom::SizeClassSet sizes_{};
   std::vector<Track> tracks_;
   long next_id_ = 0;
+  // update_into working memory, reused across frames (DESIGN.md §11).
+  std::vector<geom::BBox> track_boxes_scratch_, det_boxes_scratch_;
+  std::vector<char> matched_scratch_;
+  std::vector<Track> survivors_scratch_;
+  matching::BoxMatchResult match_scratch_;
+  matching::BoxMatchScratch match_work_;
 };
 
 }  // namespace mvs::track

@@ -1,0 +1,20 @@
+#pragma once
+/// \file alloc_track.hpp
+/// Cooperation point between the allocation-guard test and library threads
+/// that are deliberately outside the zero-allocation invariant.
+///
+/// The guard test (tests/test_alloc_guard.cpp) replaces global operator new
+/// with a counting hook and asserts that steady-state ticks allocate
+/// nothing.  Threads that are off the frame path by construction — today
+/// only the obs span exporter, which drains per-thread rings asynchronously
+/// and grows its collection buffers amortized — set `t_exempt` once at
+/// startup so their allocations do not count against the hot path.
+/// DESIGN.md §11 documents the invariant and this escape hatch.
+
+namespace mvs::util::alloc_track {
+
+/// Set to true by threads whose allocations are exempt from the
+/// zero-allocation guard (never on the frame path).
+inline thread_local bool t_exempt = false;
+
+}  // namespace mvs::util::alloc_track

@@ -1,0 +1,99 @@
+#pragma once
+/// \file inplace_function.hpp
+/// Fixed-capacity, non-allocating std::function replacement.
+///
+/// `InplaceFunction<R(Args...), Capacity>` stores the callable inline in a
+/// `Capacity`-byte buffer — never on the heap.  Oversized callables are a
+/// compile error (static_assert), so a hot path converted to
+/// InplaceFunction cannot silently regress into allocating.  Move-only by
+/// design: hot-path handlers are scheduled once and fired once, and
+/// move-only keeps captured state cheap and unambiguous.
+///
+/// Used by netsim::EventQueue so scheduling a simulated-network event does
+/// not touch the heap.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mvs::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= Capacity,
+                  "callable too large for InplaceFunction buffer; "
+                  "raise Capacity or shrink the capture");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned callables not supported");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "callable must be nothrow-move-constructible");
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+    invoke_ = [](void* b, Args&&... args) -> R {
+      return (*static_cast<D*>(b))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* src, void* dst) noexcept {
+      if (dst != nullptr)  // move src -> dst
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    };
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { destroy(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  using Invoke = R (*)(void*, Args&&...);
+  /// Moves src into dst (when dst != nullptr), then destroys src.
+  using Manage = void (*)(void* src, void* dst) noexcept;
+
+  void destroy() noexcept {
+    if (manage_ != nullptr) manage_(buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(InplaceFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (other.manage_ != nullptr) other.manage_(other.buf_, buf_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace mvs::util

@@ -1,0 +1,168 @@
+#pragma once
+/// \file mpmc_queue.hpp
+/// Bounded lock-free multi-producer/multi-consumer ring buffer.
+///
+/// This is the array-based MPMC queue due to Dmitry Vyukov: a power-of-two
+/// ring of cells, each carrying a sequence number that encodes which "lap"
+/// of the ring the cell belongs to.  Producers and consumers claim cells
+/// with a single CAS on `tail_` / `head_` and then hand the cell over by
+/// publishing a new sequence number.  No operation ever blocks: on a full
+/// (or empty) ring `try_push` (`try_pop`) returns false immediately, so
+/// callers can layer their own backpressure or sleep/wake protocol on top
+/// (see util::ThreadPool's eventcount).
+///
+/// Memory-ordering contract (each access annotated at the use site):
+///   * `cell.seq` is the synchronization point between the producer and the
+///     consumer of one element.  A producer stores `seq = pos + 1` with
+///     release after constructing the value; the consumer's acquire load of
+///     `seq` therefore observes the fully-constructed value.  Symmetrically
+///     the consumer stores `seq = pos + mask + 1` with release after moving
+///     the value out, and the *next* producer's acquire load of `seq`
+///     observes the vacated cell.
+///   * `tail_` / `head_` are claim tickets only.  They are read relaxed and
+///     claimed with a relaxed CAS: the CAS orders nothing by itself, all
+///     happens-before edges go through `cell.seq`.
+///
+/// DESIGN.md §11 documents how this pairs with the thread-pool eventcount.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace mvs::util {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// latter varies with tuning flags (and warns under GCC); 64 is correct for
+// every target we build (x86-64, aarch64 — the padding is a perf hint only).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Spin-wait hint for busy loops (PAUSE on x86, YIELD on arm).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2) so the
+  /// ring index is a mask, not a modulo.
+  explicit MpmcQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    // Initial lap: cell i is writable when tail reaches i.  Relaxed is fine,
+    // the queue is published to other threads by the caller (constructor
+    // happens-before any use).
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  ~MpmcQueue() {
+    // Drain leftover elements so non-trivial T destructors run.
+    T scratch;
+    while (try_pop(scratch)) {
+    }
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Non-blocking push; returns false when the ring is full.
+  bool try_push(T value) noexcept {
+    Cell* cell;
+    // Relaxed: this is only a claim ticket; the CAS retry loop re-reads it.
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      // Acquire: pairs with the consumer's release store of seq after it
+      // vacated this cell; guarantees the old value's move-out is complete
+      // before we construct over it.
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is writable this lap; claim it.  Relaxed: the claim itself
+        // publishes nothing — the release store of seq below does.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+        // CAS failed: pos was reloaded, retry.
+      } else if (dif < 0) {
+        return false;  // cell still holds last lap's element: ring is full
+      } else {
+        // Another producer claimed this pos; reload the ticket.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    // Release: publishes the constructed value to the consumer whose
+    // acquire-load of seq will see `pos + 1`.
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop; returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    Cell* cell;
+    // Relaxed claim ticket, same as try_push.
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      // Acquire: pairs with the producer's release store of `pos + 1`;
+      // makes the element's construction visible before we move it out.
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        // Element ready; claim it.  Relaxed: see try_push.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // producer hasn't filled this cell yet: ring is empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    // Release: hands the vacated cell to the producer one lap ahead
+    // (its acquire-load of seq will see `pos + mask_ + 1`).
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate — racy by nature; only for stats/asserts, never for
+  /// synchronization decisions.
+  bool approx_empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    T value;
+  };
+
+  // Producers and consumers hammer different tickets; keep them on
+  // separate cache lines to avoid false sharing.
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};  // enqueue ticket
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};  // dequeue ticket
+  alignas(kCacheLineSize) std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace mvs::util

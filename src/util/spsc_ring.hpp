@@ -1,0 +1,93 @@
+#pragma once
+/// \file spsc_ring.hpp
+/// Bounded wait-free single-producer/single-consumer ring buffer.
+///
+/// Classic Lamport queue with cached indices: the producer owns `tail_`,
+/// the consumer owns `head_`, and each side keeps a *cached* copy of the
+/// other's index so the common case touches only its own cache line.
+/// Used by obs::SpanTracer: each pipeline thread is the single producer of
+/// its own ring, the async exporter thread is the single consumer of all
+/// rings — `MVS_SPAN` never takes a lock.
+///
+/// Memory-ordering contract:
+///   * producer: release-store `tail_` after writing the slot; pairs with
+///     the consumer's acquire-load of `tail_` (element visible before the
+///     index that announces it).
+///   * consumer: release-store `head_` after reading the slot; pairs with
+///     the producer's acquire-load of `head_` (slot is reusable only once
+///     the read is done).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/mpmc_queue.hpp"  // kCacheLineSize, cpu_relax
+
+namespace mvs::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side only.  Returns false when the ring is full.
+  bool try_push(const T& value) noexcept {
+    // Relaxed: tail_ is only ever written by this thread.
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      // Looks full against the cached head; refresh.  Acquire pairs with
+      // the consumer's release-store of head_: once we see the new head,
+      // the consumer is done reading the slots we are about to overwrite.
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;  // genuinely full
+    }
+    slots_[tail & mask_] = value;
+    // Release: publishes the slot write above to the consumer's
+    // acquire-load of tail_.
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side only.  Returns false when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    // Relaxed: head_ is only ever written by this thread.
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      // Looks empty against the cached tail; refresh.  Acquire pairs with
+      // the producer's release-store of tail_.
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // genuinely empty
+    }
+    out = std::move(slots_[head & mask_]);
+    // Release: tells the producer this slot may be overwritten.
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy; stats only.
+  std::size_t approx_size() const noexcept {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};  // producer-owned
+  std::size_t head_cache_ = 0;  // producer-local copy of head_
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};  // consumer-owned
+  std::size_t tail_cache_ = 0;  // consumer-local copy of tail_
+  alignas(kCacheLineSize) std::unique_ptr<T[]> slots_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace mvs::util

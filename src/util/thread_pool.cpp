@@ -1,8 +1,6 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <memory>
 #include <utility>
 
 namespace mvs::util {
@@ -15,119 +13,242 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::unique_lock lock(mutex_);
-    stopping_ = true;
-  }
-  task_ready_.notify_all();
-  for (std::thread& w : workers_) w.join();
+void ThreadPool::submit(std::function<void()> task) {
+  // Cold path by contract (see header): box the callable once.
+  auto* holder = new std::function<void()>(std::move(task));
+  // Relaxed: the queue push below publishes; this counter only needs to be
+  // incremented before the matching finish_task() decrement can run, which
+  // the push ordering guarantees.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  push_task(Task{&run_submitted, holder});
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::unique_lock lock(mutex_);
-    queue_.push(std::move(task));
-    ++in_flight_;
-  }
-  task_ready_.notify_one();
+void ThreadPool::run_submitted(void* arg) {
+  std::unique_ptr<std::function<void()>> fn(
+      static_cast<std::function<void()>*>(arg));
+  (*fn)();  // may throw: worker_loop captures into first_error_
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  for (;;) {
+    // Acquire: pairs with finish_task()'s release decrement, making every
+    // completed task's writes visible to the waiter.
+    const std::size_t in_flight = in_flight_.load(std::memory_order_acquire);
+    if (in_flight == 0) break;
+    in_flight_.wait(in_flight, std::memory_order_acquire);
   }
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(error_mu_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::parallel_for_each(
-    std::size_t n, const std::function<void(std::size_t)>& fn) {
-  // Delegates to the per-call tile group: the caller participates (nested
-  // calls from pool tasks make progress even when every worker is busy) and
-  // completion/exception state is private to this call, so concurrent
-  // sessions sharing the pool never cross-talk through wait_idle().
-  run_tiles(n, fn);
-}
-
-/// Shared state of one run_tiles() call. Kept alive by shared_ptr because
-/// helper tasks may be dequeued after the call returned (they then find no
-/// tiles left and exit without touching `fn`).
+/// Shared state of one run_tiles() call. Recycled through tile_groups_; a
+/// reference count (caller + every successfully enqueued helper) keeps the
+/// group out of the free list until the last late-dequeued helper — which
+/// then finds no tiles left and exits without touching `fn` — has let go.
 struct ThreadPool::TileGroup {
-  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> next{0};       ///< tile claim ticket
+  std::atomic<std::size_t> completed{0};  ///< tiles fully finished
+  std::atomic<std::uint32_t> done{0};     ///< caller's atomic-wait target
+  std::atomic<std::uint32_t> refs{0};     ///< recycle gate
   std::size_t n = 0;
-  const std::function<void(std::size_t)>* fn = nullptr;
+  void (*invoke)(void*, std::size_t) = nullptr;
+  void* fn = nullptr;
+  ThreadPool* pool = nullptr;
 
-  std::mutex m;
-  std::condition_variable done_cv;
-  std::size_t done = 0;        ///< guarded by m
-  std::exception_ptr error;    ///< guarded by m
+  std::mutex error_mu;        ///< cold: taken only when a tile throws
+  std::exception_ptr error;   ///< guarded by error_mu
 
-  void work() {
+  void work() noexcept {
     for (;;) {
+      // Relaxed: the ticket only partitions indices; fn(i) touches state
+      // owned by i, and completion ordering goes through `completed`.
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      std::exception_ptr err;
       try {
-        (*fn)(i);
+        invoke(fn, i);
       } catch (...) {
-        err = std::current_exception();
+        std::lock_guard lock(error_mu);
+        if (!error) error = std::current_exception();
       }
-      std::lock_guard lock(m);
-      if (err && !error) error = err;
-      if (++done == n) done_cv.notify_all();
+      // Acq_rel: release publishes fn(i)'s writes to whichever thread
+      // observes this tile as completed; acquire makes the final increment
+      // see every earlier tile's writes before flipping `done`.
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        // Release pairs with the caller's acquire load/wait on `done`.
+        done.store(1, std::memory_order_release);
+        done.notify_all();
+      }
     }
   }
 };
 
-void ThreadPool::run_tiles(std::size_t n,
-                           const std::function<void(std::size_t)>& fn) {
+// Defined after TileGroup so Pool<TileGroup>'s `delete` sees a complete type.
+ThreadPool::~ThreadPool() {
+  // Release: pairs with the workers' acquire loads of stopping_; everything
+  // pushed before this point is drained before any worker exits.
+  stopping_.store(true, std::memory_order_release);
+  wake_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::release_group(TileGroup* group) {
+  // Acq_rel: the final decrement must observe every other participant's use
+  // of the group before the slot is handed back for reuse.
+  if (group->refs.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    tile_groups_.release(group);
+}
+
+void ThreadPool::run_helper(void* arg) {
+  auto* group = static_cast<TileGroup*>(arg);
+  group->work();  // late arrival past the group's end: claims nothing, returns
+  group->pool->release_group(group);
+}
+
+void ThreadPool::run_tiles_erased(std::size_t n,
+                                  void (*invoke)(void*, std::size_t),
+                                  void* fn) {
   if (n == 0) return;
-  auto group = std::make_shared<TileGroup>();
+  TileGroup* group = tile_groups_.acquire();
+  // Relaxed init: the ring push below release-publishes the whole group to
+  // helpers (their pop acquire-loads the cell), and the caller reads its own
+  // writes; no other thread can hold this group (refs reached 0).
+  group->next.store(0, std::memory_order_relaxed);
+  group->completed.store(0, std::memory_order_relaxed);
+  group->done.store(0, std::memory_order_relaxed);
   group->n = n;
-  group->fn = &fn;
+  group->invoke = invoke;
+  group->fn = fn;
+  group->pool = this;
+  group->error = nullptr;
+  group->refs.store(1, std::memory_order_relaxed);  // caller's reference
+
   // One helper per worker (bounded by the tile count the caller won't take
-  // alone anyway); helpers that arrive late exit immediately.
+  // alone anyway); helpers that arrive late exit immediately. On a full
+  // ring the helper is simply skipped — the caller and the already-enqueued
+  // helpers cover every tile, so this only sheds parallelism, not work.
   const std::size_t helpers = std::min(workers_.size(), n - 1);
-  for (std::size_t h = 0; h < helpers; ++h)
-    submit([group] { group->work(); });
+  for (std::size_t h = 0; h < helpers; ++h) {
+    group->refs.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (!queue_.try_push(Task{&run_helper, group})) {
+      group->refs.fetch_sub(1, std::memory_order_relaxed);
+      finish_task();
+      break;
+    }
+    wake_one();
+  }
+
   group->work();
-  std::unique_lock lock(group->m);
-  group->done_cv.wait(lock, [&] { return group->done == group->n; });
-  if (group->error) {
-    std::exception_ptr error = group->error;
-    lock.unlock();
-    std::rethrow_exception(error);
+  // The caller ran out of tiles, but helpers may still be finishing theirs.
+  for (;;) {
+    // Acquire pairs with the finisher's release store of done.
+    if (group->done.load(std::memory_order_acquire) != 0) break;
+    group->done.wait(0, std::memory_order_acquire);
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard lock(group->error_mu);
+    error = std::exchange(group->error, nullptr);
+  }
+  release_group(group);  // after this the group may be recycled — no access
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::push_task(const Task& task) {
+  // Backpressure: the ring is bounded; spin briefly, then yield, until a
+  // slot frees up. Only submit() reaches this (helpers use try_push).
+  int spins = 0;
+  while (!queue_.try_push(task)) {
+    if (++spins < 64)
+      cpu_relax();
+    else
+      std::this_thread::yield();
+  }
+  wake_one();
+}
+
+bool ThreadPool::pop_task(Task& out) {
+  for (;;) {
+    // Fast path: spin briefly before committing to sleep.
+    for (int spin = 0; spin < 64; ++spin) {
+      if (queue_.try_pop(out)) return true;
+      cpu_relax();
+    }
+    // Acquire: pairs with the destructor's release store.
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (queue_.try_pop(out)) return true;  // drain before exiting
+      // Acquire: pairs with finish_task's release decrement. in_flight_ > 0
+      // means a task is mid-push or mid-run; keep draining so no queued
+      // work is abandoned (matches the old mutex queue's semantics).
+      if (in_flight_.load(std::memory_order_acquire) == 0) return false;
+      std::this_thread::yield();
+      continue;
+    }
+    // ---- eventcount sleep (see header + DESIGN.md §11) ----
+    // Snapshot the epoch BEFORE announcing sleep: any wake issued after the
+    // announcement bumps the epoch and the wait below returns immediately.
+    const std::uint32_t epoch = wake_epoch_.load(std::memory_order_acquire);
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    // Seq_cst fence: Dekker pairing with the producer's fence in wake_one().
+    // Either our re-poll below sees the producer's push, or the producer's
+    // sleeper check sees our announcement — never neither.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (queue_.try_pop(out)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // re-enter the drain path above
+    }
+    // Futex slow path: returns when wake_epoch_ != epoch (or spuriously;
+    // the outer loop re-polls either way).
+    wake_epoch_.wait(epoch, std::memory_order_acquire);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
+void ThreadPool::wake_one() {
+  // Seq_cst fence: Dekker pairing with the sleeper's fence in pop_task()
+  // (see there). The push that preceded this call is already published by
+  // the ring's release store; this fence orders it against the sleeper read.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) != 0) {
+    // Release: the woken worker's acquire epoch load orders its re-poll
+    // after the push.
+    wake_epoch_.fetch_add(1, std::memory_order_release);
+    wake_epoch_.notify_one();
+  }
+}
+
+void ThreadPool::wake_all() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  wake_epoch_.fetch_add(1, std::memory_order_release);
+  wake_epoch_.notify_all();
+}
+
+void ThreadPool::finish_task() {
+  // Acq_rel: release publishes the finished task's writes to wait_idle()'s
+  // acquire load; acquire orders the notify against prior decrements.
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    in_flight_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    std::exception_ptr err;
+  Task task;
+  while (pop_task(task)) {
     try {
-      task();
+      task.fn(task.arg);
     } catch (...) {
-      err = std::current_exception();
+      // Only submit() tasks can throw (tile helpers capture per-group).
+      std::lock_guard lock(error_mu_);
+      if (!first_error_) first_error_ = std::current_exception();
     }
-    {
-      std::unique_lock lock(mutex_);
-      if (err && !first_error_) first_error_ = err;
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
+    finish_task();
   }
 }
 

@@ -19,15 +19,30 @@
 // pool-global semantics (wait_idle waits for ALL submitted tasks and may
 // rethrow any submitted task's exception); clients sharing a pool should
 // use the group-based calls.
+//
+// HOT-PATH DESIGN (DESIGN.md §11): the task queue is a bounded lock-free
+// MPMC ring (util::MpmcQueue) of POD {fn, arg} slots; sleep/wake is an
+// eventcount (sleeper counter + wake epoch + C++20 atomic wait as the futex
+// slow path), so dispatching work never takes a mutex. run_tiles() and
+// parallel_for_each() are templates over the callable — no std::function
+// temporaries — and their per-call completion groups are recycled through a
+// util::Pool guarded by a reference count, so a steady-state tick performs
+// zero heap allocations. The only mutexes left are cold paths: exception
+// capture, and the heap-boxed std::function behind submit().
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
+
+#include "util/mpmc_queue.hpp"
+#include "util/pool.hpp"
 
 namespace mvs::util {
 
@@ -42,7 +57,10 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueue a task; tasks may run in any order on any worker.
+  /// Enqueue a task; tasks may run in any order on any worker. Not a
+  /// hot-path call: the callable is boxed on the heap (use run_tiles /
+  /// parallel_for_each on allocation-free paths). Applies backpressure by
+  /// spinning/yielding when the ring is full.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished. If any task threw, the
@@ -54,8 +72,14 @@ class ThreadPool {
   /// Rethrows the first exception any invocation threw. Per-call completion
   /// group: safe to call concurrently from many threads and from inside pool
   /// tasks (the caller participates, so nesting never deadlocks).
-  void parallel_for_each(std::size_t n,
-                         const std::function<void(std::size_t)>& fn);
+  template <typename Fn>
+  void parallel_for_each(std::size_t n, Fn&& fn) {
+    // Delegates to the per-call tile group: the caller participates (nested
+    // calls from pool tasks make progress even when every worker is busy)
+    // and completion/exception state is private to this call, so concurrent
+    // sessions sharing the pool never cross-talk through wait_idle().
+    run_tiles(n, std::forward<Fn>(fn));
+  }
 
   /// Run fn(i) for i in [0, n) with the CALLING thread participating: tiles
   /// are claimed from a shared counter by the caller and by any idle
@@ -63,21 +87,58 @@ class ThreadPool {
   /// the caller makes progress on its own tiles even when every worker is
   /// busy. fn must only touch state owned by index i. Rethrows the first
   /// exception any invocation threw, after all claimed tiles finished.
-  void run_tiles(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// The callable is borrowed by address for the duration of the call (the
+  /// caller outlives every helper's use of it), never copied or boxed.
+  template <typename Fn>
+  void run_tiles(std::size_t n, Fn&& fn) {
+    using D = std::remove_reference_t<Fn>;
+    run_tiles_erased(
+        n, &invoke_tile<D>,
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
  private:
+  /// POD task slot carried by the MPMC ring — no type erasure allocation.
+  struct Task {
+    void (*fn)(void*) = nullptr;
+    void* arg = nullptr;
+  };
   struct TileGroup;
 
+  template <typename D>
+  static void invoke_tile(void* fn, std::size_t i) {
+    (*static_cast<D*>(fn))(i);
+  }
+
+  void run_tiles_erased(std::size_t n, void (*invoke)(void*, std::size_t),
+                        void* fn);
+  static void run_helper(void* arg);     ///< tile-group helper task body
+  static void run_submitted(void* arg);  ///< submit() task body
+
+  void push_task(const Task& task);  ///< blocking (backpressure) + wake
+  bool pop_task(Task& out);          ///< spins, then eventcount sleep
+  void wake_one();
+  void wake_all();
+  void finish_task();  ///< in_flight_ decrement + wait_idle wakeup
+  void release_group(TileGroup* group);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
-  std::exception_ptr first_error_;  ///< guarded by mutex_
+  MpmcQueue<Task> queue_{1024};
+  Pool<TileGroup> tile_groups_{256};
+
+  // ---- eventcount (sleep/wake slow path; see DESIGN.md §11) ----
+  // Workers announce themselves in sleepers_ before re-polling the ring;
+  // producers fence-then-check sleepers_ after pushing. The seq_cst
+  // fence/RMW pair guarantees at least one side sees the other (Dekker),
+  // so a push can never be missed by a worker committing to sleep.
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> sleepers_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> wake_epoch_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> in_flight_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex error_mu_;              ///< cold: taken only when a task throws
+  std::exception_ptr first_error_;   ///< guarded by error_mu_
 };
 
 }  // namespace mvs::util

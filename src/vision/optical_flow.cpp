@@ -207,7 +207,12 @@ FlowField OpticalFlow::compute(const Image& prev, const Image& cur) const {
 }
 
 geom::Vec2 median_flow_in(const FlowField& field, const geom::BBox& box) {
-  std::vector<double> xs, ys;
+  // Per-thread scratch: this runs per track per frame on pool workers, and
+  // the zero-allocation steady-tick invariant (DESIGN.md §11) forbids a
+  // fresh vector pair here. Capacity persists per thread.
+  thread_local std::vector<double> xs, ys;
+  xs.clear();
+  ys.clear();
   for (int r = 0; r < field.rows; ++r) {
     for (int c = 0; c < field.cols; ++c) {
       const geom::Vec2 center{(c + 0.5) * field.block_size,

@@ -1,17 +1,20 @@
 #include "vision/regions.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace mvs::vision {
 
-std::vector<geom::BBox> extract_new_regions(
-    const FlowField& field, const std::vector<geom::BBox>& predicted,
-    double scale, const NewRegionConfig& cfg) {
+void extract_new_regions_into(const FlowField& field,
+                              const std::vector<geom::BBox>& predicted,
+                              double scale, const NewRegionConfig& cfg,
+                              RegionScratch& scratch,
+                              std::vector<geom::BBox>& out) {
+  out.clear();
   const int cols = field.cols, rows = field.rows;
-  std::vector<char> moving(static_cast<std::size_t>(cols) *
-                               static_cast<std::size_t>(rows),
-                           0);
+  scratch.moving.assign(static_cast<std::size_t>(cols) *
+                            static_cast<std::size_t>(rows),
+                        0);
+  std::vector<char>& moving = scratch.moving;
   auto idx = [cols](int c, int r) {
     return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
            static_cast<std::size_t>(c);
@@ -36,19 +39,23 @@ std::vector<geom::BBox> extract_new_regions(
     }
   }
 
-  // 4-connected components over moving blocks -> merged boxes.
-  std::vector<geom::BBox> regions;
-  std::vector<char> seen(moving.size(), 0);
+  // 4-connected components over moving blocks -> merged boxes. The frontier
+  // is a LIFO stack; traversal order differs from a BFS queue but the
+  // component membership (and therefore every output box) is identical, and
+  // regions are still emitted in first-seen scan order.
+  scratch.seen.assign(moving.size(), 0);
+  std::vector<char>& seen = scratch.seen;
+  std::vector<std::pair<int, int>>& frontier = scratch.frontier;
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
       if (!moving[idx(c, r)] || seen[idx(c, r)]) continue;
       int min_c = c, max_c = c, min_r = r, max_r = r;
-      std::queue<std::pair<int, int>> frontier;
-      frontier.push({c, r});
+      frontier.clear();
+      frontier.push_back({c, r});
       seen[idx(c, r)] = 1;
       while (!frontier.empty()) {
-        const auto [cc, cr] = frontier.front();
-        frontier.pop();
+        const auto [cc, cr] = frontier.back();
+        frontier.pop_back();
         min_c = std::min(min_c, cc);
         max_c = std::max(max_c, cc);
         min_r = std::min(min_r, cr);
@@ -59,7 +66,7 @@ std::vector<geom::BBox> extract_new_regions(
           if (nc < 0 || nr < 0 || nc >= cols || nr >= rows) continue;
           if (!moving[idx(nc, nr)] || seen[idx(nc, nr)]) continue;
           seen[idx(nc, nr)] = 1;
-          frontier.push({nc, nr});
+          frontier.push_back({nc, nr});
         }
       }
       const double bs = field.block_size;
@@ -69,17 +76,25 @@ std::vector<geom::BBox> extract_new_regions(
       // Map from flow space back to logical-frame pixels.
       box = geom::BBox{box.x * scale, box.y * scale, box.w * scale,
                        box.h * scale};
-      if (box.area() >= cfg.min_area) regions.push_back(box);
+      if (box.area() >= cfg.min_area) out.push_back(box);
     }
   }
-  return regions;
 }
 
-std::vector<SliceRegion> slice_regions(
+std::vector<geom::BBox> extract_new_regions(
+    const FlowField& field, const std::vector<geom::BBox>& predicted,
+    double scale, const NewRegionConfig& cfg) {
+  RegionScratch scratch;
+  std::vector<geom::BBox> out;
+  extract_new_regions_into(field, predicted, scale, cfg, scratch, out);
+  return out;
+}
+
+void slice_regions_into(
     const std::vector<std::pair<long, geom::BBox>>& predicted,
     const geom::SizeClassSet& sizes, double frame_w, double frame_h,
-    double margin) {
-  std::vector<SliceRegion> out;
+    double margin, std::vector<SliceRegion>& out) {
+  out.clear();
   out.reserve(predicted.size());
   for (const auto& [track_id, box] : predicted) {
     SliceRegion region;
@@ -89,6 +104,14 @@ std::vector<SliceRegion> slice_regions(
         sizes.expand_to_class(box, region.size_class).clamped(frame_w, frame_h);
     out.push_back(region);
   }
+}
+
+std::vector<SliceRegion> slice_regions(
+    const std::vector<std::pair<long, geom::BBox>>& predicted,
+    const geom::SizeClassSet& sizes, double frame_w, double frame_h,
+    double margin) {
+  std::vector<SliceRegion> out;
+  slice_regions_into(predicted, sizes, frame_w, frame_h, margin, out);
   return out;
 }
 

@@ -29,6 +29,21 @@ std::vector<geom::BBox> extract_new_regions(
     const FlowField& field, const std::vector<geom::BBox>& predicted,
     double scale = 1.0, const NewRegionConfig& cfg = {});
 
+/// Reusable working memory for extract_new_regions_into: the moving/seen
+/// block masks and the connected-component frontier (DESIGN.md §11).
+struct RegionScratch {
+  std::vector<char> moving, seen;
+  std::vector<std::pair<int, int>> frontier;
+};
+
+/// extract_new_regions with caller-owned scratch and output (cleared first).
+/// Bit-identical regions; allocation-free once the scratch is warm.
+void extract_new_regions_into(const FlowField& field,
+                              const std::vector<geom::BBox>& predicted,
+                              double scale, const NewRegionConfig& cfg,
+                              RegionScratch& scratch,
+                              std::vector<geom::BBox>& out);
+
 /// A partial-frame inspection region: the quantized square ROI around one
 /// predicted object location plus its size class (the GPU batching key).
 struct SliceRegion {
@@ -43,5 +58,11 @@ std::vector<SliceRegion> slice_regions(
     const std::vector<std::pair<long, geom::BBox>>& predicted,
     const geom::SizeClassSet& sizes, double frame_w, double frame_h,
     double margin = 8.0);
+
+/// slice_regions into a caller-owned vector (cleared first).
+void slice_regions_into(
+    const std::vector<std::pair<long, geom::BBox>>& predicted,
+    const geom::SizeClassSet& sizes, double frame_w, double frame_h,
+    double margin, std::vector<SliceRegion>& out);
 
 }  // namespace mvs::vision

@@ -1,0 +1,209 @@
+// Zero-allocation guard for the steady-state hot paths (DESIGN.md §11).
+//
+// Global operator new is replaced with a counting hook that is armed only
+// around the measured windows, so gtest's own bookkeeping never pollutes the
+// counts. The invariant under test: once warm, a REGULAR (non-key) frame
+// tick allocates nothing on the pipeline path, a fleet serving tick
+// allocates nothing, and recording an obs span allocates nothing on the
+// producer thread. Key frames are exempt by design (mask rebuild, central
+// BALB, association); the async span exporter thread is exempt via
+// util::alloc_track::t_exempt (it drains rings off the frame path).
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.hpp"
+#include "obs/obs.hpp"
+#include "runtime/pipeline.hpp"
+#include "util/alloc_track.hpp"
+
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<long> g_allocs{0};
+
+inline void note_alloc() {
+  if (g_armed.load(std::memory_order_relaxed) &&
+      !mvs::util::alloc_track::t_exempt)
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* checked_alloc(std::size_t n) {
+  note_alloc();
+  void* p = std::malloc(n ? n : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* checked_aligned_alloc(std::size_t n, std::size_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n ? n : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return checked_alloc(n); }
+void* operator new[](std::size_t n) { return checked_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  note_alloc();
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return checked_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return checked_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace mvs;
+
+class Armed {
+ public:
+  Armed() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  ~Armed() { g_armed.store(false, std::memory_order_relaxed); }
+  long count() const { return g_allocs.load(std::memory_order_relaxed); }
+};
+
+// "Steady state" is reached once every reusable buffer has hit its
+// workload high-water mark: per-camera scratch grows amortized whenever a
+// frame sets a new peak (more tracks, more matches than ever before), so
+// early ticks may allocate while the marks climb. The guard therefore runs
+// until it observes a long streak of consecutive zero-allocation regular
+// ticks — proving the system actually converges to zero — and fails if the
+// streak never materializes within a generous tick budget.
+constexpr int kMaxTicks = 1000;
+
+TEST(AllocGuard, PipelineSteadyTicksAllocateNothing) {
+  runtime::PipelineConfig cfg;
+  cfg.threads = 4;
+  cfg.keep_history = false;  // serving mode: no per-frame history growth
+  runtime::Pipeline pipe("S2", cfg);
+
+  constexpr int kRequiredStreak = 15;  // > one full key-frame horizon
+  int streak = 0;
+  int ticks = 0;
+  for (; ticks < kMaxTicks && streak < kRequiredStreak; ++ticks) {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    const runtime::FrameStats& stats = pipe.run_frame_ref();
+    g_armed.store(false, std::memory_order_relaxed);
+    if (stats.key_frame) continue;  // key frames are exempt by design
+    if (g_allocs.load(std::memory_order_relaxed) == 0)
+      ++streak;
+    else
+      streak = 0;
+  }
+  EXPECT_EQ(streak, kRequiredStreak)
+      << "pipeline never reached a zero-allocation steady state in "
+      << ticks << " ticks";
+}
+
+TEST(AllocGuard, FleetSteadyTicksAllocateNothing) {
+  fleet::FleetConfig fc;
+  fc.threads = 4;
+  fleet::Fleet fl(fc);
+  runtime::FleetSessionSpec spec;
+  spec.scenario = "S2";
+  spec.pipeline.keep_history = false;
+  ASSERT_TRUE(fl.admit(spec).admitted);
+  ASSERT_TRUE(fl.admit(spec).admitted);
+
+  // Sessions key together every horizon (10) ticks (same spec, same phase)
+  // and key ticks are exempt, so the longest possible zero streak between
+  // key ticks is 9 — require exactly that, end to end through dispatch,
+  // session stepping, arbitration, and rollups.
+  constexpr int kRequiredStreak = 9;
+  int streak = 0;
+  int ticks = 0;
+  for (; ticks < kMaxTicks && streak < kRequiredStreak; ++ticks) {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    fl.step();
+    g_armed.store(false, std::memory_order_relaxed);
+    if (g_allocs.load(std::memory_order_relaxed) == 0)
+      ++streak;
+    else
+      streak = 0;
+  }
+  EXPECT_EQ(streak, kRequiredStreak)
+      << "fleet never reached a zero-allocation steady state in " << ticks
+      << " ticks";
+}
+
+TEST(AllocGuard, SpanRecordingAllocatesNothingOnHotThread) {
+  obs::set_enabled(true);
+  // Warm: register this thread's slot and let the ring/exporter settle.
+  for (int i = 0; i < 1000; ++i) {
+    MVS_SPAN("guard.warm");
+  }
+  {
+    Armed armed;
+    for (int i = 0; i < 1000; ++i) {
+      MVS_SPAN("guard.hot");
+    }
+    g_armed.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(armed.count(), 0)
+        << "recording a span must not allocate on the producer thread";
+  }
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+// Satellite: SpanTracer keeps its fixed slot table (rings, drained-vector
+// capacity) across reset(), so re-enabling tracing after a reset must not
+// reallocate on the producer thread — re-registration only flips the slot's
+// generation under the registry mutex.
+TEST(AllocGuard, SpanTracerResetReenableDoesNotReallocate) {
+  obs::set_enabled(true);
+  for (int i = 0; i < 1000; ++i) {
+    MVS_SPAN("guard.gen1");
+  }
+  (void)obs::tracer().span_counts();  // force a full exporter drain (cold)
+  obs::reset();
+  {
+    Armed armed;
+    for (int i = 0; i < 1000; ++i) {
+      MVS_SPAN("guard.gen2");
+    }
+    g_armed.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(armed.count(), 0)
+        << "re-enabling after reset() must reuse the slot table";
+  }
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+}  // namespace

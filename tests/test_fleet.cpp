@@ -542,6 +542,112 @@ TEST(FleetReadmission, ZeroIntervalKeepsDegradationSticky) {
   EXPECT_EQ(fleet.snapshot().sessions[1].stride, 2);
 }
 
+// ---------------------------------------------------------- re-degrading --
+
+TEST(FleetRedegrade, TightensMasksThenHalvesRateHighestIdFirst) {
+  // High-water mark at zero: every scan sees mean busy above the mark, so
+  // each interval applies exactly ONE degrade rung. Order is the mirror of
+  // re-admission: masks tighten first (cheapest in latency), then the rate
+  // halves; the highest session id degrades first so the longest-served
+  // tenants keep quality longest. Each rung emits a session_redegrade event.
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 100.0 * d;  // everything admits undegraded
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.readmit_interval = 5;
+  cfg.readmit_low_water = 0.0;
+  cfg.readmit_high_water = 0.0;  // any busy at all exceeds the mark
+  Fleet fleet(cfg);
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+
+  const AdmitResult first = fleet.admit(spec("a", 5));
+  const AdmitResult second = fleet.admit(spec("b", 6));
+  ASSERT_TRUE(first.admitted);
+  ASSERT_TRUE(second.admitted);
+  EXPECT_FALSE(second.masks_tightened);
+  EXPECT_FALSE(second.rate_halved);
+
+  fleet.run(5);  // scan 1: session 1 (highest id) tightens masks
+  FleetSnapshot snap = fleet.snapshot();
+  EXPECT_TRUE(snap.sessions[1].tight_masks);
+  EXPECT_EQ(snap.sessions[1].stride, 1);
+  EXPECT_FALSE(snap.sessions[0].tight_masks);
+  EXPECT_EQ(snap.redegraded, 1);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionRedegrade), 1u);
+
+  fleet.run(5);  // scan 2: session 0 tightens masks
+  snap = fleet.snapshot();
+  EXPECT_TRUE(snap.sessions[0].tight_masks);
+  EXPECT_EQ(snap.sessions[0].stride, 1);
+  EXPECT_EQ(snap.redegraded, 2);
+
+  fleet.run(5);  // scan 3: masks exhausted; session 1 halves its rate
+  snap = fleet.snapshot();
+  EXPECT_EQ(snap.sessions[1].stride, 2);
+  EXPECT_EQ(snap.sessions[0].stride, 1);
+  EXPECT_EQ(snap.redegraded, 3);
+
+  fleet.run(5);  // scan 4: session 0 halves its rate
+  snap = fleet.snapshot();
+  EXPECT_EQ(snap.sessions[0].stride, 2);
+  EXPECT_EQ(snap.redegraded, 4);
+
+  // Ladder exhausted: further scans change nothing, and with the high-water
+  // ceiling at zero nothing ever re-admits either.
+  fleet.run(20);
+  snap = fleet.snapshot();
+  EXPECT_EQ(snap.redegraded, 4);
+  EXPECT_EQ(snap.readmitted, 0);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionRedegrade), 4u);
+}
+
+TEST(FleetRedegrade, HysteresisBandChangesNothingEitherWay) {
+  // Mean busy sits between the water marks (low 0, high huge): neither the
+  // re-admission path nor the re-degrade path may fire — the band is the
+  // hysteresis that keeps rungs from flapping.
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 100.0 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.readmit_interval = 3;
+  cfg.readmit_low_water = 0.0;
+  cfg.readmit_high_water = 1e6;
+  Fleet fleet(cfg);
+
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  ASSERT_TRUE(fleet.admit(spec("b", 6)).admitted);
+  fleet.run(30);
+
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.redegraded, 0);
+  EXPECT_EQ(snap.readmitted, 0);
+  for (const SessionSnapshot& s : snap.sessions) {
+    EXPECT_EQ(s.stride, 1);
+    EXPECT_FALSE(s.tight_masks);
+  }
+}
+
+TEST(FleetRedegrade, AllowDegradeOffDisablesTheDownLadder) {
+  const double d = s2_static_demand_ms();
+  FleetConfig cfg;
+  cfg.slo_ms = 100.0 * d;
+  cfg.assumed_tasks_per_camera = 0.0;
+  cfg.allow_degrade = false;
+  cfg.readmit_interval = 3;
+  cfg.readmit_low_water = 0.0;
+  cfg.readmit_high_water = 0.0;  // permanent pressure, but degrading is off
+  Fleet fleet(cfg);
+
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  fleet.run(15);
+
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.redegraded, 0);
+  EXPECT_EQ(snap.sessions[0].stride, 1);
+  EXPECT_FALSE(snap.sessions[0].tight_masks);
+}
+
 // ------------------------------------------------------------- admission --
 
 TEST(FleetAdmission, DegradeLadderThenReject) {

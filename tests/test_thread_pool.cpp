@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "util/thread_pool.hpp"
 
@@ -210,6 +212,96 @@ TEST(ThreadPool, RunTilesPropagatesException) {
                std::runtime_error);
   EXPECT_EQ(ran.load(), 24);  // all tiles were still claimed and ran
   pool.wait_idle();           // tile errors never leak into the pool state
+}
+
+// ------------------------------------------------- contention stress tests --
+// These hammer the bounded MPMC ring well past its capacity (1024 slots)
+// from more producers than consumers, so the full-queue backpressure path
+// (spin + eventcount park) and the CAS retry loops all execute. They are
+// part of the regular suite and also the payload of the tsan_spotcheck
+// target (see tests/CMakeLists.txt).
+
+TEST(ThreadPoolStress, MoreProducersThanConsumersLoseNoTasks) {
+  ThreadPool pool(2);  // 2 consumers
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 5000;  // 40k tasks >> 1024-slot ring
+  std::atomic<long> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i)
+        pool.submit([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+  for (std::thread& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), long{kProducers} * kPerProducer);
+}
+
+TEST(ThreadPoolStress, QueueFullBackpressureBlocksWithoutDropping) {
+  // One worker, parked on a gate, while a producer pushes 4x the ring
+  // capacity: submit() must apply backpressure (block, not drop or throw)
+  // until the gate opens and the worker drains the ring.
+  ThreadPool pool(1);
+  std::atomic<bool> gate{false};
+  std::atomic<long> counter{0};
+  pool.submit([&gate] {
+    while (!gate.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < 4096; ++i)
+      pool.submit([&counter] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  // Give the producer time to wedge against the full ring, then open up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.store(true, std::memory_order_release);
+  producer.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 4096);
+}
+
+TEST(ThreadPoolStress, NestedRunTilesFromEveryWorkerUnderSaturation) {
+  // Outer tile count is a multiple of the worker count, so every worker
+  // (and the caller) is simultaneously inside run_tiles issuing a nested
+  // run_tiles — the deadlock-prone shape for completion-group schemes.
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::vector<int>> hits(kOuter, std::vector<int>(kInner, 0));
+  pool.run_tiles(kOuter, [&](std::size_t outer) {
+    pool.run_tiles(kInner,
+                   [&hits, outer](std::size_t i) { hits[outer][i] += 1; });
+  });
+  for (const auto& row : hits)
+    for (int h : row) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolStress, TaskThrowsDuringSaturationKeepsPoolUsable) {
+  // An exception in the middle of a saturated burst must not lose sibling
+  // tasks, corrupt ring state, or poison later batches.
+  ThreadPool pool(4);
+  std::atomic<long> ran{0};
+  for (int i = 0; i < 3000; ++i) {
+    const bool thrower = (i == 1500);
+    pool.submit([&ran, thrower] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (thrower) throw std::runtime_error("mid-burst");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 3000);
+
+  // Pool remains fully functional after the rethrow.
+  std::atomic<long> after{0};
+  pool.run_tiles(256, [&](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 256);
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 // Perf-regression report generator. Times the vision hot-path kernels, an
-// end-to-end pipeline run, and a fleet session-scaling sweep, then writes
-// BENCH_vision.json, BENCH_pipeline.json and BENCH_fleet.json (median-of-N
-// timings wrapped in the machine/git envelope from util::bench_env_json()).
+// end-to-end pipeline run, a fleet session-scaling sweep, and the
+// concurrency micro-benchmarks, then writes BENCH_vision.json,
+// BENCH_pipeline.json, BENCH_fleet.json and BENCH_concurrency.json
+// (median-of-N timings wrapped in the machine/git envelope from
+// util::bench_env_json()).
 // Commit the refreshed files alongside performance-sensitive changes so
 // regressions show up in review.
 //
@@ -34,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "../bench/concurrency_measure.hpp"
 #include "fleet/fleet.hpp"
 #include "obs/obs.hpp"
 #include "runtime/pipeline.hpp"
@@ -431,5 +434,35 @@ int main(int argc, char** argv) {
   fl["sweep"] = util::Json(std::move(sweep));
   fl["elastic"] = util::Json(std::move(elastic));
   write_report(out_dir + "/BENCH_fleet.json", "fleet", std::move(fl));
+
+  // ---- concurrency micro-benchmarks --------------------------------------
+  // Same measurement loops as bench/micro_concurrency (shared header): MPMC
+  // ring vs the embedded mutex-queue baseline, span record cost, pool round
+  // trip, and steady-state serving throughput.
+  const int cc_reps = std::max(1, std::min(3, reps));
+  std::vector<double> ring, mutexq, span, span_off, pool, tps;
+  for (int rep = 0; rep < cc_reps; ++rep) {
+    ring.push_back(benchcc::ring_enqueue_ns());
+    mutexq.push_back(benchcc::mutex_enqueue_ns());
+    span.push_back(benchcc::span_ns());
+    span_off.push_back(benchcc::span_disabled_ns());
+    pool.push_back(benchcc::pool_pair_ns());
+    tps.push_back(benchcc::ticks_per_sec());
+  }
+  const double ring_ns = util::median(std::move(ring));
+  const double mutex_ns = util::median(std::move(mutexq));
+
+  util::Json::Object cc;
+  cc["reps"] = util::Json(cc_reps);
+  cc["ring_enqueue_ns"] = util::Json(ring_ns);
+  cc["mutex_enqueue_ns"] = util::Json(mutex_ns);
+  cc["enqueue_speedup"] =
+      util::Json(ring_ns > 0.0 ? mutex_ns / ring_ns : 0.0);
+  cc["span_ns"] = util::Json(util::median(std::move(span)));
+  cc["span_disabled_ns"] = util::Json(util::median(std::move(span_off)));
+  cc["pool_pair_ns"] = util::Json(util::median(std::move(pool)));
+  cc["pipeline_ticks_per_sec"] = util::Json(util::median(std::move(tps)));
+  write_report(out_dir + "/BENCH_concurrency.json", "concurrency",
+               std::move(cc));
   return 0;
 }
