@@ -1,0 +1,62 @@
+#pragma once
+// Virtual-clock frame-arrival pacing for the streaming-perception runtime
+// (mvs::rt). Frames are captured on a fixed per-camera clock and reach the
+// processor after an exponentially distributed network/ISP delay (the same
+// jitter law netsim::FaultModel charges per message). The pipeline steps all
+// cameras synchronously, so a multi-camera frame "arrives" when its SLOWEST
+// camera's copy lands — the pacer therefore takes the max over per-camera
+// jitter draws (barrier semantics).
+//
+// Everything is simulated time from a seeded RNG: no real clock is read, so
+// arrival sequences are bit-identical across runs and thread counts.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace mvs::netsim {
+
+class ArrivalPacer {
+ public:
+  /// `period_ms` between captures; `jitter_ms` is the mean of the
+  /// per-camera exponential capture->arrival delay (0 = arrivals exactly on
+  /// the capture clock); `cameras` per frame (one jitter draw each).
+  ArrivalPacer(double period_ms, double jitter_ms, std::size_t cameras,
+               std::uint64_t seed)
+      : period_ms_(period_ms),
+        jitter_ms_(jitter_ms),
+        cameras_(cameras),
+        rng_(seed ^ 0xA881u) {}
+
+  /// Capture time of frame f (virtual ms).
+  double capture_ms(long frame) const {
+    return static_cast<double>(frame) * period_ms_;
+  }
+
+  /// Arrival time of the next frame (monotone: frames are delivered in
+  /// order, a frame overtaken by its successor waits for it).
+  double next_arrival() {
+    const double capture = capture_ms(frame_++);
+    double jitter = 0.0;
+    if (jitter_ms_ > 0.0) {
+      for (std::size_t c = 0; c < cameras_; ++c)
+        jitter = std::max(jitter, rng_.exponential(1.0 / jitter_ms_));
+    }
+    last_arrival_ = std::max(capture + jitter, last_arrival_);
+    return last_arrival_;
+  }
+
+  long frames_emitted() const { return frame_; }
+  double period_ms() const { return period_ms_; }
+
+ private:
+  double period_ms_ = 100.0;
+  double jitter_ms_ = 0.0;
+  std::size_t cameras_ = 1;
+  util::Rng rng_;
+  long frame_ = 0;
+  double last_arrival_ = 0.0;
+};
+
+}  // namespace mvs::netsim

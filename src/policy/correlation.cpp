@@ -1,0 +1,109 @@
+#include "policy/correlation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mvs::policy {
+
+CorrelationGate::CorrelationGate(const CorrelationGateConfig& config,
+                                 std::size_t cameras)
+    : cfg_(config),
+      cameras_(cameras),
+      entry_(cameras, 0),
+      reach_(cameras * cameras, 0),
+      hot_(cameras, 1),
+      // Warm start: every camera stays hot for one full hold window after
+      // fit(), long enough for the population already mid-grid at frame 0
+      // (which no entry or reachability edge can predict) to be acquired
+      // and start driving activity-based gating.
+      hold_(cameras, config.hold) {}
+
+void CorrelationGate::fit(const std::vector<CameraSightings>& frames) {
+  if (frames.empty() || cameras_ == 0) return;
+
+  // First frame each object was seen in each camera, and globally.
+  struct FirstSeen {
+    long global = -1;
+    std::vector<long> per_camera;
+  };
+  std::unordered_map<std::uint64_t, FirstSeen> first;
+  for (std::size_t t = 0; t < frames.size(); ++t) {
+    const CameraSightings& frame = frames[t];
+    const std::size_t m = std::min(frame.size(), cameras_);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (std::uint64_t id : frame[c]) {
+        FirstSeen& fs = first[id];
+        if (fs.per_camera.empty()) fs.per_camera.assign(cameras_, -1);
+        if (fs.global < 0) fs.global = static_cast<long>(t);
+        if (fs.per_camera[c] < 0) fs.per_camera[c] = static_cast<long>(t);
+      }
+    }
+  }
+  if (first.empty()) return;
+
+  // Entry cameras: where objects surface for the first time anywhere.
+  // Reachability i -> j: of the objects that appeared in i, the fraction
+  // that appeared in j within `window` frames of surfacing in i (including
+  // simultaneous co-visibility, which marks overlapping views both ways).
+  std::vector<long> appearances(cameras_, 0);
+  std::vector<long> transitions(cameras_ * cameras_, 0);
+  for (const auto& [id, fs] : first) {
+    for (std::size_t i = 0; i < cameras_; ++i) {
+      if (fs.per_camera[i] < 0) continue;
+      ++appearances[i];
+      // Objects already in view at training frame 0 (through traffic left
+      // over from warmup) reveal nothing about where traffic ENTERS — only
+      // genuinely new arrivals mark entry cameras. Their later camera-to-
+      // camera transitions still count toward reachability.
+      if (fs.global > 0 && fs.per_camera[i] == fs.global) entry_[i] = 1;
+      for (std::size_t j = 0; j < cameras_; ++j) {
+        if (j == i || fs.per_camera[j] < 0) continue;
+        const long lag = fs.per_camera[j] - fs.per_camera[i];
+        if (lag >= 0 && lag <= cfg_.window)
+          ++transitions[i * cameras_ + j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cameras_; ++i) {
+    if (appearances[i] == 0) {
+      // No evidence about this camera: never prune it.
+      entry_[i] = 1;
+      continue;
+    }
+    for (std::size_t j = 0; j < cameras_; ++j) {
+      const double p = static_cast<double>(transitions[i * cameras_ + j]) /
+                       static_cast<double>(appearances[i]);
+      if (p >= cfg_.threshold) reach_[i * cameras_ + j] = 1;
+    }
+  }
+  // Training too short to observe a single fresh arrival: no evidence about
+  // entries at all, so never prune anything.
+  if (std::find(entry_.begin(), entry_.end(), 1) == entry_.end())
+    entry_.assign(cameras_, 1);
+  fitted_ = true;
+}
+
+void CorrelationGate::refresh(const std::vector<int>& activity) {
+  if (!fitted_) return;
+  for (std::size_t i = 0; i < cameras_; ++i) {
+    bool raw = entry_[i] != 0 || (i < activity.size() && activity[i] > 0);
+    if (!raw) {
+      for (std::size_t j = 0; j < cameras_ && !raw; ++j)
+        raw = j < activity.size() && activity[j] > 0 &&
+              reach_[j * cameras_ + i] != 0;
+    }
+    if (raw) {
+      hold_[i] = cfg_.hold;
+      hot_[i] = 1;
+    } else if (hold_[i] > 0) {
+      // A hold of N keeps the camera hot for N full frames after the last
+      // frame that made it hot.
+      --hold_[i];
+      hot_[i] = 1;
+    } else {
+      hot_[i] = 0;
+    }
+  }
+}
+
+}  // namespace mvs::policy

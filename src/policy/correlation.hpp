@@ -1,0 +1,92 @@
+#pragma once
+// Cross-camera correlation gating (ReXCam-style, "Scaling Video Analytics on
+// Constrained Edge Nodes" / Jain et al.): at city scale most cameras are
+// empty most of the time, and an empty camera whose view no tracked object
+// can reach within a horizon does not need GPU inference at all. The gate
+// learns, from the simulator's training split, (a) which cameras objects
+// ENTER the deployment through and (b) the pairwise reachability table
+// P(object appears in j soon after appearing in i). At runtime a camera is
+// HOT — eligible for detection — iff it is an entry camera, currently holds
+// tracks/ghosts, or is reachable from a camera that does; everything else
+// is COLD and the pipeline skips its key-frame full inspection and regular-
+// frame slices. A hold-down keeps a camera hot while an object transits the
+// blind gap between two poles.
+//
+// The gate is deliberately conservative where it has no evidence: before
+// fit(), and for cameras that saw nothing during training, every camera is
+// hot (the gate only prunes what it can vouch for). Objects already in view
+// at training frame 0 — through traffic left over from the world warmup —
+// do not mark entry cameras (they reveal nothing about where traffic
+// enters), and if training never observes a single fresh arrival the gate
+// falls back to treating every camera as entry. After fit() every camera
+// starts with one full hold window of warmth, so the population already
+// mid-grid at runtime frame 0 is acquired before gating engages. The fitted
+// tables are immutable at runtime and refresh() runs sequentially between
+// frames, so gating is deterministic across thread counts.
+//
+// This layer is sim-free: training data arrives as per-frame per-camera
+// lists of visible object identities (the pipeline converts its training
+// frames), keeping mvs::policy independent of mvs::sim.
+
+#include <cstdint>
+#include <vector>
+
+namespace mvs::policy {
+
+struct CorrelationGateConfig {
+  bool enabled = false;
+  /// Minimum transition probability for a reachability edge: the fraction
+  /// of objects seen in camera i that later (within `window` frames) appear
+  /// in camera j must reach this for j to count as reachable from i.
+  double threshold = 0.05;
+  /// Transition lookahead, in frames: how long after leaving camera i an
+  /// object may take to surface in camera j (covers the blind gap between
+  /// poles plus tracking slack).
+  int window = 80;
+  /// Hold-down, in frames: a camera stays hot this long after the condition
+  /// that made it hot goes away (objects in blind gaps keep their
+  /// destination camera warm).
+  int hold = 80;
+};
+
+/// One training frame: sightings[camera] = identities visible in that
+/// camera (order and duplicates do not matter).
+using CameraSightings = std::vector<std::vector<std::uint64_t>>;
+
+class CorrelationGate {
+ public:
+  CorrelationGate(const CorrelationGateConfig& config, std::size_t cameras);
+
+  /// Learn entry cameras and the reachability table from a training split.
+  /// Cameras with no sightings in `frames` stay conservatively hot forever.
+  void fit(const std::vector<CameraSightings>& frames);
+
+  /// Recompute the hot set from the current per-camera activity
+  /// (tracks + ghosts + pending lost-track searches). Call once per frame,
+  /// sequentially, before the per-camera steps read hot().
+  void refresh(const std::vector<int>& activity);
+
+  /// May camera `cam` run detection this frame? Always true before fit().
+  bool hot(int cam) const {
+    return !fitted_ || hot_[static_cast<std::size_t>(cam)] != 0;
+  }
+
+  bool fitted() const { return fitted_; }
+  bool entry(int cam) const { return entry_[static_cast<std::size_t>(cam)]; }
+  bool reachable(int from, int to) const {
+    return reach_[static_cast<std::size_t>(from) * cameras_ +
+                  static_cast<std::size_t>(to)] != 0;
+  }
+  std::size_t camera_count() const { return cameras_; }
+
+ private:
+  CorrelationGateConfig cfg_;
+  std::size_t cameras_ = 0;
+  bool fitted_ = false;
+  std::vector<char> entry_;  ///< objects first surface here (or no evidence)
+  std::vector<char> reach_;  ///< row-major [from][to] reachability
+  std::vector<char> hot_;
+  std::vector<int> hold_;    ///< per-camera hold-down countdown
+};
+
+}  // namespace mvs::policy

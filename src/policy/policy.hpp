@@ -82,6 +82,17 @@ struct PolicyConfig {
   /// When non-empty, the pipeline appends one JSONL feature row per
   /// camera per detect frame ({"f": [...], "label": 0|1}) for training.
   std::string feature_trace;
+  /// ReXCam-style cross-camera correlation gate (correlation.hpp): skip
+  /// detection entirely — key-frame full inspections included — in cameras
+  /// no tracked object can reach. Orthogonal to `kind` (composes with the
+  /// fixed cadence too); off by default, preserving bit-identity.
+  bool correlation_gate = false;
+  /// Minimum learned transition probability for a reachability edge.
+  double gate_threshold = 0.05;
+  /// Transition lookahead window (frames) used when fitting the table.
+  int gate_window = 80;
+  /// Hot-set hold-down (frames) covering blind gaps between cameras.
+  int gate_hold = 80;
 };
 
 /// One decision. `score` is the policy's detect propensity (1.0 for forced

@@ -1,0 +1,158 @@
+#pragma once
+// Paced streaming-perception runtime (mvs::rt).
+//
+// Wraps runtime::Pipeline's stepwise API in a VIRTUAL wall clock: frames
+// are captured on a fixed per-camera clock, arrive after netsim-style
+// jitter (netsim::ArrivalPacer), and queue for the single processor. Each
+// frame carries a hard deadline budget past its capture (the streaming-
+// perception "100 ms rule"); what happens to a frame that cannot meet it is
+// the late policy (runtime::LatePolicy):
+//
+//   drop         a frame already older than its deadline at its would-be
+//                start is not processed: it is charged as a miss, and the
+//                pipeline coasts over it (skip_frame).
+//   supersede    newest-wins: an arriving frame marks every still-queued,
+//                unstarted regular frame superseded (resolved as a skip
+//                when it reaches the head, preserving strict frame order);
+//                the drop-at-start rule applies too.
+//   finish-late  nothing is ever dropped; an emission landing past its
+//                deadline still counts as a miss. With an infinite budget
+//                (deadline_ms <= 0) this processes every frame in order and
+//                is bit-identical to the unpaced pipeline.
+//
+// Key frames (the central-plan cadence) are never dropped or superseded —
+// losing one would silently skip a whole horizon's re-plan.
+//
+// Service time is charged from SIMULATED quantities only — the slowest
+// camera's inference, modeled transport comm + queueing, plus a fixed
+// overhead knob. Measured wall-clock overheads (tracking_ms etc.) never
+// enter the virtual clock, so schedules are bit-identical across runs,
+// machines and thread counts.
+//
+// A StreamingScorer samples ground truth at every frame instant against
+// the latest EMITTED result (see streaming_scorer.hpp).
+
+#include <string>
+#include <vector>
+
+#include "netsim/arrival.hpp"
+#include "rt/streaming_scorer.hpp"
+#include "runtime/config.hpp"
+#include "runtime/pipeline.hpp"
+
+namespace mvs::util {
+class ThreadPool;
+}
+
+namespace mvs::rt {
+
+/// Pure deadline test shared by drop-at-start and miss accounting: an age
+/// EXACTLY on the budget is on time (strict >); a nonpositive budget means
+/// no deadline at all.
+inline bool deadline_missed(double age_ms, double deadline_ms) {
+  return deadline_ms > 0.0 && age_ms > deadline_ms;
+}
+
+/// Frame-conservation ledger: arrived == processed + dropped + superseded
+/// once the run has been finish()ed.
+struct RtCounters {
+  long arrived = 0;
+  long processed = 0;
+  long dropped = 0;
+  long superseded = 0;
+  long deadline_miss = 0;     ///< processed-late + dropped frames
+  double gpu_busy_ms = 0.0;   ///< sum of simulated per-camera inference time
+};
+
+/// What run()/finish() hand back.
+struct RtResult {
+  RtCounters counters;
+  double streaming_recall = 0.0;  ///< emission-time matched (the headline)
+  double object_recall = 0.0;     ///< classic capture-time recall (processed
+                                  ///< frames only; what the unpaced runner
+                                  ///< reports)
+  double mean_lag_ms = 0.0;       ///< mean adopted-emission age at sample
+  double max_lag_ms = 0.0;
+  long instants = 0;
+  double makespan_ms = 0.0;  ///< finish time of the last processed frame
+};
+
+/// One step() = one frame arrival (plus any queued work whose start time
+/// precedes it). `key_frame_ran` flags whether a key frame was processed
+/// during the step — the allocation guard exempts those ticks, exactly as
+/// it does for the unpaced pipeline.
+struct StepOutcome {
+  long frame = -1;
+  bool key_frame_ran = false;
+};
+
+class RtRunner {
+ public:
+  /// Builds the wrapped pipeline for `scenario_name` (same training-split
+  /// handling as the unpaced runner). rt.frame_period_ms <= 0 derives the
+  /// period from the scenario's fps.
+  RtRunner(const std::string& scenario_name,
+           const runtime::PipelineConfig& pipeline_config,
+           const runtime::RtConfig& rt_config,
+           util::ThreadPool* shared_pool = nullptr);
+
+  RtRunner(const RtRunner&) = delete;
+  RtRunner& operator=(const RtRunner&) = delete;
+
+  /// Admit the next frame arrival, first running every queued frame whose
+  /// start time precedes it.
+  StepOutcome step();
+
+  /// Drain the queue to completion (no further arrivals).
+  void finish();
+
+  /// step() x frames + finish().
+  RtResult run(int frames);
+
+  /// Snapshot of the result so far (valid any time; conservation holds
+  /// after finish()).
+  RtResult result() const;
+
+  const RtCounters& counters() const { return counters_; }
+  const StreamingScorer& scorer() const { return scorer_; }
+  runtime::Pipeline& pipeline() { return pipeline_; }
+  double frame_period_ms() const { return pacer_.period_ms(); }
+
+  /// Optional scheduling trace (rt_drop / rt_supersede / rt_deadline_miss
+  /// events, alongside the pipeline's own). Must outlive the runner.
+  void attach_trace(runtime::TraceRecorder* trace);
+
+ private:
+  struct Pending {
+    long frame = 0;
+    double capture_ms = 0.0;
+    double arrival_ms = 0.0;
+    bool key = false;
+    bool superseded = false;
+  };
+
+  bool deadline_finite() const { return rt_.deadline_ms > 0.0; }
+  bool is_key(long frame) const;
+  /// Run/resolve queued frames whose start time is <= t (or all of them).
+  /// Returns whether a key frame was processed.
+  bool drain_until(double t, bool drain_all);
+  void resolve_skip(const Pending& p);
+
+  runtime::RtConfig rt_;
+  runtime::Pipeline pipeline_;
+  netsim::ArrivalPacer pacer_;
+  StreamingScorer scorer_;
+  RtCounters counters_;
+  runtime::TraceRecorder* trace_ = nullptr;
+
+  // Pending-arrival FIFO: head cursor + rewind-on-empty (capacity kept),
+  // so the steady state never allocates.
+  std::vector<Pending> queue_;
+  std::size_t qhead_ = 0;
+
+  long frames_enqueued_ = 0;
+  double busy_until_ = 0.0;
+  double last_finish_ms_ = 0.0;
+};
+
+}  // namespace mvs::rt

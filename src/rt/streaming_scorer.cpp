@@ -1,0 +1,57 @@
+#include "rt/streaming_scorer.hpp"
+
+#include <utility>
+
+namespace mvs::rt {
+
+StreamingScorer::StreamingScorer(std::size_t cameras, double iou)
+    : cameras_(cameras), recall_(iou), empty_(cameras) {}
+
+void StreamingScorer::note_emission(
+    double emit_ms, double capture_ms,
+    const std::vector<std::vector<geom::BBox>>& reported) {
+  Emission e;
+  if (!free_.empty()) {
+    e = std::move(free_.back());
+    free_.pop_back();
+  }
+  e.emit_ms = emit_ms;
+  e.capture_ms = capture_ms;
+  e.boxes.resize(cameras_);
+  for (std::size_t i = 0; i < cameras_; ++i) {
+    e.boxes[i].clear();
+    if (i < reported.size())
+      e.boxes[i].insert(e.boxes[i].end(), reported[i].begin(),
+                        reported[i].end());
+  }
+  queue_.push_back(std::move(e));
+  ++emissions_;
+}
+
+void StreamingScorer::adopt(Emission& e) {
+  // Swap rather than assign: the displaced current emission keeps its box
+  // capacity and goes back to the pool through the queue slot.
+  std::swap(cur_, e);
+  have_cur_ = true;
+}
+
+double StreamingScorer::score_instant(
+    double t_ms,
+    const std::vector<std::vector<detect::GroundTruthObject>>& gt) {
+  while (head_ < queue_.size() && queue_[head_].emit_ms <= t_ms) {
+    adopt(queue_[head_]);
+    free_.push_back(std::move(queue_[head_]));
+    ++head_;
+  }
+  if (head_ == queue_.size() && head_ > 0) {
+    queue_.clear();
+    head_ = 0;
+  }
+  const double sample =
+      recall_.add_frame(gt, have_cur_ ? cur_.boxes : empty_);
+  if (have_cur_) lag_.add(t_ms - cur_.capture_ms);
+  ++instants_;
+  return sample;
+}
+
+}  // namespace mvs::rt

@@ -1,0 +1,83 @@
+#pragma once
+// Streaming-perception scorer (Li et al., "Towards Streaming Perception").
+//
+// Classic (offline) recall compares frame f's output against frame f's
+// ground truth — as if inference were free. Under a wall clock the output
+// for frame f only EXISTS at its emission time, by which the world has
+// moved on. The streaming scorer therefore samples the timeline at the
+// frame instants t_f and, at each instant, scores the latest result the
+// runtime had EMITTED by then (emit_ms <= t_f) against the ground truth AT
+// t_f. Latency and accuracy collapse into one number: a slow pipeline is
+// penalized because its freshest emission describes a stale world.
+//
+// Allocation discipline: emissions are pooled (retired entries recycle
+// their per-camera box buffers), so the steady-state note/score cycle is
+// allocation-free once warm — the paced runtime sits inside the repo's
+// zero-allocation guard.
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "geometry/bbox.hpp"
+#include "metrics/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace mvs::rt {
+
+class StreamingScorer {
+ public:
+  /// `cameras` views per frame; `iou` is the match threshold fed to the
+  /// underlying metrics::ObjectRecall.
+  explicit StreamingScorer(std::size_t cameras, double iou = 0.4);
+
+  /// Record that the runtime emitted `reported` (per-camera boxes) at
+  /// virtual time `emit_ms`, describing the frame captured at `capture_ms`.
+  /// Emissions must be noted in nondecreasing emit_ms order.
+  void note_emission(double emit_ms, double capture_ms,
+                     const std::vector<std::vector<geom::BBox>>& reported);
+
+  /// Score the instant `t_ms` against `gt` (per-camera ground truth at that
+  /// instant), using the latest emission with emit_ms <= t_ms; before any
+  /// emission the runtime has reported nothing and every object is a miss.
+  /// Instants must be scored in nondecreasing t_ms order. Returns the
+  /// instant's recall sample.
+  double score_instant(double t_ms,
+                       const std::vector<std::vector<detect::GroundTruthObject>>& gt);
+
+  /// Aggregate streaming recall over all scored instants (TP / GT).
+  double streaming_recall() const { return recall_.recall(); }
+  /// Age of the adopted emission at each scored instant (t - capture of the
+  /// emission in effect); instants before the first emission contribute
+  /// nothing here.
+  const util::RunningStats& lag_ms() const { return lag_; }
+  long instants() const { return instants_; }
+  std::size_t emissions() const { return emissions_; }
+
+ private:
+  struct Emission {
+    double emit_ms = 0.0;
+    double capture_ms = 0.0;
+    std::vector<std::vector<geom::BBox>> boxes;
+  };
+
+  void adopt(Emission& e);
+
+  std::size_t cameras_;
+  metrics::ObjectRecall recall_;
+  util::RunningStats lag_;
+  long instants_ = 0;
+  std::size_t emissions_ = 0;
+
+  // FIFO with a head cursor; fully drained -> clear() and rewind (capacity
+  // kept). Retired Emission shells park in free_ for reuse.
+  std::vector<Emission> queue_;
+  std::size_t head_ = 0;
+  std::vector<Emission> free_;
+  Emission cur_;
+  bool have_cur_ = false;
+  /// Empty per-camera report used before the first emission is adopted.
+  std::vector<std::vector<geom::BBox>> empty_;
+};
+
+}  // namespace mvs::rt

@@ -5,6 +5,7 @@
 #include <cctype>
 
 #include "policy/policy.hpp"
+#include "sim/scenario.hpp"
 #include "util/json.hpp"
 
 namespace mvs::runtime {
@@ -23,10 +24,30 @@ std::optional<Policy> parse_policy(std::string name) {
   return std::nullopt;
 }
 
+std::optional<LatePolicy> parse_late_policy(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (name == "drop") return LatePolicy::kDrop;
+  if (name == "supersede") return LatePolicy::kSupersede;
+  if (name == "finish-late" || name == "finishlate" || name == "late")
+    return LatePolicy::kFinishLate;
+  return std::nullopt;
+}
+
+const char* to_string(LatePolicy policy) {
+  switch (policy) {
+    case LatePolicy::kDrop: return "drop";
+    case LatePolicy::kSupersede: return "supersede";
+    case LatePolicy::kFinishLate: return "finish-late";
+  }
+  return "?";
+}
+
 namespace {
 
 bool valid_scenario(const std::string& name) {
-  return name == "S1" || name == "S2" || name == "S3";
+  return name == "S1" || name == "S2" || name == "S3" ||
+         sim::parse_city_name(name).has_value();
 }
 
 /// Read loss/jitter/retry/dropout keys from `obj` into `faults`. The same
@@ -117,12 +138,13 @@ bool parse_policy_block(const util::Json& p, policy::PolicyConfig* pc,
     if (error) *error = "\"policy\" must be an object";
     return false;
   }
-  static constexpr std::array<const char*, 13> kKnown = {
+  static constexpr std::array<const char*, 17> kKnown = {
       "mode",        "staleness_limit", "min_track_frames",
       "drift_px",    "conf_floor",      "motion_frac",
       "churn_hi",    "hysteresis",      "model",
       "model_json",  "threshold",       "expected_detect_ratio",
-      "feature_trace"};
+      "feature_trace", "correlation_gate", "gate_threshold",
+      "gate_window", "gate_hold"};
   for (const auto& [key, value] : p.as_object()) {
     if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
           return key == k;
@@ -153,6 +175,16 @@ bool parse_policy_block(const util::Json& p, policy::PolicyConfig* pc,
   pc->expected_detect_ratio =
       p.number_or("expected_detect_ratio", pc->expected_detect_ratio);
   pc->feature_trace = p.string_or("feature_trace", pc->feature_trace);
+  pc->correlation_gate = p.bool_or("correlation_gate", pc->correlation_gate);
+  pc->gate_threshold = p.number_or("gate_threshold", pc->gate_threshold);
+  pc->gate_window =
+      static_cast<int>(p.number_or("gate_window", pc->gate_window));
+  pc->gate_hold = static_cast<int>(p.number_or("gate_hold", pc->gate_hold));
+  if (pc->gate_threshold < 0.0 || pc->gate_threshold > 1.0 ||
+      pc->gate_window < 1 || pc->gate_hold < 0) {
+    if (error) *error = "policy gate parameters out of range";
+    return false;
+  }
   if (pc->staleness_limit < 0 || pc->min_track_frames < 0 ||
       (pc->staleness_limit > 0 &&
        pc->min_track_frames >= pc->staleness_limit) ||
@@ -181,7 +213,124 @@ util::Json dump_policy(const policy::PolicyConfig& pc) {
   p["threshold"] = Json(pc.threshold);
   p["expected_detect_ratio"] = Json(pc.expected_detect_ratio);
   p["feature_trace"] = Json(pc.feature_trace);
+  p["correlation_gate"] = Json(pc.correlation_gate);
+  p["gate_threshold"] = Json(pc.gate_threshold);
+  p["gate_window"] = Json(pc.gate_window);
+  p["gate_hold"] = Json(pc.gate_hold);
   return Json(std::move(p));
+}
+
+/// Parse the "rt" block (streaming pacing). Unknown keys are a hard error —
+/// a typo here silently changes what counts as a deadline miss.
+bool parse_rt(const util::Json& r, RtConfig* rt, std::string* error) {
+  if (!r.is_object()) {
+    if (error) *error = "\"rt\" must be an object";
+    return false;
+  }
+  static constexpr std::array<const char*, 6> kKnown = {
+      "paced",           "frame_period_ms",   "deadline_ms",
+      "late_policy",     "arrival_jitter_ms", "fixed_overhead_ms"};
+  for (const auto& [key, value] : r.as_object()) {
+    if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
+          return key == k;
+        }) == kKnown.end()) {
+      if (error) *error = "unknown rt key: \"" + key + "\"";
+      return false;
+    }
+  }
+  rt->paced = r.bool_or("paced", rt->paced);
+  rt->frame_period_ms = r.number_or("frame_period_ms", rt->frame_period_ms);
+  rt->deadline_ms = r.number_or("deadline_ms", rt->deadline_ms);
+  const auto late =
+      parse_late_policy(r.string_or("late_policy", to_string(rt->late_policy)));
+  if (!late) {
+    if (error) *error = "unknown late_policy: " + r.string_or("late_policy", "");
+    return false;
+  }
+  rt->late_policy = *late;
+  rt->arrival_jitter_ms =
+      r.number_or("arrival_jitter_ms", rt->arrival_jitter_ms);
+  rt->fixed_overhead_ms =
+      r.number_or("fixed_overhead_ms", rt->fixed_overhead_ms);
+  if (rt->arrival_jitter_ms < 0.0 || rt->fixed_overhead_ms < 0.0) {
+    if (error) *error = "rt parameters out of range";
+    return false;
+  }
+  return true;
+}
+
+util::Json dump_rt(const RtConfig& rt) {
+  using util::Json;
+  Json::Object r;
+  r["paced"] = Json(rt.paced);
+  r["frame_period_ms"] = Json(rt.frame_period_ms);
+  r["deadline_ms"] = Json(rt.deadline_ms);
+  r["late_policy"] = Json(to_string(rt.late_policy));
+  r["arrival_jitter_ms"] = Json(rt.arrival_jitter_ms);
+  r["fixed_overhead_ms"] = Json(rt.fixed_overhead_ms);
+  return Json(std::move(r));
+}
+
+/// Parse the "city" block into a sim::CityConfig (the scenario name then
+/// becomes the canonical encoded "city:..." string). Unknown keys are a
+/// hard error.
+bool parse_city(const util::Json& c, sim::CityConfig* city,
+                std::string* error) {
+  if (!c.is_object()) {
+    if (error) *error = "\"city\" must be an object";
+    return false;
+  }
+  static constexpr std::array<const char*, 10> kKnown = {
+      "cameras",          "block_m",        "rate_per_s",
+      "camera_depth_m",   "flash_at_s",     "flash_duration_s",
+      "flash_multiplier", "day_night",      "night_period_s",
+      "night_miss_boost"};
+  for (const auto& [key, value] : c.as_object()) {
+    if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
+          return key == k;
+        }) == kKnown.end()) {
+      if (error) *error = "unknown city key: \"" + key + "\"";
+      return false;
+    }
+  }
+  city->cameras = static_cast<int>(c.number_or("cameras", city->cameras));
+  city->block_m = c.number_or("block_m", city->block_m);
+  city->rate_per_s = c.number_or("rate_per_s", city->rate_per_s);
+  city->camera_depth_m = c.number_or("camera_depth_m", city->camera_depth_m);
+  city->flash_at_s = c.number_or("flash_at_s", city->flash_at_s);
+  city->flash_duration_s =
+      c.number_or("flash_duration_s", city->flash_duration_s);
+  city->flash_multiplier =
+      c.number_or("flash_multiplier", city->flash_multiplier);
+  city->day_night = c.bool_or("day_night", city->day_night);
+  city->night_period_s = c.number_or("night_period_s", city->night_period_s);
+  city->night_miss_boost =
+      c.number_or("night_miss_boost", city->night_miss_boost);
+  if (city->cameras < 1 || city->cameras > 1000 || city->block_m <= 0.0 ||
+      city->rate_per_s < 0.0 || city->camera_depth_m <= 0.0 ||
+      city->flash_duration_s <= 0.0 || city->flash_multiplier <= 0.0 ||
+      city->night_period_s <= 0.0 || city->night_miss_boost < 0.0 ||
+      city->night_miss_boost > 1.0) {
+    if (error) *error = "city parameters out of range";
+    return false;
+  }
+  return true;
+}
+
+util::Json dump_city(const sim::CityConfig& city) {
+  using util::Json;
+  Json::Object c;
+  c["cameras"] = Json(city.cameras);
+  c["block_m"] = Json(city.block_m);
+  c["rate_per_s"] = Json(city.rate_per_s);
+  c["camera_depth_m"] = Json(city.camera_depth_m);
+  c["flash_at_s"] = Json(city.flash_at_s);
+  c["flash_duration_s"] = Json(city.flash_duration_s);
+  c["flash_multiplier"] = Json(city.flash_multiplier);
+  c["day_night"] = Json(city.day_night);
+  c["night_period_s"] = Json(city.night_period_s);
+  c["night_miss_boost"] = Json(city.night_miss_boost);
+  return Json(std::move(c));
 }
 
 /// Parse the "fleet" block. Session entries inherit the document's
@@ -383,6 +532,20 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
 
   RunConfig config;
   config.scenario = doc->string_or("scenario", config.scenario);
+  if (const util::Json* c = doc->find("city")) {
+    // A "city" block generates the scenario; an explicit non-city scenario
+    // name alongside it is a contradiction, not a tiebreak.
+    const std::string declared = doc->string_or("scenario", "city");
+    if (declared.rfind("city", 0) != 0) {
+      if (error)
+        *error = "\"city\" block conflicts with scenario: " + declared;
+      return std::nullopt;
+    }
+    sim::CityConfig city;
+    if (const auto base = sim::parse_city_name(declared)) city = *base;
+    if (!parse_city(*c, &city, error)) return std::nullopt;
+    config.scenario = sim::city_scenario_name(city);
+  }
   if (!valid_scenario(config.scenario)) {
     if (error) *error = "unknown scenario: " + config.scenario;
     return std::nullopt;
@@ -410,6 +573,9 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
         o->string_or("metrics_json", config.obs.metrics_json);
   }
 
+  if (const util::Json* r = doc->find("rt"))
+    if (!parse_rt(*r, &config.rt, error)) return std::nullopt;
+
   if (const util::Json* f = doc->find("fleet")) {
     FleetRunConfig fleet;
     if (!parse_fleet(*f, config, &fleet, error)) return std::nullopt;
@@ -422,9 +588,12 @@ std::string dump_run_config(const RunConfig& config) {
   using util::Json;
   Json::Object root;
   root["scenario"] = Json(config.scenario);
+  if (const auto city = sim::parse_city_name(config.scenario))
+    root["city"] = dump_city(*city);
   root["frames"] = Json(config.frames);
   root["pipeline"] = dump_pipeline(config.pipeline);
   root["policy"] = dump_policy(config.pipeline.frame_policy);
+  root["rt"] = dump_rt(config.rt);
   Json::Object obs;
   obs["enabled"] = Json(config.obs.enabled);
   obs["chrome_trace"] = Json(config.obs.chrome_trace);

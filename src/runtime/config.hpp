@@ -107,11 +107,48 @@ struct ObsConfig {
   std::string metrics_json;  ///< MetricsRegistry snapshot output path
 };
 
+/// What the paced runtime (mvs::rt) does with a frame that cannot meet its
+/// deadline. Lives here (not in src/rt/) so the config layer and CLI can
+/// name policies without depending on mvs_rt.
+enum class LatePolicy {
+  kDrop,        ///< stale frame is dropped at its would-be start (miss)
+  kSupersede,   ///< newest-wins: a fresh arrival displaces queued stale work
+  kFinishLate,  ///< never drop; a late emission still counts as a miss
+};
+
+/// nullopt on unknown names ("drop", "supersede", "finish-late").
+std::optional<LatePolicy> parse_late_policy(std::string name);
+const char* to_string(LatePolicy policy);
+
+/// The "rt" block of a run config: streaming-perception pacing (mvs::rt).
+/// Defaults leave the classic unpaced runner untouched.
+struct RtConfig {
+  /// Run under the paced runtime (virtual wall clock + deadlines) instead of
+  /// the as-fast-as-possible stepper.
+  bool paced = false;
+  /// Frame arrival period (ms); <= 0 derives it from the scenario's fps.
+  double frame_period_ms = 0.0;
+  /// Per-frame deadline budget past capture (ms); <= 0 = infinite (with
+  /// kFinishLate this makes the paced run bit-identical to the unpaced
+  /// pipeline — the "rt-of-one" guard).
+  double deadline_ms = 100.0;
+  LatePolicy late_policy = LatePolicy::kSupersede;
+  /// Mean exponential arrival jitter per camera (ms); a multi-frame arrives
+  /// when its slowest camera's capture lands. 0 = jitter-free.
+  double arrival_jitter_ms = 0.0;
+  /// Fixed per-frame service overhead (ms) added to the simulated
+  /// inference + transport time (models decode/preprocess).
+  double fixed_overhead_ms = 0.0;
+};
+
 struct RunConfig {
   std::string scenario = "S1";
   int frames = 200;
   PipelineConfig pipeline;
   ObsConfig obs;
+  /// Streaming-perception pacing; rt.paced == false (default) means the
+  /// block is inert and the classic runner is used.
+  RtConfig rt;
   /// Present when the document carries a "fleet" block: run a multi-session
   /// fleet instead of a standalone pipeline.
   std::optional<FleetRunConfig> fleet;

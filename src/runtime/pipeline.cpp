@@ -20,6 +20,7 @@
 #include "net/transport.hpp"
 #include "netsim/sim_transport.hpp"
 #include "obs/obs.hpp"
+#include "policy/correlation.hpp"
 #include "policy/features.hpp"
 #include "policy/policy.hpp"
 #include "runtime/oracles.hpp"
@@ -234,6 +235,42 @@ struct Pipeline::Impl {
       associator->train(training);
       build_cell_cache(frame_sizes);
     }
+
+    // ReXCam-style correlation gate: learn entry cameras and pairwise
+    // reachability from the same training split (ground-truth identities —
+    // the gate trains on the sim the way the associator does).
+    if (cfg.frame_policy.correlation_gate) {
+      policy::CorrelationGateConfig gc;
+      gc.enabled = true;
+      gc.threshold = cfg.frame_policy.gate_threshold;
+      gc.window = cfg.frame_policy.gate_window;
+      gc.hold = cfg.frame_policy.gate_hold;
+      corr_gate = std::make_unique<policy::CorrelationGate>(gc, m);
+      std::vector<policy::CameraSightings> sightings;
+      sightings.reserve(training.size());
+      for (const sim::MultiFrame& tf : training) {
+        policy::CameraSightings frame(m);
+        for (std::size_t i = 0; i < m && i < tf.per_camera.size(); ++i)
+          for (const detect::GroundTruthObject& o : tf.per_camera[i])
+            frame[i].push_back(o.id);
+        sightings.push_back(std::move(frame));
+      }
+      corr_gate->fit(sightings);
+      gate_cold_.assign(m, 0);
+      gate_activity_.assign(m, 0);
+    }
+
+    // Day/night detection-quality schedule (city scenarios): precompute the
+    // night detector so phase flips are a plain value swap.
+    quality_ = player.scenario().quality;
+    if (quality_.enabled) {
+      detect::SimulatedDetector::Config nc = detector.config();
+      nc.base_miss_rate =
+          std::min(0.95, nc.base_miss_rate + quality_.night_miss_boost);
+      nc.score_mean = std::max(0.05, nc.score_mean - quality_.night_score_drop);
+      night_detector_ = detect::SimulatedDetector(nc);
+      day_detector_ = detector;
+    }
   }
 
   bool needs_association() const {
@@ -343,7 +380,8 @@ struct Pipeline::Impl {
   void full_frame_step(const sim::MultiFrame& mf, FrameStats& stats,
                        std::vector<std::vector<geom::BBox>>& reported) {
     for (CameraNode& cam : cameras) {
-      if (!active[static_cast<std::size_t>(cam.index)]) {
+      if (!active[static_cast<std::size_t>(cam.index)] ||
+          gate_cold(static_cast<std::size_t>(cam.index))) {
         stats.camera_infer_ms.push_back(0.0);
         continue;
       }
@@ -369,7 +407,10 @@ struct Pipeline::Impl {
     std::vector<std::vector<detect::Detection>> dets(m);
     for (CameraNode& cam : cameras) {
       const auto i = static_cast<std::size_t>(cam.index);
-      if (!active[i]) {
+      if (!active[i] || gate_cold(i)) {
+        // Offline — or correlation-gated cold, which skips the full
+        // inspection (and its uplink) but still renders below so flow has a
+        // reference when the camera heats up.
         stats.camera_infer_ms.push_back(0.0);
         continue;
       }
@@ -536,7 +577,7 @@ struct Pipeline::Impl {
     if (features_on) {
       for (CameraNode& cam : cameras) {
         const auto i = static_cast<std::size_t>(cam.index);
-        if (!active[i]) continue;
+        if (!active[i] || gate_cold(i)) continue;
         double mean_score = 1.0;
         if (!dets[i].empty()) {
           double acc = 0.0;
@@ -723,6 +764,10 @@ struct Pipeline::Impl {
         result.policy_detect = decision.detect;
         result.drift_at_decide = feats.drift_px;
       }
+      // Correlation-gated cold camera: coast track-only regardless of the
+      // frame policy. The gate only cools views with zero activity, so this
+      // frame is pure render + flow — no slices, no new-region search.
+      if (gate_cold(i)) do_detect = false;
 
       if (!do_detect) {
         // Track-only frame: coast on the flow-projected tracks. No slices,
@@ -1090,6 +1135,18 @@ struct Pipeline::Impl {
     }
   }
 
+  /// See Pipeline::skip_frame(): advance the player and frame counter (key
+  /// cadence and dropout schedules stay frame-indexed) without processing.
+  /// gpu_work is cleared so last_gpu_work() reports zero demand.
+  void skip_frame() {
+    ++frames_run;
+    player.next_into(mf_);
+    for (CameraGpuWork& w : gpu_work) {
+      w.full_frame = false;
+      w.tasks.clear();
+    }
+  }
+
   // ---- members -----------------------------------------------------------
 
   PipelineConfig cfg;
@@ -1146,6 +1203,25 @@ struct Pipeline::Impl {
   FrameStats stats_;
   std::vector<std::vector<geom::BBox>> reported_;
   std::vector<CamFrameResult> results_;
+
+  /// ReXCam-style correlation gate; null unless
+  /// PolicyConfig::correlation_gate (the bit-identical default).
+  std::unique_ptr<policy::CorrelationGate> corr_gate;
+  std::vector<int> gate_activity_;
+  /// gate_cold_[i] != 0 → camera i is online but gated cold this frame: key
+  /// frames skip its full inspection, regular frames coast track-only.
+  /// Empty when no gate is configured.
+  std::vector<char> gate_cold_;
+  bool gate_cold(std::size_t i) const {
+    return !gate_cold_.empty() && gate_cold_[i] != 0;
+  }
+
+  /// Day/night detection-quality schedule (city scenarios); disabled for the
+  /// classic scenarios, where `detector` never changes.
+  sim::QualitySchedule quality_;
+  detect::SimulatedDetector day_detector_;
+  detect::SimulatedDetector night_detector_;
+  bool is_night_ = false;
 };
 
 const FrameStats& Pipeline::Impl::run_frame() {
@@ -1153,6 +1229,15 @@ const FrameStats& Pipeline::Impl::run_frame() {
   const long f = frames_run++;
   player.next_into(mf_);
   const sim::MultiFrame& mf = mf_;
+  if (quality_.enabled) {
+    // Day/night phase flip: swap in the precomputed night (or day) detector.
+    // The detector is stateless (config only), so this is a value copy.
+    const bool night = quality_.is_night(mf.time_s);
+    if (night != is_night_) {
+      is_night_ = night;
+      detector = night ? night_detector_ : day_detector_;
+    }
+  }
   if (cfg.paired_rng) {
     // Common random numbers (see PipelineConfig::paired_rng): every
     // camera's detector stream restarts from a (seed, camera, frame) hash,
@@ -1191,6 +1276,32 @@ const FrameStats& Pipeline::Impl::run_frame() {
   refresh_active(f, mf.frame_index,
                  stats.key_frame || cfg.policy == Policy::kFull);
   for (char a : active) stats.cameras_online += (a != 0);
+
+  // Correlation gate (sequential, before the parallel section): a camera is
+  // hot when it is an entry point, has live tracks, is reachable from a
+  // camera that does, or is inside its cooldown hold. Cold cameras skip
+  // detection entirely this frame.
+  if (corr_gate) {
+    for (std::size_t i = 0; i < cameras.size(); ++i) {
+      const CameraNode& cam = cameras[i];
+      gate_activity_[i] =
+          active[i] ? static_cast<int>(cam.tracker.tracks().size() +
+                                       cam.ghosts.size() + cam.lost.size())
+                    : 0;
+    }
+    corr_gate->refresh(gate_activity_);
+    int cold = 0;
+    for (std::size_t i = 0; i < cameras.size(); ++i) {
+      gate_cold_[i] =
+          (active[i] && !corr_gate->hot(static_cast<int>(i))) ? 1 : 0;
+      cold += gate_cold_[i];
+    }
+    if (obs::enabled() && !cameras.empty())
+      obs::metrics()
+          .histogram("policy.gate_cold_frac")
+          .record(static_cast<double>(cold) /
+                  static_cast<double>(cameras.size()));
+  }
 
   std::vector<std::vector<geom::BBox>>& reported = reported_;
   reported.resize(cameras.size());
@@ -1273,6 +1384,14 @@ FrameStats Pipeline::run_frame() { return impl_->run_frame(); }
 
 const FrameStats& Pipeline::run_frame_ref() { return impl_->run_frame(); }
 
+void Pipeline::skip_frame() { impl_->skip_frame(); }
+
+const sim::MultiFrame& Pipeline::current_frame() const { return impl_->mf_; }
+
+const std::vector<std::vector<geom::BBox>>& Pipeline::last_reported() const {
+  return impl_->reported_;
+}
+
 const std::vector<CameraGpuWork>& Pipeline::last_gpu_work() const {
   return impl_->gpu_work;
 }
@@ -1281,6 +1400,10 @@ std::size_t Pipeline::camera_count() const { return impl_->cameras.size(); }
 
 std::vector<gpu::DeviceProfile> Pipeline::devices() const {
   return impl_->devices();
+}
+
+const sim::Scenario& Pipeline::scenario() const {
+  return impl_->player.scenario();
 }
 
 PipelineResult Pipeline::result() const {

@@ -28,6 +28,11 @@ namespace mvs::util {
 class ThreadPool;
 }
 
+namespace mvs::sim {
+struct MultiFrame;
+struct Scenario;
+}
+
 namespace mvs::runtime {
 
 struct PipelineConfig {
@@ -170,6 +175,23 @@ class Pipeline {
   /// per-camera vector.
   const FrameStats& run_frame_ref();
 
+  /// Advance one evaluation frame WITHOUT processing it: the scenario
+  /// player steps, the frame counter (and with it the key-frame cadence and
+  /// dropout schedules) advances, but no camera renders, detects or tracks
+  /// — zero GPU demand, no recall sample. The paced runtime (mvs::rt) uses
+  /// this for frames its late policy drops or supersedes; tracking flow
+  /// simply spans the gap at the next processed frame. Allocation-free once
+  /// warm.
+  void skip_frame();
+
+  /// Ground truth of the most recently advanced frame (run_frame OR
+  /// skip_frame). Valid until the next advance; undefined before the first.
+  const sim::MultiFrame& current_frame() const;
+
+  /// Per-camera boxes reported by the most recent PROCESSED frame (what
+  /// run_frame scored against recall). Not updated by skip_frame.
+  const std::vector<std::vector<geom::BBox>>& last_reported() const;
+
   /// Snapshot of everything run so far (all frames since construction, with
   /// the aggregate recall over them).
   PipelineResult result() const;
@@ -181,6 +203,8 @@ class Pipeline {
   std::size_t camera_count() const;
   /// Per-camera device profiles of the deployment (scenario order).
   std::vector<gpu::DeviceProfile> devices() const;
+  /// Scenario being driven (fps, camera layout, quality schedule).
+  const sim::Scenario& scenario() const;
 
   /// Flip the tight_masks degraded mode at a frame boundary (fleet
   /// re-admission un-tightens a session's masks without rebuilding it).

@@ -39,6 +39,12 @@ enum class TraceEventType {
   kDeviceScale,    ///< device pool grown/shrunk; value = new device count
   kBatchSplit,     ///< arbiter split an over-full batch; value = deferred tasks
   kSessionRedegrade,  ///< sustained pressure re-applied a degrade rung
+  // Streaming-perception runtime events (mvs::rt). `frame` is the arrival's
+  // evaluation-frame index and `value` the frame's age (ms past capture) at
+  // the decision point.
+  kRtDrop,          ///< paced runtime dropped a frame stale past its deadline
+  kRtSupersede,     ///< a newer arrival displaced a still-queued stale frame
+  kRtDeadlineMiss,  ///< a frame's result landed (or would land) past deadline
   kTraceEventTypeCount_,  ///< sentinel: number of event types (not an event)
 };
 

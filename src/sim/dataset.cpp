@@ -7,6 +7,9 @@ namespace mvs::sim {
 ScenarioPlayer::ScenarioPlayer(Scenario scenario, double warmup_s)
     : scenario_(std::move(scenario)) {
   assert(scenario_.world);
+  // A scenario that declares its own warmup (city grids: long corridors
+  // need time to fill) overrides the caller's default.
+  if (scenario_.warmup_s >= 0.0) warmup_s = scenario_.warmup_s;
   const double dt = 1.0 / scenario_.fps;
   for (double t = 0.0; t < warmup_s; t += dt) scenario_.world->step(dt);
 }

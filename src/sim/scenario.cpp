@@ -1,9 +1,16 @@
 #include "sim/scenario.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace mvs::sim {
+
+bool QualitySchedule::is_night(double t) const {
+  if (!enabled || period_s <= 0.0) return false;
+  return std::fmod(t, 2.0 * period_s) >= period_s;
+}
 
 namespace {
 
@@ -113,10 +120,113 @@ Scenario make_s3(std::uint64_t seed) {
   return s;
 }
 
+Scenario make_city(const CityConfig& config, std::uint64_t seed) {
+  if (config.cameras < 1 || config.block_m <= 0.0 ||
+      config.camera_depth_m <= 0.0 || config.rate_per_s < 0.0)
+    throw std::invalid_argument("city config out of range");
+  const int cols = std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(double(config.cameras)))));
+  const int rows = (config.cameras + cols - 1) / cols;
+  // Corridor span: one block of approach before the first pole and enough
+  // road past the last pole that departures happen off-camera.
+  const double x0 = -config.block_m;
+  const double x1 = cols * config.block_m + config.camera_depth_m;
+  const double corridor_gap = 4.0 * config.block_m;  // rows can't see each other
+
+  std::vector<Route> routes;
+  std::vector<TrafficStream> streams;
+  const std::array<double, 4> vehicle_cdf = {0.85, 0.95, 1.0, 1.0};
+  for (int r = 0; r < rows; ++r) {
+    const double y = r * corridor_gap;
+    routes.emplace_back(std::vector<geom::Vec2>{{x0, y - 2.0}, {x1, y - 2.0}},
+                        10.0);
+    streams.push_back(
+        {static_cast<int>(routes.size()) - 1, config.rate_per_s, vehicle_cdf});
+    routes.emplace_back(std::vector<geom::Vec2>{{x1, y + 2.0}, {x0, y + 2.0}},
+                        10.0);
+    streams.push_back(
+        {static_cast<int>(routes.size()) - 1, config.rate_per_s, vehicle_cdf});
+  }
+
+  Scenario s;
+  s.name = city_scenario_name(config);
+  s.world = std::make_unique<World>(std::move(routes), std::move(streams),
+                                    LightSchedule{}, seed);
+  // Long corridors need time to fill with through traffic before frame 0.
+  const double corridor_m = x1 - x0;
+  s.warmup_s = 45.0 + corridor_m / 8.0;
+
+  if (config.flash_at_s >= 0.0 && config.flash_duration_s > 0.0) {
+    // flash_at_s is evaluation time; the world clock includes the warmup.
+    const double from = s.warmup_s + config.flash_at_s;
+    s.world->add_rate_burst(
+        {from, from + config.flash_duration_s, config.flash_multiplier});
+  }
+  if (config.day_night) {
+    s.quality.enabled = true;
+    s.quality.period_s = config.night_period_s;
+    s.quality.night_miss_boost = config.night_miss_boost;
+  }
+
+  // One pole per block, all facing east from the south side of the road, so
+  // each covers roughly [pole - 7 m, pole + 0.95 * depth] of its corridor:
+  // consecutive footprints share only a few meters and non-adjacent cameras
+  // share nothing (the sparse pairwise overlap of a real avenue deployment).
+  const std::array<gpu::DeviceProfile, 3> device_cycle = {
+      gpu::jetson_xavier(), gpu::jetson_tx2(), gpu::jetson_nano()};
+  for (int k = 0; k < config.cameras; ++k) {
+    const int r = k / cols;
+    const int c = k % cols;
+    const double px = c * config.block_m;
+    const double py = r * corridor_gap - 20.0;
+    char name[32];
+    std::snprintf(name, sizeof name, "g%02d_%02d", r, c);
+    s.cameras.push_back({name,
+                         make_camera({px, py, 9.0}, 60.0, -16.0, 520.0,
+                                     config.camera_depth_m),
+                         device_cycle[static_cast<std::size_t>(k % 3)]});
+  }
+  return s;
+}
+
+std::string city_scenario_name(const CityConfig& c) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "city:cams=%d;block=%.17g;rate=%.17g;depth=%.17g;"
+      "flash=%.17g,%.17g,%.17g;night=%d,%.17g,%.17g",
+      c.cameras, c.block_m, c.rate_per_s, c.camera_depth_m, c.flash_at_s,
+      c.flash_duration_s, c.flash_multiplier, c.day_night ? 1 : 0,
+      c.night_period_s, c.night_miss_boost);
+  return buf;
+}
+
+std::optional<CityConfig> parse_city_name(const std::string& name) {
+  CityConfig c;
+  if (name == "city") return c;
+  int night = 0;
+  const int n = std::sscanf(
+      name.c_str(),
+      "city:cams=%d;block=%lf;rate=%lf;depth=%lf;"
+      "flash=%lf,%lf,%lf;night=%d,%lf,%lf",
+      &c.cameras, &c.block_m, &c.rate_per_s, &c.camera_depth_m, &c.flash_at_s,
+      &c.flash_duration_s, &c.flash_multiplier, &night, &c.night_period_s,
+      &c.night_miss_boost);
+  if (n != 10) return std::nullopt;
+  if (c.cameras < 1 || c.cameras > 1000 || c.block_m <= 0.0 ||
+      c.camera_depth_m <= 0.0 || c.rate_per_s < 0.0)
+    return std::nullopt;
+  c.day_night = night != 0;
+  return c;
+}
+
 Scenario make_scenario(const std::string& name, std::uint64_t seed) {
   if (name == "S1") return make_s1(seed);
   if (name == "S2") return make_s2(seed);
   if (name == "S3") return make_s3(seed);
+  if (name.rfind("city", 0) == 0) {
+    if (const auto city = parse_city_name(name)) return make_city(*city, seed);
+  }
   throw std::invalid_argument("unknown scenario: " + name);
 }
 

@@ -73,9 +73,17 @@ void World::step(double dt) {
   time_ += dt;
 }
 
+double World::rate_multiplier(double t) const {
+  double k = 1.0;
+  for (const RateBurst& b : bursts_)
+    if (t >= b.from_s && t < b.to_s) k *= b.multiplier;
+  return k;
+}
+
 void World::spawn_arrivals(double dt) {
+  const double burst = rate_multiplier(time_);
   for (const TrafficStream& stream : streams_) {
-    const int arrivals = rng_.poisson(stream.rate_per_s * dt);
+    const int arrivals = rng_.poisson(stream.rate_per_s * burst * dt);
     for (int a = 0; a < arrivals; ++a) {
       const Route& route = routes_[static_cast<std::size_t>(stream.route_index)];
       // Keep a spawn gap: skip the arrival if another object occupies the

@@ -85,6 +85,14 @@ struct TrafficStream {
   std::array<double, 4> class_cdf = {0.80, 0.92, 0.97, 1.0};
 };
 
+/// A temporary arrival-rate surge (flash crowd): every stream's Poisson rate
+/// is multiplied by `multiplier` while world time is in [from_s, to_s).
+struct RateBurst {
+  double from_s = 0.0;
+  double to_s = 0.0;
+  double multiplier = 1.0;
+};
+
 /// Two-phase traffic-light controller (e.g. NS green vs EW green).
 struct LightSchedule {
   double green_s = 12.0;   ///< green duration per phase
@@ -111,6 +119,13 @@ class World {
   /// Total objects ever spawned (ids are dense from 1).
   std::uint64_t spawned_count() const { return next_id_ - 1; }
 
+  /// Register a flash-crowd window (may be called multiple times;
+  /// overlapping bursts multiply). Applies from the next step().
+  void add_rate_burst(const RateBurst& burst) { bursts_.push_back(burst); }
+
+  /// Combined rate multiplier at world time t (1.0 outside all bursts).
+  double rate_multiplier(double t) const;
+
  private:
   void spawn_arrivals(double dt);
   void move_objects(double dt);
@@ -120,6 +135,7 @@ class World {
 
   std::vector<Route> routes_;
   std::vector<TrafficStream> streams_;
+  std::vector<RateBurst> bursts_;
   LightSchedule lights_;
   util::Rng rng_;
   std::vector<WorldObject> objects_;

@@ -18,6 +18,7 @@
 
 #include "fleet/fleet.hpp"
 #include "obs/obs.hpp"
+#include "rt/runner.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/alloc_track.hpp"
 
@@ -161,6 +162,41 @@ TEST(AllocGuard, FleetSteadyTicksAllocateNothing) {
   EXPECT_EQ(streak, kRequiredStreak)
       << "fleet never reached a zero-allocation steady state in " << ticks
       << " ticks";
+}
+
+// The paced runtime inherits the invariant: once the arrival queue and the
+// streaming scorer's emission pool have hit their high-water marks, a
+// steady-state step() — arrival bookkeeping, drop/supersede resolution,
+// service accounting, emission copy, instant scoring — allocates nothing.
+// Ticks that process a key frame are exempt, exactly like the raw pipeline.
+TEST(AllocGuard, PacedRuntimeSteadyTicksAllocateNothing) {
+  runtime::PipelineConfig cfg;
+  cfg.threads = 4;
+  cfg.keep_history = false;
+  runtime::RtConfig rtc;
+  rtc.paced = true;
+  rtc.deadline_ms = 80.0;
+  rtc.late_policy = runtime::LatePolicy::kSupersede;
+  rtc.arrival_jitter_ms = 5.0;
+  rt::RtRunner runner("S2", cfg, rtc);
+
+  constexpr int kRequiredStreak = 9;
+  int streak = 0;
+  int ticks = 0;
+  for (; ticks < kMaxTicks && streak < kRequiredStreak; ++ticks) {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    const rt::StepOutcome out = runner.step();
+    g_armed.store(false, std::memory_order_relaxed);
+    if (out.key_frame_ran) continue;  // key frames are exempt by design
+    if (g_allocs.load(std::memory_order_relaxed) == 0)
+      ++streak;
+    else
+      streak = 0;
+  }
+  EXPECT_EQ(streak, kRequiredStreak)
+      << "paced runtime never reached a zero-allocation steady state in "
+      << ticks << " ticks";
 }
 
 TEST(AllocGuard, SpanRecordingAllocatesNothingOnHotThread) {

@@ -2,6 +2,7 @@
 
 #include "policy/policy.hpp"
 #include "runtime/config.hpp"
+#include "sim/scenario.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
 
@@ -438,6 +439,146 @@ TEST(FleetRunConfig, PlainDocumentHasNoFleet) {
   const auto doc = util::Json::parse(dump_run_config(*config));
   ASSERT_TRUE(doc.has_value());
   EXPECT_EQ(doc->find("fleet"), nullptr);
+}
+
+TEST(RtRunConfig, DefaultsAreInert) {
+  const auto config = runtime::parse_run_config("{}");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_FALSE(config->rt.paced);
+  EXPECT_DOUBLE_EQ(config->rt.deadline_ms, 100.0);
+  EXPECT_EQ(config->rt.late_policy, runtime::LatePolicy::kSupersede);
+}
+
+TEST(RtRunConfig, ParseAndRoundTrip) {
+  const auto config = runtime::parse_run_config(R"({
+    "rt": {"paced": true, "frame_period_ms": 50, "deadline_ms": 80,
+           "late_policy": "drop", "arrival_jitter_ms": 4.5,
+           "fixed_overhead_ms": 2.0}
+  })");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(config->rt.paced);
+  EXPECT_DOUBLE_EQ(config->rt.frame_period_ms, 50.0);
+  EXPECT_DOUBLE_EQ(config->rt.deadline_ms, 80.0);
+  EXPECT_EQ(config->rt.late_policy, runtime::LatePolicy::kDrop);
+  EXPECT_DOUBLE_EQ(config->rt.arrival_jitter_ms, 4.5);
+  EXPECT_DOUBLE_EQ(config->rt.fixed_overhead_ms, 2.0);
+
+  const auto again = runtime::parse_run_config(dump_run_config(*config));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->rt.paced);
+  EXPECT_DOUBLE_EQ(again->rt.frame_period_ms, 50.0);
+  EXPECT_DOUBLE_EQ(again->rt.deadline_ms, 80.0);
+  EXPECT_EQ(again->rt.late_policy, runtime::LatePolicy::kDrop);
+  EXPECT_DOUBLE_EQ(again->rt.arrival_jitter_ms, 4.5);
+  EXPECT_DOUBLE_EQ(again->rt.fixed_overhead_ms, 2.0);
+}
+
+TEST(RtRunConfig, UnknownKeyAndBadValuesAreHardErrors) {
+  std::string error;
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"rt": {"paced": true, "deadline": 80}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown rt key"), std::string::npos);
+  EXPECT_NE(error.find("deadline"), std::string::npos);
+
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"rt": {"late_policy": "yolo"}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("late_policy"), std::string::npos);
+
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"rt": {"arrival_jitter_ms": -1}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(R"({"rt": 3})", &error).has_value());
+}
+
+TEST(RtRunConfig, LatePolicyNames) {
+  EXPECT_EQ(runtime::parse_late_policy("drop"), runtime::LatePolicy::kDrop);
+  EXPECT_EQ(runtime::parse_late_policy("Supersede"),
+            runtime::LatePolicy::kSupersede);
+  EXPECT_EQ(runtime::parse_late_policy("finish-late"),
+            runtime::LatePolicy::kFinishLate);
+  EXPECT_FALSE(runtime::parse_late_policy("never").has_value());
+  EXPECT_STREQ(runtime::to_string(runtime::LatePolicy::kDrop), "drop");
+  EXPECT_STREQ(runtime::to_string(runtime::LatePolicy::kSupersede),
+               "supersede");
+  EXPECT_STREQ(runtime::to_string(runtime::LatePolicy::kFinishLate),
+               "finish-late");
+}
+
+TEST(CityRunConfig, BlockGeneratesScenarioNameAndRoundTrips) {
+  const auto config = runtime::parse_run_config(R"({
+    "city": {"cameras": 50, "rate_per_s": 0.04, "flash_at_s": 30,
+             "day_night": true}
+  })");
+  ASSERT_TRUE(config.has_value());
+  const auto city = sim::parse_city_name(config->scenario);
+  ASSERT_TRUE(city.has_value()) << config->scenario;
+  EXPECT_EQ(city->cameras, 50);
+  EXPECT_DOUBLE_EQ(city->rate_per_s, 0.04);
+  EXPECT_DOUBLE_EQ(city->flash_at_s, 30.0);
+  EXPECT_TRUE(city->day_night);
+
+  // Dump re-emits a "city" block plus the encoded scenario name; both
+  // survive the round trip.
+  const auto again = runtime::parse_run_config(dump_run_config(*config));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->scenario, config->scenario);
+}
+
+TEST(CityRunConfig, BareCityScenarioNameIsValid) {
+  const auto config = runtime::parse_run_config(R"({"scenario": "city"})");
+  ASSERT_TRUE(config.has_value());
+  const auto city = sim::parse_city_name(config->scenario);
+  ASSERT_TRUE(city.has_value());
+  EXPECT_EQ(city->cameras, 50);
+}
+
+TEST(CityRunConfig, ConflictsAndUnknownKeysAreHardErrors) {
+  std::string error;
+  // An explicit non-city scenario alongside a city block is a contradiction.
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"scenario": "S1", "city": {"cameras": 10}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("conflicts"), std::string::npos);
+
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"city": {"camera_count": 10}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown city key"), std::string::npos);
+
+  EXPECT_FALSE(runtime::parse_run_config(R"({"city": {"cameras": 0}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"city": {"block_m": -5}})", &error)
+                   .has_value());
+}
+
+TEST(RunConfig, GateKeysParseAndRoundTrip) {
+  const auto config = runtime::parse_run_config(R"({
+    "policy": {"correlation_gate": true, "gate_threshold": 0.1,
+               "gate_window": 40, "gate_hold": 25}
+  })");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(config->pipeline.frame_policy.correlation_gate);
+  EXPECT_DOUBLE_EQ(config->pipeline.frame_policy.gate_threshold, 0.1);
+  EXPECT_EQ(config->pipeline.frame_policy.gate_window, 40);
+  EXPECT_EQ(config->pipeline.frame_policy.gate_hold, 25);
+
+  const auto again = runtime::parse_run_config(dump_run_config(*config));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->pipeline.frame_policy.correlation_gate);
+  EXPECT_DOUBLE_EQ(again->pipeline.frame_policy.gate_threshold, 0.1);
+  EXPECT_EQ(again->pipeline.frame_policy.gate_window, 40);
+  EXPECT_EQ(again->pipeline.frame_policy.gate_hold, 25);
+
+  std::string error;
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"policy": {"gate_threshold": 1.5}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"policy": {"gate_window": 0}})", &error)
+                   .has_value());
 }
 
 }  // namespace

@@ -101,6 +101,9 @@ TEST(TraceRecorder, EventTypeNames) {
   EXPECT_STREQ(to_string(TraceEventType::kSessionEvict), "session_evict");
   EXPECT_STREQ(to_string(TraceEventType::kSessionDefer), "session_defer");
   EXPECT_STREQ(to_string(TraceEventType::kSessionReadmit), "session_readmit");
+  EXPECT_STREQ(to_string(TraceEventType::kRtDrop), "rt_drop");
+  EXPECT_STREQ(to_string(TraceEventType::kRtSupersede), "rt_supersede");
+  EXPECT_STREQ(to_string(TraceEventType::kRtDeadlineMiss), "rt_deadline_miss");
   EXPECT_STREQ(to_string(TraceEventType::kDeviceScale), "device_scale");
   EXPECT_STREQ(to_string(TraceEventType::kBatchSplit), "batch_split");
 }

@@ -13,6 +13,9 @@
 //   bench_report --metrics-json metrics.json   # report-only: print the
 //                per-stage latency breakdown from an mvs::obs metrics
 //                snapshot (e.g. mvsched_cli --metrics-json output)
+//   bench_report --streaming-json BENCH_streaming.json   # report-only:
+//                pretty-print a bench_streaming artifact (budget sweep,
+//                late policies, city gating rows, acceptance verdicts)
 //
 // The timed pipeline reps run with observability DISABLED (the committed
 // BENCH_pipeline.json baseline is the null-sink number); one extra
@@ -197,6 +200,53 @@ util::Json::Object print_stage_breakdown(const util::Json& metrics) {
   return stages;
 }
 
+/// Report-only view of a bench_streaming artifact: one table over the
+/// budget sweep, the late-policy comparison and the city gating rows, then
+/// the acceptance verdicts. Returns false on a schema mismatch.
+bool print_streaming_report(const util::Json& doc) {
+  const util::Json* s = doc.find("streaming");
+  if (!s || !s->is_object()) {
+    std::fprintf(stderr, "no \"streaming\" object in artifact\n");
+    return false;
+  }
+  util::Table table({"row", "budget", "policy", "s_recall", "o_recall",
+                     "drop", "miss", "lag_ms", "busy_ms"});
+  const auto add_rows = [&table](const util::Json* rows, const char* label) {
+    if (!rows || !rows->is_array()) return;
+    for (const util::Json& r : rows->as_array()) {
+      if (!r.is_object()) continue;
+      const double budget = r.number_or("deadline_ms", 0.0);
+      std::string name = r.string_or("label", label);
+      table.add_row({name,
+                     budget > 0.0 ? util::Table::fmt(budget, 0) : "inf",
+                     r.string_or("late_policy", "?"),
+                     util::Table::fmt(r.number_or("streaming_recall", 0), 3),
+                     util::Table::fmt(r.number_or("object_recall", 0), 3),
+                     util::Table::fmt(r.number_or("drop_rate", 0), 3),
+                     util::Table::fmt(r.number_or("miss_rate", 0), 3),
+                     util::Table::fmt(r.number_or("mean_lag_ms", 0), 1),
+                     util::Table::fmt(r.number_or("gpu_busy_ms", 0), 0)});
+    }
+  };
+  add_rows(s->find("budget_sweep"), "budget");
+  add_rows(s->find("late_policies"), "policy");
+  add_rows(s->find("city"), "city");
+  std::printf("%s", table.to_string().c_str());
+  std::printf("monotone budget curve : %s\n",
+              s->bool_or("monotone", false) ? "yes" : "NO");
+  std::printf("rt-of-one identity    : %s\n",
+              s->bool_or("rt_of_one_identical", false) ? "yes" : "NO");
+  if (s->find("city_pass"))
+    std::printf("city gating           : busy cut %.1f%% at %.4f recall "
+                "loss -> %s\n",
+                100.0 * s->number_or("city_busy_cut", 0.0),
+                s->number_or("city_recall_loss", 0.0),
+                s->bool_or("city_pass", false) ? "pass" : "FAIL");
+  std::printf("acceptance            : %s\n",
+              s->bool_or("pass", false) ? "pass" : "FAIL");
+  return true;
+}
+
 void write_report(const std::string& path, const char* section,
                   util::Json::Object body) {
   util::Json::Object doc;
@@ -235,6 +285,29 @@ int main(int argc, char** argv) {
     std::printf("per-stage latency breakdown (%s):\n", metrics_path.c_str());
     (void)print_stage_breakdown(*doc);
     return 0;
+  }
+
+  // Report-only mode: pretty-print a bench_streaming artifact.
+  const std::string streaming_path = args.get_or("streaming-json", "");
+  if (!streaming_path.empty()) {
+    std::ifstream in(streaming_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --streaming-json file: %s\n",
+                   streaming_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const std::optional<util::Json> doc =
+        util::Json::parse(text.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "malformed streaming JSON %s: %s\n",
+                   streaming_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("streaming-perception report (%s):\n", streaming_path.c_str());
+    return print_streaming_report(*doc) ? 0 : 1;
   }
 
   const int reps = args.int_or("reps", 7);

@@ -22,8 +22,10 @@
 
 #include "fleet/fleet.hpp"
 #include "obs/obs.hpp"
+#include "rt/runner.hpp"
 #include "runtime/config.hpp"
 #include "runtime/pipeline.hpp"
+#include "sim/scenario.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -36,7 +38,9 @@ int usage(const char* prog, int exit_code) {
       "usage: %s [options] | --config file.json | --dump-config | --help\n"
       "\n"
       "run options:\n"
-      "  --scenario S1|S2|S3     scenario to simulate (default S1)\n"
+      "  --scenario NAME         scenario to simulate (default S1): S1, S2,\n"
+      "                          S3, or an encoded city name (\"city:c=50,"
+      "...\")\n"
       "  --policy full|balb-ind|balb-cen|balb|sp\n"
       "                          scheduling policy (default balb)\n"
       "  --frames N              evaluation frames to run (default 200)\n"
@@ -98,6 +102,38 @@ int usage(const char* prog, int exit_code) {
       "                          pools scale sublinearly like real\n"
       "                          accelerators)\n"
       "  --fleet-json FILE       write the fleet/session rollup JSON\n"
+      "\n"
+      "streaming perception (mvs::rt):\n"
+      "  --paced                 run under the paced runtime: frames arrive\n"
+      "                          on a virtual wall clock and carry deadline\n"
+      "                          budgets; prints streaming metrics (any rt\n"
+      "                          flag below implies --paced; standalone runs\n"
+      "                          only, ignored with --fleet)\n"
+      "  --frame-period-ms X     arrival period (default 0 = derive from\n"
+      "                          the scenario's fps)\n"
+      "  --deadline-ms X         per-frame budget past capture (default\n"
+      "                          100, the streaming-perception rule;\n"
+      "                          0 = infinite)\n"
+      "  --late-policy MODE      drop|supersede|finish-late: what happens\n"
+      "                          to a frame already past its budget\n"
+      "                          (default supersede)\n"
+      "  --arrival-jitter-ms X   mean exponential per-camera capture\n"
+      "                          jitter (default 0)\n"
+      "  --rt-overhead-ms X      fixed per-frame service overhead\n"
+      "                          (default 0)\n"
+      "\n"
+      "city-scale scenarios (mvs::sim):\n"
+      "  --city-grid N           synthesize an N-camera sparse city grid\n"
+      "                          and use it as the scenario\n"
+      "  --flash-crowd AT:DUR[:MULT]\n"
+      "                          arrival-rate burst: MULT x (default 4)\n"
+      "                          for DUR seconds starting AT seconds into\n"
+      "                          the evaluation\n"
+      "  --correlation-gate      learn ReXCam-style cross-camera\n"
+      "                          correlations in training and skip\n"
+      "                          detection on cold cameras\n"
+      "  --gate-hold N           frames a camera stays hot after its\n"
+      "                          trigger goes away (default 80)\n"
       "\n"
       "observability (mvs::obs):\n"
       "  --chrome-trace FILE     record spans and write Chrome trace-event\n"
@@ -167,6 +203,25 @@ bool parse_device_scale(const std::string& spec,
   return !out->empty();
 }
 
+/// Parse "AT:DUR[:MULT]" flash-crowd bursts (seconds, seconds, rate
+/// multiplier) into the city config.
+bool parse_flash_crowd(const std::string& spec, mvs::sim::CityConfig* city) {
+  char* end = nullptr;
+  const char* s = spec.c_str();
+  city->flash_at_s = std::strtod(s, &end);
+  if (end == s || *end != ':') return false;
+  s = end + 1;
+  city->flash_duration_s = std::strtod(s, &end);
+  if (end == s) return false;
+  if (*end == ':') {
+    s = end + 1;
+    city->flash_multiplier = std::strtod(s, &end);
+    if (end == s) return false;
+  }
+  return *end == '\0' && city->flash_at_s >= 0.0 &&
+         city->flash_duration_s > 0.0 && city->flash_multiplier > 0.0;
+}
+
 /// Parse a comma-separated number list ("10,15,30").
 bool parse_number_list(const std::string& spec, std::vector<double>* out) {
   std::istringstream list(spec);
@@ -187,7 +242,7 @@ int main(int argc, char** argv) {
   const util::Args args = util::Args::parse(
       argc, argv,
       {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet",
-       "split-batches", "paired-rng"});
+       "split-batches", "paired-rng", "paced", "correlation-gate"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -214,6 +269,14 @@ int main(int argc, char** argv) {
     run = *parsed;
   }
 
+  // The scenario may be given positionally (`mvsched_cli S2 ...`) or via
+  // --scenario; the explicit flag wins when both are present.
+  if (args.positional().size() > 1) {
+    std::fprintf(stderr, "unexpected argument: %s\n",
+                 args.positional()[1].c_str());
+    return usage(argv[0], 2);
+  }
+  if (!args.positional().empty()) run.scenario = args.positional().front();
   run.scenario = args.get_or("scenario", run.scenario);
   if (const auto name = args.get("policy")) {
     const auto policy = runtime::parse_policy(*name);
@@ -314,7 +377,73 @@ int main(int argc, char** argv) {
     return usage(argv[0], 2);
   }
 
-  if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3")
+  // Streaming-perception pacing (mvs::rt): CLI parity with the "rt" config
+  // block. Any rt knob implies --paced, so `--deadline-ms 80` alone does
+  // what it looks like it does.
+  runtime::RtConfig& rt = run.rt;
+  if (args.has("paced")) rt.paced = true;
+  if (args.has("frame-period-ms")) {
+    rt.frame_period_ms = args.number_or("frame-period-ms", rt.frame_period_ms);
+    rt.paced = true;
+  }
+  if (args.has("deadline-ms")) {
+    rt.deadline_ms = args.number_or("deadline-ms", rt.deadline_ms);
+    rt.paced = true;
+  }
+  if (args.has("arrival-jitter-ms")) {
+    rt.arrival_jitter_ms =
+        args.number_or("arrival-jitter-ms", rt.arrival_jitter_ms);
+    rt.paced = true;
+  }
+  if (args.has("rt-overhead-ms")) {
+    rt.fixed_overhead_ms =
+        args.number_or("rt-overhead-ms", rt.fixed_overhead_ms);
+    rt.paced = true;
+  }
+  if (const auto name = args.get("late-policy")) {
+    const auto policy = runtime::parse_late_policy(*name);
+    if (!policy) {
+      std::fprintf(stderr, "unknown late policy: %s\n", name->c_str());
+      return usage(argv[0], 2);
+    }
+    rt.late_policy = *policy;
+    rt.paced = true;
+  }
+  if (rt.frame_period_ms < 0.0 || rt.deadline_ms < 0.0 ||
+      rt.arrival_jitter_ms < 0.0 || rt.fixed_overhead_ms < 0.0) {
+    std::fprintf(stderr, "rt parameters must be >= 0\n");
+    return usage(argv[0], 2);
+  }
+
+  // City-grid scenarios: --city-grid synthesizes the canonical encoded
+  // "city:..." name (the same string a config file's "city" block produces),
+  // starting from the current scenario when it is already a city.
+  if (args.has("city-grid") || args.has("flash-crowd")) {
+    sim::CityConfig cc;
+    if (const auto existing = sim::parse_city_name(run.scenario))
+      cc = *existing;
+    cc.cameras = args.int_or("city-grid", cc.cameras);
+    if (cc.cameras < 1 || cc.cameras > 1000) {
+      std::fprintf(stderr, "--city-grid must be in [1, 1000]\n");
+      return usage(argv[0], 2);
+    }
+    if (const auto spec = args.get("flash-crowd")) {
+      if (!parse_flash_crowd(*spec, &cc)) {
+        std::fprintf(stderr, "bad --flash-crowd spec: %s\n", spec->c_str());
+        return usage(argv[0], 2);
+      }
+    }
+    run.scenario = sim::city_scenario_name(cc);
+  }
+  if (args.has("correlation-gate")) fp.correlation_gate = true;
+  fp.gate_hold = args.int_or("gate-hold", fp.gate_hold);
+  if (fp.gate_hold < 0) {
+    std::fprintf(stderr, "--gate-hold must be >= 0\n");
+    return usage(argv[0], 2);
+  }
+
+  if (run.scenario != "S1" && run.scenario != "S2" && run.scenario != "S3" &&
+      !sim::parse_city_name(run.scenario))
     return usage(argv[0], 2);
 
   // Observability: CLI flags override the config's "obs" block and imply
@@ -515,6 +644,43 @@ int main(int argc, char** argv) {
       out << snap.to_json() << '\n';
       std::fprintf(stderr, "wrote %s\n", path->c_str());
     }
+    write_obs_exports();
+    return 0;
+  }
+
+  // Paced streaming run: frames arrive on the virtual wall clock, each with
+  // a deadline budget; the summary reports streaming recall (emitted tracks
+  // scored against the world at emission time) next to the classic offline
+  // recall.
+  if (run.rt.paced) {
+    rt::RtRunner runner(run.scenario, run.pipeline, run.rt);
+    std::fprintf(stderr,
+                 "running paced %s / %s for %d frames (period=%.0f ms, "
+                 "deadline=%s, late=%s)...\n",
+                 run.scenario.c_str(),
+                 runtime::to_string(run.pipeline.policy), run.frames,
+                 runner.frame_period_ms(),
+                 run.rt.deadline_ms > 0.0
+                     ? (util::Table::fmt(run.rt.deadline_ms, 0) + " ms").c_str()
+                     : "inf",
+                 runtime::to_string(run.rt.late_policy));
+    const rt::RtResult r = runner.run(run.frames);
+    const rt::RtCounters& c = r.counters;
+    std::printf("scenario            : %s\n", run.scenario.c_str());
+    std::printf("policy              : %s | late policy %s\n",
+                runtime::to_string(run.pipeline.policy),
+                runtime::to_string(run.rt.late_policy));
+    std::printf("frames              : %ld arrived | %ld processed | "
+                "%ld dropped | %ld superseded | %ld missed deadline\n",
+                c.arrived, c.processed, c.dropped, c.superseded,
+                c.deadline_miss);
+    std::printf("streaming recall    : %.3f (over %ld instants)\n",
+                r.streaming_recall, r.instants);
+    std::printf("object recall       : %.3f\n", r.object_recall);
+    std::printf("emission lag        : mean %.1f ms | max %.1f ms\n",
+                r.mean_lag_ms, r.max_lag_ms);
+    std::printf("gpu busy            : %.0f ms over %.0f ms makespan\n",
+                c.gpu_busy_ms, r.makespan_ms);
     write_obs_exports();
     return 0;
   }
