@@ -1,5 +1,5 @@
 // Fleet throughput-scaling benchmark: host 1..N identical sessions on one
-// mvs::fleet::Fleet and measure wall-clock serving throughput plus the
+// mvs::fleet serving plane and measure wall-clock serving throughput plus the
 // cross-session batching advantage over N isolated deployments (the paper's
 // single-deployment setting, reported by the arbiter as the isolated
 // counterfactual of the SAME work).
@@ -9,11 +9,18 @@
 //               [--dispatch rr|weighted] [--threads 0] [--seed 42]
 //               [--dispatch-overhead-ms 0] [--overhead-sweep-ms 2]
 //               [--json out.json]
+//   bench_fleet --scale [--scale-sessions 1000,4000,10000]
+//               [--scale-shards 1,2,4,8] [--ticks 20] [--json out.json]
 //
 // Sweeps session counts 1..--sessions. Session construction (association
 // training) happens outside the timed region; run(ticks) is timed. Batch and
 // busy-time counters are deterministic for a given (scenario, seed, ticks);
 // only the wall-clock columns vary run to run.
+//
+// --scale switches to the sharded-plane scaling sweep: synthetic-load
+// sessions (no vision stack) hosted on ShardedFleet planes of each listed
+// shard count, reporting ticks/sec, the second merge level's cross-shard
+// batch savings, and device-pool queue drain (bench/fleet_scale.hpp).
 
 #include <algorithm>
 #include <cstdio>
@@ -21,7 +28,10 @@
 #include <string>
 #include <vector>
 
-#include "fleet/fleet.hpp"
+#include <memory>
+
+#include "bench/fleet_scale.hpp"
+#include "fleet/fleet_api.hpp"
 #include "util/args.hpp"
 #include "util/bench_info.hpp"
 #include "util/json.hpp"
@@ -30,7 +40,7 @@
 
 int main(int argc, char** argv) {
   using namespace mvs;
-  const util::Args args = util::Args::parse(argc, argv);
+  const util::Args args = util::Args::parse(argc, argv, {"scale"});
   const std::string scenario = args.get_or("scenario", "S2");
   const int max_sessions = args.int_or("sessions", 4);
   const int ticks = args.int_or("ticks", 40);
@@ -53,30 +63,100 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Sharded-plane scaling sweep (synthetic sessions; see fleet_scale.hpp).
+  if (args.has("scale")) {
+    const auto parse_int_list = [](const std::string& spec,
+                                   std::vector<int>* out) {
+      std::size_t at = 0;
+      while (at < spec.size()) {
+        std::size_t comma = spec.find(',', at);
+        if (comma == std::string::npos) comma = spec.size();
+        try {
+          out->push_back(std::stoi(spec.substr(at, comma - at)));
+        } catch (...) {
+          return false;
+        }
+        at = comma + 1;
+      }
+      return !out->empty();
+    };
+    std::vector<int> session_counts, shard_counts;
+    if (!parse_int_list(args.get_or("scale-sessions", "1000"),
+                        &session_counts) ||
+        !parse_int_list(args.get_or("scale-shards", "1,2,4,8"),
+                        &shard_counts)) {
+      std::fprintf(stderr, "bad --scale-sessions / --scale-shards list\n");
+      return 1;
+    }
+    const int scale_ticks = args.int_or("ticks", 20);
+
+    util::Table scale_table({"sessions", "shards", "admit_ms", "run_ms",
+                             "ticks/s", "frames", "batches", "x-saved",
+                             "x-saved_ms", "queue_ms", "migrations"});
+    util::Json::Array scale_json;
+    for (const int n : session_counts) {
+      for (const int k : shard_counts) {
+        const bench::ScalePoint p = bench::run_scale_point(
+            scenario, n, k, scale_ticks, seed, cfg.threads);
+        scale_table.add_row(
+            {std::to_string(p.sessions), std::to_string(p.shards),
+             util::Table::fmt(p.admit_ms, 1), util::Table::fmt(p.run_ms, 1),
+             util::Table::fmt(p.ticks_per_sec, 1), std::to_string(p.frames),
+             std::to_string(p.shared_batches),
+             std::to_string(p.cross_batches_saved),
+             util::Table::fmt(p.cross_busy_saved_ms, 1),
+             util::Table::fmt(p.total_queue_ms, 1),
+             std::to_string(p.migrations)});
+        scale_json.push_back(bench::scale_point_json(p));
+      }
+    }
+    std::printf("scenario=%s ticks=%d synthetic scale sweep\n",
+                scenario.c_str(), scale_ticks);
+    std::printf("%s", scale_table.to_string().c_str());
+
+    const std::string json_path = args.get_or("json", "");
+    if (!json_path.empty()) {
+      util::Json::Object body;
+      body["scenario"] = util::Json(scenario);
+      body["ticks"] = util::Json(scale_ticks);
+      body["scale"] = util::Json(std::move(scale_json));
+      util::Json::Object doc;
+      doc["env"] = util::bench_env_json();
+      doc["fleet"] = util::Json(std::move(body));
+      std::ofstream out(json_path);
+      out << util::Json(std::move(doc)).dump() << '\n';
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+  }
+
   util::Table table({"sessions", "cameras", "frames", "run_ms", "frames/s",
                      "batches", "batches_iso", "saved%", "busy_ms", "busy_iso",
                      "occupancy", "p95_ms"});
   util::Json::Array sweep;
 
   for (int n = 1; n <= max_sessions; ++n) {
-    fleet::Fleet fleet(cfg);
+    const std::unique_ptr<fleet::FleetApi> fleet = fleet::make_fleet(cfg);
+    std::vector<fleet::SessionHandle> handles;
     for (int s = 0; s < n; ++s) {
       fleet::SessionSpec spec;
       spec.name = scenario + "#" + std::to_string(s);
       spec.scenario = scenario;
       spec.pipeline.seed = seed + static_cast<std::uint64_t>(s);
-      if (!fleet.admit(spec).admitted) {
+      const fleet::AdmitResult admit = fleet->admit(spec);
+      if (!admit.admitted) {
         std::fprintf(stderr, "session %d rejected at slo=%.1f ms\n", s,
                      cfg.slo_ms);
         return 1;
       }
+      handles.push_back(admit.handle);
     }
 
     util::Stopwatch watch;
-    fleet.run(ticks);
+    fleet->run(ticks);
     const double run_ms = watch.elapsed_ms();
 
-    const fleet::FleetSnapshot snap = fleet.snapshot();
+    const fleet::FleetSnapshot snap = fleet->snapshot();
     long frames = 0;
     int cameras = 0;
     double p95 = 0.0;
@@ -84,13 +164,11 @@ int main(int argc, char** argv) {
       frames += s.frames;
       p95 = std::max(p95, s.p95_ms);
     }
-    for (int s = 0; s < n; ++s)
-      cameras +=
-          static_cast<int>(fleet.session_result(s).frames.empty()
-                               ? 0
-                               : fleet.session_result(s)
-                                     .frames.front()
-                                     .camera_infer_ms.size());
+    for (const fleet::SessionHandle h : handles) {
+      const runtime::PipelineResult r = fleet->result(h);
+      cameras += static_cast<int>(
+          r.frames.empty() ? 0 : r.frames.front().camera_infer_ms.size());
+    }
     const double fps =
         run_ms > 0.0 ? 1000.0 * static_cast<double>(frames) / run_ms : 0.0;
     const double saved =
@@ -144,23 +222,23 @@ int main(int argc, char** argv) {
     for (const double overhead : {0.0, sweep_overhead_ms}) {
       fleet::FleetConfig run_cfg = cfg;
       run_cfg.dispatch_overhead_ms = overhead;
-      fleet::Fleet fleet(run_cfg);
+      const std::unique_ptr<fleet::FleetApi> fleet = fleet::make_fleet(run_cfg);
       for (int s = 0; s < max_sessions; ++s) {
         fleet::SessionSpec spec;
         spec.name = scenario + "#" + std::to_string(s);
         spec.scenario = scenario;
         spec.pipeline.seed = seed + static_cast<std::uint64_t>(s);
-        if (!fleet.admit(spec).admitted) {
+        if (!fleet->admit(spec).admitted) {
           std::fprintf(stderr, "session %d rejected at slo=%.1f ms\n", s,
                        cfg.slo_ms);
           return 1;
         }
       }
-      for (const auto& [name, count] : fleet.snapshot().device_pools)
-        fleet.scale_devices(name, multiplier - count);
-      fleet.run(ticks);
+      for (const auto& [name, count] : fleet->snapshot().device_pools)
+        fleet->scale_devices(name, multiplier - count);
+      fleet->run(ticks);
 
-      const fleet::FleetSnapshot snap = fleet.snapshot();
+      const fleet::FleetSnapshot snap = fleet->snapshot();
       double p95 = 0.0;
       for (const fleet::SessionSnapshot& s : snap.sessions)
         p95 = std::max(p95, s.p95_ms);

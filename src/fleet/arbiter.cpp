@@ -150,6 +150,7 @@ void GpuArbiter::plan_tick_into(const TickContext& ctx, TickPlan& plan) const {
   PlanScratch& s = *scratch_;
 
   plan.shares.resize(active_);
+  plan.cells.clear();
   plan.shared_batches = 0;
   plan.isolated_batches = 0;
   plan.shared_busy_ms = 0.0;
@@ -200,6 +201,7 @@ void GpuArbiter::plan_tick_into(const TickContext& ctx, TickPlan& plan) const {
     const int devices = device_count(g.name);
     PlanScratch::ClassOutcome& out = s.outcome;
     run_class(subs_, g, g.counts, g.total, devices, oh, out);
+    const std::vector<int>* executed = &g.total;
 
     // Preemptive split: when the schedule would make a top-weight
     // contributor miss the SLO, defer half of one over-full batch (the last
@@ -262,9 +264,17 @@ void GpuArbiter::plan_tick_into(const TickContext& ctx, TickPlan& plan) const {
         if (deferred_any) {
           ++plan.splits;
           run_class(subs_, g, s.split_counts, s.split_total, devices, oh, out);
+          executed = &s.split_total;
         }
       }
     }
+
+    // Expose the class's executed (post-split) counts for the second merge
+    // level; warm ticks reuse the vector's capacity (no allocation).
+    for (std::size_t sc = 0; sc < executed->size(); ++sc)
+      if ((*executed)[sc] > 0)
+        plan.cells.push_back(
+            {g.device, static_cast<geom::SizeClassId>(sc), (*executed)[sc]});
 
     plan.shared_batches += static_cast<long>(out.merged.batches.size());
     plan.shared_busy_ms +=

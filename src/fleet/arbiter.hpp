@@ -85,9 +85,21 @@ struct DeferredSlice {
   int count = 0;
 };
 
+/// One (device class, size class) cell of a tick's merged plan: the task
+/// count the class actually executed this tick (post-split). This is the
+/// hook for the SECOND merge level: a ShardedFleet folds every shard's
+/// cells per device class to price what a cross-shard merge would save
+/// (sharded_fleet.cpp). Only non-empty cells are listed.
+struct MergeCell {
+  const gpu::DeviceProfile* device = nullptr;  ///< non-owning
+  geom::SizeClassId size_class = 0;
+  int count = 0;
+};
+
 /// One tick's merged plan across every submission.
 struct TickPlan {
   std::vector<Attribution> shares;  ///< submission order
+  std::vector<MergeCell> cells;     ///< merged counts per (class, size)
   /// Partial-frame batches in the merged plan / summed per-submission plans
   /// (full-frame inspections excluded from both counts: they are identical
   /// on both sides and would dilute the batching comparison).

@@ -37,6 +37,16 @@ const char* to_string(SessionState state) {
   return "?";
 }
 
+const char* to_string(FleetStatus status) {
+  switch (status) {
+    case FleetStatus::kOk: return "ok";
+    case FleetStatus::kStaleHandle: return "stale-handle";
+    case FleetStatus::kUnknownSession: return "unknown-session";
+    case FleetStatus::kInvalidState: return "invalid-state";
+  }
+  return "?";
+}
+
 std::optional<FleetConfig> make_fleet_config(
     const runtime::FleetRunConfig& config, std::string* error) {
   const auto dispatch = parse_dispatch(config.dispatch);
@@ -60,44 +70,60 @@ std::optional<FleetConfig> make_fleet_config(
     return std::nullopt;
   }
   cfg.dispatch_overhead_ms = config.dispatch_overhead_ms;
+  if (config.shards < 1) {
+    if (error) *error = "shards must be >= 1";
+    return std::nullopt;
+  }
+  cfg.shards = config.shards;
+  if (config.shard_capacity < 0) {
+    if (error) *error = "shard_capacity must be >= 0";
+    return std::nullopt;
+  }
+  cfg.shard_capacity = config.shard_capacity;
+  if (config.rebalance_interval < 0) {
+    if (error) *error = "rebalance_interval must be >= 0";
+    return std::nullopt;
+  }
+  cfg.rebalance_interval = config.rebalance_interval;
+  if (config.rebalance_high_water <= 1.0) {
+    if (error) *error = "rebalance_high_water must be > 1";
+    return std::nullopt;
+  }
+  cfg.rebalance_high_water = config.rebalance_high_water;
   return cfg;
 }
 
-struct Fleet::Session {
-  int id = -1;
-  SessionSpec spec;
-  SessionState state = SessionState::kActive;
-  int fps = 0;           ///< resolved native rate (base rate when spec.fps==0)
-  int period_ticks = 1;  ///< wheel ticks between native frames
-  int stride = 1;        ///< 2 when frame-rate halved (degrade ladder)
-  int phase = 0;         ///< wheel-tick firing offset
-  bool degraded_rate = false;   ///< rate halving applied BY the fleet
-  bool degraded_tight = false;  ///< mask tightening applied BY the fleet
-  std::unique_ptr<runtime::Pipeline> pipeline;
-  std::vector<gpu::DeviceProfile> devices;
-  double static_demand_ms = 0.0;
-  /// Batch-split debt: tasks deferred to this session's next stepped
-  /// submission, per camera.
-  std::map<int, std::vector<geom::SizeClassId>> carryover;
-
-  long frames = 0;
-  long deferred_ticks = 0;
-  long slo_violations = 0;
-  util::SampleSet latency_ms;       ///< per-frame attributed + queueing
-  util::SampleSet isolated_ms;      ///< dedicated-device counterfactual
-  util::SampleSet queue_ms;         ///< per-frame device-pool queueing
-  double busy_sum_ms = 0.0;         ///< Σ attributed over all cameras/frames
-  /// Result snapshot frozen at eviction (the pipeline is destroyed then).
-  runtime::PipelineResult final_result;
-};
-
 Fleet::Fleet(const FleetConfig& config)
     : cfg_(config),
-      pool_(static_cast<std::size_t>(std::max(0, config.threads))) {
+      owned_pool_(std::make_unique<util::ThreadPool>(
+          static_cast<std::size_t>(std::max(0, config.threads)))),
+      pool_(owned_pool_.get()) {
   base_fps_ = std::max(
       1, static_cast<int>(std::lround(
              1000.0 / std::max(1e-6, cfg_.frame_period_ms))));
   wheel_hz_ = base_fps_;
+  const std::string p =
+      cfg_.shard_index < 0
+          ? std::string("fleet.")
+          : "fleet.shard." + std::to_string(cfg_.shard_index) + ".";
+  obs_.ticks = p + "ticks";
+  obs_.frames = p + "frames";
+  obs_.deferred = p + "deferred";
+  obs_.shared_batches = p + "shared_batches";
+  obs_.isolated_batches = p + "isolated_batches";
+  obs_.batch_splits = p + "batch_splits";
+  obs_.tick_busy_ms = p + "tick_busy_ms";
+  obs_.queue_depth = p + "queue_depth";
+  obs_.sessions = p + "sessions";
+  obs_.session_prefix = p + "session.";
+}
+
+Fleet::Fleet(const FleetConfig& config, util::ThreadPool* shared_pool)
+    : Fleet(config) {
+  if (shared_pool) {
+    owned_pool_.reset();
+    pool_ = shared_pool;
+  }
 }
 
 Fleet::~Fleet() = default;
@@ -109,32 +135,47 @@ void Fleet::record(runtime::TraceEventType type, int session_id,
   if (trace_) trace_->record({ticks_, session_id, type, 0, value});
   // Every lifecycle decision (admit/reject/defer/readmit/evict/...) funnels
   // through here; one counter per event type re-expresses them as metrics.
+  // Event counters stay un-prefixed in shard mode on purpose: lifecycle
+  // totals aggregate across the plane (per-shard rollups live on the
+  // step() metrics instead).
   if (obs::enabled())
     obs::metrics()
         .counter(std::string("fleet.events.") + runtime::to_string(type))
         .add(1);
 }
 
-Fleet::Session* Fleet::find(int id) {
+SessionRecord* Fleet::find(int id) {
   for (auto& s : sessions_)
     if (s->id == id) return s.get();
   return nullptr;
 }
 
-const Fleet::Session* Fleet::find(int id) const {
+const SessionRecord* Fleet::find(int id) const {
   for (const auto& s : sessions_)
     if (s->id == id) return s.get();
   return nullptr;
 }
 
-std::size_t Fleet::session_count() const {
-  std::size_t n = 0;
-  for (const auto& s : sessions_) n += (s->state != SessionState::kEvicted);
-  return n;
+SessionRecord* Fleet::find(SessionHandle handle, FleetStatus* status) {
+  return const_cast<SessionRecord*>(
+      static_cast<const Fleet*>(this)->find(handle, status));
 }
 
-SessionState Fleet::state(int id) const {
-  const Session* s = find(id);
+const SessionRecord* Fleet::find(SessionHandle handle,
+                                 FleetStatus* status) const {
+  const HandleTable::Entry* e = handles_.find(handle, status);
+  if (!e) return nullptr;
+  const SessionRecord* s = find(static_cast<int>(e->a));
+  if (!s) {
+    if (status) *status = FleetStatus::kUnknownSession;
+    return nullptr;
+  }
+  if (status) *status = FleetStatus::kOk;
+  return s;
+}
+
+SessionState Fleet::state(SessionHandle handle) const {
+  const SessionRecord* s = find(handle);
   return s ? s->state : SessionState::kEvicted;
 }
 
@@ -171,17 +212,32 @@ double Fleet::estimate_demand_ms(
   return demand;
 }
 
-double Fleet::session_frame_ms(const Session& s) const {
+double Fleet::session_frame_ms(const SessionRecord& s) const {
   return s.frames > 0 ? s.busy_sum_ms / static_cast<double>(s.frames)
                       : s.static_demand_ms;
 }
 
-double Fleet::session_demand_ms(const Session& s) const {
+double Fleet::session_demand_ms(const SessionRecord& s) const {
   // Demand per base frame period: per-frame cost x how often the session
   // fires relative to the base rate. A full-rate base-fps session with
   // stride 1 contributes exactly its per-frame cost.
   return session_frame_ms(s) * static_cast<double>(s.fps) /
          (static_cast<double>(s.stride) * static_cast<double>(base_fps_));
+}
+
+const std::vector<gpu::DeviceProfile>& Fleet::probe_devices(
+    const std::string& scenario, std::uint64_t seed) {
+  const auto it = probe_cache_.find(scenario);
+  if (it != probe_cache_.end()) return it->second;
+  // Probe the deployment's device profiles without building the (expensive)
+  // pipeline: scenario construction is cheap, association training is not.
+  // Profiles are a fixed property of the scenario's camera poles (seed only
+  // drives traffic), so one probe per scenario name serves every admission.
+  std::vector<gpu::DeviceProfile> devices;
+  const sim::Scenario probe = sim::make_scenario(scenario, seed);
+  for (const sim::ScenarioCamera& cam : probe.cameras)
+    devices.push_back(cam.device);
+  return probe_cache_.emplace(scenario, std::move(devices)).first->second;
 }
 
 void Fleet::grow_wheel(int fps) {
@@ -199,6 +255,8 @@ void Fleet::grow_wheel(int fps) {
   wheel_hz_ = static_cast<int>(lcm);
 }
 
+void Fleet::ensure_wheel(int fps) { grow_wheel(std::max(1, fps)); }
+
 AdmitResult Fleet::admit(const SessionSpec& spec) {
   AdmitResult result;
   if (spec.fps < 0) {
@@ -209,24 +267,21 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
   }
   const int fps = spec.fps > 0 ? spec.fps : base_fps_;
 
-  // Probe the deployment's device profiles without building the (expensive)
-  // pipeline: scenario construction is cheap, association training is not.
-  std::vector<gpu::DeviceProfile> devices;
-  {
-    const sim::Scenario probe =
-        sim::make_scenario(spec.scenario, spec.pipeline.seed);
-    for (const sim::ScenarioCamera& cam : probe.cameras)
-      devices.push_back(cam.device);
-  }
+  const std::vector<gpu::DeviceProfile>& devices =
+      probe_devices(spec.scenario, spec.pipeline.seed);
   // Demand normalized to one base period: a session firing faster than the
   // base rate costs proportionally more per period.
   const double demand =
       estimate_demand_ms(devices, spec.pipeline) *
       static_cast<double>(fps) / static_cast<double>(base_fps_);
 
+  // Without an SLO there is nothing to project against, so admission skips
+  // the roster scan entirely — O(1), which is what lets a shard absorb
+  // thousands of admissions. With an SLO the exact projection is kept.
   double current = 0.0;
-  for (const auto& s : sessions_)
-    if (s->state == SessionState::kActive) current += session_demand_ms(*s);
+  if (cfg_.slo_ms > 0.0)
+    for (const auto& s : sessions_)
+      if (s->state == SessionState::kActive) current += session_demand_ms(*s);
 
   // Split-aware headroom: with batch splitting on, an over-full tick can
   // shed half a batch to the next slot instead of missing the SLO, so the
@@ -274,8 +329,8 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
 
   grow_wheel(fps);
 
-  auto session = std::make_unique<Session>();
-  session->id = sessions_.empty() ? 0 : sessions_.back()->id + 1;
+  auto session = std::make_unique<SessionRecord>();
+  session->id = next_id_++;
   session->spec = spec;
   session->spec.pipeline.tight_masks = tight;
   // Per-session fault profile (the self-contained session API): replaces
@@ -297,11 +352,18 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
     for (const auto& s : sessions_) halved += (s->stride > 1);
     session->phase = (halved % 2) * session->period_ticks;
   }
-  session->devices = std::move(devices);
+  session->devices = devices;
   session->static_demand_ms =
       estimate_demand_ms(session->devices, session->spec.pipeline);
-  session->pipeline = std::make_unique<runtime::Pipeline>(
-      spec.scenario, session->spec.pipeline, &pool_);
+  session->placement_demand_ms = demand;
+  if (spec.synthetic) {
+    session->synth = std::make_unique<SyntheticSource>(
+        session->devices, spec.pipeline.seed, cfg_.assumed_tasks_per_camera,
+        spec.pipeline.horizon_frames);
+  } else {
+    session->pipeline = std::make_unique<runtime::Pipeline>(
+        spec.scenario, session->spec.pipeline, pool_);
+  }
 
   // Register this deployment's accelerator classes with the arbiter so the
   // pool sizes show up in snapshots (default one device per class).
@@ -309,42 +371,76 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
     if (!arbiter_.device_counts().count(dev.name()))
       arbiter_.set_device_count(dev.name(), 1);
 
-  result.session_id = session->id;
+  session->handle = handles_.issue();
+  handles_.find(session->handle)->a = session->id;
+  result.handle = session->handle;
   result.admitted = true;
   result.masks_tightened = session->degraded_tight;
   result.rate_halved = stride > 1;
+  result.shard = std::max(0, cfg_.shard_index);
+  ++admitted_;
+  ++live_sessions_;
+  placed_demand_ms_ += session->placement_demand_ms;
   record(runtime::TraceEventType::kSessionAdmit, session->id,
          result.projected_ms);
   sessions_.push_back(std::move(session));
   return result;
 }
 
-bool Fleet::evict(int id) {
-  Session* s = find(id);
-  if (!s || s->state == SessionState::kEvicted) return false;
-  s->final_result = s->pipeline->result();
-  s->pipeline.reset();
+FleetStatus Fleet::evict(SessionHandle handle) {
+  FleetStatus status = FleetStatus::kOk;
+  SessionRecord* s = find(handle, &status);
+  if (!s) return status;
+  if (s->state == SessionState::kEvicted) return FleetStatus::kInvalidState;
+  if (s->pipeline) {
+    s->final_result = s->pipeline->result();
+    s->pipeline.reset();
+  }
+  s->synth.reset();
   s->carryover.clear();
   s->state = SessionState::kEvicted;
   ++evicted_;
-  record(runtime::TraceEventType::kSessionEvict, id, 0.0);
-  return true;
+  --live_sessions_;
+  placed_demand_ms_ -= s->placement_demand_ms;
+  record(runtime::TraceEventType::kSessionEvict, s->id, 0.0);
+  return FleetStatus::kOk;
 }
 
-bool Fleet::pause(int id) {
-  Session* s = find(id);
-  if (!s || s->state != SessionState::kActive) return false;
+FleetStatus Fleet::pause(SessionHandle handle) {
+  FleetStatus status = FleetStatus::kOk;
+  SessionRecord* s = find(handle, &status);
+  if (!s) return status;
+  if (s->state != SessionState::kActive) return FleetStatus::kInvalidState;
   s->state = SessionState::kPaused;
-  record(runtime::TraceEventType::kSessionPause, id, 0.0);
-  return true;
+  record(runtime::TraceEventType::kSessionPause, s->id, 0.0);
+  return FleetStatus::kOk;
 }
 
-bool Fleet::resume(int id) {
-  Session* s = find(id);
-  if (!s || s->state != SessionState::kPaused) return false;
+FleetStatus Fleet::resume(SessionHandle handle) {
+  FleetStatus status = FleetStatus::kOk;
+  SessionRecord* s = find(handle, &status);
+  if (!s) return status;
+  if (s->state != SessionState::kPaused) return FleetStatus::kInvalidState;
   s->state = SessionState::kActive;
-  record(runtime::TraceEventType::kSessionResume, id, 0.0);
-  return true;
+  record(runtime::TraceEventType::kSessionResume, s->id, 0.0);
+  return FleetStatus::kOk;
+}
+
+FleetStatus Fleet::release(SessionHandle handle) {
+  FleetStatus status = FleetStatus::kOk;
+  SessionRecord* s = find(handle, &status);
+  if (!s) return status;
+  if (s->state != SessionState::kEvicted) return FleetStatus::kInvalidState;
+  // Drop the retained result and recycle the handle slot: the NEXT tenant
+  // of this slot gets gen + 1, so every copy of `handle` is now
+  // detectably stale instead of silently addressing the newcomer.
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() != s) continue;
+    sessions_.erase(it);
+    break;
+  }
+  handles_.release(handle);
+  return FleetStatus::kOk;
 }
 
 int Fleet::scale_devices(const std::string& device_class, int delta) {
@@ -355,10 +451,69 @@ int Fleet::scale_devices(const std::string& device_class, int delta) {
   return next;
 }
 
-runtime::PipelineResult Fleet::session_result(int id) const {
-  const Session* s = find(id);
+runtime::PipelineResult Fleet::result(SessionHandle handle,
+                                      FleetStatus* status) const {
+  FleetStatus st = FleetStatus::kOk;
+  const SessionRecord* s = find(handle, &st);
+  if (status) *status = st;
   if (!s) return {};
   return s->pipeline ? s->pipeline->result() : s->final_result;
+}
+
+std::unique_ptr<SessionRecord> Fleet::detach(SessionHandle handle,
+                                             FleetStatus* status) {
+  FleetStatus st = FleetStatus::kOk;
+  SessionRecord* s = find(handle, &st);
+  if (!s) {
+    if (status) *status = st;
+    return nullptr;
+  }
+  if (s->state == SessionState::kEvicted) {
+    if (status) *status = FleetStatus::kInvalidState;
+    return nullptr;
+  }
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() != s) continue;
+    std::unique_ptr<SessionRecord> rec = std::move(*it);
+    sessions_.erase(it);
+    handles_.release(handle);
+    --live_sessions_;
+    placed_demand_ms_ -= rec->placement_demand_ms;
+    rec->handle = {};
+    if (status) *status = FleetStatus::kOk;
+    return rec;
+  }
+  if (status) *status = FleetStatus::kUnknownSession;
+  return nullptr;
+}
+
+SessionHandle Fleet::attach(std::unique_ptr<SessionRecord> record) {
+  if (!record) return {};
+  // Under the plane-wide equal-wheel invariant this is a no-op; it is kept
+  // for safety so a record can never fire on a wheel its period does not
+  // divide.
+  grow_wheel(std::max(1, record->fps));
+  record->id = next_id_++;
+  record->handle = handles_.issue();
+  handles_.find(record->handle)->a = record->id;
+  for (const gpu::DeviceProfile& dev : record->devices)
+    if (!arbiter_.device_counts().count(dev.name()))
+      arbiter_.set_device_count(dev.name(), 1);
+  ++live_sessions_;
+  placed_demand_ms_ += record->placement_demand_ms;
+  const SessionHandle h = record->handle;
+  sessions_.push_back(std::move(record));
+  return h;
+}
+
+SessionHandle Fleet::pick_migration_victim() const {
+  const SessionRecord* best = nullptr;
+  for (const auto& s : sessions_) {
+    if (s->state != SessionState::kActive) continue;
+    if (!best || s->placement_demand_ms < best->placement_demand_ms)
+      best = s.get();
+  }
+  return best ? best->handle : SessionHandle{};
 }
 
 void Fleet::readmit_scan() {
@@ -377,17 +532,17 @@ void Fleet::readmit_scan() {
   if (mean_busy > cfg_.readmit_high_water * cfg_.slo_ms) {
     if (!cfg_.allow_degrade) return;
     for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
-      Session* s = it->get();
+      SessionRecord* s = it->get();
       if (s->state != SessionState::kActive || s->degraded_tight) continue;
       s->spec.pipeline.tight_masks = true;
-      s->pipeline->set_tight_masks(true);
+      if (s->pipeline) s->pipeline->set_tight_masks(true);
       s->degraded_tight = true;
       ++redegraded_;
       record(runtime::TraceEventType::kSessionRedegrade, s->id, mean_busy);
       return;
     }
     for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
-      Session* s = it->get();
+      SessionRecord* s = it->get();
       if (s->state != SessionState::kActive || s->degraded_rate) continue;
       s->stride = 2;
       s->degraded_rate = true;
@@ -428,7 +583,7 @@ void Fleet::readmit_scan() {
         session_demand_ms(*s) * (1.0 / kTightFactor - 1.0);
     if (current + additional > ceiling) continue;
     s->spec.pipeline.tight_masks = false;
-    s->pipeline->set_tight_masks(false);
+    if (s->pipeline) s->pipeline->set_tight_masks(false);
     s->degraded_tight = false;
     ++readmitted_;
     record(runtime::TraceEventType::kSessionReadmit, s->id,
@@ -442,7 +597,7 @@ void Fleet::step() {
   const long tick = ticks_;
 
   // 1. Sessions due this tick (active, native period x stride matches).
-  std::vector<Session*>& due = due_scratch_;
+  std::vector<SessionRecord*>& due = due_scratch_;
   due.clear();
   for (auto& s : sessions_) {
     const long cycle = static_cast<long>(s->period_ticks) * s->stride;
@@ -455,23 +610,24 @@ void Fleet::step() {
   // runs). Round-robin rotates the order each tick so the deferral burden
   // is shared; weighted-priority puts low weights at the back.
   if (cfg_.dispatch == DispatchPolicy::kWeightedPriority) {
-    std::stable_sort(due.begin(), due.end(), [](Session* a, Session* b) {
-      if (a->spec.weight != b->spec.weight)
-        return a->spec.weight > b->spec.weight;
-      return a->id < b->id;
-    });
+    std::stable_sort(due.begin(), due.end(),
+                     [](SessionRecord* a, SessionRecord* b) {
+                       if (a->spec.weight != b->spec.weight)
+                         return a->spec.weight > b->spec.weight;
+                       return a->id < b->id;
+                     });
   } else if (!due.empty()) {
     std::rotate(due.begin(),
                 due.begin() + static_cast<std::ptrdiff_t>(
                                   static_cast<std::size_t>(tick) % due.size()),
                 due.end());
   }
-  std::vector<Session*>& chosen = chosen_scratch_;
+  std::vector<SessionRecord*>& chosen = chosen_scratch_;
   chosen.clear();
   std::size_t deferred = 0;
   if (cfg_.slo_ms > 0.0) {
     double projected = 0.0;
-    for (Session* s : due) {
+    for (SessionRecord* s : due) {
       const double d = session_frame_ms(*s);  // full frame cost this tick
       if (!chosen.empty() && projected + d > cfg_.slo_ms) {
         ++s->deferred_ticks;
@@ -489,22 +645,27 @@ void Fleet::step() {
   // 3. Step the chosen sessions concurrently on the shared pool. Sessions
   // only touch their own state (and the nested-safe pool), so this is
   // deterministic for any worker count. The per-frame stats live inside
-  // each pipeline (run_frame_ref) — nothing is copied out here.
-  pool_.run_tiles(chosen.size(), [&](std::size_t i) {
+  // each pipeline (run_frame_ref) — nothing is copied out here. Synthetic
+  // sessions generate their seeded work instead of running the stack.
+  pool_->run_tiles(chosen.size(), [&](std::size_t i) {
     MVS_SPAN("fleet.session");
-    chosen[i]->pipeline->run_frame_ref();
+    if (chosen[i]->pipeline)
+      chosen[i]->pipeline->run_frame_ref();
+    else
+      chosen[i]->synth->run_frame();
   });
 
   // 4. Cross-session GPU arbitration over the stepped sessions' work, in
   // ascending session id for deterministic submission order. Batch-split
   // debt from earlier ticks rides along with the owning camera's work.
-  std::vector<Session*>& ordered = ordered_scratch_;
+  std::vector<SessionRecord*>& ordered = ordered_scratch_;
   ordered.assign(chosen.begin(), chosen.end());
   std::sort(ordered.begin(), ordered.end(),
-            [](Session* a, Session* b) { return a->id < b->id; });
+            [](SessionRecord* a, SessionRecord* b) { return a->id < b->id; });
   arbiter_.begin_tick();
-  for (Session* s : ordered) {
-    const auto& work = s->pipeline->last_gpu_work();
+  for (SessionRecord* s : ordered) {
+    const auto& work =
+        s->pipeline ? s->pipeline->last_gpu_work() : s->synth->last_gpu_work();
     for (std::size_t cam = 0; cam < work.size(); ++cam) {
       const int cam_id = static_cast<int>(cam);
       const auto debt = s->carryover.find(cam_id);
@@ -544,23 +705,24 @@ void Fleet::step() {
     // Fleet rollups re-expressed as registry metrics (the SampleSet-based
     // snapshot stays the bit-identical source for FleetSnapshot JSON). All
     // values here are simulated/deterministic, so they carry the full
-    // fingerprint.
+    // fingerprint. Keys are shard-prefixed when this fleet is one shard of
+    // a plane (the per-shard obs rollup).
     obs::MetricsRegistry& m = obs::metrics();
-    m.counter("fleet.ticks").add(1);
-    m.counter("fleet.frames").add(static_cast<long long>(chosen.size()));
-    m.counter("fleet.deferred").add(static_cast<long long>(deferred));
-    m.counter("fleet.shared_batches").add(plan.shared_batches);
-    m.counter("fleet.isolated_batches").add(plan.isolated_batches);
-    m.counter("fleet.batch_splits").add(plan.splits);
-    m.histogram("fleet.tick_busy_ms").record(plan.shared_busy_ms);
-    m.histogram("fleet.queue_depth").record(static_cast<double>(deferred));
-    m.gauge("fleet.sessions").set(static_cast<double>(sessions_.size()));
+    m.counter(obs_.ticks).add(1);
+    m.counter(obs_.frames).add(static_cast<long long>(chosen.size()));
+    m.counter(obs_.deferred).add(static_cast<long long>(deferred));
+    m.counter(obs_.shared_batches).add(plan.shared_batches);
+    m.counter(obs_.isolated_batches).add(plan.isolated_batches);
+    m.counter(obs_.batch_splits).add(plan.splits);
+    m.histogram(obs_.tick_busy_ms).record(plan.shared_busy_ms);
+    m.histogram(obs_.queue_depth).record(static_cast<double>(deferred));
+    m.gauge(obs_.sessions).set(static_cast<double>(sessions_.size()));
   }
 
   // Deferred task slices become carryover debt charged on the tick that
   // actually runs them (conservation-exact attribution).
   for (const DeferredSlice& slice : plan.deferred) {
-    Session* owner = find(slice.session);
+    SessionRecord* owner = find(slice.session);
     if (!owner || owner->state == SessionState::kEvicted) continue;
     auto& debt = owner->carryover[slice.camera];
     debt.insert(debt.end(), static_cast<std::size_t>(slice.count),
@@ -572,7 +734,7 @@ void Fleet::step() {
   // 5. Per-session rollups: frame latency = slowest camera (paper
   // semantics) including device-pool queueing; demand = attributed busy of
   // the batches this tick actually executed.
-  for (Session* s : ordered) {
+  for (SessionRecord* s : ordered) {
     double frame_ms = 0.0, frame_iso_ms = 0.0, frame_queue_ms = 0.0;
     double busy = 0.0;
     for (const Attribution& a : plan.shares) {
@@ -586,7 +748,7 @@ void Fleet::step() {
     s->isolated_ms.add(frame_iso_ms);
     s->queue_ms.add(frame_queue_ms);
     if (obs::enabled()) {
-      const std::string prefix = "fleet.session." + std::to_string(s->id);
+      const std::string prefix = obs_.session_prefix + std::to_string(s->id);
       obs::MetricsRegistry& m = obs::metrics();
       m.histogram(prefix + ".latency_ms").record(frame_ms);
       m.histogram(prefix + ".queue_ms").record(frame_queue_ms);
@@ -609,15 +771,12 @@ void Fleet::step() {
   ++ticks_;
 }
 
-void Fleet::run(int ticks) {
-  for (int t = 0; t < ticks; ++t) step();
-}
-
 FleetSnapshot Fleet::snapshot() const {
   FleetSnapshot snap;
   snap.ticks = ticks_;
   snap.wheel_hz = wheel_hz_;
-  snap.admitted = static_cast<int>(sessions_.size());
+  snap.shards = 1;
+  snap.admitted = admitted_;
   snap.rejected = rejected_;
   snap.evicted = evicted_;
   snap.readmitted = readmitted_;
@@ -642,7 +801,8 @@ FleetSnapshot Fleet::snapshot() const {
     snap.device_pools.emplace_back(name, count);
   for (const auto& s : sessions_) {
     SessionSnapshot ss;
-    ss.id = s->id;
+    ss.handle = s->handle;
+    ss.shard = std::max(0, cfg_.shard_index);
     ss.name = s->spec.name;
     ss.state = s->state;
     ss.weight = s->spec.weight;
@@ -661,11 +821,15 @@ FleetSnapshot Fleet::snapshot() const {
       ss.mean_isolated_ms = s->isolated_ms.mean();
       ss.mean_queue_ms = s->queue_ms.mean();
     }
-    const runtime::PipelineResult result =
-        s->pipeline ? s->pipeline->result() : s->final_result;
-    ss.object_recall = result.object_recall;
-    ss.retries = result.total_retries();
-    ss.dropped_msgs = result.total_dropped_msgs();
+    ss.busy_sum_ms = s->busy_sum_ms;
+    if (s->pipeline || s->final_result.frames.size() ||
+        s->state == SessionState::kEvicted) {
+      const runtime::PipelineResult result =
+          s->pipeline ? s->pipeline->result() : s->final_result;
+      ss.object_recall = result.object_recall;
+      ss.retries = result.total_retries();
+      ss.dropped_msgs = result.total_dropped_msgs();
+    }
     snap.total_retries += ss.retries;
     snap.total_dropped_msgs += ss.dropped_msgs;
     snap.sessions.push_back(std::move(ss));
@@ -677,11 +841,13 @@ std::string FleetSnapshot::to_json() const {
   util::Json::Object fleet;
   fleet["ticks"] = util::Json(static_cast<double>(ticks));
   fleet["wheel_hz"] = util::Json(wheel_hz);
+  fleet["shards"] = util::Json(shards);
   fleet["admitted"] = util::Json(admitted);
   fleet["rejected"] = util::Json(rejected);
   fleet["evicted"] = util::Json(evicted);
   fleet["readmitted"] = util::Json(readmitted);
   fleet["redegraded"] = util::Json(redegraded);
+  fleet["migrations"] = util::Json(static_cast<double>(migrations));
   fleet["batch_splits"] = util::Json(static_cast<double>(batch_splits));
   fleet["shared_batches"] = util::Json(static_cast<double>(shared_batches));
   fleet["isolated_batches"] =
@@ -689,6 +855,9 @@ std::string FleetSnapshot::to_json() const {
   fleet["shared_busy_ms"] = util::Json(shared_busy_ms);
   fleet["isolated_busy_ms"] = util::Json(isolated_busy_ms);
   fleet["total_queue_ms"] = util::Json(total_queue_ms);
+  fleet["cross_batches_saved"] =
+      util::Json(static_cast<double>(cross_batches_saved));
+  fleet["cross_busy_saved_ms"] = util::Json(cross_busy_saved_ms);
   fleet["total_retries"] = util::Json(static_cast<double>(total_retries));
   fleet["total_dropped_msgs"] =
       util::Json(static_cast<double>(total_dropped_msgs));
@@ -703,11 +872,25 @@ std::string FleetSnapshot::to_json() const {
     pools.push_back(util::Json(std::move(pool)));
   }
   fleet["device_pools"] = util::Json(std::move(pools));
+  util::Json::Array rollups;
+  for (const ShardRollup& r : shard_rollups) {
+    util::Json::Object obj;
+    obj["shard"] = util::Json(r.index);
+    obj["sessions"] = util::Json(r.sessions);
+    obj["frames"] = util::Json(static_cast<double>(r.frames));
+    obj["shared_busy_ms"] = util::Json(r.shared_busy_ms);
+    obj["placed_demand_ms"] = util::Json(r.placed_demand_ms);
+    obj["mean_occupancy"] = util::Json(r.mean_occupancy);
+    rollups.push_back(util::Json(std::move(obj)));
+  }
+  fleet["shard_rollups"] = util::Json(std::move(rollups));
 
   util::Json::Array session_array;
   for (const SessionSnapshot& s : sessions) {
     util::Json::Object obj;
-    obj["id"] = util::Json(s.id);
+    obj["handle"] = util::Json(static_cast<double>(s.handle.id));
+    obj["gen"] = util::Json(static_cast<double>(s.handle.gen));
+    obj["shard"] = util::Json(s.shard);
     obj["name"] = util::Json(s.name);
     obj["state"] = util::Json(to_string(s.state));
     obj["weight"] = util::Json(s.weight);
@@ -724,6 +907,7 @@ std::string FleetSnapshot::to_json() const {
     obj["mean_ms"] = util::Json(s.mean_ms);
     obj["mean_isolated_ms"] = util::Json(s.mean_isolated_ms);
     obj["mean_queue_ms"] = util::Json(s.mean_queue_ms);
+    obj["busy_sum_ms"] = util::Json(s.busy_sum_ms);
     obj["retries"] = util::Json(static_cast<double>(s.retries));
     obj["dropped_msgs"] = util::Json(static_cast<double>(s.dropped_msgs));
     obj["object_recall"] = util::Json(s.object_recall);

@@ -1,5 +1,5 @@
 #pragma once
-// mvs::fleet — multi-session serving runtime.
+// mvs::fleet — single-shard serving runtime (one FleetApi implementation).
 //
 // Hosts many concurrent runtime::Pipeline sessions (independent multi-view
 // deployments) over ONE shared util::ThreadPool and one shared simulated
@@ -25,7 +25,8 @@
 // a hysteresis band under the SLO and, when demand has fallen, restores one
 // rung (full rate first, then mask un-tightening via
 // Pipeline::set_tight_masks) for the lowest-id degraded session whose
-// projected demand still fits below the high-water mark.
+// projected demand still fits below the high-water mark. Without an SLO,
+// admission is O(1): no projection over the live roster is computed.
 //
 // Elastic device pools: every accelerator class starts with one device;
 // Fleet::scale_devices grows or shrinks a class's pool at runtime. The
@@ -35,11 +36,13 @@
 // a high-weight session's SLO — deferred task slices are re-injected into
 // the owner's next submission, so attribution stays conservation-exact.
 //
-// Session lifecycle (admit/pause/resume/evict/defer/readmit) plus
-// device_scale and batch_split events are exported through the existing
-// TraceRecorder JSON path and aggregated into per-session and fleet-level
-// rollups (p50/p95/p99 latency, queueing, GPU occupancy, admission
-// counters, transport retry/drop totals).
+// Sessions are addressed by migration-stable SessionHandle values (see
+// handle.hpp); the raw internal ids never leave this class. As one shard
+// of a ShardedFleet the fleet runs on the plane's shared pool, exposes its
+// per-tick merge cells (last_plan) to the second merge level, and hands
+// whole sessions over via detach()/attach() — the SessionRecord carries
+// every stat, the carryover debt, and the synthetic/pipeline state, so
+// migration conserves per-session frame counts and attributed busy exactly.
 //
 // A fleet of one unscaled full-rate session with the ideal transport
 // reproduces a standalone Pipeline::run bit-identically (guarded by
@@ -53,6 +56,9 @@
 #include <vector>
 
 #include "fleet/arbiter.hpp"
+#include "fleet/fleet_api.hpp"
+#include "fleet/handle.hpp"
+#include "fleet/synthetic.hpp"
 #include "runtime/config.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/trace.hpp"
@@ -61,180 +67,134 @@
 
 namespace mvs::fleet {
 
-enum class DispatchPolicy {
-  kRoundRobin,        ///< rotate deferral burden fairly across sessions
-  kWeightedPriority,  ///< defer lowest-weight sessions first under pressure
-};
-
-const char* to_string(DispatchPolicy policy);
-/// Parse "rr" | "round-robin" | "weighted", case-insensitive.
-std::optional<DispatchPolicy> parse_dispatch(std::string name);
-
-struct FleetConfig {
-  /// Per-tick GPU latency deadline (ms). <= 0 disables admission control
-  /// and dispatch deferral: every session is admitted and runs every tick.
-  double slo_ms = 0.0;
-  /// Base tick length; the paper's scenarios stream at 10 fps. Sessions
-  /// with a different native fps grow the wheel (see wheel_hz()).
-  double frame_period_ms = 100.0;
-  DispatchPolicy dispatch = DispatchPolicy::kRoundRobin;
-  /// Shared worker pool width (0 = hardware concurrency). All sessions'
-  /// per-camera parallelism runs on this one pool.
-  int threads = 0;
-  /// Allow the admission controller to degrade instead of rejecting.
-  bool allow_degrade = true;
-  /// Admission estimator: assumed steady-state partial-frame tasks per
-  /// camera per regular frame (coarse planning constant; see DESIGN.md §8).
-  double assumed_tasks_per_camera = 4.0;
-  /// Ticks between re-admission scans (reverse degrade ladder); 0 keeps
-  /// degradation sticky for a session's lifetime.
-  int readmit_interval = 10;
-  /// Hysteresis band as fractions of the SLO: a scan only restores when
-  /// the windowed mean busy sits below low water AND the projection after
-  /// restoring stays below high water (prevents admit/degrade oscillation).
-  double readmit_low_water = 0.7;
-  double readmit_high_water = 0.9;
-  /// Let the arbiter split an over-full merged batch across two tick slots
-  /// when a top-weight session would miss the SLO.
-  bool allow_split = false;
-  /// Fixed per-batch dispatch cost (ms) charged by the device pools; see
-  /// TickContext::dispatch_overhead_ms. 0 = ideal overhead-free arbiter.
-  double dispatch_overhead_ms = 0.0;
-};
-
-/// The per-session serving spec is owned by runtime::config (the JSON-
-/// facing layer); the fleet consumes it verbatim. See
-/// runtime::FleetSessionSpec for the full field reference — name,
-/// scenario, pipeline, weight, native fps, SLO override, and the optional
-/// per-session fault profile that replaces reaching into pipeline.faults.
-using SessionSpec = runtime::FleetSessionSpec;
-
-enum class SessionState { kActive, kPaused, kEvicted };
-
-const char* to_string(SessionState state);
-
-struct AdmitResult {
-  int session_id = -1;  ///< -1 when rejected
-  bool admitted = false;
-  bool masks_tightened = false;  ///< degraded: solo-coverage adoption only
-  bool rate_halved = false;      ///< degraded: runs at half its native rate
-  double projected_ms = 0.0;     ///< fleet demand estimate at decision time
-  std::string reason;
-};
-
-/// Per-session rollup (stats snapshot).
-struct SessionSnapshot {
-  int id = -1;
-  std::string name;
+/// Everything one hosted session owns — the migration unit. A Fleet hands
+/// the whole record to ShardedFleet on detach(); stats, carryover debt,
+/// degrade state, and the pipeline/synthetic source travel with it, which
+/// is what makes migration conservation-exact (nothing is rebuilt or
+/// reset on the target shard).
+struct SessionRecord {
+  int id = -1;           ///< internal id, local to the hosting Fleet
+  SessionHandle handle;  ///< hosting fleet's handle (reissued on attach)
+  SessionSpec spec;
   SessionState state = SessionState::kActive;
-  double weight = 1.0;
-  int fps = 0;               ///< native rate (resolved; base rate if 0 in spec)
-  int stride = 1;            ///< 2 when frame-rate halved
-  bool tight_masks = false;
-  long frames = 0;           ///< frames actually run
-  long deferred_ticks = 0;   ///< ticks lost to dispatch deferral
-  long slo_violations = 0;   ///< frames whose latency > effective SLO
-  double slo_ms = 0.0;       ///< effective SLO (session override or fleet)
-  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
-  double mean_ms = 0.0;           ///< mean frame latency (attributed + queue)
-  double mean_isolated_ms = 0.0;  ///< same work on dedicated devices
-  double mean_queue_ms = 0.0;     ///< mean device-pool queueing per frame
-  long retries = 0;               ///< transport retransmissions (lossy only)
-  long dropped_msgs = 0;          ///< messages lost after all retries
-  double object_recall = 0.0;
+  int fps = 0;           ///< resolved native rate (base rate when spec.fps==0)
+  int period_ticks = 1;  ///< wheel ticks between native frames
+  int stride = 1;        ///< 2 when frame-rate halved (degrade ladder)
+  int phase = 0;         ///< wheel-tick firing offset
+  bool degraded_rate = false;   ///< rate halving applied BY the fleet
+  bool degraded_tight = false;  ///< mask tightening applied BY the fleet
+  /// Exactly one of pipeline / synth is set (spec.synthetic selects).
+  std::unique_ptr<runtime::Pipeline> pipeline;
+  std::unique_ptr<SyntheticSource> synth;
+  std::vector<gpu::DeviceProfile> devices;
+  double static_demand_ms = 0.0;
+  /// Static per-base-period load this session contributes to shard
+  /// placement accounting (frozen at admission; added/removed on
+  /// admit/evict/detach/attach so the aggregate stays incremental-exact).
+  double placement_demand_ms = 0.0;
+  /// Batch-split debt: tasks deferred to this session's next stepped
+  /// submission, per camera.
+  std::map<int, std::vector<geom::SizeClassId>> carryover;
+
+  long frames = 0;
+  long deferred_ticks = 0;
+  long slo_violations = 0;
+  util::SampleSet latency_ms;       ///< per-frame attributed + queueing
+  util::SampleSet isolated_ms;      ///< dedicated-device counterfactual
+  util::SampleSet queue_ms;         ///< per-frame device-pool queueing
+  double busy_sum_ms = 0.0;         ///< Σ attributed over all cameras/frames
+  /// Result snapshot frozen at eviction (the pipeline is destroyed then).
+  runtime::PipelineResult final_result;
 };
 
-/// Fleet-level rollup.
-struct FleetSnapshot {
-  long ticks = 0;
-  int wheel_hz = 0;  ///< current tick-wheel rate (lcm of admitted rates)
-  int admitted = 0, rejected = 0, evicted = 0;
-  int readmitted = 0;       ///< degrade-ladder rungs restored
-  int redegraded = 0;       ///< degrade-ladder rungs re-applied under load
-  long batch_splits = 0;    ///< arbiter batch splits across all ticks
-  long shared_batches = 0, isolated_batches = 0;
-  double shared_busy_ms = 0.0, isolated_busy_ms = 0.0;
-  double total_queue_ms = 0.0;  ///< summed device-pool queueing delay
-  /// Transport fault rollups summed over all sessions (lossy only).
-  long total_retries = 0;
-  long total_dropped_msgs = 0;
-  /// Mean per-tick GPU busy time / tick period; > 1 means saturated.
-  double mean_occupancy = 0.0;
-  double p95_tick_busy_ms = 0.0;
-  /// Mean sessions deferred per tick (dispatch queue depth).
-  double mean_queue_depth = 0.0;
-  /// Accelerator pools by class name (count >= 1 per class in use).
-  std::vector<std::pair<std::string, int>> device_pools;
-  std::vector<SessionSnapshot> sessions;
-
-  /// JSON document of the whole rollup (fleet object + sessions array).
-  std::string to_json() const;
-};
-
-/// Build a FleetConfig from the config-file representation; nullopt (with
-/// *error filled) on an unknown dispatch policy name. Session specs and
-/// device_scale entries are NOT applied here — admit() / scale_devices()
-/// them explicitly (see tools/mvsched_cli.cpp for the canonical loop).
-std::optional<FleetConfig> make_fleet_config(
-    const runtime::FleetRunConfig& config, std::string* error = nullptr);
-
-class Fleet {
+class Fleet : public FleetApi {
  public:
   explicit Fleet(const FleetConfig& config = {});
-  ~Fleet();
+  /// Shard embedding: run on `shared_pool` instead of owning one
+  /// (config.threads is ignored). The pool must outlive the fleet.
+  Fleet(const FleetConfig& config, util::ThreadPool* shared_pool);
+  ~Fleet() override;
 
   Fleet(const Fleet&) = delete;
   Fleet& operator=(const Fleet&) = delete;
 
   /// Admission-controlled session creation. On admission the pipeline is
-  /// built (scenario + association training) against the shared pool; on
+  /// built (scenario + association training) against the shared pool — or,
+  /// for spec.synthetic, a SyntheticSource (no vision stack at all); on
   /// rejection nothing is constructed beyond the device-profile probe.
   /// spec.faults (when set) replaces the pipeline fault profile and, unless
   /// fault-free, selects the lossy transport. A native fps that does not
   /// divide the current wheel grows it to the least common multiple.
-  AdmitResult admit(const SessionSpec& spec);
+  AdmitResult admit(const SessionSpec& spec) override;
 
-  /// Lifecycle transitions; false when `id` is unknown or already evicted
-  /// (evictions are final). Pausing an evicted or unknown session is a
-  /// no-op returning false.
-  bool evict(int id);
-  bool pause(int id);
-  bool resume(int id);
+  /// Lifecycle transitions (see FleetApi). Evictions are final; the
+  /// session's result survives until release().
+  FleetStatus evict(SessionHandle handle) override;
+  FleetStatus pause(SessionHandle handle) override;
+  FleetStatus resume(SessionHandle handle) override;
+  FleetStatus release(SessionHandle handle) override;
 
-  /// Grow (delta > 0) or shrink (delta < 0) the device pool of an
-  /// accelerator class at runtime; pools never drop below one device.
-  /// Returns the new pool size and records a device_scale trace event.
-  int scale_devices(const std::string& device_class, int delta);
+  int scale_devices(const std::string& device_class, int delta) override;
 
   /// Advance one wheel tick: dispatch, step the due sessions concurrently,
   /// merge their GPU work cross-session, update rollups, and (periodically)
   /// run the re-admission scan.
-  void step();
-  void run(int ticks);
+  void step() override;
 
-  long ticks() const { return ticks_; }
+  long ticks() const override { return ticks_; }
   /// Current tick-wheel rate (ticks per second). Starts at the base rate
   /// 1000 / frame_period_ms and grows to the lcm of admitted native rates;
   /// growing rescales ticks() so firing phases are preserved.
-  int wheel_hz() const { return wheel_hz_; }
-  std::size_t session_count() const;        ///< admitted, incl. paused
-  SessionState state(int id) const;         ///< kEvicted for unknown ids
-  /// Everything the session has run so far (survives eviction).
-  runtime::PipelineResult session_result(int id) const;
-  FleetSnapshot snapshot() const;
+  int wheel_hz() const override { return wheel_hz_; }
+  std::size_t session_count() const override {
+    return static_cast<std::size_t>(live_sessions_);
+  }
+  SessionState state(SessionHandle handle) const override;
+  runtime::PipelineResult result(SessionHandle handle,
+                                 FleetStatus* status = nullptr) const override;
+  FleetSnapshot snapshot() const override;
 
-  /// Record session lifecycle events (admit/reject/evict/pause/resume/
-  /// defer/readmit) plus device_scale and batch_split into `trace`; pass
-  /// nullptr to detach.
-  void attach_trace(runtime::TraceRecorder* trace);
+  void attach_trace(runtime::TraceRecorder* trace) override;
 
-  util::ThreadPool& pool() { return pool_; }
+  util::ThreadPool& pool() { return *pool_; }
+
+  // ---- Shard-plane hooks (used by ShardedFleet; harmless standalone) ----
+
+  /// Grow the wheel so `fps` divides it (no-op when it already does). The
+  /// sharded plane calls this on EVERY shard before any admit, keeping all
+  /// wheels equal — the invariant that makes migration cadence-exact.
+  void ensure_wheel(int fps);
+
+  /// The last step()'s merged plan (merge cells, busy, shares). Valid
+  /// after the first step; the second merge level reads cells from here.
+  const TickPlan& last_plan() const { return plan_scratch_; }
+
+  /// Σ placement_demand_ms over live sessions (O(1) placement load).
+  double placed_demand_ms() const { return placed_demand_ms_; }
+
+  /// Remove a live (active or paused) session wholesale for migration.
+  /// Its handle on THIS fleet is retired (the caller-facing identity lives
+  /// in the ShardedFleet directory). nullptr + *status on a bad handle or
+  /// an evicted session.
+  std::unique_ptr<SessionRecord> detach(SessionHandle handle,
+                                        FleetStatus* status = nullptr);
+
+  /// Adopt a detached session under a fresh local id and handle. Requires
+  /// an equal wheel rate (ensure_wheel keeps it so); the session's period,
+  /// phase, stats, and carryover debt continue unchanged.
+  SessionHandle attach(std::unique_ptr<SessionRecord> record);
+
+  /// Pick the migration victim a rebalance scan would move: the ACTIVE
+  /// session with the smallest placement demand (ties: lowest internal id,
+  /// i.e. longest-served first stays put last). Invalid handle when none.
+  SessionHandle pick_migration_victim() const;
 
  private:
-  struct Session;
-
-  Session* find(int id);
-  const Session* find(int id) const;
+  SessionRecord* find(int id);
+  const SessionRecord* find(int id) const;
+  SessionRecord* find(SessionHandle handle, FleetStatus* status = nullptr);
+  const SessionRecord* find(SessionHandle handle,
+                            FleetStatus* status = nullptr) const;
   /// Deterministic static demand estimate for a candidate deployment.
   /// Pool-width-aware (a class's per-frame cost is divided by its current
   /// device count), frame-policy-aware (the partial-task term scales by
@@ -243,10 +203,15 @@ class Fleet {
   double estimate_demand_ms(const std::vector<gpu::DeviceProfile>& devices,
                             const runtime::PipelineConfig& pipe) const;
   /// Observed (or estimated) GPU busy per frame of an admitted session.
-  double session_frame_ms(const Session& s) const;
+  double session_frame_ms(const SessionRecord& s) const;
   /// Demand normalized to one base frame period: frame cost x the
   /// session's firing rate relative to the base rate.
-  double session_demand_ms(const Session& s) const;
+  double session_demand_ms(const SessionRecord& s) const;
+  /// Device profiles of a scenario's cameras, cached per scenario name
+  /// (profiles are seed-independent) so 10k admissions probe each
+  /// scenario once instead of rebuilding it per session.
+  const std::vector<gpu::DeviceProfile>& probe_devices(
+      const std::string& scenario, std::uint64_t seed);
   /// Grow the wheel so `fps` divides it, rescaling periods/phases/ticks.
   void grow_wheel(int fps);
   /// Reverse degrade ladder: restore at most one rung across the fleet.
@@ -254,14 +219,21 @@ class Fleet {
   void record(runtime::TraceEventType type, int session_id, double value);
 
   FleetConfig cfg_;
-  util::ThreadPool pool_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;  ///< null when shared
+  util::ThreadPool* pool_;
   GpuArbiter arbiter_;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::unique_ptr<SessionRecord>> sessions_;
+  HandleTable handles_;  ///< entry payload a = internal session id
   runtime::TraceRecorder* trace_ = nullptr;
+  std::map<std::string, std::vector<gpu::DeviceProfile>> probe_cache_;
 
   long ticks_ = 0;
   int base_fps_ = 10;   ///< 1000 / frame_period_ms, floor 1
   int wheel_hz_ = 10;   ///< current wheel rate (>= base_fps_)
+  int next_id_ = 0;
+  int admitted_ = 0;
+  int live_sessions_ = 0;
+  double placed_demand_ms_ = 0.0;
   int rejected_ = 0;
   int evicted_ = 0;
   int readmitted_ = 0;
@@ -278,11 +250,19 @@ class Fleet {
   util::SampleSet tick_busy_ms_;
   util::SampleSet queue_depth_;
 
+  /// Obs metric keys prepared once (shard-prefixed when embedded) so the
+  /// obs-enabled tick path does not build strings per tick.
+  struct ObsKeys {
+    std::string ticks, frames, deferred, shared_batches, isolated_batches,
+        batch_splits, tick_busy_ms, queue_depth, sessions, session_prefix;
+  };
+  ObsKeys obs_;
+
   /// step() working buffers reused across ticks so a warm fleet tick
   /// allocates nothing on the serving path (DESIGN.md §11).
-  std::vector<Session*> due_scratch_;
-  std::vector<Session*> chosen_scratch_;
-  std::vector<Session*> ordered_scratch_;
+  std::vector<SessionRecord*> due_scratch_;
+  std::vector<SessionRecord*> chosen_scratch_;
+  std::vector<SessionRecord*> ordered_scratch_;
   TickPlan plan_scratch_;
   runtime::CameraGpuWork merged_scratch_;
 };

@@ -1,0 +1,83 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace mvs::fleet {
+
+Shard::Shard(const FleetConfig& plane_cfg, int index, util::ThreadPool* pool)
+    : index_(index) {
+  FleetConfig cfg = plane_cfg;
+  cfg.shards = 1;
+  cfg.shard_index = index;
+  // The plane owns placement/rebalance; a shard only serves what it hosts.
+  cfg.rebalance_interval = 0;
+  fleet_ = std::make_unique<Fleet>(cfg, pool);
+}
+
+const TickPlan& Shard::observe_tick() {
+  const TickPlan& plan = fleet_->last_plan();
+  window_busy_ms_ += plan.shared_busy_ms;
+  return plan;
+}
+
+namespace {
+
+/// Exact busy of `count` tasks greedily packed into maximally-filled
+/// batches on `dev` (the arbiter's fill discipline): full batches at the
+/// limit plus one remainder batch, each priced by the fill model, plus one
+/// dispatch overhead per batch.
+double greedy_busy_ms(const gpu::DeviceProfile& dev, geom::SizeClassId sc,
+                      int count, double overhead_ms, long* batches) {
+  const int limit = std::max(1, dev.batch_limit(sc));
+  const int full = count / limit;
+  const int rest = count % limit;
+  const long n = full + (rest > 0 ? 1 : 0);
+  *batches += n;
+  double busy = static_cast<double>(full) * dev.actual_batch_latency_ms(sc, limit);
+  if (rest > 0) busy += dev.actual_batch_latency_ms(sc, rest);
+  return busy + static_cast<double>(n) * overhead_ms;
+}
+
+}  // namespace
+
+CrossMergeStats cross_shard_merge(const std::vector<const TickPlan*>& plans,
+                                  double dispatch_overhead_ms) {
+  // Fold executed counts per (device class, size class). Cells carry
+  // non-owning profile pointers; profiles sharing a name are identical
+  // (same factory), so keeping the first seen per class is sound.
+  std::map<std::pair<std::string, geom::SizeClassId>,
+           std::pair<const gpu::DeviceProfile*, std::vector<int>>>
+      cells;
+  for (std::size_t shard = 0; shard < plans.size(); ++shard) {
+    if (!plans[shard]) continue;
+    for (const MergeCell& cell : plans[shard]->cells) {
+      auto& slot = cells[{cell.device->name(), cell.size_class}];
+      slot.first = cell.device;
+      slot.second.push_back(cell.count);
+    }
+  }
+
+  CrossMergeStats stats;
+  for (const auto& [key, slot] : cells) {
+    const gpu::DeviceProfile& dev = *slot.first;
+    const geom::SizeClassId sc = key.second;
+    long local_batches = 0, merged_batches = 0;
+    double local_busy = 0.0;
+    int total = 0;
+    for (int count : slot.second) {
+      local_busy +=
+          greedy_busy_ms(dev, sc, count, dispatch_overhead_ms, &local_batches);
+      total += count;
+    }
+    const double merged_busy =
+        greedy_busy_ms(dev, sc, total, dispatch_overhead_ms, &merged_batches);
+    stats.batches_saved += local_batches - merged_batches;
+    stats.busy_saved_ms += local_busy - merged_busy;
+  }
+  return stats;
+}
+
+}  // namespace mvs::fleet

@@ -1,0 +1,67 @@
+#pragma once
+// One shard of the sharded serving plane (mvs::fleet).
+//
+// A Shard is a Fleet pinned to a shard index and run on the plane's shared
+// util::ThreadPool, plus the windowed busy accounting the plane's
+// rebalance scan reads (mirroring Fleet's own readmit window). The shard
+// keeps its OWN GpuArbiter and tick wheel — shards never contend on
+// planning state, which is what lets the plane step them concurrently.
+//
+// This header also hosts the second merge level's pricing function:
+// cross_shard_merge folds every shard's executed merge cells per (device
+// class, size class) and prices — under the arbiter's exact greedy fill
+// model — the batches and busy time a plane-wide merge would save over the
+// per-shard merges. With one shard the fold is the identity and the saving
+// is exactly zero (the shard-of-one bit-identity).
+
+#include <memory>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace mvs::fleet {
+
+class Shard {
+ public:
+  /// Embed a Fleet as shard `index` of a plane configured by `plane_cfg`
+  /// (the shard copy runs single-shard with shard_index = index, so its obs
+  /// metrics land under "fleet.shard.<index>."). `pool` must outlive the
+  /// shard.
+  Shard(const FleetConfig& plane_cfg, int index, util::ThreadPool* pool);
+
+  Fleet& fleet() { return *fleet_; }
+  const Fleet& fleet() const { return *fleet_; }
+  int index() const { return index_; }
+
+  /// Accumulate the rebalance window from the tick the shard just stepped
+  /// and return its merged plan for the cross-shard merge level.
+  const TickPlan& observe_tick();
+
+  /// Σ shared busy over the ticks since the last reset (the rebalance
+  /// scan's load signal).
+  double window_busy_ms() const { return window_busy_ms_; }
+  void reset_window() { window_busy_ms_ = 0.0; }
+
+ private:
+  int index_;
+  std::unique_ptr<Fleet> fleet_;
+  double window_busy_ms_ = 0.0;
+};
+
+/// What a plane-wide (second-level) merge would save this tick over the
+/// per-shard merges, priced from the shards' executed merge cells.
+struct CrossMergeStats {
+  long batches_saved = 0;
+  double busy_saved_ms = 0.0;
+};
+
+/// Fold the shards' per-tick merge cells per (device class, size class)
+/// and price the hypothetical cross-shard merge: for each class the saved
+/// batches are Σ ceil(n_i / B) - ceil(Σ n_i / B), and the saved busy is the
+/// exact greedy-fill busy difference (actual_batch_latency_ms, maximally
+/// filled batches) plus one dispatch overhead per saved batch. Zero when
+/// `plans` has a single entry, by construction.
+CrossMergeStats cross_shard_merge(const std::vector<const TickPlan*>& plans,
+                                  double dispatch_overhead_ms);
+
+}  // namespace mvs::fleet

@@ -334,12 +334,33 @@ util::Json dump_city(const sim::CityConfig& city) {
 }
 
 /// Parse the "fleet" block. Session entries inherit the document's
-/// top-level scenario and pipeline unless they override them.
+/// top-level scenario and pipeline unless they override them. Unknown keys
+/// are a hard error (like "policy"/"rt"/"city"): a typo in a sharding or
+/// admission knob silently falling back to a default would ship the wrong
+/// serving plane.
 bool parse_fleet(const util::Json& f, const RunConfig& base,
                  FleetRunConfig* fleet, std::string* error) {
   if (!f.is_object()) {
     if (error) *error = "\"fleet\" must be an object";
     return false;
+  }
+  static constexpr std::array<const char*, 17> kKnown = {
+      "slo_ms",          "frame_period_ms",
+      "dispatch",        "threads",
+      "allow_degrade",   "assumed_tasks_per_camera",
+      "readmit_interval", "readmit_low_water",
+      "readmit_high_water", "allow_split",
+      "dispatch_overhead_ms", "shards",
+      "shard_capacity",  "rebalance_interval",
+      "rebalance_high_water", "device_scale",
+      "sessions"};
+  for (const auto& [key, value] : f.as_object()) {
+    if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
+          return key == k;
+        }) == kKnown.end()) {
+      if (error) *error = "unknown fleet key: \"" + key + "\"";
+      return false;
+    }
   }
   fleet->slo_ms = f.number_or("slo_ms", fleet->slo_ms);
   fleet->frame_period_ms =
@@ -358,10 +379,19 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
   fleet->allow_split = f.bool_or("allow_split", fleet->allow_split);
   fleet->dispatch_overhead_ms =
       f.number_or("dispatch_overhead_ms", fleet->dispatch_overhead_ms);
+  fleet->shards = static_cast<int>(f.number_or("shards", fleet->shards));
+  fleet->shard_capacity =
+      static_cast<int>(f.number_or("shard_capacity", fleet->shard_capacity));
+  fleet->rebalance_interval = static_cast<int>(
+      f.number_or("rebalance_interval", fleet->rebalance_interval));
+  fleet->rebalance_high_water =
+      f.number_or("rebalance_high_water", fleet->rebalance_high_water);
   if (fleet->frame_period_ms <= 0.0 || fleet->threads < 0 ||
       fleet->readmit_interval < 0 ||
       fleet->readmit_low_water > fleet->readmit_high_water ||
-      fleet->dispatch_overhead_ms < 0.0) {
+      fleet->dispatch_overhead_ms < 0.0 || fleet->shards < 1 ||
+      fleet->shard_capacity < 0 || fleet->rebalance_interval < 0 ||
+      fleet->rebalance_high_water <= 1.0) {
     if (error) *error = "fleet parameters out of range";
     return false;
   }
@@ -393,6 +423,17 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
         if (error) *error = "session entries must be objects";
         return false;
       }
+      static constexpr std::array<const char*, 9> kSessionKnown = {
+          "name", "scenario", "weight",    "fps",      "slo_ms",
+          "pipeline", "policy", "faults",  "synthetic"};
+      for (const auto& [key, value] : entry.as_object()) {
+        if (std::find_if(kSessionKnown.begin(), kSessionKnown.end(),
+                         [&](const char* k) { return key == k; }) ==
+            kSessionKnown.end()) {
+          if (error) *error = "unknown session key: \"" + key + "\"";
+          return false;
+        }
+      }
       FleetSessionSpec spec;
       spec.scenario = base.scenario;
       spec.pipeline = base.pipeline;
@@ -401,6 +442,7 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
       spec.weight = entry.number_or("weight", spec.weight);
       spec.fps = static_cast<int>(entry.number_or("fps", spec.fps));
       spec.slo_ms = entry.number_or("slo_ms", spec.slo_ms);
+      spec.synthetic = entry.bool_or("synthetic", spec.synthetic);
       if (!valid_scenario(spec.scenario)) {
         if (error) *error = "unknown session scenario: " + spec.scenario;
         return false;
@@ -486,6 +528,10 @@ util::Json dump_fleet(const FleetRunConfig& fleet) {
   f["readmit_high_water"] = Json(fleet.readmit_high_water);
   f["allow_split"] = Json(fleet.allow_split);
   f["dispatch_overhead_ms"] = Json(fleet.dispatch_overhead_ms);
+  f["shards"] = Json(fleet.shards);
+  f["shard_capacity"] = Json(fleet.shard_capacity);
+  f["rebalance_interval"] = Json(fleet.rebalance_interval);
+  f["rebalance_high_water"] = Json(fleet.rebalance_high_water);
   Json::Array scale;
   for (const FleetDeviceScale& ds : fleet.device_scale) {
     Json::Object entry;
@@ -502,6 +548,7 @@ util::Json dump_fleet(const FleetRunConfig& fleet) {
     s["weight"] = Json(spec.weight);
     s["fps"] = Json(spec.fps);
     s["slo_ms"] = Json(spec.slo_ms);
+    s["synthetic"] = Json(spec.synthetic);
     s["pipeline"] = dump_pipeline(spec.pipeline);
     s["policy"] = dump_policy(spec.pipeline.frame_policy);
     if (spec.faults) {

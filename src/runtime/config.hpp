@@ -59,6 +59,13 @@ struct FleetSessionSpec {
   /// Preferred over mutating pipeline.faults directly (deprecated for
   /// hosted sessions).
   std::optional<netsim::FaultConfig> faults;
+  /// Serve a deterministic synthetic GPU-load generator instead of a real
+  /// pipeline: the session submits seeded partial-frame task multisets on
+  /// the scenario's device classes but runs no vision stack (no scenario
+  /// playback, no association training). This is what makes 1k-10k-session
+  /// fleets constructible; scheduling, batching, and attribution behave
+  /// exactly as for real sessions (see fleet::SyntheticSource).
+  bool synthetic = false;
 };
 
 /// Runtime device-pool adjustment applied after admission
@@ -93,6 +100,19 @@ struct FleetRunConfig {
   /// dispatcher per device class, which is what keeps wide pools from
   /// scaling linearly. 0 preserves the ideal (overhead-free) arbiter.
   double dispatch_overhead_ms = 0.0;
+  /// Serving-plane width: 1 = the classic single Fleet (bit-identical to
+  /// the pre-sharding runtime), > 1 = a ShardedFleet with this many
+  /// shards, each with its own GPU arbiter and tick wheel.
+  int shards = 1;
+  /// Max live sessions per shard (sharded admission's O(1) capacity
+  /// check); 0 = unbounded.
+  int shard_capacity = 0;
+  /// Ticks between sharded rebalance scans (live migration off hot
+  /// shards); 0 disables background migration.
+  int rebalance_interval = 0;
+  /// Rebalance hysteresis: migrate only when the hottest shard's windowed
+  /// busy exceeds this multiple (> 1) of the mean shard busy.
+  double rebalance_high_water = 1.25;
   std::vector<FleetDeviceScale> device_scale;
   std::vector<FleetSessionSpec> sessions;
 };

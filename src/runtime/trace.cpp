@@ -25,6 +25,7 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kDeviceScale: return "device_scale";
     case TraceEventType::kBatchSplit: return "batch_split";
     case TraceEventType::kSessionRedegrade: return "session_redegrade";
+    case TraceEventType::kSessionMigrate: return "session_migrate";
     case TraceEventType::kRtDrop: return "rt_drop";
     case TraceEventType::kRtSupersede: return "rt_supersede";
     case TraceEventType::kRtDeadlineMiss: return "rt_deadline_miss";

@@ -39,6 +39,7 @@ enum class TraceEventType {
   kDeviceScale,    ///< device pool grown/shrunk; value = new device count
   kBatchSplit,     ///< arbiter split an over-full batch; value = deferred tasks
   kSessionRedegrade,  ///< sustained pressure re-applied a degrade rung
+  kSessionMigrate,    ///< session moved between shards; value = target shard
   // Streaming-perception runtime events (mvs::rt). `frame` is the arrival's
   // evaluation-frame index and `value` the frame's age (ms past capture) at
   // the decision point.

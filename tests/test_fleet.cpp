@@ -410,11 +410,12 @@ TEST(FleetSessionApi, PerSessionFaultsImplyLossyTransport) {
   netsim::FaultConfig faults;
   faults.dropouts.push_back({0, 0, -1});  // camera 0 never comes back
   s.faults = faults;
-  const int id = fleet.admit(s).session_id;
-  ASSERT_GE(id, 0);
+  const AdmitResult admitted = fleet.admit(s);
+  ASSERT_TRUE(admitted.admitted);
+  ASSERT_TRUE(admitted.handle.valid());
   fleet.run(3);
 
-  const runtime::PipelineResult result = fleet.session_result(id);
+  const runtime::PipelineResult result = fleet.result(admitted.handle);
   ASSERT_EQ(result.frames.size(), 3u);
   for (const runtime::FrameStats& f : result.frames)
     EXPECT_EQ(f.cameras_online, 1);  // S2 has 2 cameras; one is down
@@ -427,19 +428,20 @@ TEST(FleetSessionApi, PerSessionSloOverridesViolationAccounting) {
   SessionSpec strict = spec("strict", 5);
   strict.slo_ms = 0.001;
   SessionSpec lax = spec("lax", 5);
-  const int strict_id = fleet.admit(strict).session_id;
-  const int lax_id = fleet.admit(lax).session_id;
-  ASSERT_GE(strict_id, 0);
-  ASSERT_GE(lax_id, 0);
+  const AdmitResult strict_admit = fleet.admit(strict);
+  const AdmitResult lax_admit = fleet.admit(lax);
+  ASSERT_TRUE(strict_admit.admitted);
+  ASSERT_TRUE(lax_admit.admitted);
   fleet.run(4);
 
+  // Admission order is snapshot order; the handles confirm the mapping.
   const FleetSnapshot snap = fleet.snapshot();
-  EXPECT_EQ(snap.sessions[static_cast<std::size_t>(strict_id)].slo_violations,
-            4);
-  EXPECT_EQ(snap.sessions[static_cast<std::size_t>(lax_id)].slo_violations,
-            0);
-  EXPECT_DOUBLE_EQ(
-      snap.sessions[static_cast<std::size_t>(strict_id)].slo_ms, 0.001);
+  ASSERT_EQ(snap.sessions.size(), 2u);
+  EXPECT_EQ(snap.sessions[0].handle, strict_admit.handle);
+  EXPECT_EQ(snap.sessions[1].handle, lax_admit.handle);
+  EXPECT_EQ(snap.sessions[0].slo_violations, 4);
+  EXPECT_EQ(snap.sessions[1].slo_violations, 0);
+  EXPECT_DOUBLE_EQ(snap.sessions[0].slo_ms, 0.001);
 }
 
 // ---------------------------------------------------------- re-admission --
@@ -467,7 +469,7 @@ TEST(FleetReadmission, RestoresRateThenMasksWithTraceEvents) {
   EXPECT_TRUE(second.masks_tightened);
   EXPECT_TRUE(second.rate_halved);
 
-  ASSERT_TRUE(fleet.evict(first.session_id));
+  ASSERT_EQ(fleet.evict(first.handle), FleetStatus::kOk);
   fleet.run(5);  // first scan: rate rung restored
   FleetSnapshot snap = fleet.snapshot();
   EXPECT_EQ(snap.sessions[1].stride, 1);
@@ -512,9 +514,9 @@ TEST(FleetReadmission, HysteresisKeepsDegradationUnderLoad) {
 
   // Square-wave load: pause/resume the heavy tenant repeatedly.
   for (int cycle = 0; cycle < 3; ++cycle) {
-    ASSERT_TRUE(fleet.pause(first.session_id));
+    ASSERT_EQ(fleet.pause(first.handle), FleetStatus::kOk);
     fleet.run(6);
-    ASSERT_TRUE(fleet.resume(first.session_id));
+    ASSERT_EQ(fleet.resume(first.handle), FleetStatus::kOk);
     fleet.run(6);
   }
   const FleetSnapshot snap = fleet.snapshot();
@@ -536,7 +538,7 @@ TEST(FleetReadmission, ZeroIntervalKeepsDegradationSticky) {
   const AdmitResult second = fleet.admit(spec("b", 6));
   ASSERT_TRUE(second.admitted);
   EXPECT_TRUE(second.rate_halved);
-  ASSERT_TRUE(fleet.evict(first.session_id));
+  ASSERT_EQ(fleet.evict(first.handle), FleetStatus::kOk);
   fleet.run(12);
   EXPECT_EQ(fleet.snapshot().readmitted, 0);
   EXPECT_EQ(fleet.snapshot().sessions[1].stride, 2);
@@ -677,7 +679,7 @@ TEST(FleetAdmission, DegradeLadderThenReject) {
   // Third cannot fit even fully degraded (1.5 d + 0.375 d > 1.6 d).
   const AdmitResult third = fleet.admit(spec("c", 7));
   EXPECT_FALSE(third.admitted);
-  EXPECT_EQ(third.session_id, -1);
+  EXPECT_FALSE(third.handle.valid());
   EXPECT_FALSE(third.reason.empty());
 
   const FleetSnapshot snap = fleet.snapshot();
@@ -801,44 +803,79 @@ TEST(FleetLifecycle, PauseResumeEvictTransitions) {
   Fleet fleet;
   runtime::TraceRecorder trace;
   fleet.attach_trace(&trace);
-  const int id = fleet.admit(spec("a", 5)).session_id;
-  ASSERT_GE(id, 0);
-  EXPECT_EQ(fleet.state(id), SessionState::kActive);
+  const SessionHandle h = fleet.admit(spec("a", 5)).handle;
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(fleet.state(h), SessionState::kActive);
 
   fleet.step();
-  EXPECT_EQ(fleet.session_result(id).frames.size(), 1u);
+  EXPECT_EQ(fleet.result(h).frames.size(), 1u);
 
   // Paused sessions consume no ticks.
-  EXPECT_TRUE(fleet.pause(id));
-  EXPECT_EQ(fleet.state(id), SessionState::kPaused);
-  EXPECT_FALSE(fleet.pause(id));  // already paused
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kOk);
+  EXPECT_EQ(fleet.state(h), SessionState::kPaused);
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kInvalidState);  // already paused
   fleet.run(2);
-  EXPECT_EQ(fleet.session_result(id).frames.size(), 1u);
+  EXPECT_EQ(fleet.result(h).frames.size(), 1u);
 
-  EXPECT_TRUE(fleet.resume(id));
-  EXPECT_FALSE(fleet.resume(id));  // already active
+  EXPECT_EQ(fleet.resume(h), FleetStatus::kOk);
+  EXPECT_EQ(fleet.resume(h), FleetStatus::kInvalidState);  // already active
   fleet.step();
-  EXPECT_EQ(fleet.session_result(id).frames.size(), 2u);
+  EXPECT_EQ(fleet.result(h).frames.size(), 2u);
 
   // Eviction is final; the result survives the pipeline's destruction.
-  EXPECT_TRUE(fleet.evict(id));
-  EXPECT_EQ(fleet.state(id), SessionState::kEvicted);
-  EXPECT_FALSE(fleet.evict(id));
-  EXPECT_FALSE(fleet.pause(id));
-  EXPECT_FALSE(fleet.resume(id));
+  EXPECT_EQ(fleet.evict(h), FleetStatus::kOk);
+  EXPECT_EQ(fleet.state(h), SessionState::kEvicted);
+  EXPECT_EQ(fleet.evict(h), FleetStatus::kInvalidState);
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kInvalidState);
+  EXPECT_EQ(fleet.resume(h), FleetStatus::kInvalidState);
   EXPECT_EQ(fleet.session_count(), 0u);
-  EXPECT_EQ(fleet.session_result(id).frames.size(), 2u);
+  EXPECT_EQ(fleet.result(h).frames.size(), 2u);
   fleet.step();
-  EXPECT_EQ(fleet.session_result(id).frames.size(), 2u);
+  EXPECT_EQ(fleet.result(h).frames.size(), 2u);
 
   EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionPause), 1u);
   EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionResume), 1u);
   EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionEvict), 1u);
 
-  // Unknown ids: every transition refuses, state reads evicted.
-  EXPECT_FALSE(fleet.pause(99));
-  EXPECT_FALSE(fleet.evict(99));
-  EXPECT_EQ(fleet.state(99), SessionState::kEvicted);
+  // Unknown ids: every transition refuses typed, state reads evicted.
+  const SessionHandle unknown{99, 1};
+  EXPECT_EQ(fleet.pause(unknown), FleetStatus::kUnknownSession);
+  EXPECT_EQ(fleet.evict(unknown), FleetStatus::kUnknownSession);
+  EXPECT_EQ(fleet.state(unknown), SessionState::kEvicted);
+}
+
+TEST(FleetLifecycle, ReleaseRecyclesTheSlotUnderABumpedGeneration) {
+  // release() is the end of the handle's life: the retained result is
+  // dropped, the slot goes back on the free list, and the NEXT admission
+  // reuses it under gen + 1 — so the old handle (and any copy) is detected
+  // as stale instead of silently addressing the new tenant.
+  Fleet fleet;
+  const SessionHandle h = fleet.admit(spec("a", 5)).handle;
+  ASSERT_TRUE(h.valid());
+  fleet.run(2);
+
+  // Releasing a live session is refused; evict first.
+  EXPECT_EQ(fleet.release(h), FleetStatus::kInvalidState);
+  ASSERT_EQ(fleet.evict(h), FleetStatus::kOk);
+  FleetStatus status = FleetStatus::kOk;
+  EXPECT_EQ(fleet.result(h, &status).frames.size(), 2u);
+  EXPECT_EQ(status, FleetStatus::kOk);
+
+  ASSERT_EQ(fleet.release(h), FleetStatus::kOk);
+  EXPECT_EQ(fleet.release(h), FleetStatus::kStaleHandle);  // idempotent-safe
+  EXPECT_TRUE(fleet.result(h, &status).frames.empty());
+  EXPECT_EQ(status, FleetStatus::kStaleHandle);
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kStaleHandle);
+  EXPECT_EQ(fleet.state(h), SessionState::kEvicted);
+
+  // The recycled slot reuses the id with a bumped generation; the new
+  // tenant is addressable while the old handle stays permanently stale.
+  const SessionHandle next = fleet.admit(spec("b", 6)).handle;
+  ASSERT_TRUE(next.valid());
+  EXPECT_EQ(next.id, h.id);
+  EXPECT_EQ(next.gen, h.gen + 1);
+  EXPECT_EQ(fleet.state(next), SessionState::kActive);
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kStaleHandle);
 }
 
 // -------------------------------------------------------------- dispatch --
@@ -857,10 +894,8 @@ TEST(FleetDispatch, WeightedPriorityStarvesTheLightSession) {
   Fleet fleet(cfg);
   runtime::TraceRecorder trace;
   fleet.attach_trace(&trace);
-  const int heavy = fleet.admit(spec("heavy", 5, /*weight=*/2.0)).session_id;
-  const int light = fleet.admit(spec("light", 6, /*weight=*/1.0)).session_id;
-  ASSERT_GE(heavy, 0);
-  ASSERT_GE(light, 0);
+  ASSERT_TRUE(fleet.admit(spec("heavy", 5, /*weight=*/2.0)).admitted);
+  ASSERT_TRUE(fleet.admit(spec("light", 6, /*weight=*/1.0)).admitted);
 
   fleet.run(8);
   const FleetSnapshot snap = fleet.snapshot();
@@ -880,10 +915,8 @@ TEST(FleetDispatch, RoundRobinSharesTheDeferralBurden) {
   cfg.assumed_tasks_per_camera = 0.0;
   cfg.dispatch = DispatchPolicy::kRoundRobin;
   Fleet fleet(cfg);
-  const int a = fleet.admit(spec("a", 5)).session_id;
-  const int b = fleet.admit(spec("b", 6)).session_id;
-  ASSERT_GE(a, 0);
-  ASSERT_GE(b, 0);
+  ASSERT_TRUE(fleet.admit(spec("a", 5)).admitted);
+  ASSERT_TRUE(fleet.admit(spec("b", 6)).admitted);
 
   fleet.run(8);
   const FleetSnapshot snap = fleet.snapshot();
@@ -980,9 +1013,9 @@ TEST(FleetDeterminism, IdenticalAcrossThreadCounts) {
     EXPECT_DOUBLE_EQ(sn.sessions[i].object_recall,
                      sw.sessions[i].object_recall);
   }
-  for (int id = 0; id < 2; ++id) {
-    const runtime::PipelineResult rn = narrow->session_result(id);
-    const runtime::PipelineResult rw = wide->session_result(id);
+  for (std::size_t i = 0; i < sn.sessions.size(); ++i) {
+    const runtime::PipelineResult rn = narrow->result(sn.sessions[i].handle);
+    const runtime::PipelineResult rw = wide->result(sw.sessions[i].handle);
     EXPECT_DOUBLE_EQ(rn.object_recall, rw.object_recall);
     ASSERT_EQ(rn.frames.size(), rw.frames.size());
     for (std::size_t f = 0; f < rn.frames.size(); ++f) {

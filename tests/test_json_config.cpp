@@ -299,12 +299,14 @@ TEST(FleetRunConfig, ParseFleetBlock) {
       "slo_ms": 120, "dispatch": "weighted", "threads": 2,
       "readmit_interval": 7, "readmit_low_water": 0.6,
       "readmit_high_water": 0.85, "allow_split": true,
+      "shards": 4, "shard_capacity": 256,
+      "rebalance_interval": 25, "rebalance_high_water": 1.5,
       "device_scale": [{"class": "nano", "delta": 2}],
       "sessions": [
         {"name": "a", "weight": 2, "fps": 15, "slo_ms": 90,
          "faults": {"loss_rate": 0.05, "jitter_ms": 1.5,
                     "dropouts": [{"camera": 1, "from": 10, "to": 20}]}},
-        {"name": "b", "scenario": "S3",
+        {"name": "b", "scenario": "S3", "synthetic": true,
          "pipeline": {"policy": "sp", "horizon_frames": 8},
          "policy": {"mode": "heuristic", "staleness_limit": 6}}
       ]
@@ -321,6 +323,10 @@ TEST(FleetRunConfig, ParseFleetBlock) {
   EXPECT_DOUBLE_EQ(fleet.readmit_low_water, 0.6);
   EXPECT_DOUBLE_EQ(fleet.readmit_high_water, 0.85);
   EXPECT_TRUE(fleet.allow_split);
+  EXPECT_EQ(fleet.shards, 4);
+  EXPECT_EQ(fleet.shard_capacity, 256);
+  EXPECT_EQ(fleet.rebalance_interval, 25);
+  EXPECT_DOUBLE_EQ(fleet.rebalance_high_water, 1.5);
   ASSERT_EQ(fleet.device_scale.size(), 1u);
   EXPECT_EQ(fleet.device_scale[0].device_class, "nano");
   EXPECT_EQ(fleet.device_scale[0].delta, 2);
@@ -355,6 +361,8 @@ TEST(FleetRunConfig, ParseFleetBlock) {
   EXPECT_EQ(b.fps, 0);
   EXPECT_DOUBLE_EQ(b.slo_ms, -1.0);
   EXPECT_FALSE(b.faults.has_value());
+  EXPECT_TRUE(b.synthetic);
+  EXPECT_FALSE(a.synthetic);
 }
 
 TEST(FleetRunConfig, RejectsBadFleetInput) {
@@ -377,6 +385,19 @@ TEST(FleetRunConfig, RejectsBadFleetInput) {
                    R"({"fleet": {"sessions": [{"faults": {"loss_rate": 2}}]}})",
                    &error)
                    .has_value());
+  // Sharding knobs: out-of-range values and misspelled keys are hard errors.
+  EXPECT_FALSE(runtime::parse_run_config(R"({"fleet": {"shards": 0}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"rebalance_high_water": 1.0}})", &error)
+                   .has_value());
+  EXPECT_FALSE(runtime::parse_run_config(
+                   R"({"fleet": {"rebalance_interval": -1}})", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      runtime::parse_run_config(R"({"fleet": {"shardz": 2}})", &error)
+          .has_value());
+  EXPECT_NE(error.find("shardz"), std::string::npos);
 }
 
 TEST(FleetRunConfig, DumpRoundTrips) {
@@ -390,6 +411,10 @@ TEST(FleetRunConfig, DumpRoundTrips) {
   fleet.readmit_low_water = 0.55;
   fleet.readmit_high_water = 0.8;
   fleet.allow_split = true;
+  fleet.shards = 3;
+  fleet.shard_capacity = 64;
+  fleet.rebalance_interval = 15;
+  fleet.rebalance_high_water = 1.4;
   fleet.device_scale.push_back({"xavier", -1});
   runtime::FleetSessionSpec spec;
   spec.name = "cam-east";
@@ -398,6 +423,7 @@ TEST(FleetRunConfig, DumpRoundTrips) {
   spec.fps = 30;
   spec.slo_ms = 70.0;
   spec.pipeline.policy = runtime::Policy::kBalbInd;
+  spec.synthetic = true;
   netsim::FaultConfig faults;
   faults.loss_rate = 0.1;
   faults.max_retries = 5;
@@ -415,6 +441,10 @@ TEST(FleetRunConfig, DumpRoundTrips) {
   EXPECT_DOUBLE_EQ(again->fleet->readmit_low_water, 0.55);
   EXPECT_DOUBLE_EQ(again->fleet->readmit_high_water, 0.8);
   EXPECT_TRUE(again->fleet->allow_split);
+  EXPECT_EQ(again->fleet->shards, 3);
+  EXPECT_EQ(again->fleet->shard_capacity, 64);
+  EXPECT_EQ(again->fleet->rebalance_interval, 15);
+  EXPECT_DOUBLE_EQ(again->fleet->rebalance_high_water, 1.4);
   ASSERT_EQ(again->fleet->device_scale.size(), 1u);
   EXPECT_EQ(again->fleet->device_scale[0].device_class, "xavier");
   EXPECT_EQ(again->fleet->device_scale[0].delta, -1);
@@ -426,6 +456,7 @@ TEST(FleetRunConfig, DumpRoundTrips) {
   EXPECT_EQ(s.fps, 30);
   EXPECT_DOUBLE_EQ(s.slo_ms, 70.0);
   EXPECT_EQ(s.pipeline.policy, runtime::Policy::kBalbInd);
+  EXPECT_TRUE(s.synthetic);
   ASSERT_TRUE(s.faults.has_value());
   EXPECT_DOUBLE_EQ(s.faults->loss_rate, 0.1);
   EXPECT_EQ(s.faults->max_retries, 5);

@@ -362,7 +362,7 @@ TEST(PipelineBehaviour, FleetOfOneBitIdenticalToStandalonePipeline) {
   const fleet::AdmitResult admitted = fleet.admit(spec);
   ASSERT_TRUE(admitted.admitted);
   fleet.run(25);
-  const PipelineResult hosted = fleet.session_result(admitted.session_id);
+  const PipelineResult hosted = fleet.result(admitted.handle);
   expect_deterministic_stats_equal(solo, hosted);
 
   // The arbiter must also charge the lone session exactly its own plan: the
@@ -392,8 +392,7 @@ TEST(PipelineBehaviour, FleetOfOneWithFixedPolicyBitIdentical) {
   const fleet::AdmitResult admitted = fleet.admit(spec);
   ASSERT_TRUE(admitted.admitted);
   fleet.run(25);
-  expect_deterministic_stats_equal(solo,
-                                   fleet.session_result(admitted.session_id));
+  expect_deterministic_stats_equal(solo, fleet.result(admitted.handle));
 }
 
 TEST(PipelineBehaviour, DeterministicForSeed) {

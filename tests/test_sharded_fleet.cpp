@@ -1,0 +1,426 @@
+// Sharded serving plane tests (mvs::fleet::ShardedFleet).
+//
+// Pins the four plane-level guarantees from DESIGN.md §13 — the
+// shard-of-one identity (ShardedFleet{shards=1} is bit-identical to a
+// plain Fleet), conservation of per-session stats across live migration,
+// deterministic least-loaded placement independent of the worker-pool
+// width, and the second merge level's exact-zero saving at one shard —
+// plus the typed handle-error surface on the sharded directory and a
+// 1k-session synthetic admission smoke.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "fleet/sharded_fleet.hpp"
+#include "runtime/trace.hpp"
+
+namespace mvs::fleet {
+namespace {
+
+SessionSpec pipeline_spec(const std::string& name, std::uint64_t seed,
+                          int fps = 0) {
+  SessionSpec s;
+  s.name = name;
+  s.scenario = "S2";
+  s.pipeline.policy = runtime::Policy::kBalb;
+  s.pipeline.horizon_frames = 10;
+  s.pipeline.training_frames = 120;
+  s.pipeline.seed = seed;
+  s.fps = fps;
+  return s;
+}
+
+SessionSpec synthetic_spec(const std::string& name, std::uint64_t seed) {
+  SessionSpec s;
+  s.name = name;
+  s.scenario = "S2";
+  s.synthetic = true;
+  s.pipeline.seed = seed;
+  return s;
+}
+
+void expect_sessions_identical(const FleetSnapshot& a, const FleetSnapshot& b) {
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const SessionSnapshot& x = a.sessions[i];
+    const SessionSnapshot& y = b.sessions[i];
+    EXPECT_EQ(x.handle, y.handle) << i;
+    EXPECT_EQ(x.shard, y.shard) << i;
+    EXPECT_EQ(x.name, y.name) << i;
+    EXPECT_EQ(x.state, y.state) << i;
+    EXPECT_EQ(x.fps, y.fps) << i;
+    EXPECT_EQ(x.stride, y.stride) << i;
+    EXPECT_EQ(x.tight_masks, y.tight_masks) << i;
+    EXPECT_EQ(x.frames, y.frames) << i;
+    EXPECT_EQ(x.deferred_ticks, y.deferred_ticks) << i;
+    EXPECT_EQ(x.slo_violations, y.slo_violations) << i;
+    EXPECT_DOUBLE_EQ(x.p50_ms, y.p50_ms) << i;
+    EXPECT_DOUBLE_EQ(x.p95_ms, y.p95_ms) << i;
+    EXPECT_DOUBLE_EQ(x.p99_ms, y.p99_ms) << i;
+    EXPECT_DOUBLE_EQ(x.mean_ms, y.mean_ms) << i;
+    EXPECT_DOUBLE_EQ(x.mean_isolated_ms, y.mean_isolated_ms) << i;
+    EXPECT_DOUBLE_EQ(x.mean_queue_ms, y.mean_queue_ms) << i;
+    EXPECT_DOUBLE_EQ(x.busy_sum_ms, y.busy_sum_ms) << i;
+    EXPECT_EQ(x.retries, y.retries) << i;
+    EXPECT_EQ(x.dropped_msgs, y.dropped_msgs) << i;
+    EXPECT_DOUBLE_EQ(x.object_recall, y.object_recall) << i;
+  }
+}
+
+/// Bit-exact equality on every snapshot field two implementations share
+/// (everything except `shards` and `shard_rollups`, the only fields a
+/// one-shard plane legitimately reports differently).
+void expect_snapshot_identical(const FleetSnapshot& a, const FleetSnapshot& b) {
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.wheel_hz, b.wheel_hz);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.evicted, b.evicted);
+  EXPECT_EQ(a.readmitted, b.readmitted);
+  EXPECT_EQ(a.redegraded, b.redegraded);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.batch_splits, b.batch_splits);
+  EXPECT_EQ(a.shared_batches, b.shared_batches);
+  EXPECT_EQ(a.isolated_batches, b.isolated_batches);
+  EXPECT_DOUBLE_EQ(a.shared_busy_ms, b.shared_busy_ms);
+  EXPECT_DOUBLE_EQ(a.isolated_busy_ms, b.isolated_busy_ms);
+  EXPECT_DOUBLE_EQ(a.total_queue_ms, b.total_queue_ms);
+  EXPECT_EQ(a.cross_batches_saved, b.cross_batches_saved);
+  EXPECT_DOUBLE_EQ(a.cross_busy_saved_ms, b.cross_busy_saved_ms);
+  EXPECT_EQ(a.total_retries, b.total_retries);
+  EXPECT_EQ(a.total_dropped_msgs, b.total_dropped_msgs);
+  EXPECT_DOUBLE_EQ(a.mean_occupancy, b.mean_occupancy);
+  EXPECT_DOUBLE_EQ(a.p95_tick_busy_ms, b.p95_tick_busy_ms);
+  EXPECT_DOUBLE_EQ(a.mean_queue_depth, b.mean_queue_depth);
+  EXPECT_EQ(a.device_pools, b.device_pools);
+  expect_sessions_identical(a, b);
+}
+
+// ------------------------------------------------- shard-of-one identity --
+
+TEST(ShardedFleet, ShardOfOneBitIdenticalToFleet) {
+  // The whole serving surface — admission (degrade ladder), wheel growth,
+  // lifecycle, eviction, stepping — driven identically against a plain
+  // Fleet and a one-shard plane must produce bit-identical snapshots and
+  // session results.
+  FleetConfig cfg;
+  cfg.readmit_interval = 5;
+  cfg.allow_split = true;
+
+  Fleet plain(cfg);
+  ShardedFleet sharded(cfg);  // cfg.shards == 1
+  ASSERT_EQ(sharded.shard_count(), 1);
+
+  const auto drive = [](FleetApi& fleet) {
+    std::vector<SessionHandle> handles;
+    handles.push_back(fleet.admit(pipeline_spec("a", 21)).handle);
+    handles.push_back(fleet.admit(pipeline_spec("b", 22, /*fps=*/15)).handle);
+    fleet.run(12);
+    handles.push_back(fleet.admit(pipeline_spec("c", 23)).handle);
+    fleet.run(6);
+    EXPECT_EQ(fleet.pause(handles[1]), FleetStatus::kOk);
+    fleet.run(6);
+    EXPECT_EQ(fleet.resume(handles[1]), FleetStatus::kOk);
+    EXPECT_EQ(fleet.evict(handles[0]), FleetStatus::kOk);
+    fleet.run(6);
+    return handles;
+  };
+  const std::vector<SessionHandle> ph = drive(plain);
+  const std::vector<SessionHandle> sh = drive(sharded);
+  ASSERT_EQ(ph.size(), sh.size());
+  for (std::size_t i = 0; i < ph.size(); ++i) EXPECT_EQ(ph[i], sh[i]);
+
+  const FleetSnapshot a = plain.snapshot();
+  const FleetSnapshot b = sharded.snapshot();
+  EXPECT_EQ(a.shards, 1);
+  EXPECT_EQ(b.shards, 1);
+  expect_snapshot_identical(a, b);
+
+  // Session results are bit-identical too, including the evicted one's
+  // retained result.
+  for (std::size_t i = 0; i < ph.size(); ++i) {
+    const runtime::PipelineResult rp = plain.result(ph[i]);
+    const runtime::PipelineResult rs = sharded.result(sh[i]);
+    ASSERT_EQ(rp.frames.size(), rs.frames.size()) << i;
+    EXPECT_DOUBLE_EQ(rp.object_recall, rs.object_recall) << i;
+    for (std::size_t f = 0; f < rp.frames.size(); ++f)
+      EXPECT_DOUBLE_EQ(rp.frames[f].slowest_infer_ms,
+                       rs.frames[f].slowest_infer_ms);
+  }
+}
+
+TEST(ShardedFleet, MakeFleetPicksTheImplementationByShards) {
+  FleetConfig cfg;
+  const std::unique_ptr<FleetApi> one = make_fleet(cfg);
+  EXPECT_EQ(one->snapshot().shards, 1);
+  EXPECT_EQ(dynamic_cast<ShardedFleet*>(one.get()), nullptr);
+  cfg.shards = 4;
+  const std::unique_ptr<FleetApi> four = make_fleet(cfg);
+  ASSERT_NE(dynamic_cast<ShardedFleet*>(four.get()), nullptr);
+  EXPECT_EQ(four->snapshot().shards, 4);
+  EXPECT_EQ(four->snapshot().shard_rollups.size(), 4u);
+}
+
+// ------------------------------------------------------- live migration --
+
+TEST(ShardedFleet, ForcedMigrationConservesSessionStats) {
+  // Mid-run migration must move the session's record whole: frame count,
+  // attributed busy, latency stats and identity are exactly what they were
+  // the tick before the move, and the session keeps serving on its native
+  // cadence afterwards — a twin plane that never migrates finishes with
+  // the same per-session frame counts.
+  FleetConfig cfg;
+  cfg.shards = 2;
+  ShardedFleet fleet(cfg);
+  ShardedFleet twin(cfg);
+
+  std::vector<SessionHandle> handles;
+  std::vector<SessionHandle> twin_handles;
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    const AdmitResult r = fleet.admit(synthetic_spec(name, 100 + i));
+    const AdmitResult t = twin.admit(synthetic_spec(name, 100 + i));
+    ASSERT_TRUE(r.admitted);
+    EXPECT_EQ(r.shard, t.shard);
+    handles.push_back(r.handle);
+    twin_handles.push_back(t.handle);
+  }
+  fleet.run(9);
+  twin.run(9);
+
+  const FleetSnapshot before = fleet.snapshot();
+  const SessionSnapshot& victim_before = before.sessions[0];
+  const int source = victim_before.shard;
+  const int target = 1 - source;
+
+  ASSERT_EQ(fleet.migrate(handles[0], target), FleetStatus::kOk);
+  EXPECT_EQ(fleet.migrate(handles[0], target), FleetStatus::kInvalidState);
+  EXPECT_EQ(fleet.snapshot().migrations, 1);
+
+  // Everything the session accumulated crossed the shard boundary intact.
+  const FleetSnapshot after = fleet.snapshot();
+  const SessionSnapshot* moved = nullptr;
+  for (const SessionSnapshot& s : after.sessions)
+    if (s.handle == handles[0]) moved = &s;
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->shard, target);
+  EXPECT_EQ(moved->state, SessionState::kActive);
+  EXPECT_EQ(moved->frames, victim_before.frames);
+  EXPECT_DOUBLE_EQ(moved->busy_sum_ms, victim_before.busy_sum_ms);
+  EXPECT_DOUBLE_EQ(moved->mean_ms, victim_before.mean_ms);
+  EXPECT_DOUBLE_EQ(moved->p95_ms, victim_before.p95_ms);
+
+  // Cadence-exact handover: the migrated session serves exactly as many
+  // frames as its never-migrated twin.
+  fleet.run(9);
+  twin.run(9);
+  const FleetSnapshot done = fleet.snapshot();
+  const FleetSnapshot twin_done = twin.snapshot();
+  long frames = 0, twin_frames = 0;
+  for (const SessionSnapshot& s : done.sessions) {
+    frames += s.frames;
+    if (s.handle == handles[0]) EXPECT_EQ(s.frames, 18);
+  }
+  for (const SessionSnapshot& s : twin_done.sessions) twin_frames += s.frames;
+  EXPECT_EQ(frames, twin_frames);
+  EXPECT_EQ(done.migrations, 1);
+  EXPECT_EQ(twin_done.migrations, 0);
+
+  // The outer handle survived the move: lifecycle calls keep working.
+  EXPECT_EQ(fleet.pause(handles[0]), FleetStatus::kOk);
+  EXPECT_EQ(fleet.resume(handles[0]), FleetStatus::kOk);
+}
+
+TEST(ShardedFleet, RebalanceScanMigratesOffTheHottestShard) {
+  // Engineer an imbalance the scan must fix: admit eight sessions (they
+  // place four per shard), then evict three of one shard's four. The next
+  // scans see the survivor shard's windowed busy far above the high-water
+  // band and move one session per scan toward balance, each emitting a
+  // session_migrate trace event.
+  FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.rebalance_interval = 5;
+  ShardedFleet fleet(cfg);
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+
+  std::vector<AdmitResult> admits;
+  for (int i = 0; i < 8; ++i)
+    admits.push_back(fleet.admit(synthetic_spec("s" + std::to_string(i),
+                                                200 + i)));
+  int evicted = 0;
+  for (const AdmitResult& r : admits) {
+    ASSERT_TRUE(r.admitted);
+    if (r.shard == 1 && evicted < 3) {
+      ASSERT_EQ(fleet.evict(r.handle), FleetStatus::kOk);
+      ++evicted;
+    }
+  }
+  ASSERT_EQ(evicted, 3);
+
+  fleet.run(20);
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_GE(snap.migrations, 1);
+  EXPECT_EQ(trace.count(runtime::TraceEventType::kSessionMigrate),
+            static_cast<std::size_t>(snap.migrations));
+  // Rebalance converged: shard session counts differ by at most one.
+  ASSERT_EQ(snap.shard_rollups.size(), 2u);
+  EXPECT_LE(std::abs(snap.shard_rollups[0].sessions -
+                     snap.shard_rollups[1].sessions),
+            1);
+  // Migrated sessions kept serving every tick.
+  for (const SessionSnapshot& s : snap.sessions)
+    if (s.state == SessionState::kActive) EXPECT_EQ(s.frames, 20);
+}
+
+// ------------------------------------------------------------ placement --
+
+TEST(ShardedFleet, PlacementIsDeterministicAcrossThreadCounts) {
+  const auto build = [](int threads) {
+    FleetConfig cfg;
+    cfg.shards = 4;
+    cfg.threads = threads;
+    auto fleet = std::make_unique<ShardedFleet>(cfg);
+    std::vector<int> shards;
+    for (int i = 0; i < 32; ++i) {
+      const AdmitResult r =
+          fleet->admit(synthetic_spec("s" + std::to_string(i), 300 + i));
+      EXPECT_TRUE(r.admitted);
+      shards.push_back(r.shard);
+    }
+    fleet->run(10);
+    return std::make_pair(std::move(fleet), shards);
+  };
+  auto [narrow, narrow_shards] = build(1);
+  auto [wide, wide_shards] = build(8);
+  EXPECT_EQ(narrow_shards, wide_shards);
+  expect_snapshot_identical(narrow->snapshot(), wide->snapshot());
+}
+
+TEST(ShardedFleet, ShardCapacityRejectsInConstantTimeOncefull) {
+  FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.shard_capacity = 3;
+  ShardedFleet fleet(cfg);
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(
+        fleet.admit(synthetic_spec("s" + std::to_string(i), 400 + i)).admitted);
+  const AdmitResult overflow = fleet.admit(synthetic_spec("over", 499));
+  EXPECT_FALSE(overflow.admitted);
+  EXPECT_FALSE(overflow.handle.valid());
+  EXPECT_FALSE(overflow.reason.empty());
+  EXPECT_EQ(fleet.snapshot().rejected, 1);
+  // Capacity is LIVE sessions: evicting one frees a slot.
+  ASSERT_EQ(fleet.evict(fleet.snapshot().sessions[0].handle), FleetStatus::kOk);
+  EXPECT_TRUE(fleet.admit(synthetic_spec("retry", 498)).admitted);
+}
+
+// ---------------------------------------------------- cross-shard merge --
+
+TEST(ShardedFleet, CrossShardMergeSavingsZeroAtOneShardPositiveAtTwo) {
+  // Identical synthetic tenants on each shard leave identical residual
+  // (non-full) batches per device class every tick; the second merge level
+  // must account a strictly positive saving for topping those up across
+  // shards — and exactly zero when there is only one shard (the identity
+  // the shard-of-one guard depends on).
+  const auto savings = [](int shards) {
+    FleetConfig cfg;
+    cfg.shards = shards;
+    ShardedFleet fleet(cfg);
+    for (int i = 0; i < 2 * shards; ++i)
+      EXPECT_TRUE(
+          fleet.admit(synthetic_spec("s" + std::to_string(i), 500 + i))
+              .admitted);
+    fleet.run(12);
+    const FleetSnapshot snap = fleet.snapshot();
+    EXPECT_GE(snap.cross_busy_saved_ms, 0.0);
+    return snap;
+  };
+  const FleetSnapshot one = savings(1);
+  EXPECT_EQ(one.cross_batches_saved, 0);
+  EXPECT_DOUBLE_EQ(one.cross_busy_saved_ms, 0.0);
+  const FleetSnapshot two = savings(2);
+  EXPECT_GT(two.cross_batches_saved, 0);
+  EXPECT_GT(two.cross_busy_saved_ms, 0.0);
+}
+
+// ------------------------------------------------------- handle hygiene --
+
+TEST(ShardedFleet, TypedHandleErrorsAcrossTheDirectory) {
+  FleetConfig cfg;
+  cfg.shards = 2;
+  ShardedFleet fleet(cfg);
+  // A pipeline-backed session: result() retention across eviction is part
+  // of the surface under test (synthetic sessions keep no frame results).
+  const SessionHandle h = fleet.admit(pipeline_spec("a", 600)).handle;
+  ASSERT_TRUE(h.valid());
+  fleet.run(3);
+
+  // Wrong-state and out-of-range migrations are typed, not fatal.
+  EXPECT_EQ(fleet.migrate(h, 99), FleetStatus::kUnknownSession);
+  EXPECT_EQ(fleet.release(h), FleetStatus::kInvalidState);  // still active
+
+  ASSERT_EQ(fleet.evict(h), FleetStatus::kOk);
+  EXPECT_EQ(fleet.migrate(h, 1), FleetStatus::kInvalidState);  // evicted
+  FleetStatus status = FleetStatus::kOk;
+  EXPECT_EQ(fleet.result(h, &status).frames.size(), 3u);
+  EXPECT_EQ(status, FleetStatus::kOk);
+
+  ASSERT_EQ(fleet.release(h), FleetStatus::kOk);
+  EXPECT_TRUE(fleet.result(h, &status).frames.empty());
+  EXPECT_EQ(status, FleetStatus::kStaleHandle);
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kStaleHandle);
+  EXPECT_EQ(fleet.migrate(h, 1), FleetStatus::kStaleHandle);
+  EXPECT_EQ(fleet.state(h), SessionState::kEvicted);
+
+  // The recycled slot's new tenant is invisible through the old handle.
+  const SessionHandle next = fleet.admit(synthetic_spec("b", 601)).handle;
+  EXPECT_EQ(next.id, h.id);
+  EXPECT_EQ(next.gen, h.gen + 1);
+  EXPECT_EQ(fleet.pause(h), FleetStatus::kStaleHandle);
+  EXPECT_EQ(fleet.state(next), SessionState::kActive);
+
+  const SessionHandle unknown{424242, 7};
+  EXPECT_EQ(fleet.evict(unknown), FleetStatus::kUnknownSession);
+  EXPECT_EQ(fleet.result(unknown, &status).frames.size(), 0u);
+  EXPECT_EQ(status, FleetStatus::kUnknownSession);
+}
+
+// ------------------------------------------------------ admission smoke --
+
+TEST(ShardedFleet, ThousandSyntheticSessionsAdmitAndServe) {
+  // The tier-1 scale smoke: 1k synthetic tenants across 8 shards admit
+  // (O(1) each — no roster scans with admission control off), spread
+  // evenly, and every one serves every tick.
+  FleetConfig cfg;
+  cfg.shards = 8;
+  cfg.threads = 4;
+  ShardedFleet fleet(cfg);
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_TRUE(
+        fleet.admit(synthetic_spec("s" + std::to_string(i), 1000 + i))
+            .admitted);
+  EXPECT_EQ(fleet.session_count(), 1000u);
+  fleet.run(3);
+
+  const FleetSnapshot snap = fleet.snapshot();
+  EXPECT_EQ(snap.admitted, 1000);
+  EXPECT_EQ(snap.rejected, 0);
+  ASSERT_EQ(snap.shard_rollups.size(), 8u);
+  long frames = 0;
+  for (const ShardRollup& r : snap.shard_rollups) {
+    EXPECT_EQ(r.sessions, 125);  // least-loaded placement spreads evenly
+    frames += r.frames;
+  }
+  EXPECT_EQ(frames, 3000);
+  EXPECT_GT(snap.cross_batches_saved, 0);
+}
+
+}  // namespace
+}  // namespace mvs::fleet

@@ -40,7 +40,8 @@
 #include <vector>
 
 #include "../bench/concurrency_measure.hpp"
-#include "fleet/fleet.hpp"
+#include "bench/fleet_scale.hpp"
+#include "fleet/fleet_api.hpp"
 #include "obs/obs.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
@@ -425,17 +426,17 @@ int main(int argc, char** argv) {
     fleet::FleetSnapshot snap;
     long frames = 0;
     for (int rep = 0; rep < fleet_reps; ++rep) {
-      fleet::Fleet fleet;
+      const std::unique_ptr<fleet::FleetApi> fleet = fleet::make_fleet({});
       for (int s = 0; s < n; ++s) {
         fleet::SessionSpec spec;
         spec.name = "S2#" + std::to_string(s);
         spec.pipeline.seed = 42 + static_cast<std::uint64_t>(s);
-        fleet.admit(spec);
+        fleet->admit(spec);
       }
       util::Stopwatch watch;
-      fleet.run(fleet_ticks);
+      fleet->run(fleet_ticks);
       samples.push_back(watch.elapsed_ms());
-      snap = fleet.snapshot();
+      snap = fleet->snapshot();
       frames = 0;
       for (const fleet::SessionSnapshot& s : snap.sessions)
         frames += s.frames;
@@ -475,20 +476,20 @@ int main(int argc, char** argv) {
     std::vector<double> samples;
     fleet::FleetSnapshot snap;
     for (int rep = 0; rep < fleet_reps; ++rep) {
-      fleet::Fleet fleet;
+      const std::unique_ptr<fleet::FleetApi> fleet = fleet::make_fleet({});
       for (int s = 0; s < fleet_sessions; ++s) {
         fleet::SessionSpec spec;
         spec.name = "S2#" + std::to_string(s);
         spec.pipeline.seed = 42 + static_cast<std::uint64_t>(s);
-        fleet.admit(spec);
+        fleet->admit(spec);
       }
       for (const auto& [device_class, count] :
-           fleet.snapshot().device_pools)
-        fleet.scale_devices(device_class, multiplier - count);
+           fleet->snapshot().device_pools)
+        fleet->scale_devices(device_class, multiplier - count);
       util::Stopwatch watch;
-      fleet.run(fleet_ticks);
+      fleet->run(fleet_ticks);
       samples.push_back(watch.elapsed_ms());
-      snap = fleet.snapshot();
+      snap = fleet->snapshot();
     }
     util::Json::Object point;
     point["devices_per_class"] = util::Json(multiplier);
@@ -500,12 +501,31 @@ int main(int argc, char** argv) {
     elastic.push_back(util::Json(std::move(point)));
   }
 
+  // ---- sharded-plane scaling ---------------------------------------------
+  // Synthetic-load scale sweep over the ShardedFleet (bench/fleet_scale.hpp):
+  // ticks/sec, cross-shard batch savings, and device-pool queue drain vs
+  // shard count at 1k/4k/10k sessions. Deterministic except wall clock.
+  const int scale_ticks = args.int_or("fleet-scale-ticks", 10);
+  util::Json::Array scale;
+  for (const int n : {1000, 4000, 10000}) {
+    for (const int k : {1, 2, 4, 8}) {
+      const bench::ScalePoint point =
+          bench::run_scale_point("S2", n, k, scale_ticks, 42);
+      std::printf("fleet scale: %5d sessions x %d shards -> %7.1f ticks/s, "
+                  "x-saved %ld batches\n",
+                  n, k, point.ticks_per_sec, point.cross_batches_saved);
+      scale.push_back(bench::scale_point_json(point));
+    }
+  }
+
   util::Json::Object fl;
   fl["scenario"] = util::Json("S2");
   fl["ticks"] = util::Json(fleet_ticks);
   fl["reps"] = util::Json(fleet_reps);
   fl["sweep"] = util::Json(std::move(sweep));
   fl["elastic"] = util::Json(std::move(elastic));
+  fl["scale_ticks"] = util::Json(scale_ticks);
+  fl["scale"] = util::Json(std::move(scale));
   write_report(out_dir + "/BENCH_fleet.json", "fleet", std::move(fl));
 
   // ---- concurrency micro-benchmarks --------------------------------------

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "fleet/fleet.hpp"
+#include "fleet/fleet_api.hpp"
 #include "obs/obs.hpp"
 #include "rt/runner.hpp"
 #include "runtime/config.hpp"
@@ -101,6 +101,16 @@ int usage(const char* prog, int exit_code) {
       "                          the device pools (default 0; makes wide\n"
       "                          pools scale sublinearly like real\n"
       "                          accelerators)\n"
+      "  --shards N              shard the serving plane across N\n"
+      "                          schedulers, each with its own arbiter and\n"
+      "                          tick wheel (default 1; sessions place onto\n"
+      "                          the least-loaded shard)\n"
+      "  --rebalance-interval N  ticks between live-migration rebalance\n"
+      "                          scans over the shards (default 0 = no\n"
+      "                          background migration)\n"
+      "  --synthetic             admit synthetic-load sessions (seeded task\n"
+      "                          generators, no vision stack) — lets one\n"
+      "                          process host thousands of sessions\n"
       "  --fleet-json FILE       write the fleet/session rollup JSON\n"
       "\n"
       "streaming perception (mvs::rt):\n"
@@ -242,7 +252,8 @@ int main(int argc, char** argv) {
   const util::Args args = util::Args::parse(
       argc, argv,
       {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet",
-       "split-batches", "paired-rng", "paced", "correlation-gate"});
+       "split-batches", "paired-rng", "paced", "correlation-gate",
+       "synthetic"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -517,6 +528,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--readmit-interval must be >= 0\n");
       return usage(argv[0], 2);
     }
+    frc.shards = args.int_or("shards", frc.shards);
+    frc.rebalance_interval =
+        args.int_or("rebalance-interval", frc.rebalance_interval);
+    if (frc.shards < 1 || frc.rebalance_interval < 0) {
+      std::fprintf(stderr,
+                   "--shards must be >= 1, --rebalance-interval >= 0\n");
+      return usage(argv[0], 2);
+    }
 
     // Session roster: the config file's list wins; otherwise synthesize
     // --sessions copies of the flag-selected scenario/pipeline.
@@ -530,6 +549,7 @@ int main(int argc, char** argv) {
         runtime::FleetSessionSpec spec;
         spec.name = run.scenario + "#" + std::to_string(s);
         spec.scenario = run.scenario;
+        spec.synthetic = args.has("synthetic");
         spec.pipeline = run.pipeline;
         spec.pipeline.seed = run.pipeline.seed + static_cast<std::uint64_t>(s);
         frc.sessions.push_back(std::move(spec));
@@ -573,13 +593,15 @@ int main(int argc, char** argv) {
       return usage(argv[0], 2);
     }
 
-    fleet::Fleet fleet(*fc);
+    // The CLI consumes the serving plane through FleetApi only: make_fleet
+    // returns a single Fleet or a ShardedFleet, and nothing below cares.
+    const std::unique_ptr<fleet::FleetApi> fleet = fleet::make_fleet(*fc);
     for (const fleet::SessionSpec& spec : frc.sessions) {
-      const fleet::AdmitResult admit = fleet.admit(spec);
+      const fleet::AdmitResult admit = fleet->admit(spec);
       if (admit.admitted) {
         std::fprintf(stderr,
-                     "admitted %s (projected %.1f ms%s%s)\n",
-                     spec.name.c_str(), admit.projected_ms,
+                     "admitted %s -> shard %d (projected %.1f ms%s%s)\n",
+                     spec.name.c_str(), admit.shard, admit.projected_ms,
                      admit.masks_tightened ? ", masks tightened" : "",
                      admit.rate_halved ? ", rate halved" : "");
       } else {
@@ -588,7 +610,7 @@ int main(int argc, char** argv) {
       }
     }
     for (const runtime::FleetDeviceScale& ds : frc.device_scale) {
-      const int count = fleet.scale_devices(ds.device_class, ds.delta);
+      const int count = fleet->scale_devices(ds.device_class, ds.delta);
       std::fprintf(stderr, "scaled %s pool to %d device%s\n",
                    ds.device_class.c_str(), count, count == 1 ? "" : "s");
     }
@@ -597,19 +619,24 @@ int main(int argc, char** argv) {
     // heterogeneous rates were admitted.
     const int base_fps = std::max(
         1, static_cast<int>(std::lround(1000.0 / fc->frame_period_ms)));
-    const int ticks = run.frames * (fleet.wheel_hz() / base_fps);
+    const int ticks = run.frames * (fleet->wheel_hz() / base_fps);
     std::fprintf(stderr, "running fleet of %zu for %d ticks (wheel %d Hz, "
-                 "slo=%.1f ms, dispatch=%s)...\n",
-                 fleet.session_count(), ticks, fleet.wheel_hz(), fc->slo_ms,
+                 "%d shard%s, slo=%.1f ms, dispatch=%s)...\n",
+                 fleet->session_count(), ticks, fleet->wheel_hz(),
+                 fc->shards, fc->shards == 1 ? "" : "s", fc->slo_ms,
                  fleet::to_string(fc->dispatch));
-    fleet.run(ticks);
+    fleet->run(ticks);
 
-    const fleet::FleetSnapshot snap = fleet.snapshot();
-    util::Table table({"id", "name", "state", "fps", "stride", "frames",
-                       "deferred", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
-                       "iso_ms", "queue_ms", "slo_viol", "recall"});
+    const fleet::FleetSnapshot snap = fleet->snapshot();
+    util::Table table({"handle", "shard", "name", "state", "fps", "stride",
+                       "frames", "deferred", "p50_ms", "p95_ms", "p99_ms",
+                       "mean_ms", "iso_ms", "queue_ms", "slo_viol",
+                       "recall"});
     for (const fleet::SessionSnapshot& s : snap.sessions) {
-      table.add_row({std::to_string(s.id), s.name, fleet::to_string(s.state),
+      table.add_row({std::to_string(s.handle.id) + "." +
+                         std::to_string(s.handle.gen),
+                     std::to_string(s.shard), s.name,
+                     fleet::to_string(s.state),
                      std::to_string(s.fps), std::to_string(s.stride),
                      std::to_string(s.frames),
                      std::to_string(s.deferred_ticks),
@@ -625,6 +652,11 @@ int main(int argc, char** argv) {
     std::printf("%s", table.to_string().c_str());
     std::printf("admitted %d | rejected %d | evicted %d | readmitted %d\n",
                 snap.admitted, snap.rejected, snap.evicted, snap.readmitted);
+    if (snap.shards > 1)
+      std::printf("shards %d | migrations %ld | cross-shard batches saved "
+                  "%ld (%.1f ms)\n",
+                  snap.shards, snap.migrations, snap.cross_batches_saved,
+                  snap.cross_busy_saved_ms);
     std::printf("batches: shared %ld vs isolated %ld | busy %.1f vs %.1f ms "
                 "| splits %ld\n",
                 snap.shared_batches, snap.isolated_batches,
