@@ -2,13 +2,19 @@
 // instrumentation = one branch on one atomic flag) and measures the
 // end-to-end cost of obs on the pipeline hot path.
 //
-// Two parts:
+// Three parts:
 //   1. macro ns/op — tight loops over MVS_COUNT / MVS_HIST / MVS_SPAN with
-//      instrumentation disabled vs enabled;
+//      instrumentation disabled vs enabled, plus the critical-path
+//      attribution record path (critical_path().record + recorder()
+//      .note_frame behind the attribution gate): the disabled cost must be
+//      one relaxed atomic load + branch (~2.5 ns, DESIGN.md §14);
 //   2. pipeline A/B — bench_pipeline's timed region (fresh Pipeline per rep,
 //      run(frames) timed) with obs off vs on; the off-median must stay
 //      within 1% of the committed BENCH_pipeline.json baseline, which CI
-//      checks as a non-fatal report step.
+//      checks as a non-fatal report step;
+//   3. paced attribution A/B — the rt::RtRunner timed region (the
+//      attribution producer) with attribution off vs on, obs disabled
+//      throughout.
 //
 // Usage:
 //   bench_obs [--frames 60] [--reps 3] [--iters 2000000] [--json out.json]
@@ -19,6 +25,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "rt/runner.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
 #include "util/bench_info.hpp"
@@ -56,6 +63,25 @@ double span_ns_per_op(long iters) {
   return watch.elapsed_ms() * 1e6 / static_cast<double>(iters);
 }
 
+// The attribution hot path exactly as the producers run it: gate check,
+// stack-filled FrameAttribution, CriticalPath record + recorder append.
+double attr_ns_per_op(long iters) {
+  mvs::util::Stopwatch watch;
+  for (long i = 0; i < iters; ++i) {
+    if (mvs::obs::attribution_enabled()) {
+      mvs::obs::FrameAttribution fa;
+      fa.id = mvs::obs::causal_id(0, static_cast<std::uint64_t>(i));
+      fa.total_ms = static_cast<double>(i & 255);
+      fa.segment_ms[static_cast<std::size_t>(mvs::obs::Segment::kGpu)] =
+          fa.total_ms;
+      mvs::obs::critical_path().record(fa);
+      mvs::obs::recorder().note_frame(fa);
+    }
+    g_sink = g_sink + 1;
+  }
+  return watch.elapsed_ms() * 1e6 / static_cast<double>(iters);
+}
+
 double pipeline_median_ms(const std::string& scenario,
                           const mvs::runtime::PipelineConfig& cfg, int frames,
                           int reps) {
@@ -85,17 +111,22 @@ int main(int argc, char** argv) {
   const double off_count = count_ns_per_op(iters);
   const double off_hist = hist_ns_per_op(iters);
   const double off_span = span_ns_per_op(iters);
+  const double off_attr = attr_ns_per_op(iters);
   obs::set_enabled(true);
   const double on_count = count_ns_per_op(iters);
   const double on_hist = hist_ns_per_op(iters);
   const double on_span = span_ns_per_op(iters);
   obs::set_enabled(false);
+  obs::set_attribution_enabled(true);
+  const double on_attr = attr_ns_per_op(iters);
+  obs::set_attribution_enabled(false);
   obs::reset();
 
   std::printf("macro ns/op (%ld iters)      disabled   enabled\n", iters);
   std::printf("  MVS_COUNT                  %8.2f  %8.2f\n", off_count, on_count);
   std::printf("  MVS_HIST                   %8.2f  %8.2f\n", off_hist, on_hist);
   std::printf("  MVS_SPAN                   %8.2f  %8.2f\n", off_span, on_span);
+  std::printf("  attribution record         %8.2f  %8.2f\n", off_attr, on_attr);
 
   // --- part 2: pipeline A/B ---
   runtime::PipelineConfig cfg;
@@ -114,6 +145,30 @@ int main(int argc, char** argv) {
   std::printf("  obs off %.2f ms | obs on %.2f ms | overhead %.2f%%\n",
               pipe_off, pipe_on, overhead_pct);
 
+  // --- part 3: paced attribution A/B ---
+  runtime::RtConfig rtc;
+  const auto paced_median_ms = [&] {
+    std::vector<double> run_ms;
+    for (int rep = 0; rep < reps; ++rep) {
+      rt::RtRunner runner(scenario, cfg, rtc);
+      util::Stopwatch watch;
+      (void)runner.run(frames);
+      run_ms.push_back(watch.elapsed_ms());
+    }
+    return util::median(std::move(run_ms));
+  };
+  const double paced_off = paced_median_ms();
+  obs::set_attribution_enabled(true);
+  const double paced_attr = paced_median_ms();
+  obs::set_attribution_enabled(false);
+  obs::reset();
+  const double attr_overhead_pct =
+      paced_off > 0.0 ? 100.0 * (paced_attr - paced_off) / paced_off : 0.0;
+  std::printf("paced %s x%d frames (median of %d reps):\n", scenario.c_str(),
+              frames, reps);
+  std::printf("  attribution off %.2f ms | on %.2f ms | overhead %.2f%%\n",
+              paced_off, paced_attr, attr_overhead_pct);
+
   const std::string json_path = args.get_or("json", "");
   if (!json_path.empty()) {
     util::Json::Object result;
@@ -124,9 +179,14 @@ int main(int argc, char** argv) {
     result["hist_ns_enabled"] = util::Json(on_hist);
     result["span_ns_disabled"] = util::Json(off_span);
     result["span_ns_enabled"] = util::Json(on_span);
+    result["attr_ns_disabled"] = util::Json(off_attr);
+    result["attr_ns_enabled"] = util::Json(on_attr);
     result["pipeline_off_ms"] = util::Json(pipe_off);
     result["pipeline_on_ms"] = util::Json(pipe_on);
     result["pipeline_overhead_pct"] = util::Json(overhead_pct);
+    result["paced_off_ms"] = util::Json(paced_off);
+    result["paced_attr_ms"] = util::Json(paced_attr);
+    result["attr_overhead_pct"] = util::Json(attr_overhead_pct);
     util::Json::Object doc;
     doc["env"] = util::bench_env_json();
     doc["obs"] = util::Json(std::move(result));

@@ -90,8 +90,43 @@ std::optional<FleetConfig> make_fleet_config(
     return std::nullopt;
   }
   cfg.rebalance_high_water = config.rebalance_high_water;
+  if (config.burn_error_budget < 0.0 || config.burn_error_budget > 1.0) {
+    if (error) *error = "burn_error_budget must be in [0, 1]";
+    return std::nullopt;
+  }
+  cfg.burn_error_budget = config.burn_error_budget;
+  if (config.burn_fast_window < 1 || config.burn_slow_window < 1 ||
+      config.burn_fast_window > config.burn_slow_window ||
+      config.burn_slow_window > BurnWindow::kMaxWindow) {
+    if (error) *error = "burn windows out of range";
+    return std::nullopt;
+  }
+  cfg.burn_fast_window = config.burn_fast_window;
+  cfg.burn_slow_window = config.burn_slow_window;
+  if (config.burn_raise <= 0.0 || config.burn_clear <= 0.0 ||
+      config.burn_clear > config.burn_raise) {
+    if (error) *error = "burn thresholds out of range";
+    return std::nullopt;
+  }
+  cfg.burn_raise = config.burn_raise;
+  cfg.burn_clear = config.burn_clear;
+  cfg.burn_degrade = config.burn_degrade;
   return cfg;
 }
+
+namespace {
+
+BurnConfig make_burn_config(const FleetConfig& cfg) {
+  BurnConfig bc;
+  bc.error_budget = cfg.burn_error_budget;
+  bc.fast_window = cfg.burn_fast_window;
+  bc.slow_window = cfg.burn_slow_window;
+  bc.raise_mult = cfg.burn_raise;
+  bc.clear_mult = cfg.burn_clear;
+  return bc;
+}
+
+}  // namespace
 
 Fleet::Fleet(const FleetConfig& config)
     : cfg_(config),
@@ -116,6 +151,7 @@ Fleet::Fleet(const FleetConfig& config)
   obs_.queue_depth = p + "queue_depth";
   obs_.sessions = p + "sessions";
   obs_.session_prefix = p + "session.";
+  shard_burn_.configure(make_burn_config(cfg_));
 }
 
 Fleet::Fleet(const FleetConfig& config, util::ThreadPool* shared_pool)
@@ -130,9 +166,11 @@ Fleet::~Fleet() = default;
 
 void Fleet::attach_trace(runtime::TraceRecorder* trace) { trace_ = trace; }
 
-void Fleet::record(runtime::TraceEventType type, int session_id,
-                   double value) {
-  if (trace_) trace_->record({ticks_, session_id, type, 0, value});
+void Fleet::record(runtime::TraceEventType type, int session_id, double value,
+                   int migrated_from) {
+  if (trace_)
+    trace_->record(
+        {ticks_, session_id, type, 0, value, cfg_.shard_index, migrated_from});
   // Every lifecycle decision (admit/reject/defer/readmit/evict/...) funnels
   // through here; one counter per event type re-expresses them as metrics.
   // Event counters stay un-prefixed in shard mode on purpose: lifecycle
@@ -142,6 +180,12 @@ void Fleet::record(runtime::TraceEventType type, int session_id,
     obs::metrics()
         .counter(std::string("fleet.events.") + runtime::to_string(type))
         .add(1);
+  // Lifecycle events also land in the flight recorder's event ring so a
+  // postmortem shows what the fleet DID around the miss burst
+  // (to_string returns a static string — no allocation here).
+  if (obs::attribution_enabled())
+    obs::recorder().note_event(ticks_, runtime::to_string(type), session_id,
+                               value);
 }
 
 SessionRecord* Fleet::find(int id) {
@@ -352,6 +396,7 @@ AdmitResult Fleet::admit(const SessionSpec& spec) {
     for (const auto& s : sessions_) halved += (s->stride > 1);
     session->phase = (halved % 2) * session->period_ticks;
   }
+  session->burn.configure(make_burn_config(cfg_));
   session->devices = devices;
   session->static_demand_ms =
       estimate_demand_ms(session->devices, session->spec.pipeline);
@@ -402,7 +447,12 @@ FleetStatus Fleet::evict(SessionHandle handle) {
   ++evicted_;
   --live_sessions_;
   placed_demand_ms_ -= s->placement_demand_ms;
-  record(runtime::TraceEventType::kSessionEvict, s->id, 0.0);
+  record(runtime::TraceEventType::kSessionEvict, s->id, 0.0,
+         s->migrated_from);
+  // An eviction is a postmortem-worthy lifecycle end: snapshot the flight
+  // recorder so the session's last frames survive it (in-memory only unless
+  // a postmortem dir is configured).
+  if (obs::attribution_enabled()) obs::recorder().request_dump("session-evict");
   return FleetStatus::kOk;
 }
 
@@ -412,7 +462,8 @@ FleetStatus Fleet::pause(SessionHandle handle) {
   if (!s) return status;
   if (s->state != SessionState::kActive) return FleetStatus::kInvalidState;
   s->state = SessionState::kPaused;
-  record(runtime::TraceEventType::kSessionPause, s->id, 0.0);
+  record(runtime::TraceEventType::kSessionPause, s->id, 0.0,
+         s->migrated_from);
   return FleetStatus::kOk;
 }
 
@@ -422,7 +473,8 @@ FleetStatus Fleet::resume(SessionHandle handle) {
   if (!s) return status;
   if (s->state != SessionState::kPaused) return FleetStatus::kInvalidState;
   s->state = SessionState::kActive;
-  record(runtime::TraceEventType::kSessionResume, s->id, 0.0);
+  record(runtime::TraceEventType::kSessionResume, s->id, 0.0,
+         s->migrated_from);
   return FleetStatus::kOk;
 }
 
@@ -531,25 +583,7 @@ void Fleet::readmit_scan() {
   // is the hysteresis that keeps rungs from flapping scan to scan.
   if (mean_busy > cfg_.readmit_high_water * cfg_.slo_ms) {
     if (!cfg_.allow_degrade) return;
-    for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
-      SessionRecord* s = it->get();
-      if (s->state != SessionState::kActive || s->degraded_tight) continue;
-      s->spec.pipeline.tight_masks = true;
-      if (s->pipeline) s->pipeline->set_tight_masks(true);
-      s->degraded_tight = true;
-      ++redegraded_;
-      record(runtime::TraceEventType::kSessionRedegrade, s->id, mean_busy);
-      return;
-    }
-    for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
-      SessionRecord* s = it->get();
-      if (s->state != SessionState::kActive || s->degraded_rate) continue;
-      s->stride = 2;
-      s->degraded_rate = true;
-      ++redegraded_;
-      record(runtime::TraceEventType::kSessionRedegrade, s->id, mean_busy);
-      return;
-    }
+    apply_degrade_rung(mean_busy);
     return;
   }
   if (mean_busy >= cfg_.readmit_low_water * cfg_.slo_ms) return;
@@ -592,6 +626,31 @@ void Fleet::readmit_scan() {
   }
 }
 
+bool Fleet::apply_degrade_rung(double value) {
+  for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
+    SessionRecord* s = it->get();
+    if (s->state != SessionState::kActive || s->degraded_tight) continue;
+    s->spec.pipeline.tight_masks = true;
+    if (s->pipeline) s->pipeline->set_tight_masks(true);
+    s->degraded_tight = true;
+    ++redegraded_;
+    record(runtime::TraceEventType::kSessionRedegrade, s->id, value,
+           s->migrated_from);
+    return true;
+  }
+  for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
+    SessionRecord* s = it->get();
+    if (s->state != SessionState::kActive || s->degraded_rate) continue;
+    s->stride = 2;
+    s->degraded_rate = true;
+    ++redegraded_;
+    record(runtime::TraceEventType::kSessionRedegrade, s->id, value,
+           s->migrated_from);
+    return true;
+  }
+  return false;
+}
+
 void Fleet::step() {
   MVS_SPAN("fleet.tick");
   const long tick = ticks_;
@@ -632,7 +691,8 @@ void Fleet::step() {
       if (!chosen.empty() && projected + d > cfg_.slo_ms) {
         ++s->deferred_ticks;
         ++deferred;
-        record(runtime::TraceEventType::kSessionDefer, s->id, projected + d);
+        record(runtime::TraceEventType::kSessionDefer, s->id, projected + d,
+               s->migrated_from);
         continue;
       }
       projected += d;
@@ -737,9 +797,16 @@ void Fleet::step() {
   for (SessionRecord* s : ordered) {
     double frame_ms = 0.0, frame_iso_ms = 0.0, frame_queue_ms = 0.0;
     double busy = 0.0;
+    // The critical-path share: the (gpu, queue) pair of the slowest camera,
+    // whose sum IS frame_ms — so the attribution below conserves exactly.
+    double crit_gpu_ms = 0.0, crit_wait_ms = 0.0;
     for (const Attribution& a : plan.shares) {
       if (a.session != s->id) continue;
-      frame_ms = std::max(frame_ms, a.attributed_ms + a.queue_ms);
+      if (a.attributed_ms + a.queue_ms > frame_ms) {
+        frame_ms = a.attributed_ms + a.queue_ms;
+        crit_gpu_ms = a.attributed_ms;
+        crit_wait_ms = a.queue_ms;
+      }
       frame_iso_ms = std::max(frame_iso_ms, a.isolated_ms);
       frame_queue_ms = std::max(frame_queue_ms, a.queue_ms);
       busy += a.attributed_ms;
@@ -754,9 +821,59 @@ void Fleet::step() {
       m.histogram(prefix + ".queue_ms").record(frame_queue_ms);
     }
     s->busy_sum_ms += busy;
-    ++s->frames;
     const double slo = s->spec.slo_ms >= 0.0 ? s->spec.slo_ms : cfg_.slo_ms;
-    if (slo > 0.0 && frame_ms > slo) ++s->slo_violations;
+    const bool miss = slo > 0.0 && frame_ms > slo;
+    if (miss) ++s->slo_violations;
+    if (obs::attribution_enabled()) {
+      // Stream id: shard (+1 so shard 0 is distinguishable from a
+      // standalone runner's stream 0) in the high half-word, session id low.
+      const std::uint32_t stream =
+          (static_cast<std::uint32_t>(cfg_.shard_index + 1) << 16) |
+          (static_cast<std::uint32_t>(s->id) & 0xffffU);
+      obs::FrameAttribution fa;
+      fa.id = obs::causal_id(stream, static_cast<std::uint64_t>(s->frames));
+      fa.total_ms = frame_ms;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kGpu)] =
+          crit_gpu_ms;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kBatchWait)] =
+          crit_wait_ms;
+      fa.deadline_miss = miss;
+      obs::critical_path().record(fa);
+      obs::recorder().note_frame(fa);
+    }
+    ++s->frames;
+    if (cfg_.burn_error_budget > 0.0) {
+      const int edge = s->burn.push(miss);
+      if (edge > 0) {
+        ++s->slo_alerts;
+        ++slo_alerts_raised_;
+        record(runtime::TraceEventType::kSloAlertRaise, s->id,
+               s->burn.fast_burn(), s->migrated_from);
+      } else if (edge < 0) {
+        ++slo_alerts_cleared_;
+        record(runtime::TraceEventType::kSloAlertClear, s->id,
+               s->burn.fast_burn(), s->migrated_from);
+      }
+    }
+  }
+
+  // Shard-level burn monitor: a tick whose merged busy exceeds the SLO is
+  // one bad event. A raise edge may couple straight into mitigation
+  // (burn_degrade: one degrade rung, same rung order as the readmit
+  // high-water branch).
+  if (cfg_.burn_error_budget > 0.0 && cfg_.slo_ms > 0.0) {
+    const int edge = shard_burn_.push(plan.shared_busy_ms > cfg_.slo_ms);
+    if (edge > 0) {
+      ++shard_slo_alerts_;
+      ++slo_alerts_raised_;
+      record(runtime::TraceEventType::kSloAlertRaise, -1,
+             shard_burn_.fast_burn());
+      if (cfg_.burn_degrade) apply_degrade_rung(shard_burn_.fast_burn());
+    } else if (edge < 0) {
+      ++slo_alerts_cleared_;
+      record(runtime::TraceEventType::kSloAlertClear, -1,
+             shard_burn_.fast_burn());
+    }
   }
 
   // 6. Periodic re-admission scan over the windowed mean busy, normalized
@@ -797,6 +914,8 @@ FleetSnapshot Fleet::snapshot() const {
   snap.p95_tick_busy_ms =
       tick_busy_ms_.count() ? tick_busy_ms_.percentile(95.0) : 0.0;
   snap.mean_queue_depth = queue_depth_.mean();
+  snap.slo_alerts_raised = slo_alerts_raised_;
+  snap.slo_alerts_cleared = slo_alerts_cleared_;
   for (const auto& [name, count] : arbiter_.device_counts())
     snap.device_pools.emplace_back(name, count);
   for (const auto& s : sessions_) {
@@ -822,6 +941,12 @@ FleetSnapshot Fleet::snapshot() const {
       ss.mean_queue_ms = s->queue_ms.mean();
     }
     ss.busy_sum_ms = s->busy_sum_ms;
+    ss.slo_alerts = s->slo_alerts;
+    ss.alerting = s->burn.alerting();
+    ss.fast_burn = s->burn.fast_burn();
+    ss.slow_burn = s->burn.slow_burn();
+    if (ss.alerting && s->state != SessionState::kEvicted)
+      ++snap.alerting_sessions;
     if (s->pipeline || s->final_result.frames.size() ||
         s->state == SessionState::kEvicted) {
       const runtime::PipelineResult result =
@@ -864,6 +989,11 @@ std::string FleetSnapshot::to_json() const {
   fleet["mean_occupancy"] = util::Json(mean_occupancy);
   fleet["p95_tick_busy_ms"] = util::Json(p95_tick_busy_ms);
   fleet["mean_queue_depth"] = util::Json(mean_queue_depth);
+  fleet["slo_alerts_raised"] =
+      util::Json(static_cast<double>(slo_alerts_raised));
+  fleet["slo_alerts_cleared"] =
+      util::Json(static_cast<double>(slo_alerts_cleared));
+  fleet["alerting_sessions"] = util::Json(alerting_sessions);
   util::Json::Array pools;
   for (const auto& [name, count] : device_pools) {
     util::Json::Object pool;
@@ -881,6 +1011,8 @@ std::string FleetSnapshot::to_json() const {
     obj["shared_busy_ms"] = util::Json(r.shared_busy_ms);
     obj["placed_demand_ms"] = util::Json(r.placed_demand_ms);
     obj["mean_occupancy"] = util::Json(r.mean_occupancy);
+    obj["alerting"] = util::Json(r.alerting);
+    obj["slo_alerts"] = util::Json(static_cast<double>(r.slo_alerts));
     rollups.push_back(util::Json(std::move(obj)));
   }
   fleet["shard_rollups"] = util::Json(std::move(rollups));
@@ -911,6 +1043,10 @@ std::string FleetSnapshot::to_json() const {
     obj["retries"] = util::Json(static_cast<double>(s.retries));
     obj["dropped_msgs"] = util::Json(static_cast<double>(s.dropped_msgs));
     obj["object_recall"] = util::Json(s.object_recall);
+    obj["slo_alerts"] = util::Json(static_cast<double>(s.slo_alerts));
+    obj["alerting"] = util::Json(s.alerting);
+    obj["fast_burn"] = util::Json(s.fast_burn);
+    obj["slow_burn"] = util::Json(s.slow_burn);
     session_array.push_back(util::Json(std::move(obj)));
   }
 

@@ -56,6 +56,7 @@
 #include <vector>
 
 #include "fleet/arbiter.hpp"
+#include "fleet/burn.hpp"
 #include "fleet/fleet_api.hpp"
 #include "fleet/handle.hpp"
 #include "fleet/synthetic.hpp"
@@ -96,9 +97,19 @@ struct SessionRecord {
   /// submission, per camera.
   std::map<int, std::vector<geom::SizeClassId>> carryover;
 
+  /// Shard the session migrated FROM most recently (-1 = never migrated).
+  /// Travels with the record so post-migration trace events keep their
+  /// provenance (test_sharded_fleet.MigratedSessionTraceAttribution).
+  int migrated_from = -1;
+
   long frames = 0;
   long deferred_ticks = 0;
   long slo_violations = 0;
+  /// Per-session SLO burn-rate monitor (DESIGN.md §14); a frame whose
+  /// latency exceeds the effective SLO is one bad event. Lives in the
+  /// record so migration carries the window state with the session.
+  BurnMonitor burn;
+  long slo_alerts = 0;  ///< raise edges over the session's lifetime
   util::SampleSet latency_ms;       ///< per-frame attributed + queueing
   util::SampleSet isolated_ms;      ///< dedicated-device counterfactual
   util::SampleSet queue_ms;         ///< per-frame device-pool queueing
@@ -172,6 +183,10 @@ class Fleet : public FleetApi {
   /// Σ placement_demand_ms over live sessions (O(1) placement load).
   double placed_demand_ms() const { return placed_demand_ms_; }
 
+  /// Shard-level burn monitor state for the plane's ShardRollup.
+  bool burn_alerting() const { return shard_burn_.alerting(); }
+  long burn_alerts() const { return shard_slo_alerts_; }
+
   /// Remove a live (active or paused) session wholesale for migration.
   /// Its handle on THIS fleet is retired (the caller-facing identity lives
   /// in the ShardedFleet directory). nullptr + *status on a bad handle or
@@ -216,7 +231,13 @@ class Fleet : public FleetApi {
   void grow_wheel(int fps);
   /// Reverse degrade ladder: restore at most one rung across the fleet.
   void readmit_scan();
-  void record(runtime::TraceEventType type, int session_id, double value);
+  /// Push one session one rung DOWN the degrade ladder (mask tightening
+  /// first, then rate halving; highest id first). Returns false when every
+  /// session is already fully degraded. Shared by the readmit high-water
+  /// branch and the burn_degrade alert trigger.
+  bool apply_degrade_rung(double value);
+  void record(runtime::TraceEventType type, int session_id, double value,
+              int migrated_from = -1);
 
   FleetConfig cfg_;
   std::unique_ptr<util::ThreadPool> owned_pool_;  ///< null when shared
@@ -247,6 +268,12 @@ class Fleet : public FleetApi {
   /// Re-admission window accumulator (busy normalized to base periods).
   double window_busy_ms_ = 0.0;
   int window_ticks_ = 0;
+  /// Shard-level burn monitor: one bad event per tick whose shared busy
+  /// exceeds the SLO. Session + shard raise/clear edges tally below.
+  BurnMonitor shard_burn_;
+  long shard_slo_alerts_ = 0;
+  long slo_alerts_raised_ = 0;
+  long slo_alerts_cleared_ = 0;
   util::SampleSet tick_busy_ms_;
   util::SampleSet queue_depth_;
 

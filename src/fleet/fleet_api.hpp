@@ -79,6 +79,16 @@ struct FleetConfig {
   /// A scan migrates only when the hottest shard's windowed busy exceeds
   /// this multiple of the mean shard busy (> 1; the hysteresis band).
   double rebalance_high_water = 1.25;
+  /// SLO burn-rate monitoring (DESIGN.md §14): tolerated per-tick
+  /// SLO-violation ratio. 0 disables per-session and per-shard monitors.
+  double burn_error_budget = 0.0;
+  int burn_fast_window = 16;   ///< ticks; acute-burn window
+  int burn_slow_window = 64;   ///< ticks; confirmation window
+  double burn_raise = 2.0;     ///< raise at fast AND slow burn >= this
+  double burn_clear = 1.0;     ///< clear at fast burn < this (hysteresis)
+  /// A shard-level raise edge immediately applies one degrade rung to the
+  /// heaviest restorable session (alerting coupled to mitigation).
+  bool burn_degrade = false;
   /// Internal: which shard of a ShardedFleet this Fleet is (-1 =
   /// standalone). Namespaces the obs metric keys; not a config-file knob.
   int shard_index = -1;
@@ -127,6 +137,11 @@ struct SessionSnapshot {
   long retries = 0;               ///< transport retransmissions (lossy only)
   long dropped_msgs = 0;          ///< messages lost after all retries
   double object_recall = 0.0;
+  /// SLO burn-rate health (0 / false when monitoring is disabled).
+  long slo_alerts = 0;       ///< raise edges over the session's lifetime
+  bool alerting = false;     ///< currently inside a raise..clear episode
+  double fast_burn = 0.0;    ///< burn rate over the fast window
+  double slow_burn = 0.0;    ///< burn rate over the slow window
 };
 
 /// Per-shard rollup inside a sharded snapshot (empty for a plain Fleet).
@@ -137,6 +152,8 @@ struct ShardRollup {
   double shared_busy_ms = 0.0;
   double placed_demand_ms = 0.0;  ///< static admission-demand load
   double mean_occupancy = 0.0;
+  bool alerting = false;  ///< shard-level burn monitor inside an episode
+  long slo_alerts = 0;    ///< shard-level raise edges
 };
 
 /// Fleet-level rollup.
@@ -161,6 +178,10 @@ struct FleetSnapshot {
   /// Transport fault rollups summed over all sessions (lossy only).
   long total_retries = 0;
   long total_dropped_msgs = 0;
+  /// SLO burn-rate alerting rollup (0 when monitoring is disabled).
+  long slo_alerts_raised = 0;   ///< raise edges (sessions + shards)
+  long slo_alerts_cleared = 0;  ///< clear edges
+  int alerting_sessions = 0;    ///< sessions currently alerting
   /// Mean per-tick GPU busy time / tick period; > 1 means saturated.
   double mean_occupancy = 0.0;
   double p95_tick_busy_ms = 0.0;

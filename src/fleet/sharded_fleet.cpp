@@ -30,8 +30,9 @@ void ShardedFleet::attach_trace(runtime::TraceRecorder* trace) {
 }
 
 void ShardedFleet::record(runtime::TraceEventType type, int session_id,
-                          double value) {
-  if (trace_) trace_->record({ticks(), session_id, type, 0, value});
+                          double value, int shard, int migrated_from) {
+  if (trace_)
+    trace_->record({ticks(), session_id, type, 0, value, shard, migrated_from});
   if (obs::enabled())
     obs::metrics()
         .counter(std::string("fleet.events.") + runtime::to_string(type))
@@ -168,12 +169,15 @@ FleetStatus ShardedFleet::move_session(SessionHandle outer, int target_shard) {
     return FleetStatus::kUnknownSession;
   if (target_shard == route.shard->index()) return FleetStatus::kInvalidState;
 
+  const int source_shard = route.shard->index();
   std::unique_ptr<SessionRecord> record_ptr =
       route.shard->fleet().detach(route.inner, &status);
   if (!record_ptr) return status;
-  inner_to_outer_[static_cast<std::size_t>(route.shard->index())]
-                 [route.inner.id] = {};
+  inner_to_outer_[static_cast<std::size_t>(source_shard)][route.inner.id] = {};
 
+  // Stamp provenance BEFORE attach: every post-migration lifecycle event
+  // the target shard records for this session carries migrated_from.
+  record_ptr->migrated_from = source_shard;
   Shard& target = *shards_[static_cast<std::size_t>(target_shard)];
   const SessionHandle inner = target.fleet().attach(std::move(record_ptr));
   HandleTable::Entry* entry = handles_.find(outer);
@@ -184,8 +188,8 @@ FleetStatus ShardedFleet::move_session(SessionHandle outer, int target_shard) {
   if (fwd.size() <= inner.id) fwd.resize(inner.id + 1);
   fwd[inner.id] = outer;
   ++migrations_;
-  record(runtime::TraceEventType::kSessionMigrate,
-         static_cast<int>(outer.id), static_cast<double>(target_shard));
+  record(runtime::TraceEventType::kSessionMigrate, static_cast<int>(outer.id),
+         static_cast<double>(target_shard), target_shard, source_shard);
   return FleetStatus::kOk;
 }
 
@@ -226,6 +230,7 @@ void ShardedFleet::rebalance_scan() {
                         cold->fleet().placed_demand_ms() + d
                     ? cold
                     : hot;  // not an improvement: put it back where it was
+  if (dest != hot) rec->migrated_from = hot->index();
   const SessionHandle inner = dest->fleet().attach(std::move(rec));
   inner_to_outer_[static_cast<std::size_t>(hot->index())][victim.id] = {};
   HandleTable::Entry* entry = handles_.find(outer);
@@ -237,8 +242,8 @@ void ShardedFleet::rebalance_scan() {
   fwd[inner.id] = outer;
   if (dest != hot) {
     ++migrations_;
-    record(runtime::TraceEventType::kSessionMigrate,
-           static_cast<int>(outer.id), static_cast<double>(dest->index()));
+    record(runtime::TraceEventType::kSessionMigrate, static_cast<int>(outer.id),
+           static_cast<double>(dest->index()), dest->index(), hot->index());
   }
 }
 
@@ -303,6 +308,9 @@ FleetSnapshot ShardedFleet::snapshot() const {
     snap.total_retries += sub.total_retries;
     snap.total_dropped_msgs += sub.total_dropped_msgs;
     snap.mean_queue_depth += sub.mean_queue_depth;
+    snap.slo_alerts_raised += sub.slo_alerts_raised;
+    snap.slo_alerts_cleared += sub.slo_alerts_cleared;
+    snap.alerting_sessions += sub.alerting_sessions;
     for (const auto& [name, count] : sub.device_pools)
       pools[name] = std::max(pools[name], count);
 
@@ -312,6 +320,8 @@ FleetSnapshot ShardedFleet::snapshot() const {
     rollup.shared_busy_ms = sub.shared_busy_ms;
     rollup.placed_demand_ms = shard.fleet().placed_demand_ms();
     rollup.mean_occupancy = sub.mean_occupancy;
+    rollup.alerting = shard.fleet().burn_alerting();
+    rollup.slo_alerts = shard.fleet().burn_alerts();
 
     const auto& fwd = inner_to_outer_[k];
     for (SessionSnapshot& ss : sub.sessions) {

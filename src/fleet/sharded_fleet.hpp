@@ -101,7 +101,8 @@ class ShardedFleet : public FleetApi {
   /// `target` (both resolved); shared tail of migrate() and the scan.
   FleetStatus move_session(SessionHandle outer, int target_shard);
   void rebalance_scan();
-  void record(runtime::TraceEventType type, int session_id, double value);
+  void record(runtime::TraceEventType type, int session_id, double value,
+              int shard = -1, int migrated_from = -1);
 
   FleetConfig cfg_;
   util::ThreadPool pool_;

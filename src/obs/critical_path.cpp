@@ -1,0 +1,136 @@
+#include "obs/critical_path.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace mvs::obs {
+
+const char* to_string(Segment segment) {
+  switch (segment) {
+    case Segment::kCaptureWait: return "capture_wait";
+    case Segment::kNet: return "net";
+    case Segment::kSchedQueue: return "sched_queue";
+    case Segment::kBatchWait: return "batch_wait";
+    case Segment::kGpu: return "gpu";
+    case Segment::kTracking: return "tracking";
+    case Segment::kEmit: return "emit";
+  }
+  return "?";
+}
+
+Segment FrameAttribution::dominant() const {
+  int best = 0;
+  for (int i = 1; i < kSegmentCount; ++i)
+    if (segment_ms[static_cast<std::size_t>(i)] >
+        segment_ms[static_cast<std::size_t>(best)])
+      best = i;
+  return static_cast<Segment>(best);
+}
+
+namespace {
+
+// Atomic max fold (same CAS shape as metrics.cpp's atomic_fold).
+void fold_max(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+util::Json histogram_summary(const Histogram& h, long long dominant_frames,
+                             long long total_frames, bool with_dominant) {
+  using util::Json;
+  const bool empty = h.count() == 0;
+  Json::Object entry;
+  entry.emplace("count", Json(static_cast<double>(h.count())));
+  entry.emplace("sum_ms", Json(h.sum()));
+  entry.emplace("p50", Json(empty ? 0.0 : h.percentile(50.0)));
+  entry.emplace("p95", Json(empty ? 0.0 : h.percentile(95.0)));
+  entry.emplace("p99", Json(empty ? 0.0 : h.percentile(99.0)));
+  entry.emplace("max", Json(empty ? 0.0 : h.max()));
+  if (with_dominant) {
+    entry.emplace("dominant_frames",
+                  Json(static_cast<double>(dominant_frames)));
+    entry.emplace("dominant_frac",
+                  Json(total_frames > 0
+                           ? static_cast<double>(dominant_frames) /
+                                 static_cast<double>(total_frames)
+                           : 0.0));
+  }
+  return Json(std::move(entry));
+}
+
+}  // namespace
+
+void CriticalPath::record(const FrameAttribution& frame) {
+  for (int i = 0; i < kSegmentCount; ++i)
+    segments_[static_cast<std::size_t>(i)].record(
+        frame.segment_ms[static_cast<std::size_t>(i)]);
+  total_.record(frame.total_ms);
+  dominant_[static_cast<std::size_t>(frame.dominant())].fetch_add(
+      1, std::memory_order_relaxed);
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  if (frame.deadline_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+  fold_max(max_error_ms_, std::fabs(frame.total_ms - frame.segment_sum_ms()));
+}
+
+util::Json CriticalPath::attribution_json() const {
+  using util::Json;
+  const long long n = frames();
+  Json::Object segments;
+  long long best = -1;
+  Segment best_segment = Segment::kCaptureWait;
+  for (int i = 0; i < kSegmentCount; ++i) {
+    const Segment seg = static_cast<Segment>(i);
+    const long long dom = dominant_count(seg);
+    segments.emplace(to_string(seg),
+                     histogram_summary(segment_histogram(seg), dom, n,
+                                       /*with_dominant=*/true));
+    if (dom > best) {
+      best = dom;
+      best_segment = seg;
+    }
+  }
+  Json::Object root;
+  root.emplace("frames", Json(static_cast<double>(n)));
+  root.emplace("deadline_misses", Json(static_cast<double>(misses())));
+  root.emplace("max_conservation_error_ms",
+               Json(max_conservation_error_ms()));
+  root.emplace("dominant", Json(n > 0 ? to_string(best_segment) : ""));
+  root.emplace("segments", Json(std::move(segments)));
+  root.emplace("total", histogram_summary(total_, 0, 0,
+                                          /*with_dominant=*/false));
+  return Json(std::move(root));
+}
+
+std::string CriticalPath::fingerprint() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "cp n=" << frames() << " miss=" << misses() << '\n';
+  for (int i = 0; i < kSegmentCount; ++i) {
+    const Segment seg = static_cast<Segment>(i);
+    const Histogram& h = segment_histogram(seg);
+    os << "s " << to_string(seg) << " n=" << h.count()
+       << " dom=" << dominant_count(seg);
+    if (h.count() > 0) {
+      os << " min=" << h.min() << " max=" << h.max() << " b=[";
+      for (long long b : h.bucket_counts()) os << b << ',';
+      os << ']';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CriticalPath::reset() {
+  for (auto& h : segments_) h.reset();
+  total_.reset();
+  for (auto& d : dominant_) d.store(0, std::memory_order_relaxed);
+  frames_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  max_error_ms_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace mvs::obs

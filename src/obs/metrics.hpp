@@ -66,6 +66,13 @@ class Histogram {
   // p in [0, 100]. Nearest-rank percentile estimate; NaN when empty.
   double percentile(double p) const;
 
+  // The same nearest-rank estimate over explicit bucket counts (length
+  // kBucketCount) — percentile() delegates here, and the shard-merged
+  // rollup in MetricsRegistry::to_json() uses it on summed buckets so a
+  // one-shard merge is bit-equal to the flat histogram's own percentile.
+  static double percentile_from_counts(const long long* counts, long long n,
+                                       double p, double min, double max);
+
   std::vector<long long> bucket_counts() const;
   void reset();
 

@@ -1,13 +1,20 @@
 #include "obs/obs.hpp"
 
+#include "util/json.hpp"
+
 namespace mvs::obs {
 
 namespace detail {
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_attribution{false};
 }
 
 void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_attribution_enabled(bool on) {
+  detail::g_attribution.store(on, std::memory_order_relaxed);
 }
 
 MetricsRegistry& metrics() {
@@ -20,9 +27,29 @@ SpanTracer& tracer() {
   return t;
 }
 
+CriticalPath& critical_path() {
+  static CriticalPath cp;
+  return cp;
+}
+
+FlightRecorder& recorder() {
+  static FlightRecorder r;
+  return r;
+}
+
+std::string export_json() {
+  auto doc = util::Json::parse(metrics().to_json());
+  if (!doc || !doc->is_object()) return metrics().to_json();
+  if (attribution_enabled())
+    doc->as_object().emplace("attribution", critical_path().attribution_json());
+  return doc->dump();
+}
+
 void reset() {
   metrics().reset();
   tracer().reset();
+  critical_path().reset();
+  recorder().reset();
 }
 
 void Span::begin(const char* name) {

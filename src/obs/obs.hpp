@@ -16,7 +16,10 @@
 //   obs::metrics().to_json(); obs::tracer().chrome_trace_json();
 
 #include <atomic>
+#include <string>
 
+#include "obs/critical_path.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -24,6 +27,7 @@ namespace mvs::obs {
 
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_attribution;
 }
 
 inline bool enabled() {
@@ -31,11 +35,26 @@ inline bool enabled() {
 }
 void set_enabled(bool on);
 
+// Critical-path attribution gate (DESIGN.md §14). Independent of the main
+// flag so attribution can stay always-on (it is zero-alloc and lock-free)
+// while the span/metrics instrumentation stays off, and vice versa.
+inline bool attribution_enabled() {
+  return detail::g_attribution.load(std::memory_order_relaxed);
+}
+void set_attribution_enabled(bool on);
+
 // Process-wide singletons.
 MetricsRegistry& metrics();
 SpanTracer& tracer();
+CriticalPath& critical_path();
+FlightRecorder& recorder();
 
-// Clears all metrics and spans (leaves the enable flag untouched).
+// Full metrics export: the MetricsRegistry snapshot document, plus an
+// "attribution" block (the CriticalPath table) when attribution is on.
+std::string export_json();
+
+// Clears all metrics, spans, attribution state and the flight recorder
+// (leaves the enable flags untouched).
 void reset();
 
 // RAII span; pushes a SpanEvent onto the calling thread's SPSC ring at

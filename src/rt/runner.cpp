@@ -19,7 +19,24 @@ RtRunner::RtRunner(const std::string& scenario_name,
                  : 1000.0 / std::max(1e-9, pipeline_.scenario().fps),
              rt_config.arrival_jitter_ms, pipeline_.camera_count(),
              pipeline_config.seed),
-      scorer_(pipeline_.camera_count(), pipeline_config.recall_iou) {}
+      scorer_(pipeline_.camera_count(), pipeline_config.recall_iou) {
+  fleet::BurnConfig bc;
+  bc.error_budget = rt_.miss_budget;
+  miss_burn_.configure(bc);
+}
+
+void RtRunner::push_burn(bool miss, long frame) {
+  if (rt_.miss_budget <= 0.0) return;
+  const int edge = miss_burn_.push(miss);
+  if (edge == 0) return;
+  const auto type = edge > 0 ? runtime::TraceEventType::kSloAlertRaise
+                             : runtime::TraceEventType::kSloAlertClear;
+  if (edge > 0) ++slo_alerts_;
+  if (trace_) trace_->record({frame, -1, type, 0, miss_burn_.fast_burn()});
+  if (obs::attribution_enabled())
+    obs::recorder().note_event(frame, runtime::to_string(type), -1,
+                               miss_burn_.fast_burn());
+}
 
 void RtRunner::attach_trace(runtime::TraceRecorder* trace) {
   trace_ = trace;
@@ -63,6 +80,11 @@ StepOutcome RtRunner::step() {
             {p.frame, -1, runtime::TraceEventType::kRtSupersede, 0, age});
       if (obs::enabled())
         obs::metrics().histogram("rt.superseded").record(age);
+      if (obs::attribution_enabled())
+        obs::recorder().note_event(
+            p.frame,
+            runtime::to_string(runtime::TraceEventType::kRtSupersede), -1,
+            age);
     }
   }
 
@@ -95,6 +117,25 @@ bool RtRunner::drain_until(double t, bool drain_all) {
                         age_at_start});
       if (obs::enabled())
         obs::metrics().histogram("rt.deadline_miss").record(age_at_start);
+      if (obs::attribution_enabled()) {
+        // A dropped frame's whole life was waiting: capture->arrival and
+        // arrival->would-be-start. Sums to age_at_start exactly, and its
+        // miss flag feeds the flight recorder's burst window.
+        obs::FrameAttribution fa;
+        fa.id = obs::causal_id(0, static_cast<std::uint64_t>(p.frame));
+        fa.total_ms = age_at_start;
+        fa.segment_ms[static_cast<std::size_t>(obs::Segment::kCaptureWait)] =
+            p.arrival_ms - p.capture_ms;
+        fa.segment_ms[static_cast<std::size_t>(obs::Segment::kSchedQueue)] =
+            start - p.arrival_ms;
+        fa.deadline_miss = true;
+        obs::critical_path().record(fa);
+        obs::recorder().note_frame(fa);
+        obs::recorder().note_event(
+            p.frame, runtime::to_string(runtime::TraceEventType::kRtDrop), -1,
+            age_at_start);
+      }
+      push_burn(true, p.frame);
       resolve_skip(p);
       ++qhead_;
       continue;
@@ -119,15 +160,44 @@ bool RtRunner::drain_until(double t, bool drain_all) {
     scorer_.score_instant(p.capture_ms, pipeline_.current_frame().per_camera);
 
     const double age = finish - p.capture_ms;
-    if (deadline_missed(age, rt_.deadline_ms)) {
+    const bool miss = deadline_missed(age, rt_.deadline_ms);
+    if (miss) {
       ++counters_.deadline_miss;
       if (trace_)
         trace_->record(
             {p.frame, -1, runtime::TraceEventType::kRtDeadlineMiss, 0, age});
       if (obs::enabled())
         obs::metrics().histogram("rt.deadline_miss").record(age);
+      if (obs::attribution_enabled())
+        obs::recorder().note_event(
+            p.frame,
+            runtime::to_string(runtime::TraceEventType::kRtDeadlineMiss), -1,
+            age);
     }
     if (obs::enabled()) obs::metrics().histogram("rt.lag_ms").record(age);
+    if (obs::attribution_enabled()) {
+      // The exact addends of `age` (virtual clock — tracking/batch-wait are
+      // structurally zero here; see DESIGN.md §14): capture->arrival wait,
+      // arrival->start scheduler queue, slowest-camera inference, modeled
+      // transport comm + queueing, fixed emission overhead.
+      obs::FrameAttribution fa;
+      fa.id = obs::causal_id(0, static_cast<std::uint64_t>(p.frame));
+      fa.total_ms = age;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kCaptureWait)] =
+          p.arrival_ms - p.capture_ms;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kSchedQueue)] =
+          start - p.arrival_ms;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kGpu)] =
+          st.slowest_infer_ms;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kNet)] =
+          st.comm_ms + st.queue_ms;
+      fa.segment_ms[static_cast<std::size_t>(obs::Segment::kEmit)] =
+          rt_.fixed_overhead_ms;
+      fa.deadline_miss = miss;
+      obs::critical_path().record(fa);
+      obs::recorder().note_frame(fa);
+    }
+    push_burn(miss, p.frame);
     ++qhead_;
   }
   if (qhead_ == queue_.size() && qhead_ > 0) {

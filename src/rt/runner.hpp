@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/burn.hpp"
 #include "netsim/arrival.hpp"
 #include "rt/streaming_scorer.hpp"
 #include "runtime/config.hpp"
@@ -122,6 +123,11 @@ class RtRunner {
   /// events, alongside the pipeline's own). Must outlive the runner.
   void attach_trace(runtime::TraceRecorder* trace);
 
+  /// Deadline-miss burn-rate monitor (active when rt.miss_budget > 0; see
+  /// DESIGN.md §14). Raise edges emit slo_alert_raise trace events.
+  long slo_alerts() const { return slo_alerts_; }
+  bool alerting() const { return miss_burn_.alerting(); }
+
  private:
   struct Pending {
     long frame = 0;
@@ -137,6 +143,8 @@ class RtRunner {
   /// Returns whether a key frame was processed.
   bool drain_until(double t, bool drain_all);
   void resolve_skip(const Pending& p);
+  /// Feed one frame outcome to the miss burn monitor; trace alert edges.
+  void push_burn(bool miss, long frame);
 
   runtime::RtConfig rt_;
   runtime::Pipeline pipeline_;
@@ -153,6 +161,8 @@ class RtRunner {
   long frames_enqueued_ = 0;
   double busy_until_ = 0.0;
   double last_finish_ms_ = 0.0;
+  fleet::BurnMonitor miss_burn_;
+  long slo_alerts_ = 0;
 };
 
 }  // namespace mvs::rt

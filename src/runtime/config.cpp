@@ -227,9 +227,10 @@ bool parse_rt(const util::Json& r, RtConfig* rt, std::string* error) {
     if (error) *error = "\"rt\" must be an object";
     return false;
   }
-  static constexpr std::array<const char*, 6> kKnown = {
+  static constexpr std::array<const char*, 7> kKnown = {
       "paced",           "frame_period_ms",   "deadline_ms",
-      "late_policy",     "arrival_jitter_ms", "fixed_overhead_ms"};
+      "late_policy",     "arrival_jitter_ms", "fixed_overhead_ms",
+      "miss_budget"};
   for (const auto& [key, value] : r.as_object()) {
     if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
           return key == k;
@@ -252,7 +253,9 @@ bool parse_rt(const util::Json& r, RtConfig* rt, std::string* error) {
       r.number_or("arrival_jitter_ms", rt->arrival_jitter_ms);
   rt->fixed_overhead_ms =
       r.number_or("fixed_overhead_ms", rt->fixed_overhead_ms);
-  if (rt->arrival_jitter_ms < 0.0 || rt->fixed_overhead_ms < 0.0) {
+  rt->miss_budget = r.number_or("miss_budget", rt->miss_budget);
+  if (rt->arrival_jitter_ms < 0.0 || rt->fixed_overhead_ms < 0.0 ||
+      rt->miss_budget < 0.0 || rt->miss_budget > 1.0) {
     if (error) *error = "rt parameters out of range";
     return false;
   }
@@ -268,6 +271,7 @@ util::Json dump_rt(const RtConfig& rt) {
   r["late_policy"] = Json(to_string(rt.late_policy));
   r["arrival_jitter_ms"] = Json(rt.arrival_jitter_ms);
   r["fixed_overhead_ms"] = Json(rt.fixed_overhead_ms);
+  r["miss_budget"] = Json(rt.miss_budget);
   return Json(std::move(r));
 }
 
@@ -344,7 +348,7 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
     if (error) *error = "\"fleet\" must be an object";
     return false;
   }
-  static constexpr std::array<const char*, 17> kKnown = {
+  static constexpr std::array<const char*, 23> kKnown = {
       "slo_ms",          "frame_period_ms",
       "dispatch",        "threads",
       "allow_degrade",   "assumed_tasks_per_camera",
@@ -353,7 +357,10 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
       "dispatch_overhead_ms", "shards",
       "shard_capacity",  "rebalance_interval",
       "rebalance_high_water", "device_scale",
-      "sessions"};
+      "sessions",        "burn_error_budget",
+      "burn_fast_window", "burn_slow_window",
+      "burn_raise",      "burn_clear",
+      "burn_degrade"};
   for (const auto& [key, value] : f.as_object()) {
     if (std::find_if(kKnown.begin(), kKnown.end(), [&](const char* k) {
           return key == k;
@@ -386,6 +393,15 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
       f.number_or("rebalance_interval", fleet->rebalance_interval));
   fleet->rebalance_high_water =
       f.number_or("rebalance_high_water", fleet->rebalance_high_water);
+  fleet->burn_error_budget =
+      f.number_or("burn_error_budget", fleet->burn_error_budget);
+  fleet->burn_fast_window = static_cast<int>(
+      f.number_or("burn_fast_window", fleet->burn_fast_window));
+  fleet->burn_slow_window = static_cast<int>(
+      f.number_or("burn_slow_window", fleet->burn_slow_window));
+  fleet->burn_raise = f.number_or("burn_raise", fleet->burn_raise);
+  fleet->burn_clear = f.number_or("burn_clear", fleet->burn_clear);
+  fleet->burn_degrade = f.bool_or("burn_degrade", fleet->burn_degrade);
   if (fleet->frame_period_ms <= 0.0 || fleet->threads < 0 ||
       fleet->readmit_interval < 0 ||
       fleet->readmit_low_water > fleet->readmit_high_water ||
@@ -393,6 +409,14 @@ bool parse_fleet(const util::Json& f, const RunConfig& base,
       fleet->shard_capacity < 0 || fleet->rebalance_interval < 0 ||
       fleet->rebalance_high_water <= 1.0) {
     if (error) *error = "fleet parameters out of range";
+    return false;
+  }
+  if (fleet->burn_error_budget < 0.0 || fleet->burn_error_budget > 1.0 ||
+      fleet->burn_fast_window < 1 || fleet->burn_slow_window < 1 ||
+      fleet->burn_fast_window > fleet->burn_slow_window ||
+      fleet->burn_raise <= 0.0 || fleet->burn_clear <= 0.0 ||
+      fleet->burn_clear > fleet->burn_raise) {
+    if (error) *error = "fleet burn parameters out of range";
     return false;
   }
 
@@ -532,6 +556,12 @@ util::Json dump_fleet(const FleetRunConfig& fleet) {
   f["shard_capacity"] = Json(fleet.shard_capacity);
   f["rebalance_interval"] = Json(fleet.rebalance_interval);
   f["rebalance_high_water"] = Json(fleet.rebalance_high_water);
+  f["burn_error_budget"] = Json(fleet.burn_error_budget);
+  f["burn_fast_window"] = Json(fleet.burn_fast_window);
+  f["burn_slow_window"] = Json(fleet.burn_slow_window);
+  f["burn_raise"] = Json(fleet.burn_raise);
+  f["burn_clear"] = Json(fleet.burn_clear);
+  f["burn_degrade"] = Json(fleet.burn_degrade);
   Json::Array scale;
   for (const FleetDeviceScale& ds : fleet.device_scale) {
     Json::Object entry;
@@ -613,11 +643,42 @@ std::optional<RunConfig> parse_run_config(const std::string& json_text,
       if (error) *error = "\"obs\" must be an object";
       return std::nullopt;
     }
+    static constexpr std::array<const char*, 7> kObsKnown = {
+        "enabled",        "chrome_trace",
+        "metrics_json",   "attribution",
+        "postmortem_dir", "postmortem_miss_window",
+        "postmortem_miss_threshold"};
+    for (const auto& [key, value] : o->as_object()) {
+      if (std::find_if(kObsKnown.begin(), kObsKnown.end(), [&](const char* k) {
+            return key == k;
+          }) == kObsKnown.end()) {
+        if (error) *error = "unknown obs key: \"" + key + "\"";
+        return std::nullopt;
+      }
+    }
     config.obs.enabled = o->bool_or("enabled", config.obs.enabled);
     config.obs.chrome_trace =
         o->string_or("chrome_trace", config.obs.chrome_trace);
     config.obs.metrics_json =
         o->string_or("metrics_json", config.obs.metrics_json);
+    config.obs.attribution = o->bool_or("attribution", config.obs.attribution);
+    config.obs.postmortem_dir =
+        o->string_or("postmortem_dir", config.obs.postmortem_dir);
+    config.obs.postmortem_miss_window = static_cast<int>(o->number_or(
+        "postmortem_miss_window", config.obs.postmortem_miss_window));
+    config.obs.postmortem_miss_threshold = static_cast<int>(o->number_or(
+        "postmortem_miss_threshold", config.obs.postmortem_miss_threshold));
+    // A metrics export needs the attribution block; a postmortem dir needs
+    // frames in the recorder — both imply attribution.
+    if (!config.obs.metrics_json.empty() || !config.obs.postmortem_dir.empty())
+      config.obs.attribution = true;
+    if (config.obs.postmortem_miss_window < 1 ||
+        config.obs.postmortem_miss_threshold < 0 ||
+        config.obs.postmortem_miss_threshold >
+            config.obs.postmortem_miss_window) {
+      if (error) *error = "obs postmortem parameters out of range";
+      return std::nullopt;
+    }
   }
 
   if (const util::Json* r = doc->find("rt"))
@@ -645,6 +706,10 @@ std::string dump_run_config(const RunConfig& config) {
   obs["enabled"] = Json(config.obs.enabled);
   obs["chrome_trace"] = Json(config.obs.chrome_trace);
   obs["metrics_json"] = Json(config.obs.metrics_json);
+  obs["attribution"] = Json(config.obs.attribution);
+  obs["postmortem_dir"] = Json(config.obs.postmortem_dir);
+  obs["postmortem_miss_window"] = Json(config.obs.postmortem_miss_window);
+  obs["postmortem_miss_threshold"] = Json(config.obs.postmortem_miss_threshold);
   root["obs"] = Json(std::move(obs));
   if (config.fleet) root["fleet"] = dump_fleet(*config.fleet);
   return Json(std::move(root)).dump();

@@ -113,6 +113,19 @@ struct FleetRunConfig {
   /// Rebalance hysteresis: migrate only when the hottest shard's windowed
   /// busy exceeds this multiple (> 1) of the mean shard busy.
   double rebalance_high_water = 1.25;
+  /// SLO burn-rate monitoring (DESIGN.md §14). The error budget is the
+  /// tolerated per-tick SLO-violation ratio; 0 disables the monitors and all
+  /// alert events. Window sizes are in ticks; raise/clear are burn-rate
+  /// multiples (raise needs fast AND slow >= burn_raise, clear needs fast <
+  /// burn_clear — hysteresis).
+  double burn_error_budget = 0.0;
+  int burn_fast_window = 16;
+  int burn_slow_window = 64;
+  double burn_raise = 2.0;
+  double burn_clear = 1.0;
+  /// Couple alerting to mitigation: a shard-level raise edge immediately
+  /// applies one degrade rung to the heaviest restorable session.
+  bool burn_degrade = false;
   std::vector<FleetDeviceScale> device_scale;
   std::vector<FleetSessionSpec> sessions;
 };
@@ -125,6 +138,17 @@ struct ObsConfig {
   bool enabled = false;
   std::string chrome_trace;  ///< Chrome trace-event JSON output path
   std::string metrics_json;  ///< MetricsRegistry snapshot output path
+  /// Critical-path attribution (obs::critical_path(), DESIGN.md §14).
+  /// Independent of `enabled`; a non-empty metrics_json implies it so the
+  /// export carries the attribution block.
+  bool attribution = false;
+  /// Flight-recorder postmortem directory; non-empty implies attribution.
+  /// Empty = dumps stay in memory only (obs::recorder().last_dump()).
+  std::string postmortem_dir;
+  /// Deadline-miss burst trigger: dump when >= miss_threshold of the last
+  /// miss_window frames missed. threshold 0 disables automatic dumps.
+  int postmortem_miss_window = 32;
+  int postmortem_miss_threshold = 8;
 };
 
 /// What the paced runtime (mvs::rt) does with a frame that cannot meet its
@@ -159,6 +183,9 @@ struct RtConfig {
   /// Fixed per-frame service overhead (ms) added to the simulated
   /// inference + transport time (models decode/preprocess).
   double fixed_overhead_ms = 0.0;
+  /// Deadline-miss error budget (tolerated miss ratio) for the runner's SLO
+  /// burn-rate monitor; 0 disables it (no alert events).
+  double miss_budget = 0.0;
 };
 
 struct RunConfig {

@@ -29,6 +29,8 @@ const char* to_string(TraceEventType type) {
     case TraceEventType::kRtDrop: return "rt_drop";
     case TraceEventType::kRtSupersede: return "rt_supersede";
     case TraceEventType::kRtDeadlineMiss: return "rt_deadline_miss";
+    case TraceEventType::kSloAlertRaise: return "slo_alert_raise";
+    case TraceEventType::kSloAlertClear: return "slo_alert_clear";
     case TraceEventType::kTraceEventTypeCount_: break;
   }
   return "?";
@@ -43,6 +45,8 @@ util::Json event_json(const TraceEvent& e) {
   obj["type"] = util::Json(to_string(e.type));
   obj["object"] = util::Json(static_cast<double>(e.object_key));
   obj["value"] = util::Json(e.value);
+  if (e.shard >= 0) obj["shard"] = util::Json(e.shard);
+  if (e.migrated_from >= 0) obj["migrated_from"] = util::Json(e.migrated_from);
   return util::Json(std::move(obj));
 }
 

@@ -46,6 +46,10 @@ enum class TraceEventType {
   kRtDrop,          ///< paced runtime dropped a frame stale past its deadline
   kRtSupersede,     ///< a newer arrival displaced a still-queued stale frame
   kRtDeadlineMiss,  ///< a frame's result landed (or would land) past deadline
+  // SLO burn-rate alerting (DESIGN.md §14). `value` = fast-window burn rate
+  // at the edge; `camera` the session id (-1 for a shard-level alert).
+  kSloAlertRaise,   ///< fast AND slow burn crossed the raise threshold
+  kSloAlertClear,   ///< fast burn fell below the clear threshold
   kTraceEventTypeCount_,  ///< sentinel: number of event types (not an event)
 };
 
@@ -57,6 +61,8 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kKeyFrame;
   std::uint64_t object_key = 0;  ///< object/track identity where applicable
   double value = 0.0;            ///< type-specific payload
+  int shard = -1;          ///< owning shard at the time of the event, -1 = n/a
+  int migrated_from = -1;  ///< source shard for post-migration session events
 };
 
 class TraceRecorder {

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -264,10 +265,19 @@ std::string Json::dump() const {
     case Type::kNull: out << "null"; break;
     case Type::kBool: out << (bool_ ? "true" : "false"); break;
     case Type::kNumber: {
-      if (num_ == static_cast<long long>(num_) && std::abs(num_) < 1e15)
+      if (num_ == static_cast<long long>(num_) && std::abs(num_) < 1e15) {
         out << static_cast<long long>(num_);
-      else
-        out << num_;
+      } else {
+        // Shortest decimal that round-trips to the same double: exported
+        // documents (bench baselines, postmortems) must re-parse to
+        // bit-identical numbers, not to a 6-digit approximation.
+        char buf[32];
+        for (int prec = 15; prec <= 17; ++prec) {
+          std::snprintf(buf, sizeof buf, "%.*g", prec, num_);
+          if (std::strtod(buf, nullptr) == num_) break;
+        }
+        out << buf;
+      }
       break;
     }
     case Type::kString: escape_into(str_, out); break;

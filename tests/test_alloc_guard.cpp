@@ -199,6 +199,88 @@ TEST(AllocGuard, PacedRuntimeSteadyTicksAllocateNothing) {
       << ticks << " ticks";
 }
 
+// Attribution on (critical-path record + flight-recorder append + burn-rate
+// push) must preserve the zero-allocation invariant: the CriticalPath owns
+// fixed histogram arrays, the recorder ring is seqlock slots, and the burn
+// windows are fixed rings. Auto dumps are disabled (miss_threshold = 0)
+// because building a postmortem document allocates by design — it is a cold
+// path triggered at most once per ring generation.
+TEST(AllocGuard, PacedRuntimeAttributionSteadyTicksAllocateNothing) {
+  obs::set_attribution_enabled(true);
+  obs::FlightRecorder::Config rc;
+  rc.miss_threshold = 0;
+  obs::recorder().configure(rc);
+
+  runtime::PipelineConfig cfg;
+  cfg.threads = 4;
+  cfg.keep_history = false;
+  runtime::RtConfig rtc;
+  rtc.paced = true;
+  rtc.deadline_ms = 80.0;
+  rtc.late_policy = runtime::LatePolicy::kSupersede;
+  rtc.arrival_jitter_ms = 5.0;
+  rtc.miss_budget = 0.2;  // the burn monitor pushes on every resolved frame
+  rt::RtRunner runner("S2", cfg, rtc);
+
+  constexpr int kRequiredStreak = 9;
+  int streak = 0;
+  int ticks = 0;
+  for (; ticks < kMaxTicks && streak < kRequiredStreak; ++ticks) {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    const rt::StepOutcome out = runner.step();
+    g_armed.store(false, std::memory_order_relaxed);
+    if (out.key_frame_ran) continue;  // key frames are exempt by design
+    if (g_allocs.load(std::memory_order_relaxed) == 0)
+      ++streak;
+    else
+      streak = 0;
+  }
+  obs::set_attribution_enabled(false);
+  obs::reset();
+  EXPECT_EQ(streak, kRequiredStreak)
+      << "paced runtime with attribution never reached a zero-allocation "
+         "steady state in "
+      << ticks << " ticks";
+}
+
+TEST(AllocGuard, FleetAttributionSteadyTicksAllocateNothing) {
+  obs::set_attribution_enabled(true);
+  obs::FlightRecorder::Config rc;
+  rc.miss_threshold = 0;
+  obs::recorder().configure(rc);
+
+  fleet::FleetConfig fc;
+  fc.threads = 4;
+  fc.burn_error_budget = 0.2;  // session burn monitors push every tick
+  fleet::Fleet fl(fc);
+  runtime::FleetSessionSpec spec;
+  spec.scenario = "S2";
+  spec.pipeline.keep_history = false;
+  ASSERT_TRUE(fl.admit(spec).admitted);
+  ASSERT_TRUE(fl.admit(spec).admitted);
+
+  constexpr int kRequiredStreak = 9;
+  int streak = 0;
+  int ticks = 0;
+  for (; ticks < kMaxTicks && streak < kRequiredStreak; ++ticks) {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_relaxed);
+    fl.step();
+    g_armed.store(false, std::memory_order_relaxed);
+    if (g_allocs.load(std::memory_order_relaxed) == 0)
+      ++streak;
+    else
+      streak = 0;
+  }
+  obs::set_attribution_enabled(false);
+  obs::reset();
+  EXPECT_EQ(streak, kRequiredStreak)
+      << "fleet with attribution never reached a zero-allocation steady "
+         "state in "
+      << ticks << " ticks";
+}
+
 TEST(AllocGuard, SpanRecordingAllocatesNothingOnHotThread) {
   obs::set_enabled(true);
   // Warm: register this thread's slot and let the ring/exporter settle.

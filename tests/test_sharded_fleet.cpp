@@ -12,13 +12,18 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "fleet/fleet.hpp"
 #include "fleet/sharded_fleet.hpp"
+#include "obs/obs.hpp"
 #include "runtime/trace.hpp"
+#include "util/json.hpp"
 
 namespace mvs::fleet {
 namespace {
@@ -390,6 +395,175 @@ TEST(ShardedFleet, TypedHandleErrorsAcrossTheDirectory) {
   EXPECT_EQ(fleet.evict(unknown), FleetStatus::kUnknownSession);
   EXPECT_EQ(fleet.result(unknown, &status).frames.size(), 0u);
   EXPECT_EQ(status, FleetStatus::kUnknownSession);
+}
+
+// --------------------------------------------------- trace attribution --
+
+TEST(ShardedFleet, MigratedSessionTraceEventsCarryShardAndSource) {
+  // Post-migration lifecycle events must identify both where the session
+  // lives now (shard) and where it came from (migrated_from), so a trace
+  // reader can follow a session across the plane without a side table.
+  FleetConfig cfg;
+  cfg.shards = 2;
+  ShardedFleet fleet(cfg);
+  runtime::TraceRecorder trace;
+  fleet.attach_trace(&trace);
+
+  const AdmitResult r = fleet.admit(synthetic_spec("s0", 700));
+  ASSERT_TRUE(r.admitted);
+  const int source = r.shard;
+  const int target = 1 - source;
+  fleet.run(5);
+
+  ASSERT_EQ(fleet.migrate(r.handle, target), FleetStatus::kOk);
+  fleet.run(3);
+  EXPECT_EQ(fleet.pause(r.handle), FleetStatus::kOk);
+  EXPECT_EQ(fleet.resume(r.handle), FleetStatus::kOk);
+
+  bool saw_admit = false, saw_pause = false, saw_resume = false;
+  for (const runtime::TraceEvent& e : trace.events()) {
+    switch (e.type) {
+      case runtime::TraceEventType::kSessionAdmit:
+        // Pre-migration: native shard, no source.
+        EXPECT_EQ(e.shard, source);
+        EXPECT_EQ(e.migrated_from, -1);
+        saw_admit = true;
+        break;
+      case runtime::TraceEventType::kSessionMigrate:
+        EXPECT_EQ(static_cast<int>(e.value), target);
+        break;
+      case runtime::TraceEventType::kSessionPause:
+        EXPECT_EQ(e.shard, target);
+        EXPECT_EQ(e.migrated_from, source);
+        saw_pause = true;
+        break;
+      case runtime::TraceEventType::kSessionResume:
+        EXPECT_EQ(e.shard, target);
+        EXPECT_EQ(e.migrated_from, source);
+        saw_resume = true;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_admit);
+  EXPECT_TRUE(saw_pause);
+  EXPECT_TRUE(saw_resume);
+}
+
+// ----------------------------------------------------- obs determinism --
+
+TEST(ShardedFleet, ObsDeterministicAcrossThreadCounts) {
+  // Extends test_runtime's ObsDeterministicAcrossThreadCounts to the
+  // sharded plane: every obs input is a simulated quantity, so the metrics
+  // fingerprint, span counts and the critical-path attribution fingerprint
+  // must be bit-identical whether the worker pool is 1 or 8 wide — at one
+  // shard and at four. (Fingerprints across DIFFERENT shard counts differ
+  // legitimately: metric names carry the shard index.)
+  struct Observed {
+    std::string metrics;
+    std::string attribution;
+    std::map<std::string, long long> spans;
+  };
+  const auto run_observed = [](int shards, int threads) {
+    obs::reset();
+    obs::set_enabled(true);
+    obs::set_attribution_enabled(true);
+    FleetConfig cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    ShardedFleet fleet(cfg);
+    for (int i = 0; i < 8; ++i)
+      EXPECT_TRUE(
+          fleet.admit(synthetic_spec("s" + std::to_string(i), 800 + i))
+              .admitted);
+    fleet.run(12);
+    Observed o;
+    o.metrics = obs::metrics().fingerprint();
+    o.attribution = obs::critical_path().fingerprint();
+    o.spans = obs::tracer().span_counts();
+    obs::set_attribution_enabled(false);
+    obs::set_enabled(false);
+    obs::reset();
+    return o;
+  };
+  for (int shards : {1, 4}) {
+    const Observed narrow = run_observed(shards, 1);
+    const Observed wide = run_observed(shards, 8);
+    EXPECT_FALSE(narrow.metrics.empty());
+    EXPECT_EQ(narrow.metrics, wide.metrics) << "shards=" << shards;
+    EXPECT_EQ(narrow.attribution, wide.attribution) << "shards=" << shards;
+    EXPECT_EQ(narrow.spans, wide.spans) << "shards=" << shards;
+  }
+}
+
+// --------------------------------------------------- merged exposition --
+
+TEST(ShardedFleet, MergedExpositionMatchesFlatFleetAtOneShard) {
+  // A one-shard plane registers its metrics under "fleet.shard.0.*"; the
+  // registry's merged rollup synthesizes flat "fleet.*" entries from them.
+  // Driven identically, those merged entries must be bit-equal (same
+  // serialized JSON) to what a plain Fleet exports directly — counters,
+  // gauges, and full histogram entries including percentiles, which the
+  // merge recomputes with the same percentile_from_counts algorithm.
+  const auto run_doc = [](bool sharded_plane) {
+    obs::reset();
+    obs::set_enabled(true);
+    FleetConfig cfg;
+    std::unique_ptr<FleetApi> fleet;
+    if (sharded_plane)
+      fleet = std::make_unique<ShardedFleet>(cfg);
+    else
+      fleet = std::make_unique<Fleet>(cfg);
+    EXPECT_TRUE(fleet->admit(pipeline_spec("a", 21)).admitted);
+    EXPECT_TRUE(fleet->admit(pipeline_spec("b", 22, /*fps=*/15)).admitted);
+    fleet->run(12);
+    std::string doc = obs::metrics().to_json();
+    obs::set_enabled(false);
+    obs::reset();
+    return doc;
+  };
+  std::string err;
+  const std::optional<util::Json> flat = util::Json::parse(run_doc(false), &err);
+  const std::optional<util::Json> merged =
+      util::Json::parse(run_doc(true), &err);
+  ASSERT_TRUE(flat.has_value() && merged.has_value()) << err;
+
+  const auto is_flat_fleet_name = [](const std::string& name) {
+    return name.rfind("fleet.", 0) == 0 && name.rfind("fleet.shard.", 0) != 0;
+  };
+  int compared = 0;
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const util::Json* a = flat->find(section);
+    const util::Json* b = merged->find(section);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    for (const auto& [name, entry] : a->as_object()) {
+      if (!is_flat_fleet_name(name)) continue;
+      const util::Json* m = b->find(name);
+      ASSERT_NE(m, nullptr) << section << "/" << name << " missing from the "
+                            << "merged exposition";
+      EXPECT_EQ(entry.dump(), m->dump()) << section << "/" << name;
+      // The per-shard source entry is exposed alongside, shard-labeled —
+      // except the "fleet.events.*" counters, which both planes register
+      // flat on purpose (plane-level lifecycle tallies, not shard metrics).
+      if (name.rfind("fleet.events.", 0) != 0) {
+        const std::string shard_name =
+            "fleet.shard.0." + name.substr(std::string("fleet.").size());
+        ASSERT_NE(b->find(shard_name), nullptr) << shard_name;
+      }
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 5) << "expected a real spread of fleet metrics";
+  // The merged histogram entries carry no shard label; per-shard ones do.
+  const util::Json* hists = merged->find("histograms");
+  const util::Json* rollup = hists->find("fleet.tick_busy_ms");
+  ASSERT_NE(rollup, nullptr);
+  EXPECT_EQ(rollup->find("shard"), nullptr);
+  const util::Json* per_shard = hists->find("fleet.shard.0.tick_busy_ms");
+  ASSERT_NE(per_shard, nullptr);
+  EXPECT_EQ(per_shard->number_or("shard", -1.0), 0.0);
 }
 
 // ------------------------------------------------------ admission smoke --

@@ -12,10 +12,15 @@
 //                [--fleet-sessions 4] [--fleet-ticks 40]
 //   bench_report --metrics-json metrics.json   # report-only: print the
 //                per-stage latency breakdown from an mvs::obs metrics
-//                snapshot (e.g. mvsched_cli --metrics-json output)
+//                snapshot (e.g. mvsched_cli --metrics-json output), plus
+//                the critical-path attribution table when the snapshot
+//                carries one
 //   bench_report --streaming-json BENCH_streaming.json   # report-only:
 //                pretty-print a bench_streaming artifact (budget sweep,
 //                late policies, city gating rows, acceptance verdicts)
+//   bench_report --postmortem-json postmortem-0.json   # report-only:
+//                validate an mvs-postmortem-v1 flight-recorder dump and
+//                print its dominant-segment breakdown + recent events
 //
 // The timed pipeline reps run with observability DISABLED (the committed
 // BENCH_pipeline.json baseline is the null-sink number); one extra
@@ -43,6 +48,7 @@
 #include "bench/fleet_scale.hpp"
 #include "fleet/fleet_api.hpp"
 #include "obs/obs.hpp"
+#include "rt/runner.hpp"
 #include "runtime/pipeline.hpp"
 #include "util/args.hpp"
 #include "util/bench_info.hpp"
@@ -201,6 +207,85 @@ util::Json::Object print_stage_breakdown(const util::Json& metrics) {
   return stages;
 }
 
+/// Critical-path attribution table from the "attribution" block of an
+/// obs::export_json() snapshot (or a postmortem document): per-segment
+/// latency percentiles + dominant-frame share. No-op when absent.
+void print_attribution_table(const util::Json& doc) {
+  const util::Json* attr = doc.find("attribution");
+  if (!attr || !attr->is_object()) return;
+  const double frames = attr->number_or("frames", 0.0);
+  std::printf("critical-path attribution (%0.f frames, %.0f misses, "
+              "conservation err %.3g ms):\n",
+              frames, attr->number_or("deadline_misses", 0.0),
+              attr->number_or("max_conservation_error_ms", 0.0));
+  const util::Json* segs = attr->find("segments");
+  if (!segs || !segs->is_object()) return;
+  util::Table table({"segment", "count", "sum_ms", "p50_ms", "p95_ms",
+                     "p99_ms", "dominant", "dom_frac"});
+  for (const auto& [name, s] : segs->as_object()) {
+    if (!s.is_object()) continue;
+    table.add_row({name, util::Table::fmt(s.number_or("count", 0), 0),
+                   util::Table::fmt(s.number_or("sum_ms", 0), 1),
+                   util::Table::fmt(s.number_or("p50", 0), 3),
+                   util::Table::fmt(s.number_or("p95", 0), 3),
+                   util::Table::fmt(s.number_or("p99", 0), 3),
+                   util::Table::fmt(s.number_or("dominant_frames", 0), 0),
+                   util::Table::fmt(s.number_or("dominant_frac", 0), 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("dominant segment      : %s\n",
+              attr->string_or("dominant", "?").c_str());
+}
+
+/// Report-only view of a flight-recorder postmortem: schema-validate the
+/// document, then print why it fired, the miss density over the recorded
+/// ring, the attribution table and the tail of the event log. Returns false
+/// (exit 1) on any schema violation so CI can gate on it.
+bool print_postmortem_report(const util::Json& doc) {
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "mvs-postmortem-v1") {
+    std::fprintf(stderr, "bad postmortem schema: \"%s\" (want "
+                 "mvs-postmortem-v1)\n", schema.c_str());
+    return false;
+  }
+  const util::Json* frames = doc.find("frames");
+  const util::Json* events = doc.find("events");
+  const util::Json* attr = doc.find("attribution");
+  if (!frames || !frames->is_array() || !events || !events->is_array() ||
+      !attr || !attr->is_object()) {
+    std::fprintf(stderr,
+                 "postmortem missing frames/events/attribution blocks\n");
+    return false;
+  }
+  long misses = 0;
+  for (const util::Json& f : frames->as_array()) {
+    if (!f.is_object() || !f.find("segments") || !f.find("total_ms")) {
+      std::fprintf(stderr, "malformed frame entry in postmortem\n");
+      return false;
+    }
+    if (f.bool_or("deadline_miss", false)) ++misses;
+  }
+  std::printf("reason                : %s\n",
+              doc.string_or("reason", "?").c_str());
+  const double shard = doc.number_or("shard", -1.0);
+  if (shard >= 0.0) std::printf("shard                 : %.0f\n", shard);
+  std::printf("frames seen / kept    : %.0f / %zu (%ld misses in ring)\n",
+              doc.number_or("frames_seen", 0.0), frames->as_array().size(),
+              misses);
+  print_attribution_table(doc);
+  const auto& evs = events->as_array();
+  const std::size_t tail = std::min<std::size_t>(evs.size(), 10);
+  if (tail > 0) std::printf("last %zu events:\n", tail);
+  for (std::size_t i = evs.size() - tail; i < evs.size(); ++i) {
+    const util::Json& e = evs[i];
+    std::printf("  tick %-8.0f %-20s session %-5.0f value %.3f\n",
+                e.number_or("tick", 0.0),
+                e.string_or("type", "?").c_str(),
+                e.number_or("session", -1.0), e.number_or("value", 0.0));
+  }
+  return true;
+}
+
 /// Report-only view of a bench_streaming artifact: one table over the
 /// budget sweep, the late-policy comparison and the city gating rows, then
 /// the acceptance verdicts. Returns false on a schema mismatch.
@@ -285,7 +370,31 @@ int main(int argc, char** argv) {
     }
     std::printf("per-stage latency breakdown (%s):\n", metrics_path.c_str());
     (void)print_stage_breakdown(*doc);
+    print_attribution_table(*doc);
     return 0;
+  }
+
+  // Report-only mode: validate + pretty-print a flight-recorder postmortem.
+  const std::string postmortem_path = args.get_or("postmortem-json", "");
+  if (!postmortem_path.empty()) {
+    std::ifstream in(postmortem_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --postmortem-json file: %s\n",
+                   postmortem_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    const std::optional<util::Json> doc =
+        util::Json::parse(text.str(), &error);
+    if (!doc) {
+      std::fprintf(stderr, "malformed postmortem JSON %s: %s\n",
+                   postmortem_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("flight-recorder postmortem (%s):\n", postmortem_path.c_str());
+    return print_postmortem_report(*doc) ? 0 : 1;
   }
 
   // Report-only mode: pretty-print a bench_streaming artifact.
@@ -410,6 +519,29 @@ int main(int argc, char** argv) {
     std::printf("per-stage latency breakdown (1 instrumented rep):\n");
     pipe["stages"] = util::Json(print_stage_breakdown(*obs_doc));
   }
+
+  // Critical-path attribution A/B: the paced runtime is the attribution
+  // producer, so the overhead is measured there (the unpaced pipeline never
+  // records attributions). Off-median first, then attribution-only on —
+  // obs stays disabled throughout, so the delta is the attribution cost.
+  runtime::RtConfig rtc;
+  const auto paced_rep = [&] {
+    rt::RtRunner runner("S2", cfg, rtc);
+    (void)runner.run(frames);
+  };
+  obs::reset();
+  const double paced_ms = time_median_ms(reps, paced_rep);
+  obs::set_attribution_enabled(true);
+  const double paced_attr_ms = time_median_ms(reps, paced_rep);
+  obs::set_attribution_enabled(false);
+  obs::reset();
+  const double attr_overhead_pct =
+      paced_ms > 0.0 ? 100.0 * (paced_attr_ms - paced_ms) / paced_ms : 0.0;
+  std::printf("paced attribution A/B: off %.2f ms | on %.2f ms | overhead "
+              "%.2f%%\n", paced_ms, paced_attr_ms, attr_overhead_pct);
+  pipe["paced_run_ms"] = util::Json(paced_ms);
+  pipe["paced_attr_run_ms"] = util::Json(paced_attr_ms);
+  pipe["attr_overhead_pct"] = util::Json(attr_overhead_pct);
   write_report(out_dir + "/BENCH_pipeline.json", "pipeline", std::move(pipe));
 
   // ---- fleet session scaling --------------------------------------------
@@ -518,12 +650,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- fleet attribution A/B ---------------------------------------------
+  // Same roster as the sweep's max point, with critical-path attribution
+  // (and the flight recorder, no dump directory) off vs on.
+  util::Json::Object fleet_attr;
+  {
+    const auto fleet_rep = [&] {
+      const std::unique_ptr<fleet::FleetApi> fleet = fleet::make_fleet({});
+      for (int s = 0; s < fleet_sessions; ++s) {
+        fleet::SessionSpec spec;
+        spec.name = "S2#" + std::to_string(s);
+        spec.pipeline.seed = 42 + static_cast<std::uint64_t>(s);
+        fleet->admit(spec);
+      }
+      fleet->run(fleet_ticks);
+    };
+    obs::reset();
+    std::vector<double> off_samples, on_samples;
+    for (int rep = 0; rep < fleet_reps; ++rep) {
+      util::Stopwatch watch;
+      fleet_rep();
+      off_samples.push_back(watch.elapsed_ms());
+    }
+    obs::set_attribution_enabled(true);
+    for (int rep = 0; rep < fleet_reps; ++rep) {
+      util::Stopwatch watch;
+      fleet_rep();
+      on_samples.push_back(watch.elapsed_ms());
+    }
+    obs::set_attribution_enabled(false);
+    obs::reset();
+    const double off_ms = util::median(std::move(off_samples));
+    const double on_ms = util::median(std::move(on_samples));
+    const double pct =
+        off_ms > 0.0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+    std::printf("fleet attribution A/B: off %.2f ms | on %.2f ms | overhead "
+                "%.2f%%\n", off_ms, on_ms, pct);
+    fleet_attr["sessions"] = util::Json(fleet_sessions);
+    fleet_attr["run_ms"] = util::Json(off_ms);
+    fleet_attr["attr_run_ms"] = util::Json(on_ms);
+    fleet_attr["attr_overhead_pct"] = util::Json(pct);
+  }
+
   util::Json::Object fl;
   fl["scenario"] = util::Json("S2");
   fl["ticks"] = util::Json(fleet_ticks);
   fl["reps"] = util::Json(fleet_reps);
   fl["sweep"] = util::Json(std::move(sweep));
   fl["elastic"] = util::Json(std::move(elastic));
+  fl["attr"] = util::Json(std::move(fleet_attr));
   fl["scale_ticks"] = util::Json(scale_ticks);
   fl["scale"] = util::Json(std::move(scale));
   write_report(out_dir + "/BENCH_fleet.json", "fleet", std::move(fl));

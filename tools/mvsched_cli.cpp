@@ -151,7 +151,22 @@ int usage(const char* prog, int exit_code) {
       "                          implies instrumentation on\n"
       "  --metrics-json FILE     write the metrics registry snapshot\n"
       "                          (counters, gauges, p50/p95/p99 histograms);\n"
-      "                          implies instrumentation on\n"
+      "                          implies instrumentation on AND critical-\n"
+      "                          path attribution (the export carries the\n"
+      "                          attribution table)\n"
+      "  --attribution           enable critical-path latency attribution\n"
+      "                          (per-frame segment decomposition; zero-\n"
+      "                          alloc, independent of the span/metrics\n"
+      "                          instrumentation)\n"
+      "  --postmortem-dir DIR    write deadline-miss flight-recorder\n"
+      "                          postmortems (postmortem-<n>.json) into DIR\n"
+      "                          on miss bursts / evictions; implies\n"
+      "                          --attribution\n"
+      "  --burn-budget X         SLO error budget in [0,1] driving the\n"
+      "                          multi-window burn-rate monitor: the\n"
+      "                          tolerated SLO-violation fraction (fleet\n"
+      "                          per-session + per-shard; paced runs use it\n"
+      "                          as the deadline-miss budget). 0 = off\n"
       "\n"
       "network simulation (mvs::netsim):\n"
       "  --transport ideal|lossy closed-form link model (default), or the\n"
@@ -253,7 +268,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"csv", "verbose", "dump-config", "help", "no-tile-flow", "fleet",
        "split-batches", "paired-rng", "paced", "correlation-gate",
-       "synthetic"});
+       "synthetic", "attribution"});
 
   if (args.has("help")) return usage(argv[0], 0);
 
@@ -420,9 +435,14 @@ int main(int argc, char** argv) {
     rt.late_policy = *policy;
     rt.paced = true;
   }
+  if (args.has("burn-budget") && !args.has("fleet") && !run.fleet.has_value()) {
+    rt.miss_budget = args.number_or("burn-budget", rt.miss_budget);
+    rt.paced = true;
+  }
   if (rt.frame_period_ms < 0.0 || rt.deadline_ms < 0.0 ||
-      rt.arrival_jitter_ms < 0.0 || rt.fixed_overhead_ms < 0.0) {
-    std::fprintf(stderr, "rt parameters must be >= 0\n");
+      rt.arrival_jitter_ms < 0.0 || rt.fixed_overhead_ms < 0.0 ||
+      rt.miss_budget < 0.0 || rt.miss_budget > 1.0) {
+    std::fprintf(stderr, "rt parameters out of range\n");
     return usage(argv[0], 2);
   }
 
@@ -468,6 +488,14 @@ int main(int argc, char** argv) {
     run.obs.metrics_json = *path;
     run.obs.enabled = true;
   }
+  if (args.has("attribution")) run.obs.attribution = true;
+  if (const auto path = args.get("postmortem-dir"))
+    run.obs.postmortem_dir = *path;
+  // A metrics export carries the attribution table and a postmortem dir is
+  // useless without frames to record — both imply attribution (mirrors the
+  // config-file implication in runtime::parse_run_config).
+  if (!run.obs.metrics_json.empty() || !run.obs.postmortem_dir.empty())
+    run.obs.attribution = true;
   std::ofstream chrome_out, metrics_out;
   if (!run.obs.chrome_trace.empty()) {
     chrome_out.open(run.obs.chrome_trace, std::ios::out | std::ios::trunc);
@@ -485,9 +513,15 @@ int main(int argc, char** argv) {
       return usage(argv[0], 2);
     }
   }
-  if (run.obs.enabled) {
-    obs::reset();
-    obs::set_enabled(true);
+  if (run.obs.enabled || run.obs.attribution) obs::reset();
+  if (run.obs.enabled) obs::set_enabled(true);
+  if (run.obs.attribution) {
+    obs::set_attribution_enabled(true);
+    obs::FlightRecorder::Config rc;
+    rc.dir = run.obs.postmortem_dir;
+    rc.miss_window = run.obs.postmortem_miss_window;
+    rc.miss_threshold = run.obs.postmortem_miss_threshold;
+    obs::recorder().configure(rc);
   }
   const auto write_obs_exports = [&] {
     if (chrome_out.is_open()) {
@@ -495,8 +529,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "wrote %s\n", run.obs.chrome_trace.c_str());
     }
     if (metrics_out.is_open()) {
-      metrics_out << obs::metrics().to_json() << '\n';
+      metrics_out << obs::export_json() << '\n';
       std::fprintf(stderr, "wrote %s\n", run.obs.metrics_json.c_str());
+    }
+    if (run.obs.attribution && obs::recorder().dumps() > 0) {
+      const std::string path = obs::recorder().last_dump_path();
+      std::fprintf(stderr, "flight recorder: %lld postmortem dump%s%s%s\n",
+                   obs::recorder().dumps(),
+                   obs::recorder().dumps() == 1 ? "" : "s",
+                   path.empty() ? "" : ", last ", path.c_str());
     }
   };
 
@@ -528,6 +569,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--readmit-interval must be >= 0\n");
       return usage(argv[0], 2);
     }
+    frc.burn_error_budget =
+        args.number_or("burn-budget", frc.burn_error_budget);
     frc.shards = args.int_or("shards", frc.shards);
     frc.rebalance_interval =
         args.int_or("rebalance-interval", frc.rebalance_interval);
@@ -666,6 +709,13 @@ int main(int argc, char** argv) {
                 "| pool queueing %.1f ms\n",
                 snap.mean_occupancy, snap.p95_tick_busy_ms,
                 snap.mean_queue_depth, snap.total_queue_ms);
+    if (fc->burn_error_budget > 0.0)
+      std::printf("slo burn: %ld alert%s raised | %ld cleared | %d session%s "
+                  "alerting\n",
+                  snap.slo_alerts_raised,
+                  snap.slo_alerts_raised == 1 ? "" : "s",
+                  snap.slo_alerts_cleared, snap.alerting_sessions,
+                  snap.alerting_sessions == 1 ? "" : "s");
     for (const auto& [name, count] : snap.device_pools)
       std::printf("device pool %s: %d\n", name.c_str(), count);
     if (snap.total_retries || snap.total_dropped_msgs)
@@ -713,6 +763,11 @@ int main(int argc, char** argv) {
                 r.mean_lag_ms, r.max_lag_ms);
     std::printf("gpu busy            : %.0f ms over %.0f ms makespan\n",
                 c.gpu_busy_ms, r.makespan_ms);
+    if (run.rt.miss_budget > 0.0)
+      std::printf("slo burn            : %ld alert%s raised | %salerting at "
+                  "exit\n",
+                  runner.slo_alerts(), runner.slo_alerts() == 1 ? "" : "s",
+                  runner.alerting() ? "" : "not ");
     write_obs_exports();
     return 0;
   }
